@@ -1,0 +1,131 @@
+// Ablation: fixed-window Equation 1 vs the Section 9.1 adaptive-window
+// estimator, on a simulated crawl with many snapshots.
+//
+// The paper: "for low-PageRank pages, we may want to compute the
+// PageRank increase over a longer period than high-PageRank pages in
+// order to reduce the impact of noise." This bench takes 9 observation
+// snapshots plus a future one, runs (a) the fixed short window (latest
+// 2 observations), (b) the fixed long window (all 9), and (c) the
+// adaptive window, and reports future-prediction error split by
+// PageRank tier — low-PageRank pages are where the adaptive window
+// should pay off.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table_writer.h"
+#include "core/adaptive_window_estimator.h"
+#include "core/snapshot_series.h"
+#include "sim/web_simulator.h"
+
+namespace {
+
+struct TierErrors {
+  double low_pr = 0.0;   // bottom-half PageRank pages
+  double high_pr = 0.0;  // top-half
+  double all = 0.0;
+};
+
+TierErrors MeasureErrors(const std::vector<double>& estimate,
+                         const std::vector<qrank::PageTrend>& trend,
+                         const std::vector<double>& current,
+                         const std::vector<double>& future,
+                         double median_pr) {
+  qrank::RunningStat low, high, all;
+  for (size_t p = 0; p < estimate.size(); ++p) {
+    if (trend[p] == qrank::PageTrend::kStable) continue;
+    if (!(future[p] > 0.0)) continue;
+    double err = std::fabs((future[p] - estimate[p]) / future[p]);
+    all.Add(err);
+    (current[p] < median_pr ? low : high).Add(err);
+  }
+  return {low.mean(), high.mean(), all.mean()};
+}
+
+}  // namespace
+
+int main() {
+  // Simulate and take 9 closely spaced observations + a future snapshot;
+  // close spacing makes per-interval Poisson noise significant, which is
+  // the regime Section 9.1 worries about.
+  qrank::WebSimulatorOptions sim_options;
+  sim_options.num_users = 1000;
+  sim_options.seed = 1234;
+  sim_options.page_birth_rate = 30.0;
+  sim_options.visit_rate_factor = 2.0;
+  sim_options.forget_rate = 0.08;
+  auto sim = qrank::WebSimulator::Create(sim_options);
+  if (!sim.ok()) return EXIT_FAILURE;
+
+  qrank::SnapshotSeries series;
+  std::vector<double> times;
+  for (double t = 16.0; t <= 24.01; t += 1.0) times.push_back(t);
+  times.push_back(32.0);  // future
+  for (double t : times) {
+    if (!sim->AdvanceTo(t).ok()) return EXIT_FAILURE;
+    auto g = sim->Snapshot();
+    if (!g.ok() || !series.AddSnapshot(t, std::move(g).value()).ok()) {
+      return EXIT_FAILURE;
+    }
+  }
+  qrank::PageRankOptions pr;
+  pr.scale = qrank::ScaleConvention::kTotalMassN;
+  if (!series.ComputePageRanks(pr, /*warm_start=*/true).ok()) {
+    return EXIT_FAILURE;
+  }
+
+  const size_t num_obs = times.size() - 1;
+  std::vector<std::vector<double>> obs;
+  for (size_t i = 0; i < num_obs; ++i) obs.push_back(series.pagerank(i));
+  const std::vector<double>& current = series.pagerank(num_obs - 1);
+  const std::vector<double>& future = series.pagerank(num_obs);
+  double median_pr = qrank::Quantile(current, 0.5).value();
+
+  auto run_config = [&](uint32_t min_w, uint32_t max_w) {
+    qrank::AdaptiveWindowOptions o;
+    o.min_window = min_w;
+    o.max_window = max_w;
+    return qrank::EstimateQualityAdaptiveWindow(obs, o);
+  };
+  auto fixed_short = run_config(1, 1);
+  auto fixed_long = run_config(8, 8);
+  auto adaptive = run_config(1, 8);
+  if (!fixed_short.ok() || !fixed_long.ok() || !adaptive.ok()) {
+    return EXIT_FAILURE;
+  }
+
+  std::printf("=== Ablation: adaptive window (Section 9.1) ===\n");
+  std::printf("%zu observation snapshots 1 time unit apart; future at "
+              "t=32; errors vs future PageRank, split at the median "
+              "current PageRank\n\n",
+              num_obs);
+
+  qrank::TableWriter table({"estimator window", "err (low-PR pages)",
+                            "err (high-PR pages)", "err (all)"});
+  auto add = [&](const char* name, const qrank::AdaptiveWindowEstimate& est) {
+    TierErrors errs = MeasureErrors(est.base.quality, est.base.trend,
+                                    current, future, median_pr);
+    table.AddRow({name, qrank::TableWriter::FormatDouble(errs.low_pr, 4),
+                  qrank::TableWriter::FormatDouble(errs.high_pr, 4),
+                  qrank::TableWriter::FormatDouble(errs.all, 4)});
+    return errs;
+  };
+  TierErrors short_errs = add("fixed short (1 gap)", *fixed_short);
+  add("fixed long (8 gaps)", *fixed_long);
+  TierErrors adaptive_errs = add("adaptive (1..8 by PR)", *adaptive);
+  table.RenderAscii(std::cout);
+
+  if (adaptive_errs.low_pr <= short_errs.low_pr) {
+    std::printf("\nPASS: the adaptive window reduces low-PageRank-page "
+                "error vs the short fixed window (%.4f vs %.4f), as "
+                "Section 9.1 anticipates\n",
+                adaptive_errs.low_pr, short_errs.low_pr);
+    return EXIT_SUCCESS;
+  }
+  std::printf("\nFAIL: adaptive window did not help low-PageRank pages\n");
+  return EXIT_FAILURE;
+}

@@ -1,0 +1,69 @@
+// Ablation over the Equation 1 constant C (the weight of the relative
+// PageRank increase). Footnote 6 of the paper: "The value 0.1 showed the
+// best result out of all values that we tested. Small variations in the
+// constant did not affect our result significantly."
+//
+// This bench sweeps C on a seed *different* from the headline bench
+// (bench_fig5) so the chosen constant is not tuned on the reported run,
+// then verifies that (a) the optimum is at or adjacent to C = 0.1 and
+// (b) the curve is flat around it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "core/experiment.h"
+
+int main() {
+  const std::vector<double> sweep = {0.0,  0.02, 0.05, 0.1, 0.15,
+                                     0.2,  0.3,  0.5,  1.0};
+
+  std::printf("=== Ablation: Equation 1 constant C ===\n");
+  std::printf("Q(p) = C * [PR(t3)-PR(t1)]/PR(t1) + PR(t3); C=0 degenerates "
+              "to current PageRank\n\n");
+
+  qrank::TableWriter table(
+      {"C", "mean err Q(p)", "mean err PR(t3)", "improvement", "err<0.1 %"});
+  double best_c = -1.0, best_err = 1e9;
+  double err_at_01 = 0.0, err_at_005 = 0.0, err_at_015 = 0.0;
+
+  for (double c : sweep) {
+    qrank::CrawlExperimentOptions options;
+    options.simulator.seed = 77;  // independent of the headline seed
+    options.estimator.relative_increase_weight = c;
+    qrank::Result<qrank::CrawlExperimentResult> result =
+        qrank::RunCrawlExperiment(options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "C=%.2f failed: %s\n", c,
+                   result.status().ToString().c_str());
+      return EXIT_FAILURE;
+    }
+    const auto& cmp = result->comparison;
+    table.AddNumericRow({c, cmp.quality.mean_error, cmp.pagerank.mean_error,
+                         cmp.improvement_factor,
+                         cmp.quality.fraction_below_0_1 * 100.0},
+                        4);
+    if (cmp.quality.mean_error < best_err) {
+      best_err = cmp.quality.mean_error;
+      best_c = c;
+    }
+    if (c == 0.1) err_at_01 = cmp.quality.mean_error;
+    if (c == 0.05) err_at_005 = cmp.quality.mean_error;
+    if (c == 0.15) err_at_015 = cmp.quality.mean_error;
+  }
+  table.RenderAscii(std::cout);
+
+  std::printf("\nbest C = %.2f (paper: 0.1)\n", best_c);
+  bool optimum_near_01 = best_c >= 0.05 && best_c <= 0.2;
+  bool flat_neighborhood =
+      err_at_005 < 1.25 * err_at_01 && err_at_015 < 1.25 * err_at_01;
+  if (optimum_near_01 && flat_neighborhood) {
+    std::printf("PASS: optimum at/near C=0.1 with a flat neighborhood "
+                "(footnote 6 reproduced)\n");
+    return EXIT_SUCCESS;
+  }
+  std::printf("FAIL: C ablation does not match the paper's footnote 6\n");
+  return EXIT_FAILURE;
+}

@@ -1,0 +1,126 @@
+// Ablation: crawl incompleteness vs estimator accuracy.
+//
+// The paper's snapshots are crawls ("we downloaded pages from each site
+// until we could not reach any more pages … or the maximum of 200,000
+// pages") — partial observations of the true Web. This bench crawls
+// each simulated snapshot with a shrinking page budget (expressed as a
+// fraction of the true page count) and measures how the Figure 5
+// comparison degrades: at what coverage does the quality estimator's
+// advantage over current PageRank survive?
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "core/evaluation.h"
+#include "core/quality_estimator.h"
+#include "core/snapshot_series.h"
+#include "sim/crawler.h"
+#include "sim/web_simulator.h"
+
+namespace {
+
+struct BudgetOutcome {
+  double coverage = 0.0;  // crawled pages / true pages (averaged)
+  uint64_t pages_evaluated = 0;
+  double err_quality = 0.0;
+  double err_pagerank = 0.0;
+  double improvement = 0.0;
+};
+
+qrank::Result<BudgetOutcome> RunWithBudgetFraction(double fraction) {
+  qrank::WebSimulatorOptions sim_options;
+  sim_options.num_users = 1000;
+  sim_options.seed = 31415;
+  sim_options.page_birth_rate = 30.0;
+  sim_options.visit_rate_factor = 2.0;
+  sim_options.forget_rate = 0.08;
+  QRANK_ASSIGN_OR_RETURN(qrank::WebSimulator sim,
+                         qrank::WebSimulator::Create(sim_options));
+
+  qrank::SnapshotSeries series;
+  double coverage_sum = 0.0;
+  const std::vector<double> times = {16.0, 20.0, 24.0, 32.0};
+  for (double t : times) {
+    QRANK_RETURN_NOT_OK(sim.AdvanceTo(t));
+    QRANK_ASSIGN_OR_RETURN(qrank::CsrGraph truth, sim.Snapshot());
+
+    // Seed the crawler with 20 popular home pages (stable seed list
+    // across snapshots, like a crawler's site roots).
+    std::vector<qrank::NodeId> seeds;
+    for (qrank::NodeId p = 0; p < 20; ++p) seeds.push_back(p);
+    qrank::CrawlerOptions crawl_options;
+    crawl_options.page_budget = fraction >= 1.0
+        ? 0
+        : static_cast<uint64_t>(fraction *
+                                static_cast<double>(truth.num_nodes()));
+    QRANK_ASSIGN_OR_RETURN(qrank::CrawlResult crawl,
+                           qrank::Crawl(truth, seeds, crawl_options));
+    coverage_sum += static_cast<double>(crawl.pages_crawled) /
+                    static_cast<double>(truth.num_nodes());
+    QRANK_RETURN_NOT_OK(series.AddSnapshot(t, std::move(crawl.graph)));
+  }
+
+  qrank::PageRankOptions pr;
+  pr.scale = qrank::ScaleConvention::kTotalMassN;
+  QRANK_RETURN_NOT_OK(series.ComputePageRanks(pr, /*warm_start=*/true));
+  QRANK_ASSIGN_OR_RETURN(qrank::QualityEstimate estimate,
+                         qrank::EstimateQuality(series, 3));
+  QRANK_ASSIGN_OR_RETURN(
+      qrank::PredictionComparison cmp,
+      qrank::CompareFuturePrediction(estimate, series.pagerank(2),
+                                     series.pagerank(3)));
+
+  BudgetOutcome outcome;
+  outcome.coverage = coverage_sum / static_cast<double>(times.size());
+  outcome.pages_evaluated = cmp.pages_evaluated;
+  outcome.err_quality = cmp.quality.mean_error;
+  outcome.err_pagerank = cmp.pagerank.mean_error;
+  outcome.improvement = cmp.improvement_factor;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: crawl budget vs estimator advantage ===\n");
+  std::printf("each snapshot is a BFS crawl from 20 seed pages with a "
+              "page budget; 100%% = full snapshot (the headline "
+              "configuration)\n\n");
+
+  qrank::TableWriter table({"budget (frac of web)", "actual coverage",
+                            "pages eval", "err Q(p)", "err PR(t3)",
+                            "improvement"});
+  double improvement_full = 0.0, improvement_half = 0.0;
+  for (double fraction : {1.0, 0.8, 0.6, 0.5, 0.4, 0.25}) {
+    auto outcome = RunWithBudgetFraction(fraction);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "budget %.2f failed: %s\n", fraction,
+                   outcome.status().ToString().c_str());
+      return EXIT_FAILURE;
+    }
+    table.AddNumericRow(
+        {fraction, outcome->coverage,
+         static_cast<double>(outcome->pages_evaluated),
+         outcome->err_quality, outcome->err_pagerank,
+         outcome->improvement},
+        4);
+    if (fraction == 1.0) improvement_full = outcome->improvement;
+    if (fraction == 0.5) improvement_half = outcome->improvement;
+  }
+  table.RenderAscii(std::cout);
+
+  if (improvement_full > 1.0 && improvement_half > 1.0) {
+    std::printf("\nPASS: the estimator's advantage survives down to "
+                "half-coverage crawls (full: %.2fx, half: %.2fx)\n",
+                improvement_full, improvement_half);
+    return EXIT_SUCCESS;
+  }
+  std::printf("\nNOTE: advantage lost under heavy crawl truncation "
+              "(full: %.2fx, half: %.2fx) — crawl coverage matters\n",
+              improvement_full, improvement_half);
+  return EXIT_SUCCESS;  // informational either way
+}

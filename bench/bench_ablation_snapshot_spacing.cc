@@ -1,0 +1,48 @@
+// Ablation over snapshot spacing (Section 9.1, "Statistical Noise"):
+// the paper suggests computing the PageRank increase over a longer
+// period for low-PageRank pages to reduce the impact of noise. This
+// bench varies the observation gap G (t1, t1+G, t1+2G) at a fixed future
+// horizon and reports the estimator's accuracy, demonstrating the
+// noise/recency trade-off the paper anticipates: very short windows are
+// noisy, very long windows blur the trend.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "core/experiment.h"
+
+int main() {
+  std::printf("=== Ablation: observation-window spacing ===\n");
+  std::printf("snapshots at {t3 - 2G, t3 - G, t3=24, t4=32}; estimator "
+              "C=0.1 throughout\n\n");
+
+  qrank::TableWriter table({"gap G", "pages eval", "mean err Q(p)",
+                            "mean err PR(t3)", "improvement"});
+  std::vector<double> errs;
+  for (double gap : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    qrank::CrawlExperimentOptions options;
+    options.simulator.seed = 99;
+    options.snapshot_times = {24.0 - 2.0 * gap, 24.0 - gap, 24.0, 32.0};
+    qrank::Result<qrank::CrawlExperimentResult> result =
+        qrank::RunCrawlExperiment(options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "G=%.1f failed: %s\n", gap,
+                   result.status().ToString().c_str());
+      return EXIT_FAILURE;
+    }
+    const auto& cmp = result->comparison;
+    table.AddNumericRow({gap, static_cast<double>(cmp.pages_evaluated),
+                         cmp.quality.mean_error, cmp.pagerank.mean_error,
+                         cmp.improvement_factor},
+                        4);
+    errs.push_back(cmp.quality.mean_error);
+  }
+  table.RenderAscii(std::cout);
+  std::printf("\nNote: short windows admit Poisson noise into dPR "
+              "(Section 9.1); the window also controls how many pages "
+              "clear the 5%%-change filter.\n");
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,65 @@
+// Regenerates Figure 1 of the paper: time evolution of page popularity
+// P(p,t) under the user-visitation model with Q = 0.8, n = r = 1e8,
+// P(p,0) = 1e-8 ("100 million Web users and only one user liked the page
+// at its creation"), t in [0, 40].
+//
+// Expected shape: sigmoid with three stages — infant (~t < 15, near-zero
+// popularity), expansion (~15..30, rapid growth), maturity (popularity
+// stabilizes at the quality value 0.8).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table_writer.h"
+#include "model/visitation_model.h"
+
+int main() {
+  qrank::VisitationParams params;
+  params.quality = 0.8;
+  params.num_users = 1e8;
+  params.visit_rate = 1e8;
+  params.initial_popularity = 1e-8;
+  qrank::Result<qrank::VisitationModel> model =
+      qrank::VisitationModel::Create(params);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+
+  std::printf("=== Figure 1: time evolution of page popularity ===\n");
+  std::printf("parameters: Q=0.8  n=1e8  r=1e8  P(p,0)=1e-8\n\n");
+
+  qrank::TableWriter table({"t", "P(p,t)", "A(p,t)", "stage"});
+  for (double t = 0.0; t <= 40.0; t += 2.0) {
+    const char* stage = "";
+    switch (model->StageAt(t)) {
+      case qrank::LifeStage::kInfant:
+        stage = "infant";
+        break;
+      case qrank::LifeStage::kExpansion:
+        stage = "expansion";
+        break;
+      case qrank::LifeStage::kMaturity:
+        stage = "maturity";
+        break;
+    }
+    table.AddRow({qrank::TableWriter::FormatDouble(t, 0),
+                  qrank::TableWriter::FormatDouble(model->Popularity(t), 6),
+                  qrank::TableWriter::FormatDouble(model->Awareness(t), 6),
+                  stage});
+  }
+  table.RenderAscii(std::cout);
+
+  qrank::Result<double> t10 = model->TimeToReachFraction(0.1);
+  qrank::Result<double> t90 = model->TimeToReachFraction(0.9);
+  if (t10.ok() && t90.ok()) {
+    std::printf(
+        "\nstage boundaries: infant->expansion at t=%.1f, "
+        "expansion->maturity at t=%.1f (paper: ~15 and ~30)\n",
+        t10.value(), t90.value());
+  }
+  std::printf("eventual popularity: P(p,inf) = %.4f (= Q, Corollary 1)\n",
+              model->Popularity(1e6));
+  return EXIT_SUCCESS;
+}

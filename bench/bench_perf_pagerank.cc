@@ -1,0 +1,163 @@
+// Performance of the PageRank engines (google-benchmark).
+//
+// Covers the repro hint "efficient sparse matrix PageRank": power
+// iteration vs Gauss-Seidel vs adaptive vs quadratic extrapolation on
+// Barabasi-Albert graphs of growing size, at the tolerance used by the
+// Section 8 pipeline. Iteration counts are exported as counters so the
+// acceleration claims of [11]/[12] are visible alongside wall-clock.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "rank/adaptive_pagerank.h"
+#include "rank/extrapolation.h"
+#include "rank/opic.h"
+#include "rank/pagerank.h"
+
+namespace {
+
+qrank::CsrGraph MakeGraph(int64_t nodes) {
+  qrank::Rng rng(1234);
+  return qrank::CsrGraph::FromEdgeList(
+             qrank::GenerateBarabasiAlbert(
+                 static_cast<qrank::NodeId>(nodes), 8, &rng)
+                 .value())
+      .value();
+}
+
+qrank::PageRankOptions BaseOptions() {
+  qrank::PageRankOptions o;
+  o.tolerance = 1e-9;
+  o.max_iterations = 1000;
+  return o;
+}
+
+void BM_PageRankPower(benchmark::State& state) {
+  qrank::CsrGraph g = MakeGraph(state.range(0));
+  qrank::PageRankOptions o = BaseOptions();
+  uint32_t iterations = 0;
+  for (auto _ : state) {
+    auto r = qrank::ComputePageRank(g, o);
+    iterations = r->iterations;
+    benchmark::DoNotOptimize(r->scores.data());
+  }
+  state.counters["iters"] = iterations;
+  state.counters["edges/s"] = benchmark::Counter(
+      static_cast<double>(g.num_edges()) * iterations,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_PageRankGaussSeidel(benchmark::State& state) {
+  qrank::CsrGraph g = MakeGraph(state.range(0));
+  qrank::PageRankOptions o = BaseOptions();
+  uint32_t iterations = 0;
+  for (auto _ : state) {
+    auto r = qrank::ComputePageRankGaussSeidel(g, o);
+    iterations = r->iterations;
+    benchmark::DoNotOptimize(r->scores.data());
+  }
+  state.counters["iters"] = iterations;
+}
+
+void BM_PageRankAdaptive(benchmark::State& state) {
+  qrank::CsrGraph g = MakeGraph(state.range(0));
+  qrank::AdaptivePageRankOptions o;
+  o.base = BaseOptions();
+  o.freeze_threshold = 1e-6;
+  uint32_t iterations = 0;
+  uint64_t updates = 0;
+  for (auto _ : state) {
+    auto r = qrank::ComputeAdaptivePageRank(g, o);
+    iterations = r->base.iterations;
+    updates = r->node_updates;
+    benchmark::DoNotOptimize(r->base.scores.data());
+  }
+  state.counters["iters"] = iterations;
+  state.counters["upd/iter/node"] =
+      static_cast<double>(updates) /
+      (static_cast<double>(iterations) * static_cast<double>(g.num_nodes()));
+}
+
+void BM_PageRankExtrapolated(benchmark::State& state) {
+  qrank::CsrGraph g = MakeGraph(state.range(0));
+  qrank::ExtrapolatedPageRankOptions o;
+  o.base = BaseOptions();
+  uint32_t iterations = 0;
+  for (auto _ : state) {
+    auto r = qrank::ComputeExtrapolatedPageRank(g, o);
+    iterations = r->base.iterations;
+    benchmark::DoNotOptimize(r->base.scores.data());
+  }
+  state.counters["iters"] = iterations;
+}
+
+void BM_OpicSweeps(benchmark::State& state) {
+  // Online importance: cost of 10 OPIC sweeps (usable estimates arrive
+  // long before full convergence; see tests/rank/opic_test.cc).
+  qrank::CsrGraph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    auto opic = qrank::OpicComputer::Create(&g);
+    opic->RunSweeps(10);
+    benchmark::DoNotOptimize(opic->Importance().data());
+  }
+}
+
+void BM_PageRankWarmStart(benchmark::State& state) {
+  // Iterations saved by warm-starting from a slightly perturbed
+  // solution (the cross-snapshot case of SnapshotSeries).
+  qrank::CsrGraph g = MakeGraph(8192);
+  qrank::PageRankOptions o = BaseOptions();
+  auto cold = qrank::ComputePageRank(g, o);
+  const bool warm = state.range(0) == 1;
+  if (warm) o.initial_scores = cold->scores;
+  uint32_t iterations = 0;
+  for (auto _ : state) {
+    auto r = qrank::ComputePageRank(g, o);
+    iterations = r->iterations;
+    benchmark::DoNotOptimize(r->scores.data());
+  }
+  state.counters["iters"] = iterations;
+}
+
+void BM_PageRankHighDamping(benchmark::State& state) {
+  // Damping 0.95: slow spectral gap; where extrapolation pays off most.
+  qrank::CsrGraph g = MakeGraph(8192);
+  qrank::PageRankOptions o = BaseOptions();
+  o.damping = 0.95;
+  const bool extrapolate = state.range(0) == 1;
+  uint32_t iterations = 0;
+  for (auto _ : state) {
+    if (extrapolate) {
+      qrank::ExtrapolatedPageRankOptions eo;
+      eo.base = o;
+      auto r = qrank::ComputeExtrapolatedPageRank(g, eo);
+      iterations = r->base.iterations;
+      benchmark::DoNotOptimize(r->base.scores.data());
+    } else {
+      auto r = qrank::ComputePageRank(g, o);
+      iterations = r->iterations;
+      benchmark::DoNotOptimize(r->scores.data());
+    }
+  }
+  state.counters["iters"] = iterations;
+}
+
+}  // namespace
+
+BENCHMARK(BM_PageRankPower)->Arg(1024)->Arg(8192)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRankGaussSeidel)->Arg(1024)->Arg(8192)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRankAdaptive)->Arg(1024)->Arg(8192)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRankExtrapolated)->Arg(1024)->Arg(8192)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRankHighDamping)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OpicSweeps)->Arg(1024)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRankWarmStart)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

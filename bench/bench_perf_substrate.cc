@@ -1,0 +1,141 @@
+// Performance of the substrate layers (google-benchmark): CSR
+// construction, transpose, dynamic-graph snapshot extraction, simulator
+// stepping, alias-table sampling, and graph generators.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/dynamic_graph.h"
+#include "graph/generators.h"
+#include "sim/web_simulator.h"
+
+namespace {
+
+void BM_CsrBuild(benchmark::State& state) {
+  qrank::Rng rng(7);
+  qrank::EdgeList edges =
+      qrank::GenerateBarabasiAlbert(
+          static_cast<qrank::NodeId>(state.range(0)), 8, &rng)
+          .value();
+  for (auto _ : state) {
+    auto g = qrank::CsrGraph::FromEdgeList(edges);
+    benchmark::DoNotOptimize(g.value().num_edges());
+  }
+  state.counters["edges/s"] = benchmark::Counter(
+      static_cast<double>(edges.num_edges()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_CsrTranspose(benchmark::State& state) {
+  qrank::Rng rng(7);
+  qrank::CsrGraph g =
+      qrank::CsrGraph::FromEdgeList(
+          qrank::GenerateBarabasiAlbert(
+              static_cast<qrank::NodeId>(state.range(0)), 8, &rng)
+              .value())
+          .value();
+  for (auto _ : state) {
+    qrank::CsrGraph t = g.Transpose();
+    benchmark::DoNotOptimize(t.num_edges());
+    // Copy with a fresh cache each round: measure the transpose itself.
+    state.PauseTiming();
+    g = qrank::CsrGraph::FromEdges(
+            g.num_nodes(),
+            [&] {
+              std::vector<qrank::Edge> e;
+              for (qrank::NodeId u = 0; u < g.num_nodes(); ++u) {
+                for (qrank::NodeId v : g.OutNeighbors(u)) {
+                  e.push_back({u, v});
+                }
+              }
+              return e;
+            }())
+            .value();
+    state.ResumeTiming();
+  }
+}
+
+void BM_DynamicSnapshot(benchmark::State& state) {
+  // A dynamic graph with state.range(0) live edges; extract a CSR.
+  qrank::DynamicGraph dyn;
+  const qrank::NodeId n = 4096;
+  dyn.AddNodes(n, 0.0);
+  qrank::Rng rng(13);
+  int64_t added = 0;
+  while (added < state.range(0)) {
+    auto u = static_cast<qrank::NodeId>(rng.UniformUint64(n));
+    auto v = static_cast<qrank::NodeId>(rng.UniformUint64(n));
+    if (u != v && dyn.AddEdge(u, v, 1.0).ok()) ++added;
+  }
+  for (auto _ : state) {
+    auto g = dyn.SnapshotAt(2.0);
+    benchmark::DoNotOptimize(g.value().num_edges());
+  }
+  state.counters["edges/s"] = benchmark::Counter(
+      static_cast<double>(added),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_SimulatorStep(benchmark::State& state) {
+  qrank::WebSimulatorOptions o;
+  o.num_users = static_cast<uint32_t>(state.range(0));
+  o.seed = 3;
+  o.page_birth_rate = 10.0;
+  qrank::WebSimulator sim = qrank::WebSimulator::Create(o).value();
+  // Warm to mid-expansion so the step cost is representative.
+  (void)sim.AdvanceTo(10.0);
+  uint64_t visits_before = sim.total_visits();
+  for (auto _ : state) {
+    sim.Step();
+  }
+  state.counters["visits/s"] = benchmark::Counter(
+      static_cast<double>(sim.total_visits() - visits_before),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_AliasTableSample(benchmark::State& state) {
+  qrank::Rng rng(17);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  for (double& w : weights) w = rng.Pareto(1.0, 1.5);
+  qrank::AliasTable table(weights);
+  qrank::Rng sampler(19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(&sampler));
+  }
+}
+
+void BM_GenerateBarabasiAlbert(benchmark::State& state) {
+  for (auto _ : state) {
+    qrank::Rng rng(23);
+    auto e = qrank::GenerateBarabasiAlbert(
+        static_cast<qrank::NodeId>(state.range(0)), 8, &rng);
+    benchmark::DoNotOptimize(e.value().num_edges());
+  }
+}
+
+void BM_GenerateErdosRenyi(benchmark::State& state) {
+  for (auto _ : state) {
+    qrank::Rng rng(29);
+    auto e = qrank::GenerateErdosRenyi(
+        static_cast<qrank::NodeId>(state.range(0)), 8.0 / state.range(0),
+        &rng);
+    benchmark::DoNotOptimize(e.value().num_edges());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_CsrBuild)->Arg(4096)->Arg(32768)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CsrTranspose)->Arg(4096)->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DynamicSnapshot)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulatorStep)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AliasTableSample)->Arg(1000)->Arg(1000000);
+BENCHMARK(BM_GenerateBarabasiAlbert)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GenerateErdosRenyi)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

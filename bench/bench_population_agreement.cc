@@ -1,0 +1,120 @@
+// Validation of the substrate substitution (DESIGN.md section 2): the
+// simulator must BE the paper's model at population scale. This bench
+// runs the agent-level simulator and the closed-form population model
+// on the same parameters and compares aggregates: mean popularity by
+// cohort age and the mature fraction.
+//
+// Expected relationship: agreement at both ends (infancy and
+// saturation) with a bounded *stochastic delay* mid-expansion — with
+// only `seed_likers` initial fans, a page's early growth is a branching
+// process whose random timing delays the population mean behind the
+// mean-field logistic. The delay shrinks as the seed size grows, which
+// this bench verifies: it is sampling noise, not different dynamics.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "model/population_model.h"
+#include "sim/web_simulator.h"
+
+namespace {
+
+constexpr uint32_t kUsers = 2000;
+constexpr double kQualityAlpha = 1.3, kQualityBeta = 3.0;
+
+// Worst relative difference in mean popularity over the age grid, and
+// the end-of-run difference.
+struct Agreement {
+  double worst = 0.0;
+  double at_end = 0.0;
+};
+
+qrank::Result<Agreement> Measure(uint32_t seed_likers, bool print_table) {
+  qrank::WebSimulatorOptions sim_options;
+  sim_options.num_users = kUsers;
+  sim_options.seed = 42;
+  sim_options.seed_likers = seed_likers;
+  sim_options.quality_alpha = kQualityAlpha;
+  sim_options.quality_beta = kQualityBeta;
+  QRANK_ASSIGN_OR_RETURN(qrank::WebSimulator sim,
+                         qrank::WebSimulator::Create(sim_options));
+
+  qrank::PopulationParams model_params;
+  model_params.quality_alpha = kQualityAlpha;
+  model_params.quality_beta = kQualityBeta;
+  model_params.num_users = kUsers;
+  model_params.visit_rate = kUsers;  // factor 1
+  model_params.initial_popularity =
+      static_cast<double>(seed_likers) / kUsers;
+  QRANK_ASSIGN_OR_RETURN(qrank::PopulationModel model,
+                         qrank::PopulationModel::Create(model_params));
+
+  qrank::TableWriter table({"age", "mean P (sim)", "mean P (model)",
+                            "rel diff %", "mature frac (sim)",
+                            "mature frac (model)"});
+  Agreement agreement;
+  for (double age : {2.0, 6.0, 10.0, 14.0, 18.0, 24.0, 32.0}) {
+    QRANK_RETURN_NOT_OK(sim.AdvanceTo(age));
+    double sum_p = 0.0;
+    uint64_t mature = 0;
+    const qrank::NodeId pages = sim.num_pages();
+    for (qrank::NodeId p = 0; p < pages; ++p) {
+      sum_p += sim.TruePopularity(p);
+      if (sim.TrueAwareness(p) > 0.9) ++mature;
+    }
+    double sim_mean = sum_p / static_cast<double>(pages);
+    double model_mean = model.ExpectedPopularityAtAge(age);
+    double rel = std::fabs(sim_mean - model_mean) /
+                 std::max(model_mean, 1e-12);
+    agreement.worst = std::max(agreement.worst, rel);
+    agreement.at_end = rel;
+    qrank::StageMix mix = model.StageMixAtAge(age);
+    table.AddNumericRow(
+        {age, sim_mean, model_mean, rel * 100.0,
+         static_cast<double>(mature) / static_cast<double>(pages),
+         mix.maturity},
+        4);
+  }
+  if (print_table) table.RenderAscii(std::cout);
+  return agreement;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Simulator vs closed-form population model ===\n");
+  std::printf("%u users/pages, quality ~ Beta(%.1f, %.1f)\n\n", kUsers,
+              kQualityAlpha, kQualityBeta);
+
+  std::printf("--- seed_likers = 1 (maximal early stochasticity)\n");
+  auto seed1 = Measure(1, /*print_table=*/true);
+  if (!seed1.ok()) return EXIT_FAILURE;
+  std::printf("\n--- seed_likers = 8 (early branching averaged out)\n");
+  auto seed8 = Measure(8, /*print_table=*/true);
+  if (!seed8.ok()) return EXIT_FAILURE;
+
+  std::printf(
+      "\nworst relative deviation: %.1f%% (seed 1) vs %.1f%% (seed 8); "
+      "end-of-run deviation: %.1f%% vs %.1f%%\n",
+      seed1->worst * 100.0, seed8->worst * 100.0, seed1->at_end * 100.0,
+      seed8->at_end * 100.0);
+
+  // The substitution claims: (a) the simulator converges to the model's
+  // saturation state, and (b) the mid-expansion gap is branching-noise
+  // that shrinks with the seed size.
+  bool converges = seed1->at_end < 0.10 && seed8->at_end < 0.10;
+  bool noise_shrinks = seed8->worst < seed1->worst;
+  bool bounded = seed1->worst < 0.40;
+  if (converges && noise_shrinks && bounded) {
+    std::printf("PASS: simulator implements the model's dynamics; the "
+                "mid-expansion gap is early-branching timing noise "
+                "(shrinks with seed size), not different dynamics\n");
+    return EXIT_SUCCESS;
+  }
+  std::printf("FAIL: simulator diverges from the analytic model\n");
+  return EXIT_FAILURE;
+}

@@ -1,0 +1,159 @@
+// Extension experiment: the rich-get-richer feedback loop of Section 1
+// and the paper's closing claim ("our metric can identify these
+// high-quality pages much earlier than existing metrics and shorten the
+// time it takes for new pages to get noticed"), made quantitative.
+//
+// A search engine captures 80% of visit traffic and ranks by one of
+// several policies. A cohort of high-quality newcomer pages (Q = 0.9)
+// is injected into a mature web; we measure
+//   * attention inequality (Gini of per-page visits, share of the top
+//     1% of pages), and
+//   * how long newcomers take to get noticed (awareness >= 10% of
+//     users), mean over the cohort, censored at the horizon.
+//
+// Expected shape: PageRank-ranked search concentrates attention hardest
+// and discovers newcomers slowest; the paper's quality estimator
+// discovers them markedly earlier at similar inequality; the
+// true-quality oracle bounds what any estimator could do.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "core/bias_metrics.h"
+#include "sim/web_simulator.h"
+
+namespace {
+
+struct PolicyOutcome {
+  double gini = 0.0;
+  double top1_share = 0.0;
+  double mean_discovery_latency = 0.0;
+  double discovered_fraction = 0.0;
+};
+
+constexpr double kMatureTime = 8.0;
+constexpr double kHorizon = 22.0;
+constexpr uint32_t kCohortSize = 12;
+constexpr double kNewcomerQuality = 0.9;
+
+qrank::Result<PolicyOutcome> RunPolicy(qrank::RankingPolicy policy) {
+  qrank::WebSimulatorOptions o;
+  o.num_users = 800;
+  o.seed = 555;
+  o.visit_rate_factor = 2.0;
+  o.search.policy = policy;
+  o.search.search_traffic_fraction = 0.8;
+  o.search.results_per_query = 40;
+  o.search.position_bias = 1.2;
+  o.search.rerank_period = 1.0;
+
+  QRANK_ASSIGN_OR_RETURN(qrank::WebSimulator sim,
+                         qrank::WebSimulator::Create(o));
+  QRANK_RETURN_NOT_OK(sim.AdvanceTo(kMatureTime));
+
+  // Inject newcomers, two per time unit.
+  qrank::DiscoveryTracker tracker(/*threshold=*/0.1);
+  double t = kMatureTime;
+  for (uint32_t i = 0; i < kCohortSize; i += 2) {
+    QRANK_RETURN_NOT_OK(sim.AdvanceTo(t));
+    for (int j = 0; j < 2; ++j) {
+      QRANK_ASSIGN_OR_RETURN(qrank::NodeId page,
+                             sim.AddPageWithQuality(kNewcomerQuality));
+      tracker.Watch(page, t);
+    }
+    t += 1.0;
+  }
+
+  // Observe awareness on a fine grid until the horizon.
+  for (; t <= kHorizon; t += 0.5) {
+    QRANK_RETURN_NOT_OK(sim.AdvanceTo(t));
+    std::vector<double> awareness(sim.num_pages());
+    for (qrank::NodeId p = 0; p < sim.num_pages(); ++p) {
+      awareness[p] = sim.TrueAwareness(p);
+    }
+    tracker.Observe(t, awareness);
+  }
+
+  PolicyOutcome outcome;
+  std::vector<double> visits;
+  for (qrank::NodeId p = 0; p < sim.num_pages(); ++p) {
+    visits.push_back(static_cast<double>(sim.page(p).visits));
+  }
+  QRANK_ASSIGN_OR_RETURN(outcome.gini, qrank::GiniCoefficient(visits));
+  size_t top1 = std::max<size_t>(1, visits.size() / 100);
+  QRANK_ASSIGN_OR_RETURN(outcome.top1_share,
+                         qrank::TopShare(visits, top1));
+  QRANK_ASSIGN_OR_RETURN(
+      outcome.mean_discovery_latency,
+      tracker.MeanLatency(/*censored_latency=*/kHorizon - kMatureTime));
+  outcome.discovered_fraction = tracker.DiscoveredFraction();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Rich-get-richer under search mediation ===\n");
+  std::printf("80%% of traffic search-mediated; cohort of %u newcomers "
+              "with Q=%.1f injected at t=%.0f; discovery threshold: 10%% "
+              "user awareness\n\n",
+              kCohortSize, kNewcomerQuality, kMatureTime);
+
+  const qrank::RankingPolicy policies[] = {
+      qrank::RankingPolicy::kNone, qrank::RankingPolicy::kRandom,
+      qrank::RankingPolicy::kInDegree, qrank::RankingPolicy::kPageRank,
+      qrank::RankingPolicy::kQualityEstimate,
+      qrank::RankingPolicy::kTrueQuality};
+
+  qrank::TableWriter table({"ranking policy", "visit Gini", "top-1% share",
+                            "mean discovery latency", "discovered %"});
+  double latency_pagerank = -1.0, latency_quality = -1.0;
+  double gini_none = -1.0, gini_pagerank = -1.0;
+  for (qrank::RankingPolicy policy : policies) {
+    qrank::Result<PolicyOutcome> outcome = RunPolicy(policy);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", RankingPolicyName(policy),
+                   outcome.status().ToString().c_str());
+      return EXIT_FAILURE;
+    }
+    table.AddRow({qrank::RankingPolicyName(policy),
+                  qrank::TableWriter::FormatDouble(outcome->gini, 3),
+                  qrank::TableWriter::FormatDouble(outcome->top1_share, 3),
+                  qrank::TableWriter::FormatDouble(
+                      outcome->mean_discovery_latency, 2),
+                  qrank::TableWriter::FormatDouble(
+                      outcome->discovered_fraction * 100.0, 1)});
+    if (policy == qrank::RankingPolicy::kPageRank) {
+      latency_pagerank = outcome->mean_discovery_latency;
+      gini_pagerank = outcome->gini;
+    }
+    if (policy == qrank::RankingPolicy::kQualityEstimate) {
+      latency_quality = outcome->mean_discovery_latency;
+    }
+    if (policy == qrank::RankingPolicy::kNone) gini_none = outcome->gini;
+  }
+  table.RenderAscii(std::cout);
+
+  bool ok = true;
+  if (!(gini_pagerank > gini_none)) {
+    std::printf("\nFAIL: PageRank-mediated search did not concentrate "
+                "attention beyond organic browsing\n");
+    ok = false;
+  }
+  if (!(latency_quality < latency_pagerank)) {
+    std::printf("\nFAIL: quality ranking did not shorten newcomer "
+                "discovery time\n");
+    ok = false;
+  }
+  if (ok) {
+    std::printf("\nPASS: popularity-ranked search amplifies the "
+                "rich-get-richer bias (Section 1); ranking by the "
+                "paper's quality estimator gets high-quality newcomers "
+                "noticed %.1fx sooner (Section 9 claim)\n",
+                latency_pagerank / latency_quality);
+  }
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,95 @@
+// The "rich-get-richer" scenario from the paper's introduction: a brand
+// new, very high-quality page enters an established Web. Current
+// PageRank buries it ("even if a page is of high quality, the page may
+// be completely ignored by Web users simply because its current
+// popularity is very low"); the quality estimator surfaces it early.
+//
+// This example injects a Q = 0.95 page into a mature simulated Web,
+// takes three snapshots shortly after its birth, and prints the page's
+// rank position under (a) current PageRank and (b) the paper's quality
+// estimator, as the page ages.
+//
+// Build & run:  ./build/examples/new_page_discovery
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/quality_estimator.h"
+#include "core/snapshot_series.h"
+#include "rank/rank_vector.h"
+#include "sim/web_simulator.h"
+
+namespace {
+
+// Ranks `page` within `scores` (0 = best).
+uint32_t RankOf(const std::vector<double>& scores, qrank::NodeId page) {
+  return qrank::DenseRanks(scores)[page];
+}
+
+}  // namespace
+
+int main() {
+  qrank::WebSimulatorOptions sim_options;
+  sim_options.num_users = 1200;
+  sim_options.seed = 99;
+  sim_options.visit_rate_factor = 2.0;
+
+  qrank::Result<qrank::WebSimulator> sim_result =
+      qrank::WebSimulator::Create(sim_options);
+  if (!sim_result.ok()) {
+    std::fprintf(stderr, "%s\n", sim_result.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  qrank::WebSimulator& sim = *sim_result;
+
+  // Let the incumbent Web mature, then inject the newcomer.
+  if (!sim.AdvanceTo(10.0).ok()) return EXIT_FAILURE;
+  qrank::Result<qrank::NodeId> newcomer = sim.AddPageWithQuality(0.95);
+  if (!newcomer.ok()) return EXIT_FAILURE;
+  const qrank::NodeId page = newcomer.value();
+  std::printf("injected newcomer page %u with true quality 0.95 at t=10 "
+              "into a web of %u mature pages\n\n",
+              page, sim.num_pages() - 1);
+
+  std::printf("%-8s %-14s %-18s %-22s %s\n", "age", "popularity",
+              "PageRank rank", "quality-est. rank", "true-quality rank: 1");
+  // Observe at increasing ages; at each age estimate quality from three
+  // snapshots spanning the preceding window.
+  for (double age : {2.0, 4.0, 6.0, 8.0, 12.0}) {
+    double t3 = 10.0 + age;
+    double gap = age / 2.0;
+    qrank::SnapshotSeries series;
+    // Re-simulate deterministically? No — we advance the same world and
+    // snapshot the dynamic graph at past instants (the DynamicGraph
+    // retains full history).
+    if (!sim.AdvanceTo(t3).ok()) return EXIT_FAILURE;
+    for (double t : {t3 - 2.0 * gap, t3 - gap, t3}) {
+      auto snapshot = sim.graph().SnapshotAt(t);
+      if (!snapshot.ok() ||
+          !series.AddSnapshot(t, std::move(snapshot).value()).ok()) {
+        return EXIT_FAILURE;
+      }
+    }
+    qrank::PageRankOptions pr_options;
+    pr_options.scale = qrank::ScaleConvention::kTotalMassN;
+    if (!series.ComputePageRanks(pr_options).ok()) return EXIT_FAILURE;
+
+    auto estimate = qrank::EstimateQuality(series, 3);
+    if (!estimate.ok()) {
+      std::fprintf(stderr, "estimate failed: %s\n",
+                   estimate.status().ToString().c_str());
+      return EXIT_FAILURE;
+    }
+    const std::vector<double>& pr = series.pagerank(2);
+    uint32_t pr_rank = RankOf(pr, page) + 1;
+    uint32_t q_rank = RankOf(estimate->quality, page) + 1;
+    std::printf("%-8.0f %-14.4f #%-17u #%-21u\n", age,
+                sim.TruePopularity(page), pr_rank, q_rank);
+  }
+
+  std::printf(
+      "\nThe quality estimator promotes the high-quality newcomer many\n"
+      "positions earlier than raw PageRank, mitigating the\n"
+      "rich-get-richer bias described in Sections 1 and 4 of the paper.\n");
+  return EXIT_SUCCESS;
+}

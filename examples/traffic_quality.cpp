@@ -1,0 +1,101 @@
+// Traffic-based quality estimation (Section 9.1, future work): apply
+// the paper's estimator to visit data instead of the link structure.
+//
+// By the popularity-equivalence hypothesis (Proposition 1), visit rate
+// V(p,t) = r * P(p,t), so per-interval visit counts are a popularity
+// surrogate. This example collects cumulative visit counters from the
+// simulator at three instants (as a traffic-measurement company like
+// the paper's NetRatings reference would), derives interval rates, runs
+// the same Q = C * dP/P + P estimator, and compares the resulting
+// ranking with the link-based estimate.
+//
+// Build & run:  ./build/examples/traffic_quality
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats.h"
+#include "core/quality_estimator.h"
+#include "core/snapshot_series.h"
+#include "core/traffic_estimator.h"
+#include "sim/web_simulator.h"
+
+int main() {
+  qrank::WebSimulatorOptions sim_options;
+  sim_options.num_users = 1000;
+  sim_options.seed = 314;
+  sim_options.visit_rate_factor = 2.0;
+  sim_options.page_birth_rate = 25.0;
+  auto sim = qrank::WebSimulator::Create(sim_options);
+  if (!sim.ok()) {
+    std::fprintf(stderr, "%s\n", sim.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+
+  // Collect both link snapshots and traffic counters at t = 16, 20, 24.
+  qrank::SnapshotSeries series;
+  std::vector<qrank::TrafficSnapshot> traffic;
+  for (double t : {16.0, 20.0, 24.0}) {
+    if (!sim->AdvanceTo(t).ok()) return EXIT_FAILURE;
+    auto snapshot = sim->Snapshot();
+    if (!snapshot.ok() ||
+        !series.AddSnapshot(t, std::move(snapshot).value()).ok()) {
+      return EXIT_FAILURE;
+    }
+    qrank::TrafficSnapshot ts;
+    ts.time = t;
+    for (qrank::NodeId p = 0; p < sim->num_pages(); ++p) {
+      ts.cumulative_visits.push_back(sim->page(p).visits);
+    }
+    traffic.push_back(std::move(ts));
+  }
+
+  // Link-based estimate (the paper's main method).
+  qrank::PageRankOptions pr_options;
+  pr_options.scale = qrank::ScaleConvention::kTotalMassN;
+  if (!series.ComputePageRanks(pr_options).ok()) return EXIT_FAILURE;
+  auto link_estimate = qrank::EstimateQuality(series, 3);
+  if (!link_estimate.ok()) return EXIT_FAILURE;
+
+  // Traffic-based estimate (Section 9.1) over the same common pages.
+  const qrank::NodeId common = series.CommonNodeCount();
+  for (auto& ts : traffic) ts.cumulative_visits.resize(common);
+  qrank::TrafficEstimatorOptions traffic_options;
+  traffic_options.visit_rate_normalization =
+      sim_options.visit_rate_factor * sim_options.num_users;
+  auto traffic_estimate =
+      qrank::EstimateQualityFromTraffic(traffic, traffic_options);
+  if (!traffic_estimate.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 traffic_estimate.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+
+  // How similar are the two rankings, and how do they relate to truth?
+  std::vector<double> truth(common);
+  for (qrank::NodeId p = 0; p < common; ++p) {
+    truth[p] = sim->TrueQuality(p);
+  }
+  auto agreement = qrank::SpearmanCorrelation(link_estimate->quality,
+                                              traffic_estimate->quality);
+  auto link_truth = qrank::SpearmanCorrelation(link_estimate->quality, truth);
+  auto traffic_truth =
+      qrank::SpearmanCorrelation(traffic_estimate->quality, truth);
+  if (!agreement.ok() || !link_truth.ok() || !traffic_truth.ok()) {
+    return EXIT_FAILURE;
+  }
+
+  std::printf("pages: %u common across 3 snapshots\n\n", common);
+  std::printf("Spearman(link-based Q, traffic-based Q)   = %.3f\n",
+              agreement.value());
+  std::printf("Spearman(link-based Q, true quality)      = %.3f\n",
+              link_truth.value());
+  std::printf("Spearman(traffic-based Q, true quality)   = %.3f\n",
+              traffic_truth.value());
+  std::printf(
+      "\nBoth estimators rank pages consistently (Proposition 1 ties\n"
+      "visits to popularity); the traffic variant is noisier because\n"
+      "interval visit counts are a sampled, not structural, signal —\n"
+      "the comparison the paper proposes as future work.\n");
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,96 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace qrank {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty() || body[0] == '-') {
+      status_ = Status::InvalidArgument("malformed flag: " + arg);
+      continue;
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // --name value, unless the next token is itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  std::string fallback) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  used_[name] = true;
+  return it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t fallback) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  used_[name] = true;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    status_ = Status::InvalidArgument("flag --" + name +
+                                      " expects an integer, got '" +
+                                      it->second + "'");
+    return fallback;
+  }
+  return static_cast<int64_t>(v);
+}
+
+double FlagParser::GetDouble(const std::string& name, double fallback) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  used_[name] = true;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    status_ = Status::InvalidArgument("flag --" + name +
+                                      " expects a number, got '" +
+                                      it->second + "'");
+    return fallback;
+  }
+  return v;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool fallback) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  used_[name] = true;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  status_ = Status::InvalidArgument("flag --" + name +
+                                    " expects a boolean, got '" + v + "'");
+  return fallback;
+}
+
+std::vector<std::string> FlagParser::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (used_.count(name) == 0) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace qrank

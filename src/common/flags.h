@@ -1,0 +1,51 @@
+// Minimal command-line flag parsing for the bench and example binaries
+// (--name=value or --name value). Deliberately tiny: typed getters with
+// defaults, unknown-flag detection, no registration step.
+
+#ifndef QRANK_COMMON_FLAGS_H_
+#define QRANK_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qrank {
+
+class FlagParser {
+ public:
+  /// Parses argv. Flags look like --name=value or --name value; a flag
+  /// without a value is treated as boolean "true". Non-flag arguments
+  /// are collected as positional. Malformed input (e.g. "---x") sets a
+  /// parse error retrievable via status().
+  FlagParser(int argc, const char* const* argv);
+
+  const Status& status() const { return status_; }
+
+  bool Has(const std::string& name) const;
+
+  /// Typed getters; return `fallback` when the flag is absent, and set
+  /// a sticky error status when present but unparsable.
+  std::string GetString(const std::string& name, std::string fallback);
+  int64_t GetInt(const std::string& name, int64_t fallback);
+  double GetDouble(const std::string& name, double fallback);
+  bool GetBool(const std::string& name, bool fallback);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags present on the command line that were never queried by any
+  /// getter — typically typos. Call after all getters.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+  Status status_;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_COMMON_FLAGS_H_

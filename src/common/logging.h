@@ -1,0 +1,75 @@
+// Minimal leveled logger plus invariant-check macros.
+//
+// Logging is for operational visibility (benchmark progress, warnings about
+// degenerate inputs); it never replaces Status-based error returns.
+// QRANK_CHECK aborts on violated internal invariants (programmer error),
+// never on bad user input.
+
+#ifndef QRANK_COMMON_LOGGING_H_
+#define QRANK_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace qrank {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+bool LogLevelEnabled(LogLevel level);
+
+}  // namespace internal
+
+#define QRANK_LOG_AT(level)                                     \
+  if (!::qrank::internal::LogLevelEnabled(level)) {             \
+  } else                                                        \
+    ::qrank::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define QRANK_LOG_DEBUG QRANK_LOG_AT(::qrank::LogLevel::kDebug)
+#define QRANK_LOG_INFO QRANK_LOG_AT(::qrank::LogLevel::kInfo)
+#define QRANK_LOG_WARN QRANK_LOG_AT(::qrank::LogLevel::kWarn)
+#define QRANK_LOG_ERROR QRANK_LOG_AT(::qrank::LogLevel::kError)
+
+// Invariant check: always on (also in release), aborts with location.
+#define QRANK_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::cerr << "QRANK_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " #cond << std::endl;                                \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define QRANK_DCHECK(cond) assert(cond)
+
+}  // namespace qrank
+
+#endif  // QRANK_COMMON_LOGGING_H_

@@ -1,0 +1,229 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qrank {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64Next(&sm);
+  // xoshiro must not start in the all-zero state; SplitMix64 cannot emit
+  // four consecutive zeros, so this is already guaranteed, but be safe.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformUint64(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(UniformUint64(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0.0);
+  return -std::log(1.0 - UniformDouble()) / lambda;
+}
+
+double Rng::Pareto(double xmin, double alpha) {
+  assert(xmin > 0.0 && alpha > 0.0);
+  return xmin / std::pow(1.0 - UniformDouble(), 1.0 / alpha);
+}
+
+double Rng::Gamma(double k, double theta) {
+  assert(k > 0.0 && theta > 0.0);
+  // Marsaglia-Tsang; boost k < 1 via the U^(1/k) trick.
+  if (k < 1.0) {
+    double u = 1.0 - UniformDouble();  // (0, 1]
+    return Gamma(k + 1.0, theta) * std::pow(u, 1.0 / k);
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = Normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = 1.0 - UniformDouble();  // (0, 1]
+    if (std::log(u) < 0.5 * x * x + d - d * v + d * std::log(v)) {
+      return d * v * theta;
+    }
+  }
+}
+
+double Rng::Beta(double a, double b) {
+  assert(a > 0.0 && b > 0.0);
+  double x = Gamma(a, 1.0);
+  double y = Gamma(b, 1.0);
+  double sum = x + y;
+  if (sum <= 0.0) return 0.5;  // numerically degenerate; both ~0
+  return x / sum;
+}
+
+uint64_t Rng::Poisson(double lambda) {
+  assert(lambda >= 0.0);
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-lambda);
+    uint64_t k = 0;
+    double prod = UniformDouble();
+    while (prod > limit) {
+      ++k;
+      prod *= UniformDouble();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // simulator's aggregate arrival counts (error O(1/sqrt(lambda))).
+  double x = Normal(lambda, std::sqrt(lambda));
+  if (x < 0.0) return 0;
+  return static_cast<uint64_t>(x + 0.5);
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return 0;
+  double target = UniformDouble() * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0.0) {
+      cum += weights[i];
+      if (target < cum) return i;
+    }
+  }
+  return weights.size() - 1;  // floating-point slack on the last bucket
+}
+
+Rng Rng::Split() {
+  // Derive a child seed from two outputs; streams are independent for
+  // practical purposes (distinct SplitMix64 expansions).
+  uint64_t a = NextUint64();
+  uint64_t b = NextUint64();
+  return Rng(a ^ Rotl(b, 32) ^ 0x6a09e667f3bcc909ULL);
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  prob_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  if (n == 0) return;
+
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+
+  std::vector<double> scaled(n, 1.0);
+  if (total > 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      scaled[i] = (weights[i] > 0.0 ? weights[i] : 0.0) * n / total;
+    }
+  }
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining entries have probability 1 (already initialized).
+  for (uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+size_t AliasTable::Sample(Rng* rng) const {
+  assert(!prob_.empty());
+  size_t i = static_cast<size_t>(rng->UniformUint64(prob_.size()));
+  return rng->UniformDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace qrank

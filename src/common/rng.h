@@ -1,0 +1,119 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All stochastic components of qrank (graph generators, the web-evolution
+// simulator, noise injection) draw from Rng instances created from an
+// explicit 64-bit seed, so every experiment is exactly reproducible.
+//
+// Rng is xoshiro256**; seeds are expanded with SplitMix64 as recommended
+// by its authors. Rng::Split() derives an independent stream, which lets
+// each simulated entity (user, page, process) own a private generator:
+// adding a new consumer of randomness does not perturb the draws seen by
+// existing ones.
+
+#ifndef QRANK_COMMON_RNG_H_
+#define QRANK_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qrank {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seed expansion and stream derivation.
+uint64_t SplitMix64Next(uint64_t* state);
+
+/// Deterministic xoshiro256** generator with helper distributions.
+class Rng {
+ public:
+  /// Seeds the generator; any seed (including 0) is valid.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit output.
+  uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller (no state caching; two uniforms/draw).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with rate `lambda` > 0.
+  double Exponential(double lambda);
+
+  /// Pareto (power-law) with scale xmin > 0 and shape alpha > 0:
+  /// P(X > x) = (xmin/x)^alpha for x >= xmin.
+  double Pareto(double xmin, double alpha);
+
+  /// Beta(a, b) via Johnk/gamma method. Requires a > 0, b > 0.
+  double Beta(double a, double b);
+
+  /// Gamma(shape k > 0, scale theta > 0), Marsaglia-Tsang method.
+  double Gamma(double k, double theta);
+
+  /// Poisson with mean `lambda` >= 0 (Knuth for small, PTRS-style normal
+  /// approximation with rounding for large lambda).
+  uint64_t Poisson(double lambda);
+
+  /// Index in [0, weights.size()) drawn proportionally to `weights`.
+  /// Non-positive weights are treated as zero. Returns 0 if all weights
+  /// are zero. Linear scan; use AliasTable for hot loops.
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformUint64(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent generator. Deterministic: the i-th Split()
+  /// of an Rng seeded with s always yields the same stream.
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// O(1) sampling from a fixed discrete distribution (Vose alias method).
+///
+/// Build once from weights, then Sample() costs one uniform draw and one
+/// table lookup. Used on the simulator's per-visit hot path.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table. Non-positive weights are treated as zero; if all
+  /// weights are zero the distribution is uniform over all indices.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Number of outcomes (0 for a default-constructed table).
+  size_t size() const { return prob_.size(); }
+
+  /// Draws an index in [0, size()). Requires size() > 0.
+  size_t Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_COMMON_RNG_H_

@@ -1,0 +1,259 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+namespace qrank {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Result<double> Quantile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return Status::InvalidArgument("Quantile of empty sample");
+  }
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("quantile must be in [0, 1]");
+  }
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t i = static_cast<size_t>(pos);
+  if (i >= values.size() - 1) return values.back();
+  double frac = pos - static_cast<double>(i);
+  return values[i] + frac * (values[i + 1] - values[i]);
+}
+
+Result<double> Mean(const std::vector<double>& values) {
+  if (values.empty()) return Status::InvalidArgument("Mean of empty sample");
+  double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  return sum / static_cast<double>(values.size());
+}
+
+Histogram::Histogram(size_t num_bins, double lo, double hi) : lo_(lo) {
+  if (num_bins < 1) num_bins = 1;
+  if (hi <= lo) hi = lo + 1.0;
+  width_ = (hi - lo) / static_cast<double>(num_bins);
+  counts_.assign(num_bins + 1, 0);
+}
+
+size_t Histogram::BinIndex(double x) const {
+  if (x < lo_) return 0;
+  double offset = (x - lo_) / width_;
+  size_t num_regular = counts_.size() - 1;
+  if (offset >= static_cast<double>(num_regular)) return num_regular;
+  return static_cast<size_t>(offset);
+}
+
+void Histogram::Add(double x) {
+  ++counts_[BinIndex(x)];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+double Histogram::Fraction(size_t i) const {
+  if (total_ == 0 || i >= counts_.size()) return 0.0;
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+double Histogram::BinLower(size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::BinUpper(size_t i) const {
+  if (i >= num_bins()) return std::numeric_limits<double>::infinity();
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::CumulativeFractionBelow(double x) const {
+  if (total_ == 0) return 0.0;
+  uint64_t below = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (BinUpper(i) <= x) below += counts_[i];
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToAscii(const std::string& label,
+                               size_t bar_width) const {
+  std::ostringstream out;
+  out << label << " (n=" << total_ << ")\n";
+  double max_frac = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    max_frac = std::max(max_frac, Fraction(i));
+  }
+  char buf[96];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i < num_bins()) {
+      std::snprintf(buf, sizeof(buf), "[%5.2f,%5.2f) ", BinLower(i),
+                    BinUpper(i));
+    } else {
+      std::snprintf(buf, sizeof(buf), "[%5.2f,  inf) ", BinLower(i));
+    }
+    out << buf;
+    double frac = Fraction(i);
+    size_t bars =
+        max_frac > 0.0
+            ? static_cast<size_t>(frac / max_frac *
+                                  static_cast<double>(bar_width) + 0.5)
+            : 0;
+    out << std::string(bars, '#');
+    std::snprintf(buf, sizeof(buf), " %6.2f%%\n", frac * 100.0);
+    out << buf;
+  }
+  return out.str();
+}
+
+std::vector<double> FractionalRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // 1-based average rank for the tie group [i, j].
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<double> PearsonCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("correlation inputs differ in size");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("correlation needs >= 2 pairs");
+  }
+  const double n = static_cast<double>(a.size());
+  double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
+  double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = a[i] - ma;
+    double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) {
+    return Status::FailedPrecondition("constant input to correlation");
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+Result<double> SpearmanCorrelation(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("correlation inputs differ in size");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("correlation needs >= 2 pairs");
+  }
+  return PearsonCorrelation(FractionalRanks(a), FractionalRanks(b));
+}
+
+Result<double> KendallTau(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("correlation inputs differ in size");
+  }
+  const size_t n = a.size();
+  if (n < 2) return Status::InvalidArgument("correlation needs >= 2 pairs");
+  int64_t concordant = 0, discordant = 0, ties_a = 0, ties_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double da = a[i] - a[j];
+      double db = b[i] - b[j];
+      if (da == 0.0 && db == 0.0) {
+        ++ties_a;
+        ++ties_b;
+      } else if (da == 0.0) {
+        ++ties_a;
+      } else if (db == 0.0) {
+        ++ties_b;
+      } else if ((da > 0.0) == (db > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  double n0 = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  double denom = std::sqrt((n0 - static_cast<double>(ties_a)) *
+                           (n0 - static_cast<double>(ties_b)));
+  if (denom <= 0.0) {
+    return Status::FailedPrecondition("constant input to correlation");
+  }
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+Result<PowerLawFit> FitPowerLaw(const std::vector<double>& x,
+                                const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("power-law fit inputs differ in size");
+  }
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  if (lx.size() < 2) {
+    return Status::InvalidArgument("power-law fit needs >= 2 positive pairs");
+  }
+  const double n = static_cast<double>(lx.size());
+  double mx = std::accumulate(lx.begin(), lx.end(), 0.0) / n;
+  double my = std::accumulate(ly.begin(), ly.end(), 0.0) / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < lx.size(); ++i) {
+    double dx = lx[i] - mx;
+    double dy = ly[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {
+    return Status::FailedPrecondition("degenerate x in power-law fit");
+  }
+  PowerLawFit fit;
+  fit.exponent = sxy / sxx;
+  fit.intercept = my - fit.exponent * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  fit.points_used = lx.size();
+  return fit;
+}
+
+}  // namespace qrank

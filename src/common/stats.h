@@ -1,0 +1,124 @@
+// Summary statistics, histograms and rank-correlation measures used by
+// the evaluation harness (Section 8 of the paper) and the benchmarks.
+
+#ifndef QRANK_COMMON_STATS_H_
+#define QRANK_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qrank {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when count < 2).
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of `values` (linear interpolation between order
+/// statistics). `q` in [0, 1]. Copies and sorts; fine for evaluation-size
+/// data. Returns InvalidArgument for empty input or q outside [0, 1].
+Result<double> Quantile(std::vector<double> values, double q);
+
+/// Arithmetic mean; InvalidArgument on empty input.
+Result<double> Mean(const std::vector<double>& values);
+
+/// Fixed-width histogram over [lo, hi) with an overflow bin, mirroring
+/// Figure 5 of the paper ("when the error was larger than 1, we put them
+/// into the last bin").
+///
+/// With num_bins = 10, lo = 0, hi = 1: bins are [0,0.1), [0.1,0.2), ...,
+/// [0.9,1.0), plus the final bin holding everything >= 1.0. Values below
+/// `lo` clamp into the first bin.
+class Histogram {
+ public:
+  /// Requires num_bins >= 1 and lo < hi.
+  Histogram(size_t num_bins, double lo, double hi);
+
+  void Add(double x);
+  void AddAll(const std::vector<double>& xs);
+
+  /// Number of regular bins (excludes the overflow bin).
+  size_t num_bins() const { return counts_.size() - 1; }
+  /// counts()[num_bins()] is the overflow bin.
+  const std::vector<uint64_t>& counts() const { return counts_; }
+  uint64_t total() const { return total_; }
+
+  /// Fraction of samples in bin `i` (0 when empty). `i` may address the
+  /// overflow bin (i == num_bins()).
+  double Fraction(size_t i) const;
+
+  /// Inclusive lower edge of bin `i`.
+  double BinLower(size_t i) const;
+  /// Exclusive upper edge of bin `i` (infinity for the overflow bin).
+  double BinUpper(size_t i) const;
+
+  /// Fraction of samples with value < x (bin-resolution, not interpolated).
+  double CumulativeFractionBelow(double x) const;
+
+  /// Multi-line ASCII rendering with one row per bin and a bar whose
+  /// length is proportional to the bin fraction. `label` titles the chart.
+  std::string ToAscii(const std::string& label, size_t bar_width = 50) const;
+
+ private:
+  size_t BinIndex(double x) const;
+
+  double lo_;
+  double width_;
+  std::vector<uint64_t> counts_;  // num_bins + 1 (overflow)
+  uint64_t total_ = 0;
+};
+
+/// Spearman rank correlation of paired samples. Tied values receive the
+/// average of their rank range. Returns InvalidArgument when sizes differ
+/// or fewer than 2 pairs, FailedPrecondition when either side is constant.
+Result<double> SpearmanCorrelation(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+/// Kendall tau-b of paired samples (O(n^2); evaluation-size inputs only).
+Result<double> KendallTau(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Pearson linear correlation.
+Result<double> PearsonCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+/// Fractional ranks of `values` (1-based, ties averaged), as used by
+/// SpearmanCorrelation.
+std::vector<double> FractionalRanks(const std::vector<double>& values);
+
+/// Least-squares fit of log(y) = intercept + slope * log(x) over pairs with
+/// x > 0 and y > 0; used for power-law degree-distribution fits
+/// (the paper cites [3, 6] for in/out-degree power laws).
+struct PowerLawFit {
+  double exponent = 0.0;   // slope of the log-log fit
+  double intercept = 0.0;  // log-space intercept
+  double r_squared = 0.0;
+  size_t points_used = 0;
+};
+Result<PowerLawFit> FitPowerLaw(const std::vector<double>& x,
+                                const std::vector<double>& y);
+
+}  // namespace qrank
+
+#endif  // QRANK_COMMON_STATS_H_

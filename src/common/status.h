@@ -1,0 +1,166 @@
+// Status and Result<T>: exception-free error propagation for qrank.
+//
+// Every fallible public API in qrank returns either a Status (no payload)
+// or a Result<T> (payload or error), following the RocksDB/Arrow idiom.
+// Exceptions never cross a qrank library boundary.
+
+#ifndef QRANK_COMMON_STATUS_H_
+#define QRANK_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace qrank {
+
+/// Machine-inspectable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kIOError = 6,
+  kCorruption = 7,
+  kNotConverged = 8,
+  kNotSupported = 9,
+  kInternal = 10,
+};
+
+/// Returns a stable human-readable name for a StatusCode (e.g. "NotFound").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is only allocated on the error path).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or the Status explaining why it is absent.
+///
+/// Usage:
+///   Result<CsrGraph> r = CsrGraph::FromEdges(...);
+///   if (!r.ok()) return r.status();
+///   CsrGraph g = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::NotFound(...);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Asserts in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds.
+};
+
+// Propagate a non-OK Status from an expression to the caller.
+#define QRANK_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::qrank::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+// Bind `lhs` to the value of a Result expression, or propagate its error.
+#define QRANK_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  QRANK_ASSIGN_OR_RETURN_IMPL_(                     \
+      QRANK_STATUS_CONCAT_(_qrank_result_, __LINE__), lhs, rexpr)
+
+#define QRANK_STATUS_CONCAT_INNER_(x, y) x##y
+#define QRANK_STATUS_CONCAT_(x, y) QRANK_STATUS_CONCAT_INNER_(x, y)
+#define QRANK_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) return result.status();              \
+  lhs = std::move(result).value()
+
+}  // namespace qrank
+
+#endif  // QRANK_COMMON_STATUS_H_

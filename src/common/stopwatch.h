@@ -1,0 +1,30 @@
+// Monotonic wall-clock stopwatch for coarse timing in examples and logs.
+// (google-benchmark owns all reported performance numbers.)
+
+#ifndef QRANK_COMMON_STOPWATCH_H_
+#define QRANK_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace qrank {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_COMMON_STOPWATCH_H_

@@ -1,0 +1,107 @@
+#include "common/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace qrank {
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TableWriter::AddNumericRow(const std::vector<double>& row,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(FormatDouble(v, precision));
+  AddRow(std::move(cells));
+}
+
+std::string TableWriter::FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  std::string s(buf);
+  // Trim trailing zeros but keep at least one digit after the point.
+  if (s.find('.') != std::string::npos) {
+    size_t last = s.find_last_not_of('0');
+    if (s[last] == '.') ++last;
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+void TableWriter::RenderAscii(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string TableWriter::ToAscii() const {
+  std::ostringstream out;
+  RenderAscii(out);
+  return out.str();
+}
+
+namespace {
+void EmitCsvCell(std::ostream& out, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    out << cell;
+    return;
+  }
+  out << '"';
+  for (char ch : cell) {
+    if (ch == '"') out << '"';
+    out << ch;
+  }
+  out << '"';
+}
+
+void EmitCsvRow(std::ostream& out, const std::vector<std::string>& row) {
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (c > 0) out << ',';
+    EmitCsvCell(out, row[c]);
+  }
+  out << "\n";
+}
+}  // namespace
+
+void TableWriter::RenderCsv(std::ostream& out) const {
+  EmitCsvRow(out, header_);
+  for (const auto& row : rows_) EmitCsvRow(out, row);
+}
+
+Status TableWriter::WriteCsvFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  RenderCsv(f);
+  f.flush();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace qrank

@@ -1,0 +1,53 @@
+// Aligned console tables and CSV emission for benchmark/experiment output.
+//
+// Every bench binary reports its figure/table through a TableWriter so the
+// regenerated rows and series are uniform and machine-parseable.
+
+#ifndef QRANK_COMMON_TABLE_WRITER_H_
+#define QRANK_COMMON_TABLE_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qrank {
+
+/// Collects rows of stringly-typed cells and renders them either as an
+/// aligned ASCII table (for the console) or as CSV (for plotting).
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  /// Extra cells are dropped and missing cells filled with "" (with a
+  /// warning-free best effort — callers should pass matching widths).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  void AddNumericRow(const std::vector<double>& row, int precision = 6);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return header_.size(); }
+
+  /// Renders an aligned table with a header rule.
+  void RenderAscii(std::ostream& out) const;
+  std::string ToAscii() const;
+
+  /// RFC-4180-ish CSV (cells containing comma/quote/newline are quoted).
+  void RenderCsv(std::ostream& out) const;
+  Status WriteCsvFile(const std::string& path) const;
+
+  /// Formats a double like the paper's figures (fixed, trimmed zeros).
+  static std::string FormatDouble(double v, int precision = 6);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_COMMON_TABLE_WRITER_H_

@@ -1,0 +1,114 @@
+#include "core/adaptive_window_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace qrank {
+
+Result<AdaptiveWindowEstimate> EstimateQualityAdaptiveWindow(
+    const std::vector<std::vector<double>>& pagerank_observations,
+    const AdaptiveWindowOptions& options) {
+  if (pagerank_observations.size() < 2) {
+    return Status::InvalidArgument("need at least 2 PageRank observations");
+  }
+  if (options.min_window < 1 || options.max_window < options.min_window) {
+    return Status::InvalidArgument(
+        "need 1 <= min_window <= max_window");
+  }
+  const size_t n = pagerank_observations.front().size();
+  if (n == 0) return Status::InvalidArgument("empty PageRank observation");
+  for (const auto& obs : pagerank_observations) {
+    if (obs.size() != n) {
+      return Status::InvalidArgument("observation sizes differ");
+    }
+    for (double v : obs) {
+      if (!(v > 0.0) || !std::isfinite(v)) {
+        return Status::InvalidArgument(
+            "PageRank observations must be strictly positive and finite");
+      }
+    }
+  }
+
+  const size_t k = pagerank_observations.size();
+  const uint32_t max_window =
+      std::min<uint32_t>(options.max_window, static_cast<uint32_t>(k - 1));
+  const uint32_t min_window = std::min(options.min_window, max_window);
+  const std::vector<double>& last = pagerank_observations.back();
+
+  // Per-page window from the PageRank percentile: low percentile (small
+  // PageRank, noisy) -> long window; high percentile -> short window.
+  std::vector<double> percentile = FractionalRanks(last);
+  for (double& r : percentile) {
+    r = (r - 1.0) / static_cast<double>(n > 1 ? n - 1 : 1);
+  }
+
+  AdaptiveWindowEstimate result;
+  result.window.resize(n);
+  result.base.quality.resize(n);
+  result.base.trend.resize(n);
+  result.base.relative_increase.assign(n, 0.0);
+
+  for (size_t p = 0; p < n; ++p) {
+    // Log-linear interpolation of the window across percentiles.
+    double span = static_cast<double>(max_window) /
+                  static_cast<double>(min_window);
+    double w_real = static_cast<double>(max_window) /
+                    std::pow(span, percentile[p]);
+    uint32_t w = static_cast<uint32_t>(std::lround(w_real));
+    w = std::clamp(w, min_window, max_window);
+    result.window[p] = w;
+
+    const size_t first_idx = k - 1 - w;
+    double first = pagerank_observations[first_idx][p];
+    bool rising = true, falling = true;
+    for (size_t i = first_idx + 1; i < k; ++i) {
+      double prev = pagerank_observations[i - 1][p];
+      double cur = pagerank_observations[i][p];
+      rising &= cur > prev;
+      falling &= cur < prev;
+    }
+    double rel_change = (last[p] - first) / first;
+
+    PageTrend trend;
+    if (std::fabs(rel_change) < options.base.min_relative_change) {
+      trend = PageTrend::kStable;
+    } else if (rising) {
+      trend = PageTrend::kRising;
+    } else if (falling) {
+      trend = PageTrend::kFalling;
+    } else {
+      trend = PageTrend::kOscillating;
+    }
+    result.base.trend[p] = trend;
+
+    double quality;
+    if (trend == PageTrend::kRising || trend == PageTrend::kFalling) {
+      result.base.relative_increase[p] = rel_change;
+      quality = options.base.relative_increase_weight * rel_change + last[p];
+    } else {
+      quality = last[p];
+    }
+    if (options.base.clamp_negative && quality < 0.0) quality = 0.0;
+    result.base.quality[p] = quality;
+
+    switch (trend) {
+      case PageTrend::kRising:
+        ++result.base.num_rising;
+        break;
+      case PageTrend::kFalling:
+        ++result.base.num_falling;
+        break;
+      case PageTrend::kOscillating:
+        ++result.base.num_oscillating;
+        break;
+      case PageTrend::kStable:
+        ++result.base.num_stable;
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace qrank

@@ -1,0 +1,57 @@
+// Adaptive-window quality estimation — the Section 9.1 "Statistical
+// Noise" remedy, implemented.
+//
+// "When we are measuring the rare event of a page with low popularity
+// receiving a new link, there is the potential that noise could cause
+// such a page to be promoted prematurely. … for low-PageRank pages, we
+// may want to compute the PageRank increase over a longer period than
+// high-PageRank pages in order to reduce the impact of noise."
+//
+// Given a series of k >= 3 PageRank observations, this estimator picks
+// a per-page baseline snapshot: high-PageRank pages (strong signal) use
+// a short, recent window; low-PageRank pages (Poisson noise comparable
+// to their signal) use the longest available window. The window length
+// interpolates log-linearly between `min_window` and `max_window`
+// observations across the PageRank distribution's quantiles, then
+// Equation 1 runs per page on (PR[last - w], ..., PR[last]) with the
+// same trend rules as the fixed-window estimator.
+
+#ifndef QRANK_CORE_ADAPTIVE_WINDOW_ESTIMATOR_H_
+#define QRANK_CORE_ADAPTIVE_WINDOW_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quality_estimator.h"
+
+namespace qrank {
+
+struct AdaptiveWindowOptions {
+  QualityEstimatorOptions base;
+
+  /// Window (in snapshots back from the latest) used by the
+  /// highest-PageRank pages. Must be >= 1.
+  uint32_t min_window = 1;
+
+  /// Window used by the lowest-PageRank pages. Must be >= min_window;
+  /// capped at (num observations - 1).
+  uint32_t max_window = 8;
+};
+
+struct AdaptiveWindowEstimate {
+  QualityEstimate base;
+  /// Chosen window length per page (snapshots back from the latest).
+  std::vector<uint32_t> window;
+};
+
+/// Same input contract as EstimateQuality (>= 2 observation vectors of
+/// equal size, strictly positive), but uses a per-page window. With
+/// min_window == max_window it reduces exactly to the fixed-window
+/// estimator over that window.
+Result<AdaptiveWindowEstimate> EstimateQualityAdaptiveWindow(
+    const std::vector<std::vector<double>>& pagerank_observations,
+    const AdaptiveWindowOptions& options = {});
+
+}  // namespace qrank
+
+#endif  // QRANK_CORE_ADAPTIVE_WINDOW_ESTIMATOR_H_

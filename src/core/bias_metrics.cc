@@ -1,0 +1,124 @@
+#include "core/bias_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace qrank {
+
+Result<double> GiniCoefficient(std::vector<double> values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("Gini of empty sample");
+  }
+  for (double v : values) {
+    if (v < 0.0 || !std::isfinite(v)) {
+      return Status::InvalidArgument("Gini requires non-negative values");
+    }
+  }
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double total = 0.0, weighted = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    total += values[i];
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  if (total <= 0.0) return 0.0;
+  // G = (2 * sum(i * x_i) - (n + 1) * sum(x)) / (n * sum(x)).
+  return (2.0 * weighted - (n + 1.0) * total) / (n * total);
+}
+
+Result<double> TopShare(std::vector<double> values, size_t k) {
+  if (values.empty() || k < 1 || k > values.size()) {
+    return Status::InvalidArgument("TopShare needs 1 <= k <= size");
+  }
+  for (double v : values) {
+    if (v < 0.0 || !std::isfinite(v)) {
+      return Status::InvalidArgument("TopShare requires non-negative values");
+    }
+  }
+  std::sort(values.begin(), values.end(), std::greater<double>());
+  double total = std::accumulate(values.begin(), values.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  double top = std::accumulate(values.begin(),
+                               values.begin() + static_cast<long>(k), 0.0);
+  return top / total;
+}
+
+Result<std::vector<double>> LorenzCurve(std::vector<double> values,
+                                        size_t num_points) {
+  if (values.empty()) {
+    return Status::InvalidArgument("Lorenz curve of empty sample");
+  }
+  if (num_points < 1) {
+    return Status::InvalidArgument("num_points must be >= 1");
+  }
+  for (double v : values) {
+    if (v < 0.0 || !std::isfinite(v)) {
+      return Status::InvalidArgument("Lorenz requires non-negative values");
+    }
+  }
+  std::sort(values.begin(), values.end());
+  double total = std::accumulate(values.begin(), values.end(), 0.0);
+  std::vector<double> curve;
+  curve.reserve(num_points + 1);
+  curve.push_back(0.0);
+  if (total <= 0.0) {
+    for (size_t i = 1; i <= num_points; ++i) {
+      curve.push_back(static_cast<double>(i) / static_cast<double>(num_points));
+    }
+    return curve;
+  }
+  // Prefix sums at quantile boundaries.
+  double cum = 0.0;
+  size_t idx = 0;
+  for (size_t i = 1; i <= num_points; ++i) {
+    size_t boundary = values.size() * i / num_points;
+    while (idx < boundary) cum += values[idx++];
+    curve.push_back(cum / total);
+  }
+  return curve;
+}
+
+void DiscoveryTracker::Watch(NodeId page, double birth_time) {
+  watched_.push_back(Watched{page, birth_time});
+}
+
+void DiscoveryTracker::Observe(double now,
+                               const std::vector<double>& attention) {
+  for (Watched& w : watched_) {
+    if (!std::isnan(w.latency)) continue;
+    double value = w.page < attention.size() ? attention[w.page] : 0.0;
+    if (value >= threshold_) {
+      w.latency = now - w.birth_time;
+      ++num_discovered_;
+    }
+  }
+}
+
+std::vector<double> DiscoveryTracker::DiscoveredLatencies() const {
+  std::vector<double> out;
+  out.reserve(num_discovered_);
+  for (const Watched& w : watched_) {
+    if (!std::isnan(w.latency)) out.push_back(w.latency);
+  }
+  return out;
+}
+
+Result<double> DiscoveryTracker::MeanLatency(double censored_latency) const {
+  if (watched_.empty()) {
+    return Status::FailedPrecondition("no pages watched");
+  }
+  double sum = 0.0;
+  for (const Watched& w : watched_) {
+    sum += std::isnan(w.latency) ? censored_latency : w.latency;
+  }
+  return sum / static_cast<double>(watched_.size());
+}
+
+double DiscoveryTracker::DiscoveredFraction() const {
+  if (watched_.empty()) return 0.0;
+  return static_cast<double>(num_discovered_) /
+         static_cast<double>(watched_.size());
+}
+
+}  // namespace qrank

@@ -1,0 +1,83 @@
+// Attention-inequality metrics for the "rich-get-richer" analysis.
+//
+// Section 1 of the paper argues that popularity-based ranking
+// concentrates user attention on already-popular pages and starves new
+// high-quality pages; Section 9 claims a quality-based ranking "can
+// identify these high-quality pages much earlier … and shorten the
+// time it takes for new pages to get noticed". These metrics quantify
+// both halves: Gini / Lorenz / top-share measure attention
+// concentration, and DiscoveryTracker measures how long newborn pages
+// take to get noticed under a given ranking regime.
+
+#ifndef QRANK_CORE_BIAS_METRICS_H_
+#define QRANK_CORE_BIAS_METRICS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/edge_list.h"
+
+namespace qrank {
+
+/// Gini coefficient of a non-negative sample (0 = perfectly equal
+/// attention, 1 = all attention on one page). InvalidArgument on empty
+/// input or negative values; 0 when the total is zero.
+Result<double> GiniCoefficient(std::vector<double> values);
+
+/// Fraction of the total held by the top `k` values.
+/// Requires 1 <= k <= values.size().
+Result<double> TopShare(std::vector<double> values, size_t k);
+
+/// Points of the Lorenz curve at `num_points` evenly spaced population
+/// quantiles (cumulative share of the total held by the bottom q
+/// fraction). Returns num_points + 1 values from 0 to 1.
+Result<std::vector<double>> LorenzCurve(std::vector<double> values,
+                                        size_t num_points);
+
+/// Tracks when pages cross an attention threshold ("get noticed").
+///
+/// Usage: register pages with Watch(page, birth_time), then call
+/// Observe(now, attention_per_page) periodically; the first observation
+/// at which a page's attention reaches `threshold` records its
+/// discovery latency (time since birth).
+class DiscoveryTracker {
+ public:
+  explicit DiscoveryTracker(double threshold) : threshold_(threshold) {}
+
+  void Watch(NodeId page, double birth_time);
+
+  /// `attention` is indexed by page id (e.g. awareness, likes or visit
+  /// counts); pages beyond its size are treated as zero.
+  void Observe(double now, const std::vector<double>& attention);
+
+  size_t num_watched() const { return watched_.size(); }
+  size_t num_discovered() const { return num_discovered_; }
+
+  /// Discovery latencies (time from birth to threshold) of discovered
+  /// pages only.
+  std::vector<double> DiscoveredLatencies() const;
+
+  /// Mean latency counting undiscovered pages as `censored_latency`
+  /// (e.g. the observation horizon); FailedPrecondition if nothing is
+  /// watched.
+  Result<double> MeanLatency(double censored_latency) const;
+
+  /// Fraction of watched pages discovered so far.
+  double DiscoveredFraction() const;
+
+ private:
+  struct Watched {
+    NodeId page;
+    double birth_time;
+    double latency = std::numeric_limits<double>::quiet_NaN();  // undiscovered
+  };
+  double threshold_;
+  std::vector<Watched> watched_;
+  size_t num_discovered_ = 0;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_CORE_BIAS_METRICS_H_

@@ -1,0 +1,163 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "rank/rank_vector.h"
+
+namespace qrank {
+
+namespace {
+
+PredictorAccuracy BuildAccuracy(const std::vector<double>& errors,
+                                const EvaluationOptions& options) {
+  PredictorAccuracy acc;
+  acc.error_histogram =
+      Histogram(options.histogram_bins, 0.0, options.histogram_max);
+  acc.error_histogram.AddAll(errors);
+  if (!errors.empty()) {
+    acc.mean_error = Mean(errors).value();
+    acc.median_error = Quantile(errors, 0.5).value();
+    uint64_t below = 0, above = 0;
+    for (double e : errors) {
+      if (e < 0.1) ++below;
+      if (e > 1.0) ++above;
+    }
+    acc.fraction_below_0_1 =
+        static_cast<double>(below) / static_cast<double>(errors.size());
+    acc.fraction_above_1 =
+        static_cast<double>(above) / static_cast<double>(errors.size());
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<PredictionComparison> CompareFuturePrediction(
+    const QualityEstimate& estimate, const std::vector<double>& current_pr,
+    const std::vector<double>& future_pr, const EvaluationOptions& options) {
+  const size_t n = estimate.quality.size();
+  if (current_pr.size() != n || future_pr.size() != n) {
+    return Status::InvalidArgument("score vector sizes differ");
+  }
+  if (options.histogram_bins < 1) {
+    return Status::InvalidArgument("histogram_bins must be >= 1");
+  }
+  if (!(options.histogram_max > 0.0)) {
+    return Status::InvalidArgument("histogram_max must be positive");
+  }
+
+  PredictionComparison cmp;
+  std::vector<double> err_quality, err_pagerank;
+  err_quality.reserve(n);
+  err_pagerank.reserve(n);
+
+  for (size_t p = 0; p < n; ++p) {
+    if (options.exclude_stable_pages &&
+        estimate.trend[p] == PageTrend::kStable) {
+      ++cmp.pages_excluded_stable;
+      continue;
+    }
+    double future = future_pr[p];
+    if (!(future > 0.0)) {
+      ++cmp.pages_excluded_zero_future;
+      continue;
+    }
+    err_quality.push_back(std::fabs((future - estimate.quality[p]) / future));
+    err_pagerank.push_back(std::fabs((future - current_pr[p]) / future));
+  }
+
+  cmp.pages_evaluated = err_quality.size();
+  if (cmp.pages_evaluated == 0) {
+    return Status::FailedPrecondition("no pages left to evaluate");
+  }
+  cmp.quality = BuildAccuracy(err_quality, options);
+  cmp.pagerank = BuildAccuracy(err_pagerank, options);
+  cmp.improvement_factor =
+      cmp.quality.mean_error > 0.0
+          ? cmp.pagerank.mean_error / cmp.quality.mean_error
+          : std::numeric_limits<double>::infinity();
+  return cmp;
+}
+
+Result<TruthEvaluation> EvaluateAgainstTruth(
+    const std::vector<double>& quality_estimate,
+    const std::vector<double>& current_pr,
+    const std::vector<double>& true_quality, uint64_t top_k) {
+  const size_t n = quality_estimate.size();
+  if (current_pr.size() != n || true_quality.size() != n) {
+    return Status::InvalidArgument("score vector sizes differ");
+  }
+  if (n < 2) return Status::InvalidArgument("need >= 2 pages");
+  if (top_k == 0 || top_k > n) {
+    return Status::InvalidArgument("top_k must be in [1, num_pages]");
+  }
+
+  TruthEvaluation eval;
+  eval.top_k = top_k;
+  eval.pages_evaluated = n;
+
+  QRANK_ASSIGN_OR_RETURN(eval.spearman_quality_estimate,
+                         SpearmanCorrelation(quality_estimate, true_quality));
+  QRANK_ASSIGN_OR_RETURN(eval.spearman_current_pagerank,
+                         SpearmanCorrelation(current_pr, true_quality));
+
+  std::vector<NodeId> truth_top = TopK(true_quality, top_k);
+  std::unordered_set<NodeId> truth_set(truth_top.begin(), truth_top.end());
+  auto precision = [&](const std::vector<double>& scores) {
+    std::vector<NodeId> top = TopK(scores, top_k);
+    uint64_t hits = 0;
+    for (NodeId id : top) {
+      if (truth_set.count(id) > 0) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(top_k);
+  };
+  eval.precision_at_k_quality_estimate = precision(quality_estimate);
+  eval.precision_at_k_current_pagerank = precision(current_pr);
+  return eval;
+}
+
+std::string RenderComparison(const PredictionComparison& comparison) {
+  std::ostringstream out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "pages evaluated: %llu (excluded: %llu stable, %llu "
+                "zero-future)\n",
+                static_cast<unsigned long long>(comparison.pages_evaluated),
+                static_cast<unsigned long long>(
+                    comparison.pages_excluded_stable),
+                static_cast<unsigned long long>(
+                    comparison.pages_excluded_zero_future));
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "mean relative error:   Q(p) = %.3f   PR(p,t3) = %.3f   "
+                "(improvement factor %.2fx; paper: 0.32 vs 0.78, 2.4x)\n",
+                comparison.quality.mean_error, comparison.pagerank.mean_error,
+                comparison.improvement_factor);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "err < 0.1 fraction:    Q(p) = %.1f%%  PR(p,t3) = %.1f%%  "
+                "(paper: 62%% vs 46%%)\n",
+                comparison.quality.fraction_below_0_1 * 100.0,
+                comparison.pagerank.fraction_below_0_1 * 100.0);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "err > 1 fraction:      Q(p) = %.1f%%  PR(p,t3) = %.1f%%  "
+                "(paper: 5%% vs >10%%)\n",
+                comparison.quality.fraction_above_1 * 100.0,
+                comparison.pagerank.fraction_above_1 * 100.0);
+  out << buf;
+  out << "\n"
+      << comparison.quality.error_histogram.ToAscii(
+             "relative error of Q(p) vs future PageRank (white bars)")
+      << "\n"
+      << comparison.pagerank.error_histogram.ToAscii(
+             "relative error of PR(p,t3) vs future PageRank (grey bars)");
+  return out.str();
+}
+
+}  // namespace qrank

@@ -1,0 +1,65 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+namespace qrank {
+
+Result<CrawlExperimentResult> RunCrawlExperiment(
+    const CrawlExperimentOptions& options) {
+  if (options.snapshot_times.size() < 4) {
+    return Status::InvalidArgument(
+        "need >= 4 snapshots (3 observations + 1 future)");
+  }
+  if (!std::is_sorted(options.snapshot_times.begin(),
+                      options.snapshot_times.end()) ||
+      std::adjacent_find(options.snapshot_times.begin(),
+                         options.snapshot_times.end()) !=
+          options.snapshot_times.end()) {
+    return Status::InvalidArgument("snapshot times must strictly increase");
+  }
+  if (!(options.snapshot_times.front() >= 0.0)) {
+    return Status::InvalidArgument("snapshot times must be non-negative");
+  }
+
+  QRANK_ASSIGN_OR_RETURN(WebSimulator sim,
+                         WebSimulator::Create(options.simulator));
+
+  CrawlExperimentResult result;
+  for (double t : options.snapshot_times) {
+    QRANK_RETURN_NOT_OK(sim.AdvanceTo(t));
+    QRANK_ASSIGN_OR_RETURN(CsrGraph snapshot, sim.Snapshot());
+    QRANK_RETURN_NOT_OK(result.series.AddSnapshot(t, std::move(snapshot)));
+  }
+  QRANK_RETURN_NOT_OK(result.series.ComputePageRanks(options.pagerank));
+
+  const size_t num_obs = options.snapshot_times.size() - 1;
+  QRANK_ASSIGN_OR_RETURN(
+      result.estimate,
+      EstimateQuality(result.series, num_obs, options.estimator));
+
+  const std::vector<double>& current = result.series.pagerank(num_obs - 1);
+  const std::vector<double>& future = result.series.pagerank(num_obs);
+  QRANK_ASSIGN_OR_RETURN(
+      result.comparison,
+      CompareFuturePrediction(result.estimate, current, future,
+                              options.evaluation));
+
+  const NodeId common = result.series.CommonNodeCount();
+  result.common_pages = common;
+  result.true_quality.resize(common);
+  for (NodeId p = 0; p < common; ++p) {
+    result.true_quality[p] = sim.TrueQuality(p);
+  }
+  uint64_t top_k = std::min<uint64_t>(options.truth_top_k, common);
+  if (top_k == 0) top_k = 1;
+  QRANK_ASSIGN_OR_RETURN(
+      result.truth,
+      EvaluateAgainstTruth(result.estimate.quality, current,
+                           result.true_quality, top_k));
+
+  result.total_visits = sim.total_visits();
+  result.total_likes = sim.total_likes_created();
+  return result;
+}
+
+}  // namespace qrank

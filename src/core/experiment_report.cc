@@ -1,0 +1,123 @@
+#include "core/experiment_report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace qrank {
+
+namespace {
+
+std::string Fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+void Heading(std::ostringstream& out, bool markdown, const std::string& text,
+             int level) {
+  if (markdown) {
+    out << std::string(static_cast<size_t>(level), '#') << " " << text
+        << "\n\n";
+  } else {
+    out << text << "\n" << std::string(text.size(), level == 1 ? '=' : '-')
+        << "\n";
+  }
+}
+
+void HistogramSection(std::ostringstream& out, bool markdown,
+                      const std::string& label, const Histogram& histogram) {
+  if (markdown) {
+    out << "| error bin | " << label << " |\n|---|---|\n";
+    for (size_t i = 0; i <= histogram.num_bins(); ++i) {
+      if (i < histogram.num_bins()) {
+        out << "| [" << Fmt("%.2f", histogram.BinLower(i)) << ", "
+            << Fmt("%.2f", histogram.BinUpper(i)) << ") ";
+      } else {
+        out << "| [" << Fmt("%.2f", histogram.BinLower(i)) << ", inf) ";
+      }
+      out << "| " << Fmt("%.2f%%", histogram.Fraction(i) * 100.0) << " |\n";
+    }
+    out << "\n";
+  } else {
+    out << histogram.ToAscii(label) << "\n";
+  }
+}
+
+}  // namespace
+
+std::string RenderExperimentReport(const CrawlExperimentResult& result,
+                                   const ReportOptions& options) {
+  std::ostringstream out;
+  const bool md = options.markdown;
+  Heading(out, md, options.title, 1);
+
+  Heading(out, md, "Setup", 2);
+  out << (md ? "- " : "* ") << "common pages: " << result.common_pages
+      << "\n";
+  out << (md ? "- " : "* ") << "snapshots: " << result.series.num_snapshots()
+      << " at times";
+  for (size_t i = 0; i < result.series.num_snapshots(); ++i) {
+    out << " " << Fmt("%g", result.series.time(i));
+  }
+  out << "\n";
+  out << (md ? "- " : "* ") << "visit events: " << result.total_visits
+      << ", links created: " << result.total_likes << "\n\n";
+
+  Heading(out, md, "Page trends over the observation window", 2);
+  out << (md ? "- " : "* ") << "rising: " << result.estimate.num_rising
+      << ", falling: " << result.estimate.num_falling
+      << ", oscillating: " << result.estimate.num_oscillating
+      << ", stable (excluded): " << result.estimate.num_stable << "\n\n";
+
+  Heading(out, md, "Future-PageRank prediction (Figure 5)", 2);
+  const PredictionComparison& cmp = result.comparison;
+  out << (md ? "- " : "* ") << "pages evaluated: " << cmp.pages_evaluated
+      << "\n";
+  out << (md ? "- " : "* ")
+      << "mean relative error: quality estimate "
+      << Fmt("%.4f", cmp.quality.mean_error) << ", current PageRank "
+      << Fmt("%.4f", cmp.pagerank.mean_error) << " (improvement "
+      << Fmt("%.2fx", cmp.improvement_factor) << ")\n";
+  out << (md ? "- " : "* ") << "error < 0.1: "
+      << Fmt("%.1f%%", cmp.quality.fraction_below_0_1 * 100.0) << " vs "
+      << Fmt("%.1f%%", cmp.pagerank.fraction_below_0_1 * 100.0) << "\n";
+  out << (md ? "- " : "* ") << "error > 1: "
+      << Fmt("%.1f%%", cmp.quality.fraction_above_1 * 100.0) << " vs "
+      << Fmt("%.1f%%", cmp.pagerank.fraction_above_1 * 100.0) << "\n\n";
+
+  if (options.include_histograms) {
+    Heading(out, md, "Error histograms", 2);
+    HistogramSection(out, md, "quality estimate", cmp.quality.error_histogram);
+    HistogramSection(out, md, "current PageRank",
+                     cmp.pagerank.error_histogram);
+  }
+
+  if (options.include_ground_truth) {
+    Heading(out, md, "Ground truth (simulation only)", 2);
+    out << (md ? "- " : "* ") << "Spearman vs true quality: estimate "
+        << Fmt("%.3f", result.truth.spearman_quality_estimate)
+        << ", PageRank "
+        << Fmt("%.3f", result.truth.spearman_current_pagerank) << "\n";
+    out << (md ? "- " : "* ") << "precision@" << result.truth.top_k
+        << ": estimate "
+        << Fmt("%.2f", result.truth.precision_at_k_quality_estimate)
+        << ", PageRank "
+        << Fmt("%.2f", result.truth.precision_at_k_current_pagerank)
+        << "\n";
+  }
+  return out.str();
+}
+
+Status WriteExperimentReport(const CrawlExperimentResult& result,
+                             const std::string& path,
+                             const ReportOptions& options) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  f << RenderExperimentReport(result, options);
+  f.flush();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace qrank

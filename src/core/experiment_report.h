@@ -1,0 +1,38 @@
+// Human-readable report generation for crawl-experiment results:
+// renders a CrawlExperimentResult as Markdown (for docs/issues) or as
+// plain text (for terminals), so downstream users can archive a run's
+// full evidence with one call.
+
+#ifndef QRANK_CORE_EXPERIMENT_REPORT_H_
+#define QRANK_CORE_EXPERIMENT_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/experiment.h"
+
+namespace qrank {
+
+struct ReportOptions {
+  /// Markdown (headings, tables) or plain text (ASCII tables).
+  bool markdown = true;
+  /// Include the per-bin histogram section.
+  bool include_histograms = true;
+  /// Include the simulation-only ground-truth section.
+  bool include_ground_truth = true;
+  /// Title of the report.
+  std::string title = "qrank crawl experiment";
+};
+
+/// Renders the full report.
+std::string RenderExperimentReport(const CrawlExperimentResult& result,
+                                   const ReportOptions& options = {});
+
+/// Renders and writes to `path`.
+Status WriteExperimentReport(const CrawlExperimentResult& result,
+                             const std::string& path,
+                             const ReportOptions& options = {});
+
+}  // namespace qrank
+
+#endif  // QRANK_CORE_EXPERIMENT_REPORT_H_

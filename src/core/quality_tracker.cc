@@ -1,0 +1,94 @@
+#include "core/quality_tracker.h"
+
+#include <algorithm>
+
+namespace qrank {
+
+Result<OnlineQualityTracker> OnlineQualityTracker::Create(
+    const QualityTrackerOptions& options) {
+  if (options.history_limit < 2) {
+    return Status::InvalidArgument("history_limit must be >= 2");
+  }
+  if (!options.pagerank.initial_scores.empty()) {
+    return Status::InvalidArgument(
+        "pagerank.initial_scores is managed by the tracker; leave it empty");
+  }
+  return OnlineQualityTracker(options);
+}
+
+OnlineQualityTracker::OnlineQualityTracker(
+    const QualityTrackerOptions& options)
+    : options_(options) {}
+
+Status OnlineQualityTracker::AddSnapshot(double time, const CsrGraph& graph) {
+  if (!history_.empty() && time <= history_.back().time) {
+    return Status::InvalidArgument("snapshot times must strictly increase");
+  }
+  if (!history_.empty() &&
+      graph.num_nodes() < last_probability_scores_.size()) {
+    return Status::InvalidArgument(
+        "page count must not shrink (dense ids, monotone births)");
+  }
+
+  PageRankOptions pr_options = options_.pagerank;
+  if (options_.warm_start && !last_probability_scores_.empty() &&
+      graph.num_nodes() > 0) {
+    // Seed existing pages with their previous scores; newborn pages get
+    // the uniform teleport share so the start remains a distribution.
+    std::vector<double> seed = last_probability_scores_;
+    seed.resize(graph.num_nodes(),
+                1.0 / static_cast<double>(graph.num_nodes()));
+    pr_options.initial_scores = std::move(seed);
+  }
+
+  QRANK_ASSIGN_OR_RETURN(PageRankResult pr,
+                         ComputePageRank(graph, pr_options));
+  last_iterations_ = pr.iterations;
+
+  // Retain the probability-scale iterate for the next warm start.
+  last_probability_scores_ = pr.scores;
+  if (options_.pagerank.scale == ScaleConvention::kTotalMassN &&
+      graph.num_nodes() > 0) {
+    double inv_n = 1.0 / static_cast<double>(graph.num_nodes());
+    for (double& s : last_probability_scores_) s *= inv_n;
+  }
+
+  history_.push_back(Observation{time, std::move(pr.scores)});
+  while (history_.size() > options_.history_limit) {
+    history_.pop_front();
+  }
+  return Status::OK();
+}
+
+NodeId OnlineQualityTracker::TrackedPages() const {
+  if (history_.empty()) return 0;
+  size_t m = history_.front().pagerank.size();
+  for (const Observation& obs : history_) {
+    m = std::min(m, obs.pagerank.size());
+  }
+  return static_cast<NodeId>(m);
+}
+
+Result<QualityEstimate> OnlineQualityTracker::CurrentEstimate() const {
+  if (history_.size() < 2) {
+    return Status::FailedPrecondition(
+        "need at least 2 snapshots for an estimate");
+  }
+  const NodeId m = TrackedPages();
+  std::vector<std::vector<double>> observations;
+  observations.reserve(history_.size());
+  for (const Observation& obs : history_) {
+    observations.emplace_back(obs.pagerank.begin(),
+                              obs.pagerank.begin() + m);
+  }
+  return EstimateQuality(observations, options_.estimator);
+}
+
+Result<std::vector<double>> OnlineQualityTracker::LatestPageRank() const {
+  if (history_.empty()) {
+    return Status::FailedPrecondition("no snapshots ingested");
+  }
+  return history_.back().pagerank;
+}
+
+}  // namespace qrank

@@ -1,0 +1,90 @@
+// OnlineQualityTracker: streaming, bounded-memory quality estimation.
+//
+// SnapshotSeries is batch-oriented: it holds every snapshot and computes
+// everything at the end, matching the paper's offline experiment. A
+// production crawler instead *streams* snapshots — one new crawl at a
+// time, indefinitely. OnlineQualityTracker keeps only the most recent
+// `history_limit` PageRank observations (computed incrementally with a
+// warm start from the previous crawl), and can produce an up-to-date
+// Equation 1 estimate after every crawl in O(history * pages) memory.
+//
+// Page universe: qrank page ids are dense and births are monotone, so a
+// page that exists in the oldest retained observation exists in all
+// newer ones; estimates cover exactly that prefix.
+
+#ifndef QRANK_CORE_QUALITY_TRACKER_H_
+#define QRANK_CORE_QUALITY_TRACKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/quality_estimator.h"
+#include "graph/csr_graph.h"
+#include "rank/pagerank.h"
+
+namespace qrank {
+
+struct QualityTrackerOptions {
+  PageRankOptions pagerank;
+  QualityEstimatorOptions estimator;
+
+  /// PageRank observations retained (>= 2). Older ones are discarded.
+  size_t history_limit = 4;
+
+  /// Warm-start each crawl's PageRank from the previous one.
+  bool warm_start = true;
+
+  QualityTrackerOptions() {
+    pagerank.scale = ScaleConvention::kTotalMassN;
+  }
+};
+
+class OnlineQualityTracker {
+ public:
+  static Result<OnlineQualityTracker> Create(
+      const QualityTrackerOptions& options = {});
+
+  /// Ingests the next crawl. Times must strictly increase; the graph's
+  /// page count must be >= the previous crawl's (dense ids, monotone
+  /// births). Computes PageRank immediately.
+  Status AddSnapshot(double time, const CsrGraph& graph);
+
+  size_t num_observations() const { return history_.size(); }
+  double latest_time() const {
+    return history_.empty() ? 0.0 : history_.back().time;
+  }
+
+  /// Pages covered by every retained observation.
+  NodeId TrackedPages() const;
+
+  /// Equation 1 estimate over the tracked pages using all retained
+  /// observations. FailedPrecondition with fewer than 2 observations.
+  Result<QualityEstimate> CurrentEstimate() const;
+
+  /// The latest PageRank observation (full page set of the latest
+  /// crawl). FailedPrecondition before the first snapshot.
+  Result<std::vector<double>> LatestPageRank() const;
+
+  /// Iterations the most recent PageRank computation needed (for
+  /// observing the warm-start saving).
+  uint32_t last_iterations() const { return last_iterations_; }
+
+ private:
+  explicit OnlineQualityTracker(const QualityTrackerOptions& options);
+
+  struct Observation {
+    double time;
+    std::vector<double> pagerank;  // mass per options.pagerank.scale
+  };
+
+  QualityTrackerOptions options_;
+  std::deque<Observation> history_;
+  /// Probability-scale scores of the latest crawl (warm-start seed).
+  std::vector<double> last_probability_scores_;
+  uint32_t last_iterations_ = 0;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_CORE_QUALITY_TRACKER_H_

@@ -1,0 +1,76 @@
+#include "core/snapshot_series.h"
+
+#include <algorithm>
+
+namespace qrank {
+
+Result<CsrGraph> InducePrefixSubgraph(const CsrGraph& g, NodeId num_nodes) {
+  if (num_nodes > g.num_nodes()) {
+    return Status::InvalidArgument("prefix larger than graph");
+  }
+  EdgeList edges(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (v < num_nodes) edges.Add(u, v);
+    }
+  }
+  edges.EnsureNodes(num_nodes);
+  return CsrGraph::FromEdgeList(edges);
+}
+
+Status SnapshotSeries::AddSnapshot(double time, CsrGraph graph) {
+  if (!times_.empty() && time <= times_.back()) {
+    return Status::InvalidArgument("snapshot times must strictly increase");
+  }
+  if (has_pageranks()) {
+    return Status::FailedPrecondition(
+        "cannot add snapshots after ComputePageRanks");
+  }
+  times_.push_back(time);
+  graphs_.push_back(std::move(graph));
+  return Status::OK();
+}
+
+NodeId SnapshotSeries::CommonNodeCount() const {
+  if (graphs_.empty()) return 0;
+  NodeId m = graphs_[0].num_nodes();
+  for (const CsrGraph& g : graphs_) m = std::min(m, g.num_nodes());
+  return m;
+}
+
+Status SnapshotSeries::ComputePageRanks(const PageRankOptions& options,
+                                        bool warm_start) {
+  if (graphs_.empty()) {
+    return Status::FailedPrecondition("no snapshots added");
+  }
+  const NodeId m = CommonNodeCount();
+  common_graphs_.clear();
+  pageranks_.clear();
+  iterations_.clear();
+  common_graphs_.reserve(graphs_.size());
+  pageranks_.reserve(graphs_.size());
+  std::vector<double> previous;  // probability-scale scores of snapshot i-1
+  for (const CsrGraph& g : graphs_) {
+    QRANK_ASSIGN_OR_RETURN(CsrGraph induced, InducePrefixSubgraph(g, m));
+    PageRankOptions per_snapshot = options;
+    if (warm_start && !previous.empty()) {
+      per_snapshot.initial_scores = previous;
+    }
+    QRANK_ASSIGN_OR_RETURN(PageRankResult pr,
+                           ComputePageRank(induced, per_snapshot));
+    if (warm_start) {
+      // Keep the probability-scale iterate for the next snapshot.
+      previous = pr.scores;
+      if (options.scale == ScaleConvention::kTotalMassN) {
+        double inv_n = 1.0 / static_cast<double>(m > 0 ? m : 1);
+        for (double& s : previous) s *= inv_n;
+      }
+    }
+    iterations_.push_back(pr.iterations);
+    common_graphs_.push_back(std::move(induced));
+    pageranks_.push_back(std::move(pr.scores));
+  }
+  return Status::OK();
+}
+
+}  // namespace qrank

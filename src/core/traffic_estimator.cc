@@ -1,0 +1,75 @@
+#include "core/traffic_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qrank {
+
+Result<std::vector<std::vector<double>>> TrafficPopularityObservations(
+    const std::vector<TrafficSnapshot>& snapshots,
+    const TrafficEstimatorOptions& options) {
+  if (snapshots.size() < 3) {
+    return Status::InvalidArgument(
+        "need >= 3 traffic snapshots (>= 2 rate intervals)");
+  }
+  if (!(options.visit_rate_normalization > 0.0)) {
+    return Status::InvalidArgument("visit_rate_normalization must be > 0");
+  }
+  if (options.zero_rate_floor_fraction <= 0.0 ||
+      options.zero_rate_floor_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "zero_rate_floor_fraction must be in (0, 1]");
+  }
+  const size_t n = snapshots.front().cumulative_visits.size();
+  if (n == 0) return Status::InvalidArgument("no pages in traffic snapshot");
+  for (size_t i = 1; i < snapshots.size(); ++i) {
+    if (snapshots[i].cumulative_visits.size() != n) {
+      return Status::InvalidArgument("traffic snapshot sizes differ");
+    }
+    if (!(snapshots[i].time > snapshots[i - 1].time)) {
+      return Status::InvalidArgument("snapshot times must strictly increase");
+    }
+    for (size_t p = 0; p < n; ++p) {
+      if (snapshots[i].cumulative_visits[p] <
+          snapshots[i - 1].cumulative_visits[p]) {
+        return Status::Corruption("cumulative visit counter decreased");
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> obs(snapshots.size() - 1,
+                                       std::vector<double>(n, 0.0));
+  double min_positive = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < snapshots.size(); ++i) {
+    double dt = snapshots[i + 1].time - snapshots[i].time;
+    for (size_t p = 0; p < n; ++p) {
+      double rate = static_cast<double>(snapshots[i + 1].cumulative_visits[p] -
+                                        snapshots[i].cumulative_visits[p]) /
+                    dt;
+      double popularity = rate / options.visit_rate_normalization;
+      obs[i][p] = popularity;
+      if (popularity > 0.0) min_positive = std::min(min_positive, popularity);
+    }
+  }
+  // Floor zero-rate entries so the estimator's positivity contract holds.
+  double floor = std::isfinite(min_positive)
+                     ? min_positive * options.zero_rate_floor_fraction
+                     : 1.0;
+  for (auto& row : obs) {
+    for (double& v : row) {
+      if (!(v > 0.0)) v = floor;
+    }
+  }
+  return obs;
+}
+
+Result<QualityEstimate> EstimateQualityFromTraffic(
+    const std::vector<TrafficSnapshot>& snapshots,
+    const TrafficEstimatorOptions& options) {
+  QRANK_ASSIGN_OR_RETURN(std::vector<std::vector<double>> obs,
+                         TrafficPopularityObservations(snapshots, options));
+  return EstimateQuality(obs, options.estimator);
+}
+
+}  // namespace qrank

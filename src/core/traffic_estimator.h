@@ -1,0 +1,62 @@
+// Traffic-based quality estimation (Section 9.1, "Application to Web
+// traffic data").
+//
+// The paper notes the estimator applies unchanged to visit data: by the
+// popularity-equivalence hypothesis V(p,t) = r * P(p,t), measured visit
+// counts are a popularity surrogate, so
+//
+//   Q(p) ~= C * dV/V + V_last
+//
+// over per-interval visit *rates* derived from cumulative visit counters
+// at snapshot instants. This module turns cumulative per-page visit
+// counters (as the WebSimulator records) into popularity observations
+// and reuses EstimateQuality.
+
+#ifndef QRANK_CORE_TRAFFIC_ESTIMATOR_H_
+#define QRANK_CORE_TRAFFIC_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/quality_estimator.h"
+
+namespace qrank {
+
+/// Cumulative visit counters for all pages at one instant.
+struct TrafficSnapshot {
+  double time = 0.0;
+  std::vector<uint64_t> cumulative_visits;
+};
+
+struct TrafficEstimatorOptions {
+  QualityEstimatorOptions estimator;
+  /// Visit-rate normalization r: popularity = visit_rate / r. Must be
+  /// positive.
+  double visit_rate_normalization = 1.0;
+  /// Pages whose rate is zero in some interval get this popularity floor
+  /// (the estimator requires strictly positive observations). Expressed
+  /// as a fraction of the smallest positive observed popularity.
+  double zero_rate_floor_fraction = 0.5;
+};
+
+/// Derives per-interval popularity observations from >= 3 cumulative
+/// traffic snapshots (k snapshots -> k-1 observations) and runs the
+/// quality estimator over them.
+///
+/// Requires: strictly increasing times, equal vector sizes, monotone
+/// non-decreasing counters per page.
+Result<QualityEstimate> EstimateQualityFromTraffic(
+    const std::vector<TrafficSnapshot>& snapshots,
+    const TrafficEstimatorOptions& options = {});
+
+/// The popularity observation matrix the traffic estimator feeds to
+/// EstimateQuality (exposed for tests and analysis): entry [i][p] is the
+/// average popularity of page p over interval (t_i, t_i+1).
+Result<std::vector<std::vector<double>>> TrafficPopularityObservations(
+    const std::vector<TrafficSnapshot>& snapshots,
+    const TrafficEstimatorOptions& options = {});
+
+}  // namespace qrank
+
+#endif  // QRANK_CORE_TRAFFIC_ESTIMATOR_H_

@@ -1,0 +1,59 @@
+#include "core/visit_trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace qrank {
+
+Status VisitTraceRecorder::Sample(const WebSimulator& sim) {
+  if (!snapshots_.empty() && sim.now() <= snapshots_.back().time) {
+    return Status::InvalidArgument(
+        "sample times must strictly increase; advance the simulator");
+  }
+  TrafficSnapshot snapshot;
+  snapshot.time = sim.now();
+  snapshot.cumulative_visits.reserve(sim.num_pages());
+  for (NodeId p = 0; p < sim.num_pages(); ++p) {
+    snapshot.cumulative_visits.push_back(sim.page(p).visits);
+  }
+  snapshots_.push_back(std::move(snapshot));
+  return Status::OK();
+}
+
+std::vector<TrafficSnapshot> VisitTraceRecorder::AlignedSnapshots() const {
+  std::vector<TrafficSnapshot> aligned = snapshots_;
+  size_t m = aligned.empty() ? 0 : aligned.front().cumulative_visits.size();
+  for (const TrafficSnapshot& s : aligned) {
+    m = std::min(m, s.cumulative_visits.size());
+  }
+  for (TrafficSnapshot& s : aligned) {
+    s.cumulative_visits.resize(m);
+  }
+  return aligned;
+}
+
+Result<QualityEstimate> VisitTraceRecorder::EstimateQuality(
+    const TrafficEstimatorOptions& options) const {
+  return EstimateQualityFromTraffic(AlignedSnapshots(), options);
+}
+
+Status VisitTraceRecorder::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  std::vector<TrafficSnapshot> aligned = AlignedSnapshots();
+  size_t pages =
+      aligned.empty() ? 0 : aligned.front().cumulative_visits.size();
+  f << "time";
+  for (size_t p = 0; p < pages; ++p) f << ",page" << p;
+  f << "\n";
+  for (const TrafficSnapshot& s : aligned) {
+    f << s.time;
+    for (uint64_t v : s.cumulative_visits) f << "," << v;
+    f << "\n";
+  }
+  f.flush();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace qrank

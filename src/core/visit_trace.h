@@ -1,0 +1,62 @@
+// Visit-trace recording: first-class traffic data for the Section 9.1
+// traffic-based quality pipeline.
+//
+// The paper's future-work section proposes applying the estimator to
+// "Web traffic data … if we can measure how many people visit a
+// particular Web site and how quickly the number of visits increases
+// over time" (the NetRatings-style measurement). VisitTraceRecorder is
+// that measurement instrument for the simulator: it samples cumulative
+// per-page visit counters at scheduled instants and exports them as
+// TrafficSnapshots for core/traffic_estimator, or as CSV for external
+// analysis.
+
+#ifndef QRANK_CORE_VISIT_TRACE_H_
+#define QRANK_CORE_VISIT_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/traffic_estimator.h"
+#include "sim/web_simulator.h"
+
+namespace qrank {
+
+class VisitTraceRecorder {
+ public:
+  VisitTraceRecorder() = default;
+
+  /// Samples the simulator's cumulative visit counters now. Sample
+  /// times must strictly increase (i.e. advance the simulator between
+  /// calls).
+  Status Sample(const WebSimulator& sim);
+
+  size_t num_samples() const { return snapshots_.size(); }
+
+  /// All samples so far, page-count-aligned to the smallest sampled
+  /// universe (pages born after an early sample are dropped so every
+  /// snapshot covers the same pages — the traffic analogue of the
+  /// common-page restriction).
+  std::vector<TrafficSnapshot> AlignedSnapshots() const;
+
+  /// The raw (unaligned) samples.
+  const std::vector<TrafficSnapshot>& snapshots() const {
+    return snapshots_;
+  }
+
+  /// Runs the Section 9.1 traffic-based estimator over the aligned
+  /// samples. Requires >= 3 samples.
+  Result<QualityEstimate> EstimateQuality(
+      const TrafficEstimatorOptions& options) const;
+
+  /// Writes the aligned trace as CSV: header "time,page0,page1,...",
+  /// one row per sample.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<TrafficSnapshot> snapshots_;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_CORE_VISIT_TRACE_H_

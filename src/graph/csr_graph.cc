@@ -1,0 +1,117 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace qrank {
+
+Result<CsrGraph> CsrGraph::FromEdgeList(const EdgeList& edges) {
+  EdgeList sorted = edges;
+  sorted.SortAndDedup(/*drop_self_loops=*/true);
+
+  CsrGraph g;
+  g.num_nodes_ = sorted.num_nodes();
+  g.offsets_.assign(static_cast<size_t>(g.num_nodes_) + 1, 0);
+  g.dst_.reserve(sorted.num_edges());
+
+  for (const Edge& e : sorted.edges()) {
+    if (e.src >= g.num_nodes_ || e.dst >= g.num_nodes_) {
+      return Status::InvalidArgument("edge endpoint out of node range");
+    }
+    ++g.offsets_[e.src + 1];
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  for (const Edge& e : sorted.edges()) {
+    g.dst_.push_back(e.dst);
+  }
+  return g;
+}
+
+Result<CsrGraph> CsrGraph::FromEdges(NodeId num_nodes,
+                                     const std::vector<Edge>& edges) {
+  EdgeList list(num_nodes);
+  list.Reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.src >= num_nodes || e.dst >= num_nodes) {
+      return Status::InvalidArgument("edge endpoint out of node range");
+    }
+    list.Add(e.src, e.dst);
+  }
+  list.EnsureNodes(num_nodes);
+  return FromEdgeList(list);
+}
+
+void CsrGraph::EnsureTranspose() const {
+  if (transpose_) return;
+  auto cache = std::make_shared<TransposeCache>();
+  cache->offsets.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  cache->src.resize(dst_.size());
+  for (NodeId v : dst_) {
+    ++cache->offsets[v + 1];
+  }
+  for (size_t i = 1; i < cache->offsets.size(); ++i) {
+    cache->offsets[i] += cache->offsets[i - 1];
+  }
+  std::vector<size_t> cursor(cache->offsets.begin(), cache->offsets.end() - 1);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (size_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
+      cache->src[cursor[dst_[i]]++] = u;
+    }
+  }
+  transpose_ = std::move(cache);
+}
+
+std::span<const NodeId> CsrGraph::InNeighbors(NodeId u) const {
+  QRANK_DCHECK(u < num_nodes_);
+  EnsureTranspose();
+  return {transpose_->src.data() + transpose_->offsets[u],
+          transpose_->src.data() + transpose_->offsets[u + 1]};
+}
+
+uint32_t CsrGraph::InDegree(NodeId u) const {
+  EnsureTranspose();
+  return static_cast<uint32_t>(transpose_->offsets[u + 1] -
+                               transpose_->offsets[u]);
+}
+
+std::vector<uint32_t> CsrGraph::ComputeInDegrees() const {
+  std::vector<uint32_t> deg(num_nodes_, 0);
+  for (NodeId v : dst_) ++deg[v];
+  return deg;
+}
+
+std::vector<NodeId> CsrGraph::DanglingNodes() const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    if (OutDegree(u) == 0) out.push_back(u);
+  }
+  return out;
+}
+
+size_t CsrGraph::CountDanglingNodes() const {
+  size_t count = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    if (OutDegree(u) == 0) ++count;
+  }
+  return count;
+}
+
+bool CsrGraph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes_) return false;
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+CsrGraph CsrGraph::Transpose() const {
+  EnsureTranspose();
+  CsrGraph t;
+  t.num_nodes_ = num_nodes_;
+  t.offsets_ = transpose_->offsets;
+  t.dst_ = transpose_->src;
+  return t;
+}
+
+}  // namespace qrank

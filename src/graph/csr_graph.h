@@ -1,0 +1,87 @@
+// Immutable compressed-sparse-row directed graph.
+//
+// CsrGraph is the representation every ranking algorithm consumes: two
+// flat arrays (offsets + neighbor ids) give sequential memory access in
+// the PageRank inner loop and zero per-node allocation. The transpose
+// (in-link view) is built lazily on demand and cached, since PageRank's
+// pull formulation and HITS both need it.
+
+#ifndef QRANK_GRAPH_CSR_GRAPH_H_
+#define QRANK_GRAPH_CSR_GRAPH_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/edge_list.h"
+
+namespace qrank {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an edge list. Duplicate edges and self-loops are removed
+  /// (footnote: a self-link is not an endorsement). Fails with
+  /// InvalidArgument if any endpoint id >= edges.num_nodes().
+  static Result<CsrGraph> FromEdgeList(const EdgeList& edges);
+
+  /// Convenience: builds from raw (src, dst) pairs with `num_nodes` nodes.
+  static Result<CsrGraph> FromEdges(NodeId num_nodes,
+                                    const std::vector<Edge>& edges);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return dst_.size(); }
+
+  /// Out-neighbors of `u` in ascending id order.
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    return {dst_.data() + offsets_[u], dst_.data() + offsets_[u + 1]};
+  }
+
+  uint32_t OutDegree(NodeId u) const {
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// In-neighbors of `u` (from the cached transpose; builds it on first
+  /// use — O(E)).
+  std::span<const NodeId> InNeighbors(NodeId u) const;
+
+  uint32_t InDegree(NodeId u) const;
+
+  /// All in-degrees without materializing the transpose (O(E) each call).
+  std::vector<uint32_t> ComputeInDegrees() const;
+
+  /// Nodes with no out-links ("dangling" pages; footnote 2 of the paper).
+  std::vector<NodeId> DanglingNodes() const;
+  size_t CountDanglingNodes() const;
+
+  /// True if edge u->v exists (binary search over OutNeighbors, O(log d)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// The transposed graph as an independent CsrGraph (O(E)).
+  CsrGraph Transpose() const;
+
+  /// Raw CSR arrays, exposed for tight analytic loops.
+  const std::vector<size_t>& offsets() const { return offsets_; }
+  const std::vector<NodeId>& targets() const { return dst_; }
+
+ private:
+  void EnsureTranspose() const;
+
+  NodeId num_nodes_ = 0;
+  std::vector<size_t> offsets_;  // size num_nodes_ + 1
+  std::vector<NodeId> dst_;      // size num_edges
+
+  // Lazily built transpose arrays, shared so copies stay cheap and a copy
+  // made after the build reuses the cache.
+  struct TransposeCache {
+    std::vector<size_t> offsets;
+    std::vector<NodeId> src;
+  };
+  mutable std::shared_ptr<const TransposeCache> transpose_;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_GRAPH_CSR_GRAPH_H_

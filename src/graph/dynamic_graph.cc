@@ -1,0 +1,83 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+namespace qrank {
+
+NodeId DynamicGraph::AddNode(double time) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeRecord{time});
+  live_.emplace_back();
+  return id;
+}
+
+NodeId DynamicGraph::AddNodes(size_t count, double time) {
+  NodeId first = static_cast<NodeId>(nodes_.size());
+  nodes_.resize(nodes_.size() + count, NodeRecord{time});
+  live_.resize(live_.size() + count);
+  return first;
+}
+
+Status DynamicGraph::AddEdge(NodeId src, NodeId dst, double time) {
+  if (src >= nodes_.size() || dst >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint does not exist");
+  }
+  if (src == dst) {
+    return Status::InvalidArgument("self-loops are not allowed");
+  }
+  auto& bucket = live_[src];
+  if (bucket.find(dst) != bucket.end()) {
+    return Status::AlreadyExists("live edge already present");
+  }
+  bucket.emplace(dst, events_.size());
+  events_.push_back(EdgeEvent{src, dst, time,
+                              std::numeric_limits<double>::infinity()});
+  ++live_count_;
+  last_event_time_ = std::max(last_event_time_, time);
+  return Status::OK();
+}
+
+bool DynamicGraph::HasLiveEdge(NodeId src, NodeId dst) const {
+  if (src >= live_.size()) return false;
+  return live_[src].find(dst) != live_[src].end();
+}
+
+Status DynamicGraph::RemoveEdge(NodeId src, NodeId dst, double time) {
+  if (src >= nodes_.size() || dst >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint does not exist");
+  }
+  auto& bucket = live_[src];
+  auto it = bucket.find(dst);
+  if (it == bucket.end()) {
+    return Status::NotFound("no live edge to remove");
+  }
+  events_[it->second].remove_time = time;
+  bucket.erase(it);
+  --live_count_;
+  last_event_time_ = std::max(last_event_time_, time);
+  return Status::OK();
+}
+
+NodeId DynamicGraph::NumNodesAt(double t) const {
+  // Birth times are non-decreasing in id order; binary-search the prefix.
+  auto it = std::upper_bound(
+      nodes_.begin(), nodes_.end(), t,
+      [](double t_val, const NodeRecord& n) { return t_val < n.birth_time; });
+  return static_cast<NodeId>(it - nodes_.begin());
+}
+
+EdgeList DynamicGraph::EdgesAt(double t) const {
+  EdgeList out(NumNodesAt(t));
+  for (const EdgeEvent& e : events_) {
+    if (e.create_time <= t && t < e.remove_time) {
+      out.Add(e.src, e.dst);
+    }
+  }
+  return out;
+}
+
+Result<CsrGraph> DynamicGraph::SnapshotAt(double t) const {
+  return CsrGraph::FromEdgeList(EdgesAt(t));
+}
+
+}  // namespace qrank

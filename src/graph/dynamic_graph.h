@@ -1,0 +1,90 @@
+// Mutable, timestamped directed graph: the evolving Web.
+//
+// DynamicGraph records when each page (node) was created and when each
+// link (edge) was created or removed, so the snapshot at any time t can
+// be reconstructed exactly — this is the in-memory equivalent of the
+// paper's "download the Web multiple times". Ranking algorithms never
+// operate on DynamicGraph directly; they consume immutable CsrGraph
+// snapshots extracted with SnapshotAt().
+
+#ifndef QRANK_GRAPH_DYNAMIC_GRAPH_H_
+#define QRANK_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+#include "graph/edge_list.h"
+
+namespace qrank {
+
+/// Snapshot of one node's lifetime (used by tests and analytics).
+struct NodeRecord {
+  double birth_time = 0.0;
+};
+
+/// One timestamped link event.
+struct EdgeEvent {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double create_time = 0.0;
+  /// +inf while the edge is live.
+  double remove_time = std::numeric_limits<double>::infinity();
+};
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+
+  /// Adds a node born at `time`; returns its id (dense, increasing).
+  NodeId AddNode(double time);
+
+  /// Adds `count` nodes born at `time`; returns the first new id.
+  NodeId AddNodes(size_t count, double time);
+
+  /// Creates edge src->dst at `time`. Fails on unknown endpoints, on a
+  /// self-loop, or if the live edge already exists (link creation in the
+  /// user model is idempotent: a user links a page at most once).
+  Status AddEdge(NodeId src, NodeId dst, double time);
+
+  /// True if src->dst is currently live.
+  bool HasLiveEdge(NodeId src, NodeId dst) const;
+
+  /// Marks a live edge removed at `time` (the "forgetting" extension of
+  /// Section 9.1). NotFound if no live src->dst edge exists.
+  Status RemoveEdge(NodeId src, NodeId dst, double time);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(nodes_.size()); }
+  size_t num_edge_events() const { return events_.size(); }
+  /// Number of currently-live edges.
+  size_t num_live_edges() const { return live_count_; }
+
+  double NodeBirthTime(NodeId u) const { return nodes_[u].birth_time; }
+  const std::vector<EdgeEvent>& edge_events() const { return events_; }
+
+  /// Edge list of the graph as it existed at time t: nodes born at or
+  /// before t, edges with create_time <= t < remove_time. Node ids are
+  /// preserved (num_nodes of the result counts only the born prefix).
+  EdgeList EdgesAt(double t) const;
+
+  /// CSR snapshot at time t (see EdgesAt).
+  Result<CsrGraph> SnapshotAt(double t) const;
+
+  /// Nodes born at or before t, in id order. Ids are assigned in birth
+  /// order, so this is always a prefix [0, k).
+  NodeId NumNodesAt(double t) const;
+
+ private:
+  std::vector<NodeRecord> nodes_;
+  std::vector<EdgeEvent> events_;
+  // Live-edge index: src -> (dst -> index into events_).
+  std::vector<std::unordered_map<NodeId, size_t>> live_;
+  size_t live_count_ = 0;
+  double last_event_time_ = 0.0;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_GRAPH_DYNAMIC_GRAPH_H_

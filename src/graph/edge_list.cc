@@ -1,0 +1,27 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+namespace qrank {
+
+void EdgeList::Add(NodeId src, NodeId dst) {
+  NodeId needed = std::max(src, dst) + 1;
+  if (needed > num_nodes_) num_nodes_ = needed;
+  edges_.push_back(Edge{src, dst});
+}
+
+void EdgeList::EnsureNodes(NodeId n) {
+  if (n > num_nodes_) num_nodes_ = n;
+}
+
+void EdgeList::SortAndDedup(bool drop_self_loops) {
+  if (drop_self_loops) {
+    edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                                [](const Edge& e) { return e.src == e.dst; }),
+                 edges_.end());
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+}  // namespace qrank

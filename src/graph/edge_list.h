@@ -1,0 +1,67 @@
+// Edge-list building block shared by graph construction, I/O and the
+// web-evolution simulator's snapshot extraction.
+
+#ifndef QRANK_GRAPH_EDGE_LIST_H_
+#define QRANK_GRAPH_EDGE_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qrank {
+
+/// Dense node identifier. Graphs in qrank always use node ids in
+/// [0, num_nodes); sparse external ids are mapped at the I/O boundary.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// A directed edge src -> dst.
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  }
+};
+
+/// A growable directed edge list with an explicit node-count bound.
+///
+/// num_nodes is a bound on ids (ids must be < num_nodes); isolated nodes
+/// are represented simply by num_nodes exceeding the max referenced id.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Appends an edge, growing num_nodes if an endpoint is out of bounds.
+  void Add(NodeId src, NodeId dst);
+
+  /// Raises the node-count bound (no-op if already >= n).
+  void EnsureNodes(NodeId n);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& mutable_edges() { return edges_; }
+
+  void Reserve(size_t n) { edges_.reserve(n); }
+
+  /// Sorts by (src, dst) and removes duplicate edges and self-loops
+  /// (a page linking to itself carries no endorsement signal and is
+  /// dropped at construction, matching common PageRank practice).
+  void SortAndDedup(bool drop_self_loops = true);
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_GRAPH_EDGE_LIST_H_

@@ -1,0 +1,192 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qrank {
+
+Result<EdgeList> GenerateErdosRenyi(NodeId num_nodes, double edge_prob,
+                                    Rng* rng) {
+  if (edge_prob < 0.0 || edge_prob > 1.0) {
+    return Status::InvalidArgument("edge_prob must be in [0, 1]");
+  }
+  EdgeList out(num_nodes);
+  if (num_nodes == 0 || edge_prob == 0.0) return out;
+
+  const uint64_t total_pairs =
+      static_cast<uint64_t>(num_nodes) * num_nodes;  // includes diagonal
+  if (edge_prob >= 1.0) {
+    for (NodeId u = 0; u < num_nodes; ++u) {
+      for (NodeId v = 0; v < num_nodes; ++v) {
+        if (u != v) out.Add(u, v);
+      }
+    }
+    return out;
+  }
+
+  // Geometric skipping over the flattened pair index space.
+  const double log_q = std::log1p(-edge_prob);
+  double pos = -1.0;
+  while (true) {
+    double u01 = 1.0 - rng->UniformDouble();  // (0, 1]
+    pos += 1.0 + std::floor(std::log(u01) / log_q);
+    if (pos >= static_cast<double>(total_pairs)) break;
+    uint64_t idx = static_cast<uint64_t>(pos);
+    NodeId src = static_cast<NodeId>(idx / num_nodes);
+    NodeId dst = static_cast<NodeId>(idx % num_nodes);
+    if (src != dst) out.Add(src, dst);
+  }
+  out.EnsureNodes(num_nodes);
+  return out;
+}
+
+Result<EdgeList> GenerateBarabasiAlbert(NodeId num_nodes, uint32_t out_degree,
+                                        Rng* rng) {
+  if (num_nodes < 1) return Status::InvalidArgument("need >= 1 node");
+  if (out_degree < 1) return Status::InvalidArgument("out_degree must be >= 1");
+  EdgeList out(num_nodes);
+
+  // repeated[] holds one entry per (in-degree + 1) unit: node i appears
+  // once at birth and once more per received link, giving the classic
+  // proportional-attachment sampler in O(1) per draw.
+  std::vector<NodeId> repeated;
+  repeated.reserve(static_cast<size_t>(num_nodes) * (out_degree + 1));
+  repeated.push_back(0);  // node 0 exists with zero in-links
+
+  for (NodeId u = 1; u < num_nodes; ++u) {
+    uint32_t links = std::min<uint32_t>(out_degree, u);
+    // Sample distinct targets among existing nodes.
+    std::vector<NodeId> targets;
+    targets.reserve(links);
+    size_t guard = 0;
+    while (targets.size() < links && guard < 64u * links + 64u) {
+      ++guard;
+      NodeId t = repeated[rng->UniformUint64(repeated.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    // Fallback for pathological duplication: fill with uniform nodes.
+    while (targets.size() < links) {
+      NodeId t = static_cast<NodeId>(rng->UniformUint64(u));
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      out.Add(u, t);
+      repeated.push_back(t);
+    }
+    repeated.push_back(u);
+  }
+  out.EnsureNodes(num_nodes);
+  return out;
+}
+
+Result<EdgeList> GenerateCopyModel(NodeId num_nodes, uint32_t out_degree,
+                                   double copy_prob, Rng* rng) {
+  if (num_nodes < 1) return Status::InvalidArgument("need >= 1 node");
+  if (out_degree < 1) return Status::InvalidArgument("out_degree must be >= 1");
+  if (copy_prob < 0.0 || copy_prob > 1.0) {
+    return Status::InvalidArgument("copy_prob must be in [0, 1]");
+  }
+  EdgeList out(num_nodes);
+  // Adjacency for copying; kept only during generation.
+  std::vector<std::vector<NodeId>> adj(num_nodes);
+
+  for (NodeId u = 1; u < num_nodes; ++u) {
+    NodeId proto = static_cast<NodeId>(rng->UniformUint64(u));
+    std::vector<NodeId>& mine = adj[u];
+    mine.push_back(proto);
+    const std::vector<NodeId>& proto_links = adj[proto];
+    for (uint32_t k = 0; mine.size() < out_degree && k < out_degree; ++k) {
+      NodeId t;
+      if (k < proto_links.size() && rng->Bernoulli(copy_prob)) {
+        t = proto_links[k];
+      } else {
+        t = static_cast<NodeId>(rng->UniformUint64(u));
+      }
+      if (t != u && std::find(mine.begin(), mine.end(), t) == mine.end()) {
+        mine.push_back(t);
+      }
+    }
+    for (NodeId t : mine) out.Add(u, t);
+  }
+  out.EnsureNodes(num_nodes);
+  return out;
+}
+
+Result<QualitySeededGraph> GenerateQualitySeeded(NodeId num_nodes,
+                                                 uint32_t out_degree,
+                                                 double quality_alpha,
+                                                 double quality_beta,
+                                                 double quality_strength,
+                                                 Rng* rng) {
+  if (num_nodes < 1) return Status::InvalidArgument("need >= 1 node");
+  if (out_degree < 1) return Status::InvalidArgument("out_degree must be >= 1");
+  if (quality_alpha <= 0.0 || quality_beta <= 0.0) {
+    return Status::InvalidArgument("Beta parameters must be positive");
+  }
+  QualitySeededGraph result;
+  result.edges = EdgeList(num_nodes);
+  result.quality.resize(num_nodes);
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    // Clamp away from exactly 0/1 so the logistic model is well defined.
+    double q = rng->Beta(quality_alpha, quality_beta);
+    result.quality[i] = std::clamp(q, 1e-6, 1.0 - 1e-6);
+  }
+
+  std::vector<double> in_degree(num_nodes, 0.0);
+  std::vector<double> weight(num_nodes, 0.0);
+  auto node_weight = [&](NodeId i) {
+    return std::pow(result.quality[i], quality_strength) *
+           (in_degree[i] + 1.0);
+  };
+
+  for (NodeId u = 1; u < num_nodes; ++u) {
+    uint32_t links = std::min<uint32_t>(out_degree, u);
+    for (NodeId i = 0; i < u; ++i) weight[i] = node_weight(i);
+    std::vector<NodeId> targets;
+    targets.reserve(links);
+    size_t guard = 0;
+    while (targets.size() < links && guard < 64u * links + 64u) {
+      ++guard;
+      std::vector<double> w(weight.begin(), weight.begin() + u);
+      NodeId t = static_cast<NodeId>(rng->Discrete(w));
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+        in_degree[t] += 1.0;
+      }
+    }
+    for (NodeId t : targets) result.edges.Add(u, t);
+  }
+  result.edges.EnsureNodes(num_nodes);
+  return result;
+}
+
+Result<EdgeList> GenerateRing(NodeId num_nodes, uint32_t out_degree) {
+  if (num_nodes < 2) return Status::InvalidArgument("ring needs >= 2 nodes");
+  if (out_degree < 1 || out_degree >= num_nodes) {
+    return Status::InvalidArgument("out_degree must be in [1, num_nodes)");
+  }
+  EdgeList out(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (uint32_t k = 1; k <= out_degree; ++k) {
+      out.Add(u, static_cast<NodeId>((u + k) % num_nodes));
+    }
+  }
+  return out;
+}
+
+Result<EdgeList> GenerateStar(NodeId num_satellites) {
+  if (num_satellites < 1) {
+    return Status::InvalidArgument("star needs >= 1 satellite");
+  }
+  EdgeList out(num_satellites + 1);
+  for (NodeId s = 1; s <= num_satellites; ++s) {
+    out.Add(s, 0);
+  }
+  return out;
+}
+
+}  // namespace qrank

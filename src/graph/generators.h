@@ -1,0 +1,69 @@
+// Synthetic Web-graph generators.
+//
+// The paper cites Barabasi-Albert preferential attachment [4] and the
+// "winners don't take all" competition model [19] as models of the Web
+// link structure; the generators here provide those reference topologies
+// for unit tests, ranking benchmarks and as seed graphs for the
+// web-evolution simulator.
+
+#ifndef QRANK_GRAPH_GENERATORS_H_
+#define QRANK_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/csr_graph.h"
+#include "graph/edge_list.h"
+
+namespace qrank {
+
+/// G(n, p): each ordered pair (u, v), u != v, is an edge independently
+/// with probability p. Uses geometric skipping, O(E) expected time.
+Result<EdgeList> GenerateErdosRenyi(NodeId num_nodes, double edge_prob,
+                                    Rng* rng);
+
+/// Directed Barabasi-Albert: nodes arrive one at a time and emit
+/// `out_degree` links to existing nodes chosen proportionally to
+/// (in-degree + 1). Produces a power-law in-degree distribution.
+/// Requires num_nodes >= 1.
+Result<EdgeList> GenerateBarabasiAlbert(NodeId num_nodes, uint32_t out_degree,
+                                        Rng* rng);
+
+/// Linked-copy model (Kumar et al. style): each arriving node picks a
+/// random prototype; every out-link of the prototype is copied with
+/// probability `copy_prob`, otherwise a uniform random target is chosen.
+/// Also emits one link to the prototype itself. Produces power-law
+/// in-degrees with tunable exponent.
+Result<EdgeList> GenerateCopyModel(NodeId num_nodes, uint32_t out_degree,
+                                   double copy_prob, Rng* rng);
+
+/// Quality-seeded generator: each node gets a latent quality drawn from
+/// Beta(alpha, beta); links attach proportionally to
+/// quality^strength * (in_degree + 1). This realizes the paper's world
+/// view that links are *votes cast by users who like a page*, and is the
+/// generator used to seed simulator populations. Returns both the graph
+/// and the latent qualities.
+struct QualitySeededGraph {
+  EdgeList edges;
+  std::vector<double> quality;  // size num_nodes, values in (0, 1)
+};
+Result<QualitySeededGraph> GenerateQualitySeeded(NodeId num_nodes,
+                                                 uint32_t out_degree,
+                                                 double quality_alpha,
+                                                 double quality_beta,
+                                                 double quality_strength,
+                                                 Rng* rng);
+
+/// Deterministic ring: i -> (i + k) mod n for k in [1, out_degree].
+/// Regular, strongly connected; useful as an analytic baseline (PageRank
+/// is exactly uniform on it).
+Result<EdgeList> GenerateRing(NodeId num_nodes, uint32_t out_degree);
+
+/// Star: all satellites point at the hub (node 0); the hub is dangling.
+/// Exercises dangling-mass handling.
+Result<EdgeList> GenerateStar(NodeId num_satellites);
+
+}  // namespace qrank
+
+#endif  // QRANK_GRAPH_GENERATORS_H_

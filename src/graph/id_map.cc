@@ -1,0 +1,58 @@
+#include "graph/id_map.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace qrank {
+
+NodeId IdMapper::AddOrGet(uint64_t external) {
+  auto [it, inserted] =
+      to_dense_.emplace(external, static_cast<NodeId>(to_external_.size()));
+  if (inserted) to_external_.push_back(external);
+  return it->second;
+}
+
+Result<NodeId> IdMapper::Lookup(uint64_t external) const {
+  auto it = to_dense_.find(external);
+  if (it == to_dense_.end()) {
+    return Status::NotFound("unknown external id " +
+                            std::to_string(external));
+  }
+  return it->second;
+}
+
+Result<uint64_t> IdMapper::External(NodeId node) const {
+  if (node >= to_external_.size()) {
+    return Status::OutOfRange("dense id out of range");
+  }
+  return to_external_[node];
+}
+
+Result<ExternalEdgeList> ReadExternalEdgeList(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  ExternalEdgeList out;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(f, line)) {
+    ++line_no;
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    std::istringstream ls(line);
+    uint64_t src = 0, dst = 0;
+    if (!(ls >> src >> dst)) {
+      return Status::Corruption("malformed edge at line " +
+                                std::to_string(line_no));
+    }
+    // Sequence the two mappings explicitly: argument evaluation order
+    // is unspecified, and first-seen-order ids must follow the file.
+    NodeId dense_src = out.mapper.AddOrGet(src);
+    NodeId dense_dst = out.mapper.AddOrGet(dst);
+    out.edges.Add(dense_src, dense_dst);
+  }
+  out.edges.EnsureNodes(out.mapper.size());
+  return out;
+}
+
+}  // namespace qrank

@@ -1,0 +1,60 @@
+// External-id mapping: the boundary between real-world page identifiers
+// (URL hashes, 64-bit crawl ids, arbitrary integers) and qrank's dense
+// NodeId space.
+//
+// Everything inside qrank operates on dense ids in [0, num_nodes); real
+// datasets rarely come that way. IdMapper assigns dense ids in first-
+// seen order (so re-reading the same stream reproduces the same
+// mapping), and ReadExternalEdgeList ingests headerless edge lists with
+// arbitrary u64 endpoints.
+
+#ifndef QRANK_GRAPH_ID_MAP_H_
+#define QRANK_GRAPH_ID_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/edge_list.h"
+
+namespace qrank {
+
+class IdMapper {
+ public:
+  IdMapper() = default;
+
+  /// Dense id for `external`, assigning the next free one if unseen.
+  NodeId AddOrGet(uint64_t external);
+
+  /// Dense id if known; NotFound otherwise. Does not modify the map.
+  Result<NodeId> Lookup(uint64_t external) const;
+
+  /// The external id that maps to dense id `node`. OutOfRange if
+  /// `node` >= size().
+  Result<uint64_t> External(NodeId node) const;
+
+  NodeId size() const { return static_cast<NodeId>(to_external_.size()); }
+
+  /// All external ids in dense-id order.
+  const std::vector<uint64_t>& externals() const { return to_external_; }
+
+ private:
+  std::unordered_map<uint64_t, NodeId> to_dense_;
+  std::vector<uint64_t> to_external_;
+};
+
+struct ExternalEdgeList {
+  EdgeList edges;
+  IdMapper mapper;
+};
+
+/// Reads a headerless text edge list "src dst" per line with arbitrary
+/// u64 ids ('#' comments and blank lines skipped), mapping ids densely
+/// in first-seen order. Corruption on malformed lines.
+Result<ExternalEdgeList> ReadExternalEdgeList(const std::string& path);
+
+}  // namespace qrank
+
+#endif  // QRANK_GRAPH_ID_MAP_H_

@@ -1,0 +1,71 @@
+#include "graph/site_graph.h"
+
+namespace qrank {
+
+Result<SiteGraph> BuildSiteGraph(const CsrGraph& pages,
+                                 const std::vector<SiteId>& site_of_page,
+                                 SiteId num_sites,
+                                 const SiteGraphOptions& options) {
+  (void)options;
+  if (site_of_page.size() != pages.num_nodes()) {
+    return Status::InvalidArgument(
+        "site_of_page must have one entry per page");
+  }
+  if (num_sites == 0 && pages.num_nodes() > 0) {
+    return Status::InvalidArgument("num_sites must be positive");
+  }
+  for (SiteId s : site_of_page) {
+    if (s >= num_sites) {
+      return Status::InvalidArgument("site id out of range");
+    }
+  }
+
+  SiteGraph result;
+  result.site_size.assign(num_sites, 0);
+  for (SiteId s : site_of_page) ++result.site_size[s];
+
+  EdgeList quotient(num_sites);
+  for (NodeId u = 0; u < pages.num_nodes(); ++u) {
+    SiteId su = site_of_page[u];
+    for (NodeId v : pages.OutNeighbors(u)) {
+      SiteId sv = site_of_page[v];
+      if (su == sv) {
+        ++result.intra_site_links;
+      } else {
+        ++result.cross_site_links;
+        quotient.Add(su, sv);
+      }
+    }
+  }
+  quotient.EnsureNodes(num_sites);
+  QRANK_ASSIGN_OR_RETURN(result.graph, CsrGraph::FromEdgeList(quotient));
+  return result;
+}
+
+Result<std::vector<double>> AggregateScoresBySite(
+    const std::vector<double>& page_scores,
+    const std::vector<SiteId>& site_of_page, SiteId num_sites) {
+  if (page_scores.size() != site_of_page.size()) {
+    return Status::InvalidArgument("score/site vectors differ in size");
+  }
+  std::vector<double> totals(num_sites, 0.0);
+  for (size_t p = 0; p < page_scores.size(); ++p) {
+    if (site_of_page[p] >= num_sites) {
+      return Status::InvalidArgument("site id out of range");
+    }
+    totals[site_of_page[p]] += page_scores[p];
+  }
+  return totals;
+}
+
+std::vector<SiteId> RoundRobinSiteAssignment(NodeId num_pages,
+                                             SiteId num_sites) {
+  std::vector<SiteId> out(num_pages, 0);
+  if (num_sites == 0) return out;
+  for (NodeId p = 0; p < num_pages; ++p) {
+    out[p] = static_cast<SiteId>(p % num_sites);
+  }
+  return out;
+}
+
+}  // namespace qrank

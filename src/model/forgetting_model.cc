@@ -1,0 +1,54 @@
+#include "model/forgetting_model.h"
+
+#include <cmath>
+
+namespace qrank {
+
+Result<ForgettingModel> ForgettingModel::Create(
+    const ForgettingParams& params) {
+  // Reuse the base validation for quality/n/r/P0.
+  Result<VisitationModel> base = VisitationModel::Create(params.base);
+  if (!base.ok()) return base.status();
+  if (params.forget_rate < 0.0) {
+    return Status::InvalidArgument("forget_rate must be >= 0");
+  }
+  return ForgettingModel(params);
+}
+
+ForgettingModel::ForgettingModel(const ForgettingParams& params)
+    : params_(params),
+      equilibrium_(params.base.quality -
+                   params.forget_rate * params.base.num_users /
+                       params.base.visit_rate),
+      rate_(params.base.visit_rate / params.base.num_users) {}
+
+double ForgettingModel::Popularity(double t) const {
+  const double p0 = params_.base.initial_popularity;
+  if (equilibrium_ == 0.0) {
+    // dP/dt = -k P^2  =>  P = P0 / (1 + k P0 t).
+    return p0 / (1.0 + rate_ * p0 * t);
+  }
+  // Logistic toward the (possibly negative) equilibrium:
+  //   P(t) = P* / (1 + (P*/P0 - 1) e^{-k P* t}).
+  double c = equilibrium_ / p0 - 1.0;
+  return equilibrium_ / (1.0 + c * std::exp(-rate_ * equilibrium_ * t));
+}
+
+double ForgettingModel::PopularityDerivative(double t) const {
+  double p = Popularity(t);
+  return rate_ * p * (equilibrium_ - p);
+}
+
+double ForgettingModel::EstimatorSum(double t) const {
+  double p = Popularity(t);
+  if (p <= 0.0) return equilibrium_;
+  // I + P with I = (n/r)(dP/dt)/P = (P* - P); the sum is exactly P* for
+  // all t — the estimator's asymptotic target under forgetting.
+  return PopularityDerivative(t) / (rate_ * p) + p;
+}
+
+double ForgettingModel::AsymptoticEstimatorBias() const {
+  return params_.base.quality - equilibrium_;
+}
+
+}  // namespace qrank

@@ -1,0 +1,33 @@
+#include "model/ode.h"
+
+namespace qrank {
+
+Result<OdeSolution> IntegrateRk4(const OdeRhs& f, double t0, double y0,
+                                 double t1, size_t steps) {
+  if (!(t1 > t0)) return Status::InvalidArgument("need t1 > t0");
+  if (steps < 1) return Status::InvalidArgument("need steps >= 1");
+  if (!f) return Status::InvalidArgument("missing ODE right-hand side");
+
+  OdeSolution sol;
+  sol.times.reserve(steps + 1);
+  sol.values.reserve(steps + 1);
+  double h = (t1 - t0) / static_cast<double>(steps);
+  double t = t0;
+  double y = y0;
+  sol.times.push_back(t);
+  sol.values.push_back(y);
+  for (size_t i = 0; i < steps; ++i) {
+    double k1 = f(t, y);
+    double k2 = f(t + 0.5 * h, y + 0.5 * h * k1);
+    double k3 = f(t + 0.5 * h, y + 0.5 * h * k2);
+    double k4 = f(t + h, y + h * k3);
+    y += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    t = t0 + h * static_cast<double>(i + 1);
+    sol.times.push_back(t);
+    sol.values.push_back(y);
+  }
+  sol.final_value = y;
+  return sol;
+}
+
+}  // namespace qrank

@@ -1,0 +1,137 @@
+#include "model/population_model.h"
+
+#include <cmath>
+
+namespace qrank {
+
+double BetaPdf(double x, double a, double b) {
+  if (x <= 0.0 || x >= 1.0) return 0.0;
+  double log_norm = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  return std::exp(log_norm + (a - 1.0) * std::log(x) +
+                  (b - 1.0) * std::log(1.0 - x));
+}
+
+Result<PopulationModel> PopulationModel::Create(
+    const PopulationParams& params, size_t quadrature_points) {
+  if (params.quality_alpha <= 0.0 || params.quality_beta <= 0.0) {
+    return Status::InvalidArgument("Beta parameters must be positive");
+  }
+  if (!(params.num_users > 0.0) || !(params.visit_rate > 0.0)) {
+    return Status::InvalidArgument("num_users and visit_rate must be > 0");
+  }
+  if (!(params.initial_popularity > 0.0) || params.initial_popularity >= 1.0) {
+    return Status::InvalidArgument("initial_popularity must be in (0, 1)");
+  }
+  if (quadrature_points < 8) {
+    return Status::InvalidArgument("need >= 8 quadrature points");
+  }
+  return PopulationModel(params, quadrature_points);
+}
+
+PopulationModel::PopulationModel(const PopulationParams& params,
+                                 size_t quadrature_points)
+    : params_(params) {
+  // Midpoint rule over (eps, 1 - eps); the model requires P0 <= q, so
+  // qualities below initial_popularity are clamped up (those pages start
+  // saturated). Weights carry the Beta pdf and are renormalized so the
+  // discrete measure is exactly a distribution.
+  const double lo = 1e-4;
+  const double hi = 1.0 - 1e-4;
+  const double h = (hi - lo) / static_cast<double>(quadrature_points);
+  nodes_.reserve(quadrature_points);
+  weights_.reserve(quadrature_points);
+  double total = 0.0;
+  for (size_t i = 0; i < quadrature_points; ++i) {
+    double q = lo + h * (static_cast<double>(i) + 0.5);
+    double w = BetaPdf(q, params.quality_alpha, params.quality_beta) * h;
+    nodes_.push_back(q);
+    weights_.push_back(w);
+    total += w;
+  }
+  for (double& w : weights_) w /= total;
+}
+
+double PopulationModel::MeanQuality() const {
+  return params_.quality_alpha /
+         (params_.quality_alpha + params_.quality_beta);
+}
+
+namespace {
+
+// Popularity of a quality-q page at `age`, honoring the P0 <= q
+// constraint by clamping (a page whose quality is below the seed
+// popularity starts — and stays — at its quality).
+double PopularityAtAge(const PopulationParams& params, double q,
+                       double age) {
+  double p0 = params.initial_popularity;
+  if (q <= p0) return q;
+  VisitationParams vp;
+  vp.quality = q;
+  vp.num_users = params.num_users;
+  vp.visit_rate = params.visit_rate;
+  vp.initial_popularity = p0;
+  // Inline Theorem 1 (cheaper than constructing a model per node).
+  double growth = params.visit_rate / params.num_users * q;
+  double c = q / p0 - 1.0;
+  return q / (1.0 + c * std::exp(-growth * age));
+}
+
+}  // namespace
+
+double PopulationModel::ExpectedPopularityAtAge(double age) const {
+  return IntegrateOverQuality(
+      [&](double q) { return PopularityAtAge(params_, q, age); });
+}
+
+StageMix PopulationModel::StageMixAtAge(double age, double infant_threshold,
+                                        double maturity_threshold) const {
+  StageMix mix;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    double q = nodes_[i];
+    double awareness = PopularityAtAge(params_, q, age) / q;
+    if (awareness < infant_threshold) {
+      mix.infant += weights_[i];
+    } else if (awareness > maturity_threshold) {
+      mix.maturity += weights_[i];
+    } else {
+      mix.expansion += weights_[i];
+    }
+  }
+  return mix;
+}
+
+double PopulationModel::ExpectedPopularityMixedAges(double max_age,
+                                                    size_t age_steps) const {
+  if (max_age <= 0.0 || age_steps < 1) return ExpectedPopularityAtAge(0.0);
+  double h = max_age / static_cast<double>(age_steps);
+  double sum = 0.0;
+  for (size_t i = 0; i < age_steps; ++i) {
+    double age = h * (static_cast<double>(i) + 0.5);
+    sum += ExpectedPopularityAtAge(age);
+  }
+  return sum / static_cast<double>(age_steps);
+}
+
+StageMix PopulationModel::StageMixMixedAges(double max_age, size_t age_steps,
+                                            double infant_threshold,
+                                            double maturity_threshold) const {
+  StageMix total;
+  if (max_age <= 0.0 || age_steps < 1) {
+    return StageMixAtAge(0.0, infant_threshold, maturity_threshold);
+  }
+  double h = max_age / static_cast<double>(age_steps);
+  for (size_t i = 0; i < age_steps; ++i) {
+    double age = h * (static_cast<double>(i) + 0.5);
+    StageMix mix = StageMixAtAge(age, infant_threshold, maturity_threshold);
+    total.infant += mix.infant;
+    total.expansion += mix.expansion;
+    total.maturity += mix.maturity;
+  }
+  double inv = 1.0 / static_cast<double>(age_steps);
+  total.infant *= inv;
+  total.expansion *= inv;
+  total.maturity *= inv;
+  return total;
+}
+
+}  // namespace qrank

@@ -1,0 +1,99 @@
+// Population-level aggregates of the user-visitation model.
+//
+// The per-page model (visitation_model.h) describes one page with known
+// quality. A real Web is a *population* of pages with quality drawn
+// from a distribution (the simulator uses Beta(alpha, beta)). This
+// module integrates the closed-form model over that distribution to
+// answer population questions analytically:
+//
+//   * the expected popularity of a random page at age a,
+//   * the life-stage mix (infant/expansion/maturity) of an age cohort,
+//   * the same quantities for a population with uniformly mixed ages
+//     (the stationary regime under a constant page-birth rate),
+//
+// which predict aggregate simulator statistics and calibrate experiment
+// configurations (e.g. how long until X% of pages mature).
+
+#ifndef QRANK_MODEL_POPULATION_MODEL_H_
+#define QRANK_MODEL_POPULATION_MODEL_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "model/visitation_model.h"
+
+namespace qrank {
+
+struct PopulationParams {
+  /// Quality ~ Beta(quality_alpha, quality_beta) (both > 0).
+  double quality_alpha = 1.3;
+  double quality_beta = 3.0;
+  /// Shared visitation-model parameters (see VisitationParams).
+  double num_users = 1e6;
+  double visit_rate = 1e6;
+  double initial_popularity = 1e-4;
+};
+
+/// Fractions of a cohort in each life stage; sums to 1.
+struct StageMix {
+  double infant = 0.0;
+  double expansion = 0.0;
+  double maturity = 0.0;
+};
+
+class PopulationModel {
+ public:
+  static Result<PopulationModel> Create(const PopulationParams& params,
+                                        size_t quadrature_points = 256);
+
+  const PopulationParams& params() const { return params_; }
+
+  /// Mean quality of the population, alpha / (alpha + beta).
+  double MeanQuality() const;
+
+  /// E_q[ P(q, age) ]: expected popularity of a random page at age
+  /// `age` (>= 0).
+  double ExpectedPopularityAtAge(double age) const;
+
+  /// Life-stage fractions of the cohort of age `age`, with the given
+  /// awareness thresholds (defaults as in VisitationModel::StageAt).
+  StageMix StageMixAtAge(double age, double infant_threshold = 0.1,
+                         double maturity_threshold = 0.9) const;
+
+  /// Expected popularity of a random page in a population whose ages
+  /// are uniform on [0, max_age] (constant birth rate, observed at
+  /// max_age). Integrates ExpectedPopularityAtAge over age with
+  /// `age_steps` Simpson panels.
+  double ExpectedPopularityMixedAges(double max_age,
+                                     size_t age_steps = 64) const;
+
+  /// Stage mix of the uniform-age population.
+  StageMix StageMixMixedAges(double max_age, size_t age_steps = 64,
+                             double infant_threshold = 0.1,
+                             double maturity_threshold = 0.9) const;
+
+ private:
+  PopulationModel(const PopulationParams& params, size_t quadrature_points);
+
+  /// Gauss-Legendre-free: midpoint quadrature over quality with Beta
+  /// pdf weights, nodes fixed at construction.
+  template <typename F>
+  double IntegrateOverQuality(F&& f) const {
+    double sum = 0.0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      sum += weights_[i] * f(nodes_[i]);
+    }
+    return sum;
+  }
+
+  PopulationParams params_;
+  std::vector<double> nodes_;    // quality abscissae in (0, 1)
+  std::vector<double> weights_;  // Beta pdf * panel width, normalized
+};
+
+/// Beta(a, b) probability density at x in (0, 1) (lgamma-based).
+double BetaPdf(double x, double a, double b);
+
+}  // namespace qrank
+
+#endif  // QRANK_MODEL_POPULATION_MODEL_H_

@@ -1,0 +1,104 @@
+#include "model/visitation_model.h"
+
+#include <cmath>
+
+namespace qrank {
+
+Result<VisitationModel> VisitationModel::Create(
+    const VisitationParams& params) {
+  if (!(params.quality > 0.0) || params.quality > 1.0) {
+    return Status::InvalidArgument("quality must be in (0, 1]");
+  }
+  if (!(params.num_users > 0.0)) {
+    return Status::InvalidArgument("num_users must be positive");
+  }
+  if (!(params.visit_rate > 0.0)) {
+    return Status::InvalidArgument("visit_rate must be positive");
+  }
+  if (!(params.initial_popularity > 0.0) ||
+      params.initial_popularity > params.quality) {
+    return Status::InvalidArgument(
+        "initial_popularity must be in (0, quality]");
+  }
+  return VisitationModel(params);
+}
+
+VisitationModel::VisitationModel(const VisitationParams& params)
+    : params_(params),
+      growth_(params.visit_rate / params.num_users * params.quality),
+      c_(params.quality / params.initial_popularity - 1.0) {}
+
+double VisitationModel::Popularity(double t) const {
+  // Theorem 1. For large growth_*t the exp underflows to 0, giving Q.
+  return params_.quality / (1.0 + c_ * std::exp(-growth_ * t));
+}
+
+double VisitationModel::Awareness(double t) const {
+  return Popularity(t) / params_.quality;
+}
+
+double VisitationModel::PopularityDerivative(double t) const {
+  double p = Popularity(t);
+  return params_.visit_rate / params_.num_users * p * (params_.quality - p);
+}
+
+double VisitationModel::VisitRate(double t) const {
+  return params_.visit_rate * Popularity(t);
+}
+
+double VisitationModel::RelativeIncrease(double t) const {
+  // (n/r) (dP/dt)/P simplifies to Q - P under the logistic law.
+  return params_.quality - Popularity(t);
+}
+
+double VisitationModel::EstimatorSum(double t) const {
+  return RelativeIncrease(t) + Popularity(t);
+}
+
+Result<double> VisitationModel::FiniteDifferenceEstimate(double t1,
+                                                         double t2) const {
+  if (t1 < 0.0 || t2 <= t1) {
+    return Status::InvalidArgument("need 0 <= t1 < t2");
+  }
+  double p1 = Popularity(t1);
+  double p2 = Popularity(t2);
+  double i_fd = params_.num_users / params_.visit_rate * ((p2 - p1) /
+                (t2 - t1)) / p1;
+  return i_fd + p2;
+}
+
+Result<double> VisitationModel::TimeToReachFraction(double fraction) const {
+  double initial_fraction = params_.initial_popularity / params_.quality;
+  if (fraction <= initial_fraction || fraction >= 1.0) {
+    return Status::OutOfRange("fraction must be in (P0/Q, 1)");
+  }
+  // Invert P(t) = f*Q:  t = ln(c * f / (1-f)) / growth.
+  return std::log(c_ * fraction / (1.0 - fraction)) / growth_;
+}
+
+LifeStage VisitationModel::StageAt(double t, double infant_threshold,
+                                   double maturity_threshold) const {
+  double frac = Awareness(t);  // == P/Q
+  if (frac < infant_threshold) return LifeStage::kInfant;
+  if (frac > maturity_threshold) return LifeStage::kMaturity;
+  return LifeStage::kExpansion;
+}
+
+std::vector<double> VisitationModel::SamplePopularity(double t_begin,
+                                                      double t_end,
+                                                      size_t num_points) const {
+  std::vector<double> out;
+  if (num_points == 0) return out;
+  out.reserve(num_points);
+  if (num_points == 1) {
+    out.push_back(Popularity(t_begin));
+    return out;
+  }
+  double step = (t_end - t_begin) / static_cast<double>(num_points - 1);
+  for (size_t i = 0; i < num_points; ++i) {
+    out.push_back(Popularity(t_begin + step * static_cast<double>(i)));
+  }
+  return out;
+}
+
+}  // namespace qrank

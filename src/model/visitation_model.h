@@ -1,0 +1,107 @@
+// The paper's user-visitation model in closed form (Sections 6-7).
+//
+// Model assumptions:
+//   * Popularity-equivalence hypothesis (Prop. 1): visit rate
+//     V(p,t) = r * P(p,t).
+//   * Random-visit hypothesis (Prop. 2): each visit is by a uniformly
+//     random one of the n Web users.
+//
+// Consequences implemented here:
+//   * Lemma 1:    P(p,t) = A(p,t) * Q(p)
+//   * Lemma 2:    A(p,t) = 1 - exp(-(r/n) * integral_0^t P dt)
+//   * Theorem 1:  P(p,t) = Q / (1 + [Q/P0 - 1] * exp(-(r/n) Q t))
+//                 (logistic / Verhulst growth)
+//   * Lemma 3:    Q = (n/r) * (dP/dt) / (P * (1 - A))
+//   * Theorem 2:  Q = I(p,t) + P(p,t), with the relative popularity
+//                 increase I(p,t) = (n/r) * (dP/dt) / P.
+//
+// All functions are exact closed forms; tests/model cross-validate them
+// against RK4 integration of the underlying ODE (ode.h).
+
+#ifndef QRANK_MODEL_VISITATION_MODEL_H_
+#define QRANK_MODEL_VISITATION_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace qrank {
+
+/// Parameters of one page's popularity evolution.
+struct VisitationParams {
+  /// Intrinsic quality Q(p) in (0, 1].
+  double quality = 0.5;
+  /// Total number of Web users n (> 0).
+  double num_users = 1e8;
+  /// Visit-rate normalization r (> 0): visits per unit time = r * P.
+  double visit_rate = 1e8;
+  /// Initial popularity P(p, 0) in (0, quality].
+  double initial_popularity = 1e-8;
+};
+
+/// Life stage of a page (Figure 1 of the paper).
+enum class LifeStage {
+  kInfant,     // P < infant_threshold * Q: barely noticed
+  kExpansion,  // rapid growth
+  kMaturity,   // P > maturity_threshold * Q: popularity saturated
+};
+
+class VisitationModel {
+ public:
+  /// Validates parameters (see VisitationParams field contracts).
+  static Result<VisitationModel> Create(const VisitationParams& params);
+
+  const VisitationParams& params() const { return params_; }
+
+  /// P(p,t) by Theorem 1. Requires t >= 0.
+  double Popularity(double t) const;
+
+  /// A(p,t) = P(p,t) / Q (Lemma 1).
+  double Awareness(double t) const;
+
+  /// dP/dt = (r/n) * P * (Q - P) (the logistic ODE).
+  double PopularityDerivative(double t) const;
+
+  /// Visit rate V(p,t) = r * P(p,t) (Proposition 1).
+  double VisitRate(double t) const;
+
+  /// Relative popularity increase I(p,t) = (n/r) * (dP/dt) / P.
+  /// Analytically equals Q - P (Theorem 2); computed as such.
+  double RelativeIncrease(double t) const;
+
+  /// The exact estimator I(p,t) + P(p,t); constant at Q for all t
+  /// (Theorem 2). Kept as an explicit sum for tests and figures.
+  double EstimatorSum(double t) const;
+
+  /// Finite-difference estimator from two popularity observations, as a
+  /// practical system would measure it:
+  ///   I_fd = (n/r) * ((P(t2)-P(t1)) / (t2-t1)) / P(t1)
+  /// Returns I_fd + P(t2) (the snapshot analogue of Theorem 2; converges
+  /// to Q as t2 -> t1). Requires 0 <= t1 < t2.
+  Result<double> FiniteDifferenceEstimate(double t1, double t2) const;
+
+  /// Time at which P first reaches `fraction` * Q (inverse logistic).
+  /// Requires fraction in (P0/Q, 1). Returns OutOfRange otherwise.
+  Result<double> TimeToReachFraction(double fraction) const;
+
+  /// Stage classification with the given thresholds (defaults follow the
+  /// qualitative bands of Figure 1).
+  LifeStage StageAt(double t, double infant_threshold = 0.1,
+                    double maturity_threshold = 0.9) const;
+
+  /// Convenience: P sampled at num_points evenly spaced times in
+  /// [t_begin, t_end] inclusive.
+  std::vector<double> SamplePopularity(double t_begin, double t_end,
+                                       size_t num_points) const;
+
+ private:
+  explicit VisitationModel(const VisitationParams& params);
+
+  VisitationParams params_;
+  double growth_;  // (r/n) * Q, the logistic rate constant
+  double c_;       // Q/P0 - 1
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_MODEL_VISITATION_MODEL_H_

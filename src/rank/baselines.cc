@@ -1,0 +1,18 @@
+#include "rank/baselines.h"
+
+#include "rank/rank_vector.h"
+
+namespace qrank {
+
+std::vector<double> InDegreeScores(const CsrGraph& graph) {
+  std::vector<uint32_t> deg = graph.ComputeInDegrees();
+  return std::vector<double>(deg.begin(), deg.end());
+}
+
+std::vector<double> NormalizedInDegreeScores(const CsrGraph& graph) {
+  std::vector<double> scores = InDegreeScores(graph);
+  NormalizeSum(&scores, 1.0);
+  return scores;
+}
+
+}  // namespace qrank

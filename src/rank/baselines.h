@@ -1,0 +1,27 @@
+// Trivial popularity baselines: raw link counts.
+//
+// Section 5 of the paper notes the estimator "could just as easily
+// substitute the number of links" for PageRank as the popularity measure;
+// these baselines make that substitution available everywhere a score
+// vector is accepted.
+
+#ifndef QRANK_RANK_BASELINES_H_
+#define QRANK_RANK_BASELINES_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace qrank {
+
+/// In-degree of every node as a double score vector.
+std::vector<double> InDegreeScores(const CsrGraph& graph);
+
+/// In-degree normalized to sum to 1 (a popularity distribution directly
+/// comparable to probability-scaled PageRank). All-zero when the graph
+/// has no edges.
+std::vector<double> NormalizedInDegreeScores(const CsrGraph& graph);
+
+}  // namespace qrank
+
+#endif  // QRANK_RANK_BASELINES_H_

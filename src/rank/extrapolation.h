@@ -1,0 +1,42 @@
+// Quadratic extrapolation for accelerating PageRank — Kamvar,
+// Haveliwala, Manning & Golub ([12] in the paper).
+//
+// Power iteration converges at rate |lambda_2| (= damping for PageRank).
+// Quadratic extrapolation periodically treats the current iterate as a
+// linear combination of the first three eigenvectors, estimates and
+// subtracts the second/third eigenvector components from four successive
+// iterates, and restarts the iteration from the cleaned vector —
+// typically a 25-60% wall-clock reduction at tight tolerances.
+
+#ifndef QRANK_RANK_EXTRAPOLATION_H_
+#define QRANK_RANK_EXTRAPOLATION_H_
+
+#include "rank/pagerank.h"
+
+namespace qrank {
+
+struct ExtrapolatedPageRankOptions {
+  PageRankOptions base;
+
+  /// Apply one extrapolation step every `period` power iterations
+  /// (the source paper recommends infrequent application; >= 4).
+  uint32_t period = 10;
+
+  /// First iteration at which extrapolation may fire (needs 4 iterates).
+  uint32_t warmup = 4;
+};
+
+struct ExtrapolatedPageRankResult {
+  PageRankResult base;
+  /// Number of extrapolation steps actually applied (skipped steps —
+  /// singular least-squares systems — do not count).
+  uint32_t extrapolations_applied = 0;
+};
+
+/// Same contract as ComputePageRank.
+Result<ExtrapolatedPageRankResult> ComputeExtrapolatedPageRank(
+    const CsrGraph& graph, const ExtrapolatedPageRankOptions& options = {});
+
+}  // namespace qrank
+
+#endif  // QRANK_RANK_EXTRAPOLATION_H_

@@ -1,0 +1,91 @@
+#include "rank/hits.h"
+
+#include <cmath>
+
+#include "rank/rank_vector.h"
+
+namespace qrank {
+
+namespace {
+
+// L2-normalizes in place; returns false if the norm is zero.
+bool NormalizeL2(std::vector<double>* v) {
+  double ss = 0.0;
+  for (double x : *v) ss += x * x;
+  if (ss <= 0.0) return false;
+  double inv = 1.0 / std::sqrt(ss);
+  for (double& x : *v) x *= inv;
+  return true;
+}
+
+}  // namespace
+
+Result<HitsResult> ComputeHits(const CsrGraph& graph,
+                               const HitsOptions& options) {
+  if (options.tolerance <= 0.0) {
+    return Status::InvalidArgument("tolerance must be positive");
+  }
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  const NodeId n = graph.num_nodes();
+  HitsResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  if (graph.num_edges() == 0) {
+    // No link structure: all scores zero by convention.
+    result.authority.assign(n, 0.0);
+    result.hub.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  result.authority.assign(n, 1.0);
+  result.hub.assign(n, 1.0);
+  NormalizeL2(&result.authority);
+  NormalizeL2(&result.hub);
+  std::vector<double> prev_auth(n, 0.0);
+
+  for (uint32_t iter = 1; iter <= options.max_iterations; ++iter) {
+    prev_auth = result.authority;
+
+    // authority <- sum of hub over in-links (push over out-links).
+    std::fill(result.authority.begin(), result.authority.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId t : graph.OutNeighbors(u)) {
+        result.authority[t] += result.hub[u];
+      }
+    }
+    if (!NormalizeL2(&result.authority)) {
+      return Status::Internal("authority vector collapsed to zero");
+    }
+
+    // hub <- sum of authority over out-links.
+    for (NodeId u = 0; u < n; ++u) {
+      double h = 0.0;
+      for (NodeId t : graph.OutNeighbors(u)) {
+        h += result.authority[t];
+      }
+      result.hub[u] = h;
+    }
+    if (!NormalizeL2(&result.hub)) {
+      return Status::Internal("hub vector collapsed to zero");
+    }
+
+    result.residual = L1Distance(result.authority, prev_auth);
+    result.iterations = iter;
+    if (result.residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  if (!result.converged && options.require_convergence) {
+    return Status::NotConverged("HITS did not converge");
+  }
+  return result;
+}
+
+}  // namespace qrank

@@ -1,0 +1,38 @@
+// HITS — Kleinberg's Hub & Authority metric ([13] in the paper).
+//
+// Included as the second-generation link-analysis baseline the paper
+// compares its lineage against: authority(p) = sum of hub scores linking
+// to p; hub(p) = sum of authority scores p links to, iterated to the
+// principal singular vectors with L2 normalization.
+
+#ifndef QRANK_RANK_HITS_H_
+#define QRANK_RANK_HITS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace qrank {
+
+struct HitsOptions {
+  double tolerance = 1e-10;
+  uint32_t max_iterations = 200;
+  bool require_convergence = false;
+};
+
+struct HitsResult {
+  std::vector<double> authority;  // L2-normalized
+  std::vector<double> hub;        // L2-normalized
+  uint32_t iterations = 0;
+  bool converged = false;
+  double residual = 0.0;
+};
+
+Result<HitsResult> ComputeHits(const CsrGraph& graph,
+                               const HitsOptions& options = {});
+
+}  // namespace qrank
+
+#endif  // QRANK_RANK_HITS_H_

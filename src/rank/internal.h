@@ -1,0 +1,39 @@
+// Helpers shared between the PageRank engine translation units.
+// Not part of the public API.
+
+#ifndef QRANK_RANK_INTERNAL_H_
+#define QRANK_RANK_INTERNAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+#include "rank/pagerank.h"
+
+namespace qrank {
+namespace rank_internal {
+
+/// Validates damping/tolerance/iteration/personalization options.
+Status ValidateOptions(const CsrGraph& graph, const PageRankOptions& options);
+
+/// The (normalized) teleport distribution implied by the options.
+std::vector<double> TeleportDistribution(const CsrGraph& graph,
+                                         const PageRankOptions& options);
+
+/// Applies the requested ScaleConvention in place.
+void ApplyScale(const CsrGraph& graph, const PageRankOptions& options,
+                std::vector<double>* scores);
+
+/// The first power-iteration iterate: the (normalized) warm start if
+/// provided, else the teleport distribution.
+std::vector<double> InitialIterate(const PageRankOptions& options,
+                                   const std::vector<double>& teleport);
+
+/// Enforces require_convergence and applies scaling.
+Status FinishResult(const CsrGraph& graph, const PageRankOptions& options,
+                    PageRankResult* result);
+
+}  // namespace rank_internal
+}  // namespace qrank
+
+#endif  // QRANK_RANK_INTERNAL_H_

@@ -1,0 +1,119 @@
+#include "rank/opic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace qrank {
+
+Result<OpicComputer> OpicComputer::Create(const CsrGraph* graph,
+                                          const OpicOptions& options) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("graph must not be null");
+  }
+  if (graph->num_nodes() == 0) {
+    return Status::InvalidArgument("OPIC needs a non-empty graph");
+  }
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in [0, 1)");
+  }
+  return OpicComputer(graph, options);
+}
+
+OpicComputer::OpicComputer(const CsrGraph* graph, const OpicOptions& options)
+    : graph_(graph), options_(options), rng_(options.seed) {
+  const size_t n = graph_->num_nodes();
+  cash_.assign(n, 1.0 / static_cast<double>(n));
+  history_.assign(n, 0.0);
+  // pool_snapshot semantics are folded into cash_: instead of a per-page
+  // snapshot we spread the uniform pool eagerly but lazily in batches —
+  // see CollectPool in Step(). To stay O(out-degree) per step we keep
+  // one global pool counter and a per-page collected marker.
+  pool_collected_.assign(n, 0.0);
+}
+
+NodeId OpicComputer::PickNext() {
+  const NodeId n = graph_->num_nodes();
+  switch (options_.schedule) {
+    case OpicSchedule::kRoundRobin: {
+      NodeId next = cursor_;
+      cursor_ = (cursor_ + 1) % n;
+      return next;
+    }
+    case OpicSchedule::kRandom:
+      return static_cast<NodeId>(rng_.UniformUint64(n));
+    case OpicSchedule::kGreedy: {
+      // O(n) scan over effective cash (cash + uncollected pool share);
+      // the pool share is identical for all pages whose marker is
+      // equal, so comparing cash + (pool - marker)/n is exact.
+      NodeId best = 0;
+      double best_cash = -1.0;
+      const double inv_n = 1.0 / static_cast<double>(n);
+      for (NodeId i = 0; i < n; ++i) {
+        double effective = cash_[i] + (uniform_pool_ - pool_collected_[i]) *
+                                          inv_n;
+        if (effective > best_cash) {
+          best_cash = effective;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+void OpicComputer::Step() {
+  const NodeId n = graph_->num_nodes();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  NodeId page = PickNext();
+
+  // Collect this page's share of the uniform pool accrued since its
+  // last visit, then bank and forward everything.
+  double effective =
+      cash_[page] + (uniform_pool_ - pool_collected_[page]) * inv_n;
+  pool_collected_[page] = uniform_pool_;
+  cash_[page] = 0.0;
+  if (effective <= 0.0) {
+    ++steps_;
+    return;  // nothing to move (possible under random schedules)
+  }
+
+  history_[page] += effective;
+  total_history_ += effective;
+
+  auto nbrs = graph_->OutNeighbors(page);
+  double linked_share = options_.damping * effective;
+  double uniform_share = effective - linked_share;
+  if (nbrs.empty()) {
+    // Dangling page: everything goes to the uniform pool (footnote 2 of
+    // the paper: a page with no out-links links to every page).
+    uniform_share = effective;
+  } else {
+    double per_neighbor = linked_share / static_cast<double>(nbrs.size());
+    for (NodeId t : nbrs) cash_[t] += per_neighbor;
+  }
+  uniform_pool_ += uniform_share;
+  ++steps_;
+}
+
+void OpicComputer::RunSweeps(uint32_t sweeps) {
+  uint64_t total = static_cast<uint64_t>(sweeps) * graph_->num_nodes();
+  for (uint64_t i = 0; i < total; ++i) Step();
+}
+
+std::vector<double> OpicComputer::Importance() const {
+  const NodeId n = graph_->num_nodes();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<double> importance(n);
+  // Circulating cash totals 1, so the denominator is history + 1.
+  double denom = total_history_ + 1.0;
+  for (NodeId i = 0; i < n; ++i) {
+    double effective =
+        cash_[i] + (uniform_pool_ - pool_collected_[i]) * inv_n;
+    importance[i] = (history_[i] + effective) / denom;
+  }
+  return importance;
+}
+
+}  // namespace qrank

@@ -1,0 +1,90 @@
+// OPIC — Adaptive On-line Page Importance Computation (Abiteboul,
+// Preda & Cobena, [1] in the paper).
+//
+// Unlike power iteration, OPIC needs no global synchronized passes: each
+// page holds "cash"; visiting a page banks its cash into the page's
+// history and forwards it along out-links. The importance estimate of a
+// page is its share of the total banked history, which converges to the
+// stationary link-flow distribution regardless of the page visit order
+// (as long as every page is visited infinitely often). This makes the
+// metric maintainable *during a crawl* — the same online spirit as the
+// paper's evolving-snapshot estimator.
+//
+// We implement the damped variant: a (1 - damping) share of forwarded
+// cash is spread uniformly over all pages (equivalent to the virtual
+// root page of the original paper), so the fixed point equals PageRank
+// with the same damping factor.
+
+#ifndef QRANK_RANK_OPIC_H_
+#define QRANK_RANK_OPIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace qrank {
+
+/// Order in which pages are visited.
+enum class OpicSchedule {
+  kRoundRobin,  // systematic sweep (original paper's baseline)
+  kRandom,      // uniformly random page each step
+  kGreedy,      // always the page with the most accumulated cash
+};
+
+struct OpicOptions {
+  double damping = 0.85;
+  OpicSchedule schedule = OpicSchedule::kRoundRobin;
+  /// Seed for the kRandom schedule.
+  uint64_t seed = 1;
+};
+
+/// Online importance computation over a fixed graph.
+///
+/// Typical use: construct, call Step() (or RunSweeps()) as budget
+/// allows, read Importance() at any time — estimates improve montonically
+/// in expectation and are usable long before convergence.
+class OpicComputer {
+ public:
+  static Result<OpicComputer> Create(const CsrGraph* graph,
+                                     const OpicOptions& options = {});
+
+  /// Processes one page (per the schedule): banks its cash, forwards it.
+  void Step();
+
+  /// Runs `sweeps` * num_nodes steps.
+  void RunSweeps(uint32_t sweeps);
+
+  /// Current importance estimates: (history + cash) share, a
+  /// probability distribution over pages. Converges to PageRank with
+  /// the configured damping.
+  std::vector<double> Importance() const;
+
+  uint64_t steps() const { return steps_; }
+  /// Total banked history (grows linearly with steps).
+  double total_history() const { return total_history_; }
+
+ private:
+  OpicComputer(const CsrGraph* graph, const OpicOptions& options);
+
+  NodeId PickNext();
+
+  const CsrGraph* graph_;  // not owned; must outlive the computer
+  OpicOptions options_;
+  Rng rng_;
+  std::vector<double> cash_;
+  std::vector<double> history_;
+  /// Value of uniform_pool_ when the page last collected its share;
+  /// effective cash = cash_[i] + (uniform_pool_ - pool_collected_[i])/n.
+  std::vector<double> pool_collected_;
+  double total_history_ = 0.0;
+  double uniform_pool_ = 0.0;  // cash owed uniformly to every page
+  NodeId cursor_ = 0;          // round-robin position
+  uint64_t steps_ = 0;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_RANK_OPIC_H_

@@ -1,0 +1,217 @@
+#include "rank/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rank/internal.h"
+#include "rank/rank_vector.h"
+
+namespace qrank {
+
+namespace rank_internal {
+
+Status ValidateOptions(const CsrGraph& graph, const PageRankOptions& options) {
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in [0, 1)");
+  }
+  if (options.tolerance <= 0.0) {
+    return Status::InvalidArgument("tolerance must be positive");
+  }
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (!options.personalization.empty()) {
+    if (options.personalization.size() != graph.num_nodes()) {
+      return Status::InvalidArgument(
+          "personalization vector size must equal num_nodes");
+    }
+    double sum = 0.0;
+    for (double w : options.personalization) {
+      if (w < 0.0 || !std::isfinite(w)) {
+        return Status::InvalidArgument(
+            "personalization weights must be finite and non-negative");
+      }
+      sum += w;
+    }
+    if (sum <= 0.0) {
+      return Status::InvalidArgument("personalization weights must not all "
+                                     "be zero");
+    }
+  }
+  if (!options.initial_scores.empty()) {
+    if (options.initial_scores.size() != graph.num_nodes()) {
+      return Status::InvalidArgument(
+          "initial_scores size must equal num_nodes");
+    }
+    double sum = 0.0;
+    for (double w : options.initial_scores) {
+      if (w < 0.0 || !std::isfinite(w)) {
+        return Status::InvalidArgument(
+            "initial_scores must be finite and non-negative");
+      }
+      sum += w;
+    }
+    if (sum <= 0.0) {
+      return Status::InvalidArgument("initial_scores must not all be zero");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> InitialIterate(const PageRankOptions& options,
+                                   const std::vector<double>& teleport) {
+  if (options.initial_scores.empty()) return teleport;
+  std::vector<double> x = options.initial_scores;
+  NormalizeSum(&x, 1.0);
+  return x;
+}
+
+std::vector<double> TeleportDistribution(const CsrGraph& graph,
+                                         const PageRankOptions& options) {
+  const size_t n = graph.num_nodes();
+  std::vector<double> v;
+  if (options.personalization.empty()) {
+    v.assign(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  } else {
+    v = options.personalization;
+    NormalizeSum(&v, 1.0);
+  }
+  return v;
+}
+
+void ApplyScale(const CsrGraph& graph, const PageRankOptions& options,
+                std::vector<double>* scores) {
+  if (options.scale == ScaleConvention::kTotalMassN) {
+    double n = static_cast<double>(graph.num_nodes());
+    for (double& s : *scores) s *= n;
+  }
+}
+
+Status FinishResult(const CsrGraph& graph, const PageRankOptions& options,
+                    PageRankResult* result) {
+  if (!result->converged && options.require_convergence) {
+    return Status::NotConverged(
+        "PageRank did not reach tolerance in " +
+        std::to_string(options.max_iterations) + " iterations (residual " +
+        std::to_string(result->residual) + ")");
+  }
+  ApplyScale(graph, options, &result->scores);
+  return Status::OK();
+}
+
+}  // namespace rank_internal
+
+using rank_internal::FinishResult;
+using rank_internal::TeleportDistribution;
+using rank_internal::ValidateOptions;
+
+Result<PageRankResult> ComputePageRank(const CsrGraph& graph,
+                                       const PageRankOptions& options) {
+  QRANK_RETURN_NOT_OK(ValidateOptions(graph, options));
+  const NodeId n = graph.num_nodes();
+  PageRankResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  const double alpha = options.damping;
+  const std::vector<double> v = TeleportDistribution(graph, options);
+  std::vector<double> x = rank_internal::InitialIterate(options, v);
+  std::vector<double> next(n, 0.0);
+
+  for (uint32_t iter = 1; iter <= options.max_iterations; ++iter) {
+    // Push pass: distribute alpha * x[u] / c_u along out-links; collect
+    // dangling mass for uniform (teleport-shaped) redistribution.
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      auto nbrs = graph.OutNeighbors(u);
+      if (nbrs.empty()) {
+        dangling += x[u];
+        continue;
+      }
+      double share = alpha * x[u] / static_cast<double>(nbrs.size());
+      for (NodeId t : nbrs) next[t] += share;
+    }
+    double base = 1.0 - alpha;
+    double dangling_share = alpha * dangling;
+    for (NodeId i = 0; i < n; ++i) {
+      next[i] += (base + dangling_share) * v[i];
+    }
+
+    result.residual = L1Distance(next, x);
+    x.swap(next);
+    result.iterations = iter;
+    if (result.residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.scores = std::move(x);
+  QRANK_RETURN_NOT_OK(FinishResult(graph, options, &result));
+  return result;
+}
+
+Result<PageRankResult> ComputePageRankGaussSeidel(
+    const CsrGraph& graph, const PageRankOptions& options) {
+  QRANK_RETURN_NOT_OK(ValidateOptions(graph, options));
+  const NodeId n = graph.num_nodes();
+  PageRankResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  const double alpha = options.damping;
+  const std::vector<double> v = TeleportDistribution(graph, options);
+  std::vector<double> x = rank_internal::InitialIterate(options, v);
+
+  // Pull formulation over the transpose; out-degrees cached once.
+  const CsrGraph transpose = graph.Transpose();
+  std::vector<double> inv_outdeg(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    uint32_t d = graph.OutDegree(u);
+    if (d > 0) inv_outdeg[u] = 1.0 / static_cast<double>(d);
+  }
+
+  for (uint32_t iter = 1; iter <= options.max_iterations; ++iter) {
+    // Dangling mass held fixed during a sweep (recomputed per sweep);
+    // converges to the same fixed point.
+    double dangling = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (inv_outdeg[u] == 0.0) dangling += x[u];
+    }
+    double residual = 0.0;
+    for (NodeId i = 0; i < n; ++i) {
+      double pull = 0.0;
+      for (NodeId u : transpose.OutNeighbors(i)) {
+        pull += x[u] * inv_outdeg[u];
+      }
+      double fresh =
+          (1.0 - alpha + alpha * dangling) * v[i] + alpha * pull;
+      residual += std::fabs(fresh - x[i]);
+      // A dangling node's own mass feeds the sweep-constant `dangling`;
+      // the update is still a contraction.
+      x[i] = fresh;
+    }
+    // Gauss-Seidel drifts slightly off the unit simplex because later
+    // updates see fresh values; renormalize to keep probability scale.
+    NormalizeSum(&x, 1.0);
+
+    result.residual = residual;
+    result.iterations = iter;
+    if (residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.scores = std::move(x);
+  QRANK_RETURN_NOT_OK(FinishResult(graph, options, &result));
+  return result;
+}
+
+}  // namespace qrank

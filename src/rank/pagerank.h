@@ -1,0 +1,95 @@
+// PageRank engines.
+//
+// Implements the metric of Section 3 of the paper:
+//
+//   PR(p_i) = d + (1 - d) [ PR(p_1)/c_1 + ... + PR(p_m)/c_m ]
+//
+// where d is the paper's damping (teleport) probability and c_j the
+// out-degree of the linking page. Footnote 2 ("a page with no outgoing
+// link is assumed to link to every page") is realized as uniform
+// redistribution of dangling mass, without materializing O(n^2) edges.
+//
+// Two numeric conventions are supported:
+//  * kProbability — scores form a distribution (sum to 1): the
+//    random-surfer stationary distribution.
+//  * kTotalMassN — scores sum to num_nodes, matching the paper's
+//    "initial PageRank value 1 per page" convention used in Section 8.
+//
+// Engines:
+//  * ComputePageRank        — Jacobi power iteration (reference engine).
+//  * ComputePageRankGaussSeidel — in-place sweeps, typically ~2x fewer
+//    iterations; requires the transpose.
+//  * ComputeAdaptivePageRank (adaptive_pagerank.h)   — [11] in the paper.
+//  * ComputeExtrapolatedPageRank (extrapolation.h)   — [12] in the paper.
+
+#ifndef QRANK_RANK_PAGERANK_H_
+#define QRANK_RANK_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace qrank {
+
+enum class ScaleConvention {
+  kProbability,  // scores sum to 1
+  kTotalMassN,   // scores sum to num_nodes (paper's Section 8 convention)
+};
+
+struct PageRankOptions {
+  /// Probability of following a link (1 - paper's d). 0.85 is the
+  /// standard Brin-Page value.
+  double damping = 0.85;
+
+  /// Stop when the L1 change between successive iterates (in probability
+  /// scale) drops below this.
+  double tolerance = 1e-10;
+
+  uint32_t max_iterations = 200;
+
+  ScaleConvention scale = ScaleConvention::kProbability;
+
+  /// Optional teleport distribution (personalized / topic-sensitive
+  /// PageRank, [10] in the paper). Empty means uniform. Must have
+  /// num_nodes entries summing to a positive value; it is normalized
+  /// internally. Dangling mass follows the same distribution.
+  std::vector<double> personalization;
+
+  /// If true, a run that hits max_iterations without meeting tolerance
+  /// returns Status::NotConverged; if false it returns the last iterate
+  /// with converged=false.
+  bool require_convergence = false;
+
+  /// Optional warm-start iterate (probability or any positive scale —
+  /// normalized internally). Empty means start from the teleport
+  /// distribution. Must have num_nodes non-negative entries with a
+  /// positive sum. The fixed point is unchanged; only the iteration
+  /// count depends on the start.
+  std::vector<double> initial_scores;
+};
+
+struct PageRankResult {
+  std::vector<double> scores;
+  uint32_t iterations = 0;
+  bool converged = false;
+  /// Final L1 residual (probability scale).
+  double residual = 0.0;
+};
+
+/// Jacobi power iteration. InvalidArgument on bad options
+/// (damping outside [0,1), non-positive tolerance, bad personalization).
+/// An empty graph yields an empty score vector.
+Result<PageRankResult> ComputePageRank(const CsrGraph& graph,
+                                       const PageRankOptions& options = {});
+
+/// Gauss-Seidel sweeps over the pull formulation (uses the transpose;
+/// in-place updates so later nodes see this sweep's fresh values).
+/// Same contract as ComputePageRank.
+Result<PageRankResult> ComputePageRankGaussSeidel(
+    const CsrGraph& graph, const PageRankOptions& options = {});
+
+}  // namespace qrank
+
+#endif  // QRANK_RANK_PAGERANK_H_

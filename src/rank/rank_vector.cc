@@ -1,0 +1,56 @@
+#include "rank/rank_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace qrank {
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  QRANK_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+double L1Norm(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += std::fabs(x);
+  return sum;
+}
+
+void NormalizeSum(std::vector<double>* v, double target_sum) {
+  double sum = std::accumulate(v->begin(), v->end(), 0.0);
+  if (sum == 0.0) return;
+  double scale = target_sum / sum;
+  for (double& x : *v) x *= scale;
+}
+
+std::vector<NodeId> TopK(const std::vector<double>& scores, size_t k) {
+  std::vector<NodeId> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  k = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<long>(k), ids.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  ids.resize(k);
+  return ids;
+}
+
+std::vector<uint32_t> DenseRanks(const std::vector<double>& scores) {
+  std::vector<NodeId> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  std::vector<uint32_t> rank(scores.size(), 0);
+  for (uint32_t pos = 0; pos < ids.size(); ++pos) rank[ids[pos]] = pos;
+  return rank;
+}
+
+}  // namespace qrank

@@ -1,0 +1,34 @@
+// Small utilities over score vectors shared by all ranking algorithms.
+
+#ifndef QRANK_RANK_RANK_VECTOR_H_
+#define QRANK_RANK_RANK_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace qrank {
+
+/// L1 norm of (a - b). Requires equal sizes.
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Sum of elements.
+double L1Norm(const std::vector<double>& v);
+
+/// Scales `v` in place so it sums to `target_sum` (no-op if the current
+/// sum is zero).
+void NormalizeSum(std::vector<double>* v, double target_sum = 1.0);
+
+/// Indices of the k largest scores, highest first; ties broken by lower
+/// node id (stable, deterministic).
+std::vector<NodeId> TopK(const std::vector<double>& scores, size_t k);
+
+/// rank[i] = position of node i when sorted by descending score
+/// (0 = best; ties broken by lower node id).
+std::vector<uint32_t> DenseRanks(const std::vector<double>& scores);
+
+}  // namespace qrank
+
+#endif  // QRANK_RANK_RANK_VECTOR_H_

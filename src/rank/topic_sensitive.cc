@@ -1,0 +1,68 @@
+#include "rank/topic_sensitive.h"
+
+#include <cmath>
+
+namespace qrank {
+
+Result<TopicSensitivePageRank> TopicSensitivePageRank::Create(
+    const CsrGraph& graph, const std::vector<TopicSpec>& topics,
+    const PageRankOptions& options) {
+  if (topics.empty()) {
+    return Status::InvalidArgument("need at least one topic");
+  }
+  if (!options.personalization.empty()) {
+    return Status::InvalidArgument(
+        "options.personalization is derived per topic; leave it empty");
+  }
+  TopicSensitivePageRank tspr;
+  tspr.names_.reserve(topics.size());
+  tspr.basis_.reserve(topics.size());
+  for (const TopicSpec& topic : topics) {
+    if (topic.seed_pages.empty()) {
+      return Status::InvalidArgument("topic '" + topic.name +
+                                     "' has no seed pages");
+    }
+    std::vector<double> teleport(graph.num_nodes(), 0.0);
+    for (NodeId p : topic.seed_pages) {
+      if (p >= graph.num_nodes()) {
+        return Status::InvalidArgument("topic '" + topic.name +
+                                       "' seed page out of range");
+      }
+      teleport[p] = 1.0;  // duplicates collapse naturally
+    }
+    PageRankOptions topic_options = options;
+    topic_options.personalization = std::move(teleport);
+    QRANK_ASSIGN_OR_RETURN(PageRankResult pr,
+                           ComputePageRank(graph, topic_options));
+    tspr.names_.push_back(topic.name);
+    tspr.basis_.push_back(std::move(pr.scores));
+  }
+  return tspr;
+}
+
+Result<std::vector<double>> TopicSensitivePageRank::Blend(
+    const std::vector<double>& weights) const {
+  if (weights.size() != basis_.size()) {
+    return Status::InvalidArgument("need one weight per topic");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("weights must not all be zero");
+  }
+  std::vector<double> blended(basis_.front().size(), 0.0);
+  for (size_t t = 0; t < basis_.size(); ++t) {
+    double w = weights[t] / total;
+    if (w == 0.0) continue;
+    const std::vector<double>& vec = basis_[t];
+    for (size_t i = 0; i < vec.size(); ++i) blended[i] += w * vec[i];
+  }
+  return blended;
+}
+
+}  // namespace qrank

@@ -1,0 +1,61 @@
+// Topic-Sensitive PageRank — Haveliwala ([10] in the paper).
+//
+// Offline, one PageRank vector is computed per topic, with the teleport
+// distribution restricted to that topic's seed pages. At query time the
+// basis vectors are blended with topic weights (e.g. the query's topic
+// distribution), yielding a ranking biased toward the query's subject
+// without any online PageRank computation — by linearity, the blend
+// equals the PageRank personalized on the blended teleport
+// distribution.
+
+#ifndef QRANK_RANK_TOPIC_SENSITIVE_H_
+#define QRANK_RANK_TOPIC_SENSITIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+#include "rank/pagerank.h"
+
+namespace qrank {
+
+struct TopicSpec {
+  std::string name;
+  /// Seed pages of the topic; teleportation is uniform over them.
+  /// Must be non-empty, ids in range, duplicates ignored.
+  std::vector<NodeId> seed_pages;
+};
+
+class TopicSensitivePageRank {
+ public:
+  /// Computes one basis vector per topic (the expensive offline step).
+  /// `options.personalization` must be empty — it is derived per topic.
+  static Result<TopicSensitivePageRank> Create(
+      const CsrGraph& graph, const std::vector<TopicSpec>& topics,
+      const PageRankOptions& options = {});
+
+  size_t num_topics() const { return names_.size(); }
+  const std::string& topic_name(size_t t) const { return names_[t]; }
+
+  /// The basis PageRank vector of topic `t`.
+  const std::vector<double>& BasisVector(size_t t) const {
+    return basis_[t];
+  }
+
+  /// Query-time blend: scores = sum_t weights[t] * basis[t].
+  /// `weights` must have num_topics() non-negative entries with a
+  /// positive sum; they are normalized internally.
+  Result<std::vector<double>> Blend(const std::vector<double>& weights) const;
+
+ private:
+  TopicSensitivePageRank() = default;
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> basis_;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_RANK_TOPIC_SENSITIVE_H_

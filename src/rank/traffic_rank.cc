@@ -1,0 +1,116 @@
+#include "rank/traffic_rank.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qrank {
+
+Result<TrafficRankResult> ComputeTrafficRank(
+    const CsrGraph& graph, const TrafficRankOptions& options) {
+  if (options.tolerance <= 0.0) {
+    return Status::InvalidArgument("tolerance must be positive");
+  }
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (options.update_damping <= 0.0 || options.update_damping > 1.0) {
+    return Status::InvalidArgument("update_damping must be in (0, 1]");
+  }
+
+  const NodeId n = graph.num_nodes();
+  TrafficRankResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  const CsrGraph transpose = graph.Transpose();
+  // beta[0..n) are real pages; beta[n] is the virtual world page that
+  // links to and from every real page.
+  std::vector<double> beta(static_cast<size_t>(n) + 1, 1.0);
+  std::vector<double> fresh(static_cast<size_t>(n) + 1, 1.0);
+  const double gamma = options.update_damping;
+
+  for (uint32_t iter = 1; iter <= options.max_iterations; ++iter) {
+    double sum_beta_real = 0.0;
+    double sum_inv_beta_real = 0.0;
+    for (NodeId i = 0; i < n; ++i) {
+      sum_beta_real += beta[i];
+      sum_inv_beta_real += 1.0 / beta[i];
+    }
+
+    // Real pages.
+    for (NodeId j = 0; j < n; ++j) {
+      double out_sum = beta[n];  // virtual out-edge j -> world
+      for (NodeId k : graph.OutNeighbors(j)) out_sum += beta[k];
+      double in_sum = 1.0 / beta[n];  // virtual in-edge world -> j
+      for (NodeId i : transpose.OutNeighbors(j)) in_sum += 1.0 / beta[i];
+      double target = std::sqrt(out_sum / in_sum);
+      fresh[j] = gamma >= 1.0
+                     ? target
+                     : std::pow(beta[j], 1.0 - gamma) *
+                           std::pow(target, gamma);
+    }
+    // Virtual page.
+    {
+      double target = std::sqrt(sum_beta_real / sum_inv_beta_real);
+      fresh[n] = gamma >= 1.0 ? target
+                              : std::pow(beta[n], 1.0 - gamma) *
+                                    std::pow(target, gamma);
+    }
+
+    // Gauge fix: the flow depends only on beta ratios; pin the virtual
+    // page's multiplier at 1 to remove the scale freedom.
+    double scale = 1.0 / fresh[n];
+    double residual = 0.0;
+    for (size_t i = 0; i <= n; ++i) {
+      fresh[i] *= scale;
+      residual = std::max(residual,
+                          std::fabs(fresh[i] / beta[i] - 1.0));
+    }
+    beta.swap(fresh);
+    result.residual = residual;
+    result.iterations = iter;
+    if (residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  if (!result.converged && options.require_convergence) {
+    return Status::NotConverged("TrafficRank balancing did not converge");
+  }
+
+  // Edge flows f_ij = beta_j / beta_i over real + virtual edges.
+  double total_flow = 0.0;
+  std::vector<double> through(n, 0.0);
+  for (NodeId i = 0; i < n; ++i) {
+    double inv_beta_i = 1.0 / beta[i];
+    for (NodeId j : graph.OutNeighbors(i)) {
+      double f = beta[j] * inv_beta_i;
+      through[j] += f;
+      total_flow += f;
+    }
+    // world -> i and i -> world.
+    double f_in = beta[i] / beta[n];
+    through[i] += f_in;
+    total_flow += f_in;
+    total_flow += beta[n] * inv_beta_i;  // flows into the virtual page
+  }
+
+  result.traffic.resize(n);
+  result.scores.resize(n);
+  double real_total = 0.0;
+  for (NodeId j = 0; j < n; ++j) {
+    result.traffic[j] = through[j] / total_flow;
+    real_total += result.traffic[j];
+  }
+  if (real_total > 0.0) {
+    for (NodeId j = 0; j < n; ++j) {
+      result.scores[j] = result.traffic[j] / real_total;
+    }
+  }
+  return result;
+}
+
+}  // namespace qrank

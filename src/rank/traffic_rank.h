@@ -1,0 +1,63 @@
+// TrafficRank — entropy-maximizing flow ranking (Tomlin, [23] in the
+// paper: "A new paradigm for ranking pages on the world wide web").
+//
+// Instead of the random-surfer stationary distribution, Tomlin ranks
+// pages by the *user traffic* flowing through them, modeled as the
+// maximum-entropy distribution of flow over the link graph subject to
+// flow conservation at every page. Maximum entropy gives each edge flow
+// the Gibbs form p_ij = C * beta_j / beta_i with one multiplier per
+// page, and conservation yields the fixed point
+//
+//     beta_j^2 = (sum_{k in out(j)} beta_k) / (sum_{i in in(j)} 1/beta_i)
+//
+// solved here by damped fixed-point iteration (a Sinkhorn-style
+// balancing scheme). A virtual "world" page with an edge to and from
+// every real page closes the flow (sessions begin and end somewhere),
+// exactly as Tomlin's formulation adds a source/sink.
+//
+// The TrafficRank of a page is its through-flow (its share of total
+// traffic). The paper cites this as the traffic-based alternative
+// popularity metric; the quality estimator accepts it anywhere a
+// popularity vector is accepted.
+
+#ifndef QRANK_RANK_TRAFFIC_RANK_H_
+#define QRANK_RANK_TRAFFIC_RANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace qrank {
+
+struct TrafficRankOptions {
+  /// Stop when the max relative change of any multiplier drops below
+  /// this.
+  double tolerance = 1e-10;
+  uint32_t max_iterations = 500;
+  /// Damping of the multiplicative update (1 = undamped; smaller is
+  /// more stable on graphs with extreme degree skew).
+  double update_damping = 1.0;
+  bool require_convergence = false;
+};
+
+struct TrafficRankResult {
+  /// Through-traffic share per page; sums to (1 - virtual-node
+  /// through-flow), i.e. the flow that passes through real pages.
+  std::vector<double> traffic;
+  /// Normalized to sum to 1 over real pages (the ranking vector).
+  std::vector<double> scores;
+  uint32_t iterations = 0;
+  bool converged = false;
+  double residual = 0.0;
+};
+
+/// Computes TrafficRank. InvalidArgument on bad options; an empty graph
+/// yields empty vectors.
+Result<TrafficRankResult> ComputeTrafficRank(
+    const CsrGraph& graph, const TrafficRankOptions& options = {});
+
+}  // namespace qrank
+
+#endif  // QRANK_RANK_TRAFFIC_RANK_H_

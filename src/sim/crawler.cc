@@ -1,0 +1,57 @@
+#include "sim/crawler.h"
+
+#include <deque>
+
+namespace qrank {
+
+Result<CrawlResult> Crawl(const CsrGraph& truth,
+                          const std::vector<NodeId>& seeds,
+                          const CrawlerOptions& options) {
+  for (NodeId s : seeds) {
+    if (s >= truth.num_nodes()) {
+      return Status::InvalidArgument("seed page out of range");
+    }
+  }
+
+  CrawlResult result;
+  result.crawled.assign(truth.num_nodes(), false);
+
+  // BFS frontier of discovered-but-not-downloaded pages.
+  std::vector<bool> discovered(truth.num_nodes(), false);
+  std::deque<std::pair<NodeId, uint32_t>> frontier;  // (page, depth)
+  for (NodeId s : seeds) {
+    if (!discovered[s]) {
+      discovered[s] = true;
+      frontier.emplace_back(s, 0);
+    }
+  }
+
+  EdgeList observed(truth.num_nodes());
+  while (!frontier.empty()) {
+    if (options.page_budget > 0 &&
+        result.pages_crawled >= options.page_budget) {
+      result.budget_exhausted = true;
+      break;
+    }
+    auto [page, depth] = frontier.front();
+    frontier.pop_front();
+
+    result.crawled[page] = true;
+    ++result.pages_crawled;
+    for (NodeId target : truth.OutNeighbors(page)) {
+      observed.Add(page, target);
+      ++result.links_observed;
+      bool depth_ok = options.max_depth == 0 || depth < options.max_depth;
+      if (!discovered[target] && depth_ok) {
+        discovered[target] = true;
+        frontier.emplace_back(target, depth + 1);
+      }
+    }
+  }
+
+  observed.EnsureNodes(truth.num_nodes());
+  QRANK_ASSIGN_OR_RETURN(result.graph, CsrGraph::FromEdgeList(observed));
+  return result;
+}
+
+}  // namespace qrank

@@ -1,0 +1,65 @@
+// Simulated Web crawler: the paper's snapshot-acquisition methodology.
+//
+// Section 8.1: "We downloaded pages from each site until we could not
+// reach any more pages from the site or we downloaded the maximum of
+// 200,000 pages." A crawl is therefore a *partial observation* of the
+// true link structure: BFS from seed pages, bounded by a page budget,
+// seeing only links of downloaded pages.
+//
+// Crawler turns a true graph (e.g. a WebSimulator snapshot) into what a
+// crawl would capture, so experiments can measure how robust the
+// quality estimator is to crawl incompleteness — a confounder the
+// paper's real dataset certainly contained.
+
+#ifndef QRANK_SIM_CRAWLER_H_
+#define QRANK_SIM_CRAWLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace qrank {
+
+struct CrawlerOptions {
+  /// Maximum pages downloaded (0 = unlimited). The paper used 200,000
+  /// per site.
+  uint64_t page_budget = 0;
+
+  /// Maximum BFS depth from the seeds (0 = unlimited).
+  uint32_t max_depth = 0;
+
+  /// If true, edges into crawled pages FROM uncrawled pages are
+  /// unknown (a crawler only sees out-links of pages it downloaded);
+  /// always the case — flag reserved for symmetric experiments where
+  /// the transpose is also available (e.g. a backlink API).
+  bool observe_backlinks = false;
+};
+
+struct CrawlResult {
+  /// Crawled subgraph over the ORIGINAL page ids (uncrawled pages keep
+  /// their ids but have no edges and are not marked crawled). This
+  /// preserves id alignment across snapshots, as the paper's common-page
+  /// matching requires.
+  CsrGraph graph;
+  /// crawled[p] is true iff p was downloaded.
+  std::vector<bool> crawled;
+  uint64_t pages_crawled = 0;
+  /// Links seen from crawled pages (including links to uncrawled
+  /// frontier pages, which a crawler knows exist).
+  uint64_t links_observed = 0;
+  /// True iff the crawl stopped because of the budget rather than
+  /// frontier exhaustion.
+  bool budget_exhausted = false;
+};
+
+/// Crawls `truth` by BFS from `seeds`. Seeds out of range are rejected;
+/// duplicate seeds are fine. An empty seed list yields an empty crawl.
+Result<CrawlResult> Crawl(const CsrGraph& truth,
+                          const std::vector<NodeId>& seeds,
+                          const CrawlerOptions& options = {});
+
+}  // namespace qrank
+
+#endif  // QRANK_SIM_CRAWLER_H_

@@ -1,0 +1,45 @@
+#include "sim/search_engine.h"
+
+namespace qrank {
+
+const char* RankingPolicyName(RankingPolicy policy) {
+  switch (policy) {
+    case RankingPolicy::kNone:
+      return "none";
+    case RankingPolicy::kPageRank:
+      return "pagerank";
+    case RankingPolicy::kInDegree:
+      return "indegree";
+    case RankingPolicy::kQualityEstimate:
+      return "quality-estimate";
+    case RankingPolicy::kRandom:
+      return "random";
+    case RankingPolicy::kTrueQuality:
+      return "true-quality";
+  }
+  return "?";
+}
+
+Status ValidateSearchEngineOptions(const SearchEngineOptions& options) {
+  if (options.policy == RankingPolicy::kNone) return Status::OK();
+  if (options.search_traffic_fraction < 0.0 ||
+      options.search_traffic_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "search_traffic_fraction must be in [0, 1]");
+  }
+  if (options.results_per_query < 1) {
+    return Status::InvalidArgument("results_per_query must be >= 1");
+  }
+  if (options.position_bias < 0.0) {
+    return Status::InvalidArgument("position_bias must be >= 0");
+  }
+  if (!(options.rerank_period > 0.0)) {
+    return Status::InvalidArgument("rerank_period must be positive");
+  }
+  if (options.quality_constant < 0.0) {
+    return Status::InvalidArgument("quality_constant must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace qrank

@@ -1,0 +1,78 @@
+// Search-engine mediation for the web simulator: the feedback loop the
+// paper's introduction describes.
+//
+// "Since currently-popular pages are repeatedly returned by search
+// engines as the top results, they are also the easiest for users to
+// discover, which increases their popularity further" (Section 1). To
+// study that loop — and the paper's conclusion that a quality-based
+// ranking "can identify high-quality pages much earlier … and shorten
+// the time it takes for new pages to get noticed" — the simulator can
+// route a fraction of all visits through a search engine that exposes
+// pages according to a pluggable ranking policy and a position-bias
+// click model.
+//
+// Exposure model: a search-mediated visit lands on the page at result
+// position k (0-based) with probability proportional to
+// (k + 1)^-position_bias, truncated to the top `results_per_query`
+// positions — the standard discrete power-law click model.
+
+#ifndef QRANK_SIM_SEARCH_ENGINE_H_
+#define QRANK_SIM_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace qrank {
+
+/// What the simulated search engine ranks by.
+enum class RankingPolicy {
+  /// No search mediation (pure user-visitation model).
+  kNone,
+  /// Current PageRank of the live link graph — the PageRank-era status
+  /// quo the paper critiques.
+  kPageRank,
+  /// Raw in-link count (first-generation link popularity).
+  kInDegree,
+  /// The paper's quality estimator computed from the engine's own
+  /// periodic PageRank history (Equation 1 with the configured C).
+  kQualityEstimate,
+  /// Uniformly random ranking (exposure control).
+  kRandom,
+  /// Oracle: the latent true quality (upper bound, simulation-only).
+  kTrueQuality,
+};
+
+const char* RankingPolicyName(RankingPolicy policy);
+
+struct SearchEngineOptions {
+  RankingPolicy policy = RankingPolicy::kNone;
+
+  /// Fraction of all visit traffic routed through the search engine
+  /// (the paper cites 75% of searches handled by Google); the remaining
+  /// traffic follows the organic popularity-proportional process.
+  double search_traffic_fraction = 0.5;
+
+  /// Result-list depth users ever click through to.
+  uint32_t results_per_query = 50;
+
+  /// Exponent of the position-bias click model; larger = clicks
+  /// concentrate harder on the top results. 1.0 is Zipf.
+  double position_bias = 1.0;
+
+  /// The engine recrawls and reranks every this many time units
+  /// (simulates periodic index rebuilds).
+  double rerank_period = 1.0;
+
+  /// Equation 1 constant used by the kQualityEstimate policy.
+  double quality_constant = 0.1;
+};
+
+/// Validates a SearchEngineOptions block.
+Status ValidateSearchEngineOptions(const SearchEngineOptions& options);
+
+}  // namespace qrank
+
+#endif  // QRANK_SIM_SEARCH_ENGINE_H_

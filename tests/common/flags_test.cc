@@ -1,0 +1,87 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace qrank {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "binary");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser p = Parse({"--seed=42", "--rate=0.5", "--name=hello"});
+  EXPECT_TRUE(p.status().ok());
+  EXPECT_EQ(p.GetInt("seed", 0), 42);
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate", 0.0), 0.5);
+  EXPECT_EQ(p.GetString("name", ""), "hello");
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser p = Parse({"--seed", "7", "--verbose"});
+  EXPECT_EQ(p.GetInt("seed", 0), 7);
+  EXPECT_TRUE(p.GetBool("verbose", false));
+}
+
+TEST(FlagParserTest, FallbacksWhenAbsent) {
+  FlagParser p = Parse({});
+  EXPECT_EQ(p.GetInt("seed", 99), 99);
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate", 1.5), 1.5);
+  EXPECT_EQ(p.GetString("name", "dflt"), "dflt");
+  EXPECT_FALSE(p.GetBool("verbose", false));
+  EXPECT_FALSE(p.Has("seed"));
+}
+
+TEST(FlagParserTest, TypeErrorsAreSticky) {
+  FlagParser p = Parse({"--seed=abc"});
+  EXPECT_EQ(p.GetInt("seed", 5), 5);
+  EXPECT_FALSE(p.status().ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, BadDoubleAndBool) {
+  FlagParser p = Parse({"--rate=fast"});
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate", 2.0), 2.0);
+  EXPECT_FALSE(p.status().ok());
+
+  FlagParser q = Parse({"--flag=banana"});
+  EXPECT_TRUE(q.GetBool("flag", true));
+  EXPECT_FALSE(q.status().ok());
+}
+
+TEST(FlagParserTest, BoolAccepts01YesNo) {
+  FlagParser p = Parse({"--a=1", "--b=0", "--c=yes", "--d=no"});
+  EXPECT_TRUE(p.GetBool("a", false));
+  EXPECT_FALSE(p.GetBool("b", true));
+  EXPECT_TRUE(p.GetBool("c", false));
+  EXPECT_FALSE(p.GetBool("d", true));
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  FlagParser p = Parse({"input.txt", "--seed=1", "output.txt"});
+  EXPECT_EQ(p.positional(),
+            (std::vector<std::string>{"input.txt", "output.txt"}));
+}
+
+TEST(FlagParserTest, FlagFollowedByFlagIsBoolean) {
+  FlagParser p = Parse({"--verbose", "--seed", "3"});
+  EXPECT_TRUE(p.GetBool("verbose", false));
+  EXPECT_EQ(p.GetInt("seed", 0), 3);
+}
+
+TEST(FlagParserTest, MalformedFlagSetsError) {
+  FlagParser p = Parse({"---x=1"});
+  EXPECT_FALSE(p.status().ok());
+}
+
+TEST(FlagParserTest, UnusedFlagsDetected) {
+  FlagParser p = Parse({"--seed=1", "--typo=2"});
+  EXPECT_EQ(p.GetInt("seed", 0), 1);
+  std::vector<std::string> unused = p.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,92 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stopwatch.h"
+
+namespace qrank {
+namespace {
+
+// Captures std::cerr for the duration of a scope.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, MessagesCarryLevelAndLocation) {
+  CerrCapture capture;
+  QRANK_LOG_WARN << "simulator budget " << 42 << " exceeded";
+  std::string out = capture.str();
+  EXPECT_NE(out.find("[WARN"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(out.find("simulator budget 42 exceeded"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelFiltersLowerMessages) {
+  SetLogLevel(LogLevel::kError);
+  CerrCapture capture;
+  QRANK_LOG_INFO << "hidden";
+  QRANK_LOG_WARN << "also hidden";
+  QRANK_LOG_ERROR << "visible";
+  std::string out = capture.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DebugDisabledByDefault) {
+  CerrCapture capture;
+  QRANK_LOG_DEBUG << "debug detail";
+  EXPECT_EQ(capture.str().find("debug detail"), std::string::npos);
+  SetLogLevel(LogLevel::kDebug);
+  QRANK_LOG_DEBUG << "debug detail";
+  EXPECT_NE(capture.str().find("debug detail"), std::string::npos);
+}
+
+TEST_F(LoggingTest, GetLogLevelRoundTrips) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, DisabledLevelDoesNotEvaluateStream) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  QRANK_LOG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);
+  QRANK_LOG_ERROR << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  double first = sw.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  // Busy-wait a tiny amount; elapsed must be monotone.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  double second = sw.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  EXPECT_NEAR(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3,
+              sw.ElapsedMillis() * 0.5 + 1.0);
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedSeconds(), second + 1.0);
+}
+
+}  // namespace
+}  // namespace qrank

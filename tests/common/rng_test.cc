@@ -1,0 +1,290 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace qrank {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  uint64_t x = rng.NextUint64();
+  uint64_t y = rng.NextUint64();
+  EXPECT_NE(x, y);  // not stuck
+}
+
+TEST(RngTest, UniformUint64RespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformUint64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformUint64CoversSupport) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformUint64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  // Degenerate single-point range.
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(19);
+  int hits = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(23);
+  const int kN = 100000;
+  double sum = 0.0, ss = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    ss += v * v;
+  }
+  double mean = sum / kN;
+  double var = ss / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.25);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(29);
+  const int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.Exponential(2.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, ParetoRespectsMinimumAndTail) {
+  Rng rng(31);
+  const int kN = 50000;
+  int above2 = 0;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.Pareto(1.0, 2.0);
+    EXPECT_GE(v, 1.0);
+    if (v > 2.0) ++above2;
+  }
+  // P(X > 2) = (1/2)^2 = 0.25.
+  EXPECT_NEAR(static_cast<double>(above2) / kN, 0.25, 0.02);
+}
+
+TEST(RngTest, BetaStaysInUnitIntervalWithCorrectMean) {
+  Rng rng(37);
+  const int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.Beta(2.0, 5.0);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 2.0 / 7.0, 0.01);
+}
+
+TEST(RngTest, GammaMeanMatches) {
+  Rng rng(41);
+  const int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.Gamma(3.0, 2.0);
+  EXPECT_NEAR(sum / kN, 6.0, 0.15);
+}
+
+TEST(RngTest, GammaShapeBelowOne) {
+  Rng rng(43);
+  const int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.Gamma(0.5, 1.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.05);
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MeanAndVarianceMatchLambda) {
+  const double lambda = GetParam();
+  Rng rng(47);
+  const int kN = 50000;
+  double sum = 0.0, ss = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double v = static_cast<double>(rng.Poisson(lambda));
+    sum += v;
+    ss += v * v;
+  }
+  double mean = sum / kN;
+  double var = ss / kN - mean * mean;
+  double tol = std::max(0.05, 4.0 * std::sqrt(lambda / kN) + 0.02 * lambda);
+  EXPECT_NEAR(mean, lambda, tol);
+  EXPECT_NEAR(var, lambda, std::max(0.1, 0.1 * lambda));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, RngPoissonTest,
+                         ::testing::Values(0.1, 1.0, 5.0, 29.0, 50.0, 400.0));
+
+TEST(RngTest, PoissonZeroLambdaIsZero) {
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(RngTest, DiscreteFollowsWeights) {
+  Rng rng(59);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.Discrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+}
+
+TEST(RngTest, DiscreteAllZeroReturnsZero) {
+  Rng rng(61);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.Discrete(weights), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(67);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(99), parent2(99);
+  Rng child1 = parent1.Split();
+  Rng child2 = parent2.Split();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(child1.NextUint64(), child2.NextUint64());
+  }
+  // Child differs from a continuation of the parent.
+  Rng parent3(99);
+  Rng child3 = parent3.Split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child3.NextUint64() == parent3.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  Rng rng(71);
+  std::vector<double> weights = {5.0, 1.0, 0.0, 4.0};
+  AliasTable table(weights);
+  ASSERT_EQ(table.size(), 4u);
+  std::vector<int> counts(4, 0);
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[table.Sample(&rng)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kN, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / kN, 0.4, 0.01);
+}
+
+TEST(AliasTableTest, AllZeroWeightsFallBackToUniform) {
+  Rng rng(73);
+  AliasTable table(std::vector<double>{0.0, 0.0, 0.0});
+  std::vector<int> counts(3, 0);
+  const int kN = 30000;
+  for (int i = 0; i < kN; ++i) ++counts[table.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(AliasTableTest, SingleOutcome) {
+  Rng rng(79);
+  AliasTable table(std::vector<double>{2.5});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.Sample(&rng), 0u);
+}
+
+TEST(AliasTableTest, NegativeWeightsTreatedAsZero) {
+  Rng rng(83);
+  AliasTable table(std::vector<double>{-1.0, 1.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(&rng), 1u);
+}
+
+TEST(SplitMix64Test, KnownSequenceAdvances) {
+  uint64_t state = 0;
+  uint64_t a = SplitMix64Next(&state);
+  uint64_t b = SplitMix64Next(&state);
+  EXPECT_NE(a, b);
+  EXPECT_NE(state, 0u);
+}
+
+}  // namespace
+}  // namespace qrank

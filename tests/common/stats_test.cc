@@ -1,0 +1,220 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace qrank {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, NegativeValues) {
+  RunningStat s;
+  s.Add(-5.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(QuantileTest, RejectsEmptyAndBadQ) {
+  EXPECT_FALSE(Quantile({}, 0.5).ok());
+  EXPECT_FALSE(Quantile({1.0}, -0.1).ok());
+  EXPECT_FALSE(Quantile({1.0}, 1.1).ok());
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {3.0, 1.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5).value(), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0).value(), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStats) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25).value(), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5).value(), 5.0);
+}
+
+TEST(MeanTest, Basic) {
+  EXPECT_FALSE(Mean({}).ok());
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}).value(), 2.0);
+}
+
+TEST(HistogramTest, BinsAndOverflowMatchFigure5Shape) {
+  Histogram h(10, 0.0, 1.0);
+  EXPECT_EQ(h.num_bins(), 10u);
+  h.Add(0.05);   // bin 0
+  h.Add(0.15);   // bin 1
+  h.Add(0.95);   // bin 9
+  h.Add(1.0);    // overflow ("larger than 1 goes to the last bin")
+  h.Add(2.7);    // overflow
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[9], 1u);
+  EXPECT_EQ(h.counts()[10], 2u);
+}
+
+TEST(HistogramTest, ValuesBelowRangeClampIntoFirstBin) {
+  Histogram h(4, 0.0, 1.0);
+  h.Add(-0.5);
+  EXPECT_EQ(h.counts()[0], 1u);
+}
+
+TEST(HistogramTest, FractionAndEdges) {
+  Histogram h(2, 0.0, 1.0);
+  h.Add(0.25);
+  h.Add(0.25);
+  h.Add(0.75);
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.Fraction(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.Fraction(2), 0.25);
+  EXPECT_DOUBLE_EQ(h.BinLower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BinUpper(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.BinLower(2), 1.0);
+  EXPECT_TRUE(std::isinf(h.BinUpper(2)));
+}
+
+TEST(HistogramTest, CumulativeFraction) {
+  Histogram h(10, 0.0, 1.0);
+  for (double v : {0.05, 0.05, 0.15, 0.55, 2.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.CumulativeFractionBelow(0.1), 0.4);
+  EXPECT_DOUBLE_EQ(h.CumulativeFractionBelow(0.2), 0.6);
+  EXPECT_DOUBLE_EQ(h.CumulativeFractionBelow(1.0), 0.8);
+}
+
+TEST(HistogramTest, EmptyHistogramRenders) {
+  Histogram h(3, 0.0, 1.0);
+  std::string s = h.ToAscii("empty");
+  EXPECT_NE(s.find("empty"), std::string::npos);
+  EXPECT_NE(s.find("n=0"), std::string::npos);
+}
+
+TEST(HistogramTest, AsciiShowsProportionalBars) {
+  Histogram h(2, 0.0, 1.0);
+  for (int i = 0; i < 9; ++i) h.Add(0.1);
+  h.Add(0.7);
+  std::string s = h.ToAscii("bars", 10);
+  // The dominant bin gets the full bar width.
+  EXPECT_NE(s.find("##########"), std::string::npos);
+}
+
+TEST(FractionalRanksTest, SimpleOrdering) {
+  std::vector<double> ranks = FractionalRanks({30.0, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(FractionalRanksTest, TiesGetAverageRank) {
+  std::vector<double> ranks = FractionalRanks({1.0, 2.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(CorrelationTest, PerfectMonotoneGivesOne) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {10.0, 20.0, 25.0, 100.0};  // monotone, nonlinear
+  EXPECT_NEAR(SpearmanCorrelation(a, b).value(), 1.0, 1e-12);
+  EXPECT_NEAR(KendallTau(a, b).value(), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PerfectAntitoneGivesMinusOne) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(SpearmanCorrelation(a, b).value(), -1.0, 1e-12);
+  EXPECT_NEAR(KendallTau(a, b).value(), -1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, b).value(), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, RejectsMismatchedAndTiny) {
+  EXPECT_FALSE(SpearmanCorrelation({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(SpearmanCorrelation({1.0}, {2.0}).ok());
+  EXPECT_FALSE(KendallTau({1.0, 2.0}, {1.0}).ok());
+  EXPECT_FALSE(PearsonCorrelation({}, {}).ok());
+}
+
+TEST(CorrelationTest, ConstantInputFails) {
+  std::vector<double> a = {1.0, 1.0, 1.0};
+  std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_EQ(SpearmanCorrelation(a, b).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(KendallTau(a, b).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CorrelationTest, KendallHandlesPartialTies) {
+  std::vector<double> a = {1.0, 2.0, 2.0, 3.0};
+  std::vector<double> b = {1.0, 2.0, 3.0, 4.0};
+  Result<double> tau = KendallTau(a, b);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_GT(tau.value(), 0.8);
+  EXPECT_LE(tau.value(), 1.0);
+}
+
+TEST(PowerLawFitTest, RecoversExactExponent) {
+  // y = 5 * x^-2.5
+  std::vector<double> x, y;
+  for (double xi : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    x.push_back(xi);
+    y.push_back(5.0 * std::pow(xi, -2.5));
+  }
+  Result<PowerLawFit> fit = FitPowerLaw(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->exponent, -2.5, 1e-9);
+  EXPECT_NEAR(fit->intercept, std::log(5.0), 1e-9);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-9);
+  EXPECT_EQ(fit->points_used, 5u);
+}
+
+TEST(PowerLawFitTest, IgnoresNonPositivePoints) {
+  std::vector<double> x = {0.0, -1.0, 1.0, 2.0};
+  std::vector<double> y = {5.0, 5.0, 8.0, 2.0};
+  Result<PowerLawFit> fit = FitPowerLaw(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->points_used, 2u);
+}
+
+TEST(PowerLawFitTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(FitPowerLaw({1.0}, {1.0}).ok());
+  EXPECT_FALSE(FitPowerLaw({1.0, 2.0}, {1.0}).ok());
+  // All x equal -> degenerate.
+  EXPECT_EQ(FitPowerLaw({2.0, 2.0}, {1.0, 3.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace qrank

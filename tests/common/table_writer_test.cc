@@ -1,0 +1,78 @@
+#include "common/table_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace qrank {
+namespace {
+
+TEST(TableWriterTest, AsciiAlignsColumns) {
+  TableWriter t({"t", "P(p,t)"});
+  t.AddRow({"0", "0.001"});
+  t.AddRow({"10", "0.52"});
+  std::string s = t.ToAscii();
+  EXPECT_NE(s.find("t"), std::string::npos);
+  EXPECT_NE(s.find("P(p,t)"), std::string::npos);
+  EXPECT_NE(s.find("0.001"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TableWriterTest, RowsPaddedOrTruncatedToHeader) {
+  TableWriter t({"a", "b"});
+  t.AddRow({"1"});            // short row padded
+  t.AddRow({"1", "2", "3"});  // long row truncated
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream out;
+  t.RenderCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,\n1,2\n");
+}
+
+TEST(TableWriterTest, DoubleRowsFormatted) {
+  TableWriter t({"x", "y"});
+  t.AddNumericRow({1.5, 0.25}, 3);
+  std::ostringstream out;
+  t.RenderCsv(out);
+  EXPECT_EQ(out.str(), "x,y\n1.5,0.25\n");
+}
+
+TEST(TableWriterTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(TableWriter::FormatDouble(1.5, 6), "1.5");
+  EXPECT_EQ(TableWriter::FormatDouble(2.0, 6), "2.0");
+  EXPECT_EQ(TableWriter::FormatDouble(0.123456789, 4), "0.1235");
+  EXPECT_EQ(TableWriter::FormatDouble(-3.25, 2), "-3.25");
+}
+
+TEST(TableWriterTest, CsvEscapesSpecialCharacters) {
+  TableWriter t({"name", "value"});
+  t.AddRow({"a,b", "say \"hi\""});
+  std::ostringstream out;
+  t.RenderCsv(out);
+  EXPECT_EQ(out.str(), "name,value\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableWriterTest, WriteCsvFileRoundTrips) {
+  std::string path = ::testing::TempDir() + "/qrank_table_test.csv";
+  TableWriter t({"col"});
+  t.AddRow({"v1"});
+  ASSERT_TRUE(t.WriteCsvFile(path).ok());
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "col");
+  std::getline(f, line);
+  EXPECT_EQ(line, "v1");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriterTest, WriteCsvFileFailsOnBadPath) {
+  TableWriter t({"col"});
+  Status s = t.WriteCsvFile("/nonexistent_dir_zzz/file.csv");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,119 @@
+#include "core/bias_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace qrank {
+namespace {
+
+TEST(GiniTest, ValidatesInput) {
+  EXPECT_FALSE(GiniCoefficient({}).ok());
+  EXPECT_FALSE(GiniCoefficient({1.0, -2.0}).ok());
+}
+
+TEST(GiniTest, PerfectEqualityIsZero) {
+  EXPECT_NEAR(GiniCoefficient({5.0, 5.0, 5.0, 5.0}).value(), 0.0, 1e-12);
+}
+
+TEST(GiniTest, MaximalInequalityApproachesOne) {
+  // All mass on one of n pages: G = (n-1)/n.
+  Result<double> g = GiniCoefficient({0.0, 0.0, 0.0, 10.0});
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g.value(), 0.75, 1e-12);
+}
+
+TEST(GiniTest, KnownValue) {
+  // Classic example: {1, 2, 3, 4} -> G = 0.25.
+  EXPECT_NEAR(GiniCoefficient({4.0, 1.0, 3.0, 2.0}).value(), 0.25, 1e-12);
+}
+
+TEST(GiniTest, AllZeroIsZero) {
+  EXPECT_NEAR(GiniCoefficient({0.0, 0.0}).value(), 0.0, 1e-12);
+}
+
+TEST(GiniTest, ScaleInvariant) {
+  double a = GiniCoefficient({1.0, 2.0, 7.0}).value();
+  double b = GiniCoefficient({10.0, 20.0, 70.0}).value();
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(TopShareTest, Basics) {
+  EXPECT_FALSE(TopShare({}, 1).ok());
+  EXPECT_FALSE(TopShare({1.0}, 0).ok());
+  EXPECT_FALSE(TopShare({1.0}, 2).ok());
+  EXPECT_NEAR(TopShare({1.0, 2.0, 7.0}, 1).value(), 0.7, 1e-12);
+  EXPECT_NEAR(TopShare({1.0, 2.0, 7.0}, 2).value(), 0.9, 1e-12);
+  EXPECT_NEAR(TopShare({1.0, 2.0, 7.0}, 3).value(), 1.0, 1e-12);
+  EXPECT_NEAR(TopShare({0.0, 0.0}, 1).value(), 0.0, 1e-12);
+}
+
+TEST(LorenzCurveTest, EndpointsAndMonotonicity) {
+  Result<std::vector<double>> curve =
+      LorenzCurve({1.0, 2.0, 3.0, 4.0}, 4);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 5u);
+  EXPECT_DOUBLE_EQ(curve->front(), 0.0);
+  EXPECT_DOUBLE_EQ(curve->back(), 1.0);
+  for (size_t i = 1; i < curve->size(); ++i) {
+    EXPECT_GE((*curve)[i], (*curve)[i - 1]);
+  }
+  // Bottom half (values 1,2 of total 10) holds 30%.
+  EXPECT_NEAR((*curve)[2], 0.3, 1e-12);
+}
+
+TEST(LorenzCurveTest, EqualValuesGiveDiagonal) {
+  Result<std::vector<double>> curve = LorenzCurve({2.0, 2.0, 2.0, 2.0}, 4);
+  ASSERT_TRUE(curve.ok());
+  for (size_t i = 0; i < curve->size(); ++i) {
+    EXPECT_NEAR((*curve)[i], static_cast<double>(i) / 4.0, 1e-12);
+  }
+}
+
+TEST(LorenzCurveTest, ValidatesInput) {
+  EXPECT_FALSE(LorenzCurve({}, 4).ok());
+  EXPECT_FALSE(LorenzCurve({1.0}, 0).ok());
+  EXPECT_FALSE(LorenzCurve({-1.0}, 2).ok());
+}
+
+TEST(DiscoveryTrackerTest, RecordsFirstCrossing) {
+  DiscoveryTracker tracker(10.0);
+  tracker.Watch(0, 5.0);
+  tracker.Watch(1, 5.0);
+  EXPECT_EQ(tracker.num_watched(), 2u);
+
+  tracker.Observe(6.0, {3.0, 0.0});
+  EXPECT_EQ(tracker.num_discovered(), 0u);
+  tracker.Observe(8.0, {12.0, 0.0});
+  EXPECT_EQ(tracker.num_discovered(), 1u);
+  // Later observations do not overwrite the first crossing.
+  tracker.Observe(20.0, {100.0, 0.0});
+  std::vector<double> latencies = tracker.DiscoveredLatencies();
+  ASSERT_EQ(latencies.size(), 1u);
+  EXPECT_DOUBLE_EQ(latencies[0], 3.0);  // 8.0 - 5.0
+  EXPECT_DOUBLE_EQ(tracker.DiscoveredFraction(), 0.5);
+}
+
+TEST(DiscoveryTrackerTest, MeanLatencyCensorsUndiscovered) {
+  DiscoveryTracker tracker(1.0);
+  tracker.Watch(0, 0.0);
+  tracker.Watch(1, 0.0);
+  tracker.Observe(2.0, {1.0, 0.0});
+  Result<double> mean = tracker.MeanLatency(/*censored_latency=*/10.0);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ(mean.value(), 6.0);  // (2 + 10) / 2
+}
+
+TEST(DiscoveryTrackerTest, EmptyTrackerFailsMeanLatency) {
+  DiscoveryTracker tracker(1.0);
+  EXPECT_FALSE(tracker.MeanLatency(1.0).ok());
+  EXPECT_DOUBLE_EQ(tracker.DiscoveredFraction(), 0.0);
+}
+
+TEST(DiscoveryTrackerTest, PageBeyondAttentionVectorIsZero) {
+  DiscoveryTracker tracker(1.0);
+  tracker.Watch(5, 0.0);
+  tracker.Observe(1.0, {9.0});  // page 5 not covered
+  EXPECT_EQ(tracker.num_discovered(), 0u);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,152 @@
+// Property tests on Equation 1's algebraic structure and its
+// consistency with the analytic model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/quality_estimator.h"
+#include "model/visitation_model.h"
+
+namespace qrank {
+namespace {
+
+using Obs = std::vector<std::vector<double>>;
+
+Obs RandomObservations(uint64_t seed, size_t pages, size_t snapshots) {
+  Rng rng(seed);
+  Obs obs(snapshots, std::vector<double>(pages));
+  for (size_t p = 0; p < pages; ++p) {
+    double value = rng.UniformDouble(0.1, 5.0);
+    for (size_t i = 0; i < snapshots; ++i) {
+      value *= rng.UniformDouble(0.7, 1.4);  // random walk in log space
+      obs[i][p] = value;
+    }
+  }
+  return obs;
+}
+
+class ScaleCovarianceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleCovarianceTest, ConstantAbsorbsObservationScale) {
+  // Q_C(obs) = C * rel + PR_last, with rel scale-free and PR_last
+  // linear in scale. Hence the exact covariance identity
+  //     Q_C(c * obs) = c * Q_{C/c}(obs),
+  // i.e. rescaling the popularity units is equivalent to rescaling the
+  // paper's constant — which is why the best C is unit-dependent
+  // (EXPERIMENTS.md, Figure 4 discussion). Trends are scale-invariant.
+  const double c = GetParam();
+  Obs base = RandomObservations(7, 50, 3);
+  Obs scaled = base;
+  for (auto& row : scaled) {
+    for (double& v : row) v *= c;
+  }
+  QualityEstimatorOptions scaled_options;  // weight C = 0.1
+  scaled_options.clamp_negative = false;   // clamping breaks linearity
+  QualityEstimatorOptions base_options = scaled_options;
+  base_options.relative_increase_weight =
+      scaled_options.relative_increase_weight / c;
+
+  auto est_base = EstimateQuality(base, base_options);
+  auto est_scaled = EstimateQuality(scaled, scaled_options);
+  ASSERT_TRUE(est_base.ok());
+  ASSERT_TRUE(est_scaled.ok());
+  for (size_t p = 0; p < 50; ++p) {
+    EXPECT_EQ(est_base->trend[p], est_scaled->trend[p]) << p;
+    EXPECT_NEAR(est_scaled->quality[p], c * est_base->quality[p],
+                1e-9 * std::max(1.0, std::fabs(c * est_base->quality[p])))
+        << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleCovarianceTest,
+                         ::testing::Values(0.01, 0.5, 2.0, 100.0));
+
+TEST(EstimatorPropertyTest, PermutationEquivariance) {
+  Obs obs = RandomObservations(11, 40, 3);
+  // Reverse the page order.
+  Obs reversed = obs;
+  for (auto& row : reversed) std::reverse(row.begin(), row.end());
+  auto est = EstimateQuality(obs);
+  auto est_rev = EstimateQuality(reversed);
+  ASSERT_TRUE(est.ok());
+  ASSERT_TRUE(est_rev.ok());
+  for (size_t p = 0; p < 40; ++p) {
+    EXPECT_DOUBLE_EQ(est->quality[p], est_rev->quality[39 - p]);
+    EXPECT_EQ(est->trend[p], est_rev->trend[39 - p]);
+  }
+}
+
+TEST(EstimatorPropertyTest, EstimateIsMonotoneInFinalObservation) {
+  // Raising PR(t3) (keeping the trend direction) never lowers the
+  // estimate: both terms of Equation 1 are non-decreasing in PR(t3).
+  for (double bump : {0.01, 0.1, 1.0}) {
+    Obs lo = {{1.0}, {1.3}, {1.6}};
+    Obs hi = {{1.0}, {1.3}, {1.6 + bump}};
+    double q_lo = EstimateQuality(lo)->quality[0];
+    double q_hi = EstimateQuality(hi)->quality[0];
+    EXPECT_GT(q_hi, q_lo) << "bump " << bump;
+  }
+}
+
+TEST(EstimatorPropertyTest, TrendCountsPartitionPages) {
+  Obs obs = RandomObservations(13, 200, 4);
+  auto est = EstimateQuality(obs);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->num_rising + est->num_falling + est->num_oscillating +
+                est->num_stable,
+            200u);
+}
+
+// Consistency with the model: feed exact logistic popularity series
+// through the estimator; higher-quality pages must receive higher
+// estimates whenever both are pre-saturation (the regime where the
+// estimator is designed to discriminate).
+class ModelConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ModelConsistencyTest, HigherQualityGetsHigherEstimate) {
+  auto [q_low, q_high] = GetParam();
+  ASSERT_LT(q_low, q_high);
+  auto popularity_series = [](double q) {
+    VisitationParams params;
+    params.quality = q;
+    params.num_users = 1e6;
+    params.visit_rate = 1e6;
+    params.initial_popularity = 1e-4;
+    VisitationModel m = VisitationModel::Create(params).value();
+    // Observations early in the expansion phase of the slower page.
+    return std::vector<double>{m.Popularity(4.0), m.Popularity(6.0),
+                               m.Popularity(8.0)};
+  };
+  std::vector<double> low = popularity_series(q_low);
+  std::vector<double> high = popularity_series(q_high);
+  Obs obs = {{low[0], high[0]}, {low[1], high[1]}, {low[2], high[2]}};
+  QualityEstimatorOptions options;
+  options.min_relative_change = 0.0;  // no stability filter here
+  auto est = EstimateQuality(obs, options);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est->quality[1], est->quality[0])
+      << "q_low=" << q_low << " q_high=" << q_high;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QualityPairs, ModelConsistencyTest,
+    ::testing::Values(std::make_tuple(0.1, 0.3), std::make_tuple(0.2, 0.5),
+                      std::make_tuple(0.3, 0.8), std::make_tuple(0.5, 0.9),
+                      std::make_tuple(0.05, 0.95)));
+
+TEST(EstimatorPropertyTest, ZeroChangeEqualsCurrentValueExactly) {
+  Obs obs = {{2.5, 0.3}, {2.5, 0.3}, {2.5, 0.3}};
+  auto est = EstimateQuality(obs);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->quality[0], 2.5);
+  EXPECT_DOUBLE_EQ(est->quality[1], 0.3);
+  EXPECT_EQ(est->trend[0], PageTrend::kStable);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,145 @@
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace qrank {
+namespace {
+
+QualityEstimate MakeEstimate(std::vector<double> quality,
+                             std::vector<PageTrend> trend) {
+  QualityEstimate est;
+  est.quality = std::move(quality);
+  est.trend = std::move(trend);
+  est.relative_increase.assign(est.quality.size(), 0.0);
+  return est;
+}
+
+TEST(CompareFuturePredictionTest, ValidatesSizes) {
+  QualityEstimate est = MakeEstimate({1.0}, {PageTrend::kRising});
+  EXPECT_FALSE(
+      CompareFuturePrediction(est, {1.0, 2.0}, {1.0}).ok());
+  EXPECT_FALSE(CompareFuturePrediction(est, {1.0}, {}).ok());
+}
+
+TEST(CompareFuturePredictionTest, ValidatesOptions) {
+  QualityEstimate est = MakeEstimate({1.0}, {PageTrend::kRising});
+  EvaluationOptions o;
+  o.histogram_bins = 0;
+  EXPECT_FALSE(CompareFuturePrediction(est, {1.0}, {1.0}, o).ok());
+  o = EvaluationOptions{};
+  o.histogram_max = 0.0;
+  EXPECT_FALSE(CompareFuturePrediction(est, {1.0}, {1.0}, o).ok());
+}
+
+TEST(CompareFuturePredictionTest, ComputesRelativeErrors) {
+  // One page: estimate 1.8, current 1.0, future 2.0.
+  // err(Q) = |2-1.8|/2 = 0.1; err(PR) = |2-1|/2 = 0.5.
+  QualityEstimate est = MakeEstimate({1.8}, {PageTrend::kRising});
+  Result<PredictionComparison> cmp =
+      CompareFuturePrediction(est, {1.0}, {2.0});
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp->pages_evaluated, 1u);
+  EXPECT_NEAR(cmp->quality.mean_error, 0.1, 1e-12);
+  EXPECT_NEAR(cmp->pagerank.mean_error, 0.5, 1e-12);
+  EXPECT_NEAR(cmp->improvement_factor, 5.0, 1e-9);
+}
+
+TEST(CompareFuturePredictionTest, ExcludesStablePagesByDefault) {
+  QualityEstimate est = MakeEstimate(
+      {1.8, 1.0}, {PageTrend::kRising, PageTrend::kStable});
+  Result<PredictionComparison> cmp =
+      CompareFuturePrediction(est, {1.0, 1.0}, {2.0, 1.0});
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp->pages_evaluated, 1u);
+  EXPECT_EQ(cmp->pages_excluded_stable, 1u);
+
+  EvaluationOptions include;
+  include.exclude_stable_pages = false;
+  cmp = CompareFuturePrediction(est, {1.0, 1.0}, {2.0, 1.0}, include);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp->pages_evaluated, 2u);
+}
+
+TEST(CompareFuturePredictionTest, ExcludesZeroFuturePages) {
+  QualityEstimate est = MakeEstimate(
+      {1.0, 1.0}, {PageTrend::kRising, PageTrend::kRising});
+  Result<PredictionComparison> cmp =
+      CompareFuturePrediction(est, {1.0, 1.0}, {2.0, 0.0});
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp->pages_evaluated, 1u);
+  EXPECT_EQ(cmp->pages_excluded_zero_future, 1u);
+}
+
+TEST(CompareFuturePredictionTest, AllExcludedIsError) {
+  QualityEstimate est = MakeEstimate({1.0}, {PageTrend::kStable});
+  Result<PredictionComparison> cmp =
+      CompareFuturePrediction(est, {1.0}, {1.0});
+  EXPECT_EQ(cmp.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CompareFuturePredictionTest, HistogramFractionsMatchFigure5Bins) {
+  // Errors for Q: 0.05 (bin 0), 0.5 (bin 5), 2.0 (overflow).
+  QualityEstimate est = MakeEstimate(
+      {0.95, 0.5, 3.0},
+      {PageTrend::kRising, PageTrend::kRising, PageTrend::kRising});
+  Result<PredictionComparison> cmp = CompareFuturePrediction(
+      est, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0});
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp->quality.error_histogram.counts()[0], 1u);
+  EXPECT_EQ(cmp->quality.error_histogram.counts()[5], 1u);
+  EXPECT_EQ(cmp->quality.error_histogram.counts()[10], 1u);
+  EXPECT_NEAR(cmp->quality.fraction_below_0_1, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cmp->quality.fraction_above_1, 1.0 / 3.0, 1e-12);
+  // PageRank predictor is exactly right here: mean error 0.
+  EXPECT_NEAR(cmp->pagerank.mean_error, 0.0, 1e-12);
+}
+
+TEST(CompareFuturePredictionTest, MedianErrorReported) {
+  QualityEstimate est = MakeEstimate(
+      {1.0, 1.2, 2.0},
+      {PageTrend::kRising, PageTrend::kRising, PageTrend::kRising});
+  Result<PredictionComparison> cmp = CompareFuturePrediction(
+      est, {1.0, 1.0, 1.0}, {2.0, 2.0, 2.0});
+  ASSERT_TRUE(cmp.ok());
+  // Errors: 0.5, 0.4, 0.0 -> median 0.4.
+  EXPECT_NEAR(cmp->quality.median_error, 0.4, 1e-12);
+}
+
+TEST(EvaluateAgainstTruthTest, ValidatesArguments) {
+  EXPECT_FALSE(EvaluateAgainstTruth({1.0}, {1.0}, {1.0}, 1).ok());  // n<2
+  EXPECT_FALSE(
+      EvaluateAgainstTruth({1.0, 2.0}, {1.0}, {1.0, 2.0}, 1).ok());
+  EXPECT_FALSE(
+      EvaluateAgainstTruth({1.0, 2.0}, {1.0, 2.0}, {1.0, 2.0}, 0).ok());
+  EXPECT_FALSE(
+      EvaluateAgainstTruth({1.0, 2.0}, {1.0, 2.0}, {1.0, 2.0}, 3).ok());
+}
+
+TEST(EvaluateAgainstTruthTest, PerfectEstimatorScoresHigher) {
+  std::vector<double> truth = {0.1, 0.9, 0.5, 0.7};
+  std::vector<double> perfect = truth;
+  std::vector<double> inverted = {0.9, 0.1, 0.5, 0.3};
+  Result<TruthEvaluation> eval =
+      EvaluateAgainstTruth(perfect, inverted, truth, 2);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(eval->spearman_quality_estimate, 1.0, 1e-12);
+  EXPECT_LT(eval->spearman_current_pagerank, 0.0);
+  EXPECT_NEAR(eval->precision_at_k_quality_estimate, 1.0, 1e-12);
+  EXPECT_LT(eval->precision_at_k_current_pagerank, 1.0);
+  EXPECT_EQ(eval->pages_evaluated, 4u);
+  EXPECT_EQ(eval->top_k, 2u);
+}
+
+TEST(RenderComparisonTest, MentionsHeadlineNumbers) {
+  QualityEstimate est = MakeEstimate({1.8}, {PageTrend::kRising});
+  PredictionComparison cmp =
+      CompareFuturePrediction(est, {1.0}, {2.0}).value();
+  std::string text = RenderComparison(cmp);
+  EXPECT_NE(text.find("mean relative error"), std::string::npos);
+  EXPECT_NE(text.find("paper: 0.32 vs 0.78"), std::string::npos);
+  EXPECT_NE(text.find("white bars"), std::string::npos);
+  EXPECT_NE(text.find("grey bars"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,90 @@
+#include "core/experiment_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace qrank {
+namespace {
+
+class ExperimentReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CrawlExperimentOptions options;
+    options.simulator.num_users = 300;
+    options.simulator.page_birth_rate = 10.0;
+    options.simulator.seed = 5;
+    options.truth_top_k = 30;
+    result_ = new CrawlExperimentResult(
+        RunCrawlExperiment(options).value());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static CrawlExperimentResult* result_;
+};
+
+CrawlExperimentResult* ExperimentReportTest::result_ = nullptr;
+
+TEST_F(ExperimentReportTest, MarkdownContainsAllSections) {
+  std::string report = RenderExperimentReport(*result_);
+  EXPECT_NE(report.find("# qrank crawl experiment"), std::string::npos);
+  EXPECT_NE(report.find("## Setup"), std::string::npos);
+  EXPECT_NE(report.find("## Page trends"), std::string::npos);
+  EXPECT_NE(report.find("Figure 5"), std::string::npos);
+  EXPECT_NE(report.find("## Error histograms"), std::string::npos);
+  EXPECT_NE(report.find("## Ground truth"), std::string::npos);
+  EXPECT_NE(report.find("| error bin |"), std::string::npos);
+  EXPECT_NE(report.find("improvement"), std::string::npos);
+}
+
+TEST_F(ExperimentReportTest, PlainTextHasNoMarkdownHeadings) {
+  ReportOptions options;
+  options.markdown = false;
+  std::string report = RenderExperimentReport(*result_, options);
+  // No line is a markdown heading (ASCII histogram bars contain '#'
+  // mid-line, but never at line start).
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report[0], '#');
+  EXPECT_EQ(report.find("\n#"), std::string::npos);
+  EXPECT_EQ(report.find("| error bin |"), std::string::npos);
+  EXPECT_NE(report.find("Setup"), std::string::npos);
+}
+
+TEST_F(ExperimentReportTest, SectionsCanBeDisabled) {
+  ReportOptions options;
+  options.include_histograms = false;
+  options.include_ground_truth = false;
+  options.title = "custom title";
+  std::string report = RenderExperimentReport(*result_, options);
+  EXPECT_NE(report.find("# custom title"), std::string::npos);
+  EXPECT_EQ(report.find("Error histograms"), std::string::npos);
+  EXPECT_EQ(report.find("Ground truth"), std::string::npos);
+}
+
+TEST_F(ExperimentReportTest, ReportReflectsResultNumbers) {
+  std::string report = RenderExperimentReport(*result_);
+  EXPECT_NE(report.find("common pages: " +
+                        std::to_string(result_->common_pages)),
+            std::string::npos);
+  EXPECT_NE(report.find("visit events: " +
+                        std::to_string(result_->total_visits)),
+            std::string::npos);
+}
+
+TEST_F(ExperimentReportTest, WriteToFile) {
+  std::string path = ::testing::TempDir() + "/qrank_report.md";
+  ASSERT_TRUE(WriteExperimentReport(*result_, path).ok());
+  std::ifstream f(path);
+  std::string first;
+  std::getline(f, first);
+  EXPECT_EQ(first, "# qrank crawl experiment");
+  std::remove(path.c_str());
+  EXPECT_EQ(WriteExperimentReport(*result_, "/nonexistent_zzz/r.md").code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace qrank

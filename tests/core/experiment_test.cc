@@ -1,0 +1,115 @@
+// Integration test: the full Section 8 pipeline on a reduced-scale
+// simulated crawl, asserting the paper's qualitative results.
+
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace qrank {
+namespace {
+
+CrawlExperimentOptions SmallOptions() {
+  CrawlExperimentOptions o;
+  o.simulator.num_users = 400;
+  o.simulator.page_birth_rate = 12.0;
+  o.simulator.seed = 101;
+  o.truth_top_k = 40;
+  return o;
+}
+
+TEST(CrawlExperimentTest, ValidatesSnapshotTimes) {
+  CrawlExperimentOptions o = SmallOptions();
+  o.snapshot_times = {1.0, 2.0, 3.0};  // too few
+  EXPECT_FALSE(RunCrawlExperiment(o).ok());
+  o.snapshot_times = {1.0, 2.0, 2.0, 3.0};  // duplicate
+  EXPECT_FALSE(RunCrawlExperiment(o).ok());
+  o.snapshot_times = {3.0, 2.0, 4.0, 5.0};  // unsorted
+  EXPECT_FALSE(RunCrawlExperiment(o).ok());
+  o.snapshot_times = {-1.0, 2.0, 4.0, 5.0};  // negative
+  EXPECT_FALSE(RunCrawlExperiment(o).ok());
+}
+
+TEST(CrawlExperimentTest, PropagatesSimulatorErrors) {
+  CrawlExperimentOptions o = SmallOptions();
+  o.simulator.num_users = 0;
+  EXPECT_FALSE(RunCrawlExperiment(o).ok());
+}
+
+class CrawlExperimentFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    result_ = new CrawlExperimentResult(
+        RunCrawlExperiment(SmallOptions()).value());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static CrawlExperimentResult* result_;
+};
+
+CrawlExperimentResult* CrawlExperimentFixture::result_ = nullptr;
+
+TEST_F(CrawlExperimentFixture, SnapshotStructureMatchesConfig) {
+  EXPECT_EQ(result_->series.num_snapshots(), 4u);
+  EXPECT_DOUBLE_EQ(result_->series.time(0), 16.0);
+  EXPECT_DOUBLE_EQ(result_->series.time(3), 32.0);
+  // Common pages = pages alive at t1 (page births only add pages).
+  EXPECT_EQ(result_->common_pages, result_->series.CommonNodeCount());
+  EXPECT_GE(result_->common_pages, 400u);
+  // Estimate covers every common page.
+  EXPECT_EQ(result_->estimate.quality.size(), result_->common_pages);
+  EXPECT_EQ(result_->true_quality.size(), result_->common_pages);
+}
+
+TEST_F(CrawlExperimentFixture, SimulatorActivityRecorded) {
+  EXPECT_GT(result_->total_visits, 1000u);
+  EXPECT_GT(result_->total_likes, 400u);
+}
+
+TEST_F(CrawlExperimentFixture, PaperShapeEstimatorBeatsCurrentPageRank) {
+  // The headline qualitative result of Section 8.2.
+  EXPECT_GT(result_->comparison.improvement_factor, 1.0);
+  EXPECT_LT(result_->comparison.quality.mean_error,
+            result_->comparison.pagerank.mean_error);
+  // And the Figure 5 lowest-bin relation: Q has at least as much mass
+  // below 0.1 error.
+  EXPECT_GE(result_->comparison.quality.fraction_below_0_1,
+            result_->comparison.pagerank.fraction_below_0_1);
+}
+
+TEST_F(CrawlExperimentFixture, TrendPopulationIsMixed) {
+  // The paper reports rising, falling and oscillating pages all exist.
+  EXPECT_GT(result_->estimate.num_rising, 0u);
+  EXPECT_GT(result_->estimate.num_falling, 0u);
+  EXPECT_GT(result_->estimate.num_oscillating, 0u);
+}
+
+TEST_F(CrawlExperimentFixture, QualityEstimateTracksGroundTruth) {
+  // Only the simulator makes this check possible: the estimator should
+  // correlate positively (and substantially) with latent quality.
+  EXPECT_GT(result_->truth.spearman_quality_estimate, 0.5);
+}
+
+TEST(CrawlExperimentTest, DeterministicAcrossRuns) {
+  CrawlExperimentOptions o = SmallOptions();
+  CrawlExperimentResult a = RunCrawlExperiment(o).value();
+  CrawlExperimentResult b = RunCrawlExperiment(o).value();
+  EXPECT_EQ(a.total_visits, b.total_visits);
+  EXPECT_DOUBLE_EQ(a.comparison.quality.mean_error,
+                   b.comparison.quality.mean_error);
+  EXPECT_DOUBLE_EQ(a.truth.spearman_quality_estimate,
+                   b.truth.spearman_quality_estimate);
+}
+
+TEST(CrawlExperimentTest, MoreSnapshotsThanFourAreAccepted) {
+  CrawlExperimentOptions o = SmallOptions();
+  o.snapshot_times = {12.0, 16.0, 20.0, 24.0, 32.0};  // 4 obs + future
+  Result<CrawlExperimentResult> r = RunCrawlExperiment(o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->series.num_snapshots(), 5u);
+  EXPECT_GT(r->comparison.pages_evaluated, 0u);
+}
+
+}  // namespace
+}  // namespace qrank

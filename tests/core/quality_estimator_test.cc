@@ -1,0 +1,170 @@
+#include "core/quality_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace qrank {
+namespace {
+
+using Obs = std::vector<std::vector<double>>;
+
+TEST(QualityEstimatorTest, ValidatesInput) {
+  EXPECT_FALSE(EstimateQuality(Obs{}).ok());
+  EXPECT_FALSE(EstimateQuality(Obs{{1.0}}).ok());              // 1 obs
+  EXPECT_FALSE(EstimateQuality(Obs{{1.0}, {1.0, 2.0}}).ok());  // sizes
+  EXPECT_FALSE(EstimateQuality(Obs{{}, {}}).ok());             // empty
+  EXPECT_FALSE(EstimateQuality(Obs{{0.0}, {1.0}}).ok());       // zero PR
+  EXPECT_FALSE(EstimateQuality(Obs{{-1.0}, {1.0}}).ok());      // negative
+
+  QualityEstimatorOptions o;
+  o.relative_increase_weight = -0.1;
+  EXPECT_FALSE(EstimateQuality(Obs{{1.0}, {2.0}}, o).ok());
+  o = QualityEstimatorOptions{};
+  o.min_relative_change = -0.1;
+  EXPECT_FALSE(EstimateQuality(Obs{{1.0}, {2.0}}, o).ok());
+}
+
+TEST(QualityEstimatorTest, RisingPageUsesEquationOne) {
+  // PR: 1.0 -> 1.5 -> 2.0. rel = (2-1)/1 = 1; Q = 0.1*1 + 2 = 2.1.
+  Obs obs = {{1.0}, {1.5}, {2.0}};
+  Result<QualityEstimate> est = EstimateQuality(obs);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->trend[0], PageTrend::kRising);
+  EXPECT_NEAR(est->quality[0], 2.1, 1e-12);
+  EXPECT_NEAR(est->relative_increase[0], 1.0, 1e-12);
+  EXPECT_EQ(est->num_rising, 1u);
+}
+
+TEST(QualityEstimatorTest, FallingPageGetsNegativeCorrection) {
+  // PR: 2.0 -> 1.5 -> 1.0. rel = -0.5; Q = 1.0 - 0.05 = 0.95.
+  Obs obs = {{2.0}, {1.5}, {1.0}};
+  Result<QualityEstimate> est = EstimateQuality(obs);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->trend[0], PageTrend::kFalling);
+  EXPECT_NEAR(est->quality[0], 0.95, 1e-12);
+  EXPECT_EQ(est->num_falling, 1u);
+}
+
+TEST(QualityEstimatorTest, OscillatingPageFallsBackToCurrentPageRank) {
+  // Up then down: the paper sets I = 0 for these.
+  Obs obs = {{1.0}, {2.0}, {1.2}};
+  Result<QualityEstimate> est = EstimateQuality(obs);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->trend[0], PageTrend::kOscillating);
+  EXPECT_NEAR(est->quality[0], 1.2, 1e-12);
+  EXPECT_NEAR(est->relative_increase[0], 0.0, 1e-12);
+  EXPECT_EQ(est->num_oscillating, 1u);
+}
+
+TEST(QualityEstimatorTest, StablePageFlaggedAndLeftAtCurrentPageRank) {
+  // 2% total change, below the 5% threshold.
+  Obs obs = {{1.00}, {1.01}, {1.02}};
+  Result<QualityEstimate> est = EstimateQuality(obs);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->trend[0], PageTrend::kStable);
+  EXPECT_NEAR(est->quality[0], 1.02, 1e-12);
+  EXPECT_EQ(est->num_stable, 1u);
+}
+
+TEST(QualityEstimatorTest, StableThresholdIsConfigurable) {
+  Obs obs = {{1.00}, {1.01}, {1.02}};
+  QualityEstimatorOptions o;
+  o.min_relative_change = 0.01;  // now 2% counts as movement
+  Result<QualityEstimate> est = EstimateQuality(obs, o);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->trend[0], PageTrend::kRising);
+}
+
+TEST(QualityEstimatorTest, MiddleObservationsOnlyAffectTrend) {
+  // Same endpoints, different paths: equation uses first/last only.
+  Obs monotone = {{1.0}, {1.4}, {2.0}};
+  Obs wiggly = {{1.0}, {2.5}, {2.0}};
+  double q_monotone = EstimateQuality(monotone)->quality[0];
+  double q_wiggly = EstimateQuality(wiggly)->quality[0];
+  EXPECT_NEAR(q_monotone, 2.1, 1e-12);
+  EXPECT_NEAR(q_wiggly, 2.0, 1e-12);  // oscillating -> current PR
+}
+
+TEST(QualityEstimatorTest, TwoObservationsCannotOscillate) {
+  Obs obs = {{1.0, 2.0}, {2.0, 1.0}};
+  Result<QualityEstimate> est = EstimateQuality(obs);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->trend[0], PageTrend::kRising);
+  EXPECT_EQ(est->trend[1], PageTrend::kFalling);
+}
+
+TEST(QualityEstimatorTest, ClampNegativeEstimates) {
+  // Deep fall with huge C would go negative: 0.1 + 10*(-0.9) < 0.
+  Obs obs = {{1.0}, {0.5}, {0.1}};
+  QualityEstimatorOptions o;
+  o.relative_increase_weight = 10.0;
+  Result<QualityEstimate> est = EstimateQuality(obs, o);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->quality[0], 0.0);
+
+  o.clamp_negative = false;
+  est = EstimateQuality(obs, o);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(est->quality[0], 0.0);
+}
+
+TEST(QualityEstimatorTest, CustomWeightScalesCorrection) {
+  Obs obs = {{1.0}, {1.5}, {2.0}};
+  QualityEstimatorOptions o;
+  o.relative_increase_weight = 0.5;
+  Result<QualityEstimate> est = EstimateQuality(obs, o);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->quality[0], 2.5, 1e-12);
+}
+
+TEST(QualityEstimatorTest, ZeroWeightReducesToCurrentPageRank) {
+  Obs obs = {{1.0, 3.0}, {2.0, 2.0}, {4.0, 1.0}};
+  QualityEstimatorOptions o;
+  o.relative_increase_weight = 0.0;
+  Result<QualityEstimate> est = EstimateQuality(obs, o);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->quality[0], 4.0, 1e-12);
+  EXPECT_NEAR(est->quality[1], 1.0, 1e-12);
+}
+
+TEST(QualityEstimatorTest, MixedPopulationCountsAreConsistent) {
+  Obs obs = {{1.0, 2.0, 1.0, 1.00}, {1.5, 1.5, 2.0, 1.01},
+             {2.0, 1.0, 1.5, 1.02}};
+  Result<QualityEstimate> est = EstimateQuality(obs);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->num_rising, 1u);
+  EXPECT_EQ(est->num_falling, 1u);
+  EXPECT_EQ(est->num_oscillating, 1u);
+  EXPECT_EQ(est->num_stable, 1u);
+  EXPECT_EQ(est->num_rising + est->num_falling + est->num_oscillating +
+                est->num_stable,
+            est->quality.size());
+}
+
+TEST(QualityEstimatorTest, SeriesOverloadUsesObservationPrefix) {
+  SnapshotSeries series;
+  // Three rings of growing size; PageRank on the common 4-node prefix.
+  ASSERT_TRUE(
+      series
+          .AddSnapshot(1.0, CsrGraph::FromEdges(
+                                4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+                                .value())
+          .ok());
+  ASSERT_TRUE(
+      series
+          .AddSnapshot(2.0, CsrGraph::FromEdges(
+                                4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}})
+                                .value())
+          .ok());
+  // Without ComputePageRanks the overload fails.
+  EXPECT_EQ(EstimateQuality(series, 2).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(series.ComputePageRanks(PageRankOptions{}).ok());
+  EXPECT_FALSE(EstimateQuality(series, 1).ok());
+  EXPECT_FALSE(EstimateQuality(series, 3).ok());
+  Result<QualityEstimate> est = EstimateQuality(series, 2);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->quality.size(), 4u);
+}
+
+}  // namespace
+}  // namespace qrank

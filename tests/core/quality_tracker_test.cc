@@ -1,0 +1,142 @@
+#include "core/quality_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/snapshot_series.h"
+#include "sim/web_simulator.h"
+
+namespace qrank {
+namespace {
+
+TEST(QualityTrackerTest, ValidatesOptions) {
+  QualityTrackerOptions o;
+  o.history_limit = 1;
+  EXPECT_FALSE(OnlineQualityTracker::Create(o).ok());
+  o = QualityTrackerOptions{};
+  o.pagerank.initial_scores = {1.0};
+  EXPECT_FALSE(OnlineQualityTracker::Create(o).ok());
+}
+
+TEST(QualityTrackerTest, RequiresIncreasingTimesAndMonotonePages) {
+  OnlineQualityTracker tracker = OnlineQualityTracker::Create().value();
+  CsrGraph g3 = CsrGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}}).value();
+  CsrGraph g2 = CsrGraph::FromEdges(2, {{0, 1}, {1, 0}}).value();
+  ASSERT_TRUE(tracker.AddSnapshot(1.0, g3).ok());
+  EXPECT_FALSE(tracker.AddSnapshot(1.0, g3).ok());   // same time
+  EXPECT_FALSE(tracker.AddSnapshot(2.0, g2).ok());   // shrinking pages
+  EXPECT_TRUE(tracker.AddSnapshot(2.0, g3).ok());
+}
+
+TEST(QualityTrackerTest, EstimateNeedsTwoSnapshots) {
+  OnlineQualityTracker tracker = OnlineQualityTracker::Create().value();
+  EXPECT_FALSE(tracker.CurrentEstimate().ok());
+  EXPECT_FALSE(tracker.LatestPageRank().ok());
+  CsrGraph g = CsrGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}}).value();
+  ASSERT_TRUE(tracker.AddSnapshot(1.0, g).ok());
+  EXPECT_FALSE(tracker.CurrentEstimate().ok());
+  EXPECT_TRUE(tracker.LatestPageRank().ok());
+  ASSERT_TRUE(tracker.AddSnapshot(2.0, g).ok());
+  EXPECT_TRUE(tracker.CurrentEstimate().ok());
+}
+
+TEST(QualityTrackerTest, HistoryIsBounded) {
+  QualityTrackerOptions o;
+  o.history_limit = 3;
+  OnlineQualityTracker tracker = OnlineQualityTracker::Create(o).value();
+  CsrGraph g = CsrGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}}).value();
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(tracker.AddSnapshot(static_cast<double>(i), g).ok());
+  }
+  EXPECT_EQ(tracker.num_observations(), 3u);
+  EXPECT_DOUBLE_EQ(tracker.latest_time(), 10.0);
+}
+
+TEST(QualityTrackerTest, TrackedPagesIsOldestUniverse) {
+  OnlineQualityTracker tracker = OnlineQualityTracker::Create().value();
+  CsrGraph small = CsrGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}}).value();
+  CsrGraph big =
+      CsrGraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 0}, {3, 0}, {4, 1}})
+          .value();
+  ASSERT_TRUE(tracker.AddSnapshot(1.0, small).ok());
+  ASSERT_TRUE(tracker.AddSnapshot(2.0, big).ok());
+  EXPECT_EQ(tracker.TrackedPages(), 3u);
+  auto est = tracker.CurrentEstimate();
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->quality.size(), 3u);
+  // Latest PageRank covers the full latest crawl.
+  EXPECT_EQ(tracker.LatestPageRank()->size(), 5u);
+}
+
+TEST(QualityTrackerTest, MatchesBatchSnapshotSeries) {
+  // Streaming over the same snapshots must reproduce the batch result.
+  WebSimulatorOptions sim_options;
+  sim_options.num_users = 300;
+  sim_options.seed = 77;
+  WebSimulator sim = WebSimulator::Create(sim_options).value();
+
+  QualityTrackerOptions tracker_options;
+  tracker_options.history_limit = 3;
+  OnlineQualityTracker tracker =
+      OnlineQualityTracker::Create(tracker_options).value();
+  SnapshotSeries series;
+  for (double t : {4.0, 6.0, 8.0}) {
+    ASSERT_TRUE(sim.AdvanceTo(t).ok());
+    CsrGraph g = sim.Snapshot().value();
+    ASSERT_TRUE(tracker.AddSnapshot(t, g).ok());
+    ASSERT_TRUE(series.AddSnapshot(t, std::move(g)).ok());
+  }
+  PageRankOptions pr;
+  pr.scale = ScaleConvention::kTotalMassN;
+  ASSERT_TRUE(series.ComputePageRanks(pr).ok());
+  auto batch = EstimateQuality(series, 3);
+  auto streaming = tracker.CurrentEstimate();
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(streaming.ok());
+  ASSERT_EQ(batch->quality.size(), streaming->quality.size());
+  for (size_t p = 0; p < batch->quality.size(); ++p) {
+    EXPECT_NEAR(batch->quality[p], streaming->quality[p], 1e-6);
+    EXPECT_EQ(batch->trend[p], streaming->trend[p]);
+  }
+}
+
+TEST(QualityTrackerTest, WarmStartReducesIterations) {
+  WebSimulatorOptions sim_options;
+  sim_options.num_users = 400;
+  sim_options.seed = 13;
+  WebSimulator sim = WebSimulator::Create(sim_options).value();
+
+  QualityTrackerOptions warm_options;
+  warm_options.pagerank.tolerance = 1e-10;
+  OnlineQualityTracker warm =
+      OnlineQualityTracker::Create(warm_options).value();
+  QualityTrackerOptions cold_options = warm_options;
+  cold_options.warm_start = false;
+  OnlineQualityTracker cold =
+      OnlineQualityTracker::Create(cold_options).value();
+
+  // Two crawls close in time: the second differs only slightly.
+  ASSERT_TRUE(sim.AdvanceTo(6.0).ok());
+  CsrGraph first = sim.Snapshot().value();
+  ASSERT_TRUE(sim.AdvanceTo(6.5).ok());
+  CsrGraph second = sim.Snapshot().value();
+
+  ASSERT_TRUE(warm.AddSnapshot(6.0, first).ok());
+  ASSERT_TRUE(cold.AddSnapshot(6.0, first).ok());
+  ASSERT_TRUE(warm.AddSnapshot(6.5, second).ok());
+  ASSERT_TRUE(cold.AddSnapshot(6.5, second).ok());
+  EXPECT_LT(warm.last_iterations(), cold.last_iterations());
+
+  // And the scores agree despite the different starts.
+  auto a = warm.LatestPageRank();
+  auto b = cold.LatestPageRank();
+  double dist = 0.0;
+  for (size_t i = 0; i < a->size(); ++i) {
+    dist += std::fabs((*a)[i] - (*b)[i]);
+  }
+  EXPECT_LT(dist, 1e-6);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,180 @@
+#include "core/snapshot_series.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace qrank {
+namespace {
+
+CsrGraph Ring(NodeId n) {
+  return CsrGraph::FromEdgeList(GenerateRing(n, 1).value()).value();
+}
+
+TEST(InducePrefixSubgraphTest, KeepsOnlyInternalEdges) {
+  // 0->1, 1->2, 2->0, 0->3: prefix of 3 keeps the triangle only.
+  CsrGraph g =
+      CsrGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}}).value();
+  Result<CsrGraph> sub = InducePrefixSubgraph(g, 3);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_nodes(), 3u);
+  EXPECT_EQ(sub->num_edges(), 3u);
+  EXPECT_FALSE(sub->HasEdge(0, 3));
+}
+
+TEST(InducePrefixSubgraphTest, RejectsOversizedPrefix) {
+  CsrGraph g = Ring(4);
+  EXPECT_FALSE(InducePrefixSubgraph(g, 5).ok());
+}
+
+TEST(InducePrefixSubgraphTest, ZeroPrefixIsEmpty) {
+  CsrGraph g = Ring(4);
+  Result<CsrGraph> sub = InducePrefixSubgraph(g, 0);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_nodes(), 0u);
+}
+
+TEST(SnapshotSeriesTest, TimesMustStrictlyIncrease) {
+  SnapshotSeries s;
+  EXPECT_TRUE(s.AddSnapshot(1.0, Ring(4)).ok());
+  EXPECT_FALSE(s.AddSnapshot(1.0, Ring(4)).ok());
+  EXPECT_FALSE(s.AddSnapshot(0.5, Ring(4)).ok());
+  EXPECT_TRUE(s.AddSnapshot(2.0, Ring(4)).ok());
+  EXPECT_EQ(s.num_snapshots(), 2u);
+}
+
+TEST(SnapshotSeriesTest, CommonNodeCountIsMinimum) {
+  SnapshotSeries s;
+  ASSERT_TRUE(s.AddSnapshot(1.0, Ring(4)).ok());
+  ASSERT_TRUE(s.AddSnapshot(2.0, Ring(6)).ok());
+  ASSERT_TRUE(s.AddSnapshot(3.0, Ring(5)).ok());
+  EXPECT_EQ(s.CommonNodeCount(), 4u);
+}
+
+TEST(SnapshotSeriesTest, EmptySeriesHasNoCommonNodes) {
+  SnapshotSeries s;
+  EXPECT_EQ(s.CommonNodeCount(), 0u);
+  EXPECT_EQ(s.ComputePageRanks(PageRankOptions{}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotSeriesTest, ComputesPageRankPerSnapshotOnCommonSet) {
+  SnapshotSeries s;
+  ASSERT_TRUE(s.AddSnapshot(1.0, Ring(5)).ok());
+  ASSERT_TRUE(s.AddSnapshot(2.0, Ring(8)).ok());
+  PageRankOptions o;
+  ASSERT_TRUE(s.ComputePageRanks(o).ok());
+  ASSERT_TRUE(s.has_pageranks());
+  ASSERT_EQ(s.pagerank(0).size(), 5u);
+  ASSERT_EQ(s.pagerank(1).size(), 5u);
+  // Snapshot 0 is a clean 5-ring: uniform PageRank.
+  for (double v : s.pagerank(0)) EXPECT_NEAR(v, 0.2, 1e-10);
+  EXPECT_EQ(s.common_graph(1).num_nodes(), 5u);
+}
+
+TEST(SnapshotSeriesTest, MassNScaleSumsToCommonCount) {
+  SnapshotSeries s;
+  Rng rng(3);
+  ASSERT_TRUE(
+      s.AddSnapshot(
+           1.0, CsrGraph::FromEdgeList(
+                    GenerateBarabasiAlbert(100, 3, &rng).value())
+                    .value())
+          .ok());
+  ASSERT_TRUE(
+      s.AddSnapshot(
+           2.0, CsrGraph::FromEdgeList(
+                    GenerateBarabasiAlbert(120, 3, &rng).value())
+                    .value())
+          .ok());
+  PageRankOptions o;
+  o.scale = ScaleConvention::kTotalMassN;
+  ASSERT_TRUE(s.ComputePageRanks(o).ok());
+  for (size_t i = 0; i < 2; ++i) {
+    double sum = std::accumulate(s.pagerank(i).begin(), s.pagerank(i).end(),
+                                 0.0);
+    EXPECT_NEAR(sum, 100.0, 1e-6) << "snapshot " << i;
+  }
+}
+
+TEST(SnapshotSeriesTest, CannotAddAfterCompute) {
+  SnapshotSeries s;
+  ASSERT_TRUE(s.AddSnapshot(1.0, Ring(4)).ok());
+  ASSERT_TRUE(s.ComputePageRanks(PageRankOptions{}).ok());
+  EXPECT_EQ(s.AddSnapshot(2.0, Ring(4)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotSeriesTest, WarmStartMatchesColdStartScores) {
+  Rng rng(7);
+  SnapshotSeries cold, warm;
+  for (double t : {1.0, 2.0, 3.0}) {
+    CsrGraph g = CsrGraph::FromEdgeList(
+                     GenerateBarabasiAlbert(
+                         static_cast<NodeId>(150 + 10 * t), 3, &rng)
+                         .value())
+                     .value();
+    ASSERT_TRUE(cold.AddSnapshot(t, g).ok());
+    ASSERT_TRUE(warm.AddSnapshot(t, std::move(g)).ok());
+  }
+  PageRankOptions o;
+  o.tolerance = 1e-12;
+  ASSERT_TRUE(cold.ComputePageRanks(o, /*warm_start=*/false).ok());
+  ASSERT_TRUE(warm.ComputePageRanks(o, /*warm_start=*/true).ok());
+  for (size_t i = 0; i < 3; ++i) {
+    const auto& a = cold.pagerank(i);
+    const auto& b = warm.pagerank(i);
+    double dist = 0.0;
+    for (size_t p = 0; p < a.size(); ++p) dist += std::fabs(a[p] - b[p]);
+    EXPECT_LT(dist, 1e-8) << "snapshot " << i;
+  }
+}
+
+TEST(SnapshotSeriesTest, WarmStartSavesIterationsOnSimilarSnapshots) {
+  // Consecutive snapshots that barely differ: warm start should converge
+  // in far fewer iterations from snapshot 1 on.
+  Rng rng(9);
+  EdgeList base = GenerateBarabasiAlbert(400, 3, &rng).value();
+  SnapshotSeries cold, warm;
+  for (int i = 0; i < 3; ++i) {
+    EdgeList evolved = base;
+    // Add a few extra edges per snapshot.
+    for (int k = 0; k < 5 * i; ++k) {
+      NodeId u = static_cast<NodeId>(rng.UniformUint64(400));
+      NodeId v = static_cast<NodeId>(rng.UniformUint64(400));
+      if (u != v) evolved.Add(u, v);
+    }
+    CsrGraph g = CsrGraph::FromEdgeList(evolved).value();
+    ASSERT_TRUE(cold.AddSnapshot(i + 1.0, g).ok());
+    ASSERT_TRUE(warm.AddSnapshot(i + 1.0, std::move(g)).ok());
+  }
+  PageRankOptions o;
+  o.tolerance = 1e-10;
+  ASSERT_TRUE(cold.ComputePageRanks(o, false).ok());
+  ASSERT_TRUE(warm.ComputePageRanks(o, true).ok());
+  // First snapshot identical; later ones start near the fixed point.
+  // Convergence is geometric, so a warm start saves the iterations that
+  // would re-cover the already-closed distance — a solid constant, not
+  // a ratio (log(initial_distance / tolerance) shrinks additively).
+  EXPECT_EQ(cold.iterations_per_snapshot()[0],
+            warm.iterations_per_snapshot()[0]);
+  EXPECT_LE(warm.iterations_per_snapshot()[1] + 4,
+            cold.iterations_per_snapshot()[1]);
+  EXPECT_LE(warm.iterations_per_snapshot()[2] + 4,
+            cold.iterations_per_snapshot()[2]);
+}
+
+TEST(SnapshotSeriesTest, PropagatesEngineErrors) {
+  SnapshotSeries s;
+  ASSERT_TRUE(s.AddSnapshot(1.0, Ring(4)).ok());
+  PageRankOptions o;
+  o.damping = 2.0;  // invalid
+  EXPECT_EQ(s.ComputePageRanks(o).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,113 @@
+#include "core/traffic_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace qrank {
+namespace {
+
+TrafficSnapshot Snap(double t, std::vector<uint64_t> visits) {
+  TrafficSnapshot s;
+  s.time = t;
+  s.cumulative_visits = std::move(visits);
+  return s;
+}
+
+TEST(TrafficEstimatorTest, ValidatesInput) {
+  // Too few snapshots.
+  EXPECT_FALSE(
+      EstimateQualityFromTraffic({Snap(0, {1}), Snap(1, {2})}).ok());
+  // Size mismatch.
+  EXPECT_FALSE(EstimateQualityFromTraffic(
+                   {Snap(0, {1}), Snap(1, {2, 3}), Snap(2, {3})})
+                   .ok());
+  // Non-increasing time.
+  EXPECT_FALSE(EstimateQualityFromTraffic(
+                   {Snap(0, {1}), Snap(0, {2}), Snap(1, {3})})
+                   .ok());
+  // Decreasing counter.
+  EXPECT_EQ(EstimateQualityFromTraffic(
+                {Snap(0, {5}), Snap(1, {3}), Snap(2, {6})})
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  // No pages.
+  EXPECT_FALSE(
+      EstimateQualityFromTraffic({Snap(0, {}), Snap(1, {}), Snap(2, {})})
+          .ok());
+  // Bad options.
+  TrafficEstimatorOptions o;
+  o.visit_rate_normalization = 0.0;
+  EXPECT_FALSE(EstimateQualityFromTraffic(
+                   {Snap(0, {1}), Snap(1, {2}), Snap(2, {3})}, o)
+                   .ok());
+  o = TrafficEstimatorOptions{};
+  o.zero_rate_floor_fraction = 0.0;
+  EXPECT_FALSE(EstimateQualityFromTraffic(
+                   {Snap(0, {1}), Snap(1, {2}), Snap(2, {3})}, o)
+                   .ok());
+}
+
+TEST(TrafficEstimatorTest, ObservationsAreIntervalRates) {
+  // Page visits: 0 -> 100 -> 300 over unit intervals; r = 1000.
+  // Popularity observations: 100/1000 = 0.1, then 200/1000 = 0.2.
+  TrafficEstimatorOptions o;
+  o.visit_rate_normalization = 1000.0;
+  Result<std::vector<std::vector<double>>> obs =
+      TrafficPopularityObservations(
+          {Snap(0, {0}), Snap(1, {100}), Snap(2, {300})}, o);
+  ASSERT_TRUE(obs.ok());
+  ASSERT_EQ(obs->size(), 2u);
+  EXPECT_NEAR((*obs)[0][0], 0.1, 1e-12);
+  EXPECT_NEAR((*obs)[1][0], 0.2, 1e-12);
+}
+
+TEST(TrafficEstimatorTest, RatesUseIntervalLengths) {
+  TrafficEstimatorOptions o;
+  o.visit_rate_normalization = 100.0;
+  // 40 visits over 2 time units = rate 20 -> popularity 0.2.
+  Result<std::vector<std::vector<double>>> obs =
+      TrafficPopularityObservations(
+          {Snap(0, {0}), Snap(2, {40}), Snap(3, {60})}, o);
+  ASSERT_TRUE(obs.ok());
+  EXPECT_NEAR((*obs)[0][0], 0.2, 1e-12);
+  EXPECT_NEAR((*obs)[1][0], 0.2, 1e-12);
+}
+
+TEST(TrafficEstimatorTest, ZeroRatePagesGetFloor) {
+  TrafficEstimatorOptions o;
+  o.visit_rate_normalization = 100.0;
+  o.zero_rate_floor_fraction = 0.5;
+  // Page 0 has traffic, page 1 has none in the first interval.
+  Result<std::vector<std::vector<double>>> obs =
+      TrafficPopularityObservations(
+          {Snap(0, {0, 0}), Snap(1, {10, 0}), Snap(2, {30, 5})}, o);
+  ASSERT_TRUE(obs.ok());
+  // Smallest positive popularity is 5/100 = 0.05; floor = 0.025.
+  EXPECT_NEAR((*obs)[0][1], 0.025, 1e-12);
+  EXPECT_GT((*obs)[1][1], 0.0);
+}
+
+TEST(TrafficEstimatorTest, GrowingTrafficYieldsRisingQualityEstimate) {
+  TrafficEstimatorOptions o;
+  o.visit_rate_normalization = 1000.0;
+  // Rates: 100, 200, 400 (relative increase 3 across the window).
+  Result<QualityEstimate> est = EstimateQualityFromTraffic(
+      {Snap(0, {0}), Snap(1, {100}), Snap(2, {300}), Snap(3, {700})}, o);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->trend[0], PageTrend::kRising);
+  // Observations 0.1, 0.2, 0.4: Q = 0.1 * (0.4-0.1)/0.1 + 0.4 = 0.7.
+  EXPECT_NEAR(est->quality[0], 0.7, 1e-12);
+}
+
+TEST(TrafficEstimatorTest, FlatTrafficIsStable) {
+  TrafficEstimatorOptions o;
+  o.visit_rate_normalization = 100.0;
+  Result<QualityEstimate> est = EstimateQualityFromTraffic(
+      {Snap(0, {0}), Snap(1, {50}), Snap(2, {100}), Snap(3, {150})}, o);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->trend[0], PageTrend::kStable);
+  EXPECT_NEAR(est->quality[0], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,114 @@
+#include "core/visit_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace qrank {
+namespace {
+
+WebSimulator MakeSim() {
+  WebSimulatorOptions o;
+  o.num_users = 250;
+  o.seed = 8;
+  o.page_birth_rate = 8.0;
+  return WebSimulator::Create(o).value();
+}
+
+TEST(VisitTraceTest, SampleTimesMustIncrease) {
+  WebSimulator sim = MakeSim();
+  VisitTraceRecorder recorder;
+  ASSERT_TRUE(sim.AdvanceTo(1.0).ok());
+  EXPECT_TRUE(recorder.Sample(sim).ok());
+  // Without advancing, the same time is rejected.
+  EXPECT_FALSE(recorder.Sample(sim).ok());
+  ASSERT_TRUE(sim.AdvanceTo(2.0).ok());
+  EXPECT_TRUE(recorder.Sample(sim).ok());
+  EXPECT_EQ(recorder.num_samples(), 2u);
+}
+
+TEST(VisitTraceTest, AlignedSnapshotsShareTheSmallestUniverse) {
+  WebSimulator sim = MakeSim();
+  VisitTraceRecorder recorder;
+  ASSERT_TRUE(sim.AdvanceTo(1.0).ok());
+  ASSERT_TRUE(recorder.Sample(sim).ok());
+  NodeId early_pages = sim.num_pages();
+  ASSERT_TRUE(sim.AdvanceTo(6.0).ok());  // births happened
+  ASSERT_TRUE(recorder.Sample(sim).ok());
+  ASSERT_GT(sim.num_pages(), early_pages);
+
+  std::vector<TrafficSnapshot> aligned = recorder.AlignedSnapshots();
+  ASSERT_EQ(aligned.size(), 2u);
+  EXPECT_EQ(aligned[0].cumulative_visits.size(), early_pages);
+  EXPECT_EQ(aligned[1].cumulative_visits.size(), early_pages);
+  // Raw samples retain their original sizes.
+  EXPECT_GT(recorder.snapshots()[1].cumulative_visits.size(),
+            recorder.snapshots()[0].cumulative_visits.size());
+}
+
+TEST(VisitTraceTest, CountersAreMonotonePerPage) {
+  WebSimulator sim = MakeSim();
+  VisitTraceRecorder recorder;
+  for (double t : {2.0, 4.0, 6.0}) {
+    ASSERT_TRUE(sim.AdvanceTo(t).ok());
+    ASSERT_TRUE(recorder.Sample(sim).ok());
+  }
+  std::vector<TrafficSnapshot> aligned = recorder.AlignedSnapshots();
+  for (size_t i = 1; i < aligned.size(); ++i) {
+    for (size_t p = 0; p < aligned[i].cumulative_visits.size(); ++p) {
+      EXPECT_GE(aligned[i].cumulative_visits[p],
+                aligned[i - 1].cumulative_visits[p]);
+    }
+  }
+}
+
+TEST(VisitTraceTest, EstimateQualityRunsOnTrace) {
+  WebSimulator sim = MakeSim();
+  VisitTraceRecorder recorder;
+  for (double t : {3.0, 6.0, 9.0}) {
+    ASSERT_TRUE(sim.AdvanceTo(t).ok());
+    ASSERT_TRUE(recorder.Sample(sim).ok());
+  }
+  TrafficEstimatorOptions options;
+  options.visit_rate_normalization = 250.0;
+  Result<QualityEstimate> est = recorder.EstimateQuality(options);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->quality.size(),
+            recorder.AlignedSnapshots()[0].cumulative_visits.size());
+}
+
+TEST(VisitTraceTest, EstimateNeedsThreeSamples) {
+  WebSimulator sim = MakeSim();
+  VisitTraceRecorder recorder;
+  ASSERT_TRUE(sim.AdvanceTo(1.0).ok());
+  ASSERT_TRUE(recorder.Sample(sim).ok());
+  ASSERT_TRUE(sim.AdvanceTo(2.0).ok());
+  ASSERT_TRUE(recorder.Sample(sim).ok());
+  EXPECT_FALSE(recorder.EstimateQuality(TrafficEstimatorOptions{}).ok());
+}
+
+TEST(VisitTraceTest, CsvRoundTrip) {
+  WebSimulator sim = MakeSim();
+  VisitTraceRecorder recorder;
+  for (double t : {1.0, 2.0}) {
+    ASSERT_TRUE(sim.AdvanceTo(t).ok());
+    ASSERT_TRUE(recorder.Sample(sim).ok());
+  }
+  std::string path = ::testing::TempDir() + "/qrank_trace.csv";
+  ASSERT_TRUE(recorder.WriteCsv(path).ok());
+  std::ifstream f(path);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header.rfind("time,page0,page1", 0), 0u);
+  std::string row;
+  int rows = 0;
+  while (std::getline(f, row)) ++rows;
+  EXPECT_EQ(rows, 2);
+  std::remove(path.c_str());
+  EXPECT_EQ(recorder.WriteCsv("/nonexistent_zzz/x.csv").code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace qrank

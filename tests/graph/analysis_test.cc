@@ -1,0 +1,205 @@
+#include "graph/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace qrank {
+namespace {
+
+CsrGraph FromEdges(NodeId n, std::vector<Edge> edges) {
+  return CsrGraph::FromEdges(n, edges).value();
+}
+
+TEST(DegreeDistributionTest, CountsNodesPerDegree) {
+  // 0->1, 0->2, 1->2: in-degrees {0:0, 1:1, 2:2}, out {0:2, 1:1, 2:0}.
+  CsrGraph g = FromEdges(3, {{0, 1}, {0, 2}, {1, 2}});
+  auto in = InDegreeDistribution(g);
+  EXPECT_EQ(in[0], 1u);
+  EXPECT_EQ(in[1], 1u);
+  EXPECT_EQ(in[2], 1u);
+  auto out = OutDegreeDistribution(g);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 1u);
+  EXPECT_EQ(out[2], 1u);
+}
+
+TEST(SccTest, SingleCycleIsOneComponent) {
+  CsrGraph g = FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_EQ(scc.component_size[0], 3u);
+}
+
+TEST(SccTest, DagHasSingletonComponents) {
+  CsrGraph g = FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 4u);
+  // All nodes in distinct components.
+  EXPECT_NE(scc.component[0], scc.component[1]);
+  EXPECT_NE(scc.component[1], scc.component[2]);
+}
+
+TEST(SccTest, MixedGraph) {
+  // Cycle {0,1,2}, tail 2->3->4, cycle {3,4}? No: 3->4, 4->3 cycle.
+  CsrGraph g =
+      FromEdges(5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 3}});
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_EQ(scc.component[3], scc.component[4]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+  EXPECT_EQ(scc.component_size[scc.largest_component], 3u);
+}
+
+TEST(SccTest, EmptyGraph) {
+  CsrGraph g;
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 0u);
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  // 50k-node path; recursive Tarjan would blow the stack.
+  EdgeList e(50000);
+  for (NodeId u = 0; u + 1 < 50000; ++u) e.Add(u, u + 1);
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 50000u);
+}
+
+TEST(BowTieTest, ClassifiesCanonicalRegions) {
+  // IN: 0 -> core; core: {1,2}; OUT: core -> 3; tendril: 0 -> 4;
+  // disconnected: 5 -> 6.
+  CsrGraph g = FromEdges(
+      7, {{0, 1}, {1, 2}, {2, 1}, {2, 3}, {0, 4}, {5, 6}});
+  BowTieResult bt = ComputeBowTie(g);
+  EXPECT_EQ(bt.region[1], BowTieRegion::kCore);
+  EXPECT_EQ(bt.region[2], BowTieRegion::kCore);
+  EXPECT_EQ(bt.region[0], BowTieRegion::kIn);
+  EXPECT_EQ(bt.region[3], BowTieRegion::kOut);
+  EXPECT_EQ(bt.region[4], BowTieRegion::kTendrils);
+  EXPECT_EQ(bt.region[5], BowTieRegion::kDisconnected);
+  EXPECT_EQ(bt.region[6], BowTieRegion::kDisconnected);
+  EXPECT_EQ(bt.core_size, 2u);
+  EXPECT_EQ(bt.in_size, 1u);
+  EXPECT_EQ(bt.out_size, 1u);
+  EXPECT_EQ(bt.tendrils_size, 1u);
+  EXPECT_EQ(bt.disconnected_size, 2u);
+}
+
+TEST(BowTieTest, RegionSizesSumToNodes) {
+  Rng rng(3);
+  EdgeList e = GenerateErdosRenyi(400, 0.004, &rng).value();
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  BowTieResult bt = ComputeBowTie(g);
+  EXPECT_EQ(bt.core_size + bt.in_size + bt.out_size + bt.tendrils_size +
+                bt.disconnected_size,
+            g.num_nodes());
+}
+
+TEST(BowTieTest, StronglyConnectedGraphIsAllCore) {
+  CsrGraph g = CsrGraph::FromEdgeList(GenerateRing(20, 2).value()).value();
+  BowTieResult bt = ComputeBowTie(g);
+  EXPECT_EQ(bt.core_size, 20u);
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  CsrGraph g = FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<uint32_t> d = BfsDistances(g, 0);
+  EXPECT_EQ(d, (std::vector<uint32_t>{0, 1, 2, 3}));
+  std::vector<uint32_t> d2 = BfsDistances(g, 2);
+  EXPECT_EQ(d2[0], kUnreachable);
+  EXPECT_EQ(d2[3], 1u);
+}
+
+TEST(BfsTest, InvalidSourceAllUnreachable) {
+  CsrGraph g = FromEdges(2, {{0, 1}});
+  std::vector<uint32_t> d = BfsDistances(g, 99);
+  EXPECT_EQ(d[0], kUnreachable);
+  EXPECT_EQ(d[1], kUnreachable);
+}
+
+TEST(BfsTest, CountReachableIncludesSource) {
+  CsrGraph g = FromEdges(4, {{0, 1}, {1, 2}});
+  EXPECT_EQ(CountReachable(g, 0), 3u);
+  EXPECT_EQ(CountReachable(g, 3), 1u);
+}
+
+TEST(AverageDegreeTest, Basics) {
+  CsrGraph empty;
+  EXPECT_EQ(AverageDegree(empty), 0.0);
+  CsrGraph g = FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_DOUBLE_EQ(AverageDegree(g), 0.75);
+}
+
+TEST(ReciprocityTest, Basics) {
+  CsrGraph none = FromEdges(3, {{0, 1}, {1, 2}});
+  EXPECT_DOUBLE_EQ(Reciprocity(none), 0.0);
+  CsrGraph half = FromEdges(3, {{0, 1}, {1, 0}, {1, 2}, {2, 0}});
+  EXPECT_DOUBLE_EQ(Reciprocity(half), 0.5);
+  CsrGraph full = FromEdges(2, {{0, 1}, {1, 0}});
+  EXPECT_DOUBLE_EQ(Reciprocity(full), 1.0);
+  CsrGraph edgeless = CsrGraph::FromEdgeList(EdgeList(3)).value();
+  EXPECT_DOUBLE_EQ(Reciprocity(edgeless), 0.0);
+}
+
+TEST(EstimateDiameterTest, ValidatesInput) {
+  CsrGraph g = FromEdges(3, {{0, 1}});
+  EXPECT_FALSE(EstimateDiameter(CsrGraph{}, 2, 1).ok());
+  EXPECT_FALSE(EstimateDiameter(g, 0, 1).ok());
+  EXPECT_FALSE(EstimateDiameter(g, 2, 1, 0.0).ok());
+  EXPECT_FALSE(EstimateDiameter(g, 2, 1, 1.5).ok());
+}
+
+TEST(EstimateDiameterTest, ExactOnRing) {
+  // Directed 10-ring with step 1: distances from any node are 1..9;
+  // mean 5, 90th percentile 8 (ceil semantics: cum >= 0.9*9=8.1 -> 9?
+  // target = floor(0.9*9)=8 -> distance 8).
+  CsrGraph g = CsrGraph::FromEdgeList(GenerateRing(10, 1).value()).value();
+  Result<DiameterEstimate> d = EstimateDiameter(g, 20, 7);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->mean_distance, 5.0, 1e-9);
+  EXPECT_EQ(d->max_distance_seen, 9u);
+  EXPECT_GE(d->effective_diameter, 8u);
+  EXPECT_LE(d->effective_diameter, 9u);
+}
+
+TEST(EstimateDiameterTest, EdgelessGraphHasNoPairs) {
+  CsrGraph g = CsrGraph::FromEdgeList(EdgeList(5)).value();
+  Result<DiameterEstimate> d = EstimateDiameter(g, 3, 1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->pairs_sampled, 0u);
+  EXPECT_EQ(d->mean_distance, 0.0);
+}
+
+TEST(EstimateDiameterTest, SmallWorldOnBaGraph) {
+  // The paper cites [3]: the Web's effective diameter is small despite
+  // its size. BA graphs reproduce that small-world property... note the
+  // directed BA graph only reaches "older" nodes; distances are short.
+  Rng rng(31);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(3000, 4, &rng).value())
+                   .value();
+  Result<DiameterEstimate> d = EstimateDiameter(g, 30, 5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(d->pairs_sampled, 0u);
+  EXPECT_LT(d->mean_distance, 10.0);
+  EXPECT_LT(d->effective_diameter, 15u);
+}
+
+TEST(FitDegreePowerLawTest, WorksOnBaGraph) {
+  Rng rng(21);
+  EdgeList e = GenerateBarabasiAlbert(5000, 2, &rng).value();
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  Result<PowerLawFit> fit = FitDegreePowerLaw(InDegreeDistribution(g));
+  ASSERT_TRUE(fit.ok());
+  // BA in-degree exponent is around -2..-3 in log-log count space.
+  EXPECT_LT(fit->exponent, -1.0);
+  EXPECT_GT(fit->exponent, -4.5);
+  EXPECT_GT(fit->r_squared, 0.5);
+}
+
+}  // namespace
+}  // namespace qrank

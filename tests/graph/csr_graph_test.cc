@@ -1,0 +1,147 @@
+#include "graph/csr_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qrank {
+namespace {
+
+CsrGraph Diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 (3 is dangling).
+  EdgeList e(4);
+  e.Add(0, 1);
+  e.Add(0, 2);
+  e.Add(1, 3);
+  e.Add(2, 3);
+  return CsrGraph::FromEdgeList(e).value();
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  CsrGraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CsrGraphTest, BuildsAndReportsDegrees) {
+  CsrGraph g = Diamond();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.InDegree(3), 2u);
+}
+
+TEST(CsrGraphTest, NeighborsSortedAscending) {
+  EdgeList e(4);
+  e.Add(0, 3);
+  e.Add(0, 1);
+  e.Add(0, 2);
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  auto nbrs = g.OutNeighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(CsrGraphTest, DuplicatesAndSelfLoopsDroppedAtConstruction) {
+  EdgeList e(3);
+  e.Add(0, 1);
+  e.Add(0, 1);
+  e.Add(1, 1);
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(CsrGraphTest, IsolatedNodesRepresented) {
+  EdgeList e(5);
+  e.Add(0, 1);
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.OutDegree(4), 0u);
+  EXPECT_EQ(g.InDegree(4), 0u);
+}
+
+TEST(CsrGraphTest, FromEdgesValidatesRange) {
+  std::vector<Edge> edges = {{0, 5}};
+  Result<CsrGraph> r = CsrGraph::FromEdges(3, edges);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsrGraphTest, InNeighborsMatchTranspose) {
+  CsrGraph g = Diamond();
+  auto in3 = g.InNeighbors(3);
+  ASSERT_EQ(in3.size(), 2u);
+  EXPECT_EQ(in3[0], 1u);
+  EXPECT_EQ(in3[1], 2u);
+  EXPECT_EQ(g.InNeighbors(0).size(), 0u);
+}
+
+TEST(CsrGraphTest, ComputeInDegreesWithoutTranspose) {
+  CsrGraph g = Diamond();
+  std::vector<uint32_t> deg = g.ComputeInDegrees();
+  EXPECT_EQ(deg, (std::vector<uint32_t>{0, 1, 1, 2}));
+}
+
+TEST(CsrGraphTest, DanglingNodes) {
+  CsrGraph g = Diamond();
+  EXPECT_EQ(g.DanglingNodes(), std::vector<NodeId>{3});
+  EXPECT_EQ(g.CountDanglingNodes(), 1u);
+}
+
+TEST(CsrGraphTest, HasEdge) {
+  CsrGraph g = Diamond();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(3, 0));
+  EXPECT_FALSE(g.HasEdge(99, 0));  // out-of-range source
+}
+
+TEST(CsrGraphTest, TransposeReversesAllEdges) {
+  CsrGraph g = Diamond();
+  CsrGraph t = g.Transpose();
+  EXPECT_EQ(t.num_nodes(), g.num_nodes());
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  EXPECT_TRUE(t.HasEdge(1, 0));
+  EXPECT_TRUE(t.HasEdge(3, 1));
+  EXPECT_TRUE(t.HasEdge(3, 2));
+  EXPECT_FALSE(t.HasEdge(0, 1));
+}
+
+TEST(CsrGraphTest, DoubleTransposeIsIdentity) {
+  CsrGraph g = Diamond();
+  CsrGraph tt = g.Transpose().Transpose();
+  ASSERT_EQ(tt.num_nodes(), g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto a = g.OutNeighbors(u);
+    auto b = tt.OutNeighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(CsrGraphTest, CopySharesTransposeCache) {
+  CsrGraph g = Diamond();
+  g.InNeighbors(0);  // build the cache
+  CsrGraph copy = g;
+  EXPECT_EQ(copy.InDegree(3), 2u);  // works on the copy
+}
+
+TEST(CsrGraphTest, OffsetsAndTargetsConsistent) {
+  CsrGraph g = Diamond();
+  const auto& offsets = g.offsets();
+  ASSERT_EQ(offsets.size(), g.num_nodes() + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), g.num_edges());
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    EXPECT_LE(offsets[i - 1], offsets[i]);
+  }
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,128 @@
+#include "graph/dynamic_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace qrank {
+namespace {
+
+TEST(DynamicGraphTest, AddNodesAssignsDenseIds) {
+  DynamicGraph g;
+  EXPECT_EQ(g.AddNode(0.0), 0u);
+  EXPECT_EQ(g.AddNode(1.0), 1u);
+  EXPECT_EQ(g.AddNodes(3, 2.0), 2u);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.NodeBirthTime(0), 0.0);
+  EXPECT_EQ(g.NodeBirthTime(4), 2.0);
+}
+
+TEST(DynamicGraphTest, AddEdgeValidates) {
+  DynamicGraph g;
+  g.AddNodes(2, 0.0);
+  EXPECT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  // Unknown endpoint.
+  EXPECT_EQ(g.AddEdge(0, 9, 1.0).code(), StatusCode::kInvalidArgument);
+  // Self-loop.
+  EXPECT_EQ(g.AddEdge(1, 1, 1.0).code(), StatusCode::kInvalidArgument);
+  // Duplicate live edge.
+  EXPECT_EQ(g.AddEdge(0, 1, 2.0).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DynamicGraphTest, HasLiveEdgeTracksState) {
+  DynamicGraph g;
+  g.AddNodes(2, 0.0);
+  EXPECT_FALSE(g.HasLiveEdge(0, 1));
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  EXPECT_TRUE(g.HasLiveEdge(0, 1));
+  ASSERT_TRUE(g.RemoveEdge(0, 1, 2.0).ok());
+  EXPECT_FALSE(g.HasLiveEdge(0, 1));
+}
+
+TEST(DynamicGraphTest, RemoveMissingEdgeIsNotFound) {
+  DynamicGraph g;
+  g.AddNodes(2, 0.0);
+  EXPECT_EQ(g.RemoveEdge(0, 1, 1.0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.RemoveEdge(0, 9, 1.0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DynamicGraphTest, EdgeCanBeRecreatedAfterRemoval) {
+  DynamicGraph g;
+  g.AddNodes(2, 0.0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, 3.0).ok());
+  EXPECT_TRUE(g.HasLiveEdge(0, 1));
+  EXPECT_EQ(g.num_edge_events(), 2u);
+  EXPECT_EQ(g.num_live_edges(), 1u);
+}
+
+TEST(DynamicGraphTest, NumNodesAtRespectsBirthTimes) {
+  DynamicGraph g;
+  g.AddNodes(2, 0.0);
+  g.AddNode(5.0);
+  g.AddNodes(2, 10.0);
+  EXPECT_EQ(g.NumNodesAt(-1.0), 0u);
+  EXPECT_EQ(g.NumNodesAt(0.0), 2u);
+  EXPECT_EQ(g.NumNodesAt(4.9), 2u);
+  EXPECT_EQ(g.NumNodesAt(5.0), 3u);
+  EXPECT_EQ(g.NumNodesAt(100.0), 5u);
+}
+
+TEST(DynamicGraphTest, SnapshotReflectsTimeWindow) {
+  DynamicGraph g;
+  g.AddNodes(3, 0.0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 2.0).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 1, 3.0).ok());
+
+  CsrGraph at0 = g.SnapshotAt(0.5).value();
+  EXPECT_EQ(at0.num_edges(), 0u);
+
+  CsrGraph at1 = g.SnapshotAt(1.5).value();
+  EXPECT_EQ(at1.num_edges(), 1u);
+  EXPECT_TRUE(at1.HasEdge(0, 1));
+
+  CsrGraph at2 = g.SnapshotAt(2.5).value();
+  EXPECT_EQ(at2.num_edges(), 2u);
+
+  // After removal at t=3 only 1->2 remains. Removal time is exclusive.
+  CsrGraph at3 = g.SnapshotAt(3.0).value();
+  EXPECT_EQ(at3.num_edges(), 1u);
+  EXPECT_TRUE(at3.HasEdge(1, 2));
+}
+
+TEST(DynamicGraphTest, SnapshotExcludesUnbornNodes) {
+  DynamicGraph g;
+  g.AddNodes(2, 0.0);
+  NodeId late = g.AddNode(10.0);
+  ASSERT_TRUE(g.AddEdge(0, late, 10.0).ok());
+
+  CsrGraph early = g.SnapshotAt(5.0).value();
+  EXPECT_EQ(early.num_nodes(), 2u);
+  EXPECT_EQ(early.num_edges(), 0u);
+
+  CsrGraph full = g.SnapshotAt(10.0).value();
+  EXPECT_EQ(full.num_nodes(), 3u);
+  EXPECT_TRUE(full.HasEdge(0, late));
+}
+
+TEST(DynamicGraphTest, EdgeCreateTimeIsInclusive) {
+  DynamicGraph g;
+  g.AddNodes(2, 0.0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 2.0).ok());
+  EXPECT_EQ(g.SnapshotAt(2.0).value().num_edges(), 1u);
+  EXPECT_EQ(g.SnapshotAt(1.999).value().num_edges(), 0u);
+}
+
+TEST(DynamicGraphTest, LiveEdgeCountTracksAddAndRemove) {
+  DynamicGraph g;
+  g.AddNodes(4, 0.0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3, 1.0).ok());
+  EXPECT_EQ(g.num_live_edges(), 3u);
+  ASSERT_TRUE(g.RemoveEdge(0, 2, 2.0).ok());
+  EXPECT_EQ(g.num_live_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace qrank

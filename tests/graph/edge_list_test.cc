@@ -1,0 +1,65 @@
+#include "graph/edge_list.h"
+
+#include <gtest/gtest.h>
+
+namespace qrank {
+namespace {
+
+TEST(EdgeListTest, EmptyByDefault) {
+  EdgeList e;
+  EXPECT_EQ(e.num_nodes(), 0u);
+  EXPECT_EQ(e.num_edges(), 0u);
+}
+
+TEST(EdgeListTest, AddGrowsNodeBound) {
+  EdgeList e;
+  e.Add(3, 7);
+  EXPECT_EQ(e.num_nodes(), 8u);
+  EXPECT_EQ(e.num_edges(), 1u);
+  EXPECT_EQ(e.edges()[0].src, 3u);
+  EXPECT_EQ(e.edges()[0].dst, 7u);
+}
+
+TEST(EdgeListTest, ExplicitNodeCountPreserved) {
+  EdgeList e(10);
+  e.Add(1, 2);
+  EXPECT_EQ(e.num_nodes(), 10u);
+}
+
+TEST(EdgeListTest, EnsureNodesOnlyGrows) {
+  EdgeList e(5);
+  e.EnsureNodes(3);
+  EXPECT_EQ(e.num_nodes(), 5u);
+  e.EnsureNodes(9);
+  EXPECT_EQ(e.num_nodes(), 9u);
+}
+
+TEST(EdgeListTest, SortAndDedupRemovesDuplicatesAndSelfLoops) {
+  EdgeList e;
+  e.Add(2, 1);
+  e.Add(0, 1);
+  e.Add(2, 1);   // duplicate
+  e.Add(1, 1);   // self-loop
+  e.Add(0, 2);
+  e.SortAndDedup();
+  ASSERT_EQ(e.num_edges(), 3u);
+  EXPECT_EQ(e.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(e.edges()[1], (Edge{0, 2}));
+  EXPECT_EQ(e.edges()[2], (Edge{2, 1}));
+}
+
+TEST(EdgeListTest, SortAndDedupCanKeepSelfLoops) {
+  EdgeList e;
+  e.Add(1, 1);
+  e.SortAndDedup(/*drop_self_loops=*/false);
+  EXPECT_EQ(e.num_edges(), 1u);
+}
+
+TEST(EdgeTest, OrderingIsLexicographic) {
+  EXPECT_LT((Edge{0, 5}), (Edge{1, 0}));
+  EXPECT_LT((Edge{1, 0}), (Edge{1, 2}));
+  EXPECT_FALSE((Edge{1, 2}) < (Edge{1, 2}));
+}
+
+}  // namespace
+}  // namespace qrank

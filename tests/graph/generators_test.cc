@@ -1,0 +1,179 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/analysis.h"
+
+namespace qrank {
+namespace {
+
+TEST(ErdosRenyiTest, RejectsBadProbability) {
+  Rng rng(1);
+  EXPECT_FALSE(GenerateErdosRenyi(10, -0.1, &rng).ok());
+  EXPECT_FALSE(GenerateErdosRenyi(10, 1.1, &rng).ok());
+}
+
+TEST(ErdosRenyiTest, ZeroProbabilityGivesNoEdges) {
+  Rng rng(1);
+  EdgeList e = GenerateErdosRenyi(50, 0.0, &rng).value();
+  EXPECT_EQ(e.num_nodes(), 50u);
+  EXPECT_EQ(e.num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, FullProbabilityGivesCompleteDigraph) {
+  Rng rng(1);
+  EdgeList e = GenerateErdosRenyi(10, 1.0, &rng).value();
+  EXPECT_EQ(e.num_edges(), 90u);  // n*(n-1), no self-loops
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  Rng rng(5);
+  const NodeId n = 300;
+  const double p = 0.02;
+  EdgeList e = GenerateErdosRenyi(n, p, &rng).value();
+  double expected = p * n * (n - 1);
+  EXPECT_NEAR(static_cast<double>(e.num_edges()), expected,
+              5.0 * std::sqrt(expected));
+  for (const Edge& edge : e.edges()) {
+    EXPECT_NE(edge.src, edge.dst);
+    EXPECT_LT(edge.src, n);
+    EXPECT_LT(edge.dst, n);
+  }
+}
+
+TEST(ErdosRenyiTest, DeterministicGivenSeed) {
+  Rng a(9), b(9);
+  EdgeList ea = GenerateErdosRenyi(100, 0.05, &a).value();
+  EdgeList eb = GenerateErdosRenyi(100, 0.05, &b).value();
+  ASSERT_EQ(ea.num_edges(), eb.num_edges());
+  EXPECT_TRUE(std::equal(ea.edges().begin(), ea.edges().end(),
+                         eb.edges().begin()));
+}
+
+TEST(BarabasiAlbertTest, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(GenerateBarabasiAlbert(0, 2, &rng).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(10, 0, &rng).ok());
+}
+
+TEST(BarabasiAlbertTest, OutDegreeCappedByExistingNodes) {
+  Rng rng(3);
+  EdgeList e = GenerateBarabasiAlbert(100, 3, &rng).value();
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  EXPECT_EQ(g.OutDegree(0), 0u);  // first node has nothing to link to
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.OutDegree(2), 2u);
+  for (NodeId u = 3; u < 100; ++u) {
+    EXPECT_EQ(g.OutDegree(u), 3u) << "node " << u;
+  }
+}
+
+TEST(BarabasiAlbertTest, NoDuplicateTargetsPerNode) {
+  Rng rng(7);
+  EdgeList e = GenerateBarabasiAlbert(200, 4, &rng).value();
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  // FromEdgeList dedups; equal counts mean there were no duplicates.
+  EXPECT_EQ(g.num_edges(), e.num_edges());
+}
+
+TEST(BarabasiAlbertTest, ProducesHeavyTailedInDegrees) {
+  Rng rng(11);
+  EdgeList e = GenerateBarabasiAlbert(3000, 3, &rng).value();
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  std::vector<uint32_t> deg = g.ComputeInDegrees();
+  uint32_t max_deg = *std::max_element(deg.begin(), deg.end());
+  // Mean in-degree is ~3; preferential attachment produces hubs far
+  // above the mean.
+  EXPECT_GT(max_deg, 30u);
+  // And the log-log degree distribution slope is negative and steep.
+  Result<PowerLawFit> fit = FitDegreePowerLaw(InDegreeDistribution(g));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->exponent, -1.0);
+}
+
+TEST(CopyModelTest, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(GenerateCopyModel(0, 2, 0.5, &rng).ok());
+  EXPECT_FALSE(GenerateCopyModel(10, 0, 0.5, &rng).ok());
+  EXPECT_FALSE(GenerateCopyModel(10, 2, 1.5, &rng).ok());
+}
+
+TEST(CopyModelTest, RespectsOutDegreeBound) {
+  Rng rng(13);
+  EdgeList e = GenerateCopyModel(500, 5, 0.5, &rng).value();
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_LE(g.OutDegree(u), 5u);
+  }
+  EXPECT_GT(g.num_edges(), 500u);
+}
+
+TEST(CopyModelTest, CopyingConcentratesInDegree) {
+  Rng rng(17);
+  EdgeList e = GenerateCopyModel(2000, 4, 0.9, &rng).value();
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  std::vector<uint32_t> deg = g.ComputeInDegrees();
+  uint32_t max_deg = *std::max_element(deg.begin(), deg.end());
+  EXPECT_GT(max_deg, 40u);
+}
+
+TEST(QualitySeededTest, QualityBiasesInDegree) {
+  Rng rng(19);
+  QualitySeededGraph qg =
+      GenerateQualitySeeded(800, 4, 1.0, 1.0, 3.0, &rng).value();
+  CsrGraph g = CsrGraph::FromEdgeList(qg.edges).value();
+  ASSERT_EQ(qg.quality.size(), 800u);
+  std::vector<uint32_t> deg = g.ComputeInDegrees();
+  // Split nodes at median quality; high-quality half must attract more
+  // links overall.
+  std::vector<double> sorted_q = qg.quality;
+  std::nth_element(sorted_q.begin(), sorted_q.begin() + 400, sorted_q.end());
+  double median = sorted_q[400];
+  uint64_t high = 0, low = 0;
+  for (NodeId u = 0; u < 800; ++u) {
+    (qg.quality[u] >= median ? high : low) += deg[u];
+  }
+  EXPECT_GT(high, 2 * low);
+}
+
+TEST(QualitySeededTest, QualitiesAreClampedToOpenInterval) {
+  Rng rng(23);
+  QualitySeededGraph qg =
+      GenerateQualitySeeded(100, 2, 0.2, 0.2, 1.0, &rng).value();
+  for (double q : qg.quality) {
+    EXPECT_GT(q, 0.0);
+    EXPECT_LT(q, 1.0);
+  }
+}
+
+TEST(RingTest, RegularAndStronglyConnected) {
+  EdgeList e = GenerateRing(10, 2).value();
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  for (NodeId u = 0; u < 10; ++u) {
+    EXPECT_EQ(g.OutDegree(u), 2u);
+    EXPECT_EQ(g.InDegree(u), 2u);
+  }
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(RingTest, ValidatesArguments) {
+  EXPECT_FALSE(GenerateRing(1, 1).ok());
+  EXPECT_FALSE(GenerateRing(5, 0).ok());
+  EXPECT_FALSE(GenerateRing(5, 5).ok());
+}
+
+TEST(StarTest, HubIsDangling) {
+  EdgeList e = GenerateStar(6).value();
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.OutDegree(0), 0u);
+  EXPECT_EQ(g.InDegree(0), 6u);
+  EXPECT_FALSE(GenerateStar(0).ok());
+}
+
+}  // namespace
+}  // namespace qrank

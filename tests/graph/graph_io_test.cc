@@ -1,0 +1,165 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace qrank {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& p : cleanup_) std::remove(p.c_str());
+  }
+  std::string Track(const std::string& p) {
+    cleanup_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(GraphIoTest, TextRoundTrip) {
+  EdgeList e(5);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  e.Add(4, 0);
+  std::string path = Track(TempPath("edges.txt"));
+  ASSERT_TRUE(WriteEdgeListText(e, path).ok());
+  Result<EdgeList> back = ReadEdgeListText(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), 5u);
+  ASSERT_EQ(back->num_edges(), 3u);
+  EXPECT_EQ(back->edges()[2], (Edge{4, 0}));
+}
+
+TEST_F(GraphIoTest, TextSkipsCommentsAndBlankLines) {
+  std::string path = Track(TempPath("commented.txt"));
+  std::ofstream f(path);
+  f << "# header comment\n\n3\n# another\n0 1\n\n2 0\n";
+  f.close();
+  Result<EdgeList> e = ReadEdgeListText(path);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->num_nodes(), 3u);
+  EXPECT_EQ(e->num_edges(), 2u);
+}
+
+TEST_F(GraphIoTest, TextRejectsMalformedEdge) {
+  std::string path = Track(TempPath("bad_edge.txt"));
+  std::ofstream f(path);
+  f << "3\n0 x\n";
+  f.close();
+  EXPECT_EQ(ReadEdgeListText(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(GraphIoTest, TextRejectsOutOfRangeEndpoint) {
+  std::string path = Track(TempPath("oob.txt"));
+  std::ofstream f(path);
+  f << "3\n0 5\n";
+  f.close();
+  EXPECT_EQ(ReadEdgeListText(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(GraphIoTest, TextRejectsMissingHeader) {
+  std::string path = Track(TempPath("no_header.txt"));
+  std::ofstream f(path);
+  f << "# only comments\n";
+  f.close();
+  EXPECT_EQ(ReadEdgeListText(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(GraphIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadEdgeListText("/nonexistent_zzz/f.txt").status().code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(ReadGraphBinary("/nonexistent_zzz/f.bin").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(GraphIoTest, BinaryRoundTripPreservesStructure) {
+  Rng rng(42);
+  EdgeList e = GenerateBarabasiAlbert(300, 3, &rng).value();
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  std::string path = Track(TempPath("graph.bin"));
+  ASSERT_TRUE(WriteGraphBinary(g, path).ok());
+  Result<CsrGraph> back = ReadGraphBinary(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_nodes(), g.num_nodes());
+  ASSERT_EQ(back->num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto a = g.OutNeighbors(u);
+    auto b = back->OutNeighbors(u);
+    ASSERT_EQ(a.size(), b.size()) << "node " << u;
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST_F(GraphIoTest, BinaryRoundTripEmptyGraph) {
+  CsrGraph g = CsrGraph::FromEdgeList(EdgeList(4)).value();
+  std::string path = Track(TempPath("empty.bin"));
+  ASSERT_TRUE(WriteGraphBinary(g, path).ok());
+  Result<CsrGraph> back = ReadGraphBinary(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), 4u);
+  EXPECT_EQ(back->num_edges(), 0u);
+}
+
+TEST_F(GraphIoTest, BinaryDetectsBitFlip) {
+  EdgeList e(3);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  std::string path = Track(TempPath("flip.bin"));
+  ASSERT_TRUE(WriteGraphBinary(g, path).ok());
+
+  // Flip one byte in the middle of the payload.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(0, std::ios::end);
+  auto size = f.tellg();
+  f.seekp(static_cast<std::streamoff>(size) / 2);
+  char byte = 0;
+  f.seekg(static_cast<std::streamoff>(size) / 2);
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(size) / 2);
+  f.write(&byte, 1);
+  f.close();
+
+  EXPECT_EQ(ReadGraphBinary(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(GraphIoTest, BinaryDetectsBadMagic) {
+  std::string path = Track(TempPath("magic.bin"));
+  std::ofstream f(path, std::ios::binary);
+  f << "NOPEjunkjunkjunk";
+  f.close();
+  EXPECT_EQ(ReadGraphBinary(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(GraphIoTest, BinaryDetectsTruncation) {
+  EdgeList e(3);
+  e.Add(0, 1);
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  std::string path = Track(TempPath("trunc.bin"));
+  ASSERT_TRUE(WriteGraphBinary(g, path).ok());
+  // Rewrite truncated to half size.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  out.close();
+  EXPECT_EQ(ReadGraphBinary(path).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,98 @@
+#include "graph/id_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace qrank {
+namespace {
+
+TEST(IdMapperTest, AssignsDenseIdsInFirstSeenOrder) {
+  IdMapper m;
+  EXPECT_EQ(m.AddOrGet(1000000007ull), 0u);
+  EXPECT_EQ(m.AddOrGet(42ull), 1u);
+  EXPECT_EQ(m.AddOrGet(1000000007ull), 0u);  // idempotent
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(IdMapperTest, LookupDoesNotInsert) {
+  IdMapper m;
+  m.AddOrGet(5);
+  EXPECT_TRUE(m.Lookup(5).ok());
+  EXPECT_EQ(m.Lookup(6).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(IdMapperTest, ExternalInverseMapping) {
+  IdMapper m;
+  m.AddOrGet(77);
+  m.AddOrGet(11);
+  EXPECT_EQ(m.External(0).value(), 77ull);
+  EXPECT_EQ(m.External(1).value(), 11ull);
+  EXPECT_EQ(m.External(2).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(m.externals(), (std::vector<uint64_t>{77, 11}));
+}
+
+TEST(ReadExternalEdgeListTest, MapsArbitraryIdsDensely) {
+  std::string path = ::testing::TempDir() + "/qrank_external.edges";
+  {
+    std::ofstream f(path);
+    f << "# comment\n";
+    f << "1000000007 42\n";
+    f << "\n";
+    f << "42 999999999999\n";
+    f << "1000000007 999999999999\n";
+  }
+  Result<ExternalEdgeList> r = ReadExternalEdgeList(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->mapper.size(), 3u);
+  EXPECT_EQ(r->edges.num_edges(), 3u);
+  // First-seen order: 1000000007 -> 0, 42 -> 1, 999999999999 -> 2.
+  EXPECT_EQ(r->edges.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(r->edges.edges()[1], (Edge{1, 2}));
+  EXPECT_EQ(r->edges.edges()[2], (Edge{0, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(ReadExternalEdgeListTest, RejectsMalformedLines) {
+  std::string path = ::testing::TempDir() + "/qrank_bad_external.edges";
+  {
+    std::ofstream f(path);
+    f << "1 2\n3 x\n";
+  }
+  EXPECT_EQ(ReadExternalEdgeList(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(ReadExternalEdgeListTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadExternalEdgeList("/nonexistent_zzz/e.txt").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(ReadExternalEdgeListTest, EmptyFileYieldsEmptyGraph) {
+  std::string path = ::testing::TempDir() + "/qrank_empty_external.edges";
+  { std::ofstream f(path); }
+  Result<ExternalEdgeList> r = ReadExternalEdgeList(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->mapper.size(), 0u);
+  EXPECT_EQ(r->edges.num_edges(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ReadExternalEdgeListTest, RereadingReproducesMapping) {
+  std::string path = ::testing::TempDir() + "/qrank_stable_external.edges";
+  {
+    std::ofstream f(path);
+    f << "9 8\n7 9\n";
+  }
+  auto a = ReadExternalEdgeList(path);
+  auto b = ReadExternalEdgeList(path);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->mapper.externals(), b->mapper.externals());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,97 @@
+#include "graph/site_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "rank/pagerank.h"
+
+namespace qrank {
+namespace {
+
+TEST(SiteGraphTest, ValidatesInput) {
+  CsrGraph g = CsrGraph::FromEdges(3, {{0, 1}, {1, 2}}).value();
+  // Wrong map size.
+  EXPECT_FALSE(BuildSiteGraph(g, {0, 1}, 2).ok());
+  // Out-of-range site.
+  EXPECT_FALSE(BuildSiteGraph(g, {0, 1, 5}, 2).ok());
+  // Zero sites with pages.
+  EXPECT_FALSE(BuildSiteGraph(g, {0, 0, 0}, 0).ok());
+}
+
+TEST(SiteGraphTest, QuotientCollapsesParallelLinksAndIntraLinks) {
+  // Pages 0,1 in site 0; pages 2,3 in site 1.
+  // Links: 0->1 (intra), 0->2, 1->2, 1->3 (three cross links),
+  // 2->3 (intra), 3->0 (cross back).
+  CsrGraph g = CsrGraph::FromEdges(
+                   4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 0}})
+                   .value();
+  Result<SiteGraph> sg = BuildSiteGraph(g, {0, 0, 1, 1}, 2);
+  ASSERT_TRUE(sg.ok());
+  EXPECT_EQ(sg->intra_site_links, 2u);
+  EXPECT_EQ(sg->cross_site_links, 4u);
+  // Quotient edges: 0->1 (collapsed from three links) and 1->0.
+  EXPECT_EQ(sg->graph.num_nodes(), 2u);
+  EXPECT_EQ(sg->graph.num_edges(), 2u);
+  EXPECT_TRUE(sg->graph.HasEdge(0, 1));
+  EXPECT_TRUE(sg->graph.HasEdge(1, 0));
+  EXPECT_EQ(sg->site_size[0], 2u);
+  EXPECT_EQ(sg->site_size[1], 2u);
+}
+
+TEST(SiteGraphTest, EmptySitesAreRepresented) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}}).value();
+  Result<SiteGraph> sg = BuildSiteGraph(g, {0, 0}, 3);
+  ASSERT_TRUE(sg.ok());
+  EXPECT_EQ(sg->graph.num_nodes(), 3u);
+  EXPECT_EQ(sg->site_size[1], 0u);
+  EXPECT_EQ(sg->site_size[2], 0u);
+  EXPECT_EQ(sg->graph.num_edges(), 0u);
+}
+
+TEST(AggregateScoresBySiteTest, SumsPerSite) {
+  std::vector<double> scores = {1.0, 2.0, 4.0, 8.0};
+  Result<std::vector<double>> totals =
+      AggregateScoresBySite(scores, {0, 1, 0, 1}, 2);
+  ASSERT_TRUE(totals.ok());
+  EXPECT_DOUBLE_EQ((*totals)[0], 5.0);
+  EXPECT_DOUBLE_EQ((*totals)[1], 10.0);
+}
+
+TEST(AggregateScoresBySiteTest, Validates) {
+  EXPECT_FALSE(AggregateScoresBySite({1.0}, {0, 1}, 2).ok());
+  EXPECT_FALSE(AggregateScoresBySite({1.0}, {7}, 2).ok());
+}
+
+TEST(RoundRobinSiteAssignmentTest, CyclesThroughSites) {
+  std::vector<SiteId> sites = RoundRobinSiteAssignment(7, 3);
+  EXPECT_EQ(sites, (std::vector<SiteId>{0, 1, 2, 0, 1, 2, 0}));
+}
+
+TEST(SiteGraphTest, SitePageRankMassMatchesAggregation) {
+  // Site-level PageRank on the quotient vs aggregated page PageRank:
+  // both are valid site-popularity notions; check both are proper
+  // distributions and positively related.
+  Rng rng(3);
+  CsrGraph pages = CsrGraph::FromEdgeList(
+                       GenerateBarabasiAlbert(300, 3, &rng).value())
+                       .value();
+  std::vector<SiteId> site_of = RoundRobinSiteAssignment(300, 10);
+  Result<SiteGraph> sg = BuildSiteGraph(pages, site_of, 10);
+  ASSERT_TRUE(sg.ok());
+
+  auto page_pr = ComputePageRank(pages);
+  ASSERT_TRUE(page_pr.ok());
+  auto aggregated = AggregateScoresBySite(page_pr->scores, site_of, 10);
+  ASSERT_TRUE(aggregated.ok());
+  double total = 0.0;
+  for (double s : *aggregated) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  auto site_pr = ComputePageRank(sg->graph);
+  ASSERT_TRUE(site_pr.ok());
+  EXPECT_EQ(site_pr->scores.size(), 10u);
+}
+
+}  // namespace
+}  // namespace qrank

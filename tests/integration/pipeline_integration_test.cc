@@ -1,0 +1,130 @@
+// Cross-module integration: the full file-based pipeline must agree
+// with the in-memory pipeline, and the binary snapshot format must be
+// interchangeable with the text format.
+//
+//   simulate -> snapshot -> (write text / write binary / keep in memory)
+//   -> reload -> SnapshotSeries -> PageRank -> EstimateQuality
+//
+// All three paths must produce bit-identical PageRank vectors and
+// quality estimates.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/quality_estimator.h"
+#include "core/snapshot_series.h"
+#include "graph/graph_io.h"
+#include "sim/web_simulator.h"
+
+namespace qrank {
+namespace {
+
+class PipelineIntegrationTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& p : cleanup_) std::remove(p.c_str());
+  }
+  std::string Track(const std::string& p) {
+    cleanup_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(PipelineIntegrationTest, FileAndMemoryPathsAgreeExactly) {
+  WebSimulatorOptions sim_options;
+  sim_options.num_users = 300;
+  sim_options.seed = 12;
+  sim_options.page_birth_rate = 10.0;
+  WebSimulator sim = WebSimulator::Create(sim_options).value();
+
+  SnapshotSeries memory_series, text_series, binary_series;
+  const std::vector<double> times = {4.0, 6.0, 8.0};
+  int index = 0;
+  for (double t : times) {
+    ASSERT_TRUE(sim.AdvanceTo(t).ok());
+    EdgeList edges = sim.graph().EdgesAt(sim.now());
+    CsrGraph graph = CsrGraph::FromEdgeList(edges).value();
+
+    // Text path.
+    std::string text_path = Track(::testing::TempDir() + "/qrank_pipe_" +
+                                  std::to_string(index) + ".edges");
+    ASSERT_TRUE(WriteEdgeListText(edges, text_path).ok());
+    Result<EdgeList> text_edges = ReadEdgeListText(text_path);
+    ASSERT_TRUE(text_edges.ok());
+    ASSERT_TRUE(
+        text_series
+            .AddSnapshot(t, CsrGraph::FromEdgeList(*text_edges).value())
+            .ok());
+
+    // Binary path.
+    std::string bin_path = Track(::testing::TempDir() + "/qrank_pipe_" +
+                                 std::to_string(index) + ".bin");
+    ASSERT_TRUE(WriteGraphBinary(graph, bin_path).ok());
+    Result<CsrGraph> bin_graph = ReadGraphBinary(bin_path);
+    ASSERT_TRUE(bin_graph.ok());
+    ASSERT_TRUE(
+        binary_series.AddSnapshot(t, std::move(bin_graph).value()).ok());
+
+    // In-memory path.
+    ASSERT_TRUE(memory_series.AddSnapshot(t, std::move(graph)).ok());
+    ++index;
+  }
+
+  PageRankOptions pr;
+  pr.scale = ScaleConvention::kTotalMassN;
+  ASSERT_TRUE(memory_series.ComputePageRanks(pr).ok());
+  ASSERT_TRUE(text_series.ComputePageRanks(pr).ok());
+  ASSERT_TRUE(binary_series.ComputePageRanks(pr).ok());
+
+  for (size_t i = 0; i < times.size(); ++i) {
+    ASSERT_EQ(memory_series.pagerank(i).size(),
+              text_series.pagerank(i).size());
+    ASSERT_EQ(memory_series.pagerank(i).size(),
+              binary_series.pagerank(i).size());
+    for (size_t p = 0; p < memory_series.pagerank(i).size(); ++p) {
+      // Identical graphs and deterministic arithmetic: bit-identical.
+      EXPECT_EQ(memory_series.pagerank(i)[p], text_series.pagerank(i)[p]);
+      EXPECT_EQ(memory_series.pagerank(i)[p],
+                binary_series.pagerank(i)[p]);
+    }
+  }
+
+  auto est_memory = EstimateQuality(memory_series, 3);
+  auto est_text = EstimateQuality(text_series, 3);
+  ASSERT_TRUE(est_memory.ok());
+  ASSERT_TRUE(est_text.ok());
+  for (size_t p = 0; p < est_memory->quality.size(); ++p) {
+    EXPECT_EQ(est_memory->quality[p], est_text->quality[p]);
+    EXPECT_EQ(est_memory->trend[p], est_text->trend[p]);
+  }
+}
+
+TEST_F(PipelineIntegrationTest, DynamicGraphSnapshotsMatchSimulatorState) {
+  // The DynamicGraph's historical snapshots must reproduce the live
+  // state the simulator reported at those instants.
+  WebSimulatorOptions sim_options;
+  sim_options.num_users = 200;
+  sim_options.seed = 21;
+  sim_options.forget_rate = 0.1;  // removals exercise interval logic
+  WebSimulator sim = WebSimulator::Create(sim_options).value();
+
+  std::vector<double> times = {2.0, 4.0, 6.0};
+  std::vector<size_t> live_edges_at_time;
+  for (double t : times) {
+    ASSERT_TRUE(sim.AdvanceTo(t).ok());
+    live_edges_at_time.push_back(sim.graph().num_live_edges());
+  }
+  // After the fact, historical snapshots must match the recorded live
+  // counts exactly.
+  for (size_t i = 0; i < times.size(); ++i) {
+    CsrGraph snapshot = sim.graph().SnapshotAt(times[i]).value();
+    EXPECT_EQ(snapshot.num_edges(), live_edges_at_time[i])
+        << "t=" << times[i];
+  }
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,134 @@
+#include "model/forgetting_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/ode.h"
+
+namespace qrank {
+namespace {
+
+ForgettingModel MakeModel(double q, double forget, double n = 1e6,
+                          double r = 1e6, double p0 = 1e-4) {
+  ForgettingParams params;
+  params.base.quality = q;
+  params.base.num_users = n;
+  params.base.visit_rate = r;
+  params.base.initial_popularity = p0;
+  params.forget_rate = forget;
+  return ForgettingModel::Create(params).value();
+}
+
+TEST(ForgettingModelTest, ValidatesParameters) {
+  ForgettingParams p;
+  p.forget_rate = -0.1;
+  EXPECT_FALSE(ForgettingModel::Create(p).ok());
+  p = ForgettingParams{};
+  p.base.quality = 0.0;
+  EXPECT_FALSE(ForgettingModel::Create(p).ok());
+}
+
+TEST(ForgettingModelTest, ZeroForgettingReducesToBaseModel) {
+  ForgettingModel fm = MakeModel(0.5, 0.0);
+  VisitationParams vp;
+  vp.quality = 0.5;
+  vp.num_users = 1e6;
+  vp.visit_rate = 1e6;
+  vp.initial_popularity = 1e-4;
+  VisitationModel vm = VisitationModel::Create(vp).value();
+  for (double t : {0.0, 5.0, 20.0, 100.0}) {
+    EXPECT_NEAR(fm.Popularity(t), vm.Popularity(t), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(fm.EquilibriumPopularity(), 0.5);
+  EXPECT_DOUBLE_EQ(fm.AsymptoticEstimatorBias(), 0.0);
+}
+
+TEST(ForgettingModelTest, EquilibriumBelowQuality) {
+  // P* = Q - phi * n / r = 0.5 - 0.2 = 0.3.
+  ForgettingModel m = MakeModel(0.5, 0.2);
+  EXPECT_NEAR(m.EquilibriumPopularity(), 0.3, 1e-12);
+  EXPECT_NEAR(m.Popularity(1e4), 0.3, 1e-9);
+  EXPECT_NEAR(m.AsymptoticEstimatorBias(), 0.2, 1e-12);
+}
+
+TEST(ForgettingModelTest, PopularityDecreasesWhenStartingAboveEquilibrium) {
+  // The paper observed pages with consistently decreasing PageRank; the
+  // forgetting model produces them when P0 > P*.
+  ForgettingParams p;
+  p.base.quality = 0.5;
+  p.base.num_users = 1e6;
+  p.base.visit_rate = 1e6;
+  p.base.initial_popularity = 0.5;  // starts at full quality popularity
+  p.forget_rate = 0.2;              // equilibrium 0.3
+  ForgettingModel m = ForgettingModel::Create(p).value();
+  double prev = m.Popularity(0.0);
+  EXPECT_NEAR(prev, 0.5, 1e-12);
+  for (double t = 1.0; t <= 50.0; t += 1.0) {
+    double cur = m.Popularity(t);
+    EXPECT_LT(cur, prev) << "t=" << t;
+    prev = cur;
+  }
+  EXPECT_NEAR(m.Popularity(1e4), 0.3, 1e-6);
+}
+
+TEST(ForgettingModelTest, PageDiesWhenForgettingDominates) {
+  // P* = 0.2 - 0.5 < 0: popularity decays to zero.
+  ForgettingModel m = MakeModel(0.2, 0.5);
+  EXPECT_LT(m.EquilibriumPopularity(), 0.0);
+  EXPECT_LT(m.Popularity(100.0), m.Popularity(1.0));
+  EXPECT_NEAR(m.Popularity(1e3), 0.0, 1e-6);
+  EXPECT_GE(m.Popularity(50.0), 0.0);
+}
+
+TEST(ForgettingModelTest, CriticalForgettingRate) {
+  // P* exactly 0: algebraic decay P = P0 / (1 + k P0 t).
+  ForgettingModel m = MakeModel(0.3, 0.3);
+  EXPECT_DOUBLE_EQ(m.EquilibriumPopularity(), 0.0);
+  double p0 = 1e-4;
+  double k = 1.0;  // r/n
+  for (double t : {0.0, 10.0, 1000.0}) {
+    EXPECT_NEAR(m.Popularity(t), p0 / (1.0 + k * p0 * t), 1e-12);
+  }
+}
+
+TEST(ForgettingModelTest, ClosedFormMatchesOde) {
+  const double q = 0.6, phi = 0.2, n = 1e6, r = 1e6, p0 = 1e-3;
+  ForgettingModel m = MakeModel(q, phi, n, r, p0);
+  OdeRhs rhs = [&](double, double p) {
+    return r / n * p * (q - p) - phi * p;
+  };
+  Result<OdeSolution> sol = IntegrateRk4(rhs, 0.0, p0, 60.0, 6000);
+  ASSERT_TRUE(sol.ok());
+  for (size_t i = 0; i < sol->times.size(); i += 600) {
+    EXPECT_NEAR(sol->values[i], m.Popularity(sol->times[i]), 1e-8)
+        << "t=" << sol->times[i];
+  }
+}
+
+TEST(ForgettingModelTest, EstimatorSumConvergesToEquilibriumNotQuality) {
+  // The quantified Section 9.1 bias: I + P == P* (= Q - phi n/r), so the
+  // paper's estimator underestimates quality by exactly phi n/r under
+  // forgetting.
+  ForgettingModel m = MakeModel(0.5, 0.2);
+  for (double t : {0.0, 10.0, 100.0}) {
+    EXPECT_NEAR(m.EstimatorSum(t), 0.3, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(ForgettingModelTest, DerivativeSignMatchesApproachDirection) {
+  ForgettingModel rising = MakeModel(0.5, 0.1);  // P* = 0.4 > P0
+  EXPECT_GT(rising.PopularityDerivative(1.0), 0.0);
+
+  ForgettingParams p;
+  p.base.quality = 0.5;
+  p.base.num_users = 1e6;
+  p.base.visit_rate = 1e6;
+  p.base.initial_popularity = 0.5;
+  p.forget_rate = 0.1;  // P* = 0.4 < P0
+  ForgettingModel falling = ForgettingModel::Create(p).value();
+  EXPECT_LT(falling.PopularityDerivative(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,62 @@
+#include "model/ode.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qrank {
+namespace {
+
+TEST(OdeTest, ValidatesArguments) {
+  OdeRhs f = [](double, double y) { return y; };
+  EXPECT_FALSE(IntegrateRk4(f, 0.0, 1.0, 0.0, 10).ok());
+  EXPECT_FALSE(IntegrateRk4(f, 1.0, 1.0, 0.5, 10).ok());
+  EXPECT_FALSE(IntegrateRk4(f, 0.0, 1.0, 1.0, 0).ok());
+  EXPECT_FALSE(IntegrateRk4(OdeRhs{}, 0.0, 1.0, 1.0, 10).ok());
+}
+
+TEST(OdeTest, ExponentialGrowth) {
+  // dy/dt = y, y(0) = 1 -> y(1) = e.
+  OdeRhs f = [](double, double y) { return y; };
+  Result<OdeSolution> sol = IntegrateRk4(f, 0.0, 1.0, 1.0, 100);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->final_value, std::exp(1.0), 1e-8);
+  EXPECT_EQ(sol->times.size(), 101u);
+  EXPECT_EQ(sol->values.size(), 101u);
+  EXPECT_DOUBLE_EQ(sol->times.front(), 0.0);
+  EXPECT_DOUBLE_EQ(sol->times.back(), 1.0);
+}
+
+TEST(OdeTest, TimeDependentRhs) {
+  // dy/dt = 2t, y(0) = 0 -> y(t) = t^2.
+  OdeRhs f = [](double t, double) { return 2.0 * t; };
+  Result<OdeSolution> sol = IntegrateRk4(f, 0.0, 0.0, 3.0, 50);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->final_value, 9.0, 1e-9);
+}
+
+TEST(OdeTest, LogisticEquationMatchesClosedForm) {
+  // dy/dt = y(1-y), y(0)=0.1 -> y(t) = 1/(1 + 9 e^{-t}).
+  OdeRhs f = [](double, double y) { return y * (1.0 - y); };
+  Result<OdeSolution> sol = IntegrateRk4(f, 0.0, 0.1, 5.0, 500);
+  ASSERT_TRUE(sol.ok());
+  for (size_t i = 0; i < sol->times.size(); i += 50) {
+    double t = sol->times[i];
+    double expected = 1.0 / (1.0 + 9.0 * std::exp(-t));
+    EXPECT_NEAR(sol->values[i], expected, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(OdeTest, FourthOrderConvergence) {
+  // Halving the step should shrink the error by ~2^4.
+  OdeRhs f = [](double, double y) { return y; };
+  double exact = std::exp(1.0);
+  double err_coarse =
+      std::fabs(IntegrateRk4(f, 0.0, 1.0, 1.0, 10)->final_value - exact);
+  double err_fine =
+      std::fabs(IntegrateRk4(f, 0.0, 1.0, 1.0, 20)->final_value - exact);
+  EXPECT_LT(err_fine, err_coarse / 12.0);
+}
+
+}  // namespace
+}  // namespace qrank

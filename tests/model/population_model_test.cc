@@ -1,0 +1,127 @@
+#include "model/population_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qrank {
+namespace {
+
+PopulationModel Make(double alpha, double beta, double p0 = 1e-4) {
+  PopulationParams params;
+  params.quality_alpha = alpha;
+  params.quality_beta = beta;
+  params.num_users = 1e6;
+  params.visit_rate = 1e6;
+  params.initial_popularity = p0;
+  return PopulationModel::Create(params).value();
+}
+
+TEST(BetaPdfTest, NormalizesAndMatchesKnownValues) {
+  // Beta(1,1) is uniform.
+  EXPECT_NEAR(BetaPdf(0.3, 1.0, 1.0), 1.0, 1e-12);
+  // Beta(2,2) peaks at 1.5 in the middle.
+  EXPECT_NEAR(BetaPdf(0.5, 2.0, 2.0), 1.5, 1e-12);
+  // Zero outside the open interval.
+  EXPECT_EQ(BetaPdf(0.0, 2.0, 2.0), 0.0);
+  EXPECT_EQ(BetaPdf(1.0, 2.0, 2.0), 0.0);
+  // Numeric integral is ~1.
+  double sum = 0.0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double x = (i + 0.5) / kN;
+    sum += BetaPdf(x, 2.5, 4.0) / kN;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(PopulationModelTest, ValidatesParameters) {
+  PopulationParams p;
+  p.quality_alpha = 0.0;
+  EXPECT_FALSE(PopulationModel::Create(p).ok());
+  p = PopulationParams{};
+  p.num_users = 0.0;
+  EXPECT_FALSE(PopulationModel::Create(p).ok());
+  p = PopulationParams{};
+  p.initial_popularity = 1.0;
+  EXPECT_FALSE(PopulationModel::Create(p).ok());
+  p = PopulationParams{};
+  EXPECT_FALSE(PopulationModel::Create(p, 4).ok());  // too few nodes
+}
+
+TEST(PopulationModelTest, MeanQualityIsBetaMean) {
+  PopulationModel m = Make(2.0, 6.0);
+  EXPECT_NEAR(m.MeanQuality(), 0.25, 1e-12);
+}
+
+TEST(PopulationModelTest, ExpectedPopularityStartsAtSeedAndEndsAtMeanQuality) {
+  PopulationModel m = Make(1.3, 3.0, 1e-4);
+  // At age 0 every page has P0 (except the tiny sliver with q < P0).
+  EXPECT_NEAR(m.ExpectedPopularityAtAge(0.0), 1e-4, 5e-5);
+  // At large age every page saturates at its quality; the expectation
+  // approaches E[q] (quadrature error only).
+  EXPECT_NEAR(m.ExpectedPopularityAtAge(1e4), m.MeanQuality(), 0.01);
+}
+
+TEST(PopulationModelTest, ExpectedPopularityMonotoneInAge) {
+  PopulationModel m = Make(1.3, 3.0);
+  double prev = -1.0;
+  for (double age : {0.0, 5.0, 15.0, 30.0, 60.0, 120.0}) {
+    double p = m.ExpectedPopularityAtAge(age);
+    EXPECT_GT(p, prev) << "age " << age;
+    prev = p;
+  }
+}
+
+TEST(PopulationModelTest, StageMixSumsToOneAndShiftsWithAge) {
+  PopulationModel m = Make(1.3, 3.0);
+  StageMix young = m.StageMixAtAge(1.0);
+  StageMix old = m.StageMixAtAge(200.0);
+  EXPECT_NEAR(young.infant + young.expansion + young.maturity, 1.0, 1e-9);
+  EXPECT_NEAR(old.infant + old.expansion + old.maturity, 1.0, 1e-9);
+  EXPECT_GT(young.infant, 0.9);
+  EXPECT_GT(old.maturity, 0.9);
+  EXPECT_LT(old.infant, young.infant);
+}
+
+TEST(PopulationModelTest, NarrowBetaApproachesSinglePageModel) {
+  // Beta(500, 500) concentrates at q = 0.5: population behaves like one
+  // page of quality 0.5.
+  PopulationModel m = Make(500.0, 500.0, 1e-4);
+  VisitationParams vp;
+  vp.quality = 0.5;
+  vp.num_users = 1e6;
+  vp.visit_rate = 1e6;
+  vp.initial_popularity = 1e-4;
+  VisitationModel single = VisitationModel::Create(vp).value();
+  for (double age : {5.0, 15.0, 25.0}) {
+    EXPECT_NEAR(m.ExpectedPopularityAtAge(age), single.Popularity(age),
+                0.05 * single.Popularity(age) + 1e-4)
+        << "age " << age;
+  }
+}
+
+TEST(PopulationModelTest, MixedAgesAverageOverCohorts) {
+  PopulationModel m = Make(1.3, 3.0);
+  double mixed = m.ExpectedPopularityMixedAges(40.0);
+  double youngest = m.ExpectedPopularityAtAge(0.0);
+  double oldest = m.ExpectedPopularityAtAge(40.0);
+  EXPECT_GT(mixed, youngest);
+  EXPECT_LT(mixed, oldest);
+
+  StageMix mix = m.StageMixMixedAges(40.0);
+  EXPECT_NEAR(mix.infant + mix.expansion + mix.maturity, 1.0, 1e-9);
+  // A mixed-age population has all three stages present.
+  EXPECT_GT(mix.infant, 0.01);
+  EXPECT_GT(mix.expansion, 0.01);
+  EXPECT_GT(mix.maturity, 0.01);
+}
+
+TEST(PopulationModelTest, DegenerateAgeInputsFallBack) {
+  PopulationModel m = Make(1.3, 3.0);
+  EXPECT_NEAR(m.ExpectedPopularityMixedAges(0.0),
+              m.ExpectedPopularityAtAge(0.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,226 @@
+// Validates the closed-form user-visitation model against the paper's
+// claims: Theorem 1 (logistic popularity evolution, checked against RK4
+// integration of the underlying ODE), Lemma 1 (P = A * Q), Corollary 1
+// (P -> Q), Theorem 2 (I + P == Q identically), and the Figure 1/2/3
+// qualitative shapes.
+
+#include "model/visitation_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "model/ode.h"
+
+namespace qrank {
+namespace {
+
+VisitationModel MakeModel(double q, double n, double r, double p0) {
+  VisitationParams params;
+  params.quality = q;
+  params.num_users = n;
+  params.visit_rate = r;
+  params.initial_popularity = p0;
+  return VisitationModel::Create(params).value();
+}
+
+TEST(VisitationModelTest, ValidatesParameters) {
+  VisitationParams p;
+  p.quality = 0.0;
+  EXPECT_FALSE(VisitationModel::Create(p).ok());
+  p = VisitationParams{};
+  p.quality = 1.5;
+  EXPECT_FALSE(VisitationModel::Create(p).ok());
+  p = VisitationParams{};
+  p.num_users = 0.0;
+  EXPECT_FALSE(VisitationModel::Create(p).ok());
+  p = VisitationParams{};
+  p.visit_rate = -1.0;
+  EXPECT_FALSE(VisitationModel::Create(p).ok());
+  p = VisitationParams{};
+  p.initial_popularity = 0.0;
+  EXPECT_FALSE(VisitationModel::Create(p).ok());
+  p = VisitationParams{};
+  p.quality = 0.3;
+  p.initial_popularity = 0.4;  // above quality
+  EXPECT_FALSE(VisitationModel::Create(p).ok());
+}
+
+TEST(VisitationModelTest, InitialConditionHolds) {
+  VisitationModel m = MakeModel(0.8, 1e8, 1e8, 1e-8);
+  EXPECT_NEAR(m.Popularity(0.0), 1e-8, 1e-20);
+}
+
+TEST(VisitationModelTest, Figure1ParametersShowThreeStages) {
+  // Paper Figure 1: Q=0.8, n=r=1e8, P0=1e-8; infant until ~15,
+  // expansion 15..30, maturity after.
+  VisitationModel m = MakeModel(0.8, 1e8, 1e8, 1e-8);
+  EXPECT_EQ(m.StageAt(5.0), LifeStage::kInfant);
+  EXPECT_EQ(m.StageAt(10.0), LifeStage::kInfant);
+  EXPECT_EQ(m.StageAt(23.0), LifeStage::kExpansion);
+  EXPECT_EQ(m.StageAt(40.0), LifeStage::kMaturity);
+  // Popularity is tiny in infancy and ~Q at maturity.
+  EXPECT_LT(m.Popularity(10.0), 0.08);
+  EXPECT_GT(m.Popularity(40.0), 0.75);
+}
+
+TEST(VisitationModelTest, PopularityIsMonotoneIncreasing) {
+  VisitationModel m = MakeModel(0.5, 1e6, 2e6, 1e-5);
+  double prev = 0.0;
+  for (double t = 0.0; t <= 60.0; t += 1.0) {
+    double p = m.Popularity(t);
+    // Strictly increasing until it saturates at Q within double
+    // precision, never decreasing.
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_GT(m.Popularity(20.0), m.Popularity(5.0));
+}
+
+TEST(VisitationModelTest, Corollary1PopularityConvergesToQuality) {
+  for (double q : {0.1, 0.5, 0.9}) {
+    VisitationModel m = MakeModel(q, 1e8, 1e8, 1e-8);
+    EXPECT_NEAR(m.Popularity(1e4), q, 1e-9) << "q=" << q;
+  }
+}
+
+TEST(VisitationModelTest, Lemma1AwarenessTimesQualityIsPopularity) {
+  VisitationModel m = MakeModel(0.4, 1e7, 5e6, 1e-6);
+  for (double t : {0.0, 10.0, 50.0, 200.0}) {
+    EXPECT_NEAR(m.Awareness(t) * 0.4, m.Popularity(t), 1e-15);
+  }
+}
+
+TEST(VisitationModelTest, VisitRateIsProportionalToPopularity) {
+  VisitationModel m = MakeModel(0.4, 1e7, 5e6, 1e-6);
+  for (double t : {0.0, 20.0, 100.0}) {
+    EXPECT_NEAR(m.VisitRate(t), 5e6 * m.Popularity(t), 1e-6);
+  }
+}
+
+TEST(VisitationModelTest, DerivativeMatchesFiniteDifference) {
+  VisitationModel m = MakeModel(0.6, 1e6, 1e6, 1e-4);
+  const double h = 1e-5;
+  for (double t : {1.0, 10.0, 20.0, 40.0}) {
+    double fd = (m.Popularity(t + h) - m.Popularity(t - h)) / (2.0 * h);
+    EXPECT_NEAR(m.PopularityDerivative(t), fd,
+                1e-6 * std::max(1.0, std::fabs(fd)));
+  }
+}
+
+// ---- Theorem 2 property sweep: Q == I(p,t) + P(p,t) for all t and all
+// parameter combinations (the paper's central identity).
+class Theorem2Test
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(Theorem2Test, EstimatorSumEqualsQualityEverywhere) {
+  auto [q, rn_ratio, p0_frac] = GetParam();
+  double n = 1e7;
+  VisitationModel m = MakeModel(q, n, rn_ratio * n, p0_frac * q);
+  for (double t = 0.0; t <= 300.0; t += 3.0) {
+    EXPECT_NEAR(m.EstimatorSum(t), q, 1e-12)
+        << "q=" << q << " r/n=" << rn_ratio << " p0=" << p0_frac * q
+        << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterSweep, Theorem2Test,
+    ::testing::Combine(::testing::Values(0.05, 0.2, 0.5, 0.8, 1.0),
+                       ::testing::Values(0.1, 1.0, 10.0),
+                       ::testing::Values(1e-6, 1e-3, 0.5)));
+
+// ---- Theorem 1 cross-validation: closed form vs RK4 on the raw ODE
+// dP/dt = (r/n) P (Q - P).
+class Theorem1OdeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Theorem1OdeTest, ClosedFormMatchesNumericalIntegration) {
+  const double q = GetParam();
+  const double n = 1e6, r = 2e6, p0 = 1e-5;
+  VisitationModel m = MakeModel(q, n, r, p0);
+  OdeRhs rhs = [&](double, double p) { return r / n * p * (q - p); };
+  Result<OdeSolution> sol = IntegrateRk4(rhs, 0.0, p0, 40.0, 4000);
+  ASSERT_TRUE(sol.ok());
+  for (size_t i = 0; i < sol->times.size(); i += 400) {
+    EXPECT_NEAR(sol->values[i], m.Popularity(sol->times[i]), 1e-8)
+        << "t=" << sol->times[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, Theorem1OdeTest,
+                         ::testing::Values(0.1, 0.3, 0.6, 0.9));
+
+TEST(VisitationModelTest, Figure2RelativeIncreaseShape) {
+  // Paper Figure 2: Q=0.2, n=r=1e8, P0=1e-9. I ~ Q early, decays late;
+  // P poor early, ~ Q late.
+  VisitationModel m = MakeModel(0.2, 1e8, 1e8, 1e-9);
+  EXPECT_NEAR(m.RelativeIncrease(10.0), 0.2, 0.005);
+  EXPECT_LT(m.Popularity(10.0), 0.005);
+  EXPECT_LT(m.RelativeIncrease(150.0), 0.02);
+  EXPECT_NEAR(m.Popularity(150.0), 0.2, 0.02);
+}
+
+TEST(VisitationModelTest, Figure3SumIsFlatLineAtQuality) {
+  VisitationModel m = MakeModel(0.2, 1e8, 1e8, 1e-9);
+  for (double t = 0.0; t <= 150.0; t += 5.0) {
+    EXPECT_NEAR(m.EstimatorSum(t), 0.2, 1e-12);
+  }
+}
+
+TEST(VisitationModelTest, FiniteDifferenceEstimateApproachesQuality) {
+  VisitationModel m = MakeModel(0.5, 1e6, 1e6, 1e-4);
+  // Short interval mid-expansion: estimate close to Q.
+  Result<double> est = m.FiniteDifferenceEstimate(10.0, 10.5);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.value(), 0.5, 0.1);
+  // Tighter interval converges further.
+  Result<double> tight = m.FiniteDifferenceEstimate(10.0, 10.01);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_NEAR(tight.value(), 0.5, 0.01);
+}
+
+TEST(VisitationModelTest, FiniteDifferenceValidatesInterval) {
+  VisitationModel m = MakeModel(0.5, 1e6, 1e6, 1e-4);
+  EXPECT_FALSE(m.FiniteDifferenceEstimate(5.0, 5.0).ok());
+  EXPECT_FALSE(m.FiniteDifferenceEstimate(-1.0, 5.0).ok());
+  EXPECT_FALSE(m.FiniteDifferenceEstimate(5.0, 4.0).ok());
+}
+
+TEST(VisitationModelTest, TimeToReachFractionInvertsPopularity) {
+  VisitationModel m = MakeModel(0.8, 1e8, 1e8, 1e-8);
+  Result<double> t_half = m.TimeToReachFraction(0.5);
+  ASSERT_TRUE(t_half.ok());
+  EXPECT_NEAR(m.Popularity(t_half.value()), 0.4, 1e-9);
+  // Out-of-range fractions rejected.
+  EXPECT_FALSE(m.TimeToReachFraction(1.0).ok());
+  EXPECT_FALSE(m.TimeToReachFraction(1e-12).ok());
+}
+
+TEST(VisitationModelTest, SamplePopularityGridIsInclusive) {
+  VisitationModel m = MakeModel(0.8, 1e8, 1e8, 1e-8);
+  std::vector<double> samples = m.SamplePopularity(0.0, 40.0, 5);
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_NEAR(samples.front(), m.Popularity(0.0), 1e-15);
+  EXPECT_NEAR(samples.back(), m.Popularity(40.0), 1e-15);
+  EXPECT_TRUE(m.SamplePopularity(0.0, 1.0, 0).empty());
+  EXPECT_EQ(m.SamplePopularity(3.0, 9.0, 1).size(), 1u);
+}
+
+TEST(VisitationModelTest, HigherQualityGrowsFaster) {
+  VisitationModel lo = MakeModel(0.2, 1e8, 1e8, 1e-8);
+  VisitationModel hi = MakeModel(0.8, 1e8, 1e8, 1e-8);
+  for (double t : {10.0, 20.0, 30.0}) {
+    EXPECT_GT(hi.Popularity(t), lo.Popularity(t));
+  }
+}
+
+TEST(VisitationModelTest, StageThresholdsAreConfigurable) {
+  VisitationModel m = MakeModel(0.8, 1e8, 1e8, 1e-8);
+  // With an extreme infant threshold everything early is expansion.
+  EXPECT_EQ(m.StageAt(5.0, /*infant=*/1e-12, /*maturity=*/0.999999),
+            LifeStage::kExpansion);
+}
+
+}  // namespace
+}  // namespace qrank

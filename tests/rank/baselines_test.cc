@@ -1,0 +1,32 @@
+#include "rank/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace qrank {
+namespace {
+
+TEST(BaselinesTest, InDegreeScoresMatchDegrees) {
+  CsrGraph g =
+      CsrGraph::FromEdges(4, {{0, 3}, {1, 3}, {2, 3}, {3, 0}}).value();
+  std::vector<double> s = InDegreeScores(g);
+  EXPECT_EQ(s, (std::vector<double>{1.0, 0.0, 0.0, 3.0}));
+}
+
+TEST(BaselinesTest, NormalizedSumsToOne) {
+  CsrGraph g =
+      CsrGraph::FromEdges(4, {{0, 3}, {1, 3}, {2, 3}, {3, 0}}).value();
+  std::vector<double> s = NormalizedInDegreeScores(g);
+  EXPECT_NEAR(std::accumulate(s.begin(), s.end(), 0.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s[3], 0.75);
+}
+
+TEST(BaselinesTest, EdgelessGraphStaysZero) {
+  CsrGraph g = CsrGraph::FromEdgeList(EdgeList(3)).value();
+  std::vector<double> s = NormalizedInDegreeScores(g);
+  for (double v : s) EXPECT_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,114 @@
+#include "rank/hits.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace qrank {
+namespace {
+
+double L2Norm(const std::vector<double>& v) {
+  double ss = 0.0;
+  for (double x : v) ss += x * x;
+  return std::sqrt(ss);
+}
+
+TEST(HitsTest, EmptyGraph) {
+  CsrGraph g;
+  auto r = ComputeHits(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_TRUE(r->authority.empty());
+}
+
+TEST(HitsTest, EdgelessGraphAllZero) {
+  CsrGraph g = CsrGraph::FromEdgeList(EdgeList(5)).value();
+  auto r = ComputeHits(g);
+  ASSERT_TRUE(r.ok());
+  for (double a : r->authority) EXPECT_EQ(a, 0.0);
+  for (double h : r->hub) EXPECT_EQ(h, 0.0);
+}
+
+TEST(HitsTest, ValidatesOptions) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}}).value();
+  HitsOptions o;
+  o.tolerance = 0.0;
+  EXPECT_FALSE(ComputeHits(g, o).ok());
+  o = HitsOptions{};
+  o.max_iterations = 0;
+  EXPECT_FALSE(ComputeHits(g, o).ok());
+}
+
+TEST(HitsTest, StarSeparatesHubsFromAuthorities) {
+  // Satellites 1..5 all point at node 0: node 0 is the pure authority,
+  // satellites are pure hubs.
+  CsrGraph g = CsrGraph::FromEdgeList(GenerateStar(5).value()).value();
+  auto r = ComputeHits(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_NEAR(r->authority[0], 1.0, 1e-9);
+  EXPECT_NEAR(r->hub[0], 0.0, 1e-9);
+  for (NodeId s = 1; s <= 5; ++s) {
+    EXPECT_NEAR(r->authority[s], 0.0, 1e-9);
+    EXPECT_NEAR(r->hub[s], 1.0 / std::sqrt(5.0), 1e-9);
+  }
+}
+
+TEST(HitsTest, VectorsAreL2Normalized) {
+  Rng rng(3);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(300, 3, &rng).value())
+                   .value();
+  auto r = ComputeHits(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(L2Norm(r->authority), 1.0, 1e-9);
+  EXPECT_NEAR(L2Norm(r->hub), 1.0, 1e-9);
+}
+
+TEST(HitsTest, BipartiteCommunityDominates) {
+  // Dense community: hubs {0,1,2} -> authorities {3,4}; plus a weak
+  // stray edge 5 -> 6.
+  EdgeList e(7);
+  for (NodeId h = 0; h < 3; ++h) {
+    e.Add(h, 3);
+    e.Add(h, 4);
+  }
+  e.Add(5, 6);
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  auto r = ComputeHits(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->authority[3], 10.0 * r->authority[6]);
+  EXPECT_GT(r->hub[0], 10.0 * r->hub[5]);
+}
+
+TEST(HitsTest, MoreInLinksFromHubsMeansMoreAuthority) {
+  EdgeList e(6);
+  e.Add(0, 4);
+  e.Add(1, 4);
+  e.Add(2, 4);
+  e.Add(0, 5);
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  auto r = ComputeHits(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->authority[4], r->authority[5]);
+}
+
+TEST(HitsTest, RequireConvergenceErrorsWhenCapped) {
+  Rng rng(9);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(300, 3, &rng).value())
+                   .value();
+  HitsOptions o;
+  o.max_iterations = 1;
+  o.tolerance = 1e-15;
+  o.require_convergence = true;
+  auto r = ComputeHits(g, o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotConverged);
+}
+
+}  // namespace
+}  // namespace qrank

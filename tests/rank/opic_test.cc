@@ -1,0 +1,139 @@
+#include "rank/opic.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "graph/generators.h"
+#include "rank/pagerank.h"
+#include "rank/rank_vector.h"
+
+namespace qrank {
+namespace {
+
+TEST(OpicTest, ValidatesArguments) {
+  EXPECT_FALSE(OpicComputer::Create(nullptr).ok());
+  CsrGraph empty;
+  EXPECT_FALSE(OpicComputer::Create(&empty).ok());
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}}).value();
+  OpicOptions o;
+  o.damping = 1.0;
+  EXPECT_FALSE(OpicComputer::Create(&g, o).ok());
+}
+
+TEST(OpicTest, ImportanceIsDistributionAtAllTimes) {
+  Rng rng(3);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(200, 3, &rng).value())
+                   .value();
+  OpicComputer opic = OpicComputer::Create(&g).value();
+  for (int round = 0; round < 5; ++round) {
+    std::vector<double> imp = opic.Importance();
+    double sum = std::accumulate(imp.begin(), imp.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "round " << round;
+    for (double v : imp) EXPECT_GE(v, 0.0);
+    opic.RunSweeps(2);
+  }
+  EXPECT_EQ(opic.steps(), 200u * 10u);
+  EXPECT_GT(opic.total_history(), 0.0);
+}
+
+class OpicScheduleTest : public ::testing::TestWithParam<OpicSchedule> {};
+
+TEST_P(OpicScheduleTest, ConvergesToPageRank) {
+  Rng rng(7);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(300, 3, &rng).value())
+                   .value();
+  PageRankOptions pr_options;
+  pr_options.tolerance = 1e-12;
+  std::vector<double> reference = ComputePageRank(g, pr_options)->scores;
+
+  OpicOptions o;
+  o.schedule = GetParam();
+  OpicComputer opic = OpicComputer::Create(&g, o).value();
+  opic.RunSweeps(400);
+  std::vector<double> imp = opic.Importance();
+  // OPIC converges ~1/steps; after 400 sweeps the history average
+  // dominates and should be close to PageRank in L1.
+  EXPECT_LT(L1Distance(imp, reference), 0.05);
+  // And essentially identical in rank order at the top.
+  std::vector<NodeId> top_ref = TopK(reference, 10);
+  std::vector<NodeId> top_opic = TopK(imp, 10);
+  size_t overlap = 0;
+  for (NodeId a : top_ref) {
+    for (NodeId b : top_opic) {
+      if (a == b) ++overlap;
+    }
+  }
+  EXPECT_GE(overlap, 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, OpicScheduleTest,
+                         ::testing::Values(OpicSchedule::kRoundRobin,
+                                           OpicSchedule::kRandom,
+                                           OpicSchedule::kGreedy));
+
+TEST(OpicTest, EstimatesUsableEarly) {
+  // The online selling point: after ~5 sweeps the ranking is already
+  // strongly correlated with PageRank.
+  Rng rng(11);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(500, 3, &rng).value())
+                   .value();
+  std::vector<double> reference = ComputePageRank(g)->scores;
+  OpicComputer opic = OpicComputer::Create(&g).value();
+  opic.RunSweeps(5);
+  std::vector<double> early = opic.Importance();
+  Result<double> rho = SpearmanCorrelation(early, reference);
+  ASSERT_TRUE(rho.ok());
+  EXPECT_GT(rho.value(), 0.9);
+}
+
+TEST(OpicTest, HandlesDanglingNodes) {
+  // Star: the hub has no out-links; its cash must recirculate, not leak.
+  CsrGraph g = CsrGraph::FromEdgeList(GenerateStar(10).value()).value();
+  OpicComputer opic = OpicComputer::Create(&g).value();
+  opic.RunSweeps(200);
+  std::vector<double> imp = opic.Importance();
+  double sum = std::accumulate(imp.begin(), imp.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  std::vector<double> reference = ComputePageRank(g)->scores;
+  EXPECT_LT(L1Distance(imp, reference), 0.05);
+  // Hub dominates.
+  for (NodeId s = 1; s <= 10; ++s) EXPECT_GT(imp[0], imp[s]);
+}
+
+TEST(OpicTest, GreedyDoesNotStarvePages) {
+  // A source page with no in-links only receives pool cash; greedy must
+  // still visit it eventually (its pool share grows without bound).
+  CsrGraph g = CsrGraph::FromEdges(3, {{0, 1}, {1, 0}, {2, 0}}).value();
+  OpicOptions o;
+  o.schedule = OpicSchedule::kGreedy;
+  OpicComputer opic = OpicComputer::Create(&g, o).value();
+  opic.RunSweeps(300);
+  std::vector<double> imp = opic.Importance();
+  std::vector<double> reference = ComputePageRank(g)->scores;
+  EXPECT_LT(L1Distance(imp, reference), 0.05);
+  EXPECT_GT(imp[2], 0.0);
+}
+
+TEST(OpicTest, DeterministicRandomSchedule) {
+  Rng rng(13);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateCopyModel(100, 3, 0.5, &rng).value())
+                   .value();
+  OpicOptions o;
+  o.schedule = OpicSchedule::kRandom;
+  o.seed = 42;
+  OpicComputer a = OpicComputer::Create(&g, o).value();
+  OpicComputer b = OpicComputer::Create(&g, o).value();
+  a.RunSweeps(10);
+  b.RunSweeps(10);
+  EXPECT_EQ(a.Importance(), b.Importance());
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,210 @@
+// Cross-engine agreement: Gauss-Seidel, adaptive and extrapolated
+// PageRank must agree with the reference Jacobi power iteration on a
+// battery of graph topologies, and must beat or match its iteration
+// count where the source papers claim speedups.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "rank/adaptive_pagerank.h"
+#include "rank/extrapolation.h"
+#include "rank/pagerank.h"
+#include "rank/rank_vector.h"
+
+namespace qrank {
+namespace {
+
+struct GraphCase {
+  std::string name;
+  CsrGraph graph;
+};
+
+std::vector<GraphCase> MakeGraphCases() {
+  std::vector<GraphCase> cases;
+  Rng rng(1234);
+  cases.push_back(
+      {"ring", CsrGraph::FromEdgeList(GenerateRing(64, 2).value()).value()});
+  cases.push_back(
+      {"star", CsrGraph::FromEdgeList(GenerateStar(63).value()).value()});
+  cases.push_back(
+      {"ba", CsrGraph::FromEdgeList(
+                 GenerateBarabasiAlbert(600, 3, &rng).value())
+                 .value()});
+  cases.push_back(
+      {"er", CsrGraph::FromEdgeList(
+                 GenerateErdosRenyi(400, 0.01, &rng).value())
+                 .value()});
+  cases.push_back(
+      {"copy", CsrGraph::FromEdgeList(
+                   GenerateCopyModel(500, 4, 0.7, &rng).value())
+                   .value()});
+  return cases;
+}
+
+class EngineAgreementTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  static void SetUpTestSuite() {
+    cases_ = new std::vector<GraphCase>(MakeGraphCases());
+  }
+  static void TearDownTestSuite() {
+    delete cases_;
+    cases_ = nullptr;
+  }
+  static std::vector<GraphCase>* cases_;
+};
+
+std::vector<GraphCase>* EngineAgreementTest::cases_ = nullptr;
+
+TEST_P(EngineAgreementTest, GaussSeidelMatchesPowerIteration) {
+  const GraphCase& gc = (*cases_)[GetParam()];
+  PageRankOptions o;
+  o.tolerance = 1e-12;
+  auto ref = ComputePageRank(gc.graph, o);
+  auto gs = ComputePageRankGaussSeidel(gc.graph, o);
+  ASSERT_TRUE(ref.ok()) << gc.name;
+  ASSERT_TRUE(gs.ok()) << gc.name;
+  EXPECT_LT(L1Distance(ref->scores, gs->scores), 1e-8) << gc.name;
+}
+
+TEST_P(EngineAgreementTest, GaussSeidelNeedsNoMoreIterations) {
+  const GraphCase& gc = (*cases_)[GetParam()];
+  PageRankOptions o;
+  o.tolerance = 1e-10;
+  auto ref = ComputePageRank(gc.graph, o);
+  auto gs = ComputePageRankGaussSeidel(gc.graph, o);
+  ASSERT_TRUE(ref.ok() && gs.ok());
+  EXPECT_LE(gs->iterations, ref->iterations) << gc.name;
+}
+
+TEST_P(EngineAgreementTest, AdaptiveMatchesPowerIterationAtTightFreeze) {
+  const GraphCase& gc = (*cases_)[GetParam()];
+  AdaptivePageRankOptions o;
+  o.base.tolerance = 1e-12;
+  o.base.max_iterations = 2000;
+  o.freeze_threshold = 1e-10;
+  auto ref = ComputePageRank(gc.graph, o.base);
+  auto ad = ComputeAdaptivePageRank(gc.graph, o);
+  ASSERT_TRUE(ref.ok()) << gc.name;
+  ASSERT_TRUE(ad.ok()) << gc.name;
+  EXPECT_LT(L1Distance(ref->scores, ad->base.scores), 1e-5) << gc.name;
+}
+
+TEST_P(EngineAgreementTest, AdaptiveDefaultThresholdIsApproximatelyRight) {
+  const GraphCase& gc = (*cases_)[GetParam()];
+  AdaptivePageRankOptions o;  // default freeze_threshold 1e-4
+  auto ref = ComputePageRank(gc.graph, o.base);
+  auto ad = ComputeAdaptivePageRank(gc.graph, o);
+  ASSERT_TRUE(ref.ok()) << gc.name;
+  ASSERT_TRUE(ad.ok()) << gc.name;
+  // Approximation error bounded by ~freeze_threshold / (1 - damping).
+  EXPECT_LT(L1Distance(ref->scores, ad->base.scores), 5e-3) << gc.name;
+}
+
+TEST_P(EngineAgreementTest, AdaptiveSavesNodeUpdates) {
+  const GraphCase& gc = (*cases_)[GetParam()];
+  AdaptivePageRankOptions o;
+  o.base.tolerance = 1e-10;
+  auto ad = ComputeAdaptivePageRank(gc.graph, o);
+  ASSERT_TRUE(ad.ok());
+  uint64_t dense_updates =
+      static_cast<uint64_t>(ad->base.iterations) * gc.graph.num_nodes();
+  EXPECT_LE(ad->node_updates, dense_updates) << gc.name;
+}
+
+TEST_P(EngineAgreementTest, ExtrapolatedMatchesPowerIteration) {
+  const GraphCase& gc = (*cases_)[GetParam()];
+  ExtrapolatedPageRankOptions o;
+  o.base.tolerance = 1e-12;
+  auto ref = ComputePageRank(gc.graph, o.base);
+  auto ex = ComputeExtrapolatedPageRank(gc.graph, o);
+  ASSERT_TRUE(ref.ok()) << gc.name;
+  ASSERT_TRUE(ex.ok()) << gc.name;
+  EXPECT_LT(L1Distance(ref->scores, ex->base.scores), 1e-8) << gc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, EngineAgreementTest,
+                         ::testing::Range<size_t>(0, 5));
+
+TEST(AdaptivePageRankTest, ValidatesOptions) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}}).value();
+  AdaptivePageRankOptions o;
+  o.freeze_threshold = 0.0;
+  EXPECT_FALSE(ComputeAdaptivePageRank(g, o).ok());
+  o = AdaptivePageRankOptions{};
+  o.full_sweep_period = 0;
+  EXPECT_FALSE(ComputeAdaptivePageRank(g, o).ok());
+}
+
+TEST(AdaptivePageRankTest, EmptyGraph) {
+  CsrGraph g;
+  auto r = ComputeAdaptivePageRank(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->base.converged);
+}
+
+TEST(AdaptivePageRankTest, FreezesMostNodesOnPowerLawGraph) {
+  Rng rng(5);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(2000, 3, &rng).value())
+                   .value();
+  AdaptivePageRankOptions o;
+  o.base.tolerance = 1e-10;
+  auto r = ComputeAdaptivePageRank(g, o);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->base.converged);
+  // The adaptive claim: most pages converge early, so total updates are
+  // well below iterations * n.
+  uint64_t dense = static_cast<uint64_t>(r->base.iterations) * 2000;
+  EXPECT_LT(r->node_updates, dense / 2);
+  EXPECT_GT(r->frozen_at_end, 1000u);
+}
+
+TEST(ExtrapolatedPageRankTest, ValidatesPeriod) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}}).value();
+  ExtrapolatedPageRankOptions o;
+  o.period = 3;
+  EXPECT_FALSE(ComputeExtrapolatedPageRank(g, o).ok());
+}
+
+TEST(ExtrapolatedPageRankTest, AppliesExtrapolationsAtTightTolerance) {
+  Rng rng(6);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(1000, 3, &rng).value())
+                   .value();
+  ExtrapolatedPageRankOptions o;
+  o.base.tolerance = 1e-13;
+  o.base.damping = 0.95;  // slow power iteration: extrapolation shines
+  o.base.max_iterations = 500;
+  auto ex = ComputeExtrapolatedPageRank(g, o);
+  ASSERT_TRUE(ex.ok());
+  EXPECT_TRUE(ex->base.converged);
+  EXPECT_GE(ex->extrapolations_applied, 1u);
+
+  PageRankOptions plain = o.base;
+  auto ref = ComputePageRank(g, plain);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_LE(ex->base.iterations, ref->iterations);
+}
+
+TEST(ExtrapolatedPageRankTest, ScoresRemainDistribution) {
+  Rng rng(7);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateCopyModel(600, 3, 0.6, &rng).value())
+                   .value();
+  ExtrapolatedPageRankOptions o;
+  o.base.damping = 0.9;
+  auto ex = ComputeExtrapolatedPageRank(g, o);
+  ASSERT_TRUE(ex.ok());
+  double sum =
+      std::accumulate(ex->base.scores.begin(), ex->base.scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-8);
+  for (double s : ex->base.scores) EXPECT_GE(s, 0.0);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,272 @@
+#include "rank/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace qrank {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(PageRankTest, EmptyGraphGivesEmptyScores) {
+  CsrGraph g;
+  Result<PageRankResult> r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->scores.empty());
+  EXPECT_TRUE(r->converged);
+}
+
+TEST(PageRankTest, ValidatesOptions) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}}).value();
+  PageRankOptions o;
+  o.damping = 1.0;
+  EXPECT_FALSE(ComputePageRank(g, o).ok());
+  o = PageRankOptions{};
+  o.damping = -0.1;
+  EXPECT_FALSE(ComputePageRank(g, o).ok());
+  o = PageRankOptions{};
+  o.tolerance = 0.0;
+  EXPECT_FALSE(ComputePageRank(g, o).ok());
+  o = PageRankOptions{};
+  o.max_iterations = 0;
+  EXPECT_FALSE(ComputePageRank(g, o).ok());
+  o = PageRankOptions{};
+  o.personalization = {1.0};  // wrong size
+  EXPECT_FALSE(ComputePageRank(g, o).ok());
+  o.personalization = {0.0, 0.0};  // all zero
+  EXPECT_FALSE(ComputePageRank(g, o).ok());
+  o.personalization = {-1.0, 2.0};  // negative
+  EXPECT_FALSE(ComputePageRank(g, o).ok());
+}
+
+TEST(PageRankTest, ScoresFormDistribution) {
+  Rng rng(1);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(500, 3, &rng).value())
+                   .value();
+  Result<PageRankResult> r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_NEAR(Sum(r->scores), 1.0, 1e-9);
+  for (double s : r->scores) EXPECT_GT(s, 0.0);
+}
+
+TEST(PageRankTest, TotalMassNScaling) {
+  CsrGraph g = CsrGraph::FromEdgeList(GenerateRing(10, 1).value()).value();
+  PageRankOptions o;
+  o.scale = ScaleConvention::kTotalMassN;
+  Result<PageRankResult> r = ComputePageRank(g, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(Sum(r->scores), 10.0, 1e-8);
+  // The ring is vertex-transitive: every page has PageRank exactly 1,
+  // the paper's "initial value" fixed point.
+  for (double s : r->scores) EXPECT_NEAR(s, 1.0, 1e-10);
+}
+
+TEST(PageRankTest, UniformOnRegularRing) {
+  CsrGraph g = CsrGraph::FromEdgeList(GenerateRing(17, 3).value()).value();
+  Result<PageRankResult> r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  for (double s : r->scores) EXPECT_NEAR(s, 1.0 / 17.0, 1e-12);
+}
+
+TEST(PageRankTest, TwoNodeCycleAnalytic) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}, {1, 0}}).value();
+  Result<PageRankResult> r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->scores[0], 0.5, 1e-12);
+  EXPECT_NEAR(r->scores[1], 0.5, 1e-12);
+}
+
+TEST(PageRankTest, ChainAnalyticValues) {
+  // 0 -> 1 with damping a: x0 = (1-a)/2 + a*x_dangling_share...
+  // Use the closed form for the 2-node graph 0->1 where 1 is dangling:
+  // dangling mass redistributes uniformly. Let v = 1/2.
+  //   x0 = (1-a)/2 + a*x1/2
+  //   x1 = (1-a)/2 + a*x0 + a*x1/2
+  // Solve with a = 0.85.
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}}).value();
+  PageRankOptions o;
+  o.tolerance = 1e-14;
+  Result<PageRankResult> r = ComputePageRank(g, o);
+  ASSERT_TRUE(r.ok());
+  const double a = 0.85;
+  // From the equations: x0 = (1-a)/2 + a/2 * x1; x0 + x1 = 1.
+  double x0 = (1.0 - a / 2.0) / 2.0 / (1.0 - a / 2.0 + a / 2.0);
+  // Direct algebra: x0 = ((1-a)/2 + a/2) / (1 + a/2)?  Verify
+  // numerically instead: substitute x1 = 1 - x0 into the first equation:
+  // x0 = (1-a)/2 + a(1-x0)/2  =>  x0 (1 + a/2) = 1/2  => x0 = 1/(2+a).
+  x0 = 1.0 / (2.0 + a);
+  EXPECT_NEAR(r->scores[0], x0, 1e-10);
+  EXPECT_NEAR(r->scores[1], 1.0 - x0, 1e-10);
+}
+
+TEST(PageRankTest, StarHubDominates) {
+  CsrGraph g = CsrGraph::FromEdgeList(GenerateStar(20).value()).value();
+  Result<PageRankResult> r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  for (NodeId s = 1; s <= 20; ++s) {
+    EXPECT_GT(r->scores[0], 5.0 * r->scores[s]);
+  }
+  EXPECT_NEAR(Sum(r->scores), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, DanglingMassIsConserved) {
+  // Graph with many dangling nodes: star (hub dangles) plus isolated
+  // dangling nodes.
+  EdgeList e(10);
+  e.Add(1, 0);
+  e.Add(2, 0);
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  Result<PageRankResult> r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(Sum(r->scores), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, ZeroDampingGivesTeleportDistribution) {
+  CsrGraph g = CsrGraph::FromEdges(3, {{0, 1}, {1, 2}}).value();
+  PageRankOptions o;
+  o.damping = 0.0;
+  Result<PageRankResult> r = ComputePageRank(g, o);
+  ASSERT_TRUE(r.ok());
+  for (double s : r->scores) EXPECT_NEAR(s, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(r->iterations, 1u);
+}
+
+TEST(PageRankTest, PersonalizationShiftsMass) {
+  CsrGraph g = CsrGraph::FromEdges(3, {{0, 1}, {1, 0}, {2, 0}}).value();
+  PageRankOptions uniform;
+  PageRankOptions biased;
+  biased.personalization = {0.0, 0.0, 1.0};
+  double uniform_s2 = ComputePageRank(g, uniform)->scores[2];
+  double biased_s2 = ComputePageRank(g, biased)->scores[2];
+  EXPECT_GT(biased_s2, 2.0 * uniform_s2);
+}
+
+TEST(PageRankTest, PersonalizationIsNormalizedInternally) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}, {1, 0}}).value();
+  PageRankOptions a, b;
+  a.personalization = {1.0, 3.0};
+  b.personalization = {10.0, 30.0};
+  auto ra = ComputePageRank(g, a);
+  auto rb = ComputePageRank(g, b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_NEAR(ra->scores[0], rb->scores[0], 1e-12);
+}
+
+TEST(PageRankTest, RequireConvergenceReportsNotConverged) {
+  Rng rng(2);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(200, 3, &rng).value())
+                   .value();
+  PageRankOptions o;
+  o.max_iterations = 2;
+  o.tolerance = 1e-15;
+  o.require_convergence = true;
+  Result<PageRankResult> r = ComputePageRank(g, o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotConverged);
+
+  o.require_convergence = false;
+  r = ComputePageRank(g, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->converged);
+  EXPECT_EQ(r->iterations, 2u);
+}
+
+TEST(PageRankTest, HigherInDegreeHigherRank) {
+  // 3 satellites point at 0; 1 satellite points at 1.
+  CsrGraph g =
+      CsrGraph::FromEdges(6, {{2, 0}, {3, 0}, {4, 0}, {5, 1}}).value();
+  Result<PageRankResult> r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->scores[0], r->scores[1]);
+  EXPECT_GT(r->scores[1], r->scores[2]);
+}
+
+TEST(PageRankTest, LinkFromImportantPageWorthMore) {
+  // Two receivers: node 10 is linked by a hub (itself heavily linked),
+  // node 11 is linked by a leaf. Both receivers have in-degree 1.
+  EdgeList e(12);
+  for (NodeId s = 0; s < 8; ++s) e.Add(s, 8);  // 8 is the hub
+  e.Add(8, 10);
+  e.Add(9, 11);
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  Result<PageRankResult> r = ComputePageRank(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->scores[10], 2.0 * r->scores[11]);
+}
+
+TEST(PageRankTest, WarmStartValidation) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}, {1, 0}}).value();
+  PageRankOptions o;
+  o.initial_scores = {1.0};  // wrong size
+  EXPECT_FALSE(ComputePageRank(g, o).ok());
+  o.initial_scores = {0.0, 0.0};  // all zero
+  EXPECT_FALSE(ComputePageRank(g, o).ok());
+  o.initial_scores = {-1.0, 2.0};  // negative
+  EXPECT_FALSE(ComputePageRank(g, o).ok());
+}
+
+TEST(PageRankTest, WarmStartFromSolutionConvergesImmediately) {
+  Rng rng(55);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(300, 3, &rng).value())
+                   .value();
+  PageRankOptions o;
+  o.tolerance = 1e-10;
+  auto cold = ComputePageRank(g, o);
+  ASSERT_TRUE(cold.ok());
+  o.initial_scores = cold->scores;
+  auto warm = ComputePageRank(g, o);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LE(warm->iterations, 2u);
+  // Same fixed point regardless of start.
+  double dist = 0.0;
+  for (size_t i = 0; i < warm->scores.size(); ++i) {
+    dist += std::fabs(warm->scores[i] - cold->scores[i]);
+  }
+  EXPECT_LT(dist, 1e-9);
+}
+
+TEST(PageRankTest, WarmStartScaleIsIrrelevant) {
+  CsrGraph g = CsrGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}}).value();
+  PageRankOptions a, b;
+  a.initial_scores = {1.0, 2.0, 3.0};
+  b.initial_scores = {10.0, 20.0, 30.0};
+  auto ra = ComputePageRank(g, a);
+  auto rb = ComputePageRank(g, b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->iterations, rb->iterations);
+}
+
+class PageRankDampingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PageRankDampingTest, DistributionInvariantAcrossDamping) {
+  Rng rng(33);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateCopyModel(400, 4, 0.6, &rng).value())
+                   .value();
+  PageRankOptions o;
+  o.damping = GetParam();
+  Result<PageRankResult> r = ComputePageRank(g, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_NEAR(Sum(r->scores), 1.0, 1e-8);
+  double min_score = *std::min_element(r->scores.begin(), r->scores.end());
+  // Teleport floor: every page gets at least (1-damping)/n.
+  EXPECT_GE(min_score, (1.0 - GetParam()) / 400.0 - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Damping, PageRankDampingTest,
+                         ::testing::Values(0.0, 0.3, 0.5, 0.85, 0.95, 0.99));
+
+}  // namespace
+}  // namespace qrank

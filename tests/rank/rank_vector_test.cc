@@ -1,0 +1,66 @@
+#include "rank/rank_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace qrank {
+namespace {
+
+TEST(L1Test, DistanceAndNorm) {
+  EXPECT_DOUBLE_EQ(L1Distance({1.0, 2.0}, {0.5, 3.0}), 1.5);
+  EXPECT_DOUBLE_EQ(L1Distance({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(L1Norm({-1.0, 2.0, -3.0}), 6.0);
+}
+
+TEST(NormalizeSumTest, ScalesToTarget) {
+  std::vector<double> v = {1.0, 3.0};
+  NormalizeSum(&v, 1.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+  NormalizeSum(&v, 8.0);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 6.0);
+}
+
+TEST(NormalizeSumTest, ZeroSumIsNoOp) {
+  std::vector<double> v = {0.0, 0.0};
+  NormalizeSum(&v, 1.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(TopKTest, ReturnsDescendingByScore) {
+  std::vector<double> scores = {0.1, 0.9, 0.5, 0.7};
+  std::vector<NodeId> top = TopK(scores, 3);
+  EXPECT_EQ(top, (std::vector<NodeId>{1, 3, 2}));
+}
+
+TEST(TopKTest, TiesBrokenByLowerId) {
+  std::vector<double> scores = {0.5, 0.9, 0.5, 0.5};
+  std::vector<NodeId> top = TopK(scores, 4);
+  EXPECT_EQ(top, (std::vector<NodeId>{1, 0, 2, 3}));
+}
+
+TEST(TopKTest, KLargerThanSizeClamped) {
+  std::vector<double> scores = {0.5, 0.9};
+  EXPECT_EQ(TopK(scores, 10).size(), 2u);
+  EXPECT_TRUE(TopK({}, 3).empty());
+  EXPECT_TRUE(TopK(scores, 0).empty());
+}
+
+TEST(DenseRanksTest, BestGetsRankZero) {
+  std::vector<double> scores = {0.1, 0.9, 0.5};
+  std::vector<uint32_t> ranks = DenseRanks(scores);
+  EXPECT_EQ(ranks[1], 0u);
+  EXPECT_EQ(ranks[2], 1u);
+  EXPECT_EQ(ranks[0], 2u);
+}
+
+TEST(DenseRanksTest, TiesDeterministicByIdOrder) {
+  std::vector<double> scores = {0.5, 0.5};
+  std::vector<uint32_t> ranks = DenseRanks(scores);
+  EXPECT_EQ(ranks[0], 0u);
+  EXPECT_EQ(ranks[1], 1u);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,120 @@
+#include "rank/topic_sensitive.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "rank/rank_vector.h"
+
+namespace qrank {
+namespace {
+
+// Two loosely-connected communities: pages [0, 10) and [10, 20), linked
+// internally in rings with one bridge each way.
+CsrGraph TwoCommunities() {
+  EdgeList e(20);
+  for (NodeId u = 0; u < 10; ++u) e.Add(u, (u + 1) % 10);
+  for (NodeId u = 10; u < 20; ++u) e.Add(u, 10 + (u + 1 - 10) % 10);
+  e.Add(0, 10);
+  e.Add(10, 0);
+  return CsrGraph::FromEdgeList(e).value();
+}
+
+std::vector<TopicSpec> TwoTopics() {
+  TopicSpec a{"alpha", {0, 1, 2, 3, 4}};
+  TopicSpec b{"beta", {10, 11, 12, 13, 14}};
+  return {a, b};
+}
+
+TEST(TopicSensitiveTest, ValidatesInput) {
+  CsrGraph g = TwoCommunities();
+  EXPECT_FALSE(TopicSensitivePageRank::Create(g, {}).ok());
+  TopicSpec empty{"empty", {}};
+  EXPECT_FALSE(TopicSensitivePageRank::Create(g, {empty}).ok());
+  TopicSpec oob{"oob", {99}};
+  EXPECT_FALSE(TopicSensitivePageRank::Create(g, {oob}).ok());
+  PageRankOptions o;
+  o.personalization = std::vector<double>(20, 1.0);
+  EXPECT_FALSE(TopicSensitivePageRank::Create(g, TwoTopics(), o).ok());
+}
+
+TEST(TopicSensitiveTest, BasisVectorsBiasTowardTopic) {
+  CsrGraph g = TwoCommunities();
+  auto tspr = TopicSensitivePageRank::Create(g, TwoTopics()).value();
+  ASSERT_EQ(tspr.num_topics(), 2u);
+  EXPECT_EQ(tspr.topic_name(0), "alpha");
+
+  const std::vector<double>& alpha = tspr.BasisVector(0);
+  const std::vector<double>& beta = tspr.BasisVector(1);
+  // Mass concentrates in the topic's community.
+  double alpha_mass_low = 0.0, beta_mass_low = 0.0;
+  for (NodeId p = 0; p < 10; ++p) {
+    alpha_mass_low += alpha[p];
+    beta_mass_low += beta[p];
+  }
+  EXPECT_GT(alpha_mass_low, 0.8);
+  EXPECT_LT(beta_mass_low, 0.2);
+}
+
+TEST(TopicSensitiveTest, PureBlendEqualsBasisVector) {
+  CsrGraph g = TwoCommunities();
+  auto tspr = TopicSensitivePageRank::Create(g, TwoTopics()).value();
+  std::vector<double> blend = tspr.Blend({1.0, 0.0}).value();
+  const std::vector<double>& basis = tspr.BasisVector(0);
+  for (size_t i = 0; i < blend.size(); ++i) {
+    EXPECT_NEAR(blend[i], basis[i], 1e-15);
+  }
+}
+
+TEST(TopicSensitiveTest, BlendIsLinearInWeights) {
+  // Linearity of PageRank in the teleport vector: blending basis
+  // vectors equals PageRank personalized on the blended teleport set.
+  CsrGraph g = TwoCommunities();
+  auto tspr = TopicSensitivePageRank::Create(g, TwoTopics()).value();
+  std::vector<double> blend = tspr.Blend({0.3, 0.7}).value();
+
+  PageRankOptions direct;
+  direct.personalization.assign(20, 0.0);
+  for (NodeId p : {0, 1, 2, 3, 4}) {
+    direct.personalization[p] = 0.3 / 5.0;
+  }
+  for (NodeId p : {10, 11, 12, 13, 14}) {
+    direct.personalization[p] = 0.7 / 5.0;
+  }
+  std::vector<double> reference = ComputePageRank(g, direct)->scores;
+  EXPECT_LT(L1Distance(blend, reference), 1e-7);
+}
+
+TEST(TopicSensitiveTest, BlendValidatesWeights) {
+  CsrGraph g = TwoCommunities();
+  auto tspr = TopicSensitivePageRank::Create(g, TwoTopics()).value();
+  EXPECT_FALSE(tspr.Blend({1.0}).ok());
+  EXPECT_FALSE(tspr.Blend({0.0, 0.0}).ok());
+  EXPECT_FALSE(tspr.Blend({-1.0, 2.0}).ok());
+}
+
+TEST(TopicSensitiveTest, WeightsNormalizedInternally) {
+  CsrGraph g = TwoCommunities();
+  auto tspr = TopicSensitivePageRank::Create(g, TwoTopics()).value();
+  std::vector<double> a = tspr.Blend({1.0, 3.0}).value();
+  std::vector<double> b = tspr.Blend({10.0, 30.0}).value();
+  EXPECT_LT(L1Distance(a, b), 1e-12);
+}
+
+TEST(TopicSensitiveTest, WorksOnGeneratedGraph) {
+  Rng rng(5);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(200, 3, &rng).value())
+                   .value();
+  TopicSpec t0{"even", {}};
+  TopicSpec t1{"first", {0, 1, 2}};
+  for (NodeId p = 0; p < 200; p += 2) t0.seed_pages.push_back(p);
+  auto tspr = TopicSensitivePageRank::Create(g, {t0, t1}).value();
+  std::vector<double> blend = tspr.Blend({0.5, 0.5}).value();
+  double sum = 0.0;
+  for (double v : blend) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,140 @@
+#include "sim/crawler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "sim/web_simulator.h"
+
+namespace qrank {
+namespace {
+
+CsrGraph Chain(NodeId n) {
+  EdgeList e(n);
+  for (NodeId u = 0; u + 1 < n; ++u) e.Add(u, u + 1);
+  return CsrGraph::FromEdgeList(e).value();
+}
+
+TEST(CrawlerTest, ValidatesSeeds) {
+  CsrGraph g = Chain(3);
+  EXPECT_FALSE(Crawl(g, {99}).ok());
+}
+
+TEST(CrawlerTest, EmptySeedsYieldEmptyCrawl) {
+  CsrGraph g = Chain(3);
+  Result<CrawlResult> r = Crawl(g, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pages_crawled, 0u);
+  EXPECT_EQ(r->graph.num_edges(), 0u);
+  EXPECT_FALSE(r->budget_exhausted);
+}
+
+TEST(CrawlerTest, UnboundedCrawlCoversReachableSet) {
+  CsrGraph g = Chain(5);
+  Result<CrawlResult> r = Crawl(g, {0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pages_crawled, 5u);
+  EXPECT_EQ(r->links_observed, 4u);
+  EXPECT_EQ(r->graph.num_edges(), 4u);
+  for (NodeId p = 0; p < 5; ++p) EXPECT_TRUE(r->crawled[p]);
+  EXPECT_FALSE(r->budget_exhausted);
+}
+
+TEST(CrawlerTest, UnreachablePagesStayUncrawled) {
+  // Two components: 0->1 and 2->3.
+  CsrGraph g = CsrGraph::FromEdges(4, {{0, 1}, {2, 3}}).value();
+  Result<CrawlResult> r = Crawl(g, {0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pages_crawled, 2u);
+  EXPECT_FALSE(r->crawled[2]);
+  EXPECT_FALSE(r->crawled[3]);
+  EXPECT_FALSE(r->graph.HasEdge(2, 3));
+}
+
+TEST(CrawlerTest, BudgetStopsCrawl) {
+  CsrGraph g = Chain(10);
+  CrawlerOptions o;
+  o.page_budget = 3;
+  Result<CrawlResult> r = Crawl(g, {0}, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pages_crawled, 3u);
+  EXPECT_TRUE(r->budget_exhausted);
+  // The crawl downloaded 0, 1, 2; it observed 0->1, 1->2, 2->3 (the
+  // link to the undownloaded frontier page 3 is known).
+  EXPECT_EQ(r->links_observed, 3u);
+  EXPECT_TRUE(r->graph.HasEdge(2, 3));
+  EXPECT_FALSE(r->crawled[3]);
+  EXPECT_FALSE(r->graph.HasEdge(3, 4));
+}
+
+TEST(CrawlerTest, DepthLimitStopsExpansion) {
+  CsrGraph g = Chain(10);
+  CrawlerOptions o;
+  o.max_depth = 2;
+  Result<CrawlResult> r = Crawl(g, {0}, o);
+  ASSERT_TRUE(r.ok());
+  // Depth 0: page 0; depth 1: page 1; depth 2: page 2. Page 3 is seen
+  // as a link target but never enqueued.
+  EXPECT_EQ(r->pages_crawled, 3u);
+  EXPECT_FALSE(r->crawled[3]);
+  EXPECT_FALSE(r->budget_exhausted);
+}
+
+TEST(CrawlerTest, DuplicateSeedsCrawledOnce) {
+  CsrGraph g = Chain(3);
+  Result<CrawlResult> r = Crawl(g, {0, 0, 0, 1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pages_crawled, 3u);
+}
+
+TEST(CrawlerTest, BfsOrderRespectsBudgetBreadthFirst) {
+  // Star out of node 0 to 1..6, then 1->7. Budget 4 downloads 0 and
+  // then 1, 2, 3 (FIFO), never reaching 7.
+  EdgeList e(8);
+  for (NodeId t = 1; t <= 6; ++t) e.Add(0, t);
+  e.Add(1, 7);
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  CrawlerOptions o;
+  o.page_budget = 4;
+  Result<CrawlResult> r = Crawl(g, {0}, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->crawled[0]);
+  EXPECT_TRUE(r->crawled[1]);
+  EXPECT_TRUE(r->crawled[2]);
+  EXPECT_TRUE(r->crawled[3]);
+  EXPECT_FALSE(r->crawled[7]);
+}
+
+TEST(CrawlerTest, CrawlOfSimulatedWebPreservesIdAlignment) {
+  WebSimulatorOptions sim_options;
+  sim_options.num_users = 300;
+  sim_options.seed = 3;
+  WebSimulator sim = WebSimulator::Create(sim_options).value();
+  ASSERT_TRUE(sim.AdvanceTo(8.0).ok());
+  CsrGraph truth = sim.Snapshot().value();
+
+  // Seed with the 10 most-liked pages (a crawler's seed list).
+  std::vector<NodeId> seeds;
+  for (NodeId p = 0; p < 10; ++p) seeds.push_back(p);
+  CrawlerOptions o;
+  o.page_budget = 150;
+  Result<CrawlResult> r = Crawl(truth, seeds, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->graph.num_nodes(), truth.num_nodes());
+  EXPECT_LE(r->pages_crawled, 150u);
+  EXPECT_LE(r->graph.num_edges(), truth.num_edges());
+  // Every crawled page's out-links match the truth exactly.
+  for (NodeId p = 0; p < truth.num_nodes(); ++p) {
+    if (!r->crawled[p]) {
+      EXPECT_EQ(r->graph.OutDegree(p), 0u);
+      continue;
+    }
+    auto a = truth.OutNeighbors(p);
+    auto b = r->graph.OutNeighbors(p);
+    ASSERT_EQ(a.size(), b.size()) << "page " << p;
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace qrank

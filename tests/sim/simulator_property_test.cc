@@ -1,0 +1,99 @@
+// Parameterized invariant sweep over the simulator's configuration
+// space: for every combination of forgetting, exploration, births and
+// search mediation, the core bookkeeping invariants must hold after a
+// burn-in.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/web_simulator.h"
+
+namespace qrank {
+namespace {
+
+// (forget_rate, exploration_rate, birth_rate, search_policy_index)
+using SimConfig = std::tuple<double, double, double, int>;
+
+RankingPolicy PolicyFromIndex(int index) {
+  switch (index) {
+    case 1:
+      return RankingPolicy::kPageRank;
+    case 2:
+      return RankingPolicy::kQualityEstimate;
+    default:
+      return RankingPolicy::kNone;
+  }
+}
+
+class SimulatorInvariantTest : public ::testing::TestWithParam<SimConfig> {};
+
+TEST_P(SimulatorInvariantTest, BookkeepingInvariantsHold) {
+  auto [forget, exploration, births, policy_index] = GetParam();
+  WebSimulatorOptions options;
+  options.num_users = 250;
+  options.seed = 424242;
+  options.forget_rate = forget;
+  options.exploration_visit_rate = exploration;
+  options.page_birth_rate = births;
+  options.search.policy = PolicyFromIndex(policy_index);
+  options.search.search_traffic_fraction = 0.5;
+  options.search.rerank_period = 1.0;
+
+  Result<WebSimulator> sim_result = WebSimulator::Create(options);
+  ASSERT_TRUE(sim_result.ok()) << sim_result.status().ToString();
+  WebSimulator& sim = *sim_result;
+  ASSERT_TRUE(sim.AdvanceTo(8.0).ok());
+
+  // Invariant 1: per-page counters bounded and consistent.
+  uint64_t total_likes = 0, total_page_visits = 0;
+  for (NodeId p = 0; p < sim.num_pages(); ++p) {
+    const PageState& page = sim.page(p);
+    EXPECT_LE(page.likes, page.aware) << "page " << p;
+    EXPECT_LE(page.aware, options.num_users) << "page " << p;
+    EXPECT_GT(page.quality, 0.0);
+    EXPECT_LT(page.quality, 1.0);
+    EXPECT_GE(page.birth_time, 0.0);
+    EXPECT_LE(page.birth_time, sim.now());
+    total_likes += page.likes;
+    total_page_visits += page.visits;
+  }
+
+  // Invariant 2: global tallies consistent.
+  EXPECT_EQ(total_page_visits, sim.total_visits());
+  EXPECT_EQ(total_likes,
+            sim.total_likes_created() - sim.total_forgets());
+  EXPECT_EQ(sim.graph().num_live_edges(), total_likes);
+  if (options.forget_rate == 0.0) {
+    EXPECT_EQ(sim.total_forgets(), 0u);
+  }
+  if (options.search.policy == RankingPolicy::kNone) {
+    EXPECT_EQ(sim.total_search_visits(), 0u);
+  } else {
+    EXPECT_GT(sim.total_search_visits(), 0u);
+    EXPECT_LE(sim.total_search_visits(), sim.total_visits());
+  }
+
+  // Invariant 3: snapshot in-degrees equal live likes.
+  CsrGraph snapshot = sim.Snapshot().value();
+  std::vector<uint32_t> indeg = snapshot.ComputeInDegrees();
+  for (NodeId p = 0; p < sim.num_pages(); ++p) {
+    EXPECT_EQ(indeg[p], sim.page(p).likes) << "page " << p;
+  }
+
+  // Invariant 4: birth times are non-decreasing in page id (dense,
+  // monotone id assignment — required by the common-prefix logic).
+  for (NodeId p = 1; p < sim.num_pages(); ++p) {
+    EXPECT_LE(sim.page(p - 1).birth_time, sim.page(p).birth_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, SimulatorInvariantTest,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.5),
+                       ::testing::Values(0.0, 2.0),
+                       ::testing::Values(0.0, 15.0),
+                       ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace qrank

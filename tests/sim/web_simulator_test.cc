@@ -1,0 +1,244 @@
+#include "sim/web_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/visitation_model.h"
+
+namespace qrank {
+namespace {
+
+WebSimulatorOptions SmallOptions() {
+  WebSimulatorOptions o;
+  o.num_users = 200;
+  o.seed = 5;
+  return o;
+}
+
+TEST(WebSimulatorTest, ValidatesOptions) {
+  WebSimulatorOptions o = SmallOptions();
+  o.num_users = 1;
+  EXPECT_FALSE(WebSimulator::Create(o).ok());
+  o = SmallOptions();
+  o.time_step = 0.0;
+  EXPECT_FALSE(WebSimulator::Create(o).ok());
+  o = SmallOptions();
+  o.visit_rate_factor = 0.0;
+  EXPECT_FALSE(WebSimulator::Create(o).ok());
+  o = SmallOptions();
+  o.seed_likers = 0;
+  EXPECT_FALSE(WebSimulator::Create(o).ok());
+  o = SmallOptions();
+  o.seed_likers = o.num_users;
+  EXPECT_FALSE(WebSimulator::Create(o).ok());
+  o = SmallOptions();
+  o.forget_rate = -1.0;
+  EXPECT_FALSE(WebSimulator::Create(o).ok());
+  o = SmallOptions();
+  o.quality_alpha = 0.0;
+  EXPECT_FALSE(WebSimulator::Create(o).ok());
+  o = SmallOptions();
+  o.exploration_visit_rate = -0.5;
+  EXPECT_FALSE(WebSimulator::Create(o).ok());
+  o = SmallOptions();
+  o.page_birth_rate = -2.0;
+  EXPECT_FALSE(WebSimulator::Create(o).ok());
+}
+
+TEST(WebSimulatorTest, InitialStateSeedsEveryHomePage) {
+  WebSimulatorOptions o = SmallOptions();
+  o.seed_likers = 2;
+  WebSimulator sim = WebSimulator::Create(o).value();
+  EXPECT_EQ(sim.num_pages(), 200u);
+  EXPECT_EQ(sim.now(), 0.0);
+  for (NodeId p = 0; p < sim.num_pages(); ++p) {
+    EXPECT_EQ(sim.page(p).likes, 2u) << "page " << p;
+    EXPECT_EQ(sim.page(p).aware, 2u);
+    EXPECT_GT(sim.TrueQuality(p), 0.0);
+    EXPECT_LT(sim.TrueQuality(p), 1.0);
+    EXPECT_NEAR(sim.TruePopularity(p), 2.0 / 200.0, 1e-12);
+  }
+  EXPECT_EQ(sim.graph().num_live_edges(), 400u);
+}
+
+TEST(WebSimulatorTest, InitialContentPagesAreCreated) {
+  WebSimulatorOptions o = SmallOptions();
+  o.initial_content_pages = 30;
+  WebSimulator sim = WebSimulator::Create(o).value();
+  EXPECT_EQ(sim.num_pages(), 230u);
+}
+
+TEST(WebSimulatorTest, DeterministicForSameSeed) {
+  WebSimulatorOptions o = SmallOptions();
+  WebSimulator a = WebSimulator::Create(o).value();
+  WebSimulator b = WebSimulator::Create(o).value();
+  ASSERT_TRUE(a.AdvanceTo(5.0).ok());
+  ASSERT_TRUE(b.AdvanceTo(5.0).ok());
+  EXPECT_EQ(a.total_visits(), b.total_visits());
+  EXPECT_EQ(a.total_likes_created(), b.total_likes_created());
+  ASSERT_EQ(a.num_pages(), b.num_pages());
+  for (NodeId p = 0; p < a.num_pages(); ++p) {
+    EXPECT_EQ(a.page(p).likes, b.page(p).likes);
+  }
+}
+
+TEST(WebSimulatorTest, AdvanceToRejectsPast) {
+  WebSimulator sim = WebSimulator::Create(SmallOptions()).value();
+  ASSERT_TRUE(sim.AdvanceTo(2.0).ok());
+  EXPECT_FALSE(sim.AdvanceTo(1.0).ok());
+}
+
+TEST(WebSimulatorTest, AdvanceToStopsAtStepBoundary) {
+  WebSimulatorOptions o = SmallOptions();
+  o.time_step = 0.5;
+  WebSimulator sim = WebSimulator::Create(o).value();
+  ASSERT_TRUE(sim.AdvanceTo(1.76).ok());
+  EXPECT_NEAR(sim.now(), 1.5, 1e-9);
+}
+
+TEST(WebSimulatorTest, LikesNeverExceedAwareness) {
+  WebSimulatorOptions o = SmallOptions();
+  o.page_birth_rate = 5.0;
+  WebSimulator sim = WebSimulator::Create(o).value();
+  ASSERT_TRUE(sim.AdvanceTo(10.0).ok());
+  for (NodeId p = 0; p < sim.num_pages(); ++p) {
+    EXPECT_LE(sim.page(p).likes, sim.page(p).aware) << "page " << p;
+    EXPECT_LE(sim.page(p).aware, o.num_users);
+  }
+}
+
+TEST(WebSimulatorTest, LikesEqualInDegreeInSnapshot) {
+  WebSimulatorOptions o = SmallOptions();
+  WebSimulator sim = WebSimulator::Create(o).value();
+  ASSERT_TRUE(sim.AdvanceTo(8.0).ok());
+  CsrGraph g = sim.Snapshot().value();
+  std::vector<uint32_t> indeg = g.ComputeInDegrees();
+  ASSERT_EQ(indeg.size(), sim.num_pages());
+  for (NodeId p = 0; p < sim.num_pages(); ++p) {
+    EXPECT_EQ(indeg[p], sim.page(p).likes) << "page " << p;
+  }
+}
+
+TEST(WebSimulatorTest, MonotonePopularityWithoutForgetting) {
+  WebSimulatorOptions o = SmallOptions();
+  WebSimulator sim = WebSimulator::Create(o).value();
+  std::vector<uint32_t> before(sim.num_pages());
+  for (NodeId p = 0; p < sim.num_pages(); ++p) before[p] = sim.page(p).likes;
+  ASSERT_TRUE(sim.AdvanceTo(6.0).ok());
+  for (NodeId p = 0; p < sim.num_pages(); ++p) {
+    EXPECT_GE(sim.page(p).likes, before[p]);
+  }
+}
+
+TEST(WebSimulatorTest, ForgettingRemovesLikesAndEdges) {
+  WebSimulatorOptions o = SmallOptions();
+  o.forget_rate = 5.0;  // aggressive forgetting
+  o.visit_rate_factor = 0.01;  // almost no new visits
+  WebSimulator sim = WebSimulator::Create(o).value();
+  uint64_t live_before = sim.graph().num_live_edges();
+  ASSERT_TRUE(sim.AdvanceTo(10.0).ok());
+  EXPECT_GT(sim.total_forgets(), 0u);
+  EXPECT_LT(sim.graph().num_live_edges(), live_before);
+  // Consistency: likes still match live in-degree.
+  CsrGraph g = sim.Snapshot().value();
+  std::vector<uint32_t> indeg = g.ComputeInDegrees();
+  for (NodeId p = 0; p < sim.num_pages(); ++p) {
+    EXPECT_EQ(indeg[p], sim.page(p).likes);
+  }
+}
+
+TEST(WebSimulatorTest, PageBirthsArriveOverTime) {
+  WebSimulatorOptions o = SmallOptions();
+  o.page_birth_rate = 10.0;
+  WebSimulator sim = WebSimulator::Create(o).value();
+  ASSERT_TRUE(sim.AdvanceTo(10.0).ok());
+  // Poisson(100) births expected; allow wide slack.
+  EXPECT_GT(sim.num_pages(), 250u);
+  EXPECT_LT(sim.num_pages(), 400u);
+  // Born pages have their birth time recorded after t=0.
+  EXPECT_GT(sim.page(sim.num_pages() - 1).birth_time, 0.0);
+}
+
+TEST(WebSimulatorTest, AddPageWithQualityValidates) {
+  WebSimulator sim = WebSimulator::Create(SmallOptions()).value();
+  EXPECT_FALSE(sim.AddPageWithQuality(0.0).ok());
+  EXPECT_FALSE(sim.AddPageWithQuality(1.5).ok());
+  Result<NodeId> p = sim.AddPageWithQuality(0.9);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value(), 200u);
+  EXPECT_DOUBLE_EQ(sim.TrueQuality(p.value()), 0.9);
+  EXPECT_EQ(sim.page(p.value()).likes, 1u);
+}
+
+TEST(WebSimulatorTest, ExplorationDiscoversColdPages) {
+  // With visit_rate_factor tiny and exploration on, even a page whose
+  // seed likers are its only audience accumulates awareness.
+  WebSimulatorOptions o = SmallOptions();
+  o.visit_rate_factor = 1e-9;
+  o.exploration_visit_rate = 20.0;
+  WebSimulator sim = WebSimulator::Create(o).value();
+  ASSERT_TRUE(sim.AdvanceTo(5.0).ok());
+  uint64_t total_aware = 0;
+  for (NodeId p = 0; p < sim.num_pages(); ++p) total_aware += sim.page(p).aware;
+  // Seeds alone would give exactly 200; exploration must add many more.
+  EXPECT_GT(total_aware, 2000u);
+}
+
+// The key agreement property: the simulator is a discrete realization of
+// the paper's model, so a high-quality page's empirical popularity curve
+// must track the closed-form logistic of Theorem 1.
+TEST(WebSimulatorTest, PopularityTracksTheoreticalLogistic) {
+  WebSimulatorOptions o;
+  o.num_users = 3000;  // larger population: lower Poisson noise
+  o.seed = 17;
+  o.seed_likers = 3;
+  o.time_step = 0.1;
+  WebSimulator sim = WebSimulator::Create(o).value();
+  NodeId page = sim.AddPageWithQuality(0.7).value();
+  // Adding the page gave it 3 seed likers too? No: AddPageWithQuality
+  // seeds seed_likers likers.
+  ASSERT_EQ(sim.page(page).likes, 3u);
+
+  VisitationParams vp;
+  vp.quality = 0.7;
+  vp.num_users = 3000.0;
+  vp.visit_rate = 3000.0;  // factor 1
+  vp.initial_popularity = 3.0 / 3000.0;
+  VisitationModel model = VisitationModel::Create(vp).value();
+
+  for (double t = 2.0; t <= 14.0; t += 2.0) {
+    ASSERT_TRUE(sim.AdvanceTo(t).ok());
+    double expected = model.Popularity(t);
+    double actual = sim.TruePopularity(page);
+    EXPECT_NEAR(actual, expected, 0.12 * 0.7 + 0.02)
+        << "t=" << t << " expected=" << expected << " actual=" << actual;
+  }
+  // By t=14 the 0.7-quality page is far beyond its initial popularity.
+  EXPECT_GT(sim.TruePopularity(page), 0.3);
+}
+
+TEST(WebSimulatorTest, HigherQualityPagesEndMorePopular) {
+  WebSimulatorOptions o;
+  o.num_users = 1500;
+  o.seed = 23;
+  WebSimulator sim = WebSimulator::Create(o).value();
+  NodeId lo = sim.AddPageWithQuality(0.1).value();
+  NodeId hi = sim.AddPageWithQuality(0.9).value();
+  ASSERT_TRUE(sim.AdvanceTo(20.0).ok());
+  EXPECT_GT(sim.TruePopularity(hi), 2.0 * sim.TruePopularity(lo));
+}
+
+TEST(WebSimulatorTest, VisitTalliesAreConsistent) {
+  WebSimulator sim = WebSimulator::Create(SmallOptions()).value();
+  ASSERT_TRUE(sim.AdvanceTo(5.0).ok());
+  uint64_t per_page_total = 0;
+  for (NodeId p = 0; p < sim.num_pages(); ++p) {
+    per_page_total += sim.page(p).visits;
+  }
+  EXPECT_EQ(per_page_total, sim.total_visits());
+  EXPECT_GT(sim.total_visits(), 0u);
+}
+
+}  // namespace
+}  // namespace qrank
