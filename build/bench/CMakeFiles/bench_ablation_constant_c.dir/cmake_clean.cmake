@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_constant_c.dir/bench_ablation_constant_c.cc.o"
+  "CMakeFiles/bench_ablation_constant_c.dir/bench_ablation_constant_c.cc.o.d"
+  "bench_ablation_constant_c"
+  "bench_ablation_constant_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_constant_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

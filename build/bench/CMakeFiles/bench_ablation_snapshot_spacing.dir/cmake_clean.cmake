@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_snapshot_spacing.dir/bench_ablation_snapshot_spacing.cc.o"
+  "CMakeFiles/bench_ablation_snapshot_spacing.dir/bench_ablation_snapshot_spacing.cc.o.d"
+  "bench_ablation_snapshot_spacing"
+  "bench_ablation_snapshot_spacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_snapshot_spacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_popularity_evolution.dir/bench_fig1_popularity_evolution.cc.o"
+  "CMakeFiles/bench_fig1_popularity_evolution.dir/bench_fig1_popularity_evolution.cc.o.d"
+  "bench_fig1_popularity_evolution"
+  "bench_fig1_popularity_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_popularity_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_relative_increase.dir/bench_fig2_relative_increase.cc.o"
+  "CMakeFiles/bench_fig2_relative_increase.dir/bench_fig2_relative_increase.cc.o.d"
+  "bench_fig2_relative_increase"
+  "bench_fig2_relative_increase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_relative_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_estimator_sum.dir/bench_fig3_estimator_sum.cc.o"
+  "CMakeFiles/bench_fig3_estimator_sum.dir/bench_fig3_estimator_sum.cc.o.d"
+  "bench_fig3_estimator_sum"
+  "bench_fig3_estimator_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_estimator_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_pagerank.dir/bench_perf_pagerank.cc.o"
+  "CMakeFiles/bench_perf_pagerank.dir/bench_perf_pagerank.cc.o.d"
+  "bench_perf_pagerank"
+  "bench_perf_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_population_agreement.dir/bench_population_agreement.cc.o"
+  "CMakeFiles/bench_population_agreement.dir/bench_population_agreement.cc.o.d"
+  "bench_population_agreement"
+  "bench_population_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_population_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

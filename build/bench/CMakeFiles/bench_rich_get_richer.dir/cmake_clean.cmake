@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rich_get_richer.dir/bench_rich_get_richer.cc.o"
+  "CMakeFiles/bench_rich_get_richer.dir/bench_rich_get_richer.cc.o.d"
+  "bench_rich_get_richer"
+  "bench_rich_get_richer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rich_get_richer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem2_exactness.dir/bench_theorem2_exactness.cc.o"
+  "CMakeFiles/bench_theorem2_exactness.dir/bench_theorem2_exactness.cc.o.d"
+  "bench_theorem2_exactness"
+  "bench_theorem2_exactness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem2_exactness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

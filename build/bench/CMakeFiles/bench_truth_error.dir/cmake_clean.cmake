@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_truth_error.dir/bench_truth_error.cc.o"
+  "CMakeFiles/bench_truth_error.dir/bench_truth_error.cc.o.d"
+  "bench_truth_error"
+  "bench_truth_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_truth_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/new_page_discovery.cpp" "examples/CMakeFiles/new_page_discovery.dir/new_page_discovery.cpp.o" "gcc" "examples/CMakeFiles/new_page_discovery.dir/new_page_discovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qrank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/qrank_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qrank_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/qrank_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qrank_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/new_page_discovery.dir/new_page_discovery.cpp.o"
+  "CMakeFiles/new_page_discovery.dir/new_page_discovery.cpp.o.d"
+  "new_page_discovery"
+  "new_page_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/new_page_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

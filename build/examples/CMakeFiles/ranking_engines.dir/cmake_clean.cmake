@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranking_engines.dir/ranking_engines.cpp.o"
+  "CMakeFiles/ranking_engines.dir/ranking_engines.cpp.o.d"
+  "ranking_engines"
+  "ranking_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_analysis.dir/site_analysis.cpp.o"
+  "CMakeFiles/site_analysis.dir/site_analysis.cpp.o.d"
+  "site_analysis"
+  "site_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_quality.dir/traffic_quality.cpp.o"
+  "CMakeFiles/traffic_quality.dir/traffic_quality.cpp.o.d"
+  "traffic_quality"
+  "traffic_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

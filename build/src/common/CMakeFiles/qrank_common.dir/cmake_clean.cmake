@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrank_common.dir/flags.cc.o"
+  "CMakeFiles/qrank_common.dir/flags.cc.o.d"
+  "CMakeFiles/qrank_common.dir/logging.cc.o"
+  "CMakeFiles/qrank_common.dir/logging.cc.o.d"
+  "CMakeFiles/qrank_common.dir/rng.cc.o"
+  "CMakeFiles/qrank_common.dir/rng.cc.o.d"
+  "CMakeFiles/qrank_common.dir/stats.cc.o"
+  "CMakeFiles/qrank_common.dir/stats.cc.o.d"
+  "CMakeFiles/qrank_common.dir/status.cc.o"
+  "CMakeFiles/qrank_common.dir/status.cc.o.d"
+  "CMakeFiles/qrank_common.dir/table_writer.cc.o"
+  "CMakeFiles/qrank_common.dir/table_writer.cc.o.d"
+  "libqrank_common.a"
+  "libqrank_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrank_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_window_estimator.cc" "src/core/CMakeFiles/qrank_core.dir/adaptive_window_estimator.cc.o" "gcc" "src/core/CMakeFiles/qrank_core.dir/adaptive_window_estimator.cc.o.d"
+  "/root/repo/src/core/bias_metrics.cc" "src/core/CMakeFiles/qrank_core.dir/bias_metrics.cc.o" "gcc" "src/core/CMakeFiles/qrank_core.dir/bias_metrics.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/qrank_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/qrank_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/qrank_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/qrank_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/experiment_report.cc" "src/core/CMakeFiles/qrank_core.dir/experiment_report.cc.o" "gcc" "src/core/CMakeFiles/qrank_core.dir/experiment_report.cc.o.d"
+  "/root/repo/src/core/quality_estimator.cc" "src/core/CMakeFiles/qrank_core.dir/quality_estimator.cc.o" "gcc" "src/core/CMakeFiles/qrank_core.dir/quality_estimator.cc.o.d"
+  "/root/repo/src/core/quality_tracker.cc" "src/core/CMakeFiles/qrank_core.dir/quality_tracker.cc.o" "gcc" "src/core/CMakeFiles/qrank_core.dir/quality_tracker.cc.o.d"
+  "/root/repo/src/core/snapshot_series.cc" "src/core/CMakeFiles/qrank_core.dir/snapshot_series.cc.o" "gcc" "src/core/CMakeFiles/qrank_core.dir/snapshot_series.cc.o.d"
+  "/root/repo/src/core/traffic_estimator.cc" "src/core/CMakeFiles/qrank_core.dir/traffic_estimator.cc.o" "gcc" "src/core/CMakeFiles/qrank_core.dir/traffic_estimator.cc.o.d"
+  "/root/repo/src/core/visit_trace.cc" "src/core/CMakeFiles/qrank_core.dir/visit_trace.cc.o" "gcc" "src/core/CMakeFiles/qrank_core.dir/visit_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rank/CMakeFiles/qrank_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qrank_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qrank_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrank_core.dir/adaptive_window_estimator.cc.o"
+  "CMakeFiles/qrank_core.dir/adaptive_window_estimator.cc.o.d"
+  "CMakeFiles/qrank_core.dir/bias_metrics.cc.o"
+  "CMakeFiles/qrank_core.dir/bias_metrics.cc.o.d"
+  "CMakeFiles/qrank_core.dir/evaluation.cc.o"
+  "CMakeFiles/qrank_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/qrank_core.dir/experiment.cc.o"
+  "CMakeFiles/qrank_core.dir/experiment.cc.o.d"
+  "CMakeFiles/qrank_core.dir/experiment_report.cc.o"
+  "CMakeFiles/qrank_core.dir/experiment_report.cc.o.d"
+  "CMakeFiles/qrank_core.dir/quality_estimator.cc.o"
+  "CMakeFiles/qrank_core.dir/quality_estimator.cc.o.d"
+  "CMakeFiles/qrank_core.dir/quality_tracker.cc.o"
+  "CMakeFiles/qrank_core.dir/quality_tracker.cc.o.d"
+  "CMakeFiles/qrank_core.dir/snapshot_series.cc.o"
+  "CMakeFiles/qrank_core.dir/snapshot_series.cc.o.d"
+  "CMakeFiles/qrank_core.dir/traffic_estimator.cc.o"
+  "CMakeFiles/qrank_core.dir/traffic_estimator.cc.o.d"
+  "CMakeFiles/qrank_core.dir/visit_trace.cc.o"
+  "CMakeFiles/qrank_core.dir/visit_trace.cc.o.d"
+  "libqrank_core.a"
+  "libqrank_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrank_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/analysis.cc" "src/graph/CMakeFiles/qrank_graph.dir/analysis.cc.o" "gcc" "src/graph/CMakeFiles/qrank_graph.dir/analysis.cc.o.d"
+  "/root/repo/src/graph/csr_graph.cc" "src/graph/CMakeFiles/qrank_graph.dir/csr_graph.cc.o" "gcc" "src/graph/CMakeFiles/qrank_graph.dir/csr_graph.cc.o.d"
+  "/root/repo/src/graph/dynamic_graph.cc" "src/graph/CMakeFiles/qrank_graph.dir/dynamic_graph.cc.o" "gcc" "src/graph/CMakeFiles/qrank_graph.dir/dynamic_graph.cc.o.d"
+  "/root/repo/src/graph/edge_list.cc" "src/graph/CMakeFiles/qrank_graph.dir/edge_list.cc.o" "gcc" "src/graph/CMakeFiles/qrank_graph.dir/edge_list.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/qrank_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/qrank_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/qrank_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/qrank_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/id_map.cc" "src/graph/CMakeFiles/qrank_graph.dir/id_map.cc.o" "gcc" "src/graph/CMakeFiles/qrank_graph.dir/id_map.cc.o.d"
+  "/root/repo/src/graph/site_graph.cc" "src/graph/CMakeFiles/qrank_graph.dir/site_graph.cc.o" "gcc" "src/graph/CMakeFiles/qrank_graph.dir/site_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qrank_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

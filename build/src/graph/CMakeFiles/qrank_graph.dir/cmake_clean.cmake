@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrank_graph.dir/analysis.cc.o"
+  "CMakeFiles/qrank_graph.dir/analysis.cc.o.d"
+  "CMakeFiles/qrank_graph.dir/csr_graph.cc.o"
+  "CMakeFiles/qrank_graph.dir/csr_graph.cc.o.d"
+  "CMakeFiles/qrank_graph.dir/dynamic_graph.cc.o"
+  "CMakeFiles/qrank_graph.dir/dynamic_graph.cc.o.d"
+  "CMakeFiles/qrank_graph.dir/edge_list.cc.o"
+  "CMakeFiles/qrank_graph.dir/edge_list.cc.o.d"
+  "CMakeFiles/qrank_graph.dir/generators.cc.o"
+  "CMakeFiles/qrank_graph.dir/generators.cc.o.d"
+  "CMakeFiles/qrank_graph.dir/graph_io.cc.o"
+  "CMakeFiles/qrank_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/qrank_graph.dir/id_map.cc.o"
+  "CMakeFiles/qrank_graph.dir/id_map.cc.o.d"
+  "CMakeFiles/qrank_graph.dir/site_graph.cc.o"
+  "CMakeFiles/qrank_graph.dir/site_graph.cc.o.d"
+  "libqrank_graph.a"
+  "libqrank_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrank_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqrank_graph.a"
+)

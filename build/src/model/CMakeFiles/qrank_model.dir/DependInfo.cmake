@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/forgetting_model.cc" "src/model/CMakeFiles/qrank_model.dir/forgetting_model.cc.o" "gcc" "src/model/CMakeFiles/qrank_model.dir/forgetting_model.cc.o.d"
+  "/root/repo/src/model/ode.cc" "src/model/CMakeFiles/qrank_model.dir/ode.cc.o" "gcc" "src/model/CMakeFiles/qrank_model.dir/ode.cc.o.d"
+  "/root/repo/src/model/population_model.cc" "src/model/CMakeFiles/qrank_model.dir/population_model.cc.o" "gcc" "src/model/CMakeFiles/qrank_model.dir/population_model.cc.o.d"
+  "/root/repo/src/model/visitation_model.cc" "src/model/CMakeFiles/qrank_model.dir/visitation_model.cc.o" "gcc" "src/model/CMakeFiles/qrank_model.dir/visitation_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qrank_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

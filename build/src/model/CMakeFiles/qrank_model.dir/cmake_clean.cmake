@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrank_model.dir/forgetting_model.cc.o"
+  "CMakeFiles/qrank_model.dir/forgetting_model.cc.o.d"
+  "CMakeFiles/qrank_model.dir/ode.cc.o"
+  "CMakeFiles/qrank_model.dir/ode.cc.o.d"
+  "CMakeFiles/qrank_model.dir/population_model.cc.o"
+  "CMakeFiles/qrank_model.dir/population_model.cc.o.d"
+  "CMakeFiles/qrank_model.dir/visitation_model.cc.o"
+  "CMakeFiles/qrank_model.dir/visitation_model.cc.o.d"
+  "libqrank_model.a"
+  "libqrank_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrank_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rank/adaptive_pagerank.cc" "src/rank/CMakeFiles/qrank_rank.dir/adaptive_pagerank.cc.o" "gcc" "src/rank/CMakeFiles/qrank_rank.dir/adaptive_pagerank.cc.o.d"
+  "/root/repo/src/rank/baselines.cc" "src/rank/CMakeFiles/qrank_rank.dir/baselines.cc.o" "gcc" "src/rank/CMakeFiles/qrank_rank.dir/baselines.cc.o.d"
+  "/root/repo/src/rank/extrapolation.cc" "src/rank/CMakeFiles/qrank_rank.dir/extrapolation.cc.o" "gcc" "src/rank/CMakeFiles/qrank_rank.dir/extrapolation.cc.o.d"
+  "/root/repo/src/rank/hits.cc" "src/rank/CMakeFiles/qrank_rank.dir/hits.cc.o" "gcc" "src/rank/CMakeFiles/qrank_rank.dir/hits.cc.o.d"
+  "/root/repo/src/rank/opic.cc" "src/rank/CMakeFiles/qrank_rank.dir/opic.cc.o" "gcc" "src/rank/CMakeFiles/qrank_rank.dir/opic.cc.o.d"
+  "/root/repo/src/rank/pagerank.cc" "src/rank/CMakeFiles/qrank_rank.dir/pagerank.cc.o" "gcc" "src/rank/CMakeFiles/qrank_rank.dir/pagerank.cc.o.d"
+  "/root/repo/src/rank/rank_vector.cc" "src/rank/CMakeFiles/qrank_rank.dir/rank_vector.cc.o" "gcc" "src/rank/CMakeFiles/qrank_rank.dir/rank_vector.cc.o.d"
+  "/root/repo/src/rank/topic_sensitive.cc" "src/rank/CMakeFiles/qrank_rank.dir/topic_sensitive.cc.o" "gcc" "src/rank/CMakeFiles/qrank_rank.dir/topic_sensitive.cc.o.d"
+  "/root/repo/src/rank/traffic_rank.cc" "src/rank/CMakeFiles/qrank_rank.dir/traffic_rank.cc.o" "gcc" "src/rank/CMakeFiles/qrank_rank.dir/traffic_rank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/qrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qrank_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

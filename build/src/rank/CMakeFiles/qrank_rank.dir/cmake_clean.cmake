@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrank_rank.dir/adaptive_pagerank.cc.o"
+  "CMakeFiles/qrank_rank.dir/adaptive_pagerank.cc.o.d"
+  "CMakeFiles/qrank_rank.dir/baselines.cc.o"
+  "CMakeFiles/qrank_rank.dir/baselines.cc.o.d"
+  "CMakeFiles/qrank_rank.dir/extrapolation.cc.o"
+  "CMakeFiles/qrank_rank.dir/extrapolation.cc.o.d"
+  "CMakeFiles/qrank_rank.dir/hits.cc.o"
+  "CMakeFiles/qrank_rank.dir/hits.cc.o.d"
+  "CMakeFiles/qrank_rank.dir/opic.cc.o"
+  "CMakeFiles/qrank_rank.dir/opic.cc.o.d"
+  "CMakeFiles/qrank_rank.dir/pagerank.cc.o"
+  "CMakeFiles/qrank_rank.dir/pagerank.cc.o.d"
+  "CMakeFiles/qrank_rank.dir/rank_vector.cc.o"
+  "CMakeFiles/qrank_rank.dir/rank_vector.cc.o.d"
+  "CMakeFiles/qrank_rank.dir/topic_sensitive.cc.o"
+  "CMakeFiles/qrank_rank.dir/topic_sensitive.cc.o.d"
+  "CMakeFiles/qrank_rank.dir/traffic_rank.cc.o"
+  "CMakeFiles/qrank_rank.dir/traffic_rank.cc.o.d"
+  "libqrank_rank.a"
+  "libqrank_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrank_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

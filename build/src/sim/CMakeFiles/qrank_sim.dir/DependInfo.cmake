@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/crawler.cc" "src/sim/CMakeFiles/qrank_sim.dir/crawler.cc.o" "gcc" "src/sim/CMakeFiles/qrank_sim.dir/crawler.cc.o.d"
+  "/root/repo/src/sim/search_engine.cc" "src/sim/CMakeFiles/qrank_sim.dir/search_engine.cc.o" "gcc" "src/sim/CMakeFiles/qrank_sim.dir/search_engine.cc.o.d"
+  "/root/repo/src/sim/web_simulator.cc" "src/sim/CMakeFiles/qrank_sim.dir/web_simulator.cc.o" "gcc" "src/sim/CMakeFiles/qrank_sim.dir/web_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rank/CMakeFiles/qrank_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qrank_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

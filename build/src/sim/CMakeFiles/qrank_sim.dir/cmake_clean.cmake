@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrank_sim.dir/crawler.cc.o"
+  "CMakeFiles/qrank_sim.dir/crawler.cc.o.d"
+  "CMakeFiles/qrank_sim.dir/search_engine.cc.o"
+  "CMakeFiles/qrank_sim.dir/search_engine.cc.o.d"
+  "CMakeFiles/qrank_sim.dir/web_simulator.cc.o"
+  "CMakeFiles/qrank_sim.dir/web_simulator.cc.o.d"
+  "libqrank_sim.a"
+  "libqrank_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrank_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

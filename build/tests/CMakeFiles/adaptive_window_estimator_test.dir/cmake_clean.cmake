@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_window_estimator_test.dir/core/adaptive_window_estimator_test.cc.o"
+  "CMakeFiles/adaptive_window_estimator_test.dir/core/adaptive_window_estimator_test.cc.o.d"
+  "adaptive_window_estimator_test"
+  "adaptive_window_estimator_test.pdb"
+  "adaptive_window_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_window_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bias_metrics_test.dir/core/bias_metrics_test.cc.o"
+  "CMakeFiles/bias_metrics_test.dir/core/bias_metrics_test.cc.o.d"
+  "bias_metrics_test"
+  "bias_metrics_test.pdb"
+  "bias_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bias_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

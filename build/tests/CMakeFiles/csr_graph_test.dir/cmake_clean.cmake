@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_graph_test.dir/graph/csr_graph_test.cc.o"
+  "CMakeFiles/csr_graph_test.dir/graph/csr_graph_test.cc.o.d"
+  "csr_graph_test"
+  "csr_graph_test.pdb"
+  "csr_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

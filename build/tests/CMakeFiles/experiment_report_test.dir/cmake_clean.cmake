@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_report_test.dir/core/experiment_report_test.cc.o"
+  "CMakeFiles/experiment_report_test.dir/core/experiment_report_test.cc.o.d"
+  "experiment_report_test"
+  "experiment_report_test.pdb"
+  "experiment_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forgetting_model_test.dir/model/forgetting_model_test.cc.o"
+  "CMakeFiles/forgetting_model_test.dir/model/forgetting_model_test.cc.o.d"
+  "forgetting_model_test"
+  "forgetting_model_test.pdb"
+  "forgetting_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forgetting_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

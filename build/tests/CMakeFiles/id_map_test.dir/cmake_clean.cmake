@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/id_map_test.dir/graph/id_map_test.cc.o"
+  "CMakeFiles/id_map_test.dir/graph/id_map_test.cc.o.d"
+  "id_map_test"
+  "id_map_test.pdb"
+  "id_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/id_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

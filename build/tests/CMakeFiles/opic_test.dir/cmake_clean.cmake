@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opic_test.dir/rank/opic_test.cc.o"
+  "CMakeFiles/opic_test.dir/rank/opic_test.cc.o.d"
+  "opic_test"
+  "opic_test.pdb"
+  "opic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

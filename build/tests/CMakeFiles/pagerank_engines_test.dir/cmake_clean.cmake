@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_engines_test.dir/rank/pagerank_engines_test.cc.o"
+  "CMakeFiles/pagerank_engines_test.dir/rank/pagerank_engines_test.cc.o.d"
+  "pagerank_engines_test"
+  "pagerank_engines_test.pdb"
+  "pagerank_engines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_engines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

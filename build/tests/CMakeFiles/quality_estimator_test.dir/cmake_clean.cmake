@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_estimator_test.dir/core/quality_estimator_test.cc.o"
+  "CMakeFiles/quality_estimator_test.dir/core/quality_estimator_test.cc.o.d"
+  "quality_estimator_test"
+  "quality_estimator_test.pdb"
+  "quality_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

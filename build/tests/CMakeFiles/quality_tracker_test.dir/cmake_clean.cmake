@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_tracker_test.dir/core/quality_tracker_test.cc.o"
+  "CMakeFiles/quality_tracker_test.dir/core/quality_tracker_test.cc.o.d"
+  "quality_tracker_test"
+  "quality_tracker_test.pdb"
+  "quality_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

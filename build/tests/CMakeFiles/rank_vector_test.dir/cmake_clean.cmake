@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_vector_test.dir/rank/rank_vector_test.cc.o"
+  "CMakeFiles/rank_vector_test.dir/rank/rank_vector_test.cc.o.d"
+  "rank_vector_test"
+  "rank_vector_test.pdb"
+  "rank_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

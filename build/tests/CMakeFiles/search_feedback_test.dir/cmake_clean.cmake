@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_feedback_test.dir/sim/search_feedback_test.cc.o"
+  "CMakeFiles/search_feedback_test.dir/sim/search_feedback_test.cc.o.d"
+  "search_feedback_test"
+  "search_feedback_test.pdb"
+  "search_feedback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_feedback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

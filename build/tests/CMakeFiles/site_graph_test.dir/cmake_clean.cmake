@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_graph_test.dir/graph/site_graph_test.cc.o"
+  "CMakeFiles/site_graph_test.dir/graph/site_graph_test.cc.o.d"
+  "site_graph_test"
+  "site_graph_test.pdb"
+  "site_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_series_test.dir/core/snapshot_series_test.cc.o"
+  "CMakeFiles/snapshot_series_test.dir/core/snapshot_series_test.cc.o.d"
+  "snapshot_series_test"
+  "snapshot_series_test.pdb"
+  "snapshot_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_sensitive_test.dir/rank/topic_sensitive_test.cc.o"
+  "CMakeFiles/topic_sensitive_test.dir/rank/topic_sensitive_test.cc.o.d"
+  "topic_sensitive_test"
+  "topic_sensitive_test.pdb"
+  "topic_sensitive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_sensitive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_estimator_test.dir/core/traffic_estimator_test.cc.o"
+  "CMakeFiles/traffic_estimator_test.dir/core/traffic_estimator_test.cc.o.d"
+  "traffic_estimator_test"
+  "traffic_estimator_test.pdb"
+  "traffic_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_rank_test.dir/rank/traffic_rank_test.cc.o"
+  "CMakeFiles/traffic_rank_test.dir/rank/traffic_rank_test.cc.o.d"
+  "traffic_rank_test"
+  "traffic_rank_test.pdb"
+  "traffic_rank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_rank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

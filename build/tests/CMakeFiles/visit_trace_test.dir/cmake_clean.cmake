@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visit_trace_test.dir/core/visit_trace_test.cc.o"
+  "CMakeFiles/visit_trace_test.dir/core/visit_trace_test.cc.o.d"
+  "visit_trace_test"
+  "visit_trace_test.pdb"
+  "visit_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visit_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visitation_model_test.dir/model/visitation_model_test.cc.o"
+  "CMakeFiles/visitation_model_test.dir/model/visitation_model_test.cc.o.d"
+  "visitation_model_test"
+  "visitation_model_test.pdb"
+  "visitation_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visitation_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_simulator_test.dir/sim/web_simulator_test.cc.o"
+  "CMakeFiles/web_simulator_test.dir/sim/web_simulator_test.cc.o.d"
+  "web_simulator_test"
+  "web_simulator_test.pdb"
+  "web_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
