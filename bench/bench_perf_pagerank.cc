@@ -8,6 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/parallel_for.h"
 #include "common/rng.h"
 #include "graph/generators.h"
 #include "rank/adaptive_pagerank.h"
@@ -17,11 +22,11 @@
 
 namespace {
 
-qrank::CsrGraph MakeGraph(int64_t nodes) {
+qrank::CsrGraph MakeGraph(int64_t nodes, uint32_t out_degree = 8) {
   qrank::Rng rng(1234);
   return qrank::CsrGraph::FromEdgeList(
              qrank::GenerateBarabasiAlbert(
-                 static_cast<qrank::NodeId>(nodes), 8, &rng)
+                 static_cast<qrank::NodeId>(nodes), out_degree, &rng)
                  .value())
       .value();
 }
@@ -143,10 +148,34 @@ void BM_PageRankHighDamping(benchmark::State& state) {
   state.counters["iters"] = iterations;
 }
 
+void BM_PageRankPowerThreads(benchmark::State& state) {
+  // Thread sweep at acceptance scale: Barabasi-Albert n = 2^18, m = 8
+  // (~2M edges after dedup). Fixed 20 iterations so every thread count
+  // does identical work; the parallel-equivalence test proves the scores
+  // are bit-identical across this sweep.
+  static qrank::CsrGraph g = MakeGraph(1 << 18);
+  g.BuildTranspose();  // shared cache; build outside the timed region
+  qrank::PageRankOptions o = BaseOptions();
+  o.max_iterations = 20;
+  o.tolerance = 1e-300;  // never met: fixed work per run
+  o.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = qrank::ComputePageRank(g, o);
+    benchmark::DoNotOptimize(r->scores.data());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["edges/s"] = benchmark::Counter(
+      static_cast<double>(g.num_edges()) * 20.0,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
 }  // namespace
 
 BENCHMARK(BM_PageRankPower)->Arg(1024)->Arg(8192)->Arg(65536)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRankPowerThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
+    ->UseRealTime();
 BENCHMARK(BM_PageRankGaussSeidel)->Arg(1024)->Arg(8192)->Arg(65536)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PageRankAdaptive)->Arg(1024)->Arg(8192)->Arg(65536)
@@ -160,4 +189,25 @@ BENCHMARK(BM_OpicSweeps)->Arg(1024)->Arg(8192)
 BENCHMARK(BM_PageRankWarmStart)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main: accept a --threads=N flag (process-wide default executor
+// count for engines invoked without an explicit num_threads) before
+// handing the remaining args to google-benchmark.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--threads=", 0) == 0) {
+      qrank::SetDefaultThreads(std::atoi(a.c_str() + 10));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

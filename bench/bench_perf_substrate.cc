@@ -4,6 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/parallel_for.h"
 #include "common/rng.h"
 #include "graph/dynamic_graph.h"
 #include "graph/generators.h"
@@ -123,6 +128,69 @@ void BM_GenerateErdosRenyi(benchmark::State& state) {
   }
 }
 
+void BM_ParallelReduceThreads(benchmark::State& state) {
+  // The raw substrate primitive: tree-reduce 2^22 doubles. The result is
+  // bit-identical across the sweep (fixed block structure).
+  std::vector<double> values(size_t{1} << 22);
+  qrank::Rng rng(31);
+  for (double& v : values) v = rng.UniformDouble();
+  qrank::ParallelOptions par;
+  par.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    double sum = qrank::ParallelReduce(
+        values.size(),
+        [&](size_t lo, size_t hi) {
+          double s = 0.0;
+          for (size_t i = lo; i < hi; ++i) s += values[i];
+          return s;
+        },
+        par);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+void BM_CsrTransposeThreads(benchmark::State& state) {
+  // Transpose of a ~2M-edge graph under the thread sweep; a fresh graph
+  // per round so the cached transpose never short-circuits the work.
+  qrank::Rng rng(7);
+  qrank::EdgeList edges =
+      qrank::GenerateBarabasiAlbert(1 << 18, 8, &rng).value();
+  qrank::SetDefaultThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    qrank::CsrGraph g = qrank::CsrGraph::FromEdgeList(edges).value();
+    state.ResumeTiming();
+    g.BuildTranspose();
+    benchmark::DoNotOptimize(g.InDegree(0));
+  }
+  qrank::SetDefaultThreads(0);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["edges/s"] = benchmark::Counter(
+      static_cast<double>(edges.num_edges()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_SimulatorStepThreads(benchmark::State& state) {
+  // One simulator step with the parallel visit-sampling pass; the
+  // equivalence test proves identical trajectories across this sweep.
+  qrank::WebSimulatorOptions o;
+  o.num_users = 20000;
+  o.seed = 3;
+  o.page_birth_rate = 10.0;
+  o.num_threads = static_cast<int>(state.range(0));
+  qrank::WebSimulator sim = qrank::WebSimulator::Create(o).value();
+  (void)sim.AdvanceTo(10.0);
+  uint64_t visits_before = sim.total_visits();
+  for (auto _ : state) {
+    sim.Step();
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["visits/s"] = benchmark::Counter(
+      static_cast<double>(sim.total_visits() - visits_before),
+      benchmark::Counter::kIsRate);
+}
+
 }  // namespace
 
 BENCHMARK(BM_CsrBuild)->Arg(4096)->Arg(32768)->Unit(benchmark::kMillisecond);
@@ -137,5 +205,31 @@ BENCHMARK(BM_GenerateBarabasiAlbert)->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GenerateErdosRenyi)->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelReduceThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_CsrTransposeThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_SimulatorStepThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
-BENCHMARK_MAIN();
+// Custom main: accept a --threads=N flag (process-wide default executor
+// count) before handing the remaining args to google-benchmark.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--threads=", 0) == 0) {
+      qrank::SetDefaultThreads(std::atoi(a.c_str() + 10));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "common/parallel_for.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace qrank {
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+std::atomic<int> g_default_threads{0};
+
+/// Returns a pool with at least `workers` threads. The pool is grown by
+/// replacement, which is safe because every ParallelFor call blocks until
+/// its blocks finish — there is never outstanding work across calls.
+ThreadPool& PoolWithAtLeast(unsigned workers) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool || g_pool->num_threads() < workers) {
+    g_pool = std::make_unique<ThreadPool>(workers);
+  }
+  return *g_pool;
+}
+
+}  // namespace
+
+void SetDefaultThreads(int n) { g_default_threads.store(n); }
+
+int DefaultThreads() {
+  int n = g_default_threads.load();
+  return n > 0 ? n : static_cast<int>(ThreadPool::HardwareConcurrency());
+}
+
+size_t NumBlocks(size_t n, size_t grain) {
+  if (grain == 0) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+namespace parallel_internal {
+
+namespace {
+
+/// Shared state of one blocking fan-out: helpers and the caller claim
+/// block indices from `next`; `finished` counts completed blocks so the
+/// caller can wait for stragglers still running on pool workers.
+struct BlockRun {
+  const std::function<void(size_t)>* run_block = nullptr;
+  size_t num_blocks = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> finished{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // first exception, guarded by mu
+
+  void Work() {
+    for (;;) {
+      size_t b = next.fetch_add(1);
+      if (b >= num_blocks) return;
+      try {
+        (*run_block)(b);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (finished.fetch_add(1) + 1 == num_blocks) {
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void RunBlocks(size_t num_blocks, const std::function<void(size_t)>& run_block,
+               int num_threads) {
+  if (num_blocks == 0) return;
+  int threads = num_threads > 0 ? num_threads : DefaultThreads();
+  if (threads <= 1 || num_blocks == 1) {
+    for (size_t b = 0; b < num_blocks; ++b) run_block(b);
+    return;
+  }
+
+  auto run = std::make_shared<BlockRun>();
+  run->run_block = &run_block;
+  run->num_blocks = num_blocks;
+
+  size_t helpers = static_cast<size_t>(threads - 1);
+  if (helpers > num_blocks - 1) helpers = num_blocks - 1;
+  ThreadPool& pool = PoolWithAtLeast(static_cast<unsigned>(helpers));
+  for (size_t i = 0; i < helpers; ++i) {
+    // Each helper holds a shared_ptr so a task that outlives the caller's
+    // wait (it never does, but the pool queue may outlive claim attempts)
+    // stays memory-safe.
+    pool.Post([run] { run->Work(); });
+  }
+
+  run->Work();  // the calling thread always participates
+
+  {
+    std::unique_lock<std::mutex> lock(run->mu);
+    run->done_cv.wait(lock, [&] {
+      return run->finished.load() == run->num_blocks;
+    });
+    if (run->error) std::rethrow_exception(run->error);
+  }
+}
+
+double TreeReduce(std::vector<double>* partials) {
+  std::vector<double>& p = *partials;
+  if (p.empty()) return 0.0;
+  for (size_t width = 1; width < p.size(); width *= 2) {
+    for (size_t i = 0; i + width < p.size(); i += 2 * width) {
+      p[i] += p[i + width];
+    }
+  }
+  return p[0];
+}
+
+}  // namespace parallel_internal
+}  // namespace qrank

@@ -1,0 +1,119 @@
+// Deterministic data-parallel helpers: ParallelFor / ParallelReduce.
+//
+// Determinism contract (the load-bearing design decision of the whole
+// concurrency substrate): every helper partitions its index range into
+// FIXED blocks whose boundaries depend only on (n, grain) — never on the
+// thread count or on scheduling order. Blocks write disjoint state
+// (ParallelFor) or produce per-block partials that are combined by a
+// fixed pairwise tree in block-index order (ParallelReduce). Hence for
+// any functor whose block results depend only on the block bounds, the
+// result is BIT-IDENTICAL for --threads=1 and --threads=1000. This is
+// what lets the quality estimator Q(p) ≈ C·ΔPR/PR + PR — a ratio of two
+// nearly equal floating-point quantities — run on parallel PageRank
+// without thread count perturbing the estimates.
+//
+// Scheduling: blocks are claimed from an atomic counter by up to
+// (num_threads - 1) pool workers plus the calling thread, which always
+// participates (so a zero-worker pool or a busy pool still makes
+// progress and nested use cannot deadlock). num_threads == 1 runs all
+// blocks inline on the calling thread without touching the pool: the
+// exact serial path.
+//
+// Exceptions thrown by a block functor are captured (first one wins) and
+// rethrown on the calling thread after all blocks finish.
+
+#ifndef QRANK_COMMON_PARALLEL_FOR_H_
+#define QRANK_COMMON_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace qrank {
+
+struct ParallelOptions {
+  /// Total executor count for this call: the calling thread plus
+  /// (num_threads - 1) pool workers. 0 means DefaultThreads();
+  /// 1 means run serially on the calling thread.
+  int num_threads = 0;
+
+  /// Fixed block size. Block boundaries are (i*grain, min(n,(i+1)*grain))
+  /// regardless of thread count — changing `grain` changes floating-point
+  /// reduction results, changing `num_threads` never does.
+  size_t grain = 2048;
+};
+
+/// Process-wide default for ParallelOptions::num_threads == 0.
+/// Set from the --threads flag in binaries; <= 0 restores the hardware
+/// concurrency default.
+void SetDefaultThreads(int n);
+int DefaultThreads();
+
+/// Number of fixed blocks [0,n) splits into at the given grain
+/// (0 for n == 0; grain is clamped to >= 1).
+size_t NumBlocks(size_t n, size_t grain);
+
+namespace parallel_internal {
+
+/// Runs run_block(b) for every b in [0, num_blocks) using the calling
+/// thread plus up to (num_threads - 1) global-pool workers. Rethrows the
+/// first exception after all blocks complete.
+void RunBlocks(size_t num_blocks, const std::function<void(size_t)>& run_block,
+               int num_threads);
+
+/// In-place pairwise tree fold of per-block partials, in block order:
+/// width-1 neighbors first, then width-2, ... Returns partials[0]
+/// (0.0 for an empty vector). Independent of how partials were produced.
+double TreeReduce(std::vector<double>* partials);
+
+}  // namespace parallel_internal
+
+/// Calls fn(lo, hi) for each fixed block [lo, hi) of [0, n).
+/// fn must only write state disjoint across blocks.
+template <typename BlockFn>
+void ParallelForBlocks(size_t n, BlockFn&& fn, ParallelOptions opts = {}) {
+  const size_t grain = opts.grain > 0 ? opts.grain : 1;
+  const size_t blocks = NumBlocks(n, grain);
+  parallel_internal::RunBlocks(
+      blocks,
+      [&](size_t b) {
+        size_t lo = b * grain;
+        size_t hi = lo + grain < n ? lo + grain : n;
+        fn(lo, hi);
+      },
+      opts.num_threads);
+}
+
+/// Calls fn(i) for each i in [0, n), blockwise.
+template <typename Fn>
+void ParallelFor(size_t n, Fn&& fn, ParallelOptions opts = {}) {
+  ParallelForBlocks(
+      n,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      },
+      opts);
+}
+
+/// Sums partial(lo, hi) over the fixed blocks of [0, n), combining the
+/// per-block partials with a pairwise tree in block order. `partial`
+/// must be a pure function of its bounds (plus read-only shared state).
+template <typename PartialFn>
+double ParallelReduce(size_t n, PartialFn&& partial, ParallelOptions opts = {}) {
+  const size_t grain = opts.grain > 0 ? opts.grain : 1;
+  const size_t blocks = NumBlocks(n, grain);
+  std::vector<double> partials(blocks, 0.0);
+  parallel_internal::RunBlocks(
+      blocks,
+      [&](size_t b) {
+        size_t lo = b * grain;
+        size_t hi = lo + grain < n ? lo + grain : n;
+        partials[b] = partial(lo, hi);
+      },
+      opts.num_threads);
+  return parallel_internal::TreeReduce(&partials);
+}
+
+}  // namespace qrank
+
+#endif  // QRANK_COMMON_PARALLEL_FOR_H_

@@ -1,0 +1,61 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+namespace qrank {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+unsigned ThreadPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? n : 1;
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> result = packaged->get_future();
+  Post([packaged] { (*packaged)(); });
+  return result;
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace qrank

@@ -1,0 +1,65 @@
+// Fixed-size worker pool for the parallel compute substrate.
+//
+// ThreadPool owns N OS threads that drain a FIFO task queue. It is the
+// execution backend of ParallelFor/ParallelReduce (parallel_for.h); user
+// code normally goes through those helpers rather than the pool itself.
+//
+// Determinism contract: the pool only decides *which thread* runs a
+// task, never *what* the task computes. All qrank parallel algorithms
+// are written so their results depend only on the fixed block structure
+// (see parallel_for.h), making every result independent of the number
+// of workers and of scheduling order.
+
+#ifndef QRANK_COMMON_THREAD_POOL_H_
+#define QRANK_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qrank {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 is allowed: every Submit() then
+  /// runs inline on the submitting thread, which keeps single-core and
+  /// test configurations deadlock-free).
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task; the returned future rethrows any exception the
+  /// task raised (std::packaged_task semantics).
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Fire-and-forget enqueue. The task must not throw; helpers that need
+  /// exception propagation (ParallelFor) catch internally and rethrow on
+  /// the calling thread.
+  void Post(std::function<void()> task);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_COMMON_THREAD_POOL_H_

@@ -1,10 +1,20 @@
 #include "graph/csr_graph.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 
 namespace qrank {
+
+namespace {
+
+// Parallelism only pays for its fan-out cost on large graphs; below this
+// edge count every CSR routine stays on the plain serial path.
+constexpr size_t kParallelEdgeThreshold = 1 << 16;
+
+}  // namespace
 
 Result<CsrGraph> CsrGraph::FromEdgeList(const EdgeList& edges) {
   EdgeList sorted = edges;
@@ -13,19 +23,38 @@ Result<CsrGraph> CsrGraph::FromEdgeList(const EdgeList& edges) {
   CsrGraph g;
   g.num_nodes_ = sorted.num_nodes();
   g.offsets_.assign(static_cast<size_t>(g.num_nodes_) + 1, 0);
-  g.dst_.reserve(sorted.num_edges());
+  const std::vector<Edge>& e = sorted.edges();
 
-  for (const Edge& e : sorted.edges()) {
-    if (e.src >= g.num_nodes_ || e.dst >= g.num_nodes_) {
+  for (const Edge& edge : e) {
+    if (edge.src >= g.num_nodes_ || edge.dst >= g.num_nodes_) {
       return Status::InvalidArgument("edge endpoint out of node range");
     }
-    ++g.offsets_[e.src + 1];
   }
+
+  if (e.size() < kParallelEdgeThreshold) {
+    g.dst_.reserve(e.size());
+    for (const Edge& edge : e) {
+      ++g.offsets_[edge.src + 1];
+      g.dst_.push_back(edge.dst);
+    }
+  } else {
+    // Degree counting races across block boundaries that split one
+    // source's run; integer atomics keep the counts exact (and thus
+    // thread-count independent).
+    ParallelForBlocks(e.size(), [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        std::atomic_ref<size_t>(g.offsets_[e[i].src + 1]).fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    });
+    // SortAndDedup already put edges in CSR order, so dst_ is a straight
+    // per-index copy.
+    g.dst_.resize(e.size());
+    ParallelFor(e.size(), [&](size_t i) { g.dst_[i] = e[i].dst; });
+  }
+
   for (size_t i = 1; i < g.offsets_.size(); ++i) {
     g.offsets_[i] += g.offsets_[i - 1];
-  }
-  for (const Edge& e : sorted.edges()) {
-    g.dst_.push_back(e.dst);
   }
   return g;
 }
@@ -49,17 +78,54 @@ void CsrGraph::EnsureTranspose() const {
   auto cache = std::make_shared<TransposeCache>();
   cache->offsets.assign(static_cast<size_t>(num_nodes_) + 1, 0);
   cache->src.resize(dst_.size());
-  for (NodeId v : dst_) {
-    ++cache->offsets[v + 1];
-  }
-  for (size_t i = 1; i < cache->offsets.size(); ++i) {
-    cache->offsets[i] += cache->offsets[i - 1];
-  }
-  std::vector<size_t> cursor(cache->offsets.begin(), cache->offsets.end() - 1);
-  for (NodeId u = 0; u < num_nodes_; ++u) {
-    for (size_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
-      cache->src[cursor[dst_[i]]++] = u;
+
+  if (dst_.size() < kParallelEdgeThreshold) {
+    for (NodeId v : dst_) {
+      ++cache->offsets[v + 1];
     }
+    for (size_t i = 1; i < cache->offsets.size(); ++i) {
+      cache->offsets[i] += cache->offsets[i - 1];
+    }
+    std::vector<size_t> cursor(cache->offsets.begin(),
+                               cache->offsets.end() - 1);
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+      for (size_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
+        cache->src[cursor[dst_[i]]++] = u;
+      }
+    }
+  } else {
+    ParallelForBlocks(dst_.size(), [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        std::atomic_ref<size_t>(cache->offsets[dst_[i] + 1]).fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    });
+    for (size_t i = 1; i < cache->offsets.size(); ++i) {
+      cache->offsets[i] += cache->offsets[i - 1];
+    }
+    // Scatter with per-bucket atomic cursors lands sources in an order
+    // that depends on scheduling; the per-bucket sort below restores the
+    // ascending-source order the serial path produces, making the final
+    // arrays identical for every thread count.
+    std::vector<size_t> cursor(cache->offsets.begin(),
+                               cache->offsets.end() - 1);
+    ParallelForBlocks(static_cast<size_t>(num_nodes_),
+                      [&](size_t lo, size_t hi) {
+      for (size_t u = lo; u < hi; ++u) {
+        for (size_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
+          size_t pos = std::atomic_ref<size_t>(cursor[dst_[i]])
+                           .fetch_add(1, std::memory_order_relaxed);
+          cache->src[pos] = static_cast<NodeId>(u);
+        }
+      }
+    });
+    ParallelForBlocks(static_cast<size_t>(num_nodes_),
+                      [&](size_t lo, size_t hi) {
+      for (size_t v = lo; v < hi; ++v) {
+        std::sort(cache->src.begin() + cache->offsets[v],
+                  cache->src.begin() + cache->offsets[v + 1]);
+      }
+    });
   }
   transpose_ = std::move(cache);
 }

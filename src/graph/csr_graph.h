@@ -62,6 +62,11 @@ class CsrGraph {
   /// The transposed graph as an independent CsrGraph (O(E)).
   CsrGraph Transpose() const;
 
+  /// Builds the cached transpose now if absent. The lazy build in
+  /// InNeighbors()/InDegree() is not thread-safe; parallel algorithms
+  /// call this once before fanning out readers.
+  void BuildTranspose() const { EnsureTranspose(); }
+
   /// Raw CSR arrays, exposed for tight analytic loops.
   const std::vector<size_t>& offsets() const { return offsets_; }
   const std::vector<NodeId>& targets() const { return dst_; }

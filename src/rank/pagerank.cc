@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel_for.h"
 #include "rank/internal.h"
 #include "rank/rank_vector.h"
 
@@ -121,27 +122,62 @@ Result<PageRankResult> ComputePageRank(const CsrGraph& graph,
   std::vector<double> x = rank_internal::InitialIterate(options, v);
   std::vector<double> next(n, 0.0);
 
-  for (uint32_t iter = 1; iter <= options.max_iterations; ++iter) {
-    // Push pass: distribute alpha * x[u] / c_u along out-links; collect
-    // dangling mass for uniform (teleport-shaped) redistribution.
-    double dangling = 0.0;
-    std::fill(next.begin(), next.end(), 0.0);
-    for (NodeId u = 0; u < n; ++u) {
-      auto nbrs = graph.OutNeighbors(u);
-      if (nbrs.empty()) {
-        dangling += x[u];
-        continue;
-      }
-      double share = alpha * x[u] / static_cast<double>(nbrs.size());
-      for (NodeId t : nbrs) next[t] += share;
-    }
-    double base = 1.0 - alpha;
-    double dangling_share = alpha * dangling;
-    for (NodeId i = 0; i < n; ++i) {
-      next[i] += (base + dangling_share) * v[i];
-    }
+  // Pull formulation: next[i] depends only on x and read-only CSR
+  // arrays, so rows parallelize with no write conflicts, and each row's
+  // in-neighbor sum runs in the fixed ascending-source order — the
+  // iterates are bit-identical for every thread count.
+  graph.BuildTranspose();
+  ParallelOptions par;
+  par.num_threads = options.num_threads;
+  std::vector<double> out_share(n, 0.0);  // x[u]/c_u, 0 for dangling u
+  std::vector<double> inv_outdeg(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    uint32_t d = graph.OutDegree(u);
+    if (d > 0) inv_outdeg[u] = 1.0 / static_cast<double>(d);
+  }
 
-    result.residual = L1Distance(next, x);
+  for (uint32_t iter = 1; iter <= options.max_iterations; ++iter) {
+    // Dangling mass (footnote 2) redistributed teleport-shaped.
+    const double dangling = ParallelReduce(
+        n,
+        [&](size_t lo, size_t hi) {
+          double sum = 0.0;
+          for (size_t u = lo; u < hi; ++u) {
+            if (inv_outdeg[u] == 0.0) sum += x[u];
+          }
+          return sum;
+        },
+        par);
+    const double base = 1.0 - alpha;
+    const double dangling_share = alpha * dangling;
+
+    ParallelForBlocks(
+        n,
+        [&](size_t lo, size_t hi) {
+          for (size_t u = lo; u < hi; ++u) out_share[u] = x[u] * inv_outdeg[u];
+        },
+        par);
+    ParallelForBlocks(
+        n,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            double pull = 0.0;
+            for (NodeId u : graph.InNeighbors(static_cast<NodeId>(i))) {
+              pull += out_share[u];
+            }
+            next[i] = (base + dangling_share) * v[i] + alpha * pull;
+          }
+        },
+        par);
+
+    result.residual = ParallelReduce(
+        n,
+        [&](size_t lo, size_t hi) {
+          double sum = 0.0;
+          for (size_t i = lo; i < hi; ++i) sum += std::fabs(next[i] - x[i]);
+          return sum;
+        },
+        par);
     x.swap(next);
     result.iterations = iter;
     if (result.residual < options.tolerance) {

@@ -16,9 +16,14 @@
 //    "initial PageRank value 1 per page" convention used in Section 8.
 //
 // Engines:
-//  * ComputePageRank        — Jacobi power iteration (reference engine).
+//  * ComputePageRank        — Jacobi power iteration in the pull
+//    formulation (per-row independent, runs on the parallel substrate;
+//    scores are bit-identical for every num_threads value).
 //  * ComputePageRankGaussSeidel — in-place sweeps, typically ~2x fewer
-//    iterations; requires the transpose.
+//    iterations; requires the transpose. Deliberately serial: each
+//    update reads values written earlier in the same sweep, so any
+//    parallel order would change the iterates. It is the independent
+//    reference the equivalence tests compare the parallel engine to.
 //  * ComputeAdaptivePageRank (adaptive_pagerank.h)   — [11] in the paper.
 //  * ComputeExtrapolatedPageRank (extrapolation.h)   — [12] in the paper.
 
@@ -68,6 +73,12 @@ struct PageRankOptions {
   /// positive sum. The fixed point is unchanged; only the iteration
   /// count depends on the start.
   std::vector<double> initial_scores;
+
+  /// Executor count for the Jacobi engine: 0 = the process default
+  /// (SetDefaultThreads / hardware concurrency), 1 = serial on the
+  /// calling thread. Scores do not depend on this value — reductions
+  /// use a fixed block tree (see common/parallel_for.h).
+  int num_threads = 0;
 };
 
 struct PageRankResult {

@@ -4,11 +4,23 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 #include "rank/baselines.h"
 #include "rank/pagerank.h"
 #include "rank/rank_vector.h"
 
 namespace qrank {
+
+namespace {
+
+ParallelOptions SimParallel(const WebSimulatorOptions& options) {
+  ParallelOptions par;
+  par.num_threads = options.num_threads;
+  par.grain = 256;  // pages per block; fixed so draws never depend on threads
+  return par;
+}
+
+}  // namespace
 
 Result<WebSimulator> WebSimulator::Create(const WebSimulatorOptions& options) {
   if (options.num_users < 2) {
@@ -119,13 +131,18 @@ Result<NodeId> WebSimulator::AddPageWithQuality(double quality) {
 }
 
 void WebSimulator::VisitPage(uint32_t u, NodeId p, double t) {
+  ApplyVisit(u, p, t, rng_.UniformDouble());
+}
+
+void WebSimulator::ApplyVisit(uint32_t u, NodeId p, double t,
+                              double like_draw) {
   ++total_visits_;
   ++pages_[p].visits;
   if (!aware_[u].insert(p).second) {
     return;  // repeat visit by an already-aware user: no new signal
   }
   ++pages_[p].aware;
-  if (rng_.Bernoulli(pages_[p].quality) && u != p) {
+  if (like_draw < pages_[p].quality && u != p) {
     Status st = graph_.AddEdge(u, p, t);
     if (st.ok()) {
       likers_[p].push_back(u);
@@ -248,20 +265,59 @@ void WebSimulator::Step() {
   // random visitors (Propositions 1 + 2), scaled down by the share of
   // traffic the search engine captures. Rates are frozen at the step
   // start (standard tau-leaping).
+  //
+  // Two phases so the hot sampling loop can run on the parallel
+  // substrate without perturbing the trajectory: (1) every page draws
+  // its visit count, visitors, and like variates from a private stream
+  // split from (seed, step, page) — embarrassingly parallel over fixed
+  // page blocks, and independent of thread count by construction;
+  // (2) the draws are applied serially in ascending page order (awareness
+  // sets, the like graph, and counters are shared mutable state).
   const NodeId num_pages_now = num_pages();
-  double total_popularity = 0.0;
+  const double total_popularity = ParallelReduce(
+      num_pages_now,
+      [&](size_t lo, size_t hi) {
+        double sum = 0.0;
+        for (size_t p = lo; p < hi; ++p) {
+          sum += static_cast<double>(pages_[p].likes) /
+                 static_cast<double>(n);
+        }
+        return sum;
+      },
+      SimParallel(options_));
+
+  struct PendingVisit {
+    uint32_t user;
+    double like_draw;
+  };
+  std::vector<std::vector<PendingVisit>> pending(num_pages_now);
+  uint64_t stream_base = options_.seed;
+  (void)SplitMix64Next(&stream_base);
+  stream_base ^= steps_taken_ * 0x9E3779B97F4A7C15ULL;
+  ParallelFor(
+      num_pages_now,
+      [&](size_t p) {
+        double popularity =
+            static_cast<double>(pages_[p].likes) / static_cast<double>(n);
+        double lambda = (organic_share * r * popularity +
+                         options_.exploration_visit_rate) *
+                        dt;
+        if (lambda <= 0.0) return;
+        uint64_t stream = stream_base + p;
+        Rng page_rng(SplitMix64Next(&stream));
+        uint64_t visits = page_rng.Poisson(lambda);
+        if (visits == 0) return;
+        auto& buf = pending[p];
+        buf.reserve(visits);
+        for (uint64_t k = 0; k < visits; ++k) {
+          buf.push_back({static_cast<uint32_t>(page_rng.UniformUint64(n)),
+                         page_rng.UniformDouble()});
+        }
+      },
+      SimParallel(options_));
   for (NodeId p = 0; p < num_pages_now; ++p) {
-    double popularity =
-        static_cast<double>(pages_[p].likes) / static_cast<double>(n);
-    total_popularity += popularity;
-    double lambda = (organic_share * r * popularity +
-                     options_.exploration_visit_rate) *
-                    dt;
-    if (lambda <= 0.0) continue;
-    uint64_t visits = rng_.Poisson(lambda);
-    for (uint64_t k = 0; k < visits; ++k) {
-      uint32_t u = static_cast<uint32_t>(rng_.UniformUint64(n));
-      VisitPage(u, p, t_end);
+    for (const PendingVisit& visit : pending[p]) {
+      ApplyVisit(visit.user, p, t_end, visit.like_draw);
     }
   }
 
@@ -288,6 +344,7 @@ void WebSimulator::Step() {
   }
 
   now_ = t_end;
+  ++steps_taken_;
 }
 
 Status WebSimulator::AdvanceTo(double t) {

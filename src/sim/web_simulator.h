@@ -85,6 +85,13 @@ struct WebSimulatorOptions {
   SearchEngineOptions search;
 
   uint64_t seed = 42;
+
+  /// Executors for the per-page visit-sampling pass: 0 = process default
+  /// (SetDefaultThreads / hardware concurrency), 1 = serial. Each page
+  /// draws from a private RNG stream split from (seed, step, page), and
+  /// draws are applied serially in page order, so the trajectory is
+  /// identical for every value of num_threads.
+  int num_threads = 0;
 };
 
 /// Per-page observable state.
@@ -163,8 +170,14 @@ class WebSimulator {
   /// awareness and likes.
   Result<NodeId> BirthPage(double t, double quality);
 
-  /// One visit by user `u` to page `p` at time `t`.
+  /// One visit by user `u` to page `p` at time `t`; the like decision
+  /// draws from the simulator's main RNG stream.
   void VisitPage(uint32_t u, NodeId p, double t);
+
+  /// Visit with a pre-drawn like variate (the parallel sampling pass
+  /// draws it from the page's stream): the user likes the page iff
+  /// like_draw < quality and they just became aware of it.
+  void ApplyVisit(uint32_t u, NodeId p, double t, double like_draw);
 
   /// One liker of `p` forgets it.
   void ForgetOne(NodeId p, double t);
@@ -180,6 +193,7 @@ class WebSimulator {
   WebSimulatorOptions options_;
   Rng rng_;
   double now_ = 0.0;
+  uint64_t steps_taken_ = 0;  // seeds the per-step per-page RNG streams
   DynamicGraph graph_;
   std::vector<PageState> pages_;
   /// aware_[u] = set of page ids user u has visited (and not forgotten).

@@ -1,0 +1,189 @@
+#include "common/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace qrank {
+namespace {
+
+TEST(ParallelForTest, NumBlocksPartitionEdgeCases) {
+  EXPECT_EQ(NumBlocks(0, 100), 0u);
+  EXPECT_EQ(NumBlocks(1, 100), 1u);
+  EXPECT_EQ(NumBlocks(100, 100), 1u);
+  EXPECT_EQ(NumBlocks(101, 100), 2u);
+  EXPECT_EQ(NumBlocks(250, 100), 3u);
+  EXPECT_EQ(NumBlocks(7, 0), 7u);  // grain clamps to 1
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoOp) {
+  for (int threads : {1, 2, 8}) {
+    ParallelOptions par;
+    par.num_threads = threads;
+    bool called = false;
+    ParallelFor(0, [&](size_t) { called = true; }, par);
+    EXPECT_FALSE(called);
+    EXPECT_EQ(ParallelReduce(0, [](size_t, size_t) { return 1.0; }, par),
+              0.0);
+  }
+}
+
+TEST(ParallelForTest, SingleElementRange) {
+  for (int threads : {1, 2, 8}) {
+    ParallelOptions par;
+    par.num_threads = threads;
+    std::atomic<int> calls{0};
+    std::atomic<size_t> seen{999};
+    ParallelFor(1, [&](size_t i) { ++calls; seen = i; }, par);
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(seen.load(), 0u);
+  }
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  // More blocks than threads, n not a multiple of grain, and the
+  // n < threads case all at once.
+  for (size_t n : {size_t{3}, size_t{100}, size_t{1001}}) {
+    for (int threads : {1, 2, 8, 16}) {
+      ParallelOptions par;
+      par.num_threads = threads;
+      par.grain = 16;
+      std::vector<std::atomic<int>> counts(n);
+      ParallelFor(n, [&](size_t i) { counts[i].fetch_add(1); }, par);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(counts[i].load(), 1) << "i=" << i << " n=" << n
+                                       << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, BlockBoundsCoverRangeWithoutOverlap) {
+  ParallelOptions par;
+  par.num_threads = 4;
+  par.grain = 7;
+  const size_t n = 45;  // 7 blocks: 6 full + 1 ragged tail of 3
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> blocks;
+  ParallelForBlocks(
+      n,
+      [&](size_t lo, size_t hi) {
+        std::lock_guard<std::mutex> lock(mu);
+        blocks.push_back({lo, hi});
+      },
+      par);
+  ASSERT_EQ(blocks.size(), NumBlocks(n, par.grain));
+  std::sort(blocks.begin(), blocks.end());
+  size_t expect_lo = 0;
+  for (auto [lo, hi] : blocks) {
+    EXPECT_EQ(lo, expect_lo);
+    EXPECT_GT(hi, lo);
+    EXPECT_LE(hi - lo, par.grain);
+    expect_lo = hi;
+  }
+  EXPECT_EQ(expect_lo, n);
+}
+
+TEST(ParallelForTest, ReduceSumMatchesSerialAcrossThreadCounts) {
+  const size_t n = 100000;
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  auto partial = [&](size_t lo, size_t hi) {
+    double s = 0.0;
+    for (size_t i = lo; i < hi; ++i) s += values[i];
+    return s;
+  };
+  ParallelOptions par1;
+  par1.num_threads = 1;
+  const double serial = ParallelReduce(n, partial, par1);
+  EXPECT_NEAR(serial, std::accumulate(values.begin(), values.end(), 0.0),
+              1e-9);
+  for (int threads : {2, 3, 8, 32}) {
+    ParallelOptions par;
+    par.num_threads = threads;
+    // Bit-identical, not just close: fixed blocks + tree combine make the
+    // result independent of thread count and scheduling.
+    EXPECT_EQ(ParallelReduce(n, partial, par), serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForTest, ReduceDependsOnGrainNotThreads) {
+  // Changing grain MAY change the floating-point result (different
+  // block tree); changing threads at fixed grain MUST NOT.
+  const size_t n = 4096;
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = 0.1 * static_cast<double>(i);
+  auto partial = [&](size_t lo, size_t hi) {
+    double s = 0.0;
+    for (size_t i = lo; i < hi; ++i) s += values[i];
+    return s;
+  };
+  for (size_t grain : {size_t{1}, size_t{64}, size_t{5000}}) {
+    double reference = 0.0;
+    for (int threads : {1, 2, 8}) {
+      ParallelOptions par;
+      par.num_threads = threads;
+      par.grain = grain;
+      double sum = ParallelReduce(n, partial, par);
+      if (threads == 1) {
+        reference = sum;
+      } else {
+        EXPECT_EQ(sum, reference) << "grain=" << grain
+                                  << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  for (int threads : {1, 4}) {
+    ParallelOptions par;
+    par.num_threads = threads;
+    par.grain = 8;
+    EXPECT_THROW(
+        ParallelFor(
+            1000,
+            [&](size_t i) {
+              if (i == 137) throw std::runtime_error("block boom");
+            },
+            par),
+        std::runtime_error)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  ParallelOptions outer;
+  outer.num_threads = 4;
+  outer.grain = 1;
+  std::atomic<int> inner_total{0};
+  ParallelFor(
+      8,
+      [&](size_t) {
+        ParallelOptions inner;
+        inner.num_threads = 4;
+        inner.grain = 1;
+        ParallelFor(8, [&](size_t) { inner_total.fetch_add(1); }, inner);
+      },
+      outer);
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(ParallelForTest, DefaultThreadsOverride) {
+  SetDefaultThreads(3);
+  EXPECT_EQ(DefaultThreads(), 3);
+  SetDefaultThreads(0);  // back to hardware concurrency
+  EXPECT_GE(DefaultThreads(), 1);
+}
+
+}  // namespace
+}  // namespace qrank

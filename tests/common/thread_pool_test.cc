@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace qrank {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdownAreClean) {
+  for (unsigned n : {0u, 1u, 4u}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+  }  // destructor joins with no submitted work
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  std::thread::id submitter = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&] { ran_on = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(ran_on, submitter);
+}
+
+TEST(ThreadPoolTest, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(ids.size(), 1u);
+  EXPECT_EQ(ids.count(std::this_thread::get_id()), 0u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Post([&] { counter.fetch_add(1); });
+    }
+  }  // ~ThreadPool must run all 20, not drop the queue
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -9,7 +9,9 @@
 
 #include "common/rng.h"
 #include "core/quality_estimator.h"
+#include "graph/generators.h"
 #include "model/visitation_model.h"
+#include "rank/pagerank.h"
 
 namespace qrank {
 namespace {
@@ -138,6 +140,106 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(0.1, 0.3), std::make_tuple(0.2, 0.5),
                       std::make_tuple(0.3, 0.8), std::make_tuple(0.5, 0.9),
                       std::make_tuple(0.05, 0.95)));
+
+// --- Invariants under the parallel PageRank engines -------------------
+//
+// The estimator consumes PageRank observations; these properties pin
+// down that the parallel substrate preserves the estimator's algebraic
+// structure for randomized graph sizes and seeds.
+
+class ParallelEngineInvariantTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, NodeId, int>> {};
+
+TEST_P(ParallelEngineInvariantTest, RankMassConservedUnderParallelEngine) {
+  auto [seed, nodes, threads] = GetParam();
+  Rng rng(seed);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(nodes, 4, &rng).value())
+                   .value();
+  for (ScaleConvention scale :
+       {ScaleConvention::kProbability, ScaleConvention::kTotalMassN}) {
+    PageRankOptions o;
+    o.num_threads = threads;
+    o.scale = scale;
+    auto r = ComputePageRank(g, o);
+    ASSERT_TRUE(r.ok());
+    double mass = 0.0;
+    for (double s : r->scores) mass += s;
+    const double expected = scale == ScaleConvention::kProbability
+                                ? 1.0
+                                : static_cast<double>(nodes);
+    EXPECT_NEAR(mass, expected, 1e-8 * expected)
+        << "seed=" << seed << " nodes=" << nodes << " threads=" << threads;
+  }
+}
+
+TEST_P(ParallelEngineInvariantTest, EstimatorSumInvariantUnderParallelEngine) {
+  // Summing Equation 1 over all pages: sum_p Q(p) = C * sum_p ΔPR/PR +
+  // sum_p PR_last, and with clamping off the identity is exact. Feed two
+  // PageRank observations (damping perturbed between snapshots, as a
+  // stand-in for graph evolution) computed by the parallel engine and
+  // check the decomposition holds to floating-point accuracy — it would
+  // not if thread scheduling perturbed the observation vectors between
+  // the two EstimateQuality-internal passes.
+  auto [seed, nodes, threads] = GetParam();
+  Rng rng(seed + 1000);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(nodes, 4, &rng).value())
+                   .value();
+  PageRankOptions o;
+  o.num_threads = threads;
+  auto pr1 = ComputePageRank(g, o);
+  o.damping = 0.80;
+  auto pr2 = ComputePageRank(g, o);
+  ASSERT_TRUE(pr1.ok() && pr2.ok());
+
+  QualityEstimatorOptions eo;
+  eo.clamp_negative = false;
+  eo.min_relative_change = 0.0;
+  auto est = EstimateQuality({pr1->scores, pr2->scores}, eo);
+  ASSERT_TRUE(est.ok());
+
+  double q_sum = 0.0, rel_sum = 0.0, pr_sum = 0.0;
+  for (size_t p = 0; p < est->quality.size(); ++p) {
+    q_sum += est->quality[p];
+    rel_sum += est->relative_increase[p];
+    pr_sum += pr2->scores[p];
+  }
+  EXPECT_NEAR(q_sum, eo.relative_increase_weight * rel_sum + pr_sum,
+              1e-9 * std::max(1.0, std::fabs(q_sum)))
+      << "seed=" << seed << " nodes=" << nodes << " threads=" << threads;
+}
+
+TEST_P(ParallelEngineInvariantTest, EstimatesIdenticalAcrossThreadCounts) {
+  // End-to-end determinism: estimator output on parallel-engine
+  // observations is bit-identical to the serial run.
+  auto [seed, nodes, threads] = GetParam();
+  Rng rng(seed + 2000);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(nodes, 4, &rng).value())
+                   .value();
+  auto observe = [&](int num_threads) {
+    PageRankOptions o;
+    o.num_threads = num_threads;
+    auto pr1 = ComputePageRank(g, o);
+    o.damping = 0.9;
+    auto pr2 = ComputePageRank(g, o);
+    return EstimateQuality({pr1->scores, pr2->scores});
+  };
+  auto serial = observe(1);
+  auto parallel = observe(threads);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  for (size_t p = 0; p < serial->quality.size(); ++p) {
+    ASSERT_EQ(parallel->quality[p], serial->quality[p]) << "page " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedGraphs, ParallelEngineInvariantTest,
+    ::testing::Combine(::testing::Values(3u, 41u, 271u),
+                       ::testing::Values(NodeId{64}, NodeId{500},
+                                         NodeId{2500}),
+                       ::testing::Values(2, 8)));
 
 TEST(EstimatorPropertyTest, ZeroChangeEqualsCurrentValueExactly) {
   Obs obs = {{2.5, 0.3}, {2.5, 0.3}, {2.5, 0.3}};

@@ -147,9 +147,12 @@ TEST(SearchFeedbackTest, PageRankMediationConcentratesAttention) {
 // high-quality newcomer gets noticed faster than under
 // popularity-ranked search.
 TEST(SearchFeedbackTest, QualityRankingDiscoversNewcomerFaster) {
-  auto awareness_at = [](RankingPolicy policy, double horizon) {
+  // Averaged over seeds: a single trajectory can flip the comparison by
+  // luck of the Poisson draws; the paper's claim is about the mean.
+  auto awareness_at = [](RankingPolicy policy, double horizon,
+                         uint64_t seed) {
     WebSimulatorOptions o = BaseOptions(policy);
-    o.seed = 31;
+    o.seed = seed;
     o.search.search_traffic_fraction = 0.8;
     WebSimulator sim = WebSimulator::Create(o).value();
     EXPECT_TRUE(sim.AdvanceTo(8.0).ok());  // incumbents mature
@@ -157,9 +160,13 @@ TEST(SearchFeedbackTest, QualityRankingDiscoversNewcomerFaster) {
     EXPECT_TRUE(sim.AdvanceTo(8.0 + horizon).ok());
     return sim.TrueAwareness(newcomer);
   };
-  double under_quality =
-      awareness_at(RankingPolicy::kQualityEstimate, 6.0);
-  double under_pagerank = awareness_at(RankingPolicy::kPageRank, 6.0);
+  double under_quality = 0.0;
+  double under_pagerank = 0.0;
+  for (uint64_t seed : {7u, 13u, 31u, 57u, 101u, 409u}) {
+    under_quality +=
+        awareness_at(RankingPolicy::kQualityEstimate, 6.0, seed);
+    under_pagerank += awareness_at(RankingPolicy::kPageRank, 6.0, seed);
+  }
   EXPECT_GT(under_quality, under_pagerank);
 }
 
