@@ -1,6 +1,11 @@
 #include "core/snapshot_series.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "graph/graph_delta.h"
+#include "rank/delta_pagerank.h"
+#include "rank/rank_vector.h"
 
 namespace qrank {
 
@@ -40,33 +45,92 @@ NodeId SnapshotSeries::CommonNodeCount() const {
 
 Status SnapshotSeries::ComputePageRanks(const PageRankOptions& options,
                                         bool warm_start) {
+  SeriesComputeOptions o;
+  o.pagerank = options;
+  o.mode = warm_start ? SeriesMode::kWarmStart : SeriesMode::kScratch;
+  return ComputePageRanks(o);
+}
+
+Status SnapshotSeries::ComputePageRanks(const SeriesComputeOptions& options) {
   if (graphs_.empty()) {
     return Status::FailedPrecondition("no snapshots added");
   }
   const NodeId m = CommonNodeCount();
+  const double inv_m = 1.0 / static_cast<double>(m > 0 ? m : 1);
   common_graphs_.clear();
   pageranks_.clear();
   iterations_.clear();
+  node_updates_.clear();
   common_graphs_.reserve(graphs_.size());
   pageranks_.reserve(graphs_.size());
   std::vector<double> previous;  // probability-scale scores of snapshot i-1
-  for (const CsrGraph& g : graphs_) {
-    QRANK_ASSIGN_OR_RETURN(CsrGraph induced, InducePrefixSubgraph(g, m));
-    PageRankOptions per_snapshot = options;
-    if (warm_start && !previous.empty()) {
-      per_snapshot.initial_scores = previous;
+  bool previous_converged = false;
+  for (size_t i = 0; i < graphs_.size(); ++i) {
+    const bool incremental_step =
+        options.mode == SeriesMode::kIncremental && i > 0;
+    CsrGraph induced;
+    std::vector<uint8_t> dirty;
+    if (incremental_step) {
+      QRANK_ASSIGN_OR_RETURN(
+          GraphDelta delta,
+          GraphDelta::BetweenPrefix(common_graphs_.back(), graphs_[i], m));
+      if (delta.empty() && previous_converged) {
+        // Identical consecutive snapshots: the previous vector is already
+        // the converged solution of this snapshot's subgraph (the
+        // previous solve's residual check IS the convergence check), so
+        // no further PageRank iterations are spent. The CsrGraph copy
+        // shares the patched transpose cache.
+        CsrGraph same = common_graphs_.back();
+        std::vector<double> scores = pageranks_.back();
+        common_graphs_.push_back(std::move(same));
+        pageranks_.push_back(std::move(scores));
+        iterations_.push_back(0);
+        node_updates_.push_back(0);
+        continue;
+      }
+      // Patch the previous common subgraph (and its transpose) in
+      // O(E + |delta|) instead of re-inducing + re-sorting from scratch.
+      QRANK_ASSIGN_OR_RETURN(induced,
+                             common_graphs_.back().ApplyDelta(delta));
+      dirty = delta.DirtyFrontier(induced);
+    } else {
+      QRANK_ASSIGN_OR_RETURN(induced, InducePrefixSubgraph(graphs_[i], m));
     }
-    QRANK_ASSIGN_OR_RETURN(PageRankResult pr,
-                           ComputePageRank(induced, per_snapshot));
-    if (warm_start) {
+
+    PageRankOptions per_snapshot = options.pagerank;
+    if (options.mode != SeriesMode::kScratch && !previous.empty()) {
+      // Warm-start renormalization: project the previous probability
+      // vector onto the (possibly different-sized) common node set.
+      per_snapshot.initial_scores = ProjectToSize(previous, m);
+    }
+
+    PageRankResult pr;
+    uint64_t updates = 0;
+    if (incremental_step) {
+      DeltaPageRankOptions delta_options;
+      delta_options.base = per_snapshot;
+      delta_options.freeze_threshold = options.freeze_threshold;
+      delta_options.full_sweep_period = options.full_sweep_period;
+      QRANK_ASSIGN_OR_RETURN(
+          DeltaPageRankResult dr,
+          ComputeDeltaPageRank(induced, dirty, delta_options));
+      pr = std::move(dr.base);
+      updates = dr.node_updates;
+    } else {
+      QRANK_ASSIGN_OR_RETURN(pr, ComputePageRank(induced, per_snapshot));
+      updates = static_cast<uint64_t>(pr.iterations) * m;
+    }
+
+    previous_converged = pr.converged;
+    if (options.mode != SeriesMode::kScratch) {
       // Keep the probability-scale iterate for the next snapshot.
       previous = pr.scores;
-      if (options.scale == ScaleConvention::kTotalMassN) {
-        double inv_n = 1.0 / static_cast<double>(m > 0 ? m : 1);
-        for (double& s : previous) s *= inv_n;
+      if (options.pagerank.scale == ScaleConvention::kTotalMassN) {
+        for (double& s : previous) s *= inv_m;
       }
     }
     iterations_.push_back(pr.iterations);
+    node_updates_.push_back(updates);
     common_graphs_.push_back(std::move(induced));
     pageranks_.push_back(std::move(pr.scores));
   }

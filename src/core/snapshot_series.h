@@ -8,10 +8,25 @@
 // same: AddSnapshot() in time order, then ComputePageRanks() determines
 // the common node set, induces each snapshot's subgraph onto it, and runs
 // the configured PageRank engine per snapshot.
+//
+// Because consecutive crawls overlap almost entirely, ComputePageRanks
+// supports three modes of increasing reuse:
+//  * kScratch      — every snapshot induced and solved independently;
+//  * kWarmStart    — snapshot i seeds its iteration from snapshot i-1's
+//                    converged vector (same fixed point, fewer rounds);
+//  * kIncremental  — additionally, snapshot i's common subgraph is built
+//                    by patching snapshot i-1's CSR with a GraphDelta
+//                    (transpose cache patched in place, no rebuild) and
+//                    solved with the DeltaPageRank frozen-set engine so
+//                    pages outside the delta's dirty frontier are not
+//                    recomputed until a change actually reaches them.
+// All three modes converge to the same tolerance; kScratch stays the
+// correctness oracle for the incremental path.
 
 #ifndef QRANK_CORE_SNAPSHOT_SERIES_H_
 #define QRANK_CORE_SNAPSHOT_SERIES_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -19,6 +34,22 @@
 #include "rank/pagerank.h"
 
 namespace qrank {
+
+enum class SeriesMode {
+  kScratch,      // independent per-snapshot solves
+  kWarmStart,    // seed each solve from the previous snapshot's vector
+  kIncremental,  // delta CSR builds + warm-started frozen-set solves
+};
+
+struct SeriesComputeOptions {
+  PageRankOptions pagerank;
+  SeriesMode mode = SeriesMode::kScratch;
+
+  /// Drift-budget fraction of the DeltaPageRank engine
+  /// (kIncremental only); see rank/delta_pagerank.h.
+  double freeze_threshold = 0.25;
+  uint32_t full_sweep_period = 8;
+};
 
 class SnapshotSeries {
  public:
@@ -38,13 +69,15 @@ class SnapshotSeries {
 
   /// Computes PageRank for every snapshot on the common-page induced
   /// subgraph. The paper's Section 8 convention (initial value 1 per
-  /// page, mass n) corresponds to options.scale = kTotalMassN.
+  /// page, mass n) corresponds to options.pagerank.scale = kTotalMassN.
   /// FailedPrecondition without snapshots; propagates engine errors.
   ///
-  /// With warm_start, snapshot i > 0 starts its power iteration from
-  /// snapshot i-1's converged vector instead of the teleport
-  /// distribution — consecutive crawls differ little, so this typically
-  /// cuts iterations substantially (same fixed point, same tolerance).
+  /// Identical consecutive snapshots (an empty delta) short-circuit in
+  /// kIncremental mode: the previous vector is reused with zero further
+  /// PageRank iterations beyond the previous solve's convergence check.
+  Status ComputePageRanks(const SeriesComputeOptions& options);
+
+  /// Back-compat shorthand: kScratch, or kWarmStart when `warm_start`.
   Status ComputePageRanks(const PageRankOptions& options,
                           bool warm_start = false);
 
@@ -52,6 +85,13 @@ class SnapshotSeries {
   /// ComputePageRanks call (for measuring the warm-start saving).
   const std::vector<uint32_t>& iterations_per_snapshot() const {
     return iterations_;
+  }
+
+  /// Page-update operations per snapshot by the last ComputePageRanks
+  /// call. For the non-incremental engines this is iterations * common
+  /// nodes; DeltaPageRank reports the (much smaller) work it did.
+  const std::vector<uint64_t>& node_updates_per_snapshot() const {
+    return node_updates_;
   }
 
   /// PageRank vector of snapshot i over the common pages (size
@@ -68,6 +108,7 @@ class SnapshotSeries {
  private:
   std::vector<double> times_;
   std::vector<uint32_t> iterations_;
+  std::vector<uint64_t> node_updates_;
   std::vector<CsrGraph> graphs_;
   std::vector<CsrGraph> common_graphs_;
   std::vector<std::vector<double>> pageranks_;

@@ -74,8 +74,17 @@ Result<CsrGraph> CsrGraph::FromEdges(NodeId num_nodes,
 }
 
 void CsrGraph::EnsureTranspose() const {
-  if (transpose_) return;
-  auto cache = std::make_shared<TransposeCache>();
+  TransposeState& state = *transpose_;
+  if (state.ready.load(std::memory_order_acquire)) return;
+  // call_once serializes concurrent first builds; losers block until the
+  // winner finishes and then observe the complete cache.
+  std::call_once(state.once, [&] {
+    BuildTransposeCache(&state.cache);
+    state.ready.store(true, std::memory_order_release);
+  });
+}
+
+void CsrGraph::BuildTransposeCache(TransposeCache* cache) const {
   cache->offsets.assign(static_cast<size_t>(num_nodes_) + 1, 0);
   cache->src.resize(dst_.size());
 
@@ -127,20 +136,20 @@ void CsrGraph::EnsureTranspose() const {
       }
     });
   }
-  transpose_ = std::move(cache);
 }
 
 std::span<const NodeId> CsrGraph::InNeighbors(NodeId u) const {
   QRANK_DCHECK(u < num_nodes_);
   EnsureTranspose();
-  return {transpose_->src.data() + transpose_->offsets[u],
-          transpose_->src.data() + transpose_->offsets[u + 1]};
+  const TransposeCache& cache = transpose_->cache;
+  return {cache.src.data() + cache.offsets[u],
+          cache.src.data() + cache.offsets[u + 1]};
 }
 
 uint32_t CsrGraph::InDegree(NodeId u) const {
   EnsureTranspose();
-  return static_cast<uint32_t>(transpose_->offsets[u + 1] -
-                               transpose_->offsets[u]);
+  const TransposeCache& cache = transpose_->cache;
+  return static_cast<uint32_t>(cache.offsets[u + 1] - cache.offsets[u]);
 }
 
 std::vector<uint32_t> CsrGraph::ComputeInDegrees() const {
@@ -175,8 +184,8 @@ CsrGraph CsrGraph::Transpose() const {
   EnsureTranspose();
   CsrGraph t;
   t.num_nodes_ = num_nodes_;
-  t.offsets_ = transpose_->offsets;
-  t.dst_ = transpose_->src;
+  t.offsets_ = transpose_->cache.offsets;
+  t.dst_ = transpose_->cache.src;
   return t;
 }
 

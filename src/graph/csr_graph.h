@@ -4,12 +4,16 @@
 // flat arrays (offsets + neighbor ids) give sequential memory access in
 // the PageRank inner loop and zero per-node allocation. The transpose
 // (in-link view) is built lazily on demand and cached, since PageRank's
-// pull formulation and HITS both need it.
+// pull formulation and HITS both need it. The lazy build is guarded by
+// std::call_once, so concurrent ranking engines may request the in-link
+// view of a shared graph without external synchronization.
 
 #ifndef QRANK_GRAPH_CSR_GRAPH_H_
 #define QRANK_GRAPH_CSR_GRAPH_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -17,6 +21,8 @@
 #include "graph/edge_list.h"
 
 namespace qrank {
+
+struct GraphDelta;
 
 class CsrGraph {
  public:
@@ -44,7 +50,7 @@ class CsrGraph {
   }
 
   /// In-neighbors of `u` (from the cached transpose; builds it on first
-  /// use — O(E)).
+  /// use — O(E)). Thread-safe: concurrent first calls build exactly once.
   std::span<const NodeId> InNeighbors(NodeId u) const;
 
   uint32_t InDegree(NodeId u) const;
@@ -62,10 +68,28 @@ class CsrGraph {
   /// The transposed graph as an independent CsrGraph (O(E)).
   CsrGraph Transpose() const;
 
-  /// Builds the cached transpose now if absent. The lazy build in
-  /// InNeighbors()/InDegree() is not thread-safe; parallel algorithms
-  /// call this once before fanning out readers.
+  /// Builds the cached transpose now if absent. Safe to call
+  /// concurrently (std::call_once); parallel algorithms call it before
+  /// fanning out readers so the O(E) build lands outside timed regions.
   void BuildTranspose() const { EnsureTranspose(); }
+
+  /// True if the lazy transpose has been built (or patched in by
+  /// ApplyDelta) — i.e. InNeighbors() is O(1) from here on.
+  bool has_transpose() const {
+    return transpose_->ready.load(std::memory_order_acquire);
+  }
+
+  /// Applies a structural delta (see graph/graph_delta.h), producing the
+  /// successor snapshot's graph in O(E + |delta|) — no edge sort, no
+  /// degree-count scatter. If this graph's transpose cache is built, the
+  /// successor's transpose is patched from it instead of being discarded,
+  /// so ranking engines on the new graph skip the O(E) rebuild.
+  ///
+  /// The delta must be exact: every removed edge must exist, no added
+  /// edge may already exist, and a shrinking delta must list every edge
+  /// incident to a dropped node — InvalidArgument otherwise. Rebuilding
+  /// from scratch (FromEdgeList) remains the correctness oracle.
+  Result<CsrGraph> ApplyDelta(const GraphDelta& delta) const;
 
   /// Raw CSR arrays, exposed for tight analytic loops.
   const std::vector<size_t>& offsets() const { return offsets_; }
@@ -78,13 +102,26 @@ class CsrGraph {
   std::vector<size_t> offsets_;  // size num_nodes_ + 1
   std::vector<NodeId> dst_;      // size num_edges
 
-  // Lazily built transpose arrays, shared so copies stay cheap and a copy
-  // made after the build reuses the cache.
   struct TransposeCache {
     std::vector<size_t> offsets;
     std::vector<NodeId> src;
   };
-  mutable std::shared_ptr<const TransposeCache> transpose_;
+  void BuildTransposeCache(TransposeCache* cache) const;
+
+  // Lazily built transpose, shared between copies so copies stay cheap
+  // and a copy made after (or during) the build reuses the cache. `once`
+  // serializes the lazy build across threads; `ready` is the fast-path
+  // flag (release-published after the build, so readers that observe it
+  // see a complete cache). The state object is allocated at construction
+  // and the pointer never reseated, so concurrent readers + copiers of a
+  // const graph are race-free.
+  struct TransposeState {
+    std::once_flag once;
+    std::atomic<bool> ready{false};
+    TransposeCache cache;
+  };
+  mutable std::shared_ptr<TransposeState> transpose_ =
+      std::make_shared<TransposeState>();
 };
 
 }  // namespace qrank

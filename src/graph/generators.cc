@@ -83,6 +83,55 @@ Result<EdgeList> GenerateBarabasiAlbert(NodeId num_nodes, uint32_t out_degree,
   return out;
 }
 
+Result<EdgeList> GenerateSiteClustered(NodeId num_sites,
+                                       NodeId pages_per_site,
+                                       uint32_t intra_out_degree,
+                                       uint32_t inter_links_per_site,
+                                       Rng* rng) {
+  if (num_sites < 2) return Status::InvalidArgument("need >= 2 sites");
+  if (pages_per_site < 2) {
+    return Status::InvalidArgument("need >= 2 pages per site");
+  }
+  const NodeId n = num_sites * pages_per_site;
+  EdgeList out(n);
+  out.Reserve(static_cast<size_t>(n) * (1 + intra_out_degree) +
+              static_cast<size_t>(num_sites) * inter_links_per_site);
+  std::vector<NodeId> repeated;
+  for (NodeId s = 0; s < num_sites; ++s) {
+    const NodeId base = s * pages_per_site;
+    // Ring backbone: strongly connected site, no dangling pages.
+    for (NodeId j = 0; j < pages_per_site; ++j) {
+      out.Add(base + j, base + (j + 1) % pages_per_site);
+    }
+    // Preferential intra-site links (BA sampler local to the site).
+    repeated.clear();
+    repeated.push_back(base);
+    for (NodeId j = 1; j < pages_per_site; ++j) {
+      const NodeId u = base + j;
+      uint32_t links = std::min<uint32_t>(intra_out_degree, j);
+      for (uint32_t k = 0; k < links; ++k) {
+        NodeId t = repeated[rng->UniformUint64(repeated.size())];
+        if (t != u) {
+          out.Add(u, t);
+          repeated.push_back(t);
+        }
+      }
+      repeated.push_back(u);
+    }
+    // Sparse inter-site links.
+    for (uint32_t k = 0; k < inter_links_per_site; ++k) {
+      NodeId src = base + static_cast<NodeId>(rng->UniformUint64(pages_per_site));
+      NodeId other = static_cast<NodeId>(rng->UniformUint64(num_sites - 1));
+      if (other >= s) ++other;
+      NodeId dst = other * pages_per_site +
+                   static_cast<NodeId>(rng->UniformUint64(pages_per_site));
+      out.Add(src, dst);
+    }
+  }
+  out.EnsureNodes(n);
+  return out;
+}
+
 Result<EdgeList> GenerateCopyModel(NodeId num_nodes, uint32_t out_degree,
                                    double copy_prob, Rng* rng) {
   if (num_nodes < 1) return Status::InvalidArgument("need >= 1 node");

@@ -55,6 +55,22 @@ Result<QualitySeededGraph> GenerateQualitySeeded(NodeId num_nodes,
                                                  double quality_strength,
                                                  Rng* rng);
 
+/// Site-clustered Web model matching the paper's crawl shape (154 sites,
+/// links predominantly intra-site): num_sites blocks of pages_per_site
+/// pages each, laid out contiguously (site s owns ids
+/// [s * pages_per_site, (s + 1) * pages_per_site)). Within a site, a
+/// ring backbone (so no page is dangling and each site is strongly
+/// connected) plus `intra_out_degree` preferential-attachment links;
+/// between sites, `inter_links_per_site` links from a random member to a
+/// random page of another site. Unlike a pure preferential-attachment
+/// expander, perturbations here stay mostly site-local — the regime the
+/// incremental snapshot pipeline is designed for.
+Result<EdgeList> GenerateSiteClustered(NodeId num_sites,
+                                       NodeId pages_per_site,
+                                       uint32_t intra_out_degree,
+                                       uint32_t inter_links_per_site,
+                                       Rng* rng);
+
 /// Deterministic ring: i -> (i + k) mod n for k in [1, out_degree].
 /// Regular, strongly connected; useful as an analytic baseline (PageRank
 /// is exactly uniform on it).

@@ -1,0 +1,240 @@
+#include "graph/graph_delta.h"
+
+#include <algorithm>
+#include <span>
+
+#include "common/logging.h"
+
+namespace qrank {
+
+namespace {
+
+// Merge-diff of two ascending neighbor lists for one source node.
+void DiffAdjacency(NodeId u, std::span<const NodeId> a,
+                   std::span<const NodeId> b, std::vector<Edge>* removed,
+                   std::vector<Edge>* added) {
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i] < b[j])) {
+      removed->push_back({u, a[i++]});
+    } else if (i == a.size() || b[j] < a[i]) {
+      added->push_back({u, b[j++]});
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+}
+
+bool ByDst(const Edge& a, const Edge& b) {
+  return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+}
+
+}  // namespace
+
+GraphDelta GraphDelta::Between(const CsrGraph& from, const CsrGraph& to) {
+  GraphDelta d;
+  d.old_num_nodes = from.num_nodes();
+  d.new_num_nodes = to.num_nodes();
+  const NodeId upper = std::max(d.old_num_nodes, d.new_num_nodes);
+  for (NodeId u = 0; u < upper; ++u) {
+    std::span<const NodeId> a =
+        u < d.old_num_nodes ? from.OutNeighbors(u) : std::span<const NodeId>{};
+    std::span<const NodeId> b =
+        u < d.new_num_nodes ? to.OutNeighbors(u) : std::span<const NodeId>{};
+    DiffAdjacency(u, a, b, &d.removed, &d.added);
+  }
+  return d;
+}
+
+Result<GraphDelta> GraphDelta::BetweenPrefix(const CsrGraph& from,
+                                             const CsrGraph& to,
+                                             NodeId num_nodes) {
+  if (from.num_nodes() != num_nodes) {
+    return Status::InvalidArgument(
+        "BetweenPrefix: from.num_nodes() must equal the prefix size");
+  }
+  if (num_nodes > to.num_nodes()) {
+    return Status::InvalidArgument("prefix larger than graph");
+  }
+  GraphDelta d;
+  d.old_num_nodes = num_nodes;
+  d.new_num_nodes = num_nodes;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    std::span<const NodeId> a = from.OutNeighbors(u);
+    std::span<const NodeId> b = to.OutNeighbors(u);
+    // Neighbor lists are ascending: the prefix restriction is a trim.
+    size_t keep = static_cast<size_t>(
+        std::lower_bound(b.begin(), b.end(), num_nodes) - b.begin());
+    DiffAdjacency(u, a, b.subspan(0, keep), &d.removed, &d.added);
+  }
+  return d;
+}
+
+std::vector<int32_t> GraphDelta::OutDegreeDelta() const {
+  std::vector<int32_t> delta(new_num_nodes, 0);
+  for (const Edge& e : added) {
+    if (e.src < new_num_nodes) ++delta[e.src];
+  }
+  for (const Edge& e : removed) {
+    if (e.src < new_num_nodes) --delta[e.src];
+  }
+  return delta;
+}
+
+std::vector<uint8_t> GraphDelta::DirtyFrontier(const CsrGraph& to) const {
+  QRANK_DCHECK(to.num_nodes() == new_num_nodes);
+  std::vector<uint8_t> dirty(new_num_nodes, 0);
+  // Pages born since the old snapshot start from nothing: always dirty.
+  for (NodeId u = old_num_nodes; u < new_num_nodes; ++u) dirty[u] = 1;
+  // Endpoints of every changed edge: the source's out-link set and the
+  // target's in-link set both changed.
+  for (const Edge& e : added) {
+    if (e.src < new_num_nodes) dirty[e.src] = 1;
+    if (e.dst < new_num_nodes) dirty[e.dst] = 1;
+  }
+  for (const Edge& e : removed) {
+    if (e.src < new_num_nodes) dirty[e.src] = 1;
+    if (e.dst < new_num_nodes) dirty[e.dst] = 1;
+  }
+  // An out-degree change rescales the share x/c a page pushes to *all*
+  // its out-neighbors, so those rows' pull inputs changed too.
+  std::vector<int32_t> degree_delta = OutDegreeDelta();
+  for (NodeId u = 0; u < new_num_nodes; ++u) {
+    if (degree_delta[u] == 0) continue;
+    for (NodeId v : to.OutNeighbors(u)) dirty[v] = 1;
+  }
+  return dirty;
+}
+
+Result<CsrGraph> CsrGraph::ApplyDelta(const GraphDelta& delta) const {
+  if (delta.old_num_nodes != num_nodes_) {
+    return Status::InvalidArgument(
+        "delta.old_num_nodes does not match this graph");
+  }
+  if (!std::is_sorted(delta.added.begin(), delta.added.end()) ||
+      !std::is_sorted(delta.removed.begin(), delta.removed.end())) {
+    return Status::InvalidArgument("delta edge lists must be sorted");
+  }
+  const NodeId n_new = delta.new_num_nodes;
+  for (const Edge& e : delta.added) {
+    if (e.src >= n_new || e.dst >= n_new) {
+      return Status::InvalidArgument("added edge endpoint out of node range");
+    }
+    if (e.src == e.dst) {
+      return Status::InvalidArgument("added edge is a self-loop");
+    }
+  }
+
+  CsrGraph out;
+  out.num_nodes_ = n_new;
+  out.offsets_.assign(static_cast<size_t>(n_new) + 1, 0);
+  out.dst_.reserve(dst_.size() + delta.added.size());
+
+  // One pass over the new node range, merging each old adjacency run
+  // (minus its removed entries) with its added entries; both delta lists
+  // are sorted by (src, dst), so single cursors suffice.
+  size_t ai = 0, ri = 0;
+  for (NodeId u = 0; u < n_new; ++u) {
+    std::span<const NodeId> old_nbrs =
+        u < num_nodes_ ? OutNeighbors(u) : std::span<const NodeId>{};
+    size_t i = 0;
+    while (i < old_nbrs.size() ||
+           (ai < delta.added.size() && delta.added[ai].src == u)) {
+      const bool has_add =
+          ai < delta.added.size() && delta.added[ai].src == u;
+      if (has_add && (i == old_nbrs.size() ||
+                      delta.added[ai].dst < old_nbrs[i])) {
+        out.dst_.push_back(delta.added[ai].dst);
+        ++ai;
+        continue;
+      }
+      const NodeId v = old_nbrs[i];
+      if (has_add && delta.added[ai].dst == v) {
+        return Status::InvalidArgument("added edge already present");
+      }
+      if (ri < delta.removed.size() && delta.removed[ri].src == u &&
+          delta.removed[ri].dst == v) {
+        ++ri;  // drop this edge
+        ++i;
+        continue;
+      }
+      if (v >= n_new) {
+        return Status::InvalidArgument(
+            "delta does not remove an edge to a dropped node");
+      }
+      out.dst_.push_back(v);
+      ++i;
+    }
+    if (ri < delta.removed.size() && delta.removed[ri].src == u) {
+      return Status::InvalidArgument("removed edge not present in graph");
+    }
+    out.offsets_[u + 1] = out.dst_.size();
+  }
+  // Remaining removed entries cover the out-edges of dropped nodes.
+  for (; ri < delta.removed.size(); ++ri) {
+    const Edge& e = delta.removed[ri];
+    if (e.src < n_new || e.src >= num_nodes_ || !HasEdge(e.src, e.dst)) {
+      return Status::InvalidArgument("removed edge not present in graph");
+    }
+  }
+  // A dropped node whose edges were not listed would surface here.
+  if (out.dst_.size() + delta.removed.size() !=
+      dst_.size() + delta.added.size()) {
+    return Status::InvalidArgument(
+        "delta does not account for every edge of dropped nodes");
+  }
+
+  // Patch the cached transpose instead of discarding it: the successor
+  // graph's in-link view is the old one with the same delta applied on
+  // the in-adjacency side (edges re-sorted by (dst, src)). Engines on
+  // the new graph then skip the O(E) counting-scatter rebuild.
+  if (transpose_->ready.load(std::memory_order_acquire)) {
+    std::vector<Edge> added_t = delta.added;
+    std::vector<Edge> removed_t = delta.removed;
+    std::sort(added_t.begin(), added_t.end(), ByDst);
+    std::sort(removed_t.begin(), removed_t.end(), ByDst);
+    const TransposeCache& old_t = transpose_->cache;
+    auto state = std::make_shared<TransposeState>();
+    TransposeCache& nt = state->cache;
+    nt.offsets.assign(static_cast<size_t>(n_new) + 1, 0);
+    nt.src.reserve(out.dst_.size());
+    size_t ta = 0, tr = 0;
+    for (NodeId v = 0; v < n_new; ++v) {
+      std::span<const NodeId> old_in;
+      if (v < num_nodes_) {
+        old_in = {old_t.src.data() + old_t.offsets[v],
+                  old_t.src.data() + old_t.offsets[v + 1]};
+      }
+      size_t i = 0;
+      while (i < old_in.size() ||
+             (ta < added_t.size() && added_t[ta].dst == v)) {
+        const bool has_add = ta < added_t.size() && added_t[ta].dst == v;
+        if (has_add &&
+            (i == old_in.size() || added_t[ta].src < old_in[i])) {
+          nt.src.push_back(added_t[ta].src);
+          ++ta;
+          continue;
+        }
+        const NodeId u = old_in[i];
+        if (tr < removed_t.size() && removed_t[tr].dst == v &&
+            removed_t[tr].src == u) {
+          ++tr;
+          ++i;
+          continue;
+        }
+        // Consistency was fully validated on the out-adjacency pass.
+        QRANK_DCHECK(u < n_new);
+        nt.src.push_back(u);
+        ++i;
+      }
+      nt.offsets[v + 1] = nt.src.size();
+    }
+    QRANK_DCHECK(nt.src.size() == out.dst_.size());
+    state->ready.store(true, std::memory_order_release);
+    out.transpose_ = std::move(state);
+  }
+  return out;
+}
+
+}  // namespace qrank

@@ -1,0 +1,273 @@
+#include "rank/delta_pagerank.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/parallel_for.h"
+#include "rank/internal.h"
+#include "rank/rank_vector.h"
+
+namespace qrank {
+
+using rank_internal::FinishResult;
+using rank_internal::TeleportDistribution;
+using rank_internal::ValidateOptions;
+
+namespace {
+
+// Per-row outcome of one sweep; written disjointly in the row pass so the
+// freeze bookkeeping can run as a separate deterministic pass. Rows that
+// were skipped (frozen on a partial sweep) keep a stale status — the
+// freeze pass identifies them through `frozen` instead, so the row pass
+// never writes O(n) bytes for them.
+enum RowStatus : uint8_t {
+  kConverged = 0,  // recomputed, drift account still under budget
+  kMoved = 1,      // recomputed, crossed the budget: announce downstream
+};
+
+}  // namespace
+
+Result<DeltaPageRankResult> ComputeDeltaPageRank(
+    const CsrGraph& graph, const std::vector<uint8_t>& dirty_frontier,
+    const DeltaPageRankOptions& options) {
+  QRANK_RETURN_NOT_OK(ValidateOptions(graph, options.base));
+  if (options.freeze_threshold <= 0.0 || options.freeze_threshold >= 1.0) {
+    return Status::InvalidArgument("freeze_threshold must be in (0, 1)");
+  }
+  if (options.full_sweep_period == 0) {
+    return Status::InvalidArgument("full_sweep_period must be >= 1");
+  }
+  const NodeId n = graph.num_nodes();
+  if (!dirty_frontier.empty() && dirty_frontier.size() != n) {
+    return Status::InvalidArgument(
+        "dirty_frontier must be empty or have num_nodes entries");
+  }
+
+  DeltaPageRankResult result;
+  if (n == 0) {
+    result.base.converged = true;
+    return result;
+  }
+
+  const double alpha = options.base.damping;
+  const std::vector<double> v = TeleportDistribution(graph, options.base);
+  std::vector<double> x = rank_internal::InitialIterate(options.base, v);
+
+  graph.BuildTranspose();
+  ParallelOptions par;
+  par.num_threads = options.base.num_threads;
+
+  std::vector<double> inv_outdeg(n, 0.0);
+  bool has_dangling = false;
+  for (NodeId u = 0; u < n; ++u) {
+    uint32_t d = graph.OutDegree(u);
+    if (d > 0) {
+      inv_outdeg[u] = 1.0 / static_cast<double>(d);
+    } else {
+      has_dangling = true;
+    }
+  }
+
+  // Per-row drift budget. A computed row accumulates its un-announced
+  // movement in `slack`; only when the accumulation crosses the budget
+  // does it count as "moved" (waking its out-neighbors and resetting the
+  // account). The total movement ever hidden from downstream rows is
+  // therefore bounded by n * budget = freeze_threshold * tolerance,
+  // independent of iteration count or spectral gap — so full-sweep
+  // residuals can always reach tolerance and no stall is possible —
+  // while a page whose entire perturbation influence stays below its
+  // budget never wakes at all, which is where the savings come from.
+  const double budget = options.freeze_threshold * options.base.tolerance /
+                        static_cast<double>(n);
+  std::vector<double> slack(n, 0.0);
+
+  // An empty frontier means "everything dirty": a cold start.
+  std::vector<uint8_t> frozen(n, 0);
+  if (!dirty_frontier.empty()) {
+    for (NodeId i = 0; i < n; ++i) frozen[i] = dirty_frontier[i] ? 0 : 1;
+  }
+  std::vector<uint8_t> status(n, kMoved);
+  std::vector<uint8_t> woken(n, 0);
+
+  // The share a page pushes to each out-neighbor. Kept persistent and
+  // refreshed only for recomputed rows (a frozen page's share is frozen
+  // with it), so partial sweeps cost O(awake), not O(n).
+  std::vector<double> out_share(n, 0.0);
+  ParallelForBlocks(
+      n,
+      [&](size_t lo, size_t hi) {
+        for (size_t u = lo; u < hi; ++u) out_share[u] = x[u] * inv_outdeg[u];
+      },
+      par);
+
+  auto exact_dangling = [&](const std::vector<double>& scores) {
+    if (!has_dangling) return 0.0;
+    return ParallelReduce(
+        n,
+        [&](size_t lo, size_t hi) {
+          double sum = 0.0;
+          for (size_t u = lo; u < hi; ++u) {
+            if (inv_outdeg[u] == 0.0) sum += scores[u];
+          }
+          return sum;
+        },
+        par);
+  };
+
+  // Dangling mass (footnote 2), redistributed teleport-shaped. Tracked
+  // incrementally on partial sweeps (tree-reduced deltas of recomputed
+  // dangling rows: deterministic); recomputed exactly on full sweeps, so
+  // the convergence check always evaluates the true operator.
+  double dangling = exact_dangling(x);
+  // Pre-overwrite values of recomputed dangling rows, for that tracking.
+  std::vector<double> old_dangling(has_dangling ? n : 0, 0.0);
+
+  // One full Jacobi update of row i, written back in place: pulls read
+  // `out_share` (refreshed only after the sweep), never `x`, so the
+  // in-place write is still a Jacobi step and the pull order is the
+  // fixed ascending in-neighbor order — iterates are bit-identical
+  // across thread counts.
+  auto update_row = [&](size_t i, double base_mass) {
+    double pull = 0.0;
+    for (NodeId u : graph.InNeighbors(static_cast<NodeId>(i))) {
+      pull += out_share[u];
+    }
+    const double val = base_mass * v[i] + alpha * pull;
+    const double delta = std::fabs(val - x[i]);
+    if (has_dangling && inv_outdeg[i] == 0.0) old_dangling[i] = x[i];
+    x[i] = val;
+    return delta;
+  };
+
+  // A partial-sweep residual below tolerance means the awake set has
+  // converged; schedule a full sweep immediately (rather than waiting
+  // for the period boundary) to run the exact convergence check.
+  bool force_full_sweep = false;
+  for (uint32_t iter = 1; iter <= options.base.max_iterations; ++iter) {
+    const bool full_sweep =
+        (iter % options.full_sweep_period == 0) || force_full_sweep;
+    if (full_sweep) dangling = exact_dangling(x);
+    const double base_mass = 1.0 - alpha + alpha * dangling;
+
+    // Row pass, fused with the residual reduction (a tree reduce, so the
+    // sum is schedule-independent): frozen rows are skipped outright on
+    // partial sweeps. The update count is an exact integer, so a relaxed
+    // atomic add per block keeps it deterministic too.
+    std::atomic<uint64_t> updates{0};
+    result.base.residual = ParallelReduce(
+        n,
+        [&](size_t lo, size_t hi) {
+          double sum = 0.0;
+          uint64_t count = 0;
+          for (size_t i = lo; i < hi; ++i) {
+            if (frozen[i] && !full_sweep) continue;
+            const double delta = update_row(i, base_mass);
+            sum += delta;
+            ++count;
+            slack[i] += delta;
+            if (slack[i] >= budget) {
+              status[i] = kMoved;
+              slack[i] = 0.0;
+              // Wake pass, fused: a moved page's out-neighbors see a
+              // changed share x/c next iteration, so they must be
+              // recomputed. woken[] is all-zero at row-pass entry and
+              // only `1` is ever written (relaxed atomics; nothing reads
+              // it until the freeze pass), so the final flags are
+              // schedule-independent.
+              for (NodeId w : graph.OutNeighbors(static_cast<NodeId>(i))) {
+                std::atomic_ref<uint8_t>(woken[w]).store(
+                    1, std::memory_order_relaxed);
+              }
+            } else {
+              status[i] = kConverged;
+            }
+          }
+          updates.fetch_add(count, std::memory_order_relaxed);
+          return sum;
+        },
+        par);
+    result.node_updates += updates.load(std::memory_order_relaxed);
+    if (has_dangling && !full_sweep) {
+      dangling += ParallelReduce(
+          n,
+          [&](size_t lo, size_t hi) {
+            double sum = 0.0;
+            for (size_t i = lo; i < hi; ++i) {
+              if (!frozen[i] && inv_outdeg[i] == 0.0) {
+                sum += x[i] - old_dangling[i];
+              }
+            }
+            return sum;
+          },
+          par);
+    }
+
+    // Freeze update, woken reset, and out_share refresh for recomputed
+    // rows: a page stays/becomes frozen iff it did not cross its budget
+    // and no in-neighbor woke it. Rows skipped this sweep only need a
+    // write when someone woke them, so the steady-state cost is reads.
+    ParallelForBlocks(
+        n,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            if (frozen[i] && !full_sweep) {  // skipped this sweep
+              if (woken[i]) {
+                frozen[i] = 0;
+                woken[i] = 0;
+              }
+              continue;
+            }
+            frozen[i] = (status[i] != kMoved) && !woken[i];
+            woken[i] = 0;
+            out_share[i] = x[i] * inv_outdeg[i];
+          }
+        },
+        par);
+
+    result.base.iterations = iter;
+    // Exactness contract: only a full sweep measures the true residual
+    // ||F(x) - x||_1; partial-sweep residuals ignore frozen rows.
+    if (full_sweep && result.base.residual < options.base.tolerance) {
+      result.base.converged = true;
+      break;
+    }
+    force_full_sweep = result.base.residual < options.base.tolerance;
+  }
+
+  // Iterations exhausted between full sweeps: run one final full update
+  // so the reported residual is honest.
+  if (!result.base.converged) {
+    dangling = exact_dangling(x);
+    const double base_mass = 1.0 - alpha + alpha * dangling;
+    ParallelForBlocks(
+        n,
+        [&](size_t lo, size_t hi) {
+          for (size_t u = lo; u < hi; ++u) out_share[u] = x[u] * inv_outdeg[u];
+        },
+        par);
+    result.base.residual = ParallelReduce(
+        n,
+        [&](size_t lo, size_t hi) {
+          double sum = 0.0;
+          for (size_t i = lo; i < hi; ++i) sum += update_row(i, base_mass);
+          return sum;
+        },
+        par);
+    result.node_updates += n;
+    if (result.base.residual < options.base.tolerance) {
+      result.base.converged = true;
+    }
+  }
+
+  for (NodeId i = 0; i < n; ++i) {
+    if (frozen[i]) ++result.frozen_at_end;
+  }
+  // Frozen rows break Jacobi's automatic mass conservation; restore the
+  // probability scale before applying the requested convention.
+  NormalizeSum(&x, 1.0);
+  result.base.scores = std::move(x);
+  QRANK_RETURN_NOT_OK(FinishResult(graph, options.base, &result.base));
+  return result;
+}
+
+}  // namespace qrank

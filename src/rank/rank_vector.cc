@@ -28,6 +28,15 @@ void NormalizeSum(std::vector<double>* v, double target_sum) {
   for (double& x : *v) x *= scale;
 }
 
+std::vector<double> ProjectToSize(const std::vector<double>& scores,
+                                  size_t n) {
+  std::vector<double> out(scores);
+  const double pad = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  out.resize(n, pad);
+  NormalizeSum(&out, 1.0);
+  return out;
+}
+
 std::vector<NodeId> TopK(const std::vector<double>& scores, size_t k) {
   std::vector<NodeId> ids(scores.size());
   std::iota(ids.begin(), ids.end(), 0);

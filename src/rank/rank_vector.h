@@ -21,6 +21,13 @@ double L1Norm(const std::vector<double>& v);
 /// sum is zero).
 void NormalizeSum(std::vector<double>* v, double target_sum = 1.0);
 
+/// Projects a score vector onto a node set of size n: extra entries are
+/// truncated, new entries padded with the uniform share 1/n, and the
+/// result renormalized to sum to 1. This is the warm-start
+/// renormalization used when seeding PageRank on one snapshot from the
+/// converged vector of another whose node set differs.
+std::vector<double> ProjectToSize(const std::vector<double>& scores, size_t n);
+
 /// Indices of the k largest scores, highest first; ties broken by lower
 /// node id (stable, deterministic).
 std::vector<NodeId> TopK(const std::vector<double>& scores, size_t k);

@@ -168,6 +168,172 @@ TEST(SnapshotSeriesTest, WarmStartSavesIterationsOnSimilarSnapshots) {
             cold.iterations_per_snapshot()[2]);
 }
 
+double L1(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) d += std::fabs(a[i] - b[i]);
+  return d;
+}
+
+// A small evolving series: BA base graph, each snapshot adds edges and
+// optionally nodes (and one snapshot can shrink).
+void FillSeries(SnapshotSeries* s, const std::vector<NodeId>& sizes,
+                uint64_t seed) {
+  Rng rng(seed);
+  EdgeList base = GenerateBarabasiAlbert(sizes[0], 3, &rng).value();
+  std::vector<Edge> edges = base.edges();
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const NodeId n = sizes[i];
+    if (i > 0) {
+      for (int k = 0; k < 12; ++k) {
+        NodeId u = static_cast<NodeId>(rng.UniformUint64(n));
+        NodeId v = static_cast<NodeId>(rng.UniformUint64(n));
+        if (u != v) edges.push_back({u, v});
+      }
+    }
+    std::vector<Edge> in_range;
+    for (const Edge& e : edges) {
+      if (e.src < n && e.dst < n) in_range.push_back(e);
+    }
+    ASSERT_TRUE(
+        s->AddSnapshot(i + 1.0, CsrGraph::FromEdges(n, in_range).value())
+            .ok());
+  }
+}
+
+TEST(SnapshotSeriesTest, IncrementalMatchesScratchScores) {
+  SnapshotSeries scratch, incremental;
+  FillSeries(&scratch, {300, 320, 340, 360}, 21);
+  FillSeries(&incremental, {300, 320, 340, 360}, 21);
+  SeriesComputeOptions o;
+  o.pagerank.tolerance = 1e-11;
+  o.mode = SeriesMode::kScratch;
+  ASSERT_TRUE(scratch.ComputePageRanks(o).ok());
+  o.mode = SeriesMode::kIncremental;
+  ASSERT_TRUE(incremental.ComputePageRanks(o).ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_LT(L1(scratch.pagerank(i), incremental.pagerank(i)), 1e-8)
+        << "snapshot " << i;
+    // The incremental path must also reproduce the induced subgraphs.
+    EXPECT_EQ(incremental.common_graph(i).offsets(),
+              scratch.common_graph(i).offsets())
+        << "snapshot " << i;
+    EXPECT_EQ(incremental.common_graph(i).targets(),
+              scratch.common_graph(i).targets())
+        << "snapshot " << i;
+  }
+}
+
+TEST(SnapshotSeriesTest, IncrementalHandlesShrinkingCommonSetMidSeries) {
+  // Snapshot 2 shrinks below the earlier sizes: the common prefix is
+  // decided up front (CommonNodeCount), so every snapshot is induced on
+  // the smallest size; the incremental path must deliver the same.
+  SnapshotSeries scratch, incremental;
+  FillSeries(&scratch, {300, 340, 260, 320}, 33);
+  FillSeries(&incremental, {300, 340, 260, 320}, 33);
+  ASSERT_EQ(scratch.CommonNodeCount(), 260u);
+  SeriesComputeOptions o;
+  o.pagerank.tolerance = 1e-11;
+  o.mode = SeriesMode::kScratch;
+  ASSERT_TRUE(scratch.ComputePageRanks(o).ok());
+  o.mode = SeriesMode::kIncremental;
+  ASSERT_TRUE(incremental.ComputePageRanks(o).ok());
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(incremental.pagerank(i).size(), 260u);
+    EXPECT_LT(L1(scratch.pagerank(i), incremental.pagerank(i)), 1e-8)
+        << "snapshot " << i;
+  }
+}
+
+TEST(SnapshotSeriesTest, EmptyDeltaShortCircuitsToZeroIterations) {
+  // Identical consecutive snapshots: the incremental mode spends zero
+  // PageRank iterations beyond the previous solve's convergence check.
+  Rng rng(5);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateBarabasiAlbert(200, 3, &rng).value())
+                   .value();
+  SnapshotSeries s;
+  ASSERT_TRUE(s.AddSnapshot(1.0, g).ok());
+  ASSERT_TRUE(s.AddSnapshot(2.0, g).ok());
+  ASSERT_TRUE(s.AddSnapshot(3.0, g).ok());
+  SeriesComputeOptions o;
+  o.mode = SeriesMode::kIncremental;
+  ASSERT_TRUE(s.ComputePageRanks(o).ok());
+  EXPECT_GT(s.iterations_per_snapshot()[0], 0u);
+  EXPECT_EQ(s.iterations_per_snapshot()[1], 0u);
+  EXPECT_EQ(s.iterations_per_snapshot()[2], 0u);
+  EXPECT_EQ(s.node_updates_per_snapshot()[1], 0u);
+  EXPECT_EQ(s.pagerank(1), s.pagerank(0));
+  EXPECT_EQ(s.pagerank(2), s.pagerank(0));
+}
+
+TEST(SnapshotSeriesTest, IncrementalDeltaTouchingOnlyDanglingNodes) {
+  // The only change between snapshots is an edge into a dangling page
+  // (and the loss of one): the dirty frontier is tiny and touches the
+  // dangling-mass machinery. Scores must still match scratch.
+  std::vector<Edge> e0 = {{0, 1}, {1, 2}, {2, 0}, {2, 3}};          // 3, 4 dangle
+  std::vector<Edge> e1 = {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {1, 4}};  // 4 gains an in-link
+  SnapshotSeries scratch, incremental;
+  for (SnapshotSeries* s : {&scratch, &incremental}) {
+    ASSERT_TRUE(
+        s->AddSnapshot(1.0, CsrGraph::FromEdges(5, e0).value()).ok());
+    ASSERT_TRUE(
+        s->AddSnapshot(2.0, CsrGraph::FromEdges(5, e1).value()).ok());
+  }
+  SeriesComputeOptions o;
+  o.pagerank.tolerance = 1e-12;
+  o.mode = SeriesMode::kScratch;
+  ASSERT_TRUE(scratch.ComputePageRanks(o).ok());
+  o.mode = SeriesMode::kIncremental;
+  ASSERT_TRUE(incremental.ComputePageRanks(o).ok());
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_LT(L1(scratch.pagerank(i), incremental.pagerank(i)), 1e-9)
+        << "snapshot " << i;
+  }
+}
+
+TEST(SnapshotSeriesTest, IncrementalDoesFewerNodeUpdates) {
+  // Site-clustered snapshots whose churn is confined to a few sites:
+  // the incremental path leaves the untouched sites frozen.
+  Rng rng(41);
+  std::vector<Edge> edges =
+      GenerateSiteClustered(40, 100, 4, 3, &rng).value().edges();
+  const NodeId n = 4000;
+  SnapshotSeries scratch, incremental;
+  for (int i = 0; i < 5; ++i) {
+    if (i > 0) {
+      // Churn inside two sites per step.
+      for (int site : {3 * i, 3 * i + 5}) {
+        const NodeId base = static_cast<NodeId>(site) * 100;
+        for (int k = 0; k < 8; ++k) {
+          NodeId u = base + static_cast<NodeId>(rng.UniformUint64(100));
+          NodeId v = base + static_cast<NodeId>(rng.UniformUint64(100));
+          if (u != v) edges.push_back({u, v});
+        }
+      }
+    }
+    CsrGraph g = CsrGraph::FromEdges(n, edges).value();
+    ASSERT_TRUE(scratch.AddSnapshot(i + 1.0, g).ok());
+    ASSERT_TRUE(incremental.AddSnapshot(i + 1.0, std::move(g)).ok());
+  }
+  SeriesComputeOptions o;
+  o.mode = SeriesMode::kScratch;
+  ASSERT_TRUE(scratch.ComputePageRanks(o).ok());
+  o.mode = SeriesMode::kIncremental;
+  ASSERT_TRUE(incremental.ComputePageRanks(o).ok());
+  uint64_t scratch_total = 0, incremental_total = 0;
+  for (size_t i = 1; i < 5; ++i) {
+    scratch_total += scratch.node_updates_per_snapshot()[i];
+    incremental_total += incremental.node_updates_per_snapshot()[i];
+    // And the scores still agree with the from-scratch solve.
+    double dist = 0.0;
+    for (size_t p = 0; p < scratch.pagerank(i).size(); ++p) {
+      dist += std::fabs(scratch.pagerank(i)[p] - incremental.pagerank(i)[p]);
+    }
+    EXPECT_LT(dist, 1e-8) << "snapshot " << i;
+  }
+  EXPECT_LT(incremental_total, scratch_total / 2);
+}
+
 TEST(SnapshotSeriesTest, PropagatesEngineErrors) {
   SnapshotSeries s;
   ASSERT_TRUE(s.AddSnapshot(1.0, Ring(4)).ok());

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
+
+#include "common/rng.h"
+#include "graph/generators.h"
 
 namespace qrank {
 namespace {
@@ -130,6 +134,58 @@ TEST(CsrGraphTest, CopySharesTransposeCache) {
   g.InNeighbors(0);  // build the cache
   CsrGraph copy = g;
   EXPECT_EQ(copy.InDegree(3), 2u);  // works on the copy
+}
+
+TEST(CsrGraphTest, ConcurrentLazyTransposeBuildsOnce) {
+  // Two ranking engines may request the in-link view of a shared graph
+  // at the same time; the std::call_once-guarded lazy build must be
+  // race-free (this test runs under TSan in CI) and every thread must
+  // observe the same complete transpose.
+  Rng rng(41);
+  CsrGraph g =
+      CsrGraph::FromEdgeList(GenerateBarabasiAlbert(3000, 5, &rng).value())
+          .value();
+  const CsrGraph reference = g.Transpose();
+
+  // Fresh graph with an unbuilt cache; hammer it from many threads.
+  CsrGraph fresh =
+      CsrGraph::FromEdgeList(GenerateBarabasiAlbert(3000, 5, &rng).value())
+          .value();
+  ASSERT_FALSE(fresh.has_transpose());
+  std::vector<uint64_t> in_edge_sums(8, 0);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&fresh, &in_edge_sums, t] {
+        uint64_t sum = 0;
+        for (NodeId u = 0; u < fresh.num_nodes(); ++u) {
+          sum += fresh.InNeighbors(u).size();
+        }
+        in_edge_sums[static_cast<size_t>(t)] = sum;
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  EXPECT_TRUE(fresh.has_transpose());
+  for (uint64_t sum : in_edge_sums) EXPECT_EQ(sum, fresh.num_edges());
+  (void)reference;
+}
+
+TEST(CsrGraphTest, ConcurrentTransposeSharedWithCopies) {
+  // A copy made *before* the build shares the cache state: concurrent
+  // builders through different copies still build exactly once.
+  Rng rng(43);
+  CsrGraph a =
+      CsrGraph::FromEdgeList(GenerateBarabasiAlbert(2000, 4, &rng).value())
+          .value();
+  CsrGraph b = a;  // copy with unbuilt cache
+  std::thread t1([&a] { a.BuildTranspose(); });
+  std::thread t2([&b] { b.BuildTranspose(); });
+  t1.join();
+  t2.join();
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    ASSERT_EQ(a.InDegree(u), b.InDegree(u)) << "node " << u;
+  }
 }
 
 TEST(CsrGraphTest, OffsetsAndTargetsConsistent) {

@@ -1,0 +1,250 @@
+#include "graph/graph_delta.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace qrank {
+namespace {
+
+CsrGraph Graph(NodeId n, const std::vector<Edge>& edges) {
+  return CsrGraph::FromEdges(n, edges).value();
+}
+
+// Random evolution step: drop ~drop_count existing edges, add
+// ~add_count new ones, optionally grow the node set.
+CsrGraph Evolve(const CsrGraph& g, NodeId new_nodes, int add_count,
+                int drop_count, Rng* rng) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) edges.push_back({u, v});
+  }
+  for (int k = 0; k < drop_count && !edges.empty(); ++k) {
+    size_t idx = rng->UniformUint64(edges.size());
+    edges.erase(edges.begin() + static_cast<long>(idx));
+  }
+  const NodeId n = g.num_nodes() + new_nodes;
+  for (int k = 0; k < add_count; ++k) {
+    NodeId u = static_cast<NodeId>(rng->UniformUint64(n));
+    NodeId v = static_cast<NodeId>(rng->UniformUint64(n));
+    if (u != v) edges.push_back({u, v});
+  }
+  return Graph(n, edges);
+}
+
+TEST(GraphDeltaTest, BetweenFindsAddedAndRemoved) {
+  CsrGraph from = Graph(4, {{0, 1}, {1, 2}, {2, 0}});
+  CsrGraph to = Graph(4, {{0, 1}, {1, 3}, {2, 0}});
+  GraphDelta d = GraphDelta::Between(from, to);
+  ASSERT_EQ(d.added.size(), 1u);
+  EXPECT_EQ(d.added[0], (Edge{1, 3}));
+  ASSERT_EQ(d.removed.size(), 1u);
+  EXPECT_EQ(d.removed[0], (Edge{1, 2}));
+  EXPECT_TRUE(std::is_sorted(d.added.begin(), d.added.end()));
+  EXPECT_TRUE(std::is_sorted(d.removed.begin(), d.removed.end()));
+}
+
+TEST(GraphDeltaTest, IdenticalGraphsGiveEmptyDelta) {
+  CsrGraph g = Graph(5, {{0, 1}, {1, 2}, {3, 4}});
+  GraphDelta d = GraphDelta::Between(g, g);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.num_changes(), 0u);
+}
+
+TEST(GraphDeltaTest, ShrinkingDeltaListsDroppedNodeEdges) {
+  // Node 3 disappears: its out-edge and the edge pointing at it must
+  // both be in `removed`.
+  CsrGraph from = Graph(4, {{0, 1}, {1, 3}, {3, 0}});
+  CsrGraph to = Graph(3, {{0, 1}});
+  GraphDelta d = GraphDelta::Between(from, to);
+  EXPECT_EQ(d.old_num_nodes, 4u);
+  EXPECT_EQ(d.new_num_nodes, 3u);
+  EXPECT_TRUE(d.added.empty());
+  ASSERT_EQ(d.removed.size(), 2u);
+  EXPECT_EQ(d.removed[0], (Edge{1, 3}));
+  EXPECT_EQ(d.removed[1], (Edge{3, 0}));
+}
+
+TEST(GraphDeltaTest, OutDegreeDelta) {
+  CsrGraph from = Graph(4, {{0, 1}, {0, 2}, {1, 2}});
+  CsrGraph to = Graph(4, {{0, 1}, {1, 2}, {1, 3}, {2, 3}});
+  GraphDelta d = GraphDelta::Between(from, to);
+  std::vector<int32_t> dd = d.OutDegreeDelta();
+  ASSERT_EQ(dd.size(), 4u);
+  EXPECT_EQ(dd[0], -1);
+  EXPECT_EQ(dd[1], 1);
+  EXPECT_EQ(dd[2], 1);
+  EXPECT_EQ(dd[3], 0);
+}
+
+TEST(GraphDeltaTest, DirtyFrontierMarksEndpointsNewNodesAndRescaledRows) {
+  // 0->1 added: endpoints 0 and 1 dirty; 0's out-degree changed, so its
+  // other out-neighbor 2 is dirty too (its pulled share changed). Node 3
+  // untouched. Node 4 is newborn.
+  CsrGraph from = Graph(4, {{0, 2}, {3, 2}});
+  CsrGraph to = Graph(5, {{0, 1}, {0, 2}, {3, 2}});
+  GraphDelta d = GraphDelta::Between(from, to);
+  std::vector<uint8_t> dirty = d.DirtyFrontier(to);
+  ASSERT_EQ(dirty.size(), 5u);
+  EXPECT_TRUE(dirty[0]);
+  EXPECT_TRUE(dirty[1]);
+  EXPECT_TRUE(dirty[2]);
+  EXPECT_FALSE(dirty[3]);  // links unchanged, degree unchanged
+  EXPECT_TRUE(dirty[4]);   // new page
+}
+
+TEST(GraphDeltaTest, BetweenPrefixMatchesInducedDiff) {
+  Rng rng(11);
+  CsrGraph from_full =
+      CsrGraph::FromEdgeList(GenerateBarabasiAlbert(300, 4, &rng).value())
+          .value();
+  CsrGraph to = Evolve(from_full, 40, 120, 30, &rng);
+  const NodeId m = 300;
+  CsrGraph from = CsrGraph::FromEdges(m, [&] {
+                    std::vector<Edge> e;
+                    for (NodeId u = 0; u < m; ++u) {
+                      for (NodeId v : from_full.OutNeighbors(u)) {
+                        if (v < m) e.push_back({u, v});
+                      }
+                    }
+                    return e;
+                  }()).value();
+  CsrGraph induced_to = CsrGraph::FromEdges(m, [&] {
+                          std::vector<Edge> e;
+                          for (NodeId u = 0; u < m; ++u) {
+                            for (NodeId v : to.OutNeighbors(u)) {
+                              if (v < m) e.push_back({u, v});
+                            }
+                          }
+                          return e;
+                        }()).value();
+  Result<GraphDelta> prefix = GraphDelta::BetweenPrefix(from, to, m);
+  ASSERT_TRUE(prefix.ok());
+  GraphDelta oracle = GraphDelta::Between(from, induced_to);
+  EXPECT_EQ(prefix->added, oracle.added);
+  EXPECT_EQ(prefix->removed, oracle.removed);
+}
+
+TEST(GraphDeltaTest, BetweenPrefixValidatesSizes) {
+  CsrGraph a = Graph(4, {{0, 1}});
+  CsrGraph b = Graph(6, {{0, 1}});
+  EXPECT_FALSE(GraphDelta::BetweenPrefix(a, b, 5).ok());  // from != prefix
+  EXPECT_FALSE(GraphDelta::BetweenPrefix(b, a, 6).ok());  // prefix > to
+}
+
+TEST(ApplyDeltaTest, MatchesFromScratchRebuildOnRandomEvolution) {
+  // The correctness oracle of the incremental pipeline: patching with
+  // the diff must reproduce the from-scratch CSR arrays exactly, across
+  // growth, edge churn, and shrink steps.
+  Rng rng(17);
+  CsrGraph current =
+      CsrGraph::FromEdgeList(GenerateBarabasiAlbert(200, 4, &rng).value())
+          .value();
+  struct Step {
+    NodeId grow;
+    int add, drop;
+  };
+  const Step steps[] = {{20, 60, 10}, {0, 0, 40}, {5, 30, 0}, {0, 15, 15}};
+  for (const Step& s : steps) {
+    CsrGraph next = Evolve(current, s.grow, s.add, s.drop, &rng);
+    GraphDelta delta = GraphDelta::Between(current, next);
+    Result<CsrGraph> patched = current.ApplyDelta(delta);
+    ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+    EXPECT_EQ(patched->offsets(), next.offsets());
+    EXPECT_EQ(patched->targets(), next.targets());
+    current = std::move(next);
+  }
+}
+
+TEST(ApplyDeltaTest, ShrinkingNodeSet) {
+  CsrGraph from = Graph(5, {{0, 1}, {1, 4}, {4, 2}, {2, 3}});
+  CsrGraph to = Graph(4, {{0, 1}, {2, 3}});
+  GraphDelta d = GraphDelta::Between(from, to);
+  Result<CsrGraph> patched = from.ApplyDelta(d);
+  ASSERT_TRUE(patched.ok());
+  EXPECT_EQ(patched->num_nodes(), 4u);
+  EXPECT_EQ(patched->offsets(), to.offsets());
+  EXPECT_EQ(patched->targets(), to.targets());
+}
+
+TEST(ApplyDeltaTest, PatchesTransposeInPlace) {
+  Rng rng(23);
+  CsrGraph current =
+      CsrGraph::FromEdgeList(GenerateBarabasiAlbert(500, 5, &rng).value())
+          .value();
+  current.BuildTranspose();
+  CsrGraph next = Evolve(current, 30, 100, 25, &rng);
+  GraphDelta delta = GraphDelta::Between(current, next);
+  Result<CsrGraph> patched = current.ApplyDelta(delta);
+  ASSERT_TRUE(patched.ok());
+  // The successor graph arrives with its transpose already built...
+  EXPECT_TRUE(patched->has_transpose());
+  // ...and it is identical to the scratch-built one.
+  CsrGraph patched_t = patched->Transpose();
+  CsrGraph scratch_t = next.Transpose();
+  EXPECT_EQ(patched_t.offsets(), scratch_t.offsets());
+  EXPECT_EQ(patched_t.targets(), scratch_t.targets());
+}
+
+TEST(ApplyDeltaTest, NoTransposePatchWithoutCache) {
+  CsrGraph from = Graph(3, {{0, 1}});
+  GraphDelta d;
+  d.old_num_nodes = 3;
+  d.new_num_nodes = 3;
+  d.added = {{1, 2}};
+  Result<CsrGraph> patched = from.ApplyDelta(d);
+  ASSERT_TRUE(patched.ok());
+  // Lazy build still works on demand.
+  EXPECT_FALSE(patched->has_transpose());
+  EXPECT_EQ(patched->InDegree(2), 1u);
+}
+
+TEST(ApplyDeltaTest, RejectsInconsistentDeltas) {
+  CsrGraph g = Graph(4, {{0, 1}, {1, 2}});
+  GraphDelta d;
+  d.old_num_nodes = 3;  // wrong base size
+  d.new_num_nodes = 4;
+  EXPECT_FALSE(g.ApplyDelta(d).ok());
+
+  d.old_num_nodes = 4;
+  d.removed = {{2, 3}};  // edge does not exist
+  EXPECT_FALSE(g.ApplyDelta(d).ok());
+
+  d.removed.clear();
+  d.added = {{0, 1}};  // edge already present
+  EXPECT_FALSE(g.ApplyDelta(d).ok());
+
+  d.added = {{0, 0}};  // self-loop
+  EXPECT_FALSE(g.ApplyDelta(d).ok());
+
+  d.added = {{0, 7}};  // endpoint out of range
+  EXPECT_FALSE(g.ApplyDelta(d).ok());
+
+  // Shrink that fails to remove a dropped node's edge.
+  d.added.clear();
+  d.new_num_nodes = 2;
+  d.removed = {{1, 2}};  // but 0->1 stays and 1 is kept; 1->2 removed, ok —
+                         // yet nothing removes... actually 0->1 is fine;
+                         // node 3 has no edges; this delta IS consistent.
+  EXPECT_TRUE(g.ApplyDelta(d).ok());
+  d.removed.clear();  // now 1->2 dangles out of the shrunk node range
+  EXPECT_FALSE(g.ApplyDelta(d).ok());
+}
+
+TEST(ApplyDeltaTest, EmptyDeltaReproducesGraph) {
+  CsrGraph g = Graph(4, {{0, 1}, {1, 2}, {3, 1}});
+  GraphDelta d;
+  d.old_num_nodes = 4;
+  d.new_num_nodes = 4;
+  Result<CsrGraph> patched = g.ApplyDelta(d);
+  ASSERT_TRUE(patched.ok());
+  EXPECT_EQ(patched->offsets(), g.offsets());
+  EXPECT_EQ(patched->targets(), g.targets());
+}
+
+}  // namespace
+}  // namespace qrank

@@ -13,7 +13,10 @@
 
 #include "common/parallel_for.h"
 #include "common/rng.h"
+#include "core/snapshot_series.h"
 #include "graph/generators.h"
+#include "graph/graph_delta.h"
+#include "rank/delta_pagerank.h"
 #include "rank/pagerank.h"
 #include "rank/rank_vector.h"
 #include "sim/web_simulator.h"
@@ -118,6 +121,117 @@ TEST(ParallelEquivalenceTest, ParallelAgreesWithSerialGaussSeidelReference) {
   EXPECT_TRUE(jacobi->converged);
   EXPECT_TRUE(gs->converged);
   EXPECT_LT(L1Distance(jacobi->scores, gs->scores), 1e-9);
+}
+
+TEST(ParallelEquivalenceTest, DeltaPageRankBitIdenticalAcrossThreads) {
+  // The incremental engine shares the contract: same graph, same dirty
+  // frontier, same warm start => bit-identical scores, iteration counts
+  // and work counters for every thread count.
+  CsrGraph g0 = RandomGraph(31, 3000, 5);
+  PageRankOptions base;
+  base.tolerance = 1e-11;
+  PageRankResult r0 = ComputePageRank(g0, base).value();
+
+  // Perturb: add a few edges.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < g0.num_nodes(); ++u) {
+    for (NodeId v : g0.OutNeighbors(u)) edges.push_back({u, v});
+  }
+  Rng rng(37);
+  for (int k = 0; k < 25; ++k) {
+    NodeId u = static_cast<NodeId>(rng.UniformUint64(g0.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.UniformUint64(g0.num_nodes()));
+    if (u != v) edges.push_back({u, v});
+  }
+  CsrGraph g1 = CsrGraph::FromEdges(g0.num_nodes(), edges).value();
+  GraphDelta delta = GraphDelta::Between(g0, g1);
+  std::vector<uint8_t> frontier = delta.DirtyFrontier(g1);
+
+  DeltaPageRankOptions options;
+  options.base = base;
+  options.base.initial_scores = r0.scores;
+  options.base.num_threads = 1;
+  DeltaPageRankResult serial =
+      ComputeDeltaPageRank(g1, frontier, options).value();
+  for (int threads : kThreadCounts) {
+    options.base.num_threads = threads;
+    DeltaPageRankResult parallel =
+        ComputeDeltaPageRank(g1, frontier, options).value();
+    EXPECT_EQ(parallel.base.iterations, serial.base.iterations)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.base.residual, serial.base.residual);
+    EXPECT_EQ(parallel.node_updates, serial.node_updates);
+    EXPECT_EQ(parallel.frozen_at_end, serial.frozen_at_end);
+    ASSERT_EQ(parallel.base.scores.size(), serial.base.scores.size());
+    for (size_t i = 0; i < serial.base.scores.size(); ++i) {
+      ASSERT_EQ(parallel.base.scores[i], serial.base.scores[i])
+          << "node " << i << " threads=" << threads;
+    }
+  }
+}
+
+void FillEvolvingSeries(SnapshotSeries* s) {
+  Rng rng(53);
+  std::vector<Edge> edges =
+      GenerateBarabasiAlbert(2000, 4, &rng).value().edges();
+  for (int i = 0; i < 4; ++i) {
+    const NodeId n = static_cast<NodeId>(2000 + 30 * i);
+    for (int k = 0; k < 40 * i; ++k) {
+      NodeId u = static_cast<NodeId>(rng.UniformUint64(n));
+      NodeId v = static_cast<NodeId>(rng.UniformUint64(n));
+      if (u != v) edges.push_back({u, v});
+    }
+    ASSERT_TRUE(
+        s->AddSnapshot(i + 1.0, CsrGraph::FromEdges(n, edges).value()).ok());
+  }
+}
+
+TEST(ParallelEquivalenceTest, IncrementalSeriesIndependentOfThreadCount) {
+  // End-to-end: the whole incremental snapshot pipeline (delta builds,
+  // transpose patches, frozen-set solves) is bit-identical across thread
+  // counts, and its fixed points agree with the serial from-scratch
+  // Gauss-Seidel reference.
+  SeriesComputeOptions o;
+  o.mode = SeriesMode::kIncremental;
+  o.pagerank.tolerance = 1e-12;
+  o.pagerank.max_iterations = 2000;
+
+  o.pagerank.num_threads = 1;
+  SnapshotSeries reference;
+  FillEvolvingSeries(&reference);
+  ASSERT_TRUE(reference.ComputePageRanks(o).ok());
+
+  for (int threads : {2, 8}) {
+    o.pagerank.num_threads = threads;
+    SnapshotSeries series;
+    FillEvolvingSeries(&series);
+    ASSERT_TRUE(series.ComputePageRanks(o).ok());
+    for (size_t i = 0; i < reference.num_snapshots(); ++i) {
+      EXPECT_EQ(series.iterations_per_snapshot()[i],
+                reference.iterations_per_snapshot()[i])
+          << "snapshot " << i << " threads=" << threads;
+      EXPECT_EQ(series.node_updates_per_snapshot()[i],
+                reference.node_updates_per_snapshot()[i]);
+      ASSERT_EQ(series.pagerank(i).size(), reference.pagerank(i).size());
+      for (size_t p = 0; p < reference.pagerank(i).size(); ++p) {
+        ASSERT_EQ(series.pagerank(i)[p], reference.pagerank(i)[p])
+            << "snapshot " << i << " node " << p << " threads=" << threads;
+      }
+    }
+  }
+
+  // Cross-engine: each snapshot's incremental fixed point vs the serial
+  // from-scratch Gauss-Seidel solve of the same induced subgraph.
+  PageRankOptions gs_options = o.pagerank;
+  gs_options.num_threads = 1;
+  for (size_t i = 0; i < reference.num_snapshots(); ++i) {
+    PageRankResult gs =
+        ComputePageRankGaussSeidel(reference.common_graph(i), gs_options)
+            .value();
+    EXPECT_TRUE(gs.converged);
+    EXPECT_LT(L1Distance(reference.pagerank(i), gs.scores), 1e-9)
+        << "snapshot " << i;
+  }
 }
 
 std::vector<std::pair<NodeId, NodeId>> SnapshotEdges(const WebSimulator& sim) {
