@@ -1,0 +1,582 @@
+#include "audit/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace qrank {
+
+namespace {
+
+void Fail(AuditReport* report, const AuditValidator& v, std::string detail) {
+  report->issues.push_back({v.name, v.severity, std::move(detail)});
+}
+
+// Finds a validator by name in the registry, nullptr if absent.
+const AuditValidator* FindValidator(std::string_view name) {
+  for (const AuditValidator& v : AuditRegistry()) {
+    if (name == v.name) return &v;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// graph.* — CSR well-formedness
+// ---------------------------------------------------------------------------
+
+bool NeedsGraph(const AuditContext& ctx) { return ctx.graph != nullptr; }
+
+void RunGraphOffsets(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("graph.offsets");
+  const CsrGraph& g = *ctx.graph;
+  const std::vector<size_t>& off = g.offsets();
+  const size_t n = g.num_nodes();
+  if (n == 0) {
+    // A default-constructed graph has no offset array at all; a built
+    // empty graph has the single leading zero. Both are well-formed.
+    if (!off.empty() && !(off.size() == 1 && off[0] == 0)) {
+      Fail(report, self, "empty graph carries a non-trivial offset array");
+    }
+    if (g.num_edges() != 0) {
+      Fail(report, self, "zero nodes but " +
+                             std::to_string(g.num_edges()) + " edges");
+    }
+    return;
+  }
+  if (off.size() != n + 1) {
+    Fail(report, self,
+         "offset array has " + std::to_string(off.size()) +
+             " entries, want num_nodes + 1 = " + std::to_string(n + 1));
+    return;
+  }
+  if (off[0] != 0) {
+    Fail(report, self, "offsets[0] = " + std::to_string(off[0]) + ", want 0");
+  }
+  for (size_t u = 0; u < n; ++u) {
+    if (off[u + 1] < off[u]) {
+      Fail(report, self,
+           "offsets not monotone at node " + std::to_string(u) + ": " +
+               std::to_string(off[u]) + " -> " + std::to_string(off[u + 1]));
+      return;  // one skew usually cascades; report the first
+    }
+  }
+  if (off[n] != g.num_edges()) {
+    Fail(report, self,
+         "offsets[num_nodes] = " + std::to_string(off[n]) +
+             " does not equal num_edges = " + std::to_string(g.num_edges()));
+  }
+}
+
+void RunGraphAdjacency(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("graph.adjacency");
+  const CsrGraph& g = *ctx.graph;
+  const std::vector<size_t>& off = g.offsets();
+  const std::vector<NodeId>& dst = g.targets();
+  const size_t n = g.num_nodes();
+  if (off.size() != n + 1) return;  // graph.offsets owns that failure
+  for (size_t u = 0; u < n; ++u) {
+    // Clamped bounds: stay in-range even when the offset array is
+    // corrupt, so this validator never crashes and never double-reports
+    // a pure offset skew.
+    const size_t lo = std::min(off[u], dst.size());
+    const size_t hi = std::min(off[u + 1], dst.size());
+    for (size_t i = lo; i < hi; ++i) {
+      if (dst[i] >= n) {
+        Fail(report, self,
+             "edge " + std::to_string(u) + "->" + std::to_string(dst[i]) +
+                 " targets a node outside [0, " + std::to_string(n) + ")");
+        return;
+      }
+      if (dst[i] == u) {
+        Fail(report, self,
+             "self-loop at node " + std::to_string(u) +
+                 " (removed at construction by contract)");
+        return;
+      }
+      if (i > lo && dst[i] <= dst[i - 1]) {
+        Fail(report, self,
+             "adjacency of node " + std::to_string(u) +
+                 " not strictly ascending at position " + std::to_string(i) +
+                 ": " + std::to_string(dst[i - 1]) + " then " +
+                 std::to_string(dst[i]));
+        return;
+      }
+    }
+  }
+}
+
+void RunGraphTranspose(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("graph.transpose");
+  const CsrGraph& g = *ctx.graph;
+  const size_t n = g.num_nodes();
+  // Out-of-range forward targets belong to graph.adjacency; recomputing
+  // in-degrees over them would be out-of-bounds, so bail out quietly.
+  for (NodeId v : g.targets()) {
+    if (v >= n) return;
+  }
+  // In-degree counts recomputed from the forward arrays are the
+  // reference; the cached transpose must agree row by row.
+  std::vector<uint32_t> want_indeg = g.ComputeInDegrees();
+  size_t transpose_edges = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    std::span<const NodeId> in = g.InNeighbors(v);
+    transpose_edges += in.size();
+    if (in.size() != want_indeg[v]) {
+      Fail(report, self,
+           "node " + std::to_string(v) + " has " + std::to_string(in.size()) +
+               " cached in-neighbors but forward arrays imply " +
+               std::to_string(want_indeg[v]));
+      return;
+    }
+    for (size_t i = 0; i < in.size(); ++i) {
+      if (i > 0 && in[i] <= in[i - 1]) {
+        Fail(report, self,
+             "in-adjacency of node " + std::to_string(v) +
+                 " not strictly ascending");
+        return;
+      }
+      if (in[i] >= n || !g.HasEdge(in[i], v)) {
+        Fail(report, self,
+             "cached in-edge " + std::to_string(in[i]) + "->" +
+                 std::to_string(v) + " absent from the forward graph");
+        return;
+      }
+    }
+  }
+  if (transpose_edges != g.num_edges()) {
+    Fail(report, self,
+         "transpose holds " + std::to_string(transpose_edges) +
+             " edges, forward graph " + std::to_string(g.num_edges()));
+  }
+}
+
+void RunGraphNonEmpty(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("graph.nonempty");
+  const CsrGraph& g = *ctx.graph;
+  if (g.num_nodes() > 0 && g.num_edges() == 0) {
+    Fail(report, self,
+         std::to_string(g.num_nodes()) +
+             " nodes but zero edges; PageRank degenerates to the teleport "
+             "distribution");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// delta.* — GraphDelta applicability
+// ---------------------------------------------------------------------------
+
+bool NeedsDelta(const AuditContext& ctx) { return ctx.delta != nullptr; }
+bool NeedsBaseAndDelta(const AuditContext& ctx) {
+  return ctx.base != nullptr && ctx.delta != nullptr;
+}
+bool NeedsFrontier(const AuditContext& ctx) {
+  return ctx.delta != nullptr && ctx.graph != nullptr &&
+         ctx.dirty_frontier != nullptr;
+}
+
+std::string EdgeStr(const Edge& e) {
+  return std::to_string(e.src) + "->" + std::to_string(e.dst);
+}
+
+// Sorted + strictly increasing (so duplicate-free); endpoint bounds.
+bool CheckEdgeList(const std::vector<Edge>& edges, NodeId bound,
+                   const char* which, const AuditValidator& self,
+                   AuditReport* report) {
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i > 0 && !(edges[i - 1] < edges[i])) {
+      Fail(report, self,
+           std::string(which) + " list not strictly (src, dst)-sorted at " +
+               EdgeStr(edges[i]) +
+               (edges[i] == edges[i - 1] ? " (duplicate edge)" : ""));
+      return false;
+    }
+    if (edges[i].src >= bound || edges[i].dst >= bound) {
+      Fail(report, self, std::string(which) + " edge " + EdgeStr(edges[i]) +
+                             " has an endpoint outside [0, " +
+                             std::to_string(bound) + ")");
+      return false;
+    }
+  }
+  return true;
+}
+
+void RunDeltaShape(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("delta.shape");
+  const GraphDelta& d = *ctx.delta;
+  if (!CheckEdgeList(d.added, d.new_num_nodes, "added", self, report)) return;
+  if (!CheckEdgeList(d.removed, std::max(d.old_num_nodes, d.new_num_nodes),
+                     "removed", self, report)) {
+    return;
+  }
+  for (const Edge& e : d.added) {
+    if (e.src == e.dst) {
+      Fail(report, self, "added edge " + EdgeStr(e) + " is a self-loop");
+      return;
+    }
+  }
+  // An edge in both lists would add and remove the same link in one
+  // step; both sorted, so one merge pass finds any intersection.
+  size_t i = 0, j = 0;
+  while (i < d.added.size() && j < d.removed.size()) {
+    if (d.added[i] == d.removed[j]) {
+      Fail(report, self,
+           "edge " + EdgeStr(d.added[i]) + " listed as both added and removed");
+      return;
+    }
+    if (d.added[i] < d.removed[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+}
+
+void RunDeltaApply(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("delta.apply");
+  const CsrGraph& base = *ctx.base;
+  const GraphDelta& d = *ctx.delta;
+  if (d.old_num_nodes != base.num_nodes()) {
+    Fail(report, self,
+         "delta.old_num_nodes = " + std::to_string(d.old_num_nodes) +
+             " but base graph has " + std::to_string(base.num_nodes()) +
+             " nodes");
+    return;
+  }
+  for (const Edge& e : d.removed) {
+    if (e.src >= base.num_nodes() || !base.HasEdge(e.src, e.dst)) {
+      Fail(report, self,
+           "removed edge " + EdgeStr(e) + " does not exist in the base graph");
+      return;
+    }
+  }
+  for (const Edge& e : d.added) {
+    if (e.src < base.num_nodes() && base.HasEdge(e.src, e.dst)) {
+      Fail(report, self,
+           "added edge " + EdgeStr(e) + " already present in the base graph");
+      return;
+    }
+  }
+  if (d.new_num_nodes < d.old_num_nodes) {
+    // Shrinking delta: every base edge incident to a dropped node must
+    // be listed in `removed`, or ApplyDelta would leave ghost edges.
+    for (NodeId u = 0; u < base.num_nodes(); ++u) {
+      for (NodeId v : base.OutNeighbors(u)) {
+        if (u < d.new_num_nodes && v < d.new_num_nodes) continue;
+        if (!std::binary_search(d.removed.begin(), d.removed.end(),
+                                Edge{u, v})) {
+          Fail(report, self,
+               "edge " + EdgeStr(Edge{u, v}) +
+                   " touches a dropped node but is not listed as removed");
+          return;
+        }
+      }
+    }
+  }
+}
+
+void RunDeltaFrontier(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("delta.frontier");
+  const GraphDelta& d = *ctx.delta;
+  const CsrGraph& to = *ctx.graph;
+  const std::vector<uint8_t>& frontier = *ctx.dirty_frontier;
+  if (frontier.size() != d.new_num_nodes ||
+      to.num_nodes() != d.new_num_nodes) {
+    Fail(report, self,
+         "frontier has " + std::to_string(frontier.size()) +
+             " entries over a graph of " + std::to_string(to.num_nodes()) +
+             " nodes; delta says new_num_nodes = " +
+             std::to_string(d.new_num_nodes));
+    return;
+  }
+  // Recompute the minimal required frontier independently of
+  // GraphDelta::DirtyFrontier (which is itself code under audit).
+  std::vector<uint8_t> required(d.new_num_nodes, 0);
+  for (NodeId u = d.old_num_nodes; u < d.new_num_nodes; ++u) required[u] = 1;
+  std::vector<int64_t> outdeg_change(d.new_num_nodes, 0);
+  auto touch = [&](const Edge& e, int64_t sign) {
+    if (e.src < d.new_num_nodes) {
+      required[e.src] = 1;
+      outdeg_change[e.src] += sign;
+    }
+    if (e.dst < d.new_num_nodes) required[e.dst] = 1;
+  };
+  for (const Edge& e : d.added) touch(e, +1);
+  for (const Edge& e : d.removed) touch(e, -1);
+  for (NodeId u = 0; u < d.new_num_nodes; ++u) {
+    if (outdeg_change[u] == 0) continue;
+    // The share x/c this node pushes changed for *every* out-neighbor.
+    for (NodeId v : to.OutNeighbors(u)) required[v] = 1;
+  }
+  for (NodeId u = 0; u < d.new_num_nodes; ++u) {
+    if (required[u] && !frontier[u]) {
+      Fail(report, self,
+           "node " + std::to_string(u) +
+               " is touched by the delta but missing from the dirty "
+               "frontier (its row would start frozen on stale inputs)");
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// rank.* — rank-vector invariants
+// ---------------------------------------------------------------------------
+
+bool NeedsScores(const AuditContext& ctx) { return ctx.scores != nullptr; }
+
+void RunRankFinite(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("rank.finite");
+  const std::vector<double>& x = *ctx.scores;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x[i])) {
+      Fail(report, self, "score[" + std::to_string(i) + "] is not finite");
+      return;
+    }
+    if (x[i] < 0.0) {
+      Fail(report, self, "score[" + std::to_string(i) + "] = " +
+                             std::to_string(x[i]) + " is negative");
+      return;
+    }
+  }
+}
+
+void RunRankMass(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("rank.mass");
+  const std::vector<double>& x = *ctx.scores;
+  if (x.empty()) return;
+  double sum = 0.0;
+  for (double s : x) sum += s;
+  if (!std::isfinite(sum)) return;  // rank.finite owns that failure
+  const double slack =
+      ctx.mass_tolerance * std::max(1.0, std::fabs(ctx.expected_mass));
+  if (std::fabs(sum - ctx.expected_mass) > slack) {
+    std::ostringstream os;
+    os << "scores sum to " << sum << ", want " << ctx.expected_mass
+       << " within " << slack;
+    Fail(report, self, os.str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// engine.* — engine-contract checks
+// ---------------------------------------------------------------------------
+
+bool NeedsResidualContract(const AuditContext& ctx) {
+  return ctx.graph != nullptr && ctx.scores != nullptr &&
+         ctx.tolerance > 0.0 && ctx.declared_converged &&
+         ctx.scores->size() == ctx.graph->num_nodes() &&
+         ctx.graph->num_nodes() > 0;
+}
+
+void RunEngineResidual(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("engine.residual");
+  const CsrGraph& g = *ctx.graph;
+  const size_t n = g.num_nodes();
+  // Probability-normalize a copy: the declared tolerance is defined on
+  // the probability scale regardless of the output ScaleConvention.
+  std::vector<double> x = *ctx.scores;
+  double sum = 0.0;
+  for (double s : x) sum += s;
+  if (!(sum > 0.0) || !std::isfinite(sum)) return;  // rank.* owns this
+  for (double& s : x) s /= sum;
+
+  const double alpha = ctx.damping;
+  double dangling = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (g.OutDegree(u) == 0) dangling += x[u];
+  }
+  // One application of the full operator F (uniform teleport, dangling
+  // mass redistributed — footnote 2): a vector declared converged at
+  // tolerance t satisfies ||F(x) - x||_1 <= alpha * t; renormalization
+  // after a drift-budget solve adds at most freeze_threshold * t < t.
+  // 2t is therefore a sound and tight acceptance bound.
+  const double base_mass = (1.0 - alpha + alpha * dangling) / n;
+  double residual = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    double pull = 0.0;
+    for (NodeId u : g.InNeighbors(i)) {
+      pull += x[u] / g.OutDegree(u);
+    }
+    residual += std::fabs(base_mass + alpha * pull - x[i]);
+  }
+  const double bound = 2.0 * ctx.tolerance;
+  if (residual > bound) {
+    std::ostringstream os;
+    os << "vector declared converged at tolerance " << ctx.tolerance
+       << " but one full sweep moves it by " << residual << " (allowed "
+       << bound << ")";
+    Fail(report, self, os.str());
+  }
+}
+
+bool NeedsDriftLedger(const AuditContext& ctx) {
+  return ctx.drift_ledger_total >= 0.0;
+}
+
+void RunEngineDrift(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("engine.drift");
+  // The frozen-set engine banks un-announced movement per row, each
+  // account strictly below budget/n at sweep end; the ledger total must
+  // therefore stay under the budget (tiny fp headroom allowed).
+  const double bound = ctx.drift_budget * (1.0 + 1e-9);
+  if (ctx.drift_ledger_total > bound) {
+    std::ostringstream os;
+    os << "drift ledger holds " << ctx.drift_ledger_total
+       << " of hidden movement, over the declared budget "
+       << ctx.drift_budget;
+    Fail(report, self, os.str());
+  }
+}
+
+}  // namespace
+
+const char* AuditSeverityName(AuditSeverity severity) {
+  return severity == AuditSeverity::kError ? "error" : "warning";
+}
+
+bool AuditReport::ok() const {
+  for (const AuditIssue& issue : issues) {
+    if (issue.severity == AuditSeverity::kError) return false;
+  }
+  return true;
+}
+
+bool AuditReport::Failed(std::string_view validator) const {
+  for (const AuditIssue& issue : issues) {
+    if (issue.validator == validator) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> AuditReport::FailedValidators() const {
+  std::vector<std::string> out;
+  for (const AuditIssue& issue : issues) {
+    if (std::find(out.begin(), out.end(), issue.validator) == out.end()) {
+      out.push_back(issue.validator);
+    }
+  }
+  return out;
+}
+
+void AuditReport::Merge(AuditReport other) {
+  ran.insert(ran.end(), std::make_move_iterator(other.ran.begin()),
+             std::make_move_iterator(other.ran.end()));
+  issues.insert(issues.end(), std::make_move_iterator(other.issues.begin()),
+                std::make_move_iterator(other.issues.end()));
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream os;
+  os << (ok() ? "AUDIT PASS" : "AUDIT FAIL") << " (" << ran.size()
+     << " validators, " << issues.size() << " issues)\n";
+  for (const AuditIssue& issue : issues) {
+    os << "  [" << AuditSeverityName(issue.severity) << "] "
+       << issue.validator << ": " << issue.detail << "\n";
+  }
+  return os.str();
+}
+
+const std::vector<AuditValidator>& AuditRegistry() {
+  static const std::vector<AuditValidator> kRegistry = {
+      {"graph.offsets", AuditSeverity::kError,
+       "CSR offset array: size num_nodes + 1, leading zero, monotone, "
+       "total equals num_edges",
+       NeedsGraph, RunGraphOffsets},
+      {"graph.adjacency", AuditSeverity::kError,
+       "per-row adjacency strictly ascending, in node range, self-loop "
+       "free",
+       NeedsGraph, RunGraphAdjacency},
+      {"graph.transpose", AuditSeverity::kError,
+       "cached transpose agrees edge-for-edge with the forward arrays",
+       [](const AuditContext& ctx) {
+         return ctx.graph != nullptr && ctx.graph->has_transpose();
+       },
+       RunGraphTranspose},
+      {"graph.nonempty", AuditSeverity::kWarning,
+       "graphs with nodes but no edges are suspicious inputs for the "
+       "ranking pipeline",
+       NeedsGraph, RunGraphNonEmpty},
+      {"delta.shape", AuditSeverity::kError,
+       "added/removed lists sorted, duplicate-free, disjoint, in range, "
+       "self-loop free",
+       NeedsDelta, RunDeltaShape},
+      {"delta.apply", AuditSeverity::kError,
+       "delta applies exactly to the base graph: removals exist, "
+       "additions are absent, dropped-node edges fully listed",
+       NeedsBaseAndDelta, RunDeltaApply},
+      {"delta.frontier", AuditSeverity::kError,
+       "dirty frontier covers every row the delta touches (new pages, "
+       "changed endpoints, out-neighbors of rescaled rows)",
+       NeedsFrontier, RunDeltaFrontier},
+      {"rank.finite", AuditSeverity::kError,
+       "every score finite and non-negative", NeedsScores, RunRankFinite},
+      {"rank.mass", AuditSeverity::kError,
+       "L1 mass within tolerance of the declared scale convention",
+       NeedsScores, RunRankMass},
+      {"engine.residual", AuditSeverity::kError,
+       "a vector declared converged is a fixed point of the full "
+       "PageRank operator (dangling mass included) to ~tolerance",
+       NeedsResidualContract, RunEngineResidual},
+      {"engine.drift", AuditSeverity::kError,
+       "DeltaPageRank's hidden-movement ledger stayed under its "
+       "freeze_threshold * tolerance budget",
+       NeedsDriftLedger, RunEngineDrift},
+  };
+  return kRegistry;
+}
+
+AuditReport RunAudit(const AuditContext& ctx) {
+  AuditReport report;
+  for (const AuditValidator& v : AuditRegistry()) {
+    if (!v.applicable(ctx)) continue;
+    report.ran.emplace_back(v.name);
+    v.run(ctx, &report);
+  }
+  return report;
+}
+
+Result<AuditReport> RunAuditValidator(std::string_view name,
+                                      const AuditContext& ctx) {
+  const AuditValidator* v = FindValidator(name);
+  if (v == nullptr) {
+    return Status::NotFound("no audit validator named '" + std::string(name) +
+                            "'");
+  }
+  if (!v->applicable(ctx)) {
+    return Status::FailedPrecondition(
+        "audit context lacks the inputs validator '" + std::string(name) +
+        "' needs");
+  }
+  AuditReport report;
+  report.ran.emplace_back(v->name);
+  v->run(ctx, &report);
+  return report;
+}
+
+AuditReport AuditGraph(const CsrGraph& graph) {
+  AuditContext ctx;
+  ctx.graph = &graph;
+  return RunAudit(ctx);
+}
+
+AuditReport AuditDelta(const CsrGraph& base, const GraphDelta& delta,
+                       const CsrGraph* applied,
+                       const std::vector<uint8_t>* dirty_frontier) {
+  AuditContext ctx;
+  ctx.base = &base;
+  ctx.delta = &delta;
+  ctx.graph = applied;
+  ctx.dirty_frontier = dirty_frontier;
+  return RunAudit(ctx);
+}
+
+AuditReport AuditRankVector(const std::vector<double>& scores,
+                            double expected_mass, double mass_tolerance) {
+  AuditContext ctx;
+  ctx.scores = &scores;
+  ctx.expected_mass = expected_mass;
+  ctx.mass_tolerance = mass_tolerance;
+  return RunAudit(ctx);
+}
+
+}  // namespace qrank

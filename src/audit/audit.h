@@ -1,0 +1,144 @@
+// Invariant-audit subsystem: a registry of named validators over the
+// artifacts the incremental snapshot pipeline produces and consumes.
+//
+// PR 2 made the hot path fast but fragile-by-construction: in-place CSR
+// patching, cached-transpose sharing, and a drift-budget DeltaPageRank
+// whose exactness contract rests on structural invariants holding at
+// every step. The validators here make those invariants explicit,
+// checkable and *named*, in four families:
+//
+//   graph.*   CSR well-formedness: monotone offsets, in-bounds sorted
+//             adjacency, edge/node-count consistency, and agreement
+//             between the cached transpose and the forward arrays.
+//   delta.*   GraphDelta applicability: sorted duplicate-free edge
+//             lists, no ghost removals or already-present additions,
+//             dropped-node edges fully listed, and a dirty frontier
+//             that covers every touched row.
+//   rank.*    Rank-vector invariants: finite non-negative entries, L1
+//             mass within tolerance of the declared scale.
+//   engine.*  Engine-contract checks: a declared-converged vector
+//             really is a fixed point to tolerance under the full
+//             PageRank operator (dangling mass included), and the
+//             DeltaPageRank drift ledger stayed under its budget.
+//
+// Three consumers: the compile-time QRANK_AUDIT_LEVEL hooks inside
+// src/graph/ and src/rank/ (cheap Status-based self-checks; see
+// CsrGraph::CheckConsistency), the `qrank_audit` CLI (tools/), and the
+// mutation tests in tests/audit/ that prove each validator catches the
+// corruption it is named for.
+
+#ifndef QRANK_AUDIT_AUDIT_H_
+#define QRANK_AUDIT_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+#include "graph/graph_delta.h"
+
+namespace qrank {
+
+enum class AuditSeverity { kWarning = 0, kError = 1 };
+
+/// Stable name ("warning" / "error") for machine-readable output.
+const char* AuditSeverityName(AuditSeverity severity);
+
+/// One violated (or suspicious) invariant.
+struct AuditIssue {
+  std::string validator;  // registry name, e.g. "graph.offsets"
+  AuditSeverity severity = AuditSeverity::kError;
+  std::string detail;
+};
+
+/// Outcome of running one or more validators.
+struct AuditReport {
+  /// Names of the validators that executed (pass or fail).
+  std::vector<std::string> ran;
+  std::vector<AuditIssue> issues;
+
+  /// True when no kError issue was recorded (warnings do not fail).
+  bool ok() const;
+  /// True when `validator` recorded at least one issue of any severity.
+  bool Failed(std::string_view validator) const;
+  /// Distinct validators with >= 1 issue, in first-seen order.
+  std::vector<std::string> FailedValidators() const;
+
+  void Merge(AuditReport other);
+  /// Human-readable multi-line summary.
+  std::string ToString() const;
+};
+
+/// Everything a validator may inspect. All pointers are optional: a
+/// validator runs only when the fields it needs are present (see
+/// AuditValidator::applicable). Callers fill in what they have.
+struct AuditContext {
+  /// The graph under audit (for delta checks: the *new* graph the delta
+  /// produced; for rank/engine checks: the graph the scores rank).
+  const CsrGraph* graph = nullptr;
+
+  /// Delta checks: the graph the delta applies to, and the delta.
+  const CsrGraph* base = nullptr;
+  const GraphDelta* delta = nullptr;
+  /// Claimed dirty frontier over `graph` (size graph->num_nodes()).
+  const std::vector<uint8_t>* dirty_frontier = nullptr;
+
+  /// Rank-vector checks.
+  const std::vector<double>* scores = nullptr;
+  double expected_mass = 1.0;
+  double mass_tolerance = 1e-6;
+
+  /// Engine-contract checks (uniform teleport assumed). `tolerance` is
+  /// the engine's declared stopping tolerance; <= 0 disables
+  /// engine.residual.
+  double damping = 0.85;
+  double tolerance = 0.0;
+  bool declared_converged = false;
+
+  /// DeltaPageRank drift ledger (DeltaPageRankResult::drift_ledger_total
+  /// / drift_budget). A negative ledger disables engine.drift.
+  double drift_ledger_total = -1.0;
+  double drift_budget = 0.0;
+};
+
+/// A named validator. `applicable` inspects only which context fields
+/// are present; `run` appends to the report (recording nothing = pass).
+struct AuditValidator {
+  const char* name;  // "<family>.<check>"
+  AuditSeverity severity;
+  const char* description;
+  bool (*applicable)(const AuditContext&);
+  void (*run)(const AuditContext&, AuditReport*);
+};
+
+/// All registered validators, registration order (stable across runs).
+const std::vector<AuditValidator>& AuditRegistry();
+
+/// Runs every validator applicable to `ctx`.
+AuditReport RunAudit(const AuditContext& ctx);
+
+/// Runs one validator by registry name. NotFound for an unknown name,
+/// FailedPrecondition when `ctx` lacks the fields it needs.
+Result<AuditReport> RunAuditValidator(std::string_view name,
+                                      const AuditContext& ctx);
+
+/// Convenience: the graph.* family (structure + transpose agreement).
+AuditReport AuditGraph(const CsrGraph& graph);
+
+/// Convenience: the delta.* family against a base graph (frontier check
+/// included when `dirty_frontier` is non-null; `applied` is the graph
+/// the delta produced, needed to expand out-degree-change wakeups).
+AuditReport AuditDelta(const CsrGraph& base, const GraphDelta& delta,
+                       const CsrGraph* applied = nullptr,
+                       const std::vector<uint8_t>* dirty_frontier = nullptr);
+
+/// Convenience: the rank.* family on a bare score vector.
+AuditReport AuditRankVector(const std::vector<double>& scores,
+                            double expected_mass,
+                            double mass_tolerance = 1e-6);
+
+}  // namespace qrank
+
+#endif  // QRANK_AUDIT_AUDIT_H_

@@ -52,5 +52,19 @@ LogMessage::~LogMessage() {
   std::cerr << stream_.str();
 }
 
+CheckFailure::CheckFailure(const char* condition, const char* file,
+                           int line) {
+  stream_ << "QRANK_CHECK failed at " << file << ":" << line << ": "
+          << condition;
+}
+
+CheckFailure::~CheckFailure() {
+  // Streamed context (if any) was appended after the banner; flush the
+  // whole line atomically before aborting.
+  stream_ << "\n";
+  std::cerr << stream_.str() << std::flush;
+  std::abort();
+}
+
 }  // namespace internal
 }  // namespace qrank

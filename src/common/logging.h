@@ -4,6 +4,18 @@
 // degenerate inputs); it never replaces Status-based error returns.
 // QRANK_CHECK aborts on violated internal invariants (programmer error),
 // never on bad user input.
+//
+// Check-macro family (all accept streamed context after the condition,
+// e.g. `QRANK_CHECK(i < n) << "row " << i;`):
+//  * QRANK_CHECK   — always on, also in Release.
+//  * QRANK_DCHECK  — on when NDEBUG is unset; in Release the condition
+//    and streamed operands compile out (short-circuited, so operands are
+//    still odr-used: no unused-variable warnings, no side effects).
+//  * QRANK_AUDIT1 / QRANK_AUDIT2 — on when the build sets
+//    QRANK_AUDIT_LEVEL (see CMake option of the same name) at or above
+//    1 resp. 2; off like Release QRANK_DCHECK otherwise. Level 1 guards
+//    cheap pre/postconditions on mutation and engine entry points;
+//    level 2 guards full structural re-validation (see src/audit/).
 
 #ifndef QRANK_COMMON_LOGGING_H_
 #define QRANK_COMMON_LOGGING_H_
@@ -46,6 +58,27 @@ class NullStream {
 
 bool LogLevelEnabled(LogLevel level);
 
+// Collects the streamed context of a failed check and aborts with the
+// file/line/condition banner when destroyed (end of the full check
+// expression).
+class CheckFailure {
+ public:
+  CheckFailure(const char* condition, const char* file, int line);
+  [[noreturn]] ~CheckFailure();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Gives the check macros expression (not statement) form: `&` binds
+// looser than `<<`, so the streamed message lands in the CheckFailure
+// before the whole thing collapses to void — no dangling-else hazard.
+struct Voidifier {
+  void operator&(std::ostream&) const {}
+};
+
 }  // namespace internal
 
 #define QRANK_LOG_AT(level)                                     \
@@ -59,16 +92,47 @@ bool LogLevelEnabled(LogLevel level);
 #define QRANK_LOG_ERROR QRANK_LOG_AT(::qrank::LogLevel::kError)
 
 // Invariant check: always on (also in release), aborts with location.
-#define QRANK_CHECK(cond)                                                  \
-  do {                                                                     \
-    if (!(cond)) {                                                         \
-      std::cerr << "QRANK_CHECK failed at " << __FILE__ << ":" << __LINE__ \
-                << ": " #cond << std::endl;                                \
-      std::abort();                                                        \
-    }                                                                      \
-  } while (0)
+// Accepts streamed context: QRANK_CHECK(cond) << "detail " << value;
+#define QRANK_CHECK(cond)                                         \
+  (cond) ? (void)0                                                \
+         : ::qrank::internal::Voidifier() &                       \
+               ::qrank::internal::CheckFailure(#cond, __FILE__,   \
+                                               __LINE__)          \
+                   .stream()
 
-#define QRANK_DCHECK(cond) assert(cond)
+// Internal: a check that is compiled out. `true || (cond)` constant-folds
+// to a taken branch, so neither the condition nor any streamed operand is
+// evaluated, while everything stays odr-used (no -Wunused warnings for
+// variables that only appear in disabled checks).
+#define QRANK_CHECK_DISABLED_(cond) QRANK_CHECK(true || (cond))
+
+// Debug check: QRANK_CHECK when NDEBUG is unset, otherwise compiled out.
+#ifndef NDEBUG
+#define QRANK_DCHECK(cond) QRANK_CHECK(cond)
+#else
+#define QRANK_DCHECK(cond) QRANK_CHECK_DISABLED_(cond)
+#endif
+
+// Audit checks: enabled by -DQRANK_AUDIT_LEVEL=1|2 (CMake option of the
+// same name); level 0 (the default) compiles them out like Release
+// QRANK_DCHECK. Level 1 is for cheap O(1)/O(n) pre- and postconditions
+// on mutation and engine entry points; level 2 additionally turns on
+// full structural re-validation after each mutation (O(E) or worse).
+#ifndef QRANK_AUDIT_LEVEL
+#define QRANK_AUDIT_LEVEL 0
+#endif
+
+#if QRANK_AUDIT_LEVEL >= 1
+#define QRANK_AUDIT1(cond) QRANK_CHECK(cond)
+#else
+#define QRANK_AUDIT1(cond) QRANK_CHECK_DISABLED_(cond)
+#endif
+
+#if QRANK_AUDIT_LEVEL >= 2
+#define QRANK_AUDIT2(cond) QRANK_CHECK(cond)
+#else
+#define QRANK_AUDIT2(cond) QRANK_CHECK_DISABLED_(cond)
+#endif
 
 }  // namespace qrank
 

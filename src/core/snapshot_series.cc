@@ -3,11 +3,22 @@
 #include <algorithm>
 #include <utility>
 
+#include "audit/audit.h"
+#include "common/logging.h"
 #include "graph/graph_delta.h"
 #include "rank/delta_pagerank.h"
 #include "rank/rank_vector.h"
 
 namespace qrank {
+
+namespace {
+
+// Compile-time audit level (see common/logging.h and src/audit/): level 2
+// audits every delta the incremental pipeline derives — the exact
+// artifacts PR 2's fast path trusts blindly — before ranking on them.
+constexpr int kAuditLevel = QRANK_AUDIT_LEVEL;
+
+}  // namespace
 
 Result<CsrGraph> InducePrefixSubgraph(const CsrGraph& g, NodeId num_nodes) {
   if (num_nodes > g.num_nodes()) {
@@ -93,8 +104,23 @@ Status SnapshotSeries::ComputePageRanks(const SeriesComputeOptions& options) {
       QRANK_ASSIGN_OR_RETURN(induced,
                              common_graphs_.back().ApplyDelta(delta));
       dirty = delta.DirtyFrontier(induced);
+      if constexpr (kAuditLevel >= 2) {
+        // The delta and frontier just derived are what DeltaPageRank
+        // trusts for its exactness contract; re-validate both against
+        // the base and patched graphs before ranking on them.
+        const AuditReport audit =
+            AuditDelta(common_graphs_.back(), delta, &induced, &dirty);
+        QRANK_CHECK(audit.ok())
+            << "incremental step " << i
+            << " derived an inconsistent delta: " << audit.ToString();
+      }
     } else {
       QRANK_ASSIGN_OR_RETURN(induced, InducePrefixSubgraph(graphs_[i], m));
+      if constexpr (kAuditLevel >= 2) {
+        const Status audit = induced.CheckConsistency();
+        QRANK_CHECK(audit.ok()) << "induced subgraph for snapshot " << i
+                                << " is inconsistent: " << audit.ToString();
+      }
     }
 
     PageRankOptions per_snapshot = options.pagerank;

@@ -14,6 +14,10 @@ namespace {
 // edge count every CSR routine stays on the plain serial path.
 constexpr size_t kParallelEdgeThreshold = 1 << 16;
 
+// Compile-time audit level (see common/logging.h and src/audit/):
+// level 2 re-validates the full structure after every mutation.
+constexpr int kAuditLevel = QRANK_AUDIT_LEVEL;
+
 }  // namespace
 
 Result<CsrGraph> CsrGraph::FromEdgeList(const EdgeList& edges) {
@@ -56,6 +60,11 @@ Result<CsrGraph> CsrGraph::FromEdgeList(const EdgeList& edges) {
   for (size_t i = 1; i < g.offsets_.size(); ++i) {
     g.offsets_[i] += g.offsets_[i - 1];
   }
+  if constexpr (kAuditLevel >= 2) {
+    const Status audit = g.CheckConsistency();
+    QRANK_CHECK(audit.ok())
+        << "FromEdgeList built an inconsistent CSR: " << audit.ToString();
+  }
   return g;
 }
 
@@ -80,6 +89,14 @@ void CsrGraph::EnsureTranspose() const {
   // winner finishes and then observe the complete cache.
   std::call_once(state.once, [&] {
     BuildTransposeCache(&state.cache);
+    if constexpr (kAuditLevel >= 2) {
+      // Validate before publishing; the helper reads the cache directly
+      // (not through InNeighbors), so no call_once re-entry.
+      const Status audit = CheckTransposeAgreement(state.cache);
+      QRANK_CHECK(audit.ok())
+          << "transpose build produced a cache that disagrees with the "
+          << "forward arrays: " << audit.ToString();
+    }
     state.ready.store(true, std::memory_order_release);
   });
 }
@@ -178,6 +195,91 @@ bool CsrGraph::HasEdge(NodeId u, NodeId v) const {
   if (u >= num_nodes_) return false;
   auto nbrs = OutNeighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+Status CsrGraph::CheckConsistency(bool check_transpose) const {
+  const size_t n = num_nodes_;
+  if (n == 0) {
+    if (!dst_.empty()) {
+      return Status::InvalidArgument("zero nodes but nonzero edge array");
+    }
+    return Status::OK();
+  }
+  if (offsets_.size() != n + 1) {
+    return Status::InvalidArgument(
+        "offset array size " + std::to_string(offsets_.size()) +
+        " != num_nodes + 1 = " + std::to_string(n + 1));
+  }
+  if (offsets_[0] != 0) {
+    return Status::InvalidArgument("offsets[0] != 0");
+  }
+  for (size_t u = 0; u < n; ++u) {
+    if (offsets_[u + 1] < offsets_[u]) {
+      return Status::InvalidArgument("offsets not monotone at node " +
+                                     std::to_string(u));
+    }
+  }
+  if (offsets_[n] != dst_.size()) {
+    return Status::InvalidArgument("offsets total != num_edges");
+  }
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
+      if (dst_[i] >= n) {
+        return Status::InvalidArgument("edge target out of range at node " +
+                                       std::to_string(u));
+      }
+      if (dst_[i] == u) {
+        return Status::InvalidArgument("self-loop at node " +
+                                       std::to_string(u));
+      }
+      if (i > offsets_[u] && dst_[i] <= dst_[i - 1]) {
+        return Status::InvalidArgument("adjacency not strictly ascending "
+                                       "at node " +
+                                       std::to_string(u));
+      }
+    }
+  }
+  if (check_transpose && has_transpose()) {
+    return CheckTransposeAgreement(transpose_->cache);
+  }
+  return Status::OK();
+}
+
+Status CsrGraph::CheckTransposeAgreement(const TransposeCache& cache) const {
+  const size_t n = num_nodes_;
+  if (cache.offsets.size() != n + 1 || cache.offsets[0] != 0 ||
+      cache.offsets[n] != cache.src.size() ||
+      cache.src.size() != dst_.size()) {
+    return Status::InvalidArgument("transpose cache shape mismatch");
+  }
+  std::vector<uint32_t> want_indeg = ComputeInDegrees();
+  for (size_t v = 0; v < n; ++v) {
+    if (cache.offsets[v + 1] < cache.offsets[v]) {
+      return Status::InvalidArgument("transpose offsets not monotone");
+    }
+    const size_t lo = cache.offsets[v];
+    const size_t hi = cache.offsets[v + 1];
+    if (hi - lo != want_indeg[v]) {
+      return Status::InvalidArgument(
+          "transpose in-degree disagrees with forward arrays at node " +
+          std::to_string(v));
+    }
+    for (size_t i = lo; i < hi; ++i) {
+      const NodeId u = cache.src[i];
+      if (u >= n || !HasEdge(u, static_cast<NodeId>(v))) {
+        return Status::InvalidArgument(
+            "stale transpose: cached in-edge absent from forward graph "
+            "at node " +
+            std::to_string(v));
+      }
+      if (i > lo && u <= cache.src[i - 1]) {
+        return Status::InvalidArgument(
+            "transpose in-adjacency not strictly ascending at node " +
+            std::to_string(v));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 CsrGraph CsrGraph::Transpose() const {

@@ -95,7 +95,23 @@ class CsrGraph {
   const std::vector<size_t>& offsets() const { return offsets_; }
   const std::vector<NodeId>& targets() const { return dst_; }
 
+  /// Structural self-check, O(E): monotone offsets with leading zero and
+  /// total num_edges, in-range strictly-ascending self-loop-free
+  /// adjacency; when `check_transpose` and the cached transpose is
+  /// built, also verifies the cache agrees with the forward arrays
+  /// edge-for-edge. Returns the first violation as InvalidArgument.
+  ///
+  /// This is the Status-form invariant core that the compile-time
+  /// QRANK_AUDIT_LEVEL hooks run after each mutation; the audit library
+  /// (src/audit/) layers named per-validator reports on top of the same
+  /// rules for the CLI and the mutation tests.
+  Status CheckConsistency(bool check_transpose = true) const;
+
  private:
+  // Test-only backdoor (tests/audit/) used to seed targeted corruptions
+  // the mutation tests prove the validators catch. Never used by
+  // library code.
+  friend struct CsrGraphTestAccess;
   void EnsureTranspose() const;
 
   NodeId num_nodes_ = 0;
@@ -107,6 +123,9 @@ class CsrGraph {
     std::vector<NodeId> src;
   };
   void BuildTransposeCache(TransposeCache* cache) const;
+  // Transpose half of CheckConsistency, callable on a not-yet-published
+  // cache (the audit-level-2 hook inside the lazy build).
+  Status CheckTransposeAgreement(const TransposeCache& cache) const;
 
   // Lazily built transpose, shared between copies so copies stay cheap
   // and a copy made after (or during) the build reuses the cache. `once`

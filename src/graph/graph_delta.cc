@@ -30,6 +30,11 @@ bool ByDst(const Edge& a, const Edge& b) {
   return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
 }
 
+// Compile-time audit level (see common/logging.h): 1 adds cheap shape
+// postconditions to ApplyDelta, 2 re-validates the whole structure
+// (including a patched transpose) before the result escapes.
+constexpr int kAuditLevel = QRANK_AUDIT_LEVEL;
+
 }  // namespace
 
 GraphDelta GraphDelta::Between(const CsrGraph& from, const CsrGraph& to) {
@@ -233,6 +238,17 @@ Result<CsrGraph> CsrGraph::ApplyDelta(const GraphDelta& delta) const {
     QRANK_DCHECK(nt.src.size() == out.dst_.size());
     state->ready.store(true, std::memory_order_release);
     out.transpose_ = std::move(state);
+  }
+  QRANK_AUDIT1(out.offsets_.front() == 0 &&
+               out.offsets_.back() == out.dst_.size())
+      << "ApplyDelta produced an inconsistent offset array";
+  QRANK_AUDIT1(out.dst_.size() + delta.removed.size() ==
+               dst_.size() + delta.added.size())
+      << "ApplyDelta edge count does not match base + delta";
+  if constexpr (kAuditLevel >= 2) {
+    const Status audit = out.CheckConsistency();
+    QRANK_CHECK(audit.ok())
+        << "ApplyDelta produced an inconsistent CSR: " << audit.ToString();
   }
   return out;
 }

@@ -35,6 +35,22 @@ bool ReadPod(std::istream& in, T* v) {
   return static_cast<bool>(in);
 }
 
+// Strict decimal parse: digits only, no sign, no overflow. istream's
+// operator>> into an unsigned type silently wraps negative input, so ids
+// are tokenized and validated by hand instead.
+bool ParseU64(const std::string& token, uint64_t* out) {
+  if (token.empty()) return false;
+  uint64_t v = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 Status WriteEdgeListText(const EdgeList& edges, const std::string& path) {
@@ -64,9 +80,22 @@ Result<EdgeList> ReadEdgeListText(const std::string& path) {
     if (start == std::string::npos) continue;
     if (line[start] == '#') continue;
     std::istringstream ls(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (ls >> token) tokens.push_back(token);
+    // Reject negative ids explicitly: extracting into an unsigned type
+    // would silently wrap them into (usually enormous) valid-looking
+    // values, and a tiny graph could even alias a real node.
+    for (const std::string& t : tokens) {
+      if (t[0] == '-') {
+        return Status::Corruption("negative id at line " +
+                                  std::to_string(line_no));
+      }
+    }
     if (!have_header) {
       uint64_t n = 0;
-      if (!(ls >> n) || n > static_cast<uint64_t>(kInvalidNode)) {
+      if (tokens.size() != 1 || !ParseU64(tokens[0], &n) ||
+          n > static_cast<uint64_t>(kInvalidNode)) {
         return Status::Corruption("bad node count at line " +
                                   std::to_string(line_no));
       }
@@ -75,8 +104,16 @@ Result<EdgeList> ReadEdgeListText(const std::string& path) {
       have_header = true;
       continue;
     }
+    if (tokens.size() < 2) {
+      return Status::Corruption("truncated edge at line " +
+                                std::to_string(line_no));
+    }
+    if (tokens.size() > 2) {
+      return Status::Corruption("trailing garbage at line " +
+                                std::to_string(line_no));
+    }
     uint64_t s = 0, d = 0;
-    if (!(ls >> s >> d)) {
+    if (!ParseU64(tokens[0], &s) || !ParseU64(tokens[1], &d)) {
       return Status::Corruption("malformed edge at line " +
                                 std::to_string(line_no));
     }
@@ -133,6 +170,25 @@ Result<CsrGraph> ReadGraphBinary(const std::string& path) {
   if (!ReadPod(f, &num_nodes) || !ReadPod(f, &num_edges)) {
     return Status::Corruption("truncated header in " + path);
   }
+  // Before allocating anything sized by the (untrusted) header, check
+  // the file actually holds that many bytes: a corrupt edge count must
+  // fail with Corruption, not OOM.
+  {
+    const std::istream::pos_type here = f.tellg();
+    f.seekg(0, std::ios::end);
+    const std::istream::pos_type end = f.tellg();
+    f.seekg(here);
+    if (!f || here < 0 || end < here) {
+      return Status::IOError("cannot size " + path);
+    }
+    const uint64_t remaining = static_cast<uint64_t>(end - here);
+    const uint64_t need = (static_cast<uint64_t>(num_nodes) + 1) * 8 +
+                          num_edges * 4 + 8;
+    if (num_edges > remaining / 4 || remaining < need) {
+      return Status::Corruption("header promises more data than " + path +
+                                " holds");
+    }
+  }
   // Re-serialize the payload while reading to verify the checksum.
   std::vector<uint8_t> payload;
   payload.reserve(12 + (static_cast<size_t>(num_nodes) + 1) * 8 +
@@ -158,7 +214,10 @@ Result<CsrGraph> ReadGraphBinary(const std::string& path) {
       return Status::Corruption("inconsistent offsets");
     }
     for (uint32_t u = 0; u < num_nodes; ++u) {
-      if (offsets[u + 1] < offsets[u]) {
+      // The upper bound must hold before offsets[u + 1] is used as a
+      // targets[] index: a corrupt middle offset can overshoot num_edges
+      // while the final offset still reconciles.
+      if (offsets[u + 1] < offsets[u] || offsets[u + 1] > num_edges) {
         return Status::Corruption("non-monotone offsets");
       }
       for (uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {

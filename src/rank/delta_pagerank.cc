@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cmath>
 
+#include "audit/audit.h"
+#include "common/logging.h"
 #include "common/parallel_for.h"
 #include "rank/internal.h"
 #include "rank/rank_vector.h"
@@ -44,6 +46,7 @@ Result<DeltaPageRankResult> ComputeDeltaPageRank(
   }
 
   DeltaPageRankResult result;
+  result.drift_budget = options.freeze_threshold * options.base.tolerance;
   if (n == 0) {
     result.base.converged = true;
     return result;
@@ -262,11 +265,50 @@ Result<DeltaPageRankResult> ComputeDeltaPageRank(
   for (NodeId i = 0; i < n; ++i) {
     if (frozen[i]) ++result.frozen_at_end;
   }
+  // Expose the drift ledger: every page's account is strictly under its
+  // budget/n share (crossing it resets the account to zero and wakes the
+  // out-neighbors), so the total must come in under the aggregate
+  // budget. This is the invariant the exactness contract rests on.
+  for (NodeId i = 0; i < n; ++i) result.drift_ledger_total += slack[i];
+  QRANK_AUDIT1(result.drift_ledger_total <=
+               result.drift_budget * (1.0 + 1e-9))
+      << "drift ledger " << result.drift_ledger_total
+      << " overran its budget " << result.drift_budget;
   // Frozen rows break Jacobi's automatic mass conservation; restore the
   // probability scale before applying the requested convention.
   NormalizeSum(&x, 1.0);
   result.base.scores = std::move(x);
   QRANK_RETURN_NOT_OK(FinishResult(graph, options.base, &result.base));
+  if constexpr (QRANK_AUDIT_LEVEL >= 2) {
+    // Declared convergence came from a full sweep, so the scores are one
+    // exact Jacobi application away from residual < tolerance; the final
+    // renormalization can shift them by at most the hidden drift, which
+    // the inflated tolerance below accounts for.
+    if (result.base.converged && options.base.personalization.empty()) {
+      AuditContext ctx;
+      ctx.graph = &graph;
+      ctx.scores = &result.base.scores;
+      ctx.damping = options.base.damping;
+      ctx.tolerance =
+          options.base.tolerance * (1.0 + options.freeze_threshold);
+      ctx.declared_converged = true;
+      ctx.drift_ledger_total = result.drift_ledger_total;
+      ctx.drift_budget = result.drift_budget;
+      const Result<AuditReport> audit =
+          RunAuditValidator("engine.residual", ctx);
+      QRANK_CHECK(audit.ok() && audit.value().ok())
+          << "declared-converged delta scores fail the fixed-point "
+          << "re-check: "
+          << (audit.ok() ? audit.value().ToString()
+                         : audit.status().ToString());
+      const Result<AuditReport> drift = RunAuditValidator("engine.drift",
+                                                          ctx);
+      QRANK_CHECK(drift.ok() && drift.value().ok())
+          << "drift ledger audit failed: "
+          << (drift.ok() ? drift.value().ToString()
+                         : drift.status().ToString());
+    }
+  }
   return result;
 }
 

@@ -72,6 +72,14 @@ struct DeltaPageRankResult {
   uint64_t node_updates = 0;
   /// Pages frozen when iteration stopped.
   uint64_t frozen_at_end = 0;
+  /// Movement banked but not yet announced downstream when iteration
+  /// stopped (the sum of all per-page drift accounts). The freeze
+  /// invariant keeps this strictly under `drift_budget`; the
+  /// engine.drift audit validator re-checks exactly that.
+  double drift_ledger_total = 0.0;
+  /// freeze_threshold * base.tolerance — the aggregate drift the engine
+  /// was allowed to hide.
+  double drift_budget = 0.0;
 };
 
 /// `dirty_frontier` must be empty (= every page dirty; a cold start) or

@@ -4,11 +4,23 @@
 #include <cmath>
 #include <numeric>
 
+#include "audit/audit.h"
+#include "common/logging.h"
 #include "common/parallel_for.h"
 #include "rank/internal.h"
 #include "rank/rank_vector.h"
 
 namespace qrank {
+
+namespace {
+
+// Compile-time audit level (see common/logging.h and src/audit/): 1 runs
+// the rank.* vector invariants on every finished result, 2 additionally
+// re-checks the engine.residual fixed-point contract on declared
+// convergence.
+constexpr int kAuditLevel = QRANK_AUDIT_LEVEL;
+
+}  // namespace
 
 namespace rank_internal {
 
@@ -98,6 +110,19 @@ Status FinishResult(const CsrGraph& graph, const PageRankOptions& options,
         std::to_string(result->residual) + ")");
   }
   ApplyScale(graph, options, &result->scores);
+  if constexpr (kAuditLevel >= 1) {
+    // Every engine funnels through here: finite non-negative scores with
+    // the L1 mass the scale convention promises. Abort loudly — a bad
+    // vector escaping the rank layer poisons everything downstream.
+    if (graph.num_nodes() > 0) {
+      const double mass = options.scale == ScaleConvention::kTotalMassN
+                              ? static_cast<double>(graph.num_nodes())
+                              : 1.0;
+      const AuditReport audit = AuditRankVector(result->scores, mass);
+      QRANK_CHECK(audit.ok())
+          << "engine produced an invalid rank vector: " << audit.ToString();
+    }
+  }
   return Status::OK();
 }
 
@@ -188,6 +213,27 @@ Result<PageRankResult> ComputePageRank(const CsrGraph& graph,
 
   result.scores = std::move(x);
   QRANK_RETURN_NOT_OK(FinishResult(graph, options, &result));
+  if constexpr (kAuditLevel >= 2) {
+    // Jacobi's declared convergence means the last update moved less
+    // than tolerance, so one more operator application moves at most
+    // damping * tolerance — comfortably inside the validator's bound.
+    // (The validator assumes uniform teleport; skip under
+    // personalization.)
+    if (result.converged && options.personalization.empty()) {
+      AuditContext ctx;
+      ctx.graph = &graph;
+      ctx.scores = &result.scores;
+      ctx.damping = options.damping;
+      ctx.tolerance = options.tolerance;
+      ctx.declared_converged = true;
+      const Result<AuditReport> audit = RunAuditValidator("engine.residual",
+                                                          ctx);
+      QRANK_CHECK(audit.ok() && audit.value().ok())
+          << "declared-converged scores fail the fixed-point re-check: "
+          << (audit.ok() ? audit.value().ToString()
+                         : audit.status().ToString());
+    }
+  }
   return result;
 }
 

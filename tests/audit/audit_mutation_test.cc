@@ -1,0 +1,209 @@
+// Mutation tests: seed one targeted corruption per test and require the
+// audit to flag it via exactly the intended validator — no misses, no
+// collateral reports. This is what makes the validator names trustworthy
+// diagnostics: when graph.transpose fires, it is a transpose problem.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "csr_graph_test_access.h"
+#include "graph/csr_graph.h"
+#include "graph/graph_delta.h"
+#include "gtest/gtest.h"
+
+namespace qrank {
+namespace {
+
+using Names = std::vector<std::string>;
+
+// Hub with three spokes: 0 -> {1, 2, 3}. The smallest graph whose rows
+// admit every corruption below without tripping a second validator.
+CsrGraph Star() {
+  Result<CsrGraph> g = CsrGraph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(GraphMutationTest, OffsetSkewBreaksMonotonicity) {
+  CsrGraph g = Star();
+  // offsets [0,3,3,3,3] -> [0,3,2,3,3]: node 1's range runs backwards.
+  // The clamped adjacency scan skips the inverted range, so only the
+  // offsets validator may report.
+  CsrGraphTestAccess::Offsets(g)[2] = 2;
+  const AuditReport report = AuditGraph(g);
+  EXPECT_EQ(report.FailedValidators(), Names{"graph.offsets"})
+      << report.ToString();
+}
+
+TEST(GraphMutationTest, EdgeCountMismatch) {
+  CsrGraph g = Star();
+  // An orphan target beyond offsets[n]: the totals no longer reconcile,
+  // but no row ever reads it.
+  CsrGraphTestAccess::Targets(g).push_back(1);
+  const AuditReport report = AuditGraph(g);
+  EXPECT_EQ(report.FailedValidators(), Names{"graph.offsets"})
+      << report.ToString();
+}
+
+TEST(GraphMutationTest, UnsortedAdjacency) {
+  CsrGraph g = Star();
+  std::swap(CsrGraphTestAccess::Targets(g)[0],
+            CsrGraphTestAccess::Targets(g)[1]);
+  const AuditReport report = AuditGraph(g);
+  EXPECT_EQ(report.FailedValidators(), Names{"graph.adjacency"})
+      << report.ToString();
+}
+
+TEST(GraphMutationTest, DuplicateAdjacencyEntry) {
+  CsrGraph g = Star();
+  CsrGraphTestAccess::Targets(g)[1] = 1;  // row 0 becomes {1, 1, 3}
+  const AuditReport report = AuditGraph(g);
+  EXPECT_EQ(report.FailedValidators(), Names{"graph.adjacency"})
+      << report.ToString();
+}
+
+TEST(GraphMutationTest, OutOfRangeTarget) {
+  CsrGraph g = Star();
+  CsrGraphTestAccess::Targets(g)[2] = 9;
+  const AuditReport report = AuditGraph(g);
+  EXPECT_EQ(report.FailedValidators(), Names{"graph.adjacency"})
+      << report.ToString();
+}
+
+TEST(GraphMutationTest, SelfLoop) {
+  CsrGraph g = Star();
+  CsrGraphTestAccess::Targets(g)[0] = 0;  // row 0 becomes {0, 2, 3}
+  const AuditReport report = AuditGraph(g);
+  EXPECT_EQ(report.FailedValidators(), Names{"graph.adjacency"})
+      << report.ToString();
+}
+
+TEST(GraphMutationTest, StaleTransposeEntry) {
+  Result<CsrGraph> built =
+      CsrGraph::FromEdges(4, {{0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  ASSERT_TRUE(built.ok());
+  CsrGraph g = std::move(built).value();
+  g.BuildTranspose();
+  // in(2) = {0, 1}; rewrite the cached 1 -> 2 entry to claim 3 -> 2,
+  // an edge the forward graph never had. Row stays ascending and the
+  // in-degree count stays right, so only the cross-check can notice.
+  const size_t row2 = CsrGraphTestAccess::TransposeOffsets(g)[2];
+  CsrGraphTestAccess::TransposeSources(g)[row2 + 1] = 3;
+  const AuditReport report = AuditGraph(g);
+  EXPECT_EQ(report.FailedValidators(), Names{"graph.transpose"})
+      << report.ToString();
+}
+
+TEST(DeltaMutationTest, DuplicateAddedEdge) {
+  const CsrGraph base = Star();
+  GraphDelta delta;
+  delta.old_num_nodes = 4;
+  delta.new_num_nodes = 4;
+  delta.added = {{1, 2}, {1, 2}};
+  const AuditReport report = AuditDelta(base, delta);
+  EXPECT_EQ(report.FailedValidators(), Names{"delta.shape"})
+      << report.ToString();
+}
+
+TEST(DeltaMutationTest, GhostRemoval) {
+  const CsrGraph base = Star();
+  GraphDelta delta;
+  delta.old_num_nodes = 4;
+  delta.new_num_nodes = 4;
+  delta.removed = {{1, 3}};  // never existed
+  const AuditReport report = AuditDelta(base, delta);
+  EXPECT_EQ(report.FailedValidators(), Names{"delta.apply"})
+      << report.ToString();
+}
+
+TEST(DeltaMutationTest, AddedEdgeAlreadyPresent) {
+  const CsrGraph base = Star();
+  GraphDelta delta;
+  delta.old_num_nodes = 4;
+  delta.new_num_nodes = 4;
+  delta.added = {{0, 2}};  // already a base edge
+  const AuditReport report = AuditDelta(base, delta);
+  EXPECT_EQ(report.FailedValidators(), Names{"delta.apply"})
+      << report.ToString();
+}
+
+TEST(DeltaMutationTest, ShrinkingDeltaOmitsDroppedNodeEdge) {
+  const CsrGraph base = Star();
+  GraphDelta delta;
+  delta.old_num_nodes = 4;
+  delta.new_num_nodes = 3;  // drops node 3, but 0 -> 3 is not removed
+  const AuditReport report = AuditDelta(base, delta);
+  EXPECT_EQ(report.FailedValidators(), Names{"delta.apply"})
+      << report.ToString();
+}
+
+TEST(DeltaMutationTest, FrontierHole) {
+  Result<CsrGraph> base_r = CsrGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  Result<CsrGraph> next_r =
+      CsrGraph::FromEdges(3, {{0, 1}, {1, 0}, {1, 2}, {2, 0}});
+  ASSERT_TRUE(base_r.ok());
+  ASSERT_TRUE(next_r.ok());
+  const GraphDelta delta = GraphDelta::Between(base_r.value(), next_r.value());
+  std::vector<uint8_t> dirty = delta.DirtyFrontier(next_r.value());
+  // Node 1 gained an out-link, rescaling the share every out-neighbor
+  // pulls; dropping out-neighbor 2 from the frontier would leave its row
+  // frozen on stale inputs.
+  ASSERT_EQ(dirty[2], 1);
+  dirty[2] = 0;
+  const AuditReport report =
+      AuditDelta(base_r.value(), delta, &next_r.value(), &dirty);
+  EXPECT_EQ(report.FailedValidators(), Names{"delta.frontier"})
+      << report.ToString();
+}
+
+TEST(RankMutationTest, NonFiniteScore) {
+  const std::vector<double> scores = {0.5, std::nan(""), 0.25};
+  const AuditReport report = AuditRankVector(scores, 1.0);
+  EXPECT_EQ(report.FailedValidators(), Names{"rank.finite"})
+      << report.ToString();
+}
+
+TEST(RankMutationTest, NegativeScoreWithHonestMass) {
+  // Mass still sums to exactly 1, so only the sign check may fire.
+  const std::vector<double> scores = {-0.25, 0.5, 0.75};
+  const AuditReport report = AuditRankVector(scores, 1.0);
+  EXPECT_EQ(report.FailedValidators(), Names{"rank.finite"})
+      << report.ToString();
+}
+
+TEST(RankMutationTest, MassOffByTenPercent) {
+  const std::vector<double> scores = {0.4, 0.4, 0.3};
+  const AuditReport report = AuditRankVector(scores, 1.0);
+  EXPECT_EQ(report.FailedValidators(), Names{"rank.mass"})
+      << report.ToString();
+}
+
+TEST(EngineMutationTest, ConvergenceLie) {
+  // The star's fixed point concentrates on the hub; claiming the uniform
+  // vector converged at 1e-8 must fail the full-sweep re-check.
+  const CsrGraph g = Star();
+  const std::vector<double> scores(4, 0.25);
+  AuditContext ctx;
+  ctx.graph = &g;
+  ctx.scores = &scores;
+  ctx.tolerance = 1e-8;
+  ctx.declared_converged = true;
+  const AuditReport report = RunAudit(ctx);
+  EXPECT_EQ(report.FailedValidators(), Names{"engine.residual"})
+      << report.ToString();
+}
+
+TEST(EngineMutationTest, DriftBudgetOverdraw) {
+  AuditContext ctx;
+  ctx.drift_ledger_total = 1e-3;
+  ctx.drift_budget = 1e-4;
+  Result<AuditReport> report = RunAuditValidator("engine.drift", ctx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().FailedValidators(), Names{"engine.drift"})
+      << report.value().ToString();
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,177 @@
+// True-negative coverage: everything the library legitimately produces
+// must pass the full audit. Every generator topology and every
+// SnapshotSeries compute mode is swept; a false positive here would make
+// the QRANK_AUDIT_LEVEL hooks abort healthy pipelines.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "common/rng.h"
+#include "core/snapshot_series.h"
+#include "graph/csr_graph.h"
+#include "graph/generators.h"
+#include "graph/graph_delta.h"
+#include "gtest/gtest.h"
+#include "rank/pagerank.h"
+
+namespace qrank {
+namespace {
+
+// Builds, forces the transpose (so graph.transpose executes), audits.
+void ExpectGraphAuditClean(const EdgeList& edges, const std::string& label) {
+  Result<CsrGraph> g = CsrGraph::FromEdgeList(edges);
+  ASSERT_TRUE(g.ok()) << label;
+  g.value().BuildTranspose();
+  const AuditReport report = AuditGraph(g.value());
+  EXPECT_TRUE(report.ok()) << label << ":\n" << report.ToString();
+  EXPECT_TRUE(report.issues.empty()) << label << ":\n" << report.ToString();
+}
+
+TEST(GeneratorAuditTest, ErdosRenyi) {
+  Rng rng(7);
+  Result<EdgeList> e = GenerateErdosRenyi(60, 0.1, &rng);
+  ASSERT_TRUE(e.ok());
+  ExpectGraphAuditClean(e.value(), "erdos-renyi");
+}
+
+TEST(GeneratorAuditTest, BarabasiAlbert) {
+  Rng rng(7);
+  Result<EdgeList> e = GenerateBarabasiAlbert(80, 3, &rng);
+  ASSERT_TRUE(e.ok());
+  ExpectGraphAuditClean(e.value(), "barabasi-albert");
+}
+
+TEST(GeneratorAuditTest, CopyModel) {
+  Rng rng(7);
+  Result<EdgeList> e = GenerateCopyModel(80, 3, 0.5, &rng);
+  ASSERT_TRUE(e.ok());
+  ExpectGraphAuditClean(e.value(), "copy-model");
+}
+
+TEST(GeneratorAuditTest, QualitySeeded) {
+  Rng rng(7);
+  Result<QualitySeededGraph> q = GenerateQualitySeeded(80, 3, 2.0, 5.0, 1.5,
+                                                       &rng);
+  ASSERT_TRUE(q.ok());
+  ExpectGraphAuditClean(q.value().edges, "quality-seeded");
+}
+
+TEST(GeneratorAuditTest, SiteClustered) {
+  Rng rng(7);
+  Result<EdgeList> e = GenerateSiteClustered(6, 12, 2, 3, &rng);
+  ASSERT_TRUE(e.ok());
+  ExpectGraphAuditClean(e.value(), "site-clustered");
+}
+
+TEST(GeneratorAuditTest, Ring) {
+  Result<EdgeList> e = GenerateRing(50, 2);
+  ASSERT_TRUE(e.ok());
+  ExpectGraphAuditClean(e.value(), "ring");
+}
+
+TEST(GeneratorAuditTest, Star) {
+  Result<EdgeList> e = GenerateStar(30);
+  ASSERT_TRUE(e.ok());
+  ExpectGraphAuditClean(e.value(), "star");
+}
+
+// Three growing site-clustered snapshots, the workload the incremental
+// pipeline is designed for.
+class SeriesAuditTest : public ::testing::TestWithParam<SeriesMode> {
+ protected:
+  static SnapshotSeries MakeSeries() {
+    SnapshotSeries series;
+    Rng rng(11);
+    NodeId sites = 5;
+    for (int snap = 0; snap < 3; ++snap) {
+      Result<EdgeList> e = GenerateSiteClustered(sites, 10, 2, 3, &rng);
+      EXPECT_TRUE(e.ok());
+      Result<CsrGraph> g = CsrGraph::FromEdgeList(e.value());
+      EXPECT_TRUE(g.ok());
+      EXPECT_TRUE(series.AddSnapshot(snap, std::move(g).value()).ok());
+      sites += 1;  // each crawl sees one more site
+    }
+    return series;
+  }
+};
+
+TEST_P(SeriesAuditTest, EveryModePassesTheFullAudit) {
+  SnapshotSeries series = MakeSeries();
+  SeriesComputeOptions options;
+  options.mode = GetParam();
+  options.pagerank.tolerance = 1e-9;
+  options.pagerank.max_iterations = 500;
+  options.pagerank.require_convergence = true;
+  ASSERT_TRUE(series.ComputePageRanks(options).ok());
+
+  const NodeId m = series.CommonNodeCount();
+  for (size_t i = 0; i < series.num_snapshots(); ++i) {
+    CsrGraph graph = series.common_graph(i);
+    graph.BuildTranspose();
+    const AuditReport graph_report = AuditGraph(graph);
+    EXPECT_TRUE(graph_report.ok()) << "snapshot " << i << ":\n"
+                                   << graph_report.ToString();
+
+    const AuditReport rank_report =
+        AuditRankVector(series.pagerank(i), 1.0);
+    EXPECT_TRUE(rank_report.ok()) << "snapshot " << i << ":\n"
+                                  << rank_report.ToString();
+
+    AuditContext ctx;
+    ctx.graph = &graph;
+    ctx.scores = &series.pagerank(i);
+    ctx.damping = options.pagerank.damping;
+    // The incremental engine renormalizes away its (budgeted) hidden
+    // drift; grant it that extra headroom, exactly like the level-2
+    // hook inside ComputeDeltaPageRank does.
+    ctx.tolerance = options.pagerank.tolerance *
+                    (1.0 + options.freeze_threshold);
+    ctx.declared_converged = true;
+    Result<AuditReport> engine_report =
+        RunAuditValidator("engine.residual", ctx);
+    ASSERT_TRUE(engine_report.ok());
+    EXPECT_TRUE(engine_report.value().ok())
+        << "snapshot " << i << ":\n" << engine_report.value().ToString();
+  }
+
+  // The deltas between consecutive common graphs (the artifacts the
+  // incremental mode derives internally) audit clean too.
+  for (size_t i = 1; i < series.num_snapshots(); ++i) {
+    const CsrGraph& prev = series.common_graph(i - 1);
+    const CsrGraph& cur = series.common_graph(i);
+    const GraphDelta delta = GraphDelta::Between(prev, cur);
+    const std::vector<uint8_t> dirty = delta.DirtyFrontier(cur);
+    const AuditReport report = AuditDelta(prev, delta, &cur, &dirty);
+    EXPECT_TRUE(report.ok()) << "delta " << i - 1 << " -> " << i << ":\n"
+                             << report.ToString();
+  }
+  EXPECT_GT(m, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, SeriesAuditTest,
+                         ::testing::Values(SeriesMode::kScratch,
+                                           SeriesMode::kWarmStart,
+                                           SeriesMode::kIncremental));
+
+// Section 8's mass-n convention must audit clean as well.
+TEST(SeriesAuditTest2, TotalMassNScaleAuditsClean) {
+  SnapshotSeries series;
+  Result<EdgeList> e = GenerateRing(40, 2);
+  ASSERT_TRUE(e.ok());
+  Result<CsrGraph> g = CsrGraph::FromEdgeList(e.value());
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(series.AddSnapshot(0.0, std::move(g).value()).ok());
+
+  SeriesComputeOptions options;
+  options.pagerank.scale = ScaleConvention::kTotalMassN;
+  options.pagerank.tolerance = 1e-9;
+  options.pagerank.require_convergence = true;
+  ASSERT_TRUE(series.ComputePageRanks(options).ok());
+  const double mass = static_cast<double>(series.CommonNodeCount());
+  EXPECT_TRUE(AuditRankVector(series.pagerank(0), mass).ok());
+}
+
+}  // namespace
+}  // namespace qrank

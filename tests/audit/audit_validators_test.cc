@@ -1,0 +1,184 @@
+// Positive-path and API tests for the invariant-audit subsystem: the
+// registry, report plumbing, and each validator family on well-formed
+// inputs. The negative (corruption) paths live in audit_mutation_test.cc.
+
+#include "audit/audit.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "graph/csr_graph.h"
+#include "graph/graph_delta.h"
+#include "rank/pagerank.h"
+
+namespace qrank {
+namespace {
+
+Result<CsrGraph> Triangle() {
+  // 0 -> 1 -> 2 -> 0 plus 0 -> 2: every node linked, no dangling.
+  return CsrGraph::FromEdges(3, {{0, 1}, {0, 2}, {1, 2}, {2, 0}});
+}
+
+TEST(AuditRegistryTest, CoversAllFourFamilies) {
+  const std::vector<AuditValidator>& registry = AuditRegistry();
+  ASSERT_GE(registry.size(), 10u);
+  size_t graph = 0, delta = 0, rank = 0, engine = 0;
+  for (const AuditValidator& v : registry) {
+    const std::string name = v.name;
+    EXPECT_NE(name.find('.'), std::string::npos) << name;
+    if (name.rfind("graph.", 0) == 0) ++graph;
+    if (name.rfind("delta.", 0) == 0) ++delta;
+    if (name.rfind("rank.", 0) == 0) ++rank;
+    if (name.rfind("engine.", 0) == 0) ++engine;
+    EXPECT_NE(v.description, nullptr);
+    EXPECT_NE(v.applicable, nullptr);
+    EXPECT_NE(v.run, nullptr);
+  }
+  EXPECT_GE(graph, 3u);
+  EXPECT_GE(delta, 3u);
+  EXPECT_GE(rank, 2u);
+  EXPECT_GE(engine, 2u);
+}
+
+TEST(AuditRegistryTest, NamesAreUnique) {
+  const std::vector<AuditValidator>& registry = AuditRegistry();
+  for (size_t i = 0; i < registry.size(); ++i) {
+    for (size_t j = i + 1; j < registry.size(); ++j) {
+      EXPECT_STRNE(registry[i].name, registry[j].name);
+    }
+  }
+}
+
+TEST(RunAuditValidatorTest, UnknownNameIsNotFound) {
+  AuditContext ctx;
+  Result<AuditReport> r = RunAuditValidator("graph.no_such_check", ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RunAuditValidatorTest, MissingInputsIsFailedPrecondition) {
+  AuditContext ctx;  // no graph, no scores
+  Result<AuditReport> r = RunAuditValidator("engine.residual", ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AuditGraphTest, WellFormedGraphPasses) {
+  Result<CsrGraph> g = Triangle();
+  ASSERT_TRUE(g.ok());
+  g.value().BuildTranspose();
+  const AuditReport report = AuditGraph(g.value());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.issues.empty()) << report.ToString();
+  // With the transpose built, all four graph validators execute.
+  EXPECT_GE(report.ran.size(), 4u);
+}
+
+TEST(AuditGraphTest, TransposeValidatorSkippedWhenNotBuilt) {
+  Result<CsrGraph> g = Triangle();
+  ASSERT_TRUE(g.ok());
+  const AuditReport report = AuditGraph(g.value());
+  EXPECT_TRUE(report.ok());
+  for (const std::string& name : report.ran) {
+    EXPECT_NE(name, "graph.transpose");
+  }
+}
+
+TEST(AuditGraphTest, EdgelessGraphWarnsButDoesNotFail) {
+  Result<CsrGraph> g = CsrGraph::FromEdges(4, {});
+  ASSERT_TRUE(g.ok());
+  const AuditReport report = AuditGraph(g.value());
+  EXPECT_TRUE(report.ok()) << "warnings must not fail the audit";
+  EXPECT_TRUE(report.Failed("graph.nonempty"));
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].severity, AuditSeverity::kWarning);
+}
+
+TEST(AuditDeltaTest, DerivedDeltaAndFrontierPass) {
+  Result<CsrGraph> base = Triangle();
+  ASSERT_TRUE(base.ok());
+  Result<CsrGraph> next =
+      CsrGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 0}, {3, 0}, {0, 3}});
+  ASSERT_TRUE(next.ok());
+  const GraphDelta delta = GraphDelta::Between(base.value(), next.value());
+  const std::vector<uint8_t> dirty = delta.DirtyFrontier(next.value());
+  const AuditReport report =
+      AuditDelta(base.value(), delta, &next.value(), &dirty);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.issues.empty()) << report.ToString();
+}
+
+TEST(AuditRankVectorTest, ProbabilityVectorPasses) {
+  const std::vector<double> scores = {0.25, 0.5, 0.25};
+  const AuditReport report = AuditRankVector(scores, 1.0);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(AuditRankVectorTest, RespectsExpectedMassScale) {
+  // Section 8 convention: initial value 1 per page, total mass n.
+  const std::vector<double> scores = {1.0, 2.0, 1.0};
+  EXPECT_TRUE(AuditRankVector(scores, 4.0).ok());
+  EXPECT_FALSE(AuditRankVector(scores, 1.0).ok());
+}
+
+TEST(AuditEngineTest, ConvergedPageRankSatisfiesResidualContract) {
+  Result<CsrGraph> g = Triangle();
+  ASSERT_TRUE(g.ok());
+  PageRankOptions options;
+  options.tolerance = 1e-10;
+  Result<PageRankResult> pr = ComputePageRank(g.value(), options);
+  ASSERT_TRUE(pr.ok());
+  ASSERT_TRUE(pr.value().converged);
+
+  AuditContext ctx;
+  ctx.graph = &g.value();
+  ctx.scores = &pr.value().scores;
+  ctx.damping = options.damping;
+  ctx.tolerance = options.tolerance;
+  ctx.declared_converged = true;
+  Result<AuditReport> report = RunAuditValidator("engine.residual", ctx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().ok()) << report.value().ToString();
+}
+
+TEST(AuditEngineTest, DriftLedgerUnderBudgetPasses) {
+  AuditContext ctx;
+  ctx.drift_ledger_total = 2e-7;
+  ctx.drift_budget = 2.5e-7;
+  Result<AuditReport> report = RunAuditValidator("engine.drift", ctx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().ok()) << report.value().ToString();
+}
+
+TEST(AuditReportTest, MergeAndToString) {
+  AuditReport a;
+  a.ran = {"graph.offsets"};
+  AuditReport b;
+  b.ran = {"rank.mass"};
+  b.issues.push_back({"rank.mass", AuditSeverity::kError, "off by 0.5"});
+  a.Merge(std::move(b));
+  EXPECT_EQ(a.ran.size(), 2u);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(a.Failed("rank.mass"));
+  EXPECT_FALSE(a.Failed("graph.offsets"));
+  const std::string s = a.ToString();
+  EXPECT_NE(s.find("AUDIT FAIL"), std::string::npos);
+  EXPECT_NE(s.find("rank.mass"), std::string::npos);
+  EXPECT_NE(s.find("off by 0.5"), std::string::npos);
+}
+
+TEST(AuditReportTest, FailedValidatorsDeduplicatesInOrder) {
+  AuditReport r;
+  r.issues.push_back({"graph.offsets", AuditSeverity::kError, "a"});
+  r.issues.push_back({"rank.mass", AuditSeverity::kError, "b"});
+  r.issues.push_back({"graph.offsets", AuditSeverity::kError, "c"});
+  const std::vector<std::string> failed = r.FailedValidators();
+  ASSERT_EQ(failed.size(), 2u);
+  EXPECT_EQ(failed[0], "graph.offsets");
+  EXPECT_EQ(failed[1], "rank.mass");
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,29 @@
+// Test-only backdoor into CsrGraph's private arrays, used by the
+// mutation tests to seed the targeted corruptions each audit validator
+// is named for. Befriended by CsrGraph; never linked into library code.
+
+#ifndef QRANK_TESTS_AUDIT_CSR_GRAPH_TEST_ACCESS_H_
+#define QRANK_TESTS_AUDIT_CSR_GRAPH_TEST_ACCESS_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace qrank {
+
+struct CsrGraphTestAccess {
+  static std::vector<size_t>& Offsets(CsrGraph& g) { return g.offsets_; }
+  static std::vector<NodeId>& Targets(CsrGraph& g) { return g.dst_; }
+
+  /// The cached transpose's source array. Requires has_transpose().
+  static std::vector<NodeId>& TransposeSources(CsrGraph& g) {
+    return g.transpose_->cache.src;
+  }
+  static std::vector<size_t>& TransposeOffsets(CsrGraph& g) {
+    return g.transpose_->cache.offsets;
+  }
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_TESTS_AUDIT_CSR_GRAPH_TEST_ACCESS_H_

@@ -73,6 +73,75 @@ TEST_F(LoggingTest, DisabledLevelDoesNotEvaluateStream) {
   EXPECT_EQ(evaluations, 1);
 }
 
+TEST(CheckTest, PassingCheckIsSilentAndEvaluatesOnce) {
+  CerrCapture capture;
+  int evaluations = 0;
+  auto counted = [&]() {
+    ++evaluations;
+    return true;
+  };
+  QRANK_CHECK(counted()) << "never shown";
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_TRUE(capture.str().empty());
+}
+
+TEST(CheckDeathTest, FailureReportsConditionLocationAndMessage) {
+  EXPECT_DEATH(
+      { QRANK_CHECK(1 + 1 == 3) << "arithmetic is broken, n = " << 42; },
+      "QRANK_CHECK failed.*logging_test\\.cc.*1 \\+ 1 == 3.*"
+      "arithmetic is broken, n = 42");
+}
+
+TEST(CheckDeathTest, MessageFreeFailureStillAborts) {
+  EXPECT_DEATH({ QRANK_CHECK(false); }, "QRANK_CHECK failed");
+}
+
+TEST(CheckTest, DcheckMatchesBuildMode) {
+  // QRANK_DCHECK compiles to a real check in debug builds and to a
+  // never-evaluated (but still type-checked) expression in release.
+  int evaluations = 0;
+  auto counted = [&]() {
+    ++evaluations;
+    return true;
+  };
+  QRANK_DCHECK(counted()) << "never shown";
+#ifndef NDEBUG
+  EXPECT_EQ(evaluations, 1);
+#else
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+#ifdef NDEBUG
+TEST(CheckTest, ReleaseDcheckDoesNotEvaluateStreamOperands) {
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return 7;
+  };
+  QRANK_DCHECK(false) << "cost " << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+TEST(AuditMacroTest, DisabledLevelsCompileOutButTypeCheck) {
+  // At the default audit level 0 both macros are disabled expressions;
+  // at level >= 1 (the sanitizer CI builds) the passing condition is
+  // simply silent. Either way: no output, no abort, operands odr-used.
+  CerrCapture capture;
+  const size_t edges = 10;
+  QRANK_AUDIT1(edges == 10) << "edge count " << edges;
+  QRANK_AUDIT2(edges * 2 == 20) << "doubled " << edges;
+  EXPECT_TRUE(capture.str().empty());
+}
+
+#if QRANK_AUDIT_LEVEL >= 1
+TEST(AuditMacroDeathTest, Level1FailureAborts) {
+  EXPECT_DEATH({ QRANK_AUDIT1(false) << "level-1 violation"; },
+               "QRANK_CHECK failed.*level-1 violation");
+}
+#endif
+
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch sw;
   double first = sw.ElapsedSeconds();

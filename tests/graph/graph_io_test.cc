@@ -69,6 +69,54 @@ TEST_F(GraphIoTest, TextRejectsOutOfRangeEndpoint) {
   EXPECT_EQ(ReadEdgeListText(path).status().code(), StatusCode::kCorruption);
 }
 
+TEST_F(GraphIoTest, TextRejectsNegativeId) {
+  // operator>> into an unsigned type would silently wrap "-1"; the
+  // reader must reject the sign outright instead.
+  std::string path = Track(TempPath("negative.txt"));
+  std::ofstream f(path);
+  f << "3\n0 1\n-1 2\n";
+  f.close();
+  const Status s = ReadEdgeListText(path).status();
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("negative"), std::string::npos) << s.ToString();
+}
+
+TEST_F(GraphIoTest, TextRejectsNegativeNodeCount) {
+  std::string path = Track(TempPath("negative_header.txt"));
+  std::ofstream f(path);
+  f << "-3\n0 1\n";
+  f.close();
+  EXPECT_EQ(ReadEdgeListText(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(GraphIoTest, TextRejectsTruncatedEdgeLine) {
+  std::string path = Track(TempPath("truncated_line.txt"));
+  std::ofstream f(path);
+  f << "3\n0 1\n2\n";
+  f.close();
+  const Status s = ReadEdgeListText(path).status();
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("truncated"), std::string::npos) << s.ToString();
+}
+
+TEST_F(GraphIoTest, TextRejectsTrailingGarbage) {
+  std::string path = Track(TempPath("trailing.txt"));
+  std::ofstream f(path);
+  f << "3\n0 1 junk\n";
+  f.close();
+  const Status s = ReadEdgeListText(path).status();
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("trailing"), std::string::npos) << s.ToString();
+}
+
+TEST_F(GraphIoTest, TextRejectsOverflowingId) {
+  std::string path = Track(TempPath("overflow.txt"));
+  std::ofstream f(path);
+  f << "3\n0 99999999999999999999999999\n";
+  f.close();
+  EXPECT_EQ(ReadEdgeListText(path).status().code(), StatusCode::kCorruption);
+}
+
 TEST_F(GraphIoTest, TextRejectsMissingHeader) {
   std::string path = Track(TempPath("no_header.txt"));
   std::ofstream f(path);
@@ -140,6 +188,45 @@ TEST_F(GraphIoTest, BinaryDetectsBadMagic) {
   std::string path = Track(TempPath("magic.bin"));
   std::ofstream f(path, std::ios::binary);
   f << "NOPEjunkjunkjunk";
+  f.close();
+  EXPECT_EQ(ReadGraphBinary(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsOversizedEdgeCountWithoutAllocating) {
+  // A header promising far more edges than the file holds must fail with
+  // Corruption before any header-sized allocation happens.
+  EdgeList e(3);
+  e.Add(0, 1);
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  std::string path = Track(TempPath("oversized.bin"));
+  ASSERT_TRUE(WriteGraphBinary(g, path).ok());
+
+  // num_edges lives 12 bytes in (magic[4] version[4] num_nodes[4]).
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  const uint64_t huge = 1ULL << 60;
+  f.seekp(12);
+  f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  f.close();
+  EXPECT_EQ(ReadGraphBinary(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsOvershootingMiddleOffset) {
+  // A corrupt middle offset that overshoots num_edges while the final
+  // offset still reconciles must fail cleanly, not index past the
+  // targets array (found by ASan via BinaryDetectsBitFlip).
+  EdgeList e(3);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  std::string path = Track(TempPath("offset_overshoot.bin"));
+  ASSERT_TRUE(WriteGraphBinary(g, path).ok());
+
+  // offsets[1] lives at byte 28 (magic[4] version[4] num_nodes[4]
+  // num_edges[8] offsets[0][8]).
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  const uint64_t overshoot = 1ULL << 40;
+  f.seekp(28);
+  f.write(reinterpret_cast<const char*>(&overshoot), sizeof(overshoot));
   f.close();
   EXPECT_EQ(ReadGraphBinary(path).status().code(), StatusCode::kCorruption);
 }
