@@ -1,0 +1,168 @@
+// Shared main + machine-readable output for the bench_perf_* binaries.
+//
+// Every perf bench links this header and calls qrank_bench::BenchMain,
+// which (a) strips the qrank-specific flags --threads=N (process-wide
+// default executor count) and --bench_json=PATH before handing the rest
+// to google-benchmark, (b) runs the suite through a collecting console
+// reporter, and (c) writes BENCH_<suite>.json — one row per benchmark
+// with adjusted times and flag-resolved counters — so CI can archive
+// the numbers and gate on them instead of scraping console text.
+//
+// Counter convention: counters are recorded exactly as google-benchmark
+// finalizes them (flags like kIsRate are already applied by the time a
+// Run reaches the reporter), so the JSON always matches the console
+// output. Benchmarks that want "edges/s" to mean wall-clock machine
+// throughput opt in with UseRealTime(), as the perf suites here do.
+
+#ifndef QRANK_BENCH_BENCH_JSON_H_
+#define QRANK_BENCH_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel_for.h"
+
+namespace qrank_bench {
+
+struct BenchRow {
+  std::string name;
+  double real_ms = 0.0;  // adjusted real time per iteration
+  double cpu_ms = 0.0;   // adjusted cpu time per iteration
+  int64_t iterations = 0;
+  std::map<std::string, double> counters;  // as finalized by google-benchmark
+
+  /// Counter lookup with a default (missing counters read as 0.0).
+  double Counter(const std::string& key) const {
+    auto it = counters.find(key);
+    return it == counters.end() ? 0.0 : it->second;
+  }
+};
+
+/// Console reporter that additionally collects one BenchRow per
+/// RT_Iteration run (aggregates and errored runs are skipped).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      BenchRow row;
+      row.name = run.benchmark_name();
+      row.iterations = run.iterations;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      row.real_ms = 1e3 * run.real_accumulated_time / iters;
+      row.cpu_ms = 1e3 * run.cpu_accumulated_time / iters;
+      for (const auto& [key, c] : run.counters) {
+        // Counter flags (kIsRate etc.) are already applied by the
+        // benchmark runner before the Run reaches any reporter; copying
+        // the value verbatim keeps the JSON identical to the console.
+        row.counters[key] = c.value;
+      }
+      rows_.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<BenchRow>& rows() const { return rows_; }
+
+ private:
+  std::vector<BenchRow> rows_;
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+inline bool WriteBenchJson(const std::string& path, const std::string& suite,
+                           const std::vector<BenchRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"benchmarks\": [",
+               JsonEscape(suite).c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"real_ms\": %.6g, "
+                 "\"cpu_ms\": %.6g, \"iterations\": %lld, \"counters\": {",
+                 i == 0 ? "" : ",", JsonEscape(r.name).c_str(), r.real_ms,
+                 r.cpu_ms, static_cast<long long>(r.iterations));
+    size_t k = 0;
+    for (const auto& [key, value] : r.counters) {
+      std::fprintf(f, "%s\"%s\": %.6g", k++ == 0 ? "" : ", ",
+                   JsonEscape(key).c_str(), value);
+    }
+    std::fprintf(f, "}}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Shared main body. `suite` names the output file (BENCH_<suite>.json,
+/// overridable with --bench_json=PATH; --bench_json= empty disables).
+/// `after` (optional) sees the collected rows once the suite finishes
+/// and returns the process exit code — the hook CI regression gates
+/// hang off.
+inline int BenchMain(
+    int argc, char** argv, const std::string& suite,
+    const std::function<int(const std::vector<BenchRow>&)>& after = {}) {
+  std::string json_path = "BENCH_" + suite + ".json";
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--threads=", 0) == 0) {
+      qrank::SetDefaultThreads(std::atoi(a.c_str() + 10));
+      continue;
+    }
+    if (a.rfind("--bench_json=", 0) == 0) {
+      json_path = a.substr(13);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() &&
+      !WriteBenchJson(json_path, suite, reporter.rows())) {
+    return 1;
+  }
+  return after ? after(reporter.rows()) : 0;
+}
+
+}  // namespace qrank_bench
+
+#endif  // QRANK_BENCH_BENCH_JSON_H_

@@ -1,0 +1,266 @@
+// Cache-aware reordering benchmarks (google-benchmark).
+//
+// Sweeps {ordering} x {threads} x {generator} over the fused PageRank
+// kernel, plus the node- vs edge-balanced partition comparison and the
+// cost of building the orderings themselves. Inputs are relabeled into
+// a fixed pseudorandom "crawl order" first (generators emit near-ideal
+// layouts; real crawls do not — see MakeCrawlOrder), so the edges/s
+// deltas here are the locality win the orderings actually deliver on
+// crawl-shaped inputs.
+//
+// With --check_reorder_regression the process exits non-zero when the
+// best bfs-ordered throughput falls below the best identity-ordered
+// throughput — the CI perf-smoke gate. Run it with a real
+// --benchmark_min_time so the comparison is not single-iteration noise.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "rank/pagerank.h"
+
+namespace {
+
+using qrank::CsrGraph;
+using qrank::NodeId;
+using qrank::NodeOrdering;
+
+constexpr uint32_t kSweepIterations = 20;
+
+// Fixed pseudorandom relabeling modeling crawl-discovery ids.
+CsrGraph MakeCrawlOrder(CsrGraph g, uint64_t seed) {
+  qrank::Rng rng(seed);
+  std::vector<NodeId> scramble(g.num_nodes());
+  std::iota(scramble.begin(), scramble.end(), NodeId{0});
+  for (NodeId i = g.num_nodes(); i > 1; --i) {
+    std::swap(scramble[i - 1], scramble[rng.UniformUint64(i)]);
+  }
+  return g.Permute(scramble).value();
+}
+
+// Site-clustered web (num_sites x 200 pages, ~13 links/page), crawl
+// order.
+CsrGraph MakeSiteGraph(NodeId num_sites) {
+  qrank::Rng rng(99);
+  return MakeCrawlOrder(
+      CsrGraph::FromEdgeList(
+          qrank::GenerateSiteClustered(num_sites, 200, 12, 6, &rng).value())
+          .value(),
+      17);
+}
+
+// 131k pages: score arrays fit mid-level cache on big-LLC hosts; the
+// ordering win here is the lower bound of the effect.
+const CsrGraph& SiteGraph() {
+  static const CsrGraph g = MakeSiteGraph(655);
+  return g;
+}
+
+// 1M pages: the gathered out-share array (8 MB) exceeds any private
+// cache — the regime reordering is actually for, and the gate's signal.
+const CsrGraph& SiteXlGraph() {
+  static const CsrGraph g = MakeSiteGraph(5000);
+  return g;
+}
+
+// Hub-heavy Barabasi-Albert graph (2^17 nodes, out-degree 8), crawl
+// order; the partition comparison's worst case for node blocks.
+const CsrGraph& BaGraph() {
+  static const CsrGraph g = [] {
+    qrank::Rng rng(1234);
+    return MakeCrawlOrder(
+        CsrGraph::FromEdgeList(
+            qrank::GenerateBarabasiAlbert(1 << 17, 8, &rng).value())
+            .value(),
+        18);
+  }();
+  return g;
+}
+
+struct Gen {
+  const char* name;
+  const CsrGraph& (*get)();
+};
+
+// Graphs are built and reordered lazily on first use (and cached for
+// the rest of the suite), so filtered runs only pay for the inputs
+// they actually touch; the build happens outside the timed loop.
+const CsrGraph& OrderedGraph(const Gen& gen, NodeOrdering order) {
+  static auto* cache = new std::map<std::string, CsrGraph>();
+  const std::string key =
+      std::string(gen.name) + "/" + NodeOrderingName(order);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(key, qrank::ReorderGraph(gen.get(), order).value().graph)
+             .first;
+  }
+  return it->second;
+}
+
+qrank::PageRankOptions FixedWorkOptions(int threads,
+                                        qrank::SweepPartition partition) {
+  qrank::PageRankOptions o;
+  o.max_iterations = kSweepIterations;
+  o.tolerance = 1e-300;  // never met: fixed work per run
+  o.num_threads = threads;
+  o.partition = partition;
+  return o;
+}
+
+void RunFixedSweeps(benchmark::State& state, const CsrGraph& g,
+                    const qrank::PageRankOptions& o) {
+  g.BuildTranspose();  // outside the timed region
+  for (auto _ : state) {
+    auto r = qrank::ComputePageRank(g, o);
+    benchmark::DoNotOptimize(r->scores.data());
+  }
+  state.counters["edges/s"] = benchmark::Counter(
+      static_cast<double>(g.num_edges()) * kSweepIterations,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void RegisterAll() {
+  const auto ms = [](benchmark::internal::Benchmark* b) {
+    b->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+  };
+
+  // Ordering construction cost (permutation build + graph relabel).
+  for (NodeOrdering order :
+       {NodeOrdering::kDegreeDescending, NodeOrdering::kBfsLocality}) {
+    std::string name =
+        std::string("BM_BuildOrdering/site/order:") + NodeOrderingName(order);
+    ms(benchmark::RegisterBenchmark(
+        name.c_str(), [order](benchmark::State& state) {
+          const CsrGraph& g = SiteGraph();
+          for (auto _ : state) {
+            auto r = qrank::ReorderGraph(g, order);
+            benchmark::DoNotOptimize(r->graph.num_edges());
+          }
+          state.counters["edges/s"] = benchmark::Counter(
+              static_cast<double>(g.num_edges()),
+              benchmark::Counter::kIsIterationInvariantRate);
+        }));
+  }
+
+  // {generator} x {ordering} x {threads}, edge-balanced partition.
+  const auto sweep = [&ms](const Gen& gen,
+                           std::initializer_list<NodeOrdering> orders,
+                           std::initializer_list<int> thread_counts) {
+    for (NodeOrdering order : orders) {
+      for (int threads : thread_counts) {
+        std::string name = std::string("BM_PageRankOrdered/") + gen.name +
+                           "/order:" + NodeOrderingName(order) +
+                           "/threads:" + std::to_string(threads);
+        ms(benchmark::RegisterBenchmark(
+            name.c_str(), [gen, order, threads](benchmark::State& state) {
+              RunFixedSweeps(
+                  state, OrderedGraph(gen, order),
+                  FixedWorkOptions(threads,
+                                   qrank::SweepPartition::kEdgeBalanced));
+            }));
+      }
+    }
+  };
+  sweep(Gen{"site", SiteGraph},
+        {NodeOrdering::kIdentity, NodeOrdering::kDegreeDescending,
+         NodeOrdering::kBfsLocality},
+        {1, 2, 4, 8});
+  sweep(Gen{"ba", BaGraph},
+        {NodeOrdering::kIdentity, NodeOrdering::kDegreeDescending,
+         NodeOrdering::kBfsLocality},
+        {1, 2, 4, 8});
+  sweep(Gen{"sitexl", SiteXlGraph},
+        {NodeOrdering::kIdentity, NodeOrdering::kBfsLocality}, {1, 8});
+
+  // Node- vs edge-balanced partition on the hub-heavy graph (identity
+  // ordering, so only the work split differs).
+  for (qrank::SweepPartition partition :
+       {qrank::SweepPartition::kNodeBalanced,
+        qrank::SweepPartition::kEdgeBalanced}) {
+    const char* pname =
+        partition == qrank::SweepPartition::kNodeBalanced ? "node" : "edge";
+    for (int threads : {1, 2, 4, 8}) {
+      std::string name = std::string("BM_PageRankPartition/ba/partition:") +
+                         pname + "/threads:" + std::to_string(threads);
+      ms(benchmark::RegisterBenchmark(
+          name.c_str(), [partition, threads](benchmark::State& state) {
+            RunFixedSweeps(state, BaGraph(),
+                           FixedWorkOptions(threads, partition));
+          }));
+    }
+  }
+}
+
+// CI gate: for every site-shaped generator in the run, the best
+// bfs-ordered edges/s must not fall below the best identity-ordered
+// edges/s. (The ba generator is excluded: preferential-attachment
+// graphs have no community structure for a BFS ordering to recover, so
+// its ratio hovers around 1.0 by construction.) CI filters the run to
+// sitexl, where the expected margin is >2x.
+int CheckReorderRegression(const std::vector<qrank_bench::BenchRow>& rows) {
+  const auto best = [&rows](const std::string& gen, const std::string& tag) {
+    double v = 0.0;
+    for (const qrank_bench::BenchRow& r : rows) {
+      if (r.name.find("BM_PageRankOrdered/" + gen + "/") !=
+              std::string::npos &&
+          r.name.find(tag) != std::string::npos) {
+        v = std::max(v, r.Counter("edges/s"));
+      }
+    }
+    return v;
+  };
+  int checked = 0;
+  for (const char* gen : {"site", "sitexl"}) {
+    const double identity = best(gen, "/order:identity/");
+    const double bfs = best(gen, "/order:bfs/");
+    if (identity <= 0.0 || bfs <= 0.0) continue;  // gen not in this run
+    ++checked;
+    std::printf("reorder gate [%s]: bfs %.4g edges/s vs identity %.4g "
+                "(%.2fx)\n",
+                gen, bfs, identity, bfs / identity);
+    if (bfs < identity) {
+      std::fprintf(stderr,
+                   "reorder gate FAILED [%s]: bfs ordering is slower than "
+                   "the identity labeling\n",
+                   gen);
+      return 1;
+    }
+  }
+  if (checked == 0) {
+    std::fprintf(stderr,
+                 "reorder gate: no BM_PageRankOrdered site rows in this "
+                 "run — nothing to check\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_gate = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check_reorder_regression") {
+      check_gate = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  RegisterAll();
+  std::function<int(const std::vector<qrank_bench::BenchRow>&)> after;
+  if (check_gate) after = CheckReorderRegression;
+  return qrank_bench::BenchMain(static_cast<int>(args.size()), args.data(),
+                                "reorder", after);
+}

@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cmath>
 #include <cstdlib>
 #include <string>
@@ -205,25 +207,7 @@ BENCHMARK(BM_SnapshotSeriesIncremental)->Unit(benchmark::kMillisecond)
 BENCHMARK(BM_SnapshotSeriesIncrementalThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
-// Custom main: accept a --threads=N flag (process-wide default executor
-// count for engines invoked without an explicit num_threads) before
-// handing the remaining args to google-benchmark.
+// Shared BenchMain: --threads= handling plus BENCH_snapshot_series.json output.
 int main(int argc, char** argv) {
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    std::string a = argv[i];
-    if (a.rfind("--threads=", 0) == 0) {
-      qrank::SetDefaultThreads(std::atoi(a.c_str() + 10));
-    } else {
-      args.push_back(argv[i]);
-    }
-  }
-  int filtered_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&filtered_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return qrank_bench::BenchMain(argc, argv, "snapshot_series");
 }

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -212,24 +214,7 @@ BENCHMARK(BM_CsrTransposeThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 BENCHMARK(BM_SimulatorStepThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
-// Custom main: accept a --threads=N flag (process-wide default executor
-// count) before handing the remaining args to google-benchmark.
+// Shared BenchMain: --threads= handling plus BENCH_substrate.json output.
 int main(int argc, char** argv) {
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    std::string a = argv[i];
-    if (a.rfind("--threads=", 0) == 0) {
-      qrank::SetDefaultThreads(std::atoi(a.c_str() + 10));
-      continue;
-    }
-    args.push_back(argv[i]);
-  }
-  int filtered_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&filtered_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return qrank_bench::BenchMain(argc, argv, "substrate");
 }

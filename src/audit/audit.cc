@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "graph/reorder.h"
+
 namespace qrank {
 
 namespace {
@@ -158,6 +160,44 @@ void RunGraphNonEmpty(const AuditContext& ctx, AuditReport* report) {
          std::to_string(g.num_nodes()) +
              " nodes but zero edges; PageRank degenerates to the teleport "
              "distribution");
+  }
+}
+
+bool NeedsPermutation(const AuditContext& ctx) {
+  return ctx.graph != nullptr && ctx.permutation != nullptr;
+}
+
+void RunGraphPermutation(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("graph.permutation");
+  const Status st =
+      ValidatePermutation(*ctx.permutation, ctx.graph->num_nodes());
+  if (!st.ok()) Fail(report, self, st.ToString());
+}
+
+void RunGraphPermutationRoundtrip(const AuditContext& ctx,
+                                  AuditReport* report) {
+  const AuditValidator& self = *FindValidator("graph.permutation_roundtrip");
+  const CsrGraph& g = *ctx.graph;
+  const std::vector<NodeId>& perm = *ctx.permutation;
+  // graph.permutation owns bijectivity failures; the round trip below
+  // would index out of bounds on a broken map, so bail out quietly.
+  if (!ValidatePermutation(perm, g.num_nodes()).ok()) return;
+  Result<CsrGraph> forward = g.Permute(perm);
+  if (!forward.ok()) {
+    Fail(report, self, "Permute(perm) failed: " + forward.status().ToString());
+    return;
+  }
+  Result<CsrGraph> back = forward.value().Permute(InvertPermutation(perm));
+  if (!back.ok()) {
+    Fail(report, self,
+         "Permute(inverse) failed: " + back.status().ToString());
+    return;
+  }
+  if (back.value().offsets() != g.offsets() ||
+      back.value().targets() != g.targets()) {
+    Fail(report, self,
+         "Permute(perm) followed by Permute(inverse) does not reproduce "
+         "the original graph edge-for-edge");
   }
 }
 
@@ -496,6 +536,13 @@ const std::vector<AuditValidator>& AuditRegistry() {
        "graphs with nodes but no edges are suspicious inputs for the "
        "ranking pipeline",
        NeedsGraph, RunGraphNonEmpty},
+      {"graph.permutation", AuditSeverity::kError,
+       "claimed node relabeling is a bijection on [0, num_nodes)",
+       NeedsPermutation, RunGraphPermutation},
+      {"graph.permutation_roundtrip", AuditSeverity::kError,
+       "Permute(perm) then Permute(inverse) reproduces the graph "
+       "edge-for-edge",
+       NeedsPermutation, RunGraphPermutationRoundtrip},
       {"delta.shape", AuditSeverity::kError,
        "added/removed lists sorted, duplicate-free, disjoint, in range, "
        "self-loop free",
@@ -568,6 +615,20 @@ AuditReport AuditDelta(const CsrGraph& base, const GraphDelta& delta,
   ctx.graph = applied;
   ctx.dirty_frontier = dirty_frontier;
   return RunAudit(ctx);
+}
+
+AuditReport AuditPermutation(const CsrGraph& graph,
+                             const std::vector<NodeId>& perm) {
+  AuditContext ctx;
+  ctx.graph = &graph;
+  ctx.permutation = &perm;
+  AuditReport report;
+  for (const char* name : {"graph.permutation", "graph.permutation_roundtrip"}) {
+    const AuditValidator* v = FindValidator(name);
+    report.ran.emplace_back(v->name);
+    v->run(ctx, &report);
+  }
+  return report;
 }
 
 AuditReport AuditRankVector(const std::vector<double>& scores,

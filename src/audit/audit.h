@@ -85,6 +85,12 @@ struct AuditContext {
   /// Claimed dirty frontier over `graph` (size graph->num_nodes()).
   const std::vector<uint8_t>* dirty_frontier = nullptr;
 
+  /// Reordering checks (graph.permutation*): a claimed node relabeling.
+  /// graph.permutation validates bijectivity against `graph`;
+  /// graph.permutation_roundtrip additionally proves
+  /// Permute(perm) ∘ Permute(inverse) reproduces `graph` edge-for-edge.
+  const std::vector<NodeId>* permutation = nullptr;
+
   /// Rank-vector checks.
   const std::vector<double>* scores = nullptr;
   double expected_mass = 1.0;
@@ -133,6 +139,10 @@ AuditReport AuditGraph(const CsrGraph& graph);
 AuditReport AuditDelta(const CsrGraph& base, const GraphDelta& delta,
                        const CsrGraph* applied = nullptr,
                        const std::vector<uint8_t>* dirty_frontier = nullptr);
+
+/// Convenience: the graph.permutation* pair on a (graph, perm) claim.
+AuditReport AuditPermutation(const CsrGraph& graph,
+                             const std::vector<NodeId>& perm);
 
 /// Convenience: the rank.* family on a bare score vector.
 AuditReport AuditRankVector(const std::vector<double>& scores,

@@ -1,5 +1,6 @@
 #include "common/parallel_for.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <exception>
@@ -36,9 +37,42 @@ int DefaultThreads() {
   return n > 0 ? n : static_cast<int>(ThreadPool::HardwareConcurrency());
 }
 
+int ResolveThreads(int requested) {
+  return requested > 0 ? requested : DefaultThreads();
+}
+
 size_t NumBlocks(size_t n, size_t grain) {
   if (grain == 0) grain = 1;
   return (n + grain - 1) / grain;
+}
+
+std::vector<size_t> UniformBoundaries(size_t n, size_t grain) {
+  if (grain == 0) grain = 1;
+  const size_t blocks = NumBlocks(n, grain);
+  std::vector<size_t> bounds(blocks + 1, n);
+  for (size_t b = 0; b < blocks; ++b) bounds[b] = b * grain;
+  bounds[blocks] = n;
+  return bounds;
+}
+
+std::vector<size_t> WeightBalancedBoundaries(const std::vector<size_t>& prefix,
+                                             size_t num_blocks) {
+  const size_t n = prefix.empty() ? 0 : prefix.size() - 1;
+  if (num_blocks == 0) num_blocks = 1;
+  std::vector<size_t> bounds(num_blocks + 1, n);
+  bounds[0] = 0;
+  const size_t total = n == 0 ? 0 : prefix[n];
+  for (size_t b = 1; b < num_blocks; ++b) {
+    const size_t target = (b * total + num_blocks - 1) / num_blocks;
+    const auto it =
+        std::lower_bound(prefix.begin(), prefix.end(), target);
+    const size_t i = static_cast<size_t>(it - prefix.begin());
+    // lower_bound over a monotone prefix with increasing targets is
+    // already monotone; the max guards degenerate (all-zero) weights.
+    bounds[b] = std::max(std::min(i, n), bounds[b - 1]);
+  }
+  bounds[num_blocks] = n;
+  return bounds;
 }
 
 namespace parallel_internal {
@@ -112,14 +146,17 @@ void RunBlocks(size_t num_blocks, const std::function<void(size_t)>& run_block,
 }
 
 double TreeReduce(std::vector<double>* partials) {
-  std::vector<double>& p = *partials;
-  if (p.empty()) return 0.0;
-  for (size_t width = 1; width < p.size(); width *= 2) {
-    for (size_t i = 0; i + width < p.size(); i += 2 * width) {
-      p[i] += p[i + width];
+  return TreeReduceRange(partials->data(), partials->size());
+}
+
+double TreeReduceRange(double* partials, size_t count) {
+  if (count == 0) return 0.0;
+  for (size_t width = 1; width < count; width *= 2) {
+    for (size_t i = 0; i + width < count; i += 2 * width) {
+      partials[i] += partials[i + width];
     }
   }
-  return p[0];
+  return partials[0];
 }
 
 }  // namespace parallel_internal

@@ -25,6 +25,7 @@
 #ifndef QRANK_COMMON_PARALLEL_FOR_H_
 #define QRANK_COMMON_PARALLEL_FOR_H_
 
+#include <array>
 #include <cstddef>
 #include <functional>
 #include <vector>
@@ -49,9 +50,31 @@ struct ParallelOptions {
 void SetDefaultThreads(int n);
 int DefaultThreads();
 
+/// The executor count a request resolves to: `requested` when positive,
+/// DefaultThreads() otherwise.
+int ResolveThreads(int requested);
+
 /// Number of fixed blocks [0,n) splits into at the given grain
 /// (0 for n == 0; grain is clamped to >= 1).
 size_t NumBlocks(size_t n, size_t grain);
+
+/// Fixed uniform partition boundaries of [0, n): {0, grain, 2*grain,
+/// ..., n}. The explicit-boundary twin of the implicit blocks
+/// ParallelForBlocks uses.
+std::vector<size_t> UniformBoundaries(size_t n, size_t grain);
+
+/// Weight-balanced partition boundaries from a monotone prefix-weight
+/// array (`prefix` has n + 1 entries, prefix[0] == 0, prefix[i] = total
+/// weight of items [0, i)). Returns num_blocks + 1 boundaries with
+/// bounds[0] == 0 and bounds[num_blocks] == n; boundary b is the first
+/// item index whose prefix weight reaches ceil(b * total / num_blocks)
+/// (binary search, O(num_blocks * log n)). Blocks may be empty when a
+/// single item outweighs the per-block target; every non-empty block
+/// carries at most target + max-item-weight total weight. Boundaries
+/// depend only on (prefix, num_blocks) — never on the thread count —
+/// so reductions over them keep the determinism contract.
+std::vector<size_t> WeightBalancedBoundaries(const std::vector<size_t>& prefix,
+                                             size_t num_blocks);
 
 namespace parallel_internal {
 
@@ -66,6 +89,10 @@ void RunBlocks(size_t num_blocks, const std::function<void(size_t)>& run_block,
 /// (0.0 for an empty vector). Independent of how partials were produced.
 double TreeReduce(std::vector<double>* partials);
 
+/// Same fold over a raw range (the scratch-buffer reduce variants fold
+/// one component row at a time without owning a vector).
+double TreeReduceRange(double* partials, size_t count);
+
 }  // namespace parallel_internal
 
 /// Calls fn(lo, hi) for each fixed block [lo, hi) of [0, n).
@@ -74,6 +101,16 @@ template <typename BlockFn>
 void ParallelForBlocks(size_t n, BlockFn&& fn, ParallelOptions opts = {}) {
   const size_t grain = opts.grain > 0 ? opts.grain : 1;
   const size_t blocks = NumBlocks(n, grain);
+  if (ResolveThreads(opts.num_threads) <= 1 || blocks <= 1) {
+    // Inline serial path: same blocks, same order, and no std::function
+    // materialization — sweep loops built on this stay allocation-free.
+    for (size_t b = 0; b < blocks; ++b) {
+      size_t lo = b * grain;
+      size_t hi = lo + grain < n ? lo + grain : n;
+      fn(lo, hi);
+    }
+    return;
+  }
   parallel_internal::RunBlocks(
       blocks,
       [&](size_t b) {
@@ -81,6 +118,24 @@ void ParallelForBlocks(size_t n, BlockFn&& fn, ParallelOptions opts = {}) {
         size_t hi = lo + grain < n ? lo + grain : n;
         fn(lo, hi);
       },
+      opts.num_threads);
+}
+
+/// Calls fn(lo, hi) for each block [bounds[b], bounds[b + 1]) of an
+/// explicit fixed partition (e.g. WeightBalancedBoundaries). Blocks are
+/// claimed dynamically but the partition itself never depends on the
+/// thread count, so disjoint-write functors keep the determinism
+/// contract.
+template <typename BlockFn>
+void ParallelForPartition(const std::vector<size_t>& bounds, BlockFn&& fn,
+                          ParallelOptions opts = {}) {
+  const size_t blocks = bounds.empty() ? 0 : bounds.size() - 1;
+  if (ResolveThreads(opts.num_threads) <= 1 || blocks <= 1) {
+    for (size_t b = 0; b < blocks; ++b) fn(bounds[b], bounds[b + 1]);
+    return;
+  }
+  parallel_internal::RunBlocks(
+      blocks, [&](size_t b) { fn(bounds[b], bounds[b + 1]); },
       opts.num_threads);
 }
 
@@ -103,15 +158,51 @@ double ParallelReduce(size_t n, PartialFn&& partial, ParallelOptions opts = {}) 
   const size_t grain = opts.grain > 0 ? opts.grain : 1;
   const size_t blocks = NumBlocks(n, grain);
   std::vector<double> partials(blocks, 0.0);
-  parallel_internal::RunBlocks(
-      blocks,
-      [&](size_t b) {
-        size_t lo = b * grain;
-        size_t hi = lo + grain < n ? lo + grain : n;
-        partials[b] = partial(lo, hi);
-      },
-      opts.num_threads);
+  auto run = [&](size_t b) {
+    size_t lo = b * grain;
+    size_t hi = lo + grain < n ? lo + grain : n;
+    partials[b] = partial(lo, hi);
+  };
+  if (ResolveThreads(opts.num_threads) <= 1 || blocks <= 1) {
+    for (size_t b = 0; b < blocks; ++b) run(b);
+  } else {
+    parallel_internal::RunBlocks(blocks, run, opts.num_threads);
+  }
   return parallel_internal::TreeReduce(&partials);
+}
+
+/// K simultaneous sums over one pass of an explicit fixed partition:
+/// partial(lo, hi) returns K per-block components, each reduced by the
+/// same fixed pairwise tree in block order. The per-block partials live
+/// in caller-owned `scratch` (grown to K * num_blocks once, then
+/// reused), so steady-state calls perform no allocation — this is the
+/// reduction the fused PageRank sweep folds its residual and dangling
+/// mass into. Serial calls (resolved thread count 1) run inline without
+/// touching the pool and produce bit-identical results.
+template <size_t K, typename PartialFn>
+std::array<double, K> ParallelReducePartition(const std::vector<size_t>& bounds,
+                                              PartialFn&& partial,
+                                              std::vector<double>* scratch,
+                                              ParallelOptions opts = {}) {
+  const size_t blocks = bounds.empty() ? 0 : bounds.size() - 1;
+  std::array<double, K> result{};
+  if (blocks == 0) return result;
+  if (scratch->size() < K * blocks) scratch->resize(K * blocks);
+  double* partials = scratch->data();
+  auto run = [&](size_t b) {
+    const std::array<double, K> p = partial(bounds[b], bounds[b + 1]);
+    for (size_t k = 0; k < K; ++k) partials[k * blocks + b] = p[k];
+  };
+  if (ResolveThreads(opts.num_threads) <= 1 || blocks == 1) {
+    for (size_t b = 0; b < blocks; ++b) run(b);
+  } else {
+    parallel_internal::RunBlocks(blocks, run, opts.num_threads);
+  }
+  for (size_t k = 0; k < K; ++k) {
+    result[k] =
+        parallel_internal::TreeReduceRange(partials + k * blocks, blocks);
+  }
+  return result;
 }
 
 }  // namespace qrank

@@ -72,18 +72,25 @@ Status SnapshotSeries::ComputePageRanks(const SeriesComputeOptions& options) {
   pageranks_.clear();
   iterations_.clear();
   node_updates_.clear();
+  permutation_.clear();
   common_graphs_.reserve(graphs_.size());
   pageranks_.reserve(graphs_.size());
+  // Warm-start state. When reordering, `previous` and `prev_permuted`
+  // live in the permuted label space (the space the solves run in);
+  // everything pushed onto the public members is remapped back first.
   std::vector<double> previous;  // probability-scale scores of snapshot i-1
   bool previous_converged = false;
+  const bool reorder = options.ordering != NodeOrdering::kIdentity && m > 0;
+  CsrGraph prev_permuted;  // permuted twin of common_graphs_.back()
   for (size_t i = 0; i < graphs_.size(); ++i) {
     const bool incremental_step =
         options.mode == SeriesMode::kIncremental && i > 0;
     CsrGraph induced;
     std::vector<uint8_t> dirty;
+    GraphDelta delta;  // original-space; relabeled below when reordering
     if (incremental_step) {
       QRANK_ASSIGN_OR_RETURN(
-          GraphDelta delta,
+          delta,
           GraphDelta::BetweenPrefix(common_graphs_.back(), graphs_[i], m));
       if (delta.empty() && previous_converged) {
         // Identical consecutive snapshots: the previous vector is already
@@ -123,10 +130,39 @@ Status SnapshotSeries::ComputePageRanks(const SeriesComputeOptions& options) {
       }
     }
 
+    // Derive the permuted twin the solve runs on. Built by relabeling
+    // only on the first snapshot (and on non-incremental steps); the
+    // incremental path instead patches the previous permuted CSR with
+    // the relabeled delta, which preserves its patched transpose — the
+    // locality win and the PR 2 delta-build win compose.
+    CsrGraph permuted;
+    if (reorder) {
+      if (permutation_.empty()) {
+        QRANK_ASSIGN_OR_RETURN(ReorderedGraph r,
+                               ReorderGraph(induced, options.ordering));
+        permutation_ = std::move(r.perm);
+        permuted = std::move(r.graph);
+      } else if (incremental_step) {
+        QRANK_ASSIGN_OR_RETURN(
+            permuted,
+            prev_permuted.ApplyDelta(PermuteDelta(delta, permutation_)));
+      } else {
+        QRANK_ASSIGN_OR_RETURN(permuted, induced.Permute(permutation_));
+      }
+      if (!dirty.empty()) {
+        // The frontier rides along to the solve's label space.
+        std::vector<uint8_t> dirty_permuted(dirty.size(), 0);
+        for (NodeId u = 0; u < m; ++u) dirty_permuted[permutation_[u]] = dirty[u];
+        dirty = std::move(dirty_permuted);
+      }
+    }
+    const CsrGraph& solve_graph = reorder ? permuted : induced;
+
     PageRankOptions per_snapshot = options.pagerank;
     if (options.mode != SeriesMode::kScratch && !previous.empty()) {
       // Warm-start renormalization: project the previous probability
       // vector onto the (possibly different-sized) common node set.
+      // `previous` is already in the solve's label space.
       per_snapshot.initial_scores = ProjectToSize(previous, m);
     }
 
@@ -139,17 +175,18 @@ Status SnapshotSeries::ComputePageRanks(const SeriesComputeOptions& options) {
       delta_options.full_sweep_period = options.full_sweep_period;
       QRANK_ASSIGN_OR_RETURN(
           DeltaPageRankResult dr,
-          ComputeDeltaPageRank(induced, dirty, delta_options));
+          ComputeDeltaPageRank(solve_graph, dirty, delta_options));
       pr = std::move(dr.base);
       updates = dr.node_updates;
     } else {
-      QRANK_ASSIGN_OR_RETURN(pr, ComputePageRank(induced, per_snapshot));
+      QRANK_ASSIGN_OR_RETURN(pr, ComputePageRank(solve_graph, per_snapshot));
       updates = static_cast<uint64_t>(pr.iterations) * m;
     }
 
     previous_converged = pr.converged;
     if (options.mode != SeriesMode::kScratch) {
-      // Keep the probability-scale iterate for the next snapshot.
+      // Keep the probability-scale iterate for the next snapshot, in
+      // the solve's label space.
       previous = pr.scores;
       if (options.pagerank.scale == ScaleConvention::kTotalMassN) {
         for (double& s : previous) s *= inv_m;
@@ -157,6 +194,10 @@ Status SnapshotSeries::ComputePageRanks(const SeriesComputeOptions& options) {
     }
     iterations_.push_back(pr.iterations);
     node_updates_.push_back(updates);
+    if (reorder) {
+      pr.scores = RemapToOriginal(pr.scores, permutation_);
+      prev_permuted = std::move(permuted);
+    }
     common_graphs_.push_back(std::move(induced));
     pageranks_.push_back(std::move(pr.scores));
   }

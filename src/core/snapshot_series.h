@@ -31,6 +31,7 @@
 
 #include "common/status.h"
 #include "graph/csr_graph.h"
+#include "graph/reorder.h"
 #include "rank/pagerank.h"
 
 namespace qrank {
@@ -49,6 +50,17 @@ struct SeriesComputeOptions {
   /// (kIncremental only); see rank/delta_pagerank.h.
   double freeze_threshold = 0.25;
   uint32_t full_sweep_period = 8;
+
+  /// Cache-aware node ordering for the solves (graph/reorder.h). The
+  /// permutation is built ONCE, from the first snapshot's common
+  /// subgraph, and reused for every snapshot — consecutive crawls
+  /// overlap almost entirely, so one snapshot's locality ordering is
+  /// near-optimal for all of them, and a fixed permutation is what lets
+  /// kIncremental keep patching one permuted CSR (and its transpose)
+  /// in place. Solves run in the permuted label space; every public
+  /// artifact (pagerank(i), common_graph(i)) stays in original page
+  /// ids. kIdentity (default) skips the machinery entirely.
+  NodeOrdering ordering = NodeOrdering::kIdentity;
 };
 
 class SnapshotSeries {
@@ -102,8 +114,13 @@ class SnapshotSeries {
   bool has_pageranks() const { return !pageranks_.empty(); }
 
   /// The induced common subgraph of snapshot i (kept for inspection;
-  /// built by ComputePageRanks).
+  /// built by ComputePageRanks). Always labeled in ORIGINAL page ids,
+  /// whatever `ordering` the solves used.
   const CsrGraph& common_graph(size_t i) const { return common_graphs_[i]; }
+
+  /// The old -> new permutation the last ComputePageRanks solved under
+  /// (size CommonNodeCount()). Empty when the ordering was kIdentity.
+  const std::vector<NodeId>& permutation() const { return permutation_; }
 
  private:
   std::vector<double> times_;
@@ -112,6 +129,7 @@ class SnapshotSeries {
   std::vector<CsrGraph> graphs_;
   std::vector<CsrGraph> common_graphs_;
   std::vector<std::vector<double>> pageranks_;
+  std::vector<NodeId> permutation_;
 };
 
 /// Induces the subgraph of `g` on the id prefix [0, num_nodes), keeping

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "graph/reorder.h"
 
 namespace qrank {
 
@@ -155,6 +156,16 @@ void CsrGraph::BuildTransposeCache(TransposeCache* cache) const {
   }
 }
 
+std::span<const size_t> CsrGraph::in_offsets() const {
+  EnsureTranspose();
+  return transpose_->cache.offsets;
+}
+
+std::span<const NodeId> CsrGraph::in_sources() const {
+  EnsureTranspose();
+  return transpose_->cache.src;
+}
+
 std::span<const NodeId> CsrGraph::InNeighbors(NodeId u) const {
   QRANK_DCHECK(u < num_nodes_);
   EnsureTranspose();
@@ -289,6 +300,41 @@ CsrGraph CsrGraph::Transpose() const {
   t.offsets_ = transpose_->cache.offsets;
   t.dst_ = transpose_->cache.src;
   return t;
+}
+
+Result<CsrGraph> CsrGraph::Permute(const std::vector<NodeId>& perm) const {
+  QRANK_RETURN_NOT_OK(ValidatePermutation(perm, num_nodes_));
+  CsrGraph g;
+  g.num_nodes_ = num_nodes_;
+  g.offsets_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  g.dst_.resize(dst_.size());
+  // Degrees are invariant under relabeling: new row perm[u] has u's
+  // out-degree. Each new row is written by exactly one old node, so the
+  // fill parallelizes over old ids with disjoint writes.
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    g.offsets_[perm[u] + 1] = OutDegree(u);
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  ParallelForBlocks(static_cast<size_t>(num_nodes_), [&](size_t lo,
+                                                         size_t hi) {
+    for (size_t u = lo; u < hi; ++u) {
+      size_t pos = g.offsets_[perm[u]];
+      const size_t row_start = pos;
+      for (NodeId v : OutNeighbors(static_cast<NodeId>(u))) {
+        g.dst_[pos++] = perm[v];
+      }
+      // Relabeling scrambles the ascending order; restore it per row.
+      std::sort(g.dst_.begin() + row_start, g.dst_.begin() + pos);
+    }
+  });
+  if constexpr (kAuditLevel >= 2) {
+    const Status audit = g.CheckConsistency();
+    QRANK_CHECK(audit.ok())
+        << "Permute built an inconsistent CSR: " << audit.ToString();
+  }
+  return g;
 }
 
 }  // namespace qrank

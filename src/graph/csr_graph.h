@@ -68,6 +68,15 @@ class CsrGraph {
   /// The transposed graph as an independent CsrGraph (O(E)).
   CsrGraph Transpose() const;
 
+  /// Relabels every node: old id u becomes perm[u]. `perm` must be a
+  /// bijection on [0, num_nodes) (InvalidArgument otherwise — see
+  /// ValidatePermutation in graph/reorder.h). Adjacency rows are
+  /// re-sorted so the result satisfies the usual CSR invariants; the
+  /// transpose cache is not carried over (the permuted graph rebuilds
+  /// it lazily). Permute(perm) followed by Permute(inverse) round-trips
+  /// to an identical graph. O(E log d).
+  Result<CsrGraph> Permute(const std::vector<NodeId>& perm) const;
+
   /// Builds the cached transpose now if absent. Safe to call
   /// concurrently (std::call_once); parallel algorithms call it before
   /// fanning out readers so the O(E) build lands outside timed regions.
@@ -94,6 +103,12 @@ class CsrGraph {
   /// Raw CSR arrays, exposed for tight analytic loops.
   const std::vector<size_t>& offsets() const { return offsets_; }
   const std::vector<NodeId>& targets() const { return dst_; }
+
+  /// Raw cached-transpose arrays (in-edge CSR: row starts + sources),
+  /// for pull kernels that want pointer-chasing-free inner loops with
+  /// no per-row synchronization. Builds the transpose on first use.
+  std::span<const size_t> in_offsets() const;
+  std::span<const NodeId> in_sources() const;
 
   /// Structural self-check, O(E): monotone offsets with leading zero and
   /// total num_edges, in-range strictly-ascending self-loop-free

@@ -1,0 +1,234 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+#include "graph/graph_delta.h"
+
+namespace qrank {
+
+namespace {
+
+constexpr int kAuditLevel = QRANK_AUDIT_LEVEL;
+
+// Total (in + out) degree per node without materializing the transpose.
+std::vector<uint64_t> TotalDegrees(const CsrGraph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<uint64_t> degree(n, 0);
+  for (NodeId u = 0; u < n; ++u) degree[u] = g.OutDegree(u);
+  for (NodeId v : g.targets()) ++degree[v];
+  return degree;
+}
+
+// Old ids sorted by total degree descending, ties by lower old id — the
+// deterministic seed order shared by the hub sort and the BFS waves.
+std::vector<NodeId> ByDegreeDescending(const CsrGraph& g) {
+  const NodeId n = g.num_nodes();
+  const std::vector<uint64_t> degree = TotalDegrees(g);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return degree[a] > degree[b];
+  });
+  return order;
+}
+
+// BFS visitation order over the undirected link structure: waves seeded
+// at the highest-degree unvisited node; within a node, out-neighbors in
+// ascending id order first, then in-neighbors.
+std::vector<NodeId> BfsOrder(const CsrGraph& g) {
+  const NodeId n = g.num_nodes();
+  const std::vector<NodeId> seeds = ByDegreeDescending(g);
+  g.BuildTranspose();
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  size_t seed_cursor = 0;
+  while (order.size() < n) {
+    while (visited[seeds[seed_cursor]]) ++seed_cursor;
+    const NodeId seed = seeds[seed_cursor];
+    visited[seed] = 1;
+    queue.clear();
+    queue.push_back(seed);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      order.push_back(u);
+      for (NodeId v : g.OutNeighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          queue.push_back(v);
+        }
+      }
+      for (NodeId v : g.InNeighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+// order[k] = old id placed at new id k  ->  perm[old] = new.
+std::vector<NodeId> PermFromOrder(const std::vector<NodeId>& order) {
+  std::vector<NodeId> perm(order.size());
+  for (NodeId k = 0; k < order.size(); ++k) perm[order[k]] = k;
+  return perm;
+}
+
+}  // namespace
+
+const char* NodeOrderingName(NodeOrdering ordering) {
+  switch (ordering) {
+    case NodeOrdering::kIdentity:
+      return "identity";
+    case NodeOrdering::kDegreeDescending:
+      return "degree";
+    case NodeOrdering::kBfsLocality:
+      return "bfs";
+  }
+  return "unknown";
+}
+
+Result<NodeOrdering> ParseNodeOrdering(std::string_view name) {
+  if (name == "identity") return NodeOrdering::kIdentity;
+  if (name == "degree") return NodeOrdering::kDegreeDescending;
+  if (name == "bfs") return NodeOrdering::kBfsLocality;
+  return Status::InvalidArgument("unknown node ordering '" +
+                                 std::string(name) +
+                                 "' (want identity, degree or bfs)");
+}
+
+Status ValidatePermutation(const std::vector<NodeId>& perm, NodeId n) {
+  if (perm.size() != n) {
+    return Status::InvalidArgument(
+        "permutation has " + std::to_string(perm.size()) +
+        " entries, want num_nodes = " + std::to_string(n));
+  }
+  std::vector<uint8_t> seen(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (perm[u] >= n) {
+      return Status::InvalidArgument(
+          "permutation maps node " + std::to_string(u) + " to " +
+          std::to_string(perm[u]) + ", outside [0, " + std::to_string(n) +
+          ")");
+    }
+    if (seen[perm[u]]) {
+      return Status::InvalidArgument(
+          "permutation is not injective: new id " + std::to_string(perm[u]) +
+          " assigned twice (second time to node " + std::to_string(u) + ")");
+    }
+    seen[perm[u]] = 1;
+  }
+  return Status::OK();
+}
+
+std::vector<NodeId> IdentityPermutation(NodeId n) {
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  return perm;
+}
+
+std::vector<NodeId> InvertPermutation(const std::vector<NodeId>& perm) {
+  std::vector<NodeId> inverse(perm.size());
+  for (NodeId u = 0; u < perm.size(); ++u) inverse[perm[u]] = u;
+  return inverse;
+}
+
+std::vector<NodeId> ComposePermutations(const std::vector<NodeId>& first,
+                                        const std::vector<NodeId>& second) {
+  QRANK_CHECK(first.size() == second.size())
+      << "composed permutations must act on the same node set ("
+      << first.size() << " vs " << second.size() << ")";
+  std::vector<NodeId> out(first.size());
+  for (NodeId u = 0; u < first.size(); ++u) out[u] = second[first[u]];
+  return out;
+}
+
+Result<std::vector<NodeId>> BuildNodeOrdering(const CsrGraph& graph,
+                                              NodeOrdering ordering) {
+  switch (ordering) {
+    case NodeOrdering::kIdentity:
+      return IdentityPermutation(graph.num_nodes());
+    case NodeOrdering::kDegreeDescending:
+      return PermFromOrder(ByDegreeDescending(graph));
+    case NodeOrdering::kBfsLocality:
+      return PermFromOrder(BfsOrder(graph));
+  }
+  return Status::InvalidArgument("unknown NodeOrdering value");
+}
+
+Result<ReorderedGraph> ReorderGraph(const CsrGraph& graph,
+                                    NodeOrdering ordering) {
+  ReorderedGraph out;
+  QRANK_ASSIGN_OR_RETURN(out.perm, BuildNodeOrdering(graph, ordering));
+  out.inverse = InvertPermutation(out.perm);
+  QRANK_ASSIGN_OR_RETURN(out.graph, graph.Permute(out.perm));
+  if constexpr (kAuditLevel >= 2) {
+    // The permutation and the relabeled graph are what every downstream
+    // consumer (kernels, series, estimator remap) trusts; re-validate
+    // bijectivity and the Permute∘Permute⁻¹ round trip before handing
+    // them out.
+    const Status bijective = ValidatePermutation(out.perm, graph.num_nodes());
+    QRANK_CHECK(bijective.ok())
+        << "built a non-bijective ordering: " << bijective.ToString();
+    const Result<CsrGraph> back = out.graph.Permute(out.inverse);
+    QRANK_CHECK(back.ok()) << back.status().ToString();
+    QRANK_CHECK(back.value().offsets() == graph.offsets() &&
+                back.value().targets() == graph.targets())
+        << "Permute round trip does not reproduce the input graph under "
+        << NodeOrderingName(ordering) << " ordering";
+  }
+  return out;
+}
+
+std::vector<double> RemapToOriginal(const std::vector<double>& permuted_scores,
+                                    const std::vector<NodeId>& perm) {
+  QRANK_CHECK(permuted_scores.size() == perm.size())
+      << "score vector size " << permuted_scores.size()
+      << " does not match permutation size " << perm.size();
+  std::vector<double> out(perm.size());
+  for (NodeId u = 0; u < perm.size(); ++u) out[u] = permuted_scores[perm[u]];
+  return out;
+}
+
+std::vector<double> RemapToPermuted(const std::vector<double>& original_scores,
+                                    const std::vector<NodeId>& perm) {
+  QRANK_CHECK(original_scores.size() == perm.size())
+      << "score vector size " << original_scores.size()
+      << " does not match permutation size " << perm.size();
+  std::vector<double> out(perm.size());
+  for (NodeId u = 0; u < perm.size(); ++u) out[perm[u]] = original_scores[u];
+  return out;
+}
+
+GraphDelta PermuteDelta(const GraphDelta& delta,
+                        const std::vector<NodeId>& perm) {
+  QRANK_CHECK(perm.size() >= delta.old_num_nodes &&
+              perm.size() >= delta.new_num_nodes)
+      << "permutation of size " << perm.size()
+      << " cannot relabel a delta over " << delta.old_num_nodes << " -> "
+      << delta.new_num_nodes << " nodes";
+  GraphDelta out;
+  out.old_num_nodes = delta.old_num_nodes;
+  out.new_num_nodes = delta.new_num_nodes;
+  auto map_edges = [&](const std::vector<Edge>& edges) {
+    std::vector<Edge> mapped;
+    mapped.reserve(edges.size());
+    for (const Edge& e : edges) {
+      mapped.push_back({perm[e.src], perm[e.dst]});
+    }
+    std::sort(mapped.begin(), mapped.end());
+    return mapped;
+  };
+  out.added = map_edges(delta.added);
+  out.removed = map_edges(delta.removed);
+  return out;
+}
+
+}  // namespace qrank

@@ -32,7 +32,9 @@ Result<AdaptivePageRankResult> ComputeAdaptivePageRank(
   const double alpha = options.base.damping;
   const std::vector<double> v = TeleportDistribution(graph, options.base);
 
-  const CsrGraph transpose = graph.Transpose();
+  // Cached transpose, shared across engines on this graph — no O(E)
+  // private copy.
+  graph.BuildTranspose();
   std::vector<double> inv_outdeg(n, 0.0);
   for (NodeId u = 0; u < n; ++u) {
     uint32_t d = graph.OutDegree(u);
@@ -58,7 +60,7 @@ Result<AdaptivePageRankResult> ComputeAdaptivePageRank(
         continue;
       }
       double pull = 0.0;
-      for (NodeId u : transpose.OutNeighbors(i)) {
+      for (NodeId u : graph.InNeighbors(i)) {
         pull += x[u] * inv_outdeg[u];
       }
       double fresh = teleport_mass * v[i] + alpha * pull;
@@ -103,7 +105,7 @@ Result<AdaptivePageRankResult> ComputeAdaptivePageRank(
     double residual = 0.0;
     for (NodeId i = 0; i < n; ++i) {
       double pull = 0.0;
-      for (NodeId u : transpose.OutNeighbors(i)) {
+      for (NodeId u : graph.InNeighbors(i)) {
         pull += x[u] * inv_outdeg[u];
       }
       double fresh = teleport_mass * v[i] + alpha * pull;

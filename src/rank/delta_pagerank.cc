@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/parallel_for.h"
 #include "rank/internal.h"
+#include "rank/pagerank_kernel.h"
 #include "rank/rank_vector.h"
 
 namespace qrank {
@@ -60,6 +61,15 @@ Result<DeltaPageRankResult> ComputeDeltaPageRank(
   ParallelOptions par;
   par.num_threads = options.base.num_threads;
 
+  // Fixed row partition shared by every pass and reduce of the solve
+  // (edge-balanced by default, so the hub blocks of a power-law graph
+  // don't serialize the sweep), plus one reduce-scratch buffer grown
+  // once — the iteration loop below performs no allocations.
+  const std::vector<size_t> bounds =
+      rank_internal::PullSweepBoundaries(graph, options.base.partition,
+                                         par.grain);
+  std::vector<double> reduce_scratch;
+
   std::vector<double> inv_outdeg(n, 0.0);
   bool has_dangling = false;
   for (NodeId u = 0; u < n; ++u) {
@@ -96,8 +106,8 @@ Result<DeltaPageRankResult> ComputeDeltaPageRank(
   // refreshed only for recomputed rows (a frozen page's share is frozen
   // with it), so partial sweeps cost O(awake), not O(n).
   std::vector<double> out_share(n, 0.0);
-  ParallelForBlocks(
-      n,
+  ParallelForPartition(
+      bounds,
       [&](size_t lo, size_t hi) {
         for (size_t u = lo; u < hi; ++u) out_share[u] = x[u] * inv_outdeg[u];
       },
@@ -105,16 +115,16 @@ Result<DeltaPageRankResult> ComputeDeltaPageRank(
 
   auto exact_dangling = [&](const std::vector<double>& scores) {
     if (!has_dangling) return 0.0;
-    return ParallelReduce(
-        n,
+    return ParallelReducePartition<1>(
+        bounds,
         [&](size_t lo, size_t hi) {
           double sum = 0.0;
           for (size_t u = lo; u < hi; ++u) {
             if (inv_outdeg[u] == 0.0) sum += scores[u];
           }
-          return sum;
+          return std::array<double, 1>{sum};
         },
-        par);
+        &reduce_scratch, par)[0];
   };
 
   // Dangling mass (footnote 2), redistributed teleport-shaped. Tracked
@@ -157,8 +167,8 @@ Result<DeltaPageRankResult> ComputeDeltaPageRank(
     // partial sweeps. The update count is an exact integer, so a relaxed
     // atomic add per block keeps it deterministic too.
     std::atomic<uint64_t> updates{0};
-    result.base.residual = ParallelReduce(
-        n,
+    result.base.residual = ParallelReducePartition<1>(
+        bounds,
         [&](size_t lo, size_t hi) {
           double sum = 0.0;
           uint64_t count = 0;
@@ -186,13 +196,13 @@ Result<DeltaPageRankResult> ComputeDeltaPageRank(
             }
           }
           updates.fetch_add(count, std::memory_order_relaxed);
-          return sum;
+          return std::array<double, 1>{sum};
         },
-        par);
+        &reduce_scratch, par)[0];
     result.node_updates += updates.load(std::memory_order_relaxed);
     if (has_dangling && !full_sweep) {
-      dangling += ParallelReduce(
-          n,
+      dangling += ParallelReducePartition<1>(
+          bounds,
           [&](size_t lo, size_t hi) {
             double sum = 0.0;
             for (size_t i = lo; i < hi; ++i) {
@@ -200,17 +210,17 @@ Result<DeltaPageRankResult> ComputeDeltaPageRank(
                 sum += x[i] - old_dangling[i];
               }
             }
-            return sum;
+            return std::array<double, 1>{sum};
           },
-          par);
+          &reduce_scratch, par)[0];
     }
 
     // Freeze update, woken reset, and out_share refresh for recomputed
     // rows: a page stays/becomes frozen iff it did not cross its budget
     // and no in-neighbor woke it. Rows skipped this sweep only need a
     // write when someone woke them, so the steady-state cost is reads.
-    ParallelForBlocks(
-        n,
+    ParallelForPartition(
+        bounds,
         [&](size_t lo, size_t hi) {
           for (size_t i = lo; i < hi; ++i) {
             if (frozen[i] && !full_sweep) {  // skipped this sweep
@@ -242,20 +252,20 @@ Result<DeltaPageRankResult> ComputeDeltaPageRank(
   if (!result.base.converged) {
     dangling = exact_dangling(x);
     const double base_mass = 1.0 - alpha + alpha * dangling;
-    ParallelForBlocks(
-        n,
+    ParallelForPartition(
+        bounds,
         [&](size_t lo, size_t hi) {
           for (size_t u = lo; u < hi; ++u) out_share[u] = x[u] * inv_outdeg[u];
         },
         par);
-    result.base.residual = ParallelReduce(
-        n,
+    result.base.residual = ParallelReducePartition<1>(
+        bounds,
         [&](size_t lo, size_t hi) {
           double sum = 0.0;
           for (size_t i = lo; i < hi; ++i) sum += update_row(i, base_mass);
-          return sum;
+          return std::array<double, 1>{sum};
         },
-        par);
+        &reduce_scratch, par)[0];
     result.node_updates += n;
     if (result.base.residual < options.base.tolerance) {
       result.base.converged = true;

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/parallel_for.h"
 #include "rank/internal.h"
+#include "rank/pagerank_kernel.h"
 #include "rank/rank_vector.h"
 
 namespace qrank {
@@ -142,68 +143,18 @@ Result<PageRankResult> ComputePageRank(const CsrGraph& graph,
     return result;
   }
 
-  const double alpha = options.damping;
-  const std::vector<double> v = TeleportDistribution(graph, options);
-  std::vector<double> x = rank_internal::InitialIterate(options, v);
-  std::vector<double> next(n, 0.0);
-
   // Pull formulation: next[i] depends only on x and read-only CSR
   // arrays, so rows parallelize with no write conflicts, and each row's
   // in-neighbor sum runs in the fixed ascending-source order — the
-  // iterates are bit-identical for every thread count.
-  graph.BuildTranspose();
-  ParallelOptions par;
-  par.num_threads = options.num_threads;
-  std::vector<double> out_share(n, 0.0);  // x[u]/c_u, 0 for dangling u
-  std::vector<double> inv_outdeg(n, 0.0);
-  for (NodeId u = 0; u < n; ++u) {
-    uint32_t d = graph.OutDegree(u);
-    if (d > 0) inv_outdeg[u] = 1.0 / static_cast<double>(d);
-  }
+  // iterates are bit-identical for every thread count. The per-sweep
+  // work (residual, dangling carry, out-share refresh) is fused into a
+  // single allocation-free pass; see rank/pagerank_kernel.h.
+  const std::vector<double> v = TeleportDistribution(graph, options);
+  rank_internal::PageRankKernel kernel(
+      graph, options, v, rank_internal::InitialIterate(options, v));
 
   for (uint32_t iter = 1; iter <= options.max_iterations; ++iter) {
-    // Dangling mass (footnote 2) redistributed teleport-shaped.
-    const double dangling = ParallelReduce(
-        n,
-        [&](size_t lo, size_t hi) {
-          double sum = 0.0;
-          for (size_t u = lo; u < hi; ++u) {
-            if (inv_outdeg[u] == 0.0) sum += x[u];
-          }
-          return sum;
-        },
-        par);
-    const double base = 1.0 - alpha;
-    const double dangling_share = alpha * dangling;
-
-    ParallelForBlocks(
-        n,
-        [&](size_t lo, size_t hi) {
-          for (size_t u = lo; u < hi; ++u) out_share[u] = x[u] * inv_outdeg[u];
-        },
-        par);
-    ParallelForBlocks(
-        n,
-        [&](size_t lo, size_t hi) {
-          for (size_t i = lo; i < hi; ++i) {
-            double pull = 0.0;
-            for (NodeId u : graph.InNeighbors(static_cast<NodeId>(i))) {
-              pull += out_share[u];
-            }
-            next[i] = (base + dangling_share) * v[i] + alpha * pull;
-          }
-        },
-        par);
-
-    result.residual = ParallelReduce(
-        n,
-        [&](size_t lo, size_t hi) {
-          double sum = 0.0;
-          for (size_t i = lo; i < hi; ++i) sum += std::fabs(next[i] - x[i]);
-          return sum;
-        },
-        par);
-    x.swap(next);
+    result.residual = kernel.Sweep();
     result.iterations = iter;
     if (result.residual < options.tolerance) {
       result.converged = true;
@@ -211,7 +162,7 @@ Result<PageRankResult> ComputePageRank(const CsrGraph& graph,
     }
   }
 
-  result.scores = std::move(x);
+  result.scores = kernel.TakeScores();
   QRANK_RETURN_NOT_OK(FinishResult(graph, options, &result));
   if constexpr (kAuditLevel >= 2) {
     // Jacobi's declared convergence means the last update moved less
@@ -251,8 +202,10 @@ Result<PageRankResult> ComputePageRankGaussSeidel(
   const std::vector<double> v = TeleportDistribution(graph, options);
   std::vector<double> x = rank_internal::InitialIterate(options, v);
 
-  // Pull formulation over the transpose; out-degrees cached once.
-  const CsrGraph transpose = graph.Transpose();
+  // Pull formulation over the cached transpose (shared with any other
+  // engine on this graph — no O(E) private copy); out-degrees cached
+  // once.
+  graph.BuildTranspose();
   std::vector<double> inv_outdeg(n, 0.0);
   for (NodeId u = 0; u < n; ++u) {
     uint32_t d = graph.OutDegree(u);
@@ -269,7 +222,7 @@ Result<PageRankResult> ComputePageRankGaussSeidel(
     double residual = 0.0;
     for (NodeId i = 0; i < n; ++i) {
       double pull = 0.0;
-      for (NodeId u : transpose.OutNeighbors(i)) {
+      for (NodeId u : graph.InNeighbors(i)) {
         pull += x[u] * inv_outdeg[u];
       }
       double fresh =

@@ -43,6 +43,20 @@ enum class ScaleConvention {
   kTotalMassN,   // scores sum to num_nodes (paper's Section 8 convention)
 };
 
+/// How the Jacobi pull sweep splits rows into fixed parallel blocks.
+/// Either way the partition depends only on the graph and the grain —
+/// never on the thread count — so scores stay bit-identical across
+/// --threads values; the two partitions are distinct deterministic
+/// engines (different summation order, same fixed point).
+enum class SweepPartition {
+  /// Equal node count per block. On power-law graphs the block holding
+  /// the hubs carries most of the edges and the other threads idle.
+  kNodeBalanced,
+  /// Equal work per block, weighting row i by in_degree(i) + 1 (one
+  /// binary search per boundary over the transpose CSR offsets).
+  kEdgeBalanced,
+};
+
 struct PageRankOptions {
   /// Probability of following a link (1 - paper's d). 0.85 is the
   /// standard Brin-Page value.
@@ -79,6 +93,12 @@ struct PageRankOptions {
   /// calling thread. Scores do not depend on this value — reductions
   /// use a fixed block tree (see common/parallel_for.h).
   int num_threads = 0;
+
+  /// Row partition of the Jacobi sweep (see SweepPartition). Edge
+  /// balancing is the default: it fixes the thread-skew that node
+  /// blocks suffer on hub-heavy web graphs and costs one boundary
+  /// computation per solve.
+  SweepPartition partition = SweepPartition::kEdgeBalanced;
 };
 
 struct PageRankResult {

@@ -1,0 +1,118 @@
+#include "rank/pagerank_kernel.h"
+
+#include <cmath>
+
+namespace qrank {
+namespace rank_internal {
+
+std::vector<size_t> PullSweepBoundaries(const CsrGraph& graph,
+                                        SweepPartition partition,
+                                        size_t grain) {
+  const size_t n = graph.num_nodes();
+  if (grain == 0) grain = 1;
+  if (partition == SweepPartition::kNodeBalanced) {
+    return UniformBoundaries(n, grain);
+  }
+  // Row i costs one gather per in-edge plus constant row work: weight
+  // in_degree(i) + 1, prefix w[i] = in_offsets[i] + i. Same block count
+  // as the uniform partition, so only the boundaries move.
+  const std::span<const size_t> in_off = graph.in_offsets();
+  std::vector<size_t> prefix(n + 1);
+  for (size_t i = 0; i <= n; ++i) prefix[i] = in_off[i] + i;
+  return WeightBalancedBoundaries(prefix, NumBlocks(n, grain));
+}
+
+PageRankKernel::PageRankKernel(const CsrGraph& graph,
+                               const PageRankOptions& options,
+                               const std::vector<double>& teleport,
+                               std::vector<double> initial)
+    : n_(graph.num_nodes()),
+      alpha_(options.damping),
+      v_(teleport),
+      x_(std::move(initial)) {
+  par_.num_threads = options.num_threads;
+  graph.BuildTranspose();
+  in_offsets_ = graph.in_offsets();
+  in_sources_ = graph.in_sources();
+  bounds_ = PullSweepBoundaries(graph, options.partition, par_.grain);
+
+  inv_outdeg_.assign(n_, 0.0);
+  for (NodeId u = 0; u < n_; ++u) {
+    const uint32_t d = graph.OutDegree(u);
+    if (d > 0) inv_outdeg_[u] = 1.0 / static_cast<double>(d);
+  }
+
+  next_.assign(n_, 0.0);
+  out_share_.assign(n_, 0.0);
+  next_out_share_.assign(n_, 0.0);
+  const size_t blocks = bounds_.empty() ? 0 : bounds_.size() - 1;
+  reduce_scratch_.assign(2 * blocks, 0.0);
+
+  // Seed the sweep-carried state from the initial iterate: out-shares
+  // and the dangling sum every later sweep gets for free from its
+  // predecessor's fused pass.
+  const std::array<double, 1> seeded = ParallelReducePartition<1>(
+      bounds_,
+      [&](size_t lo, size_t hi) {
+        double dangling = 0.0;
+        for (size_t u = lo; u < hi; ++u) {
+          out_share_[u] = x_[u] * inv_outdeg_[u];
+          if (inv_outdeg_[u] == 0.0) dangling += x_[u];
+        }
+        return std::array<double, 1>{dangling};
+      },
+      &reduce_scratch_, par_);
+  dangling_ = seeded[0];
+}
+
+double PageRankKernel::Sweep() {
+  const double base_weight = 1.0 - alpha_ + alpha_ * dangling_;
+  const double alpha = alpha_;
+  const size_t* in_off = in_offsets_.data();
+  const NodeId* in_src = in_sources_.data();
+  const double* x = x_.data();
+  const double* v = v_.data();
+  const double* out_share = out_share_.data();
+  const double* inv_outdeg = inv_outdeg_.data();
+  double* next = next_.data();
+  double* next_out_share = next_out_share_.data();
+
+  const std::array<double, 2> sums = ParallelReducePartition<2>(
+      bounds_,
+      [&](size_t lo, size_t hi) {
+        double residual = 0.0;
+        double next_dangling = 0.0;
+        for (size_t i = lo; i < hi; ++i) {
+          // Four accumulators break the serial FP-add dependency chain so
+          // the gathers overlap; the fold order depends only on the row's
+          // in-degree, never on the partition, keeping scores bit-identical
+          // across thread counts.
+          double p0 = 0.0, p1 = 0.0, p2 = 0.0, p3 = 0.0;
+          size_t k = in_off[i];
+          const size_t end = in_off[i + 1];
+          for (; k + 4 <= end; k += 4) {
+            p0 += out_share[in_src[k]];
+            p1 += out_share[in_src[k + 1]];
+            p2 += out_share[in_src[k + 2]];
+            p3 += out_share[in_src[k + 3]];
+          }
+          for (; k < end; ++k) p0 += out_share[in_src[k]];
+          const double pull = (p0 + p1) + (p2 + p3);
+          const double fresh = base_weight * v[i] + alpha * pull;
+          residual += std::fabs(fresh - x[i]);
+          if (inv_outdeg[i] == 0.0) next_dangling += fresh;
+          next[i] = fresh;
+          next_out_share[i] = fresh * inv_outdeg[i];
+        }
+        return std::array<double, 2>{residual, next_dangling};
+      },
+      &reduce_scratch_, par_);
+
+  x_.swap(next_);
+  out_share_.swap(next_out_share_);
+  dangling_ = sums[1];
+  return sums[0];
+}
+
+}  // namespace rank_internal
+}  // namespace qrank

@@ -24,7 +24,9 @@ Result<TrafficRankResult> ComputeTrafficRank(
     return result;
   }
 
-  const CsrGraph transpose = graph.Transpose();
+  // Cached transpose, shared across engines on this graph — no O(E)
+  // private copy.
+  graph.BuildTranspose();
   // beta[0..n) are real pages; beta[n] is the virtual world page that
   // links to and from every real page.
   std::vector<double> beta(static_cast<size_t>(n) + 1, 1.0);
@@ -44,7 +46,7 @@ Result<TrafficRankResult> ComputeTrafficRank(
       double out_sum = beta[n];  // virtual out-edge j -> world
       for (NodeId k : graph.OutNeighbors(j)) out_sum += beta[k];
       double in_sum = 1.0 / beta[n];  // virtual in-edge world -> j
-      for (NodeId i : transpose.OutNeighbors(j)) in_sum += 1.0 / beta[i];
+      for (NodeId i : graph.InNeighbors(j)) in_sum += 1.0 / beta[i];
       double target = std::sqrt(out_sum / in_sum);
       fresh[j] = gamma >= 1.0
                      ? target

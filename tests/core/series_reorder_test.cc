@@ -1,0 +1,175 @@
+// SnapshotSeries under cache-aware reordering: every (mode, ordering)
+// combination must produce the same per-snapshot scores as the
+// identity-order scratch solve, keep the public artifacts in original
+// page ids, and expose the permutation it solved under.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/snapshot_series.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+
+namespace qrank {
+namespace {
+
+// Random churn: drop `drop_count` edges, add `add_count`, same node set.
+CsrGraph Evolve(const CsrGraph& g, int add_count, int drop_count, Rng* rng) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) edges.push_back({u, v});
+  }
+  for (int k = 0; k < drop_count && !edges.empty(); ++k) {
+    const size_t idx = rng->UniformUint64(edges.size());
+    edges[idx] = edges.back();
+    edges.pop_back();
+  }
+  const NodeId n = g.num_nodes();
+  for (int k = 0; k < add_count; ++k) {
+    const NodeId u = static_cast<NodeId>(rng->UniformUint64(n));
+    const NodeId v = static_cast<NodeId>(rng->UniformUint64(n));
+    if (u != v) edges.push_back({u, v});
+  }
+  return CsrGraph::FromEdges(n, edges).value();
+}
+
+// Four snapshots of a site-clustered web with light churn between
+// consecutive crawls (the Section 8.1 shape).
+SnapshotSeries MakeSeries() {
+  Rng rng(42);
+  SnapshotSeries series;
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateSiteClustered(6, 12, 3, 2, &rng).value())
+                   .value();
+  EXPECT_TRUE(series.AddSnapshot(0.0, g).ok());
+  for (int i = 1; i < 4; ++i) {
+    g = Evolve(g, 6, 4, &rng);
+    EXPECT_TRUE(series.AddSnapshot(static_cast<double>(i), g).ok());
+  }
+  return series;
+}
+
+SeriesComputeOptions Options(SeriesMode mode, NodeOrdering ordering) {
+  SeriesComputeOptions o;
+  o.pagerank.tolerance = 1e-12;
+  o.pagerank.max_iterations = 2000;
+  o.mode = mode;
+  o.ordering = ordering;
+  return o;
+}
+
+bool SameGraph(const CsrGraph& a, const CsrGraph& b) {
+  return a.num_nodes() == b.num_nodes() &&
+         std::equal(a.offsets().begin(), a.offsets().end(),
+                    b.offsets().begin(), b.offsets().end()) &&
+         std::equal(a.targets().begin(), a.targets().end(),
+                    b.targets().begin(), b.targets().end());
+}
+
+TEST(SeriesReorderTest, AllModesAndOrderingsAgreeWithIdentityScratch) {
+  SnapshotSeries reference = MakeSeries();
+  ASSERT_TRUE(reference
+                  .ComputePageRanks(
+                      Options(SeriesMode::kScratch, NodeOrdering::kIdentity))
+                  .ok());
+
+  for (SeriesMode mode : {SeriesMode::kScratch, SeriesMode::kWarmStart,
+                          SeriesMode::kIncremental}) {
+    for (NodeOrdering ordering :
+         {NodeOrdering::kIdentity, NodeOrdering::kDegreeDescending,
+          NodeOrdering::kBfsLocality}) {
+      SnapshotSeries series = MakeSeries();
+      ASSERT_TRUE(series.ComputePageRanks(Options(mode, ordering)).ok())
+          << NodeOrderingName(ordering);
+      for (size_t i = 0; i < series.num_snapshots(); ++i) {
+        const std::vector<double>& got = series.pagerank(i);
+        const std::vector<double>& want = reference.pagerank(i);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t u = 0; u < got.size(); ++u) {
+          ASSERT_NEAR(got[u], want[u], 1e-8)
+              << "snapshot " << i << " node " << u << " mode "
+              << static_cast<int>(mode) << " ordering "
+              << NodeOrderingName(ordering);
+        }
+      }
+    }
+  }
+}
+
+TEST(SeriesReorderTest, CommonGraphsStayInOriginalIds) {
+  SnapshotSeries reference = MakeSeries();
+  ASSERT_TRUE(reference
+                  .ComputePageRanks(
+                      Options(SeriesMode::kScratch, NodeOrdering::kIdentity))
+                  .ok());
+  for (SeriesMode mode : {SeriesMode::kScratch, SeriesMode::kWarmStart,
+                          SeriesMode::kIncremental}) {
+    SnapshotSeries series = MakeSeries();
+    ASSERT_TRUE(series
+                    .ComputePageRanks(
+                        Options(mode, NodeOrdering::kBfsLocality))
+                    .ok());
+    for (size_t i = 0; i < series.num_snapshots(); ++i) {
+      EXPECT_TRUE(SameGraph(series.common_graph(i),
+                            reference.common_graph(i)))
+          << "snapshot " << i;
+    }
+  }
+}
+
+TEST(SeriesReorderTest, PermutationExposedAndValid) {
+  for (NodeOrdering ordering :
+       {NodeOrdering::kDegreeDescending, NodeOrdering::kBfsLocality}) {
+    SnapshotSeries series = MakeSeries();
+    ASSERT_TRUE(series
+                    .ComputePageRanks(
+                        Options(SeriesMode::kIncremental, ordering))
+                    .ok());
+    EXPECT_TRUE(ValidatePermutation(series.permutation(),
+                                    series.CommonNodeCount())
+                    .ok())
+        << NodeOrderingName(ordering);
+  }
+}
+
+TEST(SeriesReorderTest, IdentityOrderingLeavesPermutationEmpty) {
+  SnapshotSeries series = MakeSeries();
+  ASSERT_TRUE(series
+                  .ComputePageRanks(
+                      Options(SeriesMode::kWarmStart, NodeOrdering::kIdentity))
+                  .ok());
+  EXPECT_TRUE(series.permutation().empty());
+}
+
+TEST(SeriesReorderTest, ReorderingDoesNotChangeWorkAccounting) {
+  // The incremental engine's update counts are a function of the delta,
+  // not of the label space it is solved in: reordering must not inflate
+  // the work the series reports.
+  SnapshotSeries plain = MakeSeries();
+  ASSERT_TRUE(plain
+                  .ComputePageRanks(Options(SeriesMode::kIncremental,
+                                            NodeOrdering::kIdentity))
+                  .ok());
+  SnapshotSeries reordered = MakeSeries();
+  ASSERT_TRUE(reordered
+                  .ComputePageRanks(Options(SeriesMode::kIncremental,
+                                            NodeOrdering::kBfsLocality))
+                  .ok());
+  ASSERT_EQ(plain.node_updates_per_snapshot().size(),
+            reordered.node_updates_per_snapshot().size());
+  // Same number of snapshots solved incrementally; iteration counts may
+  // differ by a round due to different FP rounding, but not wildly.
+  for (size_t i = 0; i < plain.iterations_per_snapshot().size(); ++i) {
+    EXPECT_NEAR(
+        static_cast<double>(plain.iterations_per_snapshot()[i]),
+        static_cast<double>(reordered.iterations_per_snapshot()[i]), 2.0)
+        << "snapshot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace qrank

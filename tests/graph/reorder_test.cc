@@ -1,0 +1,220 @@
+#include "graph/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "audit/audit.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_delta.h"
+
+namespace qrank {
+namespace {
+
+CsrGraph Graph(NodeId n, const std::vector<Edge>& edges) {
+  return CsrGraph::FromEdges(n, edges).value();
+}
+
+// A fixed medium graph with community structure for the builders.
+CsrGraph SiteGraph() {
+  Rng rng(7);
+  return CsrGraph::FromEdgeList(
+             GenerateSiteClustered(8, 16, 3, 2, &rng).value())
+      .value();
+}
+
+bool SameGraph(const CsrGraph& a, const CsrGraph& b) {
+  return a.num_nodes() == b.num_nodes() &&
+         std::equal(a.offsets().begin(), a.offsets().end(),
+                    b.offsets().begin(), b.offsets().end()) &&
+         std::equal(a.targets().begin(), a.targets().end(),
+                    b.targets().begin(), b.targets().end());
+}
+
+TEST(ValidatePermutationTest, AcceptsBijections) {
+  EXPECT_TRUE(ValidatePermutation({}, 0).ok());
+  EXPECT_TRUE(ValidatePermutation({0}, 1).ok());
+  EXPECT_TRUE(ValidatePermutation({2, 0, 1}, 3).ok());
+  EXPECT_TRUE(ValidatePermutation(IdentityPermutation(17), 17).ok());
+}
+
+TEST(ValidatePermutationTest, RejectsWrongSize) {
+  EXPECT_FALSE(ValidatePermutation({0, 1}, 3).ok());
+  EXPECT_FALSE(ValidatePermutation({0, 1, 2}, 2).ok());
+}
+
+TEST(ValidatePermutationTest, RejectsOutOfRange) {
+  EXPECT_FALSE(ValidatePermutation({0, 3, 1}, 3).ok());
+}
+
+TEST(ValidatePermutationTest, RejectsDuplicates) {
+  EXPECT_FALSE(ValidatePermutation({0, 1, 1}, 3).ok());
+  EXPECT_FALSE(ValidatePermutation({2, 2, 0}, 3).ok());
+}
+
+TEST(PermutationAlgebraTest, InverseRoundTrips) {
+  const std::vector<NodeId> perm = {3, 1, 4, 0, 2};
+  const std::vector<NodeId> inv = InvertPermutation(perm);
+  ASSERT_TRUE(ValidatePermutation(inv, 5).ok());
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_EQ(inv[perm[u]], u);
+    EXPECT_EQ(perm[inv[u]], u);
+  }
+}
+
+TEST(PermutationAlgebraTest, ComposeAppliesFirstThenSecond) {
+  const std::vector<NodeId> first = {1, 2, 0};
+  const std::vector<NodeId> second = {2, 0, 1};
+  const std::vector<NodeId> both = ComposePermutations(first, second);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(both[u], second[first[u]]);
+}
+
+TEST(PermutationAlgebraTest, ComposeWithInverseIsIdentity) {
+  Rng rng(11);
+  std::vector<NodeId> perm = IdentityPermutation(64);
+  for (NodeId i = 64; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.UniformUint64(i)]);
+  }
+  EXPECT_EQ(ComposePermutations(perm, InvertPermutation(perm)),
+            IdentityPermutation(64));
+}
+
+TEST(BuildNodeOrderingTest, IdentityIsIdentity) {
+  const CsrGraph g = SiteGraph();
+  EXPECT_EQ(BuildNodeOrdering(g, NodeOrdering::kIdentity).value(),
+            IdentityPermutation(g.num_nodes()));
+}
+
+TEST(BuildNodeOrderingTest, AllOrderingsAreValidPermutations) {
+  const CsrGraph g = SiteGraph();
+  for (NodeOrdering o :
+       {NodeOrdering::kIdentity, NodeOrdering::kDegreeDescending,
+        NodeOrdering::kBfsLocality}) {
+    const std::vector<NodeId> perm = BuildNodeOrdering(g, o).value();
+    EXPECT_TRUE(ValidatePermutation(perm, g.num_nodes()).ok())
+        << NodeOrderingName(o);
+  }
+}
+
+TEST(BuildNodeOrderingTest, BuildersAreDeterministic) {
+  const CsrGraph g = SiteGraph();
+  for (NodeOrdering o :
+       {NodeOrdering::kDegreeDescending, NodeOrdering::kBfsLocality}) {
+    EXPECT_EQ(BuildNodeOrdering(g, o).value(),
+              BuildNodeOrdering(g, o).value())
+        << NodeOrderingName(o);
+  }
+}
+
+TEST(BuildNodeOrderingTest, DegreeDescendingPutsHubsFirst) {
+  // Star: node 0 has degree 4, everything else degree 1.
+  const CsrGraph g = Graph(5, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  const std::vector<NodeId> perm =
+      BuildNodeOrdering(g, NodeOrdering::kDegreeDescending).value();
+  EXPECT_EQ(perm[0], 0u);  // hub keeps the first label
+  // Ties (all degree 1) break by lower old id.
+  EXPECT_EQ(perm, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(BuildNodeOrderingTest, BfsKeepsClustersContiguous) {
+  // Two disconnected 3-cliques labeled interleaved: BFS relabeling must
+  // give each clique a contiguous id range.
+  const CsrGraph g = Graph(6, {{0, 2}, {2, 4}, {4, 0},    // clique A
+                               {1, 3}, {3, 5}, {5, 1}});  // clique B
+  const std::vector<NodeId> perm =
+      BuildNodeOrdering(g, NodeOrdering::kBfsLocality).value();
+  auto side = [&perm](NodeId u) { return perm[u] < 3; };
+  EXPECT_EQ(side(0), side(2));
+  EXPECT_EQ(side(2), side(4));
+  EXPECT_EQ(side(1), side(3));
+  EXPECT_EQ(side(3), side(5));
+  EXPECT_NE(side(0), side(1));
+}
+
+TEST(ReorderGraphTest, PermuteThenInverseRoundTrips) {
+  const CsrGraph g = SiteGraph();
+  for (NodeOrdering o :
+       {NodeOrdering::kDegreeDescending, NodeOrdering::kBfsLocality}) {
+    const ReorderedGraph r = ReorderGraph(g, o).value();
+    EXPECT_EQ(InvertPermutation(r.perm), r.inverse);
+    const CsrGraph back = r.graph.Permute(r.inverse).value();
+    EXPECT_TRUE(SameGraph(back, g)) << NodeOrderingName(o);
+  }
+}
+
+TEST(ReorderGraphTest, PreservesEdgesUnderRelabeling) {
+  const CsrGraph g = Graph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  const ReorderedGraph r =
+      ReorderGraph(g, NodeOrdering::kDegreeDescending).value();
+  EXPECT_EQ(r.graph.num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      EXPECT_TRUE(r.graph.HasEdge(r.perm[u], r.perm[v]));
+    }
+  }
+}
+
+TEST(RemapTest, RoundTripsBetweenLabelSpaces) {
+  const std::vector<NodeId> perm = {2, 0, 3, 1};
+  const std::vector<double> original = {10.0, 11.0, 12.0, 13.0};
+  const std::vector<double> permuted = RemapToPermuted(original, perm);
+  for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(permuted[perm[u]], original[u]);
+  EXPECT_EQ(RemapToOriginal(permuted, perm), original);
+}
+
+TEST(PermuteDeltaTest, MapsEndpointsAndStaysApplicable) {
+  const CsrGraph base = Graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const CsrGraph next = Graph(4, {{0, 1}, {1, 3}, {2, 3}, {3, 0}});
+  const GraphDelta delta = GraphDelta::Between(base, next);
+  const std::vector<NodeId> perm = {3, 1, 0, 2};
+
+  const GraphDelta mapped = PermuteDelta(delta, perm);
+  EXPECT_EQ(mapped.old_num_nodes, delta.old_num_nodes);
+  EXPECT_EQ(mapped.new_num_nodes, delta.new_num_nodes);
+  EXPECT_EQ(mapped.num_changes(), delta.num_changes());
+  // Applying the mapped delta to the permuted base must equal the
+  // permuted new graph — the commuting square PermuteDelta promises.
+  const CsrGraph permuted_base = base.Permute(perm).value();
+  const CsrGraph patched = permuted_base.ApplyDelta(mapped).value();
+  EXPECT_TRUE(SameGraph(patched, next.Permute(perm).value()));
+}
+
+TEST(PermuteDeltaTest, EdgeListsStaySorted) {
+  const CsrGraph base = Graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const CsrGraph next = Graph(5, {{0, 1}, {1, 4}, {2, 3}, {4, 0}, {4, 2}});
+  const GraphDelta mapped = PermuteDelta(GraphDelta::Between(base, next),
+                                         {4, 2, 0, 3, 1});
+  auto sorted = [](const std::vector<Edge>& edges) {
+    return std::is_sorted(edges.begin(), edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.src != b.src ? a.src < b.src
+                                                  : a.dst < b.dst;
+                          });
+  };
+  EXPECT_TRUE(sorted(mapped.added));
+  EXPECT_TRUE(sorted(mapped.removed));
+}
+
+TEST(AuditPermutationTest, PassesOnValidReordering) {
+  const CsrGraph g = SiteGraph();
+  const ReorderedGraph r =
+      ReorderGraph(g, NodeOrdering::kBfsLocality).value();
+  const AuditReport report = AuditPermutation(g, r.perm);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.ran.size(), 2u);
+}
+
+TEST(AuditPermutationTest, CatchesCorruptedPermutation) {
+  const CsrGraph g = SiteGraph();
+  std::vector<NodeId> perm =
+      BuildNodeOrdering(g, NodeOrdering::kDegreeDescending).value();
+  perm[3] = perm[7];  // duplicate — no longer a bijection
+  const AuditReport report = AuditPermutation(g, perm);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Failed("graph.permutation")) << report.ToString();
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,191 @@
+// Properties of the pull-sweep partitions (rank/pagerank_kernel.h):
+// both partition schemes tile [0, n) exactly, the edge-balanced scheme
+// bounds per-block work skew by one row, and — the determinism contract
+// — the scheme never looks at the thread count, so scores are
+// bit-identical across 1/2/4/8 threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "rank/pagerank.h"
+#include "rank/pagerank_kernel.h"
+
+namespace qrank {
+namespace {
+
+using rank_internal::PullSweepBoundaries;
+
+// Hub-heavy: preferential attachment concentrates in-degree on early
+// nodes, the worst case for node-count-balanced blocks.
+CsrGraph HubGraph(NodeId n) {
+  Rng rng(1234);
+  return CsrGraph::FromEdgeList(GenerateBarabasiAlbert(n, 8, &rng).value())
+      .value();
+}
+
+// Row weight of the edge-balanced scheme: one gather per in-edge plus
+// constant row work.
+size_t RowWeight(const CsrGraph& g, NodeId i) {
+  return g.in_offsets()[i + 1] - g.in_offsets()[i] + 1;
+}
+
+void CheckCoversExactly(const std::vector<size_t>& bounds, size_t n) {
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), n);
+  // Non-decreasing boundaries <=> every row is in exactly one block.
+  // Empty blocks are legal: a mega-hub row that outweighs several ideal
+  // shares absorbs them (the empty blocks contribute zero partials and
+  // keep the reduction-tree shape identical across schemes).
+  for (size_t b = 1; b < bounds.size(); ++b) {
+    EXPECT_LE(bounds[b - 1], bounds[b]);
+  }
+}
+
+TEST(PullSweepBoundariesTest, BothSchemesTileTheRowRange) {
+  const CsrGraph g = HubGraph(4096);
+  g.BuildTranspose();
+  for (size_t grain : {size_t{1}, size_t{7}, size_t{256}, size_t{100000}}) {
+    for (SweepPartition p :
+         {SweepPartition::kNodeBalanced, SweepPartition::kEdgeBalanced}) {
+      CheckCoversExactly(PullSweepBoundaries(g, p, grain), g.num_nodes());
+    }
+  }
+}
+
+TEST(PullSweepBoundariesTest, SchemesAgreeOnBlockCount) {
+  // Only the boundary *positions* may differ between schemes; the block
+  // count (and hence the reduction-tree shape) is shared.
+  const CsrGraph g = HubGraph(4096);
+  g.BuildTranspose();
+  for (size_t grain : {size_t{1}, size_t{64}, size_t{1024}}) {
+    EXPECT_EQ(
+        PullSweepBoundaries(g, SweepPartition::kNodeBalanced, grain).size(),
+        PullSweepBoundaries(g, SweepPartition::kEdgeBalanced, grain).size());
+  }
+}
+
+TEST(PullSweepBoundariesTest, EdgeBalancedSkewIsAtMostOneRow) {
+  const CsrGraph g = HubGraph(8192);
+  g.BuildTranspose();
+  const std::vector<size_t> bounds =
+      PullSweepBoundaries(g, SweepPartition::kEdgeBalanced, 64);
+  const size_t blocks = bounds.size() - 1;
+  size_t total = 0, max_row = 0;
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    total += RowWeight(g, i);
+    max_row = std::max(max_row, RowWeight(g, i));
+  }
+  for (size_t b = 0; b < blocks; ++b) {
+    size_t weight = 0;
+    for (size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+      weight += RowWeight(g, static_cast<NodeId>(i));
+    }
+    // Each block carries at most the ideal share plus one row: the
+    // binary-searched boundary overshoots its target by < one row
+    // weight, and successive targets differ by <= ceil(total/blocks).
+    EXPECT_LE(weight, total / blocks + max_row + 1) << "block " << b;
+  }
+}
+
+TEST(PullSweepBoundariesTest, EdgeBalancedBeatsNodeBalancedOnSkew) {
+  // On a hub-heavy graph the node-balanced scheme's heaviest block
+  // carries a large multiple of the ideal share; edge-balancing is the
+  // point of the feature, so require it to actually balance.
+  const CsrGraph g = HubGraph(8192);
+  g.BuildTranspose();
+  auto max_block_weight = [&g](const std::vector<size_t>& bounds) {
+    size_t worst = 0;
+    for (size_t b = 0; b + 1 < bounds.size(); ++b) {
+      size_t weight = 0;
+      for (size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+        weight += RowWeight(g, static_cast<NodeId>(i));
+      }
+      worst = std::max(worst, weight);
+    }
+    return worst;
+  };
+  const size_t node_worst = max_block_weight(
+      PullSweepBoundaries(g, SweepPartition::kNodeBalanced, 64));
+  const size_t edge_worst = max_block_weight(
+      PullSweepBoundaries(g, SweepPartition::kEdgeBalanced, 64));
+  EXPECT_LT(edge_worst, node_worst);
+}
+
+TEST(PartitionDeterminismTest, ScoresBitIdenticalAcrossThreadCounts) {
+  const CsrGraph g = HubGraph(4096);
+  PageRankOptions o;
+  o.tolerance = 1e-12;
+  o.max_iterations = 200;
+  for (SweepPartition p :
+       {SweepPartition::kNodeBalanced, SweepPartition::kEdgeBalanced}) {
+    o.partition = p;
+    o.num_threads = 1;
+    const std::vector<double> reference = ComputePageRank(g, o)->scores;
+    for (int threads : {2, 4, 8}) {
+      o.num_threads = threads;
+      const std::vector<double> scores = ComputePageRank(g, o)->scores;
+      ASSERT_EQ(scores.size(), reference.size());
+      for (size_t i = 0; i < scores.size(); ++i) {
+        ASSERT_EQ(scores[i], reference[i])
+            << "node " << i << " at " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(PartitionDeterminismTest, PartitionsAgreeOnTheFixedPoint) {
+  // Different partitions fold the dangling/residual reductions in a
+  // different block order, so bits may differ — but only through the
+  // dangling redistribution, which is tolerance-bounded.
+  const CsrGraph g = HubGraph(4096);
+  PageRankOptions o;
+  // 1e-13, not tighter: the audit-level-2 residual re-check allows one
+  // recomputed sweep to move the vector by 2x tolerance, and at 1e-14
+  // recomputation rounding alone exceeds that margin.
+  o.tolerance = 1e-13;
+  o.max_iterations = 500;
+  o.partition = SweepPartition::kNodeBalanced;
+  const std::vector<double> node = ComputePageRank(g, o)->scores;
+  o.partition = SweepPartition::kEdgeBalanced;
+  const std::vector<double> edge = ComputePageRank(g, o)->scores;
+  for (size_t i = 0; i < node.size(); ++i) {
+    EXPECT_NEAR(node[i], edge[i], 1e-12);
+  }
+}
+
+TEST(ReorderedSolveTest, MatchesIdentityWithinTolerance) {
+  // The acceptance contract: solving on a BFS-reordered graph and
+  // mapping back through the permutation agrees with the untouched
+  // solve to 1e-12 L-infinity.
+  Rng rng(5);
+  CsrGraph g = CsrGraph::FromEdgeList(
+                   GenerateSiteClustered(24, 40, 4, 3, &rng).value())
+                   .value();
+  PageRankOptions o;
+  o.tolerance = 1e-13;  // See PartitionsAgreeOnTheFixedPoint.
+  o.max_iterations = 500;
+  o.num_threads = 4;
+  const std::vector<double> base = ComputePageRank(g, o)->scores;
+  for (NodeOrdering ordering :
+       {NodeOrdering::kDegreeDescending, NodeOrdering::kBfsLocality}) {
+    const ReorderedGraph r = ReorderGraph(g, ordering).value();
+    const std::vector<double> remapped =
+        RemapToOriginal(ComputePageRank(r.graph, o)->scores, r.perm);
+    double linf = 0.0;
+    for (size_t i = 0; i < base.size(); ++i) {
+      linf = std::max(linf, std::fabs(remapped[i] - base[i]));
+    }
+    EXPECT_LE(linf, 1e-12) << NodeOrderingName(ordering);
+  }
+}
+
+}  // namespace
+}  // namespace qrank
