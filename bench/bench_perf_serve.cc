@@ -1,0 +1,341 @@
+// Serving-layer benchmarks (google-benchmark): QueryEngine::TopK QPS
+// and latency over a score bundle built from the 131k-page site graph
+// (655 sites x 200 pages, the same shape the reorder suite uses).
+//
+// The bundle carries a real PageRank vector of that graph (mass-n
+// convention) and a quality vector derived from it the way the
+// estimator would (PR scaled by a per-page relative-increase factor),
+// so the score distributions — and therefore the threshold algorithm's
+// stopping depth — are the ones the serving layer actually sees.
+//
+// Suites:
+//   BM_BundleLoad          image -> validated LoadedBundle (pages/s)
+//   BM_TopK/alpha:*        single-thread QPS per blend mode
+//   BM_TopKSite/*          per-site filtered queries (site rotates)
+//   BM_TopKExplore         Pandey exploration mix enabled
+//   BM_TopKThreads/*       concurrent readers on one shared store
+//   BM_TopKHotSwap         reader QPS + sampled p50/p99 latency while
+//                          a background publisher churns generations
+//   BM_Publish             hot-swap publish cost itself
+//
+// With --check_serve_regression the process exits non-zero when the
+// single-thread pure-quality QPS falls under the CI floor (a
+// conservative fraction of the >= 1M/s this suite shows on dedicated
+// hardware) or the hot-swap churn rows are missing/zero — the Release
+// bench job's smoke gate.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "rank/pagerank.h"
+#include "serve/query_engine.h"
+#include "serve/score_bundle.h"
+#include "serve/snapshot_store.h"
+
+namespace {
+
+using qrank::CsrGraph;
+using qrank::kAllSites;
+using qrank::LoadedBundle;
+using qrank::NodeId;
+using qrank::QueryEngine;
+using qrank::ScoreBundleSource;
+using qrank::ScoreBundleWriter;
+using qrank::SiteId;
+using qrank::SnapshotStore;
+using qrank::TopKQuery;
+using qrank::TopKScratch;
+
+constexpr NodeId kNumSites = 655;
+constexpr NodeId kPagesPerSite = 200;  // 131k pages total
+
+// PageRank of the site-clustered graph plus an estimator-shaped quality
+// vector; `seed` varies the quality factors so churned generations
+// differ.
+ScoreBundleSource MakeSource(uint64_t seed) {
+  static const std::vector<double>* pagerank = [] {
+    qrank::Rng rng(99);
+    const CsrGraph g =
+        CsrGraph::FromEdgeList(
+            qrank::GenerateSiteClustered(kNumSites, kPagesPerSite, 12, 6,
+                                         &rng)
+                .value())
+            .value();
+    qrank::PageRankOptions o;
+    o.max_iterations = 30;
+    o.scale = qrank::ScaleConvention::kTotalMassN;
+    return new std::vector<double>(
+        qrank::ComputePageRank(g, o).value().scores);
+  }();
+  ScoreBundleSource src;
+  src.pagerank = *pagerank;
+  const NodeId n = static_cast<NodeId>(src.pagerank.size());
+  src.quality.resize(n);
+  src.site_ids.resize(n);
+  qrank::Rng rng(seed);
+  for (NodeId i = 0; i < n; ++i) {
+    // Q = C*I + PR with a random relative increase I/PR in [-0.5, 2].
+    src.quality[i] = src.pagerank[i] * (1.0 + rng.UniformDouble(-0.5, 2.0));
+    src.site_ids[i] = i / kPagesPerSite;
+  }
+  src.num_sites = kNumSites;
+  src.creator_tag = static_cast<uint32_t>(seed);
+  return src;
+}
+
+std::vector<uint8_t> MakeImage(uint64_t seed) {
+  return ScoreBundleWriter::Create(MakeSource(seed)).value().Serialize();
+}
+
+const LoadedBundle& Bundle() {
+  static const LoadedBundle b =
+      LoadedBundle::FromBuffer(MakeImage(7)).value();
+  return b;
+}
+
+TopKQuery BlendQuery(int alpha_pct, uint32_t k) {
+  TopKQuery q;
+  q.k = k;
+  q.blend_alpha = alpha_pct / 100.0;
+  return q;
+}
+
+void ReportQps(benchmark::State& state) {
+  state.counters["qps"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_BundleLoad(benchmark::State& state) {
+  const std::vector<uint8_t> image = MakeImage(7);
+  for (auto _ : state) {
+    std::vector<uint8_t> copy = image;  // FromBuffer adopts its argument
+    auto bundle = LoadedBundle::FromBuffer(std::move(copy));
+    benchmark::DoNotOptimize(bundle.value().num_pages());
+  }
+  state.counters["pages/s"] = benchmark::Counter(
+      static_cast<double>(Bundle().num_pages()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_TopK(benchmark::State& state) {
+  const LoadedBundle& bundle = Bundle();
+  const TopKQuery q = BlendQuery(static_cast<int>(state.range(0)),
+                                 static_cast<uint32_t>(state.range(1)));
+  TopKScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QueryEngine::TopKOnBundle(bundle, q, &scratch).ok());
+    benchmark::DoNotOptimize(scratch.results().data());
+  }
+  ReportQps(state);
+}
+
+void BM_TopKSite(benchmark::State& state) {
+  const LoadedBundle& bundle = Bundle();
+  TopKQuery q = BlendQuery(static_cast<int>(state.range(0)), 10);
+  TopKScratch scratch;
+  SiteId site = 0;
+  for (auto _ : state) {
+    q.site = site;
+    if (++site == kNumSites) site = 0;
+    benchmark::DoNotOptimize(QueryEngine::TopKOnBundle(bundle, q, &scratch).ok());
+  }
+  ReportQps(state);
+}
+
+void BM_TopKExplore(benchmark::State& state) {
+  const LoadedBundle& bundle = Bundle();
+  TopKQuery q = BlendQuery(100, 10);
+  q.exploration_epsilon = state.range(0) / 100.0;
+  TopKScratch scratch;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    q.exploration_seed = seed++;
+    benchmark::DoNotOptimize(QueryEngine::TopKOnBundle(bundle, q, &scratch).ok());
+  }
+  ReportQps(state);
+}
+
+// Concurrent readers against one shared store (google-benchmark spawns
+// state.threads() workers; per-thread counters are summed, so "qps" is
+// the machine total).
+void BM_TopKThreads(benchmark::State& state) {
+  static SnapshotStore* store = [] {
+    auto* s = new SnapshotStore();
+    s->Publish(LoadedBundle::FromBuffer(MakeImage(7)).value());
+    return s;
+  }();
+  const QueryEngine engine(store);
+  const TopKQuery q = BlendQuery(static_cast<int>(state.range(0)), 10);
+  TopKScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.TopK(q, &scratch).ok());
+  }
+  ReportQps(state);
+}
+
+// One reader thread measuring per-query latency while a publisher
+// churns fresh generations from a second image every ~50 us — the
+// hot-swap contract under load. p50/p99 are over every query in the
+// timed region.
+void BM_TopKHotSwap(benchmark::State& state) {
+  SnapshotStore store;
+  store.Publish(LoadedBundle::FromBuffer(MakeImage(7)).value());
+  const QueryEngine engine(&store);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> publishes{0};
+  std::thread publisher([&] {
+    // Alternate two premade generations; make_shared per publish keeps
+    // the reclamation path (last unpin frees) in play.
+    const std::vector<uint8_t> images[2] = {MakeImage(8), MakeImage(9)};
+    int which = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<uint8_t> copy = images[which ^= 1];
+      store.Publish(LoadedBundle::FromBuffer(std::move(copy)).value());
+      publishes.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  const TopKQuery q = BlendQuery(50, 10);
+  TopKScratch scratch;
+  std::vector<double> lat_ns;
+  lat_ns.reserve(1 << 20);
+  using Clock = std::chrono::steady_clock;
+  for (auto _ : state) {
+    const Clock::time_point t0 = Clock::now();
+    benchmark::DoNotOptimize(engine.TopK(q, &scratch).ok());
+    if (lat_ns.size() < lat_ns.capacity()) {
+      lat_ns.push_back(
+          std::chrono::duration<double, std::nano>(Clock::now() - t0)
+              .count());
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  publisher.join();
+
+  std::sort(lat_ns.begin(), lat_ns.end());
+  const auto pct = [&lat_ns](double p) {
+    return lat_ns.empty()
+               ? 0.0
+               : lat_ns[static_cast<size_t>(p * (lat_ns.size() - 1))];
+  };
+  ReportQps(state);
+  state.counters["p50_ns"] = benchmark::Counter(pct(0.50));
+  state.counters["p99_ns"] = benchmark::Counter(pct(0.99));
+  state.counters["publishes"] =
+      benchmark::Counter(static_cast<double>(publishes.load()));
+}
+
+void BM_Publish(benchmark::State& state) {
+  SnapshotStore store;
+  const auto a = std::make_shared<const LoadedBundle>(
+      LoadedBundle::FromBuffer(MakeImage(8)).value());
+  const auto b = std::make_shared<const LoadedBundle>(
+      LoadedBundle::FromBuffer(MakeImage(9)).value());
+  bool which = false;
+  for (auto _ : state) {
+    store.Publish((which = !which) ? a : b);
+  }
+  state.counters["publishes/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+void RegisterAll() {
+  const auto us = [](benchmark::internal::Benchmark* b) {
+    b->Unit(benchmark::kMicrosecond)->UseRealTime();
+  };
+  us(benchmark::RegisterBenchmark("BM_BundleLoad", BM_BundleLoad));
+  for (int alpha : {100, 50, 0}) {
+    us(benchmark::RegisterBenchmark(
+           ("BM_TopK/alpha:" + std::to_string(alpha) + "/k:10").c_str(),
+           BM_TopK)
+           ->Args({alpha, 10}));
+  }
+  us(benchmark::RegisterBenchmark("BM_TopK/alpha:50/k:100", BM_TopK)
+         ->Args({50, 100}));
+  for (int alpha : {100, 50}) {
+    us(benchmark::RegisterBenchmark(
+           ("BM_TopKSite/alpha:" + std::to_string(alpha)).c_str(),
+           BM_TopKSite)
+           ->Arg(alpha));
+  }
+  us(benchmark::RegisterBenchmark("BM_TopKExplore/eps:10", BM_TopKExplore)
+         ->Arg(10));
+  for (int threads : {1, 2, 4}) {
+    us(benchmark::RegisterBenchmark(
+           ("BM_TopKThreads/alpha:100/threads:" + std::to_string(threads))
+               .c_str(),
+           BM_TopKThreads)
+           ->Arg(100)
+           ->Threads(threads));
+  }
+  us(benchmark::RegisterBenchmark("BM_TopKHotSwap/alpha:50", BM_TopKHotSwap));
+  us(benchmark::RegisterBenchmark("BM_Publish", BM_Publish));
+}
+
+// CI smoke gate. The dedicated-hardware numbers are >= 1M qps for the
+// pure-quality path; shared CI runners get a conservative floor so the
+// gate catches order-of-magnitude regressions (an accidental per-query
+// allocation or scan) without flaking on machine noise.
+int CheckServeRegression(const std::vector<qrank_bench::BenchRow>& rows) {
+  constexpr double kMinPureQps = 2e5;
+  const auto find = [&rows](const std::string& name) -> const qrank_bench::BenchRow* {
+    for (const qrank_bench::BenchRow& r : rows) {
+      if (r.name.rfind(name, 0) == 0) return &r;
+    }
+    return nullptr;
+  };
+  const qrank_bench::BenchRow* pure = find("BM_TopK/alpha:100/k:10");
+  if (pure == nullptr || pure->Counter("qps") < kMinPureQps) {
+    std::fprintf(stderr,
+                 "serve gate FAILED: BM_TopK/alpha:100/k:10 %s (floor %.3g "
+                 "qps)\n",
+                 pure == nullptr ? "missing" : "below floor", kMinPureQps);
+    return 1;
+  }
+  const qrank_bench::BenchRow* churn = find("BM_TopKHotSwap");
+  if (churn == nullptr || churn->Counter("qps") <= 0.0 ||
+      churn->Counter("publishes") <= 0.0) {
+    std::fprintf(stderr,
+                 "serve gate FAILED: hot-swap churn row missing or idle\n");
+    return 1;
+  }
+  std::printf("serve gate: pure-quality %.4g qps, churn %.4g qps over %g "
+              "publishes (p99 %.4g ns)\n",
+              pure->Counter("qps"), churn->Counter("qps"),
+              churn->Counter("publishes"), churn->Counter("p99_ns"));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_gate = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check_serve_regression") {
+      check_gate = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  RegisterAll();
+  std::function<int(const std::vector<qrank_bench::BenchRow>&)> after;
+  if (check_gate) after = CheckServeRegression;
+  return qrank_bench::BenchMain(static_cast<int>(args.size()), args.data(),
+                                "serve", after);
+}

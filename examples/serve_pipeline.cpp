@@ -1,0 +1,130 @@
+// End-to-end compute -> serve pipeline: the full lifecycle a deployment
+// runs, from crawl snapshots to answering ranked queries.
+//
+//   1. (Stand-in for a crawler) simulate an evolving web and take three
+//      snapshots into a SnapshotSeries; compute per-snapshot PageRank.
+//   2. Export a serving score bundle (core/bundle_export.h): quality
+//      estimates Q̂ (Equation 1) paired with the latest PageRank, plus
+//      the precomputed serving index, written as one QRKB file.
+//   3. Load the file back zero-copy (mmap), publish it into a
+//      SnapshotStore, and answer queries through QueryEngine: pure
+//      quality, pure PageRank, a blend, a site-restricted query, and an
+//      exploration query (Pandey-style randomized promotion).
+//
+// Usage:  ./build/examples/serve_pipeline [bundle_path]
+// (default bundle path: /tmp/qrank_serve_example.qrkb)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/bundle_export.h"
+#include "graph/site_graph.h"
+#include "serve/query_engine.h"
+#include "serve/score_bundle.h"
+#include "serve/snapshot_store.h"
+#include "sim/web_simulator.h"
+
+namespace {
+
+void PrintResults(const char* label, const qrank::TopKScratch& scratch) {
+  std::printf("%s\n", label);
+  int rank = 1;
+  for (const qrank::TopKEntry& e : scratch.results()) {
+    std::printf("  %2d. page %-6u score %.6f%s\n", rank++, e.page_id,
+                e.score, e.promoted ? "  (exploration)" : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string bundle_path =
+      argc > 1 ? argv[1] : "/tmp/qrank_serve_example.qrkb";
+
+  // --- Stage 1: crawl (simulated) into a snapshot series.
+  qrank::WebSimulatorOptions sim_options;
+  sim_options.num_users = 600;
+  sim_options.seed = 7;
+  sim_options.page_birth_rate = 15.0;
+  auto sim = qrank::WebSimulator::Create(sim_options);
+  if (!sim.ok()) return EXIT_FAILURE;
+
+  qrank::SnapshotSeries series;
+  for (double t : {12.0, 16.0, 20.0}) {
+    if (!sim->AdvanceTo(t).ok()) return EXIT_FAILURE;
+    auto graph = qrank::CsrGraph::FromEdgeList(sim->graph().EdgesAt(t));
+    if (!graph.ok() ||
+        !series.AddSnapshot(t, std::move(graph).value()).ok()) {
+      return EXIT_FAILURE;
+    }
+  }
+  qrank::PageRankOptions pr;
+  pr.scale = qrank::ScaleConvention::kTotalMassN;  // paper's Section 8
+  if (!series.ComputePageRanks(pr).ok()) return EXIT_FAILURE;
+  std::printf("stage 1: %zu snapshots, %u common pages\n",
+              series.num_snapshots(), series.CommonNodeCount());
+
+  // --- Stage 2: export the serving bundle.
+  qrank::BundleExportOptions export_options;
+  const qrank::SiteId num_sites = 8;
+  export_options.site_ids = qrank::RoundRobinSiteAssignment(
+      series.CommonNodeCount(), num_sites);
+  export_options.num_sites = num_sites;
+  auto writer =
+      qrank::ExportScoreBundle(series, series.num_snapshots(), export_options);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "export failed: %s\n",
+                 writer.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  if (!writer->WriteFile(bundle_path).ok()) return EXIT_FAILURE;
+  std::printf("stage 2: wrote %s (%u pages, %u sites)\n",
+              bundle_path.c_str(), writer->num_pages(), num_sites);
+
+  // --- Stage 3: load (mmap), publish, query.
+  auto bundle = qrank::LoadedBundle::Load(bundle_path);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 bundle.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  std::printf("stage 3: loaded via %s\n",
+              bundle->backing() == qrank::LoadedBundle::Backing::kMmap
+                  ? "mmap (zero-copy)"
+                  : "heap (read fallback)");
+
+  qrank::SnapshotStore store;
+  store.Publish(std::move(bundle).value());
+  const qrank::QueryEngine engine(&store);
+  qrank::TopKScratch scratch;
+
+  qrank::TopKQuery q;
+  q.k = 5;
+
+  q.blend_alpha = 1.0;
+  if (!engine.TopK(q, &scratch).ok()) return EXIT_FAILURE;
+  PrintResults("\ntop 5 by quality estimate (alpha = 1):", scratch);
+
+  q.blend_alpha = 0.0;
+  if (!engine.TopK(q, &scratch).ok()) return EXIT_FAILURE;
+  PrintResults("\ntop 5 by current PageRank (alpha = 0):", scratch);
+
+  q.blend_alpha = 0.5;
+  if (!engine.TopK(q, &scratch).ok()) return EXIT_FAILURE;
+  PrintResults("\ntop 5 blended (alpha = 0.5):", scratch);
+
+  q.site = 3;
+  if (!engine.TopK(q, &scratch).ok()) return EXIT_FAILURE;
+  PrintResults("\ntop 5 within site 3:", scratch);
+
+  q.site = qrank::kAllSites;
+  q.exploration_epsilon = 0.3;
+  q.exploration_seed = 42;
+  if (!engine.TopK(q, &scratch).ok()) return EXIT_FAILURE;
+  PrintResults("\ntop 5 with exploration (epsilon = 0.3):", scratch);
+
+  return EXIT_SUCCESS;
+}

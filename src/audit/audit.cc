@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "graph/reorder.h"
+#include "serve/bundle_format.h"
 
 namespace qrank {
 
@@ -468,6 +470,230 @@ void RunEngineDrift(const AuditContext& ctx, AuditReport* report) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// serve.bundle.* — score-bundle artifact checks (serve/bundle_format.h)
+// ---------------------------------------------------------------------------
+
+bool NeedsBundle(const AuditContext& ctx) {
+  return ctx.bundle_data != nullptr;
+}
+
+// Layered parse shared by the bundle validators. Each validator silently
+// passes when the layer below the one it owns is already broken —
+// header corruption is serve.bundle.header's alone, table corruption
+// serve.bundle.sections', and so on — preserving the registry's
+// exactly-one-validator diagnostic property.
+struct BundleView {
+  BundleHeader header = {};
+  const BundleSectionEntry* table = nullptr;
+  bool header_ok = false;
+  bool sections_ok = false;
+};
+
+BundleView ParseBundle(const AuditContext& ctx) {
+  BundleView v;
+  if (ctx.bundle_size < sizeof(BundleHeader)) return v;
+  std::memcpy(&v.header, ctx.bundle_data, sizeof(BundleHeader));
+  if (!ValidateBundleHeader(v.header, ctx.bundle_size).ok()) return v;
+  v.header_ok = true;
+  v.table = reinterpret_cast<const BundleSectionEntry*>(
+      ctx.bundle_data + sizeof(BundleHeader));
+  v.sections_ok =
+      ValidateBundleSections(v.header, v.table, ctx.bundle_size).ok();
+  return v;
+}
+
+const uint8_t* BundleSection(const BundleView& v, const AuditContext& ctx,
+                             uint32_t id) {
+  for (uint32_t i = 0; i < v.header.section_count; ++i) {
+    if (v.table[i].id == id) return ctx.bundle_data + v.table[i].offset;
+  }
+  return nullptr;
+}
+
+void RunServeBundleHeader(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("serve.bundle.header");
+  if (ctx.bundle_size < sizeof(BundleHeader)) {
+    Fail(report, self,
+         "image of " + std::to_string(ctx.bundle_size) +
+             " bytes is smaller than the fixed header");
+    return;
+  }
+  BundleHeader header;
+  std::memcpy(&header, ctx.bundle_data, sizeof(BundleHeader));
+  const Status st = ValidateBundleHeader(header, ctx.bundle_size);
+  if (!st.ok()) Fail(report, self, st.message());
+}
+
+void RunServeBundleSections(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("serve.bundle.sections");
+  const BundleView v = ParseBundle(ctx);
+  if (!v.header_ok) return;  // serve.bundle.header owns that failure
+  const Status st = ValidateBundleSections(v.header, v.table, ctx.bundle_size);
+  if (!st.ok()) Fail(report, self, st.message());
+}
+
+void RunServeBundleCrc(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("serve.bundle.crc");
+  const BundleView v = ParseBundle(ctx);
+  if (!v.header_ok) return;
+  const uint64_t table_end = BundleTableEnd(v.header);
+  const uint32_t crc = BundleCrc32(ctx.bundle_data + table_end,
+                                   ctx.bundle_size - table_end);
+  if (crc != v.header.payload_crc32) {
+    std::ostringstream os;
+    os << "payload CRC " << std::hex << crc << " != declared "
+       << v.header.payload_crc32;
+    Fail(report, self, os.str());
+  }
+}
+
+void RunServeBundleScores(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("serve.bundle.scores");
+  const BundleView v = ParseBundle(ctx);
+  if (!v.sections_ok) return;  // header/sections validators own those
+  const size_t n = v.header.num_pages;
+  const double* quality = reinterpret_cast<const double*>(
+      BundleSection(v, ctx, kBundleQuality));
+  const double* pagerank = reinterpret_cast<const double*>(
+      BundleSection(v, ctx, kBundlePageRank));
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(quality[i]) || quality[i] < 0.0) {
+      Fail(report, self,
+           "quality[" + std::to_string(i) + "] is not finite non-negative");
+      return;
+    }
+    if (!std::isfinite(pagerank[i]) || pagerank[i] < 0.0) {
+      Fail(report, self,
+           "pagerank[" + std::to_string(i) + "] is not finite non-negative");
+      return;
+    }
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += pagerank[i];
+  const double slack =
+      ctx.mass_tolerance * std::max(1.0, std::fabs(v.header.expected_mass));
+  if (std::fabs(sum - v.header.expected_mass) > slack) {
+    std::ostringstream os;
+    os << "pagerank sums to " << sum << ", header declares "
+       << v.header.expected_mass << " (slack " << slack << ")";
+    Fail(report, self, os.str());
+  }
+}
+
+void RunServeBundleIndex(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("serve.bundle.index");
+  const BundleView v = ParseBundle(ctx);
+  if (!v.sections_ok) return;
+  const size_t n = v.header.num_pages;
+  const uint32_t num_sites = v.header.num_sites;
+  const double* quality = reinterpret_cast<const double*>(
+      BundleSection(v, ctx, kBundleQuality));
+  const double* pagerank = reinterpret_cast<const double*>(
+      BundleSection(v, ctx, kBundlePageRank));
+  const uint32_t* site_ids = reinterpret_cast<const uint32_t*>(
+      BundleSection(v, ctx, kBundleSiteIds));
+  const uint32_t* site_offsets = reinterpret_cast<const uint32_t*>(
+      BundleSection(v, ctx, kBundleSiteOffsets));
+  const uint32_t* site_pages = reinterpret_cast<const uint32_t*>(
+      BundleSection(v, ctx, kBundleSitePages));
+
+  // Comparisons with a non-finite score are skipped: those rows are
+  // serve.bundle.scores' finding, not an ordering defect.
+  const auto check_order = [&](const char* name, const uint32_t* order,
+                               const double* score) {
+    std::vector<uint8_t> seen(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (order[i] >= n) {
+        Fail(report, self,
+             std::string(name) + "[" + std::to_string(i) + "] = " +
+                 std::to_string(order[i]) + " out of row range");
+        return false;
+      }
+      if (seen[order[i]]++) {
+        Fail(report, self,
+             std::string(name) + " repeats row " + std::to_string(order[i]));
+        return false;
+      }
+      if (i > 0 && std::isfinite(score[order[i - 1]]) &&
+          std::isfinite(score[order[i]]) &&
+          score[order[i]] > score[order[i - 1]]) {
+        Fail(report, self,
+             std::string(name) + " not score-descending at position " +
+                 std::to_string(i));
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!check_order("order_by_quality",
+                   reinterpret_cast<const uint32_t*>(
+                       BundleSection(v, ctx, kBundleOrderByQuality)),
+                   quality)) {
+    return;
+  }
+  if (!check_order("order_by_pagerank",
+                   reinterpret_cast<const uint32_t*>(
+                       BundleSection(v, ctx, kBundleOrderByPageRank)),
+                   pagerank)) {
+    return;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (site_ids[i] >= num_sites) {
+      Fail(report, self,
+           "site_ids[" + std::to_string(i) + "] = " +
+               std::to_string(site_ids[i]) + " >= num_sites " +
+               std::to_string(num_sites));
+      return;
+    }
+  }
+  if (site_offsets[0] != 0 || site_offsets[num_sites] != n) {
+    Fail(report, self, "site_offsets do not span [0, num_pages]");
+    return;
+  }
+  for (uint32_t s = 0; s < num_sites; ++s) {
+    if (site_offsets[s + 1] < site_offsets[s]) {
+      Fail(report, self,
+           "site_offsets not monotone at site " + std::to_string(s));
+      return;
+    }
+  }
+  std::vector<uint8_t> seen(n, 0);
+  for (uint32_t s = 0; s < num_sites; ++s) {
+    for (uint32_t i = site_offsets[s]; i < site_offsets[s + 1]; ++i) {
+      const uint32_t row = site_pages[i];
+      if (row >= n) {
+        Fail(report, self,
+             "site_pages[" + std::to_string(i) + "] out of row range");
+        return;
+      }
+      if (seen[row]++) {
+        Fail(report, self,
+             "site_pages repeats row " + std::to_string(row));
+        return;
+      }
+      if (site_ids[row] != s) {
+        Fail(report, self,
+             "site_pages[" + std::to_string(i) + "] = row " +
+                 std::to_string(row) + " listed under site " +
+                 std::to_string(s) + " but carries site " +
+                 std::to_string(site_ids[row]));
+        return;
+      }
+      if (i > site_offsets[s] && std::isfinite(quality[site_pages[i - 1]]) &&
+          std::isfinite(quality[row]) &&
+          quality[row] > quality[site_pages[i - 1]]) {
+        Fail(report, self,
+             "site " + std::to_string(s) +
+                 " postings not quality-descending at position " +
+                 std::to_string(i));
+        return;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const char* AuditSeverityName(AuditSeverity severity) {
@@ -568,6 +794,25 @@ const std::vector<AuditValidator>& AuditRegistry() {
        "DeltaPageRank's hidden-movement ledger stayed under its "
        "freeze_threshold * tolerance budget",
        NeedsDriftLedger, RunEngineDrift},
+      {"serve.bundle.header", AuditSeverity::kError,
+       "bundle magic, version, declared geometry and header CRC agree "
+       "with the real image size",
+       NeedsBundle, RunServeBundleHeader},
+      {"serve.bundle.sections", AuditSeverity::kError,
+       "section table lists each v1 section exactly once, aligned, "
+       "exactly sized, in bounds and non-overlapping",
+       NeedsBundle, RunServeBundleSections},
+      {"serve.bundle.crc", AuditSeverity::kError,
+       "payload CRC-32 over the section bytes matches the header",
+       NeedsBundle, RunServeBundleCrc},
+      {"serve.bundle.scores", AuditSeverity::kError,
+       "quality/pagerank columns finite and non-negative, pagerank mass "
+       "matches the header's declared scale",
+       NeedsBundle, RunServeBundleScores},
+      {"serve.bundle.index", AuditSeverity::kError,
+       "order sections are score-descending row permutations and site "
+       "postings partition the pages by their site ids",
+       NeedsBundle, RunServeBundleIndex},
   };
   return kRegistry;
 }
@@ -636,6 +881,15 @@ AuditReport AuditRankVector(const std::vector<double>& scores,
   AuditContext ctx;
   ctx.scores = &scores;
   ctx.expected_mass = expected_mass;
+  ctx.mass_tolerance = mass_tolerance;
+  return RunAudit(ctx);
+}
+
+AuditReport AuditScoreBundle(const uint8_t* data, size_t size,
+                             double mass_tolerance) {
+  AuditContext ctx;
+  ctx.bundle_data = data;
+  ctx.bundle_size = size;
   ctx.mass_tolerance = mass_tolerance;
   return RunAudit(ctx);
 }

@@ -20,6 +20,11 @@
 //             really is a fixed point to tolerance under the full
 //             PageRank operator (dangling mass included), and the
 //             DeltaPageRank drift ledger stayed under its budget.
+//   serve.*   Score-bundle artifact checks (serve/bundle_format.h):
+//             header magic/version/CRC against the real image size,
+//             section-table geometry, payload CRC, score finiteness
+//             and declared mass, and serving-index consistency —
+//             a corrupt bundle must be rejected before it is served.
 //
 // Three consumers: the compile-time QRANK_AUDIT_LEVEL hooks inside
 // src/graph/ and src/rank/ (cheap Status-based self-checks; see
@@ -107,6 +112,12 @@ struct AuditContext {
   /// / drift_budget). A negative ledger disables engine.drift.
   double drift_ledger_total = -1.0;
   double drift_budget = 0.0;
+
+  /// Serve-bundle checks (serve.bundle.*): a raw score-bundle image
+  /// ("QRKB", see serve/bundle_format.h). The validators read only
+  /// these bytes — the audit library never links qrank_serve.
+  const uint8_t* bundle_data = nullptr;
+  size_t bundle_size = 0;
 };
 
 /// A named validator. `applicable` inspects only which context fields
@@ -148,6 +159,12 @@ AuditReport AuditPermutation(const CsrGraph& graph,
 AuditReport AuditRankVector(const std::vector<double>& scores,
                             double expected_mass,
                             double mass_tolerance = 1e-6);
+
+/// Convenience: the serve.bundle.* family on a raw bundle image
+/// (header/magic/CRC, section-table geometry, payload CRC, score
+/// finiteness/mass, serving-index consistency).
+AuditReport AuditScoreBundle(const uint8_t* data, size_t size,
+                             double mass_tolerance = 1e-6);
 
 }  // namespace qrank
 

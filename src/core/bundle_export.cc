@@ -1,0 +1,32 @@
+#include "core/bundle_export.h"
+
+#include <utility>
+
+namespace qrank {
+
+Result<ScoreBundleWriter> ExportScoreBundle(const SnapshotSeries& series,
+                                            size_t num_observations,
+                                            const BundleExportOptions& options) {
+  if (!series.has_pageranks()) {
+    return Status::FailedPrecondition(
+        "ExportScoreBundle needs ComputePageRanks() to have run");
+  }
+  if (num_observations < 2 || num_observations > series.num_snapshots()) {
+    return Status::InvalidArgument(
+        "num_observations must be in [2, num_snapshots]");
+  }
+  QRANK_ASSIGN_OR_RETURN(
+      QualityEstimate estimate,
+      EstimateQuality(series, num_observations, options.estimator));
+
+  ScoreBundleSource source;
+  source.quality = std::move(estimate.quality);
+  source.pagerank = series.pagerank(num_observations - 1);
+  source.site_ids = options.site_ids;
+  source.num_sites = options.num_sites;
+  source.expected_mass = options.expected_mass;
+  source.creator_tag = options.creator_tag;
+  return ScoreBundleWriter::Create(std::move(source));
+}
+
+}  // namespace qrank

@@ -1,0 +1,54 @@
+// Compute -> serve handoff: package a finished SnapshotSeries +
+// QualityEstimator run into a serving score bundle (serve/score_bundle.h).
+//
+// This is the boundary the ROADMAP's serving north star needs: the
+// pipeline side ends with per-page Q̂(p) and PR(p) vectors over the
+// common page set; the serving side starts from an immutable bundle
+// image. ExportScoreBundle runs the estimator over the observation
+// prefix, pairs the estimates with the latest observed PageRank (the
+// PR(p, t_last) term the blend alpha interpolates against), and hands
+// both to ScoreBundleWriter, which precomputes the serving index.
+
+#ifndef QRANK_CORE_BUNDLE_EXPORT_H_
+#define QRANK_CORE_BUNDLE_EXPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/quality_estimator.h"
+#include "core/snapshot_series.h"
+#include "graph/site_graph.h"
+#include "serve/score_bundle.h"
+
+namespace qrank {
+
+struct BundleExportOptions {
+  QualityEstimatorOptions estimator;
+
+  /// Per-page site assignment over the common pages (size
+  /// CommonNodeCount()); empty puts every page in a single site 0.
+  std::vector<SiteId> site_ids;
+  /// 0 derives max(site_ids) + 1 (see ScoreBundleSource::num_sites).
+  SiteId num_sites = 0;
+
+  /// Declared PageRank L1 mass stored in the bundle header (the
+  /// serve.bundle.scores audit checks against it); <= 0 derives the
+  /// actual sum.
+  double expected_mass = 0.0;
+
+  /// Free-form writer tag stored in the header.
+  uint32_t creator_tag = 0;
+};
+
+/// Estimates quality from the first `num_observations` snapshots of a
+/// series with computed PageRanks (>= 2 observations, as the estimator
+/// requires) and builds the bundle writer over (Q̂, PR(t_last)).
+/// Page ids are the series' common-page row ids.
+Result<ScoreBundleWriter> ExportScoreBundle(
+    const SnapshotSeries& series, size_t num_observations,
+    const BundleExportOptions& options = {});
+
+}  // namespace qrank
+
+#endif  // QRANK_CORE_BUNDLE_EXPORT_H_

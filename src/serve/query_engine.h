@@ -1,0 +1,151 @@
+// QueryEngine: concurrent quality-ranked top-k over a SnapshotStore.
+//
+// A query asks for the k best pages under the blended score
+//
+//   s(p) = alpha * Q̂(p) + (1 - alpha) * PR(p)
+//
+// optionally restricted to one site, optionally with the randomized
+// exploration mix of Pandey et al. ("Shuffling a Stacked Deck",
+// PAPERS.md): with probability `exploration_epsilon` per result slot,
+// the deterministic result is replaced by a uniformly random eligible
+// page — the partial randomization that gives unpopular-but-good pages
+// the impressions the estimator needs, without derailing the whole
+// ranking.
+//
+// Hot-path design (the 1M+ QPS contract, verified by bench_perf_serve
+// and the counting-allocator test):
+//   * alpha == 1 / alpha == 0: answer is a prefix of the bundle's
+//     precomputed order section — O(k).
+//   * 0 < alpha < 1: Fagin's threshold algorithm over the two order
+//     sections. Both lists are walked in parallel; the scan stops as
+//     soon as the k-th best blended score reaches the threshold
+//     alpha * q_cursor + (1 - alpha) * pr_cursor, which no unseen page
+//     can exceed (both terms are monotone down the lists). Exact, and
+//     in practice terminates after O(k) .. a few hundred entries.
+//   * site queries scan the site's posting group (bounded heap), which
+//     the bundle keeps sorted by quality.
+//   * Zero allocations per query: all scratch (bounded heap, epoch-
+//     stamped dedup array, result slots) lives in a caller-owned
+//     TopKScratch and is reused; TopK only allocates when a newly
+//     acquired generation has more pages than the scratch has seen
+//     (amortized once per growth).
+//
+// Thread model: QueryEngine is stateless and shared; each serving
+// thread owns one TopKScratch, which also holds the thread's
+// generation pin (re-validated by one atomic generation() load per
+// query, re-acquired only after a publish), so a concurrent Publish
+// never invalidates the spans mid-scan.
+
+#ifndef QRANK_SERVE_QUERY_ENGINE_H_
+#define QRANK_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/edge_list.h"
+#include "graph/site_graph.h"
+#include "serve/score_bundle.h"
+#include "serve/snapshot_store.h"
+
+namespace qrank {
+
+/// "No site filter" sentinel.
+inline constexpr SiteId kAllSites = static_cast<SiteId>(-1);
+
+struct TopKQuery {
+  uint32_t k = 10;
+
+  /// Weight of the quality estimate in the blend (1 = pure Q̂, the
+  /// paper's replace-PageRank mode; 0 = pure PageRank). Must be in
+  /// [0, 1].
+  double blend_alpha = 1.0;
+
+  /// Restrict results to this site (kAllSites = no filter). Must be
+  /// < num_sites when set.
+  SiteId site = kAllSites;
+
+  /// Pandey-style randomized promotion: probability per result slot of
+  /// replacing the deterministic entry with a uniformly random eligible
+  /// page. Must be in [0, 1]; 0 disables.
+  double exploration_epsilon = 0.0;
+
+  /// Seed of the (deterministic) exploration draws. Queries with equal
+  /// seed, epsilon and bundle return identical results.
+  uint64_t exploration_seed = 0;
+};
+
+struct TopKEntry {
+  NodeId row = 0;       // row index within the bundle
+  NodeId page_id = 0;   // external page id (bundle's page_ids section)
+  double score = 0.0;   // blended score
+  bool promoted = false;  // true when placed by the exploration mix
+};
+
+/// Reusable per-thread query scratch. One instance per serving thread;
+/// results() is valid until the next TopK call on the same scratch.
+///
+/// The scratch also holds the thread's generation pin: store-backed
+/// TopK caches the acquired bundle here and revalidates it with one
+/// atomic SnapshotStore::generation() load per query, re-pinning (one
+/// brief mutex hold) only when a publish actually happened. Dropping
+/// the scratch drops the pin.
+class TopKScratch {
+ public:
+  TopKScratch() = default;
+
+  /// Results of the last successful TopK, best first.
+  std::span<const TopKEntry> results() const {
+    return {out_.data(), out_size_};
+  }
+
+ private:
+  friend class QueryEngine;
+
+  /// Grows scratch for a bundle with `n` rows and queries up to `k`
+  /// results. Allocation happens here and only here.
+  void Reserve(NodeId n, uint32_t k);
+
+  /// Stamp the row visited for the current query; returns false when it
+  /// already was (dedup for the threshold algorithm's two cursors).
+  bool MarkVisited(NodeId row);
+
+  std::vector<TopKEntry> heap_;   // bounded min-heap, capacity k
+  std::vector<TopKEntry> out_;    // sorted results, capacity k
+  std::vector<uint32_t> stamp_;   // per-row visit epoch
+  uint32_t epoch_ = 0;
+  size_t heap_size_ = 0;
+  size_t out_size_ = 0;
+
+  // Generation-cached pin for store-backed queries.
+  std::shared_ptr<const LoadedBundle> pinned_;
+  uint64_t pinned_generation_ = 0;
+};
+
+class QueryEngine {
+ public:
+  /// The store must outlive the engine. The engine itself is immutable
+  /// and safe to share across threads.
+  explicit QueryEngine(const SnapshotStore* store) : store_(store) {}
+
+  /// Serves a top-k query from the store's current generation into
+  /// `scratch->results()`. FailedPrecondition before the first publish;
+  /// InvalidArgument on out-of-range query parameters. k is clamped to
+  /// the eligible page count; k = 0 yields empty results.
+  Status TopK(const TopKQuery& query, TopKScratch* scratch) const;
+
+  /// Same, on an explicitly pinned bundle (tests, tools, and callers
+  /// that batch many queries against one Acquire()).
+  static Status TopKOnBundle(const LoadedBundle& bundle,
+                             const TopKQuery& query, TopKScratch* scratch);
+
+ private:
+  const SnapshotStore* store_;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,364 @@
+#include "serve/score_bundle.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <utility>
+
+namespace qrank {
+
+namespace {
+
+// Sort rows by (score desc, row asc): the deterministic serving order.
+void SortRowsByScoreDescending(const std::vector<double>& score,
+                               std::vector<NodeId>* rows) {
+  std::sort(rows->begin(), rows->end(), [&score](NodeId a, NodeId b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;
+  });
+}
+
+void AppendBytes(std::vector<uint8_t>* out, const void* p, size_t n) {
+  const uint8_t* b = static_cast<const uint8_t*>(p);
+  out->insert(out->end(), b, b + n);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ScoreBundleWriter
+// ---------------------------------------------------------------------------
+
+Result<ScoreBundleWriter> ScoreBundleWriter::Create(ScoreBundleSource source) {
+  const size_t n = source.quality.size();
+  if (n == 0) {
+    return Status::InvalidArgument("score bundle needs at least one page");
+  }
+  if (n > static_cast<size_t>(kInvalidNode)) {
+    return Status::InvalidArgument("too many pages for 32-bit rows");
+  }
+  if (source.pagerank.size() != n) {
+    return Status::InvalidArgument(
+        "quality and pagerank sizes disagree: " + std::to_string(n) + " vs " +
+        std::to_string(source.pagerank.size()));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(source.quality[i]) || source.quality[i] < 0.0) {
+      return Status::InvalidArgument("quality[" + std::to_string(i) +
+                                     "] is not finite and non-negative");
+    }
+    if (!std::isfinite(source.pagerank[i]) || source.pagerank[i] < 0.0) {
+      return Status::InvalidArgument("pagerank[" + std::to_string(i) +
+                                     "] is not finite and non-negative");
+    }
+  }
+  if (source.page_ids.empty()) {
+    source.page_ids.resize(n);
+    std::iota(source.page_ids.begin(), source.page_ids.end(), NodeId{0});
+  } else if (source.page_ids.size() != n) {
+    return Status::InvalidArgument("page_ids size disagrees with pages");
+  }
+  if (source.site_ids.empty()) {
+    source.site_ids.assign(n, SiteId{0});
+    if (source.num_sites == 0) source.num_sites = 1;
+  } else if (source.site_ids.size() != n) {
+    return Status::InvalidArgument("site_ids size disagrees with pages");
+  }
+  if (source.num_sites == 0) {
+    source.num_sites =
+        *std::max_element(source.site_ids.begin(), source.site_ids.end()) + 1;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (source.site_ids[i] >= source.num_sites) {
+      return Status::InvalidArgument(
+          "site_ids[" + std::to_string(i) + "] = " +
+          std::to_string(source.site_ids[i]) + " >= num_sites " +
+          std::to_string(source.num_sites));
+    }
+  }
+  if (source.expected_mass <= 0.0) {
+    source.expected_mass = std::accumulate(source.pagerank.begin(),
+                                           source.pagerank.end(), 0.0);
+  }
+  if (!std::isfinite(source.expected_mass)) {
+    return Status::InvalidArgument("expected_mass is not finite");
+  }
+
+  ScoreBundleWriter w;
+  w.source_ = std::move(source);
+  w.order_by_quality_.resize(n);
+  std::iota(w.order_by_quality_.begin(), w.order_by_quality_.end(),
+            NodeId{0});
+  w.order_by_pagerank_ = w.order_by_quality_;
+  SortRowsByScoreDescending(w.source_.quality, &w.order_by_quality_);
+  SortRowsByScoreDescending(w.source_.pagerank, &w.order_by_pagerank_);
+
+  // Per-site postings: counting sort by site, then quality order within
+  // each group (walking the global quality order preserves it for free).
+  const SiteId num_sites = w.source_.num_sites;
+  w.site_offsets_.assign(static_cast<size_t>(num_sites) + 1, 0);
+  for (SiteId s : w.source_.site_ids) ++w.site_offsets_[s + 1];
+  for (size_t s = 1; s < w.site_offsets_.size(); ++s) {
+    w.site_offsets_[s] += w.site_offsets_[s - 1];
+  }
+  w.site_pages_.resize(n);
+  std::vector<uint32_t> cursor(w.site_offsets_.begin(),
+                               w.site_offsets_.end() - 1);
+  for (NodeId row : w.order_by_quality_) {
+    w.site_pages_[cursor[w.source_.site_ids[row]]++] = row;
+  }
+  return w;
+}
+
+std::vector<uint8_t> ScoreBundleWriter::Serialize() const {
+  struct Section {
+    uint32_t id;
+    const void* data;
+    uint64_t size;
+  };
+  const uint64_t n = num_pages();
+  const Section sections[] = {
+      {kBundleQuality, source_.quality.data(), n * 8},
+      {kBundlePageRank, source_.pagerank.data(), n * 8},
+      {kBundlePageIds, source_.page_ids.data(), n * 4},
+      {kBundleSiteIds, source_.site_ids.data(), n * 4},
+      {kBundleOrderByQuality, order_by_quality_.data(), n * 4},
+      {kBundleOrderByPageRank, order_by_pagerank_.data(), n * 4},
+      {kBundleSiteOffsets, site_offsets_.data(),
+       (uint64_t{num_sites()} + 1) * 4},
+      {kBundleSitePages, site_pages_.data(), n * 4},
+  };
+
+  BundleHeader header = {};
+  std::memcpy(header.magic, kBundleMagic, sizeof(kBundleMagic));
+  header.version = kBundleVersion;
+  header.header_bytes = sizeof(BundleHeader);
+  header.section_count = kBundleSectionCount;
+  header.num_pages = num_pages();
+  header.num_sites = num_sites();
+  header.expected_mass = source_.expected_mass;
+  header.creator_tag = source_.creator_tag;
+
+  // Lay out the section table, then 64-aligned payloads.
+  BundleSectionEntry table[kBundleSectionCount] = {};
+  uint64_t cursor = BundleTableEnd(header);
+  for (size_t i = 0; i < kBundleSectionCount; ++i) {
+    cursor = (cursor + kBundleSectionAlign - 1) / kBundleSectionAlign *
+             kBundleSectionAlign;
+    table[i].id = sections[i].id;
+    table[i].offset = cursor;
+    table[i].size = sections[i].size;
+    cursor += sections[i].size;
+  }
+
+  std::vector<uint8_t> image;
+  image.reserve(cursor);
+  image.resize(sizeof(BundleHeader));  // patched below once CRCs are known
+  AppendBytes(&image, table, sizeof(table));
+  for (size_t i = 0; i < kBundleSectionCount; ++i) {
+    image.resize(table[i].offset, 0);  // zero padding up to the section
+    AppendBytes(&image, sections[i].data, sections[i].size);
+  }
+
+  header.payload_crc32 =
+      BundleCrc32(image.data() + BundleTableEnd(header),
+                  image.size() - BundleTableEnd(header));
+  header.header_crc32 =
+      BundleCrc32(reinterpret_cast<const uint8_t*>(&header),
+                  offsetof(BundleHeader, header_crc32));
+  std::memcpy(image.data(), &header, sizeof(header));
+  return image;
+}
+
+Status ScoreBundleWriter::WriteFile(const std::string& path) const {
+  const std::vector<uint8_t> image = Serialize();
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  f.write(reinterpret_cast<const char*>(image.data()),
+          static_cast<std::streamsize>(image.size()));
+  f.flush();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// LoadedBundle
+// ---------------------------------------------------------------------------
+
+LoadedBundle::LoadedBundle(LoadedBundle&& other) noexcept {
+  *this = std::move(other);
+}
+
+LoadedBundle& LoadedBundle::operator=(LoadedBundle&& other) noexcept {
+  if (this == &other) return *this;
+  if (map_base_ != nullptr) ::munmap(map_base_, map_length_);
+  data_ = other.data_;
+  size_ = other.size_;
+  backing_ = other.backing_;
+  heap_ = std::move(other.heap_);
+  map_base_ = other.map_base_;
+  map_length_ = other.map_length_;
+  header_ = other.header_;
+  std::memcpy(sections_, other.sections_, sizeof(sections_));
+  other.map_base_ = nullptr;
+  other.map_length_ = 0;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  // The moved-from heap_ is already empty; data_ (if it pointed into
+  // heap_) moved with the vector's storage, so the spans stay valid.
+  return *this;
+}
+
+LoadedBundle::~LoadedBundle() {
+  if (map_base_ != nullptr) ::munmap(map_base_, map_length_);
+}
+
+Status LoadedBundle::ValidateAndIndex() {
+  QRANK_RETURN_NOT_OK(ValidateBundleHeader(header_, size_));
+  // The table is bounds-safe to read now: ValidateBundleHeader proved
+  // table_end (plus the minimal payload) fits in size_.
+  const BundleSectionEntry* table =
+      reinterpret_cast<const BundleSectionEntry*>(data_ +
+                                                  sizeof(BundleHeader));
+  QRANK_RETURN_NOT_OK(ValidateBundleSections(header_, table, size_));
+  const uint64_t table_end = BundleTableEnd(header_);
+  const uint32_t crc = BundleCrc32(data_ + table_end, size_ - table_end);
+  if (crc != header_.payload_crc32) {
+    return Status::Corruption("bundle payload CRC mismatch");
+  }
+  for (uint32_t i = 0; i < header_.section_count; ++i) {
+    sections_[table[i].id] = data_ + table[i].offset;
+  }
+
+  // Range-check the index sections once, so the query hot path can
+  // index quality()/pagerank()/site groups without per-access bounds
+  // checks even on an adversarially crafted (but CRC-fixed) image.
+  const NodeId n = header_.num_pages;
+  for (const auto& [name, order] :
+       {std::pair<const char*, std::span<const NodeId>>{"order_by_quality",
+                                                        order_by_quality()},
+        {"order_by_pagerank", order_by_pagerank()},
+        {"site_pages", site_pages()}}) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] >= n) {
+        return Status::Corruption(std::string(name) + "[" +
+                                  std::to_string(i) + "] = " +
+                                  std::to_string(order[i]) +
+                                  " out of row range");
+      }
+    }
+  }
+  const std::span<const uint32_t> offsets = site_offsets();
+  if (offsets.front() != 0 || offsets.back() != n) {
+    return Status::Corruption("site_offsets do not span [0, num_pages]");
+  }
+  for (size_t s = 1; s < offsets.size(); ++s) {
+    if (offsets[s] < offsets[s - 1]) {
+      return Status::Corruption("site_offsets not monotone at site " +
+                                std::to_string(s - 1));
+    }
+  }
+  for (SiteId s = 0; s < header_.num_sites; ++s) {
+    for (uint32_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+      if (site_ids()[site_pages()[i]] != s) {
+        return Status::Corruption("site_pages row " + std::to_string(i) +
+                                  " not in site " + std::to_string(s));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<LoadedBundle> LoadedBundle::FromBuffer(std::vector<uint8_t> image) {
+  LoadedBundle b;
+  b.heap_ = std::move(image);
+  b.data_ = b.heap_.data();
+  b.size_ = b.heap_.size();
+  b.backing_ = Backing::kHeap;
+  if (b.size_ < sizeof(BundleHeader)) {
+    return Status::Corruption("bundle image smaller than its header");
+  }
+  std::memcpy(&b.header_, b.data_, sizeof(BundleHeader));
+  QRANK_RETURN_NOT_OK(b.ValidateAndIndex());
+  return b;
+}
+
+Result<LoadedBundle> LoadedBundle::Load(const std::string& path,
+                                        bool prefer_mmap) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    return Status::IOError("cannot stat " + path);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+
+  // Read JUST the fixed header into the stack and validate it against
+  // the true file size before allocating or mapping anything: a header
+  // promising 2^31 pages in a 1 KB file must die here, not in mmap or
+  // operator new (mirrors graph_io's binary-reader hardening).
+  BundleHeader header = {};
+  if (file_size < sizeof(header)) {
+    return Status::Corruption(path + ": smaller than a bundle header");
+  }
+  ssize_t got = ::pread(fd, &header, sizeof(header), 0);
+  if (got != static_cast<ssize_t>(sizeof(header))) {
+    return Status::IOError("cannot read header of " + path);
+  }
+  {
+    Status st_header = ValidateBundleHeader(header, file_size);
+    if (!st_header.ok()) {
+      return Status(st_header.code(), path + ": " + st_header.message());
+    }
+  }
+
+  LoadedBundle b;
+  if (prefer_mmap) {
+    void* base = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base != MAP_FAILED) {
+      b.map_base_ = base;
+      b.map_length_ = file_size;
+      b.data_ = static_cast<const uint8_t*>(base);
+      b.size_ = file_size;
+      b.backing_ = Backing::kMmap;
+    }
+  }
+  if (b.data_ == nullptr) {
+    // read() fallback (or prefer_mmap = false). The allocation is safe:
+    // the validated header proved file_size is the real on-disk size.
+    b.heap_.resize(file_size);
+    size_t off = 0;
+    while (off < file_size) {
+      got = ::pread(fd, b.heap_.data() + off, file_size - off, off);
+      if (got <= 0) return Status::IOError("short read of " + path);
+      off += static_cast<size_t>(got);
+    }
+    b.data_ = b.heap_.data();
+    b.size_ = file_size;
+    b.backing_ = Backing::kHeap;
+  }
+  b.header_ = header;
+  Status st_all = b.ValidateAndIndex();
+  if (!st_all.ok()) {
+    return Status(st_all.code(), path + ": " + st_all.message());
+  }
+  return b;
+}
+
+}  // namespace qrank

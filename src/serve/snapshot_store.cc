@@ -1,0 +1,30 @@
+#include "serve/snapshot_store.h"
+
+#include <utility>
+
+namespace qrank {
+
+uint64_t SnapshotStore::Publish(std::shared_ptr<const LoadedBundle> bundle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = std::move(bundle);
+  // The release bump is the publish signal: a reader whose generation()
+  // load observes it will take the lock and find the new bundle (the
+  // mutex orders the slot write before the reader's slot read).
+  return generation_.fetch_add(1, std::memory_order_release) + 1;
+}
+
+std::shared_ptr<const LoadedBundle> SnapshotStore::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+void SnapshotStore::Pin(std::shared_ptr<const LoadedBundle>* pin,
+                        uint64_t* pin_generation) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *pin = current_;
+  // Read under the lock so the pair is consistent even when a publish
+  // lands between the caller's generation() check and this call.
+  *pin_generation = generation_.load(std::memory_order_relaxed);
+}
+
+}  // namespace qrank

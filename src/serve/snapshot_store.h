@@ -1,0 +1,91 @@
+// SnapshotStore: immutable score-bundle generations with RCU-style
+// hot-swap.
+//
+// The serving layer sits between a background compute pipeline (which
+// periodically finishes a new snapshot's bundle) and many concurrent
+// query threads. The store holds the current generation as a
+// shared_ptr<const LoadedBundle>; readers pin a generation (Acquire)
+// and keep serving from it regardless of concurrent publishes, and a
+// retired generation is destroyed exactly when its last pinned reader
+// releases the shared_ptr — classic read-copy-update with the
+// reclamation handled by the control-block refcount.
+//
+// Implementation note: the slot is a mutex-guarded shared_ptr plus an
+// atomic generation counter, NOT std::atomic<std::shared_ptr>. The
+// libstdc++ atomic<shared_ptr> guards its pointer with an embedded
+// spinlock whose load path unlocks with relaxed ordering, which is a
+// data race by the letter of the memory model and is flagged by TSan
+// (observed with GCC 12); a plain mutex is unambiguously clean. The
+// mutex is NOT the per-query cost: QueryEngine caches its pin in the
+// per-thread TopKScratch and revalidates it with one atomic
+// generation() load per query, taking the mutex only when the
+// generation actually moved (see query_engine.h). Publishers never
+// wait on readers.
+//
+// Contract (what the TSan hot-swap test asserts):
+//   * Acquire never observes a partially published bundle — Publish
+//     installs a fully constructed, validated bundle under the lock,
+//     and the generation bump is the (release-ordered) signal.
+//   * In-flight queries keep their pinned generation alive for as long
+//     as they hold the shared_ptr; Publish never invalidates them.
+//   * A replaced generation is freed after the store's reference and
+//     every reader's pin are gone (no leaks, no early frees).
+
+#ifndef QRANK_SERVE_SNAPSHOT_STORE_H_
+#define QRANK_SERVE_SNAPSHOT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "serve/score_bundle.h"
+
+namespace qrank {
+
+class SnapshotStore {
+ public:
+  SnapshotStore() = default;
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Installs `bundle` as the current generation. Returns the 1-based
+  /// generation number of the publish.
+  uint64_t Publish(std::shared_ptr<const LoadedBundle> bundle);
+
+  /// Convenience: wrap and publish by value.
+  uint64_t Publish(LoadedBundle bundle) {
+    return Publish(
+        std::make_shared<const LoadedBundle>(std::move(bundle)));
+  }
+
+  /// Pins and returns the current generation (nullptr before the first
+  /// Publish). The caller's shared_ptr keeps the generation alive
+  /// across the hot-swap.
+  std::shared_ptr<const LoadedBundle> Acquire() const;
+
+  /// Number of Publish calls so far. A reader that cached a pin at
+  /// generation g can keep serving from it, allocation- and lock-free,
+  /// until this moves past g.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  bool has_bundle() const { return generation() > 0; }
+
+ private:
+  friend class QueryEngine;
+
+  /// Atomically snapshots (bundle, generation) under the lock — the
+  /// re-pin path of QueryEngine's generation-cached fast path.
+  void Pin(std::shared_ptr<const LoadedBundle>* pin,
+           uint64_t* pin_generation) const;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const LoadedBundle> current_;  // guarded by mu_
+  std::atomic<uint64_t> generation_{0};
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_SERVE_SNAPSHOT_STORE_H_

@@ -1,0 +1,102 @@
+// Compute -> serve handoff (core/bundle_export.h): a SnapshotSeries
+// run exports a bundle whose columns are exactly the estimator's Q̂ and
+// the last observation's PageRank, ready for QueryEngine.
+
+#include "core/bundle_export.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "serve/query_engine.h"
+
+namespace qrank {
+namespace {
+
+// Three snapshots of a small evolving site-clustered graph.
+SnapshotSeries MakeSeries() {
+  SnapshotSeries series;
+  Rng rng(55);
+  CsrGraph g =
+      CsrGraph::FromEdgeList(GenerateSiteClustered(6, 20, 4, 2, &rng).value())
+          .value();
+  EXPECT_TRUE(series.AddSnapshot(0.0, g).ok());
+  // Later snapshots add a few edges (monotone growth keeps the common
+  // set the full first snapshot).
+  for (int t = 1; t <= 2; ++t) {
+    EdgeList edges(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v : g.OutNeighbors(u)) edges.Add(u, v);
+    }
+    for (int extra = 0; extra < 12 * t; ++extra) {
+      const NodeId u = static_cast<NodeId>(rng.UniformUint64(g.num_nodes()));
+      const NodeId v = static_cast<NodeId>(rng.UniformUint64(g.num_nodes()));
+      if (u != v) edges.Add(u, v);
+    }
+    g = CsrGraph::FromEdgeList(edges).value();
+    EXPECT_TRUE(series.AddSnapshot(static_cast<double>(t), g).ok());
+  }
+  PageRankOptions pr;
+  pr.scale = ScaleConvention::kTotalMassN;
+  EXPECT_TRUE(series.ComputePageRanks(pr).ok());
+  return series;
+}
+
+TEST(BundleExportTest, ExportMatchesEstimatorAndLastObservation) {
+  const SnapshotSeries series = MakeSeries();
+  BundleExportOptions options;
+  options.site_ids.resize(series.CommonNodeCount());
+  for (NodeId i = 0; i < series.CommonNodeCount(); ++i) {
+    options.site_ids[i] = i / 20;  // generator's 20 pages per site
+  }
+  options.creator_tag = 42;
+
+  Result<ScoreBundleWriter> writer =
+      ExportScoreBundle(series, series.num_snapshots(), options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  Result<LoadedBundle> bundle =
+      LoadedBundle::FromBuffer(writer.value().Serialize());
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+
+  ASSERT_EQ(bundle->num_pages(), series.CommonNodeCount());
+  EXPECT_EQ(bundle->num_sites(), 6u);
+  EXPECT_EQ(bundle->creator_tag(), 42u);
+
+  const Result<QualityEstimate> estimate =
+      EstimateQuality(series, series.num_snapshots(), options.estimator);
+  ASSERT_TRUE(estimate.ok());
+  const std::vector<double>& last_pr =
+      series.pagerank(series.num_snapshots() - 1);
+  for (NodeId i = 0; i < bundle->num_pages(); ++i) {
+    ASSERT_EQ(bundle->quality()[i], estimate->quality[i]);
+    ASSERT_EQ(bundle->pagerank()[i], last_pr[i]);
+  }
+
+  // The exported bundle is servable as-is.
+  TopKScratch scratch;
+  TopKQuery q;
+  q.k = 5;
+  q.blend_alpha = 0.5;
+  ASSERT_TRUE(
+      QueryEngine::TopKOnBundle(bundle.value(), q, &scratch).ok());
+  EXPECT_EQ(scratch.results().size(), 5u);
+}
+
+TEST(BundleExportTest, RejectsBadArguments) {
+  const SnapshotSeries series = MakeSeries();
+  EXPECT_EQ(ExportScoreBundle(series, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ExportScoreBundle(series, series.num_snapshots() + 1).status().code(),
+      StatusCode::kInvalidArgument);
+
+  SnapshotSeries empty;
+  EXPECT_EQ(ExportScoreBundle(empty, 2).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace qrank

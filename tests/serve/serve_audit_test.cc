@@ -1,0 +1,240 @@
+// serve.bundle.* audit family: true negatives on writer-produced
+// bundles, plus mutation tests — each seeded corruption must be caught
+// by exactly the validator named for it (the registry's layered
+// silent-pass discipline), matching tests/audit/audit_mutation_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/audit.h"
+#include "common/rng.h"
+#include "serve/bundle_format.h"
+#include "serve/score_bundle.h"
+
+namespace qrank {
+namespace {
+
+using Names = std::vector<std::string>;
+
+constexpr NodeId kPages = 96;
+constexpr SiteId kSites = 5;
+
+std::vector<uint8_t> GoodImage() {
+  Rng rng(404);
+  ScoreBundleSource src;
+  src.quality.resize(kPages);
+  src.pagerank.resize(kPages);
+  src.site_ids.resize(kPages);
+  for (NodeId i = 0; i < kPages; ++i) {
+    // Distinct, well-separated values: a low-bit flip can't reorder.
+    src.quality[i] = 10.0 + 3.0 * rng.UniformDouble();
+    src.pagerank[i] = 5.0 + 2.0 * rng.UniformDouble();
+    src.site_ids[i] = i % kSites;
+  }
+  src.num_sites = kSites;
+  return ScoreBundleWriter::Create(std::move(src)).value().Serialize();
+}
+
+BundleHeader HeaderOf(const std::vector<uint8_t>& image) {
+  BundleHeader h;
+  std::memcpy(&h, image.data(), sizeof(h));
+  return h;
+}
+
+// Recomputes payload + header CRCs after a seeded payload mutation, so
+// only the validator the mutation targets can fire.
+void FixCrcs(std::vector<uint8_t>* image) {
+  BundleHeader h = HeaderOf(*image);
+  const uint64_t table_end = BundleTableEnd(h);
+  h.payload_crc32 =
+      BundleCrc32(image->data() + table_end, image->size() - table_end);
+  h.header_crc32 = BundleCrc32(reinterpret_cast<const uint8_t*>(&h),
+                               offsetof(BundleHeader, header_crc32));
+  std::memcpy(image->data(), &h, sizeof(h));
+}
+
+// Offset of section `id`'s payload within the image.
+uint64_t SectionOffset(const std::vector<uint8_t>& image, uint32_t id) {
+  const BundleHeader h = HeaderOf(image);
+  const auto* table = reinterpret_cast<const BundleSectionEntry*>(
+      image.data() + sizeof(BundleHeader));
+  for (uint32_t i = 0; i < h.section_count; ++i) {
+    if (table[i].id == id) return table[i].offset;
+  }
+  ADD_FAILURE() << "section " << id << " missing";
+  return 0;
+}
+
+AuditReport Audit(const std::vector<uint8_t>& image) {
+  return AuditScoreBundle(image.data(), image.size());
+}
+
+TEST(ServeAuditTest, WriterOutputPassesEveryValidator) {
+  const std::vector<uint8_t> image = GoodImage();
+  const AuditReport report = Audit(image);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.ran,
+            (Names{"serve.bundle.header", "serve.bundle.sections",
+                   "serve.bundle.crc", "serve.bundle.scores",
+                   "serve.bundle.index"}));
+}
+
+TEST(ServeAuditTest, ValidatorsSkipWithoutBundleBytes) {
+  AuditContext ctx;  // no bundle fields set
+  const AuditReport report = RunAudit(ctx);
+  for (const std::string& name : report.ran) {
+    EXPECT_EQ(name.rfind("serve.", 0), std::string::npos) << name;
+  }
+}
+
+TEST(ServeAuditMutationTest, BadMagicIsAHeaderFinding) {
+  std::vector<uint8_t> image = GoodImage();
+  image[0] = 'X';
+  EXPECT_EQ(Audit(image).FailedValidators(), Names{"serve.bundle.header"})
+      << Audit(image).ToString();
+}
+
+TEST(ServeAuditMutationTest, TruncationIsAHeaderFinding) {
+  std::vector<uint8_t> image = GoodImage();
+  image.resize(image.size() / 2);
+  EXPECT_EQ(Audit(image).FailedValidators(), Names{"serve.bundle.header"});
+  image.resize(10);  // smaller than the fixed header
+  EXPECT_EQ(Audit(image).FailedValidators(), Names{"serve.bundle.header"});
+}
+
+TEST(ServeAuditMutationTest, LyingPageCountIsAHeaderFinding) {
+  std::vector<uint8_t> image = GoodImage();
+  BundleHeader h = HeaderOf(image);
+  h.num_pages = 1u << 29;  // promises ~17 GB of payload
+  std::memcpy(image.data(), &h, sizeof(h));
+  // Header CRC still guards the count; fix it so the size cross-check
+  // itself (the pre-allocation gate) is what fires.
+  h.header_crc32 = BundleCrc32(reinterpret_cast<const uint8_t*>(&h),
+                               offsetof(BundleHeader, header_crc32));
+  std::memcpy(image.data(), &h, sizeof(h));
+  EXPECT_EQ(Audit(image).FailedValidators(), Names{"serve.bundle.header"});
+}
+
+TEST(ServeAuditMutationTest, TableCorruptionIsASectionsFinding) {
+  // The section table is deliberately outside both CRCs (header CRC
+  // covers [0, 60), payload CRC starts past the table), so table damage
+  // is attributed to serve.bundle.sections alone.
+  std::vector<uint8_t> image = GoodImage();
+  auto* entry = reinterpret_cast<BundleSectionEntry*>(image.data() +
+                                                      sizeof(BundleHeader));
+  entry->reserved = 7;
+  EXPECT_EQ(Audit(image).FailedValidators(), Names{"serve.bundle.sections"});
+
+  std::vector<uint8_t> misaligned = GoodImage();
+  auto* e2 = reinterpret_cast<BundleSectionEntry*>(misaligned.data() +
+                                                   sizeof(BundleHeader));
+  e2->offset += 4;  // breaks 64-alignment (and exact-extent placement)
+  EXPECT_EQ(Audit(misaligned).FailedValidators(),
+            Names{"serve.bundle.sections"});
+
+  std::vector<uint8_t> duplicated = GoodImage();
+  auto* e3 = reinterpret_cast<BundleSectionEntry*>(duplicated.data() +
+                                                   sizeof(BundleHeader));
+  e3[1].id = e3[0].id;  // duplicate id (and a missing required one)
+  EXPECT_EQ(Audit(duplicated).FailedValidators(),
+            Names{"serve.bundle.sections"});
+}
+
+TEST(ServeAuditMutationTest, PayloadBitFlipIsACrcFinding) {
+  std::vector<uint8_t> image = GoodImage();
+  // Flip the lowest mantissa bit of the globally best quality value:
+  // still finite, still non-negative, still the maximum (values are
+  // well separated), still first in every order — only the checksum
+  // can tell.
+  const uint64_t q_off = SectionOffset(image, kBundleQuality);
+  const uint64_t order_off = SectionOffset(image, kBundleOrderByQuality);
+  uint32_t best_row;
+  std::memcpy(&best_row, image.data() + order_off, sizeof(best_row));
+  image[q_off + uint64_t{best_row} * 8] ^= 1;
+  EXPECT_EQ(Audit(image).FailedValidators(), Names{"serve.bundle.crc"})
+      << Audit(image).ToString();
+}
+
+TEST(ServeAuditMutationTest, MassViolationIsAScoresFinding) {
+  std::vector<uint8_t> image = GoodImage();
+  // Scale every pagerank by 1.5: order sections stay exactly sorted,
+  // values stay finite/non-negative — only the declared mass is wrong.
+  const uint64_t pr_off = SectionOffset(image, kBundlePageRank);
+  for (NodeId i = 0; i < kPages; ++i) {
+    double v;
+    std::memcpy(&v, image.data() + pr_off + uint64_t{i} * 8, sizeof(v));
+    v *= 1.5;
+    std::memcpy(image.data() + pr_off + uint64_t{i} * 8, &v, sizeof(v));
+  }
+  FixCrcs(&image);
+  EXPECT_EQ(Audit(image).FailedValidators(), Names{"serve.bundle.scores"})
+      << Audit(image).ToString();
+}
+
+TEST(ServeAuditMutationTest, NonFiniteTailScoreIsAScoresFinding) {
+  std::vector<uint8_t> image = GoodImage();
+  // NaN planted at the pagerank order's tail row: the index validator
+  // skips comparisons against non-finite values (that row is the
+  // scores validator's finding), so only serve.bundle.scores fires.
+  const uint64_t pr_off = SectionOffset(image, kBundlePageRank);
+  const uint64_t order_off = SectionOffset(image, kBundleOrderByPageRank);
+  uint32_t worst_row;
+  std::memcpy(&worst_row,
+              image.data() + order_off + uint64_t{kPages - 1} * 4,
+              sizeof(worst_row));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(image.data() + pr_off + uint64_t{worst_row} * 8, &nan,
+              sizeof(nan));
+  FixCrcs(&image);
+  EXPECT_EQ(Audit(image).FailedValidators(), Names{"serve.bundle.scores"})
+      << Audit(image).ToString();
+}
+
+TEST(ServeAuditMutationTest, ShuffledOrderSectionIsAnIndexFinding) {
+  std::vector<uint8_t> image = GoodImage();
+  // Swap the two best rows of the quality order: same permutation, but
+  // no longer score-descending. Scores themselves are untouched.
+  const uint64_t order_off = SectionOffset(image, kBundleOrderByQuality);
+  uint32_t rows[2];
+  std::memcpy(rows, image.data() + order_off, sizeof(rows));
+  std::swap(rows[0], rows[1]);
+  std::memcpy(image.data() + order_off, rows, sizeof(rows));
+  FixCrcs(&image);
+  EXPECT_EQ(Audit(image).FailedValidators(), Names{"serve.bundle.index"})
+      << Audit(image).ToString();
+}
+
+TEST(ServeAuditMutationTest, MisgroupedSitePostingIsAnIndexFinding) {
+  std::vector<uint8_t> image = GoodImage();
+  // Retarget site 0's best posting at a row belonging to another site:
+  // the permutation breaks (duplicate + missing row) and the group no
+  // longer matches site_ids.
+  const uint64_t sp_off = SectionOffset(image, kBundleSitePages);
+  uint32_t row;
+  std::memcpy(&row, image.data() + sp_off, sizeof(row));
+  const uint32_t foreign = row + 1;  // adjacent rows alternate sites
+  std::memcpy(image.data() + sp_off, &foreign, sizeof(foreign));
+  FixCrcs(&image);
+  EXPECT_EQ(Audit(image).FailedValidators(), Names{"serve.bundle.index"})
+      << Audit(image).ToString();
+}
+
+TEST(ServeAuditTest, RunAuditValidatorByNameNeedsBundleBytes) {
+  AuditContext ctx;
+  EXPECT_EQ(RunAuditValidator("serve.bundle.header", ctx).status().code(),
+            StatusCode::kFailedPrecondition);
+  const std::vector<uint8_t> image = GoodImage();
+  ctx.bundle_data = image.data();
+  ctx.bundle_size = image.size();
+  Result<AuditReport> report = RunAuditValidator("serve.bundle.crc", ctx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,76 @@
+// SnapshotStore single-threaded contract: publish/acquire semantics,
+// generation counting, and reclamation — a replaced generation lives
+// exactly as long as its last pin (the concurrent half of the contract
+// lives in serve_hotswap_test.cc).
+
+#include "serve/snapshot_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "serve/score_bundle.h"
+
+namespace qrank {
+namespace {
+
+LoadedBundle MakeBundle(double q0) {
+  ScoreBundleSource src;
+  src.quality = {q0, 1.0};
+  src.pagerank = {1.0, 2.0};
+  return LoadedBundle::FromBuffer(
+             ScoreBundleWriter::Create(std::move(src)).value().Serialize())
+      .value();
+}
+
+TEST(SnapshotStoreTest, EmptyStoreHasNoBundle) {
+  SnapshotStore store;
+  EXPECT_FALSE(store.has_bundle());
+  EXPECT_EQ(store.generation(), 0u);
+  EXPECT_EQ(store.Acquire(), nullptr);
+}
+
+TEST(SnapshotStoreTest, PublishInstallsAndCountsGenerations) {
+  SnapshotStore store;
+  EXPECT_EQ(store.Publish(MakeBundle(3.0)), 1u);
+  ASSERT_TRUE(store.has_bundle());
+  std::shared_ptr<const LoadedBundle> first = store.Acquire();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->quality()[0], 3.0);
+
+  EXPECT_EQ(store.Publish(MakeBundle(7.0)), 2u);
+  EXPECT_EQ(store.generation(), 2u);
+  std::shared_ptr<const LoadedBundle> second = store.Acquire();
+  EXPECT_EQ(second->quality()[0], 7.0);
+  // The earlier pin still reads the generation it acquired.
+  EXPECT_EQ(first->quality()[0], 3.0);
+}
+
+TEST(SnapshotStoreTest, ReplacedGenerationFreedAfterLastUnpin) {
+  SnapshotStore store;
+  auto first = std::make_shared<const LoadedBundle>(MakeBundle(3.0));
+  std::weak_ptr<const LoadedBundle> watch = first;
+  store.Publish(std::move(first));
+
+  std::shared_ptr<const LoadedBundle> pin = store.Acquire();
+  store.Publish(MakeBundle(7.0));
+  // Replaced but still pinned: must stay alive.
+  EXPECT_FALSE(watch.expired());
+  EXPECT_EQ(pin->quality()[0], 3.0);
+
+  pin.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SnapshotStoreTest, AcquirePinsIndependently) {
+  SnapshotStore store;
+  store.Publish(MakeBundle(5.0));
+  std::vector<std::shared_ptr<const LoadedBundle>> pins;
+  for (int i = 0; i < 8; ++i) pins.push_back(store.Acquire());
+  for (const auto& p : pins) EXPECT_EQ(p.get(), pins[0].get());
+}
+
+}  // namespace
+}  // namespace qrank

@@ -4,13 +4,15 @@
 // Usage:
 //   qrank_audit [flags] <graph-file>...
 //
-// Each graph file may be a text edge list ("qrank-edges v1") or a binary
-// snapshot ("QRKG" magic); the format is sniffed from the first bytes.
-// Every graph gets the graph.* family. With --deltas (default) and two
-// or more graphs, each consecutive pair is additionally treated as a
-// snapshot step: the delta between them is derived and the delta.*
-// family (including the dirty-frontier cover check) runs against it.
-// With --scores=<file> (one score per line) the rank.* family runs too.
+// Each input file may be a text edge list ("qrank-edges v1"), a binary
+// snapshot ("QRKG" magic) or a score bundle ("QRKB" magic); the format
+// is sniffed from the first bytes. Every graph gets the graph.* family.
+// With --deltas (default) and two or more graphs, each consecutive pair
+// is additionally treated as a snapshot step: the delta between them
+// is derived and the delta.* family (including the dirty-frontier cover
+// check) runs against it. Score bundles get the serve.bundle.* family
+// and take no part in delta pairing. With --scores=<file> (one score
+// per line) the rank.* family runs too.
 //
 // Output, one row per validator executed:
 //   <artifact> <TAB> <validator> <TAB> PASS|FAIL <TAB> <severity> <TAB> <detail>
@@ -44,8 +46,8 @@ namespace {
 void PrintUsage(std::ostream& os) {
   os << "usage: qrank_audit [--transpose=BOOL] [--deltas=BOOL]\n"
         "                   [--scores=FILE] [--expected-mass=X]\n"
-        "                   [--mass-tolerance=X] <graph-file>...\n"
-        "Audits graph/delta/rank invariants; TSV verdict on stdout.\n";
+        "                   [--mass-tolerance=X] <graph-or-bundle-file>...\n"
+        "Audits graph/delta/rank/bundle invariants; TSV verdict on stdout.\n";
 }
 
 // Sniffs the binary-snapshot magic to pick the reader.
@@ -62,6 +64,27 @@ Result<CsrGraph> LoadGraph(const std::string& path) {
   Result<EdgeList> edges = ReadEdgeListText(path);
   if (!edges.ok()) return edges.status();
   return CsrGraph::FromEdgeList(edges.value());
+}
+
+// True when the file starts with the score-bundle magic ("QRKB").
+bool SniffScoreBundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4] = {0, 0, 0, 0};
+  in.read(magic, 4);
+  return in.gcount() == 4 && magic[0] == 'Q' && magic[1] == 'R' &&
+         magic[2] == 'K' && magic[3] == 'B';
+}
+
+Result<std::vector<uint8_t>> LoadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open " + path);
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0) in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) return Status::IOError("short read on " + path);
+  return bytes;
 }
 
 Result<std::vector<double>> LoadScores(const std::string& path) {
@@ -146,8 +169,22 @@ int Run(int argc, const char* const* argv) {
 
   Tally tally;
   std::vector<CsrGraph> graphs;
+  std::vector<std::string> graph_paths;  // bundle files skip delta pairing
   graphs.reserve(paths.size());
   for (const std::string& path : paths) {
+    if (SniffScoreBundle(path)) {
+      Result<std::vector<uint8_t>> bytes = LoadBytes(path);
+      if (!bytes.ok()) {
+        std::cerr << "qrank_audit: " << path << ": "
+                  << bytes.status().ToString() << "\n";
+        return 2;
+      }
+      EmitReport(path,
+                 AuditScoreBundle(bytes.value().data(), bytes.value().size(),
+                                  mass_tolerance),
+                 &tally);
+      continue;
+    }
     Result<CsrGraph> graph = LoadGraph(path);
     if (!graph.ok()) {
       std::cerr << "qrank_audit: " << path << ": "
@@ -155,6 +192,7 @@ int Run(int argc, const char* const* argv) {
       return 2;
     }
     graphs.push_back(std::move(graph).value());
+    graph_paths.push_back(path);
     if (do_transpose) graphs.back().BuildTranspose();
     EmitReport(path, AuditGraph(graphs.back()), &tally);
   }
@@ -165,7 +203,7 @@ int Run(int argc, const char* const* argv) {
       const CsrGraph& next = graphs[i];
       const GraphDelta delta = GraphDelta::Between(base, next);
       const std::vector<uint8_t> dirty = delta.DirtyFrontier(next);
-      EmitReport(paths[i - 1] + " -> " + paths[i],
+      EmitReport(graph_paths[i - 1] + " -> " + graph_paths[i],
                  AuditDelta(base, delta, &next, &dirty), &tally);
     }
   }
