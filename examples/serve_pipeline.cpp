@@ -96,8 +96,32 @@ int main(int argc, char** argv) {
                   ? "mmap (zero-copy)"
                   : "heap (read fallback)");
 
+  // Publish through the ordered path, stamped with the snapshot time it
+  // reflects. A late or replayed publisher re-offering an older stamp
+  // must be rejected, or a fresh generation would be silently clobbered
+  // by stale scores — the ordering bug this example used to have.
   qrank::SnapshotStore store;
-  store.Publish(std::move(bundle).value());
+  auto published = store.PublishOrdered(
+      std::make_shared<const qrank::LoadedBundle>(std::move(bundle).value()),
+      /*sequence=*/20);
+  if (!published.ok()) return EXIT_FAILURE;
+  auto replay = qrank::LoadedBundle::Load(bundle_path);
+  if (!replay.ok()) return EXIT_FAILURE;
+  auto stale = store.PublishOrdered(
+      std::make_shared<const qrank::LoadedBundle>(std::move(replay).value()),
+      /*sequence=*/16);
+  if (stale.ok()) {
+    std::fprintf(stderr,
+                 "BUG: stale publish (sequence 16 <= watermark 20) was "
+                 "accepted\n");
+    return EXIT_FAILURE;
+  }
+  std::printf(
+      "stage 3: generation %llu published at sequence 20; stale replay "
+      "rejected (%s)\n",
+      static_cast<unsigned long long>(published.value()),
+      stale.status().ToString().c_str());
+
   const qrank::QueryEngine engine(&store);
   qrank::TopKScratch scratch;
 

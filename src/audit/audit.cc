@@ -694,6 +694,69 @@ void RunServeBundleIndex(const AuditContext& ctx, AuditReport* report) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// ingest.* — continuous-ingest bookkeeping
+// ---------------------------------------------------------------------------
+
+bool NeedsIngestQueue(const AuditContext& ctx) { return ctx.has_ingest_queue; }
+
+void RunIngestQueue(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("ingest.queue");
+  // Conservation: every accepted event is either still queued or was
+  // handed to the consumer. Rejected pushes never enter the ledger, so
+  // they appear on neither side.
+  if (ctx.queue_enqueued != ctx.queue_dequeued + ctx.queue_depth) {
+    Fail(report, self,
+         "counter conservation broken: enqueued " +
+             std::to_string(ctx.queue_enqueued) + " != dequeued " +
+             std::to_string(ctx.queue_dequeued) + " + depth " +
+             std::to_string(ctx.queue_depth) + " (events were lost)");
+    return;
+  }
+  if (ctx.queue_depth > ctx.queue_capacity) {
+    Fail(report, self,
+         "depth " + std::to_string(ctx.queue_depth) +
+             " exceeds the bounded capacity " +
+             std::to_string(ctx.queue_capacity));
+  }
+}
+
+bool NeedsIngestBatch(const AuditContext& ctx) {
+  return ctx.delta != nullptr && ctx.ingest_batch_events >= 0;
+}
+
+void RunIngestBatch(const AuditContext& ctx, AuditReport* report) {
+  const AuditValidator& self = *FindValidator("ingest.batch");
+  const GraphDelta& d = *ctx.delta;
+  const int64_t events = ctx.ingest_batch_events;
+  const int64_t edge_events = ctx.ingest_batch_edge_events;
+  if (edge_events < 0 || edge_events > events) {
+    Fail(report, self,
+         "batch claims " + std::to_string(edge_events) +
+             " edge events out of " + std::to_string(events) + " total");
+    return;
+  }
+  // Last-writer-wins coalescing can only cancel events, never invent
+  // structural change: at most one net change per raw edge event.
+  const int64_t net = static_cast<int64_t>(d.num_changes());
+  if (net > edge_events) {
+    Fail(report, self,
+         "delta carries " + std::to_string(net) +
+             " net changes from only " + std::to_string(edge_events) +
+             " raw edge events (coalescing invented changes)");
+    return;
+  }
+  // Streaming deltas are growth-only: pages are born when an edge first
+  // names them; nothing in the event vocabulary deletes a page.
+  if (d.new_num_nodes < d.old_num_nodes) {
+    Fail(report, self,
+         "batch shrinks the page set from " +
+             std::to_string(d.old_num_nodes) + " to " +
+             std::to_string(d.new_num_nodes) +
+             " nodes (ingest deltas are growth-only)");
+  }
+}
+
 }  // namespace
 
 const char* AuditSeverityName(AuditSeverity severity) {
@@ -813,6 +876,14 @@ const std::vector<AuditValidator>& AuditRegistry() {
        "order sections are score-descending row permutations and site "
        "postings partition the pages by their site ids",
        NeedsBundle, RunServeBundleIndex},
+      {"ingest.queue", AuditSeverity::kError,
+       "update-queue counter conservation: accepted events are either "
+       "queued or drained, and depth stays within capacity",
+       NeedsIngestQueue, RunIngestQueue},
+      {"ingest.batch", AuditSeverity::kError,
+       "coalesced batch contract: net delta no larger than its raw edge "
+       "events, page set growth-only",
+       NeedsIngestBatch, RunIngestBatch},
   };
   return kRegistry;
 }
@@ -892,6 +963,35 @@ AuditReport AuditScoreBundle(const uint8_t* data, size_t size,
   ctx.bundle_size = size;
   ctx.mass_tolerance = mass_tolerance;
   return RunAudit(ctx);
+}
+
+AuditReport AuditIngestQueue(uint64_t capacity, uint64_t depth,
+                             uint64_t enqueued, uint64_t dequeued,
+                             uint64_t rejected) {
+  AuditContext ctx;
+  ctx.has_ingest_queue = true;
+  ctx.queue_capacity = capacity;
+  ctx.queue_depth = depth;
+  ctx.queue_enqueued = enqueued;
+  ctx.queue_dequeued = dequeued;
+  ctx.queue_rejected = rejected;
+  return RunAudit(ctx);
+}
+
+AuditReport AuditIngestBatch(const CsrGraph& base, const GraphDelta& delta,
+                             uint64_t num_events, uint64_t num_edge_events) {
+  AuditContext ctx;
+  ctx.base = &base;
+  ctx.delta = &delta;
+  ctx.ingest_batch_events = static_cast<int64_t>(num_events);
+  ctx.ingest_batch_edge_events = static_cast<int64_t>(num_edge_events);
+  // Run only the ingest.batch contract; the delta.* family is the
+  // caller's separate AuditDelta pass (avoids double-reporting).
+  const AuditValidator* v = FindValidator("ingest.batch");
+  AuditReport report;
+  report.ran.emplace_back(v->name);
+  v->run(ctx, &report);
+  return report;
 }
 
 }  // namespace qrank

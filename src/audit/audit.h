@@ -25,6 +25,11 @@
 //             section-table geometry, payload CRC, score finiteness
 //             and declared mass, and serving-index consistency —
 //             a corrupt bundle must be rejected before it is served.
+//   ingest.*  Continuous-ingest bookkeeping: queue counter conservation
+//             (accepted events are queued or drained, never dropped)
+//             and the coalescing contract of a flushed batch (the net
+//             delta never exceeds its raw edge events; the page set
+//             only grows).
 //
 // Three consumers: the compile-time QRANK_AUDIT_LEVEL hooks inside
 // src/graph/ and src/rank/ (cheap Status-based self-checks; see
@@ -118,6 +123,22 @@ struct AuditContext {
   /// these bytes — the audit library never links qrank_serve.
   const uint8_t* bundle_data = nullptr;
   size_t bundle_size = 0;
+
+  /// Ingest-queue checks (ingest.queue): a consistent snapshot of the
+  /// UpdateQueue counters (raw integers — the audit library never links
+  /// qrank_ingest). `has_ingest_queue` gates applicability, since an
+  /// all-zero snapshot is itself valid.
+  bool has_ingest_queue = false;
+  uint64_t queue_capacity = 0;
+  uint64_t queue_depth = 0;
+  uint64_t queue_enqueued = 0;
+  uint64_t queue_dequeued = 0;
+  uint64_t queue_rejected = 0;
+
+  /// Ingest-batch checks (ingest.batch): the raw event counts a
+  /// coalesced batch absorbed to produce `delta`. Negative disables.
+  int64_t ingest_batch_events = -1;
+  int64_t ingest_batch_edge_events = -1;
 };
 
 /// A named validator. `applicable` inspects only which context fields
@@ -165,6 +186,19 @@ AuditReport AuditRankVector(const std::vector<double>& scores,
 /// finiteness/mass, serving-index consistency).
 AuditReport AuditScoreBundle(const uint8_t* data, size_t size,
                              double mass_tolerance = 1e-6);
+
+/// Convenience: ingest.queue on a counter snapshot (conservation:
+/// accepted events are either queued or drained, never dropped).
+AuditReport AuditIngestQueue(uint64_t capacity, uint64_t depth,
+                             uint64_t enqueued, uint64_t dequeued,
+                             uint64_t rejected);
+
+/// Convenience: ingest.batch alone — the coalescing contract of one
+/// flushed batch (delta no larger than its edge events, growth-only
+/// node count) — without re-running the delta.* family (the ingest loop
+/// runs AuditDelta separately).
+AuditReport AuditIngestBatch(const CsrGraph& base, const GraphDelta& delta,
+                             uint64_t num_events, uint64_t num_edge_events);
 
 }  // namespace qrank
 

@@ -1,5 +1,6 @@
 #include "core/bundle_export.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace qrank {
@@ -22,6 +23,47 @@ Result<ScoreBundleWriter> ExportScoreBundle(const SnapshotSeries& series,
   ScoreBundleSource source;
   source.quality = std::move(estimate.quality);
   source.pagerank = series.pagerank(num_observations - 1);
+  source.site_ids = options.site_ids;
+  source.num_sites = options.num_sites;
+  source.expected_mass = options.expected_mass;
+  source.creator_tag = options.creator_tag;
+  return ScoreBundleWriter::Create(std::move(source));
+}
+
+Result<ScoreBundleWriter> ExportScoreBundleFromObservations(
+    const std::vector<std::vector<double>>& observations,
+    const BundleExportOptions& options) {
+  if (observations.empty() || observations.back().empty()) {
+    return Status::InvalidArgument(
+        "need at least one non-empty PageRank observation");
+  }
+  for (size_t i = 1; i < observations.size(); ++i) {
+    if (observations[i].size() < observations[i - 1].size()) {
+      return Status::InvalidArgument(
+          "observation sizes must be non-decreasing (pages are only born)");
+    }
+  }
+  const std::vector<double>& latest = observations.back();
+  // Newest observation is both the PR column and the Q̂ fallback for
+  // pages without a full-window history.
+  std::vector<double> quality = latest;
+  const size_t common = observations.front().size();
+  if (observations.size() >= 2 && common > 0) {
+    std::vector<std::vector<double>> trimmed;
+    trimmed.reserve(observations.size());
+    for (const std::vector<double>& observation : observations) {
+      trimmed.emplace_back(observation.begin(),
+                           observation.begin() + common);
+    }
+    QRANK_ASSIGN_OR_RETURN(QualityEstimate estimate,
+                           EstimateQuality(trimmed, options.estimator));
+    std::copy(estimate.quality.begin(), estimate.quality.end(),
+              quality.begin());
+  }
+
+  ScoreBundleSource source;
+  source.quality = std::move(quality);
+  source.pagerank = latest;
   source.site_ids = options.site_ids;
   source.num_sites = options.num_sites;
   source.expected_mass = options.expected_mass;

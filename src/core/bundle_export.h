@@ -49,6 +49,18 @@ Result<ScoreBundleWriter> ExportScoreBundle(
     const SnapshotSeries& series, size_t num_observations,
     const BundleExportOptions& options = {});
 
+/// Streaming variant for the ingest pipeline: builds a bundle straight
+/// from a window of PageRank observation vectors (oldest first, sizes
+/// non-decreasing — ingest only ever grows the page set). The estimator
+/// runs over the common id prefix (the oldest observation's size);
+/// pages born inside the window — and every page when the window holds
+/// a single observation — have no usable trend yet and get Q̂ = PR.
+/// The bundle pairs the estimates with the newest observation, over its
+/// full page set. Site options apply to the newest observation's size.
+Result<ScoreBundleWriter> ExportScoreBundleFromObservations(
+    const std::vector<std::vector<double>>& observations,
+    const BundleExportOptions& options = {});
+
 }  // namespace qrank
 
 #endif  // QRANK_CORE_BUNDLE_EXPORT_H_

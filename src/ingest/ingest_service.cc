@@ -1,0 +1,345 @@
+#include "ingest/ingest_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "audit/audit.h"
+#include "common/logging.h"
+#include "core/bundle_export.h"
+#include "rank/rank_vector.h"
+#include "serve/score_bundle.h"
+
+namespace qrank {
+
+namespace {
+
+// Compile-time audit level (src/audit/): level 1 re-checks queue
+// counter conservation per batch; level 2 additionally re-validates
+// every coalesced delta + frontier before ranking on it — the exact
+// artifacts the incremental fast path trusts blindly.
+constexpr int kAuditLevel = QRANK_AUDIT_LEVEL;
+
+double ToMillis(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+}  // namespace
+
+DeltaPageRankOptions DefaultIngestRankOptions() {
+  DeltaPageRankOptions options;
+  options.base.scale = ScaleConvention::kTotalMassN;
+  return options;
+}
+
+IngestService::IngestService(CsrGraph initial_graph, SnapshotStore* store,
+                             IngestOptions options)
+    : options_(std::move(options)),
+      store_(store),
+      queue_(options_.queue),
+      accumulator_(options_.batch),
+      graph_(std::move(initial_graph)),
+      visit_counts_(graph_.num_nodes(), 0) {}
+
+Result<std::unique_ptr<IngestService>> IngestService::Create(
+    CsrGraph initial_graph, SnapshotStore* store, IngestOptions options) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("IngestService needs a SnapshotStore");
+  }
+  if (options.queue.capacity == 0) {
+    return Status::InvalidArgument("queue capacity must be >= 1");
+  }
+  if (options.batch.max_events == 0) {
+    return Status::InvalidArgument("batch max_events must be >= 1");
+  }
+  if (options.batch.max_age <= std::chrono::nanoseconds::zero()) {
+    return Status::InvalidArgument("batch max_age must be positive");
+  }
+  if (options.observation_window < 2) {
+    return Status::InvalidArgument("observation window must be >= 2");
+  }
+  if (options.num_sites == 0) {
+    return Status::InvalidArgument("num_sites must be >= 1");
+  }
+  return std::unique_ptr<IngestService>(new IngestService(
+      std::move(initial_graph), store, std::move(options)));
+}
+
+IngestService::~IngestService() {
+  const Status ignored = Stop();
+  (void)ignored;
+}
+
+Status IngestService::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("ingest service already started");
+  }
+  started_ = true;
+  if (options_.publish_initial && graph_.num_nodes() > 0) {
+    uint32_t iterations = 0;
+    uint64_t node_updates = 0;
+    // Cold start: empty frontier = every page dirty (delta_pagerank.h).
+    QRANK_RETURN_NOT_OK(RecomputeScores({}, &iterations, &node_updates));
+    QRANK_RETURN_NOT_OK(
+        PublishGeneration(nullptr, 0, iterations, node_updates));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = true;
+  }
+  consumer_ = std::thread([this] { RunLoop(); });
+  return Status::OK();
+}
+
+Status IngestService::Stop() {
+  if (!started_ || stopped_) return status();
+  stopped_ = true;
+  queue_.Close();
+  if (consumer_.joinable()) consumer_.join();
+  return status();
+}
+
+void IngestService::RunLoop() {
+  std::vector<UpdateEvent> events;
+  Status st;
+  for (;;) {
+    events.clear();
+    const size_t pending = accumulator_.num_events();
+    const size_t room = options_.batch.max_events > pending
+                            ? options_.batch.max_events - pending
+                            : size_t{1};
+    const size_t popped =
+        queue_.PopBatch(room, options_.poll_interval, &events);
+    for (const UpdateEvent& event : events) accumulator_.Absorb(event);
+    const bool draining = queue_.closed() && queue_.depth() == 0;
+    if (!accumulator_.empty() &&
+        (accumulator_.ShouldFlush(std::chrono::steady_clock::now()) ||
+         draining)) {
+      Result<FlushedBatch> flushed = accumulator_.Flush(graph_);
+      if (!flushed.ok()) {
+        st = flushed.status();
+        break;
+      }
+      st = ProcessBatch(std::move(flushed).value());
+      if (!st.ok()) break;
+    }
+    if (draining && popped == 0 && accumulator_.empty()) break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  if (!st.ok() && loop_status_.ok()) loop_status_ = st;
+  servable_cv_.notify_all();
+}
+
+Status IngestService::ProcessBatch(FlushedBatch batch) {
+  if constexpr (kAuditLevel >= 1) {
+    const UpdateQueueStats qs = queue_.Stats();
+    const AuditReport queue_audit = AuditIngestQueue(
+        qs.capacity, qs.depth, qs.enqueued, qs.dequeued, qs.rejected);
+    QRANK_CHECK(queue_audit.ok())
+        << "update queue broke counter conservation: "
+        << queue_audit.ToString();
+  }
+  std::vector<uint8_t> dirty;
+  if (!batch.delta.empty()) {
+    QRANK_ASSIGN_OR_RETURN(CsrGraph next, graph_.ApplyDelta(batch.delta));
+    dirty = batch.delta.DirtyFrontier(next);
+    if constexpr (kAuditLevel >= 2) {
+      AuditReport delta_audit =
+          AuditDelta(graph_, batch.delta, &next, &dirty);
+      delta_audit.Merge(AuditIngestBatch(graph_, batch.delta,
+                                         batch.num_events,
+                                         batch.num_adds + batch.num_removes));
+      QRANK_CHECK(delta_audit.ok())
+          << "coalesced batch [" << batch.first_sequence << ", "
+          << batch.last_sequence
+          << "] emitted an inconsistent delta: " << delta_audit.ToString();
+    }
+    graph_ = std::move(next);
+  }
+
+  if (visit_counts_.size() < graph_.num_nodes()) {
+    visit_counts_.resize(graph_.num_nodes(), 0);
+  }
+  for (const auto& [page, count] : batch.visits) {
+    // Visits to pages the graph has never seen have no row to credit.
+    if (page < visit_counts_.size()) visit_counts_[page] += count;
+  }
+
+  uint32_t iterations = 0;
+  uint64_t node_updates = 0;
+  if (graph_.num_nodes() > 0) {
+    const bool reuse =
+        batch.delta.empty() && prev_converged_ && !observations_.empty();
+    if (reuse) {
+      // Unchanged graph: the previous vector is already this
+      // generation's converged solution; append it as a fresh
+      // observation (the estimator correctly reads the page as stable).
+      observations_.push_back(observations_.back());
+      if (observations_.size() > options_.observation_window) {
+        observations_.pop_front();
+      }
+    } else {
+      QRANK_RETURN_NOT_OK(RecomputeScores(dirty, &iterations, &node_updates));
+    }
+  }
+  return PublishGeneration(&batch, batch.last_sequence, iterations,
+                           node_updates);
+}
+
+Status IngestService::RecomputeScores(
+    const std::vector<uint8_t>& dirty_frontier, uint32_t* iterations,
+    uint64_t* node_updates) {
+  const NodeId n = graph_.num_nodes();
+  DeltaPageRankOptions rank = options_.rank;
+  if (!prev_probability_.empty()) {
+    rank.base.initial_scores = ProjectToSize(prev_probability_, n);
+  }
+  QRANK_ASSIGN_OR_RETURN(DeltaPageRankResult result,
+                         ComputeDeltaPageRank(graph_, dirty_frontier, rank));
+  *iterations = result.base.iterations;
+  *node_updates = result.node_updates;
+  prev_converged_ = result.base.converged;
+  prev_probability_ = result.base.scores;
+  if (rank.base.scale == ScaleConvention::kTotalMassN && n > 0) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (double& s : prev_probability_) s *= inv_n;
+  }
+  observations_.push_back(std::move(result.base.scores));
+  if (observations_.size() > options_.observation_window) {
+    observations_.pop_front();
+  }
+  return Status::OK();
+}
+
+Status IngestService::PublishGeneration(const FlushedBatch* batch,
+                                        uint64_t sequence,
+                                        uint32_t iterations,
+                                        uint64_t node_updates) {
+  uint64_t generation = 0;
+  std::vector<uint8_t> kept_image;
+  const NodeId n = graph_.num_nodes();
+  if (n > 0 && !observations_.empty()) {
+    BundleExportOptions bundle_options;
+    bundle_options.estimator = options_.estimator;
+    bundle_options.num_sites = options_.num_sites;
+    if (options_.site_of) {
+      bundle_options.site_ids.resize(n);
+      for (NodeId p = 0; p < n; ++p) {
+        bundle_options.site_ids[p] = options_.site_of(p);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      bundle_options.creator_tag =
+          static_cast<uint32_t>(counters_.generations + 1);
+    }
+    const std::vector<std::vector<double>> window(observations_.begin(),
+                                                  observations_.end());
+    QRANK_ASSIGN_OR_RETURN(
+        ScoreBundleWriter writer,
+        ExportScoreBundleFromObservations(window, bundle_options));
+    std::vector<uint8_t> image = writer.Serialize();
+    if (options_.keep_last_image) kept_image = image;
+    QRANK_ASSIGN_OR_RETURN(LoadedBundle bundle,
+                           LoadedBundle::FromBuffer(std::move(image)));
+    QRANK_ASSIGN_OR_RETURN(
+        generation,
+        store_->PublishOrdered(
+            std::make_shared<const LoadedBundle>(std::move(bundle)),
+            sequence));
+  }
+  const std::chrono::steady_clock::time_point publish_time =
+      std::chrono::steady_clock::now();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation > 0) {
+    ++counters_.generations;
+    if (options_.keep_last_image) last_image_ = std::move(kept_image);
+  }
+  IngestGenerationInfo info;
+  info.generation = generation;
+  info.num_pages = n;
+  info.rank_iterations = iterations;
+  info.rank_node_updates = node_updates;
+  counters_.rank_node_updates += node_updates;
+  if (batch != nullptr) {
+    ++counters_.batches;
+    counters_.events_processed += batch->num_events;
+    counters_.edge_adds += batch->num_adds;
+    counters_.edge_removes += batch->num_removes;
+    counters_.visits += batch->num_visits;
+    counters_.delta_edges_applied += batch->delta.num_changes();
+    servable_sequence_ = std::max(servable_sequence_, batch->last_sequence);
+    info.first_sequence = batch->first_sequence;
+    info.last_sequence = batch->last_sequence;
+    info.num_events = batch->num_events;
+    info.delta_added = batch->delta.added.size();
+    info.delta_removed = batch->delta.removed.size();
+    double max_ms = 0.0;
+    for (const auto& enqueue_time : batch->enqueue_times) {
+      const auto lag = publish_time - enqueue_time;
+      latency_.AddNanos(static_cast<uint64_t>(std::max<int64_t>(
+          0, std::chrono::duration_cast<std::chrono::nanoseconds>(lag)
+                 .count())));
+      max_ms = std::max(max_ms, ToMillis(lag));
+    }
+    info.max_update_to_servable_ms = max_ms;
+  }
+  generation_log_.push_back(info);
+  servable_cv_.notify_all();
+  return Status::OK();
+}
+
+bool IngestService::WaitServable(uint64_t sequence,
+                                 std::chrono::nanoseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  servable_cv_.wait_for(lock, timeout, [&] {
+    return servable_sequence_ >= sequence || !running_;
+  });
+  return servable_sequence_ >= sequence;
+}
+
+uint64_t IngestService::servable_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return servable_sequence_;
+}
+
+IngestStats IngestService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IngestStats stats = counters_;
+  stats.queue = queue_.Stats();
+  stats.servable_sequence = servable_sequence_;
+  stats.latency_count = latency_.count();
+  stats.latency_p50_ms = latency_.PercentileNanos(0.50) * 1e-6;
+  stats.latency_p90_ms = latency_.PercentileNanos(0.90) * 1e-6;
+  stats.latency_p99_ms = latency_.PercentileNanos(0.99) * 1e-6;
+  stats.latency_max_ms = latency_.max_nanos() * 1e-6;
+  stats.latency_mean_ms = latency_.mean_nanos() * 1e-6;
+  return stats;
+}
+
+std::vector<IngestGenerationInfo> IngestService::GenerationLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_log_;
+}
+
+Status IngestService::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loop_status_;
+}
+
+const CsrGraph& IngestService::CurrentGraph() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QRANK_CHECK(!running_)
+        << "CurrentGraph is only valid once the consumer is stopped";
+  }
+  return graph_;
+}
+
+std::vector<uint8_t> IngestService::LastImage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_image_;
+}
+
+}  // namespace qrank

@@ -1,0 +1,243 @@
+// IngestService: the always-on freshness loop from edge arrival to
+// servable TopK.
+//
+// The paper's estimator exists because rankings lag reality; PR 2 built
+// the incremental machinery (GraphDelta + warm-started DeltaPageRank)
+// and PR 5 the hot-swap serving store, but until now they only met in
+// offline examples. IngestService wires them into one continuously
+// running pipeline:
+//
+//   producers --> UpdateQueue --> BatchAccumulator --(flush)-->
+//     ApplyDelta --> DeltaPageRank (warm start + dirty frontier) -->
+//     quality-estimator update --> score-bundle export -->
+//     SnapshotStore::PublishOrdered
+//
+// A single background consumer thread drains the queue, coalesces
+// events under the BatchPolicy's size/age bounds, and runs each flushed
+// batch through the whole chain as ONE generation while queries keep
+// flowing against the previous generation (RCU hot-swap; readers are
+// never blocked). Shutdown drains: Stop() closes the queue, flushes the
+// backlog through the same path, and joins — no accepted event is ever
+// dropped, which the generation log proves (batches cover contiguous
+// sequence ranges).
+//
+// Freshness bookkeeping: every event carries its enqueue timestamp;
+// when the generation reflecting a batch is published, the service
+// records publish_time - enqueue_time for each of its events in a
+// log-linear histogram. That distribution's p99 is the update-to-
+// servable latency — the bounded-staleness SLO that
+// bench_perf_ingest --check_ingest_regression gates in CI.
+//
+// Estimator semantics: the service keeps a sliding window of the last
+// `observation_window` published PageRank vectors and runs the paper's
+// Equation-1 estimator over their common-page prefix (the id prefix of
+// the oldest observation — ingest only grows the page set, mirroring
+// SnapshotSeries' common-set convention). Pages younger than the window
+// get Q̂ = PR until history accumulates. Scores inherit PR 2's
+// exactness contract: DeltaPageRank converges with the same full-sweep
+// stopping rule as a from-scratch solve, so the streaming scores match
+// an offline rebuild of the same event stream within the documented
+// drift budget (see DESIGN.md §5f and the ingest oracle test).
+//
+// Thread model: producers call Enqueue from any thread; Stats(),
+// GenerationLog() and WaitServable() are safe from any thread; the
+// compute state (graph, score window) is owned by the consumer thread
+// and only exposed once the service is stopped (CurrentGraph).
+
+#ifndef QRANK_INGEST_INGEST_SERVICE_H_
+#define QRANK_INGEST_INGEST_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/quality_estimator.h"
+#include "graph/csr_graph.h"
+#include "graph/site_graph.h"
+#include "ingest/batch_accumulator.h"
+#include "ingest/latency_histogram.h"
+#include "ingest/update_queue.h"
+#include "rank/delta_pagerank.h"
+#include "serve/snapshot_store.h"
+
+namespace qrank {
+
+/// DeltaPageRank defaults for serving: the paper's Section 8 mass-n
+/// convention (what the bundle pipeline elsewhere uses).
+DeltaPageRankOptions DefaultIngestRankOptions();
+
+struct IngestOptions {
+  UpdateQueueOptions queue;
+  BatchPolicy batch;
+  DeltaPageRankOptions rank = DefaultIngestRankOptions();
+  QualityEstimatorOptions estimator;
+
+  /// PageRank observations kept for the estimator window (>= 2). The
+  /// estimator sees the newest `observation_window` generations.
+  size_t observation_window = 4;
+
+  /// Site layout of exported bundles: page p belongs to site_of(p)
+  /// (< num_sites). Defaults: everything in one site 0.
+  SiteId num_sites = 1;
+  std::function<SiteId(NodeId)> site_of;
+
+  /// Consumer poll granularity while idle; bounds how late an age-based
+  /// flush can fire.
+  std::chrono::nanoseconds poll_interval = std::chrono::milliseconds(2);
+
+  /// Publish a generation from the initial graph during Start() (so
+  /// queries never see an empty store). Skipped when the initial graph
+  /// has no pages (bundles need >= 1 page).
+  bool publish_initial = true;
+
+  /// Keep a copy of the most recently published bundle image (for the
+  /// qrank_ingest CLI's audit mode and tests; off for production loops).
+  bool keep_last_image = false;
+};
+
+/// One published generation's provenance — the audit trail of the
+/// no-lost-updates contract.
+struct IngestGenerationInfo {
+  uint64_t generation = 0;      // SnapshotStore generation number
+  uint64_t first_sequence = 0;  // event range this batch covered
+  uint64_t last_sequence = 0;
+  uint64_t num_events = 0;      // raw events absorbed
+  uint64_t delta_added = 0;     // net structural change after coalescing
+  uint64_t delta_removed = 0;
+  NodeId num_pages = 0;
+  uint32_t rank_iterations = 0;
+  uint64_t rank_node_updates = 0;
+  /// Worst update-to-servable latency inside this batch.
+  double max_update_to_servable_ms = 0.0;
+};
+
+struct IngestStats {
+  UpdateQueueStats queue;
+  uint64_t batches = 0;
+  uint64_t generations = 0;        // published into the store
+  uint64_t events_processed = 0;   // absorbed into flushed batches
+  uint64_t edge_adds = 0;
+  uint64_t edge_removes = 0;
+  uint64_t visits = 0;
+  uint64_t delta_edges_applied = 0;  // net changes after coalescing
+  uint64_t rank_node_updates = 0;
+  uint64_t servable_sequence = 0;  // every event <= this is servable
+  /// Update-to-servable latency distribution over all events so far.
+  uint64_t latency_count = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p90_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+  double latency_mean_ms = 0.0;
+};
+
+class IngestService {
+ public:
+  /// Validates options (store non-null, capacity/window/batch bounds)
+  /// and seeds the service with `initial_graph`. Does not start the
+  /// consumer thread.
+  static Result<std::unique_ptr<IngestService>> Create(
+      CsrGraph initial_graph, SnapshotStore* store, IngestOptions options);
+
+  ~IngestService();
+  IngestService(const IngestService&) = delete;
+  IngestService& operator=(const IngestService&) = delete;
+
+  /// Computes + publishes the initial generation (unless disabled or
+  /// the graph is empty) and starts the consumer thread.
+  /// FailedPrecondition if already started.
+  Status Start();
+
+  /// Closes the queue, drains the backlog through the full pipeline
+  /// (everything accepted becomes servable), joins the consumer, and
+  /// returns the loop's terminal status. Idempotent.
+  Status Stop();
+
+  /// Producer-side entry points (any thread). Backpressure follows the
+  /// queue's policy.
+  Status Enqueue(const UpdateEvent& event) { return queue_.Push(event); }
+  Status EnqueueEdgeAdd(NodeId src, NodeId dst) {
+    return queue_.Push(UpdateEvent::AddEdge(src, dst));
+  }
+  Status EnqueueEdgeRemove(NodeId src, NodeId dst) {
+    return queue_.Push(UpdateEvent::RemoveEdge(src, dst));
+  }
+  Status EnqueueVisit(NodeId page) {
+    return queue_.Push(UpdateEvent::Visit(page));
+  }
+
+  UpdateQueue& queue() { return queue_; }
+
+  /// Blocks until every event with sequence <= `sequence` is servable
+  /// (its generation published), the service stops, or `timeout`
+  /// elapses. True iff servable.
+  bool WaitServable(uint64_t sequence, std::chrono::nanoseconds timeout) const;
+
+  uint64_t servable_sequence() const;
+  IngestStats Stats() const;
+  std::vector<IngestGenerationInfo> GenerationLog() const;
+
+  /// Terminal/loop status: OK while healthy; the first pipeline error
+  /// (which also stops the loop) afterwards.
+  Status status() const;
+
+  /// The graph the pipeline has applied all batches onto. Only valid
+  /// once the consumer is stopped (checked).
+  const CsrGraph& CurrentGraph() const;
+
+  /// Copy of the most recently published bundle image (empty unless
+  /// options.keep_last_image).
+  std::vector<uint8_t> LastImage() const;
+
+ private:
+  IngestService(CsrGraph initial_graph, SnapshotStore* store,
+                IngestOptions options);
+
+  void RunLoop();
+  /// One generation: delta apply -> rank -> estimate -> export ->
+  /// publish -> latency accounting. Non-OK return stops the loop.
+  Status ProcessBatch(FlushedBatch batch);
+  Status PublishGeneration(const FlushedBatch* batch, uint64_t sequence,
+                           uint32_t iterations, uint64_t node_updates);
+  Status RecomputeScores(const std::vector<uint8_t>& dirty_frontier,
+                         uint32_t* iterations, uint64_t* node_updates);
+
+  const IngestOptions options_;
+  SnapshotStore* const store_;
+  UpdateQueue queue_;
+  BatchAccumulator accumulator_;
+
+  // Consumer-thread-owned compute state (no lock: single writer, and
+  // CurrentGraph() is gated on the thread being joined).
+  CsrGraph graph_;
+  std::vector<double> prev_probability_;        // warm-start iterate
+  bool prev_converged_ = false;
+  std::deque<std::vector<double>> observations_;  // export-scale window
+  std::vector<uint64_t> visit_counts_;
+
+  // Shared bookkeeping, guarded by mu_.
+  mutable std::mutex mu_;
+  mutable std::condition_variable servable_cv_;
+  bool running_ = false;
+  Status loop_status_;
+  uint64_t servable_sequence_ = 0;
+  IngestStats counters_;  // queue field filled on read
+  LatencyHistogram latency_;
+  std::vector<IngestGenerationInfo> generation_log_;
+  std::vector<uint8_t> last_image_;
+
+  std::thread consumer_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_INGEST_INGEST_SERVICE_H_

@@ -1,0 +1,102 @@
+#include "ingest/update_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace qrank {
+
+const char* UpdateKindName(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kAddEdge:
+      return "add";
+    case UpdateKind::kRemoveEdge:
+      return "remove";
+    case UpdateKind::kVisit:
+      return "visit";
+  }
+  return "unknown";
+}
+
+UpdateQueue::UpdateQueue(UpdateQueueOptions options)
+    : options_(options) {}
+
+Status UpdateQueue::Push(UpdateEvent event) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) {
+    return Status::FailedPrecondition("update queue is closed");
+  }
+  if (events_.size() >= options_.capacity) {
+    if (options_.backpressure == BackpressurePolicy::kReject) {
+      ++rejected_;
+      return Status::OutOfRange("update queue at capacity");
+    }
+    not_full_.wait(lock, [this] {
+      return closed_ || events_.size() < options_.capacity;
+    });
+    if (closed_) {
+      return Status::FailedPrecondition("update queue closed while blocked");
+    }
+  }
+  event.sequence = ++enqueued_;
+  event.enqueue_time = std::chrono::steady_clock::now();
+  events_.push_back(event);
+  max_depth_ = std::max<uint64_t>(max_depth_, events_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+size_t UpdateQueue::PopBatch(size_t max_events, std::chrono::nanoseconds wait,
+                             std::vector<UpdateEvent>* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (events_.empty()) {
+    not_empty_.wait_for(lock, wait,
+                        [this] { return closed_ || !events_.empty(); });
+  }
+  const size_t n = std::min(max_events, events_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(events_.front());
+    events_.pop_front();
+  }
+  dequeued_ += n;
+  lock.unlock();
+  if (n > 0) {
+    // Several producers can be parked on one drain; wake them all.
+    not_full_.notify_all();
+  }
+  return n;
+}
+
+void UpdateQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool UpdateQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t UpdateQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+UpdateQueueStats UpdateQueue::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  UpdateQueueStats stats;
+  stats.capacity = options_.capacity;
+  stats.depth = events_.size();
+  stats.enqueued = enqueued_;
+  stats.dequeued = dequeued_;
+  stats.rejected = rejected_;
+  stats.max_depth = max_depth_;
+  stats.closed = closed_;
+  return stats;
+}
+
+}  // namespace qrank

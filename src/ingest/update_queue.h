@@ -1,0 +1,142 @@
+// Bounded multi-producer update queue: the front door of the continuous
+// ingest pipeline.
+//
+// The paper's central complaint is that rankings are computed from stale
+// snapshots; the ingest subsystem (src/ingest/) closes the gap by
+// turning edge and visit events into servable score-bundle generations
+// continuously. UpdateQueue is the arrival edge of that loop: crawler /
+// frontend threads Push edge-add, edge-remove and visit events; the
+// IngestService consumer drains them in batches. Every accepted event is
+// stamped with a strictly increasing sequence number and its enqueue
+// time — the sequence is what the no-lost-updates contract is audited
+// against, and the timestamp is where the update-to-servable latency
+// measurement starts.
+//
+// The queue is bounded. When full, the configured BackpressurePolicy
+// decides: kBlock parks the producer until the consumer frees space
+// (ingest cannot silently fall behind), kReject fails the Push with
+// OutOfRange and counts it (callers that prefer load-shedding). Close()
+// wakes every parked producer and consumer; pushes after Close fail
+// FailedPrecondition while pops keep draining whatever is queued, so a
+// shutdown with a non-empty queue loses nothing.
+//
+// Thread model: any number of producers and consumers (mutex + two
+// condition variables; MPMC-safe, used MPSC by IngestService). Counter
+// conservation (depth == enqueued - dequeued <= capacity) is checkable
+// with the ingest.queue audit validator.
+
+#ifndef QRANK_INGEST_UPDATE_QUEUE_H_
+#define QRANK_INGEST_UPDATE_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/edge_list.h"
+
+namespace qrank {
+
+/// What happened out there on the web.
+enum class UpdateKind : uint8_t {
+  kAddEdge = 0,     // page src gained a link to page dst
+  kRemoveEdge = 1,  // page src lost its link to page dst
+  kVisit = 2,       // a user visited page src (dst unused)
+};
+
+const char* UpdateKindName(UpdateKind kind);
+
+struct UpdateEvent {
+  UpdateKind kind = UpdateKind::kAddEdge;
+  NodeId src = 0;
+  NodeId dst = 0;
+
+  /// Assigned by the queue when the push is accepted: 1-based, strictly
+  /// increasing across all producers. 0 = not yet enqueued.
+  uint64_t sequence = 0;
+  /// Assigned by the queue when the push is accepted; the update-to-
+  /// servable latency clock starts here.
+  std::chrono::steady_clock::time_point enqueue_time{};
+
+  static UpdateEvent AddEdge(NodeId src, NodeId dst) {
+    return {UpdateKind::kAddEdge, src, dst, 0, {}};
+  }
+  static UpdateEvent RemoveEdge(NodeId src, NodeId dst) {
+    return {UpdateKind::kRemoveEdge, src, dst, 0, {}};
+  }
+  static UpdateEvent Visit(NodeId page) {
+    return {UpdateKind::kVisit, page, 0, 0, {}};
+  }
+};
+
+/// What Push does when the queue is at capacity.
+enum class BackpressurePolicy {
+  kBlock,   // wait for space (or for Close)
+  kReject,  // fail with OutOfRange and count the rejection
+};
+
+struct UpdateQueueOptions {
+  size_t capacity = 1 << 16;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+};
+
+/// Monotonic counters; conservation (depth == enqueued - dequeued,
+/// depth <= capacity) is what the ingest.queue audit validator checks.
+struct UpdateQueueStats {
+  uint64_t capacity = 0;
+  uint64_t depth = 0;      // events currently queued
+  uint64_t enqueued = 0;   // accepted pushes
+  uint64_t dequeued = 0;   // events handed to consumers
+  uint64_t rejected = 0;   // kReject pushes refused at capacity
+  uint64_t max_depth = 0;  // high-water mark
+  bool closed = false;
+};
+
+class UpdateQueue {
+ public:
+  explicit UpdateQueue(UpdateQueueOptions options = {});
+  UpdateQueue(const UpdateQueue&) = delete;
+  UpdateQueue& operator=(const UpdateQueue&) = delete;
+
+  /// Enqueues `event`, assigning its sequence and enqueue_time. At
+  /// capacity: blocks (kBlock) or returns OutOfRange (kReject). After
+  /// Close — including producers woken from a blocked Push by Close —
+  /// returns FailedPrecondition.
+  Status Push(UpdateEvent event);
+
+  /// Pops up to `max_events` events, appending to `*out` in sequence
+  /// order. Blocks up to `wait` for the first event; returns the number
+  /// popped (0 on timeout, or when the queue is closed and drained —
+  /// distinguish via closed()/depth()).
+  size_t PopBatch(size_t max_events, std::chrono::nanoseconds wait,
+                  std::vector<UpdateEvent>* out);
+
+  /// Closes the queue: wakes every blocked producer (their Push fails)
+  /// and consumer. Queued events remain poppable; a shutdown with a
+  /// non-empty queue is drained, not dropped. Idempotent.
+  void Close();
+
+  bool closed() const;
+  size_t depth() const;
+  UpdateQueueStats Stats() const;
+
+ private:
+  const UpdateQueueOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;   // producers park here (kBlock)
+  std::condition_variable not_empty_;  // consumers park here
+  std::deque<UpdateEvent> events_;
+  uint64_t enqueued_ = 0;
+  uint64_t dequeued_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t max_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_INGEST_UPDATE_QUEUE_H_

@@ -13,6 +13,24 @@ uint64_t SnapshotStore::Publish(std::shared_ptr<const LoadedBundle> bundle) {
   return generation_.fetch_add(1, std::memory_order_release) + 1;
 }
 
+Result<uint64_t> SnapshotStore::PublishOrdered(
+    std::shared_ptr<const LoadedBundle> bundle, uint64_t sequence) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (has_ordered_ && sequence <= last_ordered_sequence_) {
+    return Status::FailedPrecondition(
+        "stale ordered publish: sequence is not past the watermark");
+  }
+  has_ordered_ = true;
+  last_ordered_sequence_ = sequence;
+  current_ = std::move(bundle);
+  return generation_.fetch_add(1, std::memory_order_release) + 1;
+}
+
+uint64_t SnapshotStore::last_ordered_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_ordered_sequence_;
+}
+
 std::shared_ptr<const LoadedBundle> SnapshotStore::Acquire() const {
   std::lock_guard<std::mutex> lock(mu_);
   return current_;

@@ -39,6 +39,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/status.h"
 #include "serve/score_bundle.h"
 
 namespace qrank {
@@ -58,6 +59,20 @@ class SnapshotStore {
     return Publish(
         std::make_shared<const LoadedBundle>(std::move(bundle)));
   }
+
+  /// Ordered publish for streaming pipelines: installs `bundle` only if
+  /// `sequence` is strictly greater than every previously accepted
+  /// ordered sequence (the first ordered publish always wins). Returns
+  /// the generation number, or FailedPrecondition — with the store left
+  /// untouched — when `sequence` is stale. This is the guard against a
+  /// slow/replayed producer clobbering a fresher generation: ingest
+  /// publishes with the batch's last event sequence, so servable state
+  /// can only move forward in event order.
+  Result<uint64_t> PublishOrdered(std::shared_ptr<const LoadedBundle> bundle,
+                                  uint64_t sequence);
+
+  /// Highest sequence accepted by PublishOrdered (0 before the first).
+  uint64_t last_ordered_sequence() const;
 
   /// Pins and returns the current generation (nullptr before the first
   /// Publish). The caller's shared_ptr keeps the generation alive
@@ -84,6 +99,10 @@ class SnapshotStore {
   mutable std::mutex mu_;
   std::shared_ptr<const LoadedBundle> current_;  // guarded by mu_
   std::atomic<uint64_t> generation_{0};
+  // PublishOrdered watermark, guarded by mu_ (0 is a valid first
+  // sequence, hence the separate flag).
+  bool has_ordered_ = false;
+  uint64_t last_ordered_sequence_ = 0;
 };
 
 }  // namespace qrank

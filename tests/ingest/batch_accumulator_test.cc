@@ -1,0 +1,206 @@
+// BatchAccumulator contract: last-writer-wins coalescing reconciled
+// against the base graph (dedup, add-then-remove cancellation, ghost
+// removes, duplicate adds), exact size/age flush boundaries, visit
+// coalescing — and the property the streaming oracle rests on: the
+// emitted delta is invariant under every permutation of Absorb calls
+// and equals the net of sequential replay.
+
+#include "ingest/batch_accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/edge_list.h"
+
+namespace qrank {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+CsrGraph MakeGraph(NodeId n, std::vector<Edge> edges) {
+  return CsrGraph::FromEdges(n, edges).value();
+}
+
+// Events in tests bypass the queue, so stamp sequence/time by hand.
+UpdateEvent At(UpdateEvent event, uint64_t sequence,
+               steady_clock::time_point when = steady_clock::now()) {
+  event.sequence = sequence;
+  event.enqueue_time = when;
+  return event;
+}
+
+TEST(BatchAccumulatorTest, DuplicateAddsCoalesceToOneDelta) {
+  BatchAccumulator acc;
+  acc.Absorb(At(UpdateEvent::AddEdge(0, 1), 1));
+  acc.Absorb(At(UpdateEvent::AddEdge(0, 1), 2));
+  acc.Absorb(At(UpdateEvent::AddEdge(0, 1), 3));
+  FlushedBatch batch = acc.Flush(MakeGraph(2, {})).value();
+  ASSERT_EQ(batch.delta.added.size(), 1u);
+  EXPECT_EQ(batch.delta.added[0], (Edge{0, 1}));
+  EXPECT_TRUE(batch.delta.removed.empty());
+  EXPECT_EQ(batch.num_events, 3u);
+  EXPECT_EQ(batch.num_adds, 3u);
+  EXPECT_EQ(batch.first_sequence, 1u);
+  EXPECT_EQ(batch.last_sequence, 3u);
+}
+
+TEST(BatchAccumulatorTest, AddThenRemoveOfNewEdgeCancels) {
+  BatchAccumulator acc;
+  acc.Absorb(At(UpdateEvent::AddEdge(0, 1), 1));
+  acc.Absorb(At(UpdateEvent::RemoveEdge(0, 1), 2));
+  FlushedBatch batch = acc.Flush(MakeGraph(2, {})).value();
+  // Edge never existed and the last word was "remove": net nothing.
+  EXPECT_TRUE(batch.delta.empty());
+  EXPECT_EQ(batch.num_events, 2u);
+}
+
+TEST(BatchAccumulatorTest, RemoveThenAddOfExistingEdgeCancels) {
+  BatchAccumulator acc;
+  acc.Absorb(At(UpdateEvent::RemoveEdge(0, 1), 1));
+  acc.Absorb(At(UpdateEvent::AddEdge(0, 1), 2));
+  // Last word is "add" and the base already has the edge: no-op.
+  FlushedBatch batch = acc.Flush(MakeGraph(2, {{0, 1}})).value();
+  EXPECT_TRUE(batch.delta.empty());
+}
+
+TEST(BatchAccumulatorTest, GhostRemoveAndDuplicateAddAreNoOps) {
+  BatchAccumulator acc;
+  acc.Absorb(At(UpdateEvent::RemoveEdge(3, 4), 1));  // never existed
+  acc.Absorb(At(UpdateEvent::AddEdge(0, 1), 2));     // already in base
+  FlushedBatch batch = acc.Flush(MakeGraph(5, {{0, 1}})).value();
+  // Neither survives reconciliation, so ApplyDelta's exactness contract
+  // (removals exist, additions absent) holds by construction.
+  EXPECT_TRUE(batch.delta.empty());
+  EXPECT_EQ(batch.delta.old_num_nodes, 5u);
+  EXPECT_EQ(batch.delta.new_num_nodes, 5u);
+}
+
+TEST(BatchAccumulatorTest, SelfLoopsCountButProduceNoIntent) {
+  BatchAccumulator acc;
+  acc.Absorb(At(UpdateEvent::AddEdge(2, 2), 1));
+  FlushedBatch batch = acc.Flush(MakeGraph(3, {})).value();
+  EXPECT_TRUE(batch.delta.empty());
+  EXPECT_EQ(batch.num_events, 1u);  // still covered + latency-measured
+  EXPECT_EQ(batch.last_sequence, 1u);
+}
+
+TEST(BatchAccumulatorTest, AddedEdgeBeyondBaseGrowsNodeCount) {
+  BatchAccumulator acc;
+  acc.Absorb(At(UpdateEvent::AddEdge(1, 6), 1));
+  FlushedBatch batch = acc.Flush(MakeGraph(3, {{0, 1}})).value();
+  EXPECT_EQ(batch.delta.old_num_nodes, 3u);
+  EXPECT_EQ(batch.delta.new_num_nodes, 7u);
+  ASSERT_EQ(batch.delta.added.size(), 1u);
+  EXPECT_EQ(batch.delta.added[0], (Edge{1, 6}));
+}
+
+TEST(BatchAccumulatorTest, VisitsCoalesceIntoSortedCounts) {
+  BatchAccumulator acc;
+  acc.Absorb(At(UpdateEvent::Visit(5), 1));
+  acc.Absorb(At(UpdateEvent::Visit(2), 2));
+  acc.Absorb(At(UpdateEvent::Visit(5), 3));
+  FlushedBatch batch = acc.Flush(MakeGraph(6, {})).value();
+  ASSERT_EQ(batch.visits.size(), 2u);
+  EXPECT_EQ(batch.visits[0], (std::pair<NodeId, uint64_t>{2, 1}));
+  EXPECT_EQ(batch.visits[1], (std::pair<NodeId, uint64_t>{5, 2}));
+  EXPECT_EQ(batch.num_visits, 3u);
+}
+
+TEST(BatchAccumulatorTest, SizeFlushBoundaryIsExact) {
+  BatchPolicy policy;
+  policy.max_events = 3;
+  policy.max_age = std::chrono::hours(1);  // age can never trigger here
+  BatchAccumulator acc(policy);
+  const steady_clock::time_point now = steady_clock::now();
+  EXPECT_FALSE(acc.ShouldFlush(now));  // empty never flushes
+  acc.Absorb(At(UpdateEvent::Visit(0), 1, now));
+  acc.Absorb(At(UpdateEvent::Visit(1), 2, now));
+  EXPECT_FALSE(acc.ShouldFlush(now));  // 2 < 3
+  acc.Absorb(At(UpdateEvent::Visit(2), 3, now));
+  EXPECT_TRUE(acc.ShouldFlush(now));  // exactly max_events
+}
+
+TEST(BatchAccumulatorTest, AgeFlushBoundaryTracksOldestEvent) {
+  BatchPolicy policy;
+  policy.max_events = 1000;
+  policy.max_age = milliseconds(50);
+  BatchAccumulator acc(policy);
+  const steady_clock::time_point t0 = steady_clock::now();
+  acc.Absorb(At(UpdateEvent::Visit(0), 1, t0));
+  // A newer event must not reset the staleness clock of the oldest.
+  acc.Absorb(At(UpdateEvent::Visit(1), 2, t0 + milliseconds(40)));
+  EXPECT_FALSE(acc.ShouldFlush(t0 + milliseconds(49)));
+  EXPECT_TRUE(acc.ShouldFlush(t0 + milliseconds(50)));  // inclusive edge
+  FlushedBatch batch = acc.Flush(MakeGraph(2, {})).value();
+  EXPECT_EQ(batch.num_events, 2u);
+  // Flush resets the age clock along with everything else.
+  acc.Absorb(At(UpdateEvent::Visit(2), 3, t0 + milliseconds(60)));
+  EXPECT_FALSE(acc.ShouldFlush(t0 + milliseconds(100)));
+}
+
+TEST(BatchAccumulatorTest, FlushOfEmptyBatchFails) {
+  BatchAccumulator acc;
+  EXPECT_EQ(acc.Flush(MakeGraph(2, {})).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// The property everything downstream leans on: the flushed delta
+// depends only on the event *set* (sequences fix a total order), not on
+// the order Absorb saw them — and it equals the net of replaying the
+// events one at a time in sequence order. Sweeps all 720 permutations
+// of a 6-event stream that exercises every reconciliation rule at once.
+TEST(BatchAccumulatorTest, DeltaInvariantUnderAbsorbPermutations) {
+  // Base: 4 nodes, edges 0->1 and 2->3 present.
+  const CsrGraph base = MakeGraph(4, {{0, 1}, {2, 3}});
+  const std::vector<UpdateEvent> stream = {
+      At(UpdateEvent::RemoveEdge(0, 1), 1),  // remove existing ...
+      At(UpdateEvent::AddEdge(0, 1), 2),     // ... then re-add: no-op
+      At(UpdateEvent::AddEdge(1, 2), 3),     // plain new edge
+      At(UpdateEvent::AddEdge(3, 0), 4),     // ...
+      At(UpdateEvent::RemoveEdge(3, 0), 5),  // ... cancelled again
+      At(UpdateEvent::RemoveEdge(2, 3), 6),  // remove existing, survives
+  };
+
+  // Reference: sequential replay over an explicit edge set.
+  std::set<std::pair<NodeId, NodeId>> replay = {{0, 1}, {2, 3}};
+  for (const UpdateEvent& e : stream) {
+    if (e.kind == UpdateKind::kAddEdge) {
+      replay.insert({e.src, e.dst});
+    } else if (e.kind == UpdateKind::kRemoveEdge) {
+      replay.erase({e.src, e.dst});
+    }
+  }
+
+  std::vector<size_t> order = {0, 1, 2, 3, 4, 5};
+  size_t permutations = 0;
+  do {
+    BatchAccumulator acc;
+    for (size_t i : order) acc.Absorb(stream[i]);
+    FlushedBatch batch = acc.Flush(base).value();
+    ASSERT_EQ(batch.delta.added, (std::vector<Edge>{{1, 2}}))
+        << "permutation " << permutations;
+    ASSERT_EQ(batch.delta.removed, (std::vector<Edge>{{2, 3}}))
+        << "permutation " << permutations;
+    ASSERT_EQ(batch.first_sequence, 1u);
+    ASSERT_EQ(batch.last_sequence, 6u);
+    // Streaming net == sequential replay net.
+    const CsrGraph applied = base.ApplyDelta(batch.delta).value();
+    std::set<std::pair<NodeId, NodeId>> streamed;
+    for (NodeId u = 0; u < applied.num_nodes(); ++u) {
+      for (NodeId v : applied.OutNeighbors(u)) streamed.insert({u, v});
+    }
+    ASSERT_EQ(streamed, replay) << "permutation " << permutations;
+    ++permutations;
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_EQ(permutations, 720u);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -72,5 +72,53 @@ TEST(SnapshotStoreTest, AcquirePinsIndependently) {
   for (const auto& p : pins) EXPECT_EQ(p.get(), pins[0].get());
 }
 
+// Regression for the serve_pipeline publish-ordering bug: a slow or
+// replayed producer finishing late must not clobber a fresher
+// generation. PublishOrdered rejects any sequence at or below the
+// watermark and leaves the store untouched.
+TEST(SnapshotStoreTest, PublishOrderedRejectsStaleSequence) {
+  SnapshotStore store;
+  auto at = [](double q) {
+    return std::make_shared<const LoadedBundle>(MakeBundle(q));
+  };
+  // Sequence 0 is a valid first watermark (ingest's initial publish).
+  Result<uint64_t> first = store.PublishOrdered(at(1.0), 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 1u);
+  EXPECT_EQ(store.last_ordered_sequence(), 0u);
+
+  ASSERT_TRUE(store.PublishOrdered(at(2.0), 10).ok());
+  EXPECT_EQ(store.last_ordered_sequence(), 10u);
+
+  // Equal and lower sequences are both stale.
+  EXPECT_EQ(store.PublishOrdered(at(99.0), 10).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.PublishOrdered(at(99.0), 3).status().code(),
+            StatusCode::kFailedPrecondition);
+  // The rejected publishes changed nothing: same bundle, same counters.
+  EXPECT_EQ(store.generation(), 2u);
+  EXPECT_EQ(store.last_ordered_sequence(), 10u);
+  EXPECT_EQ(store.Acquire()->quality()[0], 2.0);
+
+  // Strictly greater resumes.
+  ASSERT_TRUE(store.PublishOrdered(at(3.0), 11).ok());
+  EXPECT_EQ(store.generation(), 3u);
+  EXPECT_EQ(store.Acquire()->quality()[0], 3.0);
+}
+
+TEST(SnapshotStoreTest, PublishOrderedCoexistsWithUnorderedPublish) {
+  SnapshotStore store;
+  store.Publish(MakeBundle(1.0));  // unordered publishes skip the gate
+  ASSERT_TRUE(store
+                  .PublishOrdered(
+                      std::make_shared<const LoadedBundle>(MakeBundle(2.0)),
+                      5)
+                  .ok());
+  EXPECT_EQ(store.generation(), 2u);
+  // Unordered Publish still works and does not move the watermark.
+  store.Publish(MakeBundle(9.0));
+  EXPECT_EQ(store.last_ordered_sequence(), 5u);
+}
+
 }  // namespace
 }  // namespace qrank
