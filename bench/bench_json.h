@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <string>
@@ -29,8 +30,39 @@
 #include <vector>
 
 #include "common/parallel_for.h"
+#include "common/simd.h"
 
 namespace qrank_bench {
+
+/// Host provenance stamped into every BENCH_*.json: perf numbers are
+/// meaningless without the machine they came from, and the SIMD kernel
+/// gates in particular need to know which ISA the run dispatched to.
+struct HostContext {
+  std::string cpu_model;      // "model name" from /proc/cpuinfo, "" unknown
+  std::string simd_features;  // e.g. "avx2+avx512f+avx512vl", "" scalar-only
+  std::string simd_level;     // dispatch level the kernels will pick
+  int threads = 1;            // process-wide default executor width
+};
+
+inline HostContext CollectHostContext() {
+  HostContext host;
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        size_t start = line.find_first_not_of(" \t", colon + 1);
+        if (start != std::string::npos) host.cpu_model = line.substr(start);
+      }
+      break;
+    }
+  }
+  host.simd_features = qrank::SimdFeatureString();
+  host.simd_level = qrank::SimdLevelName(qrank::DetectSimdLevel());
+  host.threads = qrank::DefaultThreads();
+  return host;
+}
 
 struct BenchRow {
   std::string name;
@@ -105,8 +137,14 @@ inline bool WriteBenchJson(const std::string& path, const std::string& suite,
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"benchmarks\": [",
-               JsonEscape(suite).c_str());
+  const HostContext host = CollectHostContext();
+  std::fprintf(f,
+               "{\n  \"suite\": \"%s\",\n  \"host\": {\"cpu_model\": \"%s\", "
+               "\"simd_features\": \"%s\", \"simd_level\": \"%s\", "
+               "\"threads\": %d},\n  \"benchmarks\": [",
+               JsonEscape(suite).c_str(), JsonEscape(host.cpu_model).c_str(),
+               JsonEscape(host.simd_features).c_str(),
+               JsonEscape(host.simd_level).c_str(), host.threads);
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
     std::fprintf(f,

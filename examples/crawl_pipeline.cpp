@@ -9,11 +9,17 @@
 //      print the top pages by each metric.
 //
 // Usage:  ./build/examples/crawl_pipeline [output_dir] [--incremental]
+//             [--order=NAME] [--partition=node|edge] [--kernel=NAME]
+//             [--compressed=BOOL]
 // (default output dir: /tmp/qrank_crawl)
 //
 // --incremental switches the per-snapshot PageRank stage to the delta
 // pipeline (patched CSR + warm-started frozen-set solves); results match
-// the from-scratch mode within the engine tolerance.
+// the from-scratch mode within the engine tolerance. The solver knobs
+// are the shared set from rank/solver_flags.h: --order relabels every
+// snapshot for cache locality (safe here — page ids are pure labels and
+// the report is emitted in original ids), and --partition / --kernel /
+// --compressed select the sweep configuration.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +28,7 @@
 
 #include "common/flags.h"
 #include "common/table_writer.h"
+#include "rank/solver_flags.h"
 #include "core/quality_estimator.h"
 #include "core/snapshot_series.h"
 #include "graph/graph_io.h"
@@ -53,11 +60,26 @@ int main(int argc, char** argv) {
   const bool incremental = flags.GetBool("incremental", false);
   std::string dir = flags.positional().empty() ? "/tmp/qrank_crawl"
                                                : flags.positional()[0];
-  if (!flags.status().ok() || !flags.UnusedFlags().empty()) {
+  qrank::SeriesComputeOptions series_options;
+  const qrank::Status solver_st =
+      qrank::ApplySolverFlags(flags, &series_options.pagerank);
+  const qrank::Result<qrank::NodeOrdering> ordering =
+      qrank::OrderingFlag(flags);
+  if (!solver_st.ok() || !ordering.ok() || !flags.status().ok() ||
+      !flags.UnusedFlags().empty()) {
+    if (!solver_st.ok()) {
+      std::fprintf(stderr, "%s\n", solver_st.ToString().c_str());
+    }
+    if (!ordering.ok()) {
+      std::fprintf(stderr, "%s\n", ordering.status().ToString().c_str());
+    }
     std::fprintf(stderr,
-                 "usage: crawl_pipeline [output_dir] [--incremental]\n");
+                 "usage: crawl_pipeline [output_dir] [--incremental]\n"
+                 "           %s\n           %s\n",
+                 qrank::kOrderFlagUsage, qrank::kSolverFlagsUsage);
     return EXIT_FAILURE;
   }
+  series_options.ordering = ordering.value();
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -108,7 +130,6 @@ int main(int argc, char** argv) {
       return EXIT_FAILURE;
     }
   }
-  qrank::SeriesComputeOptions series_options;
   series_options.pagerank.scale = qrank::ScaleConvention::kTotalMassN;
   series_options.mode = incremental ? qrank::SeriesMode::kIncremental
                                     : qrank::SeriesMode::kScratch;

@@ -1,0 +1,182 @@
+#include "graph/compressed_csr.h"
+
+#include <limits>
+
+#include "graph/csr_graph.h"
+
+namespace qrank {
+namespace {
+
+void AppendVarint(uint32_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80u) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+/// Checked LEB128 decode: advances *p, never reads at or past `end`,
+/// rejects overlong encodings (> 5 bytes), non-canonical encodings
+/// (a final zero byte after a continuation — the value had a shorter
+/// spelling, so accepting it would give one matrix many byte forms),
+/// and u32 overflow.
+Status DecodeU32VarintChecked(const uint8_t** p, const uint8_t* end,
+                              uint32_t* out) {
+  uint64_t value = 0;
+  uint32_t shift = 0;
+  const uint8_t* cursor = *p;
+  uint8_t byte = 0;
+  while (true) {
+    if (cursor == end) return Status::Corruption("varint truncated");
+    if (shift >= 35) return Status::Corruption("varint overlong");
+    byte = *cursor++;
+    value |= static_cast<uint64_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) break;
+    shift += 7;
+  }
+  if (byte == 0 && shift > 0) {
+    return Status::Corruption("varint not canonical");
+  }
+  if (value > std::numeric_limits<uint32_t>::max()) {
+    return Status::Corruption("varint exceeds 32 bits");
+  }
+  *p = cursor;
+  *out = static_cast<uint32_t>(value);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CompressedCsr> CompressedCsr::Encode(std::span<const size_t> offsets,
+                                            std::span<const NodeId> values,
+                                            NodeId id_bound) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != values.size()) {
+    return Status::InvalidArgument(
+        "CSR offsets must start at 0 and end at values.size()");
+  }
+  CompressedCsr c;
+  c.num_rows_ = static_cast<NodeId>(offsets.size() - 1);
+  c.num_values_ = values.size();
+  c.id_bound_ = id_bound;
+  c.byte_offsets_.resize(offsets.size());
+  c.byte_offsets_[0] = 0;
+  c.bytes_.reserve(values.size() * 2);  // gap-heavy rows average < 2 B
+  for (NodeId row = 0; row < c.num_rows_; ++row) {
+    const size_t begin = offsets[row];
+    const size_t end = offsets[row + 1];
+    if (end < begin) return Status::InvalidArgument("CSR offsets decrease");
+    for (size_t k = begin; k < end; ++k) {
+      const NodeId value = values[k];
+      if (value >= id_bound) {
+        return Status::InvalidArgument("CSR value out of range");
+      }
+      if (k == begin) {
+        AppendVarint(value, &c.bytes_);
+        continue;
+      }
+      if (value <= values[k - 1]) {
+        return Status::InvalidArgument("CSR row not strictly ascending");
+      }
+      AppendVarint(value - values[k - 1], &c.bytes_);
+    }
+    c.byte_offsets_[row + 1] = c.bytes_.size();
+  }
+  return c;
+}
+
+Result<CompressedCsr> CompressedCsr::FromParts(
+    NodeId num_rows, uint64_t num_values, NodeId id_bound,
+    std::vector<uint64_t> byte_offsets, std::vector<uint8_t> bytes) {
+  CompressedCsr c;
+  c.num_rows_ = num_rows;
+  c.num_values_ = num_values;
+  c.id_bound_ = id_bound;
+  c.byte_offsets_ = std::move(byte_offsets);
+  c.bytes_ = std::move(bytes);
+  QRANK_RETURN_NOT_OK(c.ValidateRows());
+  return c;
+}
+
+size_t CompressedCsr::DecodeRow(NodeId row, NodeId* out) const {
+  const uint8_t* p = bytes_.data() + byte_offsets_[row];
+  const uint8_t* const end = bytes_.data() + byte_offsets_[row + 1];
+  size_t count = 0;
+  uint32_t prev = 0;
+  while (p < end) {
+    uint32_t delta;
+    p = DecodeU32VarintUnchecked(p, &delta);
+    prev = (count == 0) ? delta : prev + delta;
+    out[count++] = prev;
+  }
+  return count;
+}
+
+Status CompressedCsr::ValidateRows() const {
+  if (byte_offsets_.size() != static_cast<size_t>(num_rows_) + 1) {
+    return Status::Corruption("byte_offsets size != num_rows + 1");
+  }
+  if (byte_offsets_.front() != 0 || byte_offsets_.back() != bytes_.size()) {
+    return Status::Corruption("byte_offsets not anchored to the stream");
+  }
+  uint64_t total = 0;
+  for (NodeId row = 0; row < num_rows_; ++row) {
+    if (byte_offsets_[row + 1] < byte_offsets_[row]) {
+      return Status::Corruption("byte_offsets decrease");
+    }
+    const uint8_t* p = bytes_.data() + byte_offsets_[row];
+    const uint8_t* const end = bytes_.data() + byte_offsets_[row + 1];
+    uint64_t prev = 0;
+    bool first = true;
+    while (p < end) {
+      uint32_t delta;
+      QRANK_RETURN_NOT_OK(DecodeU32VarintChecked(&p, end, &delta));
+      if (first) {
+        prev = delta;
+        first = false;
+      } else {
+        if (delta == 0) {
+          return Status::Corruption("zero gap (row not strictly ascending)");
+        }
+        prev += delta;  // < 2^33, no u64 overflow
+      }
+      if (prev >= id_bound_) {
+        return Status::Corruption("decoded value out of range");
+      }
+      ++total;
+    }
+  }
+  if (total != num_values_) {
+    return Status::Corruption("decoded value count != num_values");
+  }
+  return Status::OK();
+}
+
+Status CompressedCsr::CheckAgainst(std::span<const size_t> offsets,
+                                   std::span<const NodeId> values) const {
+  if (offsets.size() != static_cast<size_t>(num_rows_) + 1 ||
+      values.size() != num_values_) {
+    return Status::Internal("compressed shape differs from reference CSR");
+  }
+  std::vector<NodeId> row(id_bound_, 0);
+  for (NodeId r = 0; r < num_rows_; ++r) {
+    const size_t count = DecodeRow(r, row.data());
+    if (count != offsets[r + 1] - offsets[r]) {
+      return Status::Internal("compressed row degree differs from reference");
+    }
+    for (size_t k = 0; k < count; ++k) {
+      if (row[k] != values[offsets[r] + k]) {
+        return Status::Internal("compressed row value differs from reference");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<CompressedCsr> CompressTranspose(const CsrGraph& graph) {
+  graph.BuildTranspose();
+  return CompressedCsr::Encode(graph.in_offsets(), graph.in_sources(),
+                               graph.num_nodes());
+}
+
+}  // namespace qrank

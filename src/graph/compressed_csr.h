@@ -1,0 +1,139 @@
+// Delta-gap varint compression for sorted CSR adjacency.
+//
+// The pull sweep is DRAM-bound on the 1M-page workload (PR 4): every
+// in-edge drags 4 bytes of source id plus its share of the 8-byte row
+// offsets through the memory hierarchy. In-neighbor rows are strictly
+// ascending, so gap encoding makes most edges 1-2 bytes: each row is
+// stored as LEB128 varints — the first value absolute, every later
+// value as the (>= 1) gap from its predecessor. BFS locality ordering
+// (graph/reorder.h) shrinks the gaps further; the two optimizations
+// compound.
+//
+// Row layout (byte_offsets[i] .. byte_offsets[i+1]):
+//   varint(v_0) varint(v_1 - v_0) ... varint(v_{d-1} - v_{d-2})
+// An empty row occupies zero bytes. The stream is self-delimiting: the
+// decoder runs until the row's end offset, so no per-row count is
+// stored.
+//
+// Two decoders:
+//  * DecodeU32VarintUnchecked — the kernel's fast path. Only legal on a
+//    stream that passed ValidateRows() (done once at build/load time).
+//  * ValidateRows/CheckAgainst — the hardened path, per the PR-3/PR-5
+//    reader contract: bounds-checked, rejects overlong or truncated
+//    varints, out-of-range ids, non-ascending rows. Untrusted bytes
+//    (ReadCompressedCsr) never reach the fast decoder unvalidated.
+
+#ifndef QRANK_GRAPH_COMPRESSED_CSR_H_
+#define QRANK_GRAPH_COMPRESSED_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/edge_list.h"
+
+namespace qrank {
+
+class CsrGraph;
+
+/// Fast-path LEB128 decode: reads one u32 varint at `p`, stores it in
+/// `*out`, returns the first byte past it. No bounds or overflow checks
+/// — callers must hold a stream that ValidateRows() accepted.
+inline const uint8_t* DecodeU32VarintUnchecked(const uint8_t* p,
+                                               uint32_t* out) {
+  uint32_t value = *p & 0x7fu;
+  uint32_t shift = 7;
+  while ((*p & 0x80u) != 0) {
+    ++p;
+    value |= static_cast<uint32_t>(*p & 0x7fu) << shift;
+    shift += 7;
+  }
+  ++p;
+  *out = value;
+  return p;
+}
+
+class CompressedCsr {
+ public:
+  CompressedCsr() = default;
+
+  /// Gap-encodes `offsets`/`values` (standard CSR shape: offsets has
+  /// num_rows + 1 monotone entries ending at values.size(); each row
+  /// strictly ascending with every value < id_bound). InvalidArgument
+  /// on any violation — encoding doubles as a structural check.
+  static Result<CompressedCsr> Encode(std::span<const size_t> offsets,
+                                      std::span<const NodeId> values,
+                                      NodeId id_bound);
+
+  /// Re-assembles a compressed matrix from its serialized parts
+  /// (ReadCompressedCsr). Runs the full hardened validation before
+  /// accepting: Corruption unless the byte offsets are monotone and
+  /// end-anchored AND every row decodes cleanly to exactly
+  /// `num_values` total in-range ascending values.
+  static Result<CompressedCsr> FromParts(NodeId num_rows, uint64_t num_values,
+                                         NodeId id_bound,
+                                         std::vector<uint64_t> byte_offsets,
+                                         std::vector<uint8_t> bytes);
+
+  NodeId num_rows() const { return num_rows_; }
+  uint64_t num_values() const { return num_values_; }
+  /// Exclusive upper bound every stored value was checked against
+  /// (num_nodes of the source graph).
+  NodeId id_bound() const { return id_bound_; }
+
+  std::span<const uint64_t> byte_offsets() const { return byte_offsets_; }
+  std::span<const uint8_t> bytes() const { return bytes_; }
+
+  uint64_t RowBytes(NodeId row) const {
+    return byte_offsets_[row + 1] - byte_offsets_[row];
+  }
+
+  /// Total resident bytes of the representation: the varint stream plus
+  /// the row offset array. The honest number for bytes_per_edge — the
+  /// offsets are real traffic too.
+  uint64_t StorageBytes() const {
+    return bytes_.size() + sizeof(uint64_t) * byte_offsets_.size();
+  }
+
+  /// StorageBytes() / num_values (0 when there are no values).
+  double BytesPerEdge() const {
+    return num_values_ == 0
+               ? 0.0
+               : static_cast<double>(StorageBytes()) /
+                     static_cast<double>(num_values_);
+  }
+
+  /// Fast-path decode of one full row into `out` (capacity must cover
+  /// the row's degree; rows never exceed id_bound values). Returns the
+  /// value count. Only legal after validation (all factory paths
+  /// validate).
+  size_t DecodeRow(NodeId row, NodeId* out) const;
+
+  /// Hardened full-stream check: every row decodes to strictly
+  /// ascending values < id_bound, varints are well-formed (<= 5 bytes,
+  /// no u32 overflow), rows consume exactly their byte span, and the
+  /// total value count matches num_values. Corruption otherwise.
+  Status ValidateRows() const;
+
+  /// Decodes every row and compares against reference CSR arrays;
+  /// Internal on the first mismatch. The audit validator's oracle.
+  Status CheckAgainst(std::span<const size_t> offsets,
+                      std::span<const NodeId> values) const;
+
+ private:
+  NodeId num_rows_ = 0;
+  uint64_t num_values_ = 0;
+  NodeId id_bound_ = 0;
+  std::vector<uint64_t> byte_offsets_;  // size num_rows_ + 1
+  std::vector<uint8_t> bytes_;
+};
+
+/// Gap-encodes the in-neighbor (transpose) view of `graph`, building
+/// the transpose first if absent. The result pairs with the kernel's
+/// decode-on-the-fly pull path.
+Result<CompressedCsr> CompressTranspose(const CsrGraph& graph);
+
+}  // namespace qrank
+
+#endif  // QRANK_GRAPH_COMPRESSED_CSR_H_

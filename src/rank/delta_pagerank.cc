@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <span>
 
 #include "audit/audit.h"
+#include "graph/compressed_csr.h"
 #include "common/logging.h"
 #include "common/parallel_for.h"
 #include "rank/internal.h"
@@ -60,6 +62,22 @@ Result<DeltaPageRankResult> ComputeDeltaPageRank(
   graph.BuildTranspose();
   ParallelOptions par;
   par.num_threads = options.base.num_threads;
+
+  // Per-row pulls run the dispatched fold shared with the batch kernel
+  // (rank/sweep_ops.h): same 4-accumulator oracle for scalar, same
+  // bit-exactness/tolerance story per variant, and the compressed
+  // transpose plugs in per options.base.use_compressed_transpose.
+  const rank_internal::SweepFuncs sweep_funcs =
+      rank_internal::ResolveSweepFuncs(
+          rank_internal::KernelVariantLevel(options.base.kernel));
+  const bool pull_compressed = options.base.use_compressed_transpose;
+  const uint64_t* row_bytes_off = nullptr;
+  const uint8_t* row_bytes = nullptr;
+  if (pull_compressed) {
+    const CompressedCsr& compressed = graph.BuildCompressedTranspose();
+    row_bytes_off = compressed.byte_offsets().data();
+    row_bytes = compressed.bytes().data();
+  }
 
   // Fixed row partition shared by every pass and reduce of the solve
   // (edge-balanced by default, so the hub blocks of a power-law graph
@@ -141,9 +159,15 @@ Result<DeltaPageRankResult> ComputeDeltaPageRank(
   // fixed ascending in-neighbor order — iterates are bit-identical
   // across thread counts.
   auto update_row = [&](size_t i, double base_mass) {
-    double pull = 0.0;
-    for (NodeId u : graph.InNeighbors(static_cast<NodeId>(i))) {
-      pull += out_share[u];
+    double pull;
+    if (pull_compressed) {
+      pull = sweep_funcs.compressed_row_pull(row_bytes + row_bytes_off[i],
+                                             row_bytes + row_bytes_off[i + 1],
+                                             out_share.data());
+    } else {
+      const std::span<const NodeId> in =
+          graph.InNeighbors(static_cast<NodeId>(i));
+      pull = sweep_funcs.row_pull(in.data(), in.size(), out_share.data());
     }
     const double val = base_mass * v[i] + alpha * pull;
     const double delta = std::fabs(val - x[i]);

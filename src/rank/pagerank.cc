@@ -23,6 +23,50 @@ constexpr int kAuditLevel = QRANK_AUDIT_LEVEL;
 
 }  // namespace
 
+const char* SweepPartitionName(SweepPartition partition) {
+  return partition == SweepPartition::kNodeBalanced ? "node" : "edge";
+}
+
+bool ParseSweepPartition(const std::string& text, SweepPartition* out) {
+  if (text == "node") {
+    *out = SweepPartition::kNodeBalanced;
+  } else if (text == "edge") {
+    *out = SweepPartition::kEdgeBalanced;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* KernelVariantName(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kScalar:
+      return "scalar";
+    case KernelVariant::kSimd:
+      return "simd";
+    case KernelVariant::kAvx2:
+      return "avx2";
+    case KernelVariant::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool ParseKernelVariant(const std::string& text, KernelVariant* out) {
+  if (text == "scalar") {
+    *out = KernelVariant::kScalar;
+  } else if (text == "simd") {
+    *out = KernelVariant::kSimd;
+  } else if (text == "avx2") {
+    *out = KernelVariant::kAvx2;
+  } else if (text == "avx512") {
+    *out = KernelVariant::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 namespace rank_internal {
 
 Status ValidateOptions(const CsrGraph& graph, const PageRankOptions& options) {

@@ -31,6 +31,7 @@
 #define QRANK_RANK_PAGERANK_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -56,6 +57,32 @@ enum class SweepPartition {
   /// binary search per boundary over the transpose CSR offsets).
   kEdgeBalanced,
 };
+
+/// "node" | "edge" — the names the shared --partition flag accepts.
+const char* SweepPartitionName(SweepPartition partition);
+
+/// Parses the names above; false on unknown input.
+bool ParseSweepPartition(const std::string& text, SweepPartition* out);
+
+/// Instruction-set variant of the fused pull sweep (see
+/// rank/pagerank_kernel.h and DESIGN.md §5g). Scalar is the default
+/// and the oracle; AVX2 reproduces its 4-accumulator fold bit-for-bit
+/// (lane j == accumulator j); AVX-512 folds 8 lanes and carries a
+/// test-enforced <= 1e-14 per-element tolerance. Requests the build or
+/// hardware cannot honor clamp DOWN (never up), so every option value
+/// is safe on every machine.
+enum class KernelVariant {
+  kScalar,  // portable reference fold
+  kSimd,    // best available: runtime CPUID pick of avx512 > avx2 > scalar
+  kAvx2,
+  kAvx512,
+};
+
+/// "scalar" | "simd" | "avx2" | "avx512".
+const char* KernelVariantName(KernelVariant variant);
+
+/// Parses the names above; false on unknown input.
+bool ParseKernelVariant(const std::string& text, KernelVariant* out);
 
 struct PageRankOptions {
   /// Probability of following a link (1 - paper's d). 0.85 is the
@@ -99,6 +126,19 @@ struct PageRankOptions {
   /// blocks suffer on hub-heavy web graphs and costs one boundary
   /// computation per solve.
   SweepPartition partition = SweepPartition::kEdgeBalanced;
+
+  /// Pull-sweep instruction set (see KernelVariant). Scores do not
+  /// depend on the partition or thread count under ANY variant; they
+  /// are bit-identical across variants except kAvx512 (tolerance
+  /// documented above).
+  KernelVariant kernel = KernelVariant::kScalar;
+
+  /// Pull from the delta-gap compressed transpose (decode-on-the-fly;
+  /// graph/compressed_csr.h) instead of the raw transpose arrays.
+  /// Bit-identical scores for every variant — the decoder feeds the
+  /// same fold — trading decode ALU for the memory traffic the sweep
+  /// is bound on. The encode is cached on the graph like the transpose.
+  bool use_compressed_transpose = false;
 };
 
 struct PageRankResult {

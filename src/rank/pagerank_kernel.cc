@@ -1,9 +1,87 @@
 #include "rank/pagerank_kernel.h"
 
 #include <cmath>
+#include <limits>
+
+#include "rank/sweep_impl.h"
 
 namespace qrank {
 namespace rank_internal {
+
+namespace {
+
+// The oracle fold every SIMD variant is measured against: four
+// accumulators break the serial FP-add dependency chain so the gathers
+// overlap; the fold order depends only on the row's in-degree, never on
+// the partition, keeping scores bit-identical across thread counts.
+struct ScalarAcc {
+  double p0 = 0.0, p1 = 0.0, p2 = 0.0, p3 = 0.0;
+
+  void Accumulate(const NodeId* src, size_t count, const double* share) {
+    size_t k = 0;
+    for (; k + 4 <= count; k += 4) {
+      p0 += share[src[k]];
+      p1 += share[src[k + 1]];
+      p2 += share[src[k + 2]];
+      p3 += share[src[k + 3]];
+    }
+    for (; k < count; ++k) p0 += share[src[k]];
+  }
+
+  double Fold() const { return (p0 + p1) + (p2 + p3); }
+};
+
+}  // namespace
+
+// This TU is compiled without any -m ISA flags, so the row update here
+// keeps the plain mul-then-add rounding; every variant's
+// compressed_block points at this one definition (sweep_ops.h).
+std::array<double, 2> ScalarCompressedBlockSweep(const SweepArgs& args,
+                                                 size_t lo, size_t hi) {
+  return BlockSweep<ScalarAcc, /*kCompressed=*/true>(args, lo, hi);
+}
+
+// Defined in the per-ISA translation units; declared here (not in a
+// shared header) so no other TU can reach them without going through
+// ResolveSweepFuncs.
+#if defined(QRANK_HAVE_AVX2)
+SweepFuncs Avx2SweepFuncs();
+#endif
+#if defined(QRANK_HAVE_AVX512)
+SweepFuncs Avx512SweepFuncs();
+#endif
+
+SweepFuncs ResolveSweepFuncs(SimdLevel requested) {
+  SimdLevel level = DetectSimdLevel();
+  if (requested < level) level = requested;
+#if defined(QRANK_HAVE_AVX512)
+  if (level == SimdLevel::kAvx512) return Avx512SweepFuncs();
+#endif
+#if defined(QRANK_HAVE_AVX2)
+  if (level >= SimdLevel::kAvx2) return Avx2SweepFuncs();
+#endif
+  return MakeSweepFuncs<ScalarAcc>(SimdLevel::kScalar);
+}
+
+SimdLevel KernelVariantLevel(KernelVariant variant) {
+  SimdLevel requested = SimdLevel::kScalar;
+  switch (variant) {
+    case KernelVariant::kScalar:
+      requested = SimdLevel::kScalar;
+      break;
+    case KernelVariant::kAvx2:
+      requested = SimdLevel::kAvx2;
+      break;
+    case KernelVariant::kAvx512:
+      requested = SimdLevel::kAvx512;
+      break;
+    case KernelVariant::kSimd:
+      requested = SimdLevel::kAvx512;  // best available
+      break;
+  }
+  const SimdLevel detected = DetectSimdLevel();
+  return requested < detected ? requested : detected;
+}
 
 std::vector<size_t> PullSweepBoundaries(const CsrGraph& graph,
                                         SweepPartition partition,
@@ -36,6 +114,24 @@ PageRankKernel::PageRankKernel(const CsrGraph& graph,
   in_sources_ = graph.in_sources();
   bounds_ = PullSweepBoundaries(graph, options.partition, par_.grain);
 
+  // i32 gathers index with signed 32-bit lanes; ids past 2^31 would go
+  // negative, so such graphs (none today — NodeId is u32 and real
+  // inputs stay far below) pin the scalar path.
+  SimdLevel requested = KernelVariantLevel(options.kernel);
+  if (n_ > static_cast<NodeId>(std::numeric_limits<int32_t>::max())) {
+    requested = SimdLevel::kScalar;
+  }
+  funcs_ = ResolveSweepFuncs(requested);
+  compressed_ = options.use_compressed_transpose;
+  if (compressed_) {
+    const CompressedCsr& c = graph.BuildCompressedTranspose();
+    byte_offsets_ = c.byte_offsets().data();
+    bytes_ = c.bytes().data();
+    block_fn_ = funcs_.compressed_block;
+  } else {
+    block_fn_ = funcs_.raw_block;
+  }
+
   inv_outdeg_.assign(n_, 0.0);
   for (NodeId u = 0; u < n_; ++u) {
     const uint32_t d = graph.OutDegree(u);
@@ -66,46 +162,24 @@ PageRankKernel::PageRankKernel(const CsrGraph& graph,
 }
 
 double PageRankKernel::Sweep() {
-  const double base_weight = 1.0 - alpha_ + alpha_ * dangling_;
-  const double alpha = alpha_;
-  const size_t* in_off = in_offsets_.data();
-  const NodeId* in_src = in_sources_.data();
-  const double* x = x_.data();
-  const double* v = v_.data();
-  const double* out_share = out_share_.data();
-  const double* inv_outdeg = inv_outdeg_.data();
-  double* next = next_.data();
-  double* next_out_share = next_out_share_.data();
+  SweepArgs args;
+  args.in_off = in_offsets_.data();
+  args.in_src = in_sources_.data();
+  args.byte_off = byte_offsets_;
+  args.bytes = bytes_;
+  args.x = x_.data();
+  args.v = v_.data();
+  args.out_share = out_share_.data();
+  args.inv_outdeg = inv_outdeg_.data();
+  args.next = next_.data();
+  args.next_out_share = next_out_share_.data();
+  args.alpha = alpha_;
+  args.base_weight = 1.0 - alpha_ + alpha_ * dangling_;
 
+  const BlockSweepFn block = block_fn_;
   const std::array<double, 2> sums = ParallelReducePartition<2>(
       bounds_,
-      [&](size_t lo, size_t hi) {
-        double residual = 0.0;
-        double next_dangling = 0.0;
-        for (size_t i = lo; i < hi; ++i) {
-          // Four accumulators break the serial FP-add dependency chain so
-          // the gathers overlap; the fold order depends only on the row's
-          // in-degree, never on the partition, keeping scores bit-identical
-          // across thread counts.
-          double p0 = 0.0, p1 = 0.0, p2 = 0.0, p3 = 0.0;
-          size_t k = in_off[i];
-          const size_t end = in_off[i + 1];
-          for (; k + 4 <= end; k += 4) {
-            p0 += out_share[in_src[k]];
-            p1 += out_share[in_src[k + 1]];
-            p2 += out_share[in_src[k + 2]];
-            p3 += out_share[in_src[k + 3]];
-          }
-          for (; k < end; ++k) p0 += out_share[in_src[k]];
-          const double pull = (p0 + p1) + (p2 + p3);
-          const double fresh = base_weight * v[i] + alpha * pull;
-          residual += std::fabs(fresh - x[i]);
-          if (inv_outdeg[i] == 0.0) next_dangling += fresh;
-          next[i] = fresh;
-          next_out_share[i] = fresh * inv_outdeg[i];
-        }
-        return std::array<double, 2>{residual, next_dangling};
-      },
+      [&args, block](size_t lo, size_t hi) { return block(args, lo, hi); },
       &reduce_scratch_, par_);
 
   x_.swap(next_);

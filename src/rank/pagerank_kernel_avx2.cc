@@ -1,0 +1,62 @@
+// AVX2 pull-sweep variant. Compiled with -mavx2 only when the
+// toolchain supports it (QRANK_SIMD in CMake); the resolver in
+// pagerank_kernel.cc never hands these functions out unless the CPU
+// reports AVX2, so no illegal instruction can execute on older parts.
+//
+// Bit-exactness: the accumulator keeps the scalar fold's p0..p3 as the
+// four lanes of one __m256d. The main loop gathers four shares per step
+// (_mm256_i32gather_pd) and adds lane-wise — per lane, the identical
+// IEEE add sequence the scalar variant runs. The < 4 remainder is added
+// into lane 0 sequentially, exactly like the scalar remainder loop into
+// p0, and Fold() is the same (p0 + p1) + (p2 + p3). Scores are
+// therefore bit-identical to the scalar oracle (asserted by
+// tests/rank/simd_equivalence_test.cc).
+
+#if defined(QRANK_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "rank/sweep_impl.h"
+
+namespace qrank {
+namespace rank_internal {
+namespace {
+
+struct Avx2Acc {
+  __m256d acc = _mm256_setzero_pd();
+
+  void Accumulate(const NodeId* src, size_t count, const double* share) {
+    // Mask-form gather with an explicit zero source: GCC implements the
+    // unmasked _mm256_i32gather_pd through _mm256_undefined_pd(), whose
+    // deliberately uninitialized dummy trips -Wuninitialized.
+    const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    size_t k = 0;
+    for (; k + 4 <= count; k += 4) {
+      const __m128i idx =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + k));
+      acc = _mm256_add_pd(
+          acc, _mm256_mask_i32gather_pd(_mm256_setzero_pd(), share, idx, all,
+                                        8));
+    }
+    if (k < count) {
+      double lane0 = _mm256_cvtsd_f64(acc);
+      for (; k < count; ++k) lane0 += share[src[k]];
+      acc = _mm256_blend_pd(acc, _mm256_set1_pd(lane0), 0x1);
+    }
+  }
+
+  double Fold() const {
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  }
+};
+
+}  // namespace
+
+SweepFuncs Avx2SweepFuncs() { return MakeSweepFuncs<Avx2Acc>(SimdLevel::kAvx2); }
+
+}  // namespace rank_internal
+}  // namespace qrank
+
+#endif  // QRANK_HAVE_AVX2

@@ -1,0 +1,278 @@
+// Delta-gap varint CSR: encode/decode round-trip against the raw
+// transpose arrays, structural rejection at both factories, and the
+// QRKC file format under the hardened-reader contract — every
+// truncation and every single-byte flip must fail loudly with
+// Corruption, never crash or return a silently-wrong matrix.
+
+#include "graph/compressed_csr.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+
+namespace qrank {
+namespace {
+
+CsrGraph MakeGraph(size_t seed) {
+  Rng rng(seed);
+  EdgeList e = GenerateBarabasiAlbert(400, 4, &rng).value();
+  CsrGraph g = CsrGraph::FromEdgeList(e).value();
+  g.BuildTranspose();
+  return g;
+}
+
+void ExpectMatchesTranspose(const CompressedCsr& c, const CsrGraph& g) {
+  ASSERT_EQ(c.num_rows(), g.num_nodes());
+  ASSERT_EQ(c.num_values(), g.num_edges());
+  ASSERT_EQ(c.id_bound(), g.num_nodes());
+  ASSERT_TRUE(c.ValidateRows().ok());
+  ASSERT_TRUE(c.CheckAgainst(g.in_offsets(), g.in_sources()).ok());
+  std::vector<NodeId> row(g.num_nodes());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    const size_t count = c.DecodeRow(i, row.data());
+    const auto expect = g.InNeighbors(i);
+    ASSERT_EQ(count, expect.size()) << "row " << i;
+    for (size_t k = 0; k < count; ++k) EXPECT_EQ(row[k], expect[k]);
+  }
+}
+
+TEST(CompressedCsrTest, RoundTripsGeneratedTransposes) {
+  struct Case {
+    const char* name;
+    EdgeList edges;
+  };
+  Rng rng(7);
+  std::vector<Case> cases;
+  cases.push_back({"barabasi_albert",
+                   GenerateBarabasiAlbert(600, 5, &rng).value()});
+  cases.push_back({"erdos_renyi", GenerateErdosRenyi(500, 0.01, &rng).value()});
+  cases.push_back(
+      {"site_clustered", GenerateSiteClustered(12, 30, 6, 3, &rng).value()});
+  cases.push_back({"ring", GenerateRing(200, 3).value()});
+  for (Case& tc : cases) {
+    SCOPED_TRACE(tc.name);
+    CsrGraph g = CsrGraph::FromEdgeList(tc.edges).value();
+    g.BuildTranspose();
+    Result<CompressedCsr> c = CompressTranspose(g);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    ExpectMatchesTranspose(*c, g);
+  }
+}
+
+TEST(CompressedCsrTest, EmptyRowsOccupyZeroBytes) {
+  // Star transpose: the hub holds every in-edge, satellites hold none.
+  CsrGraph g =
+      CsrGraph::FromEdgeList(GenerateStar(50).value()).value();
+  g.BuildTranspose();
+  CompressedCsr c = CompressTranspose(g).value();
+  ExpectMatchesTranspose(c, g);
+  size_t empty = 0;
+  for (NodeId i = 0; i < c.num_rows(); ++i) {
+    if (g.InNeighbors(i).empty()) {
+      EXPECT_EQ(c.RowBytes(i), 0u);
+      NodeId sink;
+      EXPECT_EQ(c.DecodeRow(i, &sink), 0u);
+      ++empty;
+    }
+  }
+  EXPECT_GE(empty, 50u);
+}
+
+TEST(CompressedCsrTest, StorageBytesIncludesOffsetArray) {
+  CsrGraph g = MakeGraph(21);
+  CompressedCsr c = CompressTranspose(g).value();
+  EXPECT_EQ(c.StorageBytes(),
+            c.bytes().size() + 8 * (static_cast<uint64_t>(c.num_rows()) + 1));
+  EXPECT_GT(c.BytesPerEdge(), 0.0);
+  // Gap coding must beat the raw 4-byte ids on a scale-free transpose
+  // even before locality reordering.
+  EXPECT_LT(static_cast<double>(c.bytes().size()) /
+                static_cast<double>(c.num_values()),
+            4.0);
+}
+
+TEST(CompressedCsrTest, EncodeRejectsStructuralViolations) {
+  const std::vector<size_t> offsets = {0, 2};
+  // Duplicate (zero gap).
+  EXPECT_EQ(CompressedCsr::Encode(offsets, std::vector<NodeId>{5, 5}, 10)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Descending row.
+  EXPECT_EQ(CompressedCsr::Encode(offsets, std::vector<NodeId>{5, 3}, 10)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Value at the exclusive bound.
+  EXPECT_EQ(CompressedCsr::Encode(offsets, std::vector<NodeId>{3, 10}, 10)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Offsets not anchored to values.size().
+  EXPECT_EQ(CompressedCsr::Encode(std::vector<size_t>{0, 3},
+                                  std::vector<NodeId>{1, 2}, 10)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Decreasing offsets.
+  EXPECT_EQ(CompressedCsr::Encode(std::vector<size_t>{0, 2, 1},
+                                  std::vector<NodeId>{1, 2}, 10)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CompressedCsrTest, FromPartsAcceptsEncodedParts) {
+  CsrGraph g = MakeGraph(33);
+  CompressedCsr c = CompressTranspose(g).value();
+  Result<CompressedCsr> back = CompressedCsr::FromParts(
+      c.num_rows(), c.num_values(), c.id_bound(),
+      std::vector<uint64_t>(c.byte_offsets().begin(), c.byte_offsets().end()),
+      std::vector<uint8_t>(c.bytes().begin(), c.bytes().end()));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectMatchesTranspose(*back, g);
+}
+
+// Hand-built single-row streams exercising each hardened-decoder
+// rejection. Rows are one row wide ({0, bytes.size()} offsets) unless
+// stated.
+TEST(CompressedCsrTest, FromPartsRejectsMalformedStreams) {
+  auto from = [](uint64_t num_values, NodeId bound,
+                 std::vector<uint8_t> bytes) {
+    std::vector<uint64_t> offsets = {0, bytes.size()};
+    return CompressedCsr::FromParts(1, num_values, bound, std::move(offsets),
+                                    std::move(bytes))
+        .status()
+        .code();
+  };
+  // Zero gap => duplicate value.
+  EXPECT_EQ(from(2, 10, {3, 0}), StatusCode::kCorruption);
+  // Overlong varint (0 spelled in two bytes).
+  EXPECT_EQ(from(1, 10, {0x80, 0x00}), StatusCode::kCorruption);
+  // Six-byte varint exceeds the 5-byte u32 maximum.
+  EXPECT_EQ(from(1, 10, {0x80, 0x80, 0x80, 0x80, 0x80, 0x01}),
+            StatusCode::kCorruption);
+  // Value at the exclusive id bound.
+  EXPECT_EQ(from(1, 5, {5}), StatusCode::kCorruption);
+  // Truncated varint: continuation bit set at the row's end.
+  EXPECT_EQ(from(1, 10, {0x81}), StatusCode::kCorruption);
+  // Declared count disagrees with the decoded stream.
+  EXPECT_EQ(from(3, 10, {1, 2}), StatusCode::kCorruption);
+  // Offset array not anchored to the stream length.
+  EXPECT_EQ(CompressedCsr::FromParts(1, 1, 10, {0, 3}, {1, 2})
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  // Wrong offset array size.
+  EXPECT_EQ(CompressedCsr::FromParts(2, 1, 10, {0, 1}, {1})
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  // Decreasing byte offsets.
+  EXPECT_EQ(CompressedCsr::FromParts(2, 2, 10, {0, 2, 1}, {1, 2})
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+}
+
+class CompressedCsrIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& p : cleanup_) std::remove(p.c_str());
+  }
+  std::string Track(const std::string& p) {
+    cleanup_.push_back(p);
+    return p;
+  }
+  static std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+  static std::string Slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+  static void Dump(const std::string& path, const std::string& data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(CompressedCsrIoTest, QrkcRoundTrip) {
+  CsrGraph g = MakeGraph(55);
+  CompressedCsr c = CompressTranspose(g).value();
+  const std::string path = Track(TempPath("matrix.qrkc"));
+  ASSERT_TRUE(WriteCompressedCsr(c, path).ok());
+  Result<CompressedCsr> back = ReadCompressedCsr(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectMatchesTranspose(*back, g);
+}
+
+TEST_F(CompressedCsrIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadCompressedCsr("/nonexistent_zzz/m.qrkc").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(CompressedCsrIoTest, EveryTruncationFailsLoudly) {
+  // Small graph so the sweep over every prefix length stays cheap.
+  Rng rng(9);
+  CsrGraph g =
+      CsrGraph::FromEdgeList(GenerateBarabasiAlbert(24, 2, &rng).value())
+          .value();
+  g.BuildTranspose();
+  const std::string path = Track(TempPath("trunc.qrkc"));
+  ASSERT_TRUE(WriteCompressedCsr(CompressTranspose(g).value(), path).ok());
+  const std::string data = Slurp(path);
+  ASSERT_GT(data.size(), 32u);
+  const std::string cut = Track(TempPath("trunc_cut.qrkc"));
+  for (size_t len = 0; len < data.size(); ++len) {
+    Dump(cut, data.substr(0, len));
+    EXPECT_EQ(ReadCompressedCsr(cut).status().code(), StatusCode::kCorruption)
+        << "prefix of " << len << " bytes was accepted";
+  }
+}
+
+TEST_F(CompressedCsrIoTest, EverySingleByteFlipFailsLoudly) {
+  // The FNV-1a checksum covers the whole payload and the header fields
+  // are cross-checked against the file size, so no single-byte
+  // corruption may survive to a returned matrix.
+  Rng rng(10);
+  CsrGraph g =
+      CsrGraph::FromEdgeList(GenerateBarabasiAlbert(24, 2, &rng).value())
+          .value();
+  g.BuildTranspose();
+  const std::string path = Track(TempPath("flip.qrkc"));
+  ASSERT_TRUE(WriteCompressedCsr(CompressTranspose(g).value(), path).ok());
+  const std::string data = Slurp(path);
+  const std::string flipped = Track(TempPath("flip_mut.qrkc"));
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mut = data;
+    mut[i] = static_cast<char>(mut[i] ^ 0x40);
+    Dump(flipped, mut);
+    const Status s = ReadCompressedCsr(flipped).status();
+    EXPECT_EQ(s.code(), StatusCode::kCorruption)
+        << "flip at byte " << i << " -> " << s.ToString();
+  }
+}
+
+TEST_F(CompressedCsrIoTest, GraphCacheReturnsSameMatrix) {
+  CsrGraph g = MakeGraph(77);
+  EXPECT_FALSE(g.has_compressed_transpose());
+  const CompressedCsr& c = g.BuildCompressedTranspose();
+  EXPECT_TRUE(g.has_compressed_transpose());
+  const CompressedCsr& again = g.BuildCompressedTranspose();
+  EXPECT_EQ(&c, &again);
+  ExpectMatchesTranspose(c, g);
+}
+
+}  // namespace
+}  // namespace qrank

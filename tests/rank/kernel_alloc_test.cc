@@ -68,9 +68,11 @@ size_t AllocationsDuring(const std::function<void()>& fn) {
   return g_allocations.load(std::memory_order_relaxed) - before;
 }
 
-TEST(KernelAllocTest, SweepAllocatesNothing) {
+// Constructs a kernel under `o` (construction may allocate and, for
+// the compressed path, builds the cached transpose encodings), then
+// proves 25 sweeps allocate nothing.
+void ExpectSweepsAllocationFree(const PageRankOptions& o) {
   const CsrGraph g = TestGraph();
-  const PageRankOptions o = UnconvergedOptions(50);
   const double uniform = 1.0 / static_cast<double>(g.num_nodes());
   const std::vector<double> teleport(g.num_nodes(), uniform);
   rank_internal::PageRankKernel kernel(
@@ -81,6 +83,33 @@ TEST(KernelAllocTest, SweepAllocatesNothing) {
   });
   EXPECT_EQ(allocs, 0u);
   EXPECT_GT(residual, 0.0);  // the sweeps really ran
+}
+
+TEST(KernelAllocTest, SweepAllocatesNothing) {
+  ExpectSweepsAllocationFree(UnconvergedOptions(50));
+}
+
+TEST(KernelAllocTest, SimdSweepAllocatesNothing) {
+  // Whatever level kSimd resolves to on this host (AVX-512, AVX2, or
+  // scalar fallback), the lane-parallel sweep owns all its scratch.
+  PageRankOptions o = UnconvergedOptions(50);
+  o.kernel = KernelVariant::kSimd;
+  ExpectSweepsAllocationFree(o);
+}
+
+TEST(KernelAllocTest, CompressedSweepAllocatesNothing) {
+  // Decode-on-the-fly must stream straight out of the varint bytes —
+  // no per-row or per-block decode buffers on the heap.
+  PageRankOptions o = UnconvergedOptions(50);
+  o.use_compressed_transpose = true;
+  ExpectSweepsAllocationFree(o);
+}
+
+TEST(KernelAllocTest, SimdCompressedSweepAllocatesNothing) {
+  PageRankOptions o = UnconvergedOptions(50);
+  o.kernel = KernelVariant::kSimd;
+  o.use_compressed_transpose = true;
+  ExpectSweepsAllocationFree(o);
 }
 
 TEST(KernelAllocTest, JacobiAllocationsIndependentOfIterationCount) {

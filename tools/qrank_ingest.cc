@@ -6,7 +6,15 @@
 //                        [--producers=N] [--batch-events=N]
 //                        [--batch-age-ms=X] [--capacity=N] [--reject]
 //                        [--seed=N] [--out=PATH]
+//                        [--partition=node|edge] [--kernel=NAME]
+//                        [--compressed=BOOL]
 //   qrank_ingest inspect [same flags]
+//
+// The solver knobs are the shared set from rank/solver_flags.h and
+// configure the per-batch delta solves. --order is deliberately NOT
+// accepted here: this tool's site_of callback derives each page's site
+// from id arithmetic, so a relabeling would silently reassign pages to
+// sites.
 //
 // Both subcommands run the same experiment: seed a site-clustered web,
 // start the IngestService against a SnapshotStore, race N producer
@@ -41,6 +49,7 @@
 #include "graph/csr_graph.h"
 #include "graph/generators.h"
 #include "ingest/ingest_service.h"
+#include "rank/solver_flags.h"
 #include "serve/snapshot_store.h"
 
 namespace qrank {
@@ -52,7 +61,11 @@ void PrintUsage(std::ostream& os) {
         "                            [--batch-events=N] [--batch-age-ms=X]\n"
         "                            [--capacity=N] [--reject] [--seed=N]\n"
         "                            [--out=PATH]\n"
-        "       qrank_ingest inspect [same flags]\n";
+        "                            [--partition=node|edge]\n"
+        "                            [--kernel=scalar|simd|avx2|avx512]\n"
+        "                            [--compressed=BOOL]\n"
+        "       qrank_ingest inspect [same flags]\n"
+        "(no --order here: site_of derives sites from id arithmetic)\n";
 }
 
 struct DriveConfig {
@@ -66,6 +79,7 @@ struct DriveConfig {
   bool reject = false;
   uint64_t seed = 1;
   std::string out;
+  DeltaPageRankOptions rank = DefaultIngestRankOptions();
 };
 
 struct DriveOutcome {
@@ -98,6 +112,7 @@ Result<DriveOutcome> RunDrive(const DriveConfig& cfg) {
   options.site_of = [pages_per_site, sites](NodeId page) {
     return static_cast<SiteId>((page / pages_per_site) % sites);
   };
+  options.rank = cfg.rank;
   options.keep_last_image = !cfg.out.empty();
   QRANK_ASSIGN_OR_RETURN(
       std::unique_ptr<IngestService> service,
@@ -158,6 +173,7 @@ Result<DriveConfig> ConfigFromFlags(FlagParser& flags) {
   cfg.reject = flags.GetBool("reject", false);
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   cfg.out = flags.GetString("out", "");
+  QRANK_RETURN_NOT_OK(ApplySolverFlags(flags, &cfg.rank.base));
   QRANK_RETURN_NOT_OK(flags.status());
   if (cfg.sites == 0 || cfg.pages_per_site == 0 || cfg.events <= 0 ||
       cfg.producers <= 0) {

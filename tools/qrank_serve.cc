@@ -18,6 +18,11 @@
 //   <rank> <TAB> <row> <TAB> <page_id> <TAB> <score> <TAB> <promoted>
 // `bench` loops TopKOnBundle on one thread and reports QPS plus sampled
 // p50/p99 latency (the full-churn suite lives in bench_perf_serve).
+// None of the shared solver flags (rank/solver_flags.h: --order,
+// --partition, --kernel, --compressed) apply here — this tool serves
+// precomputed score bundles and never runs a PageRank solve; the
+// binaries that do (crawl_pipeline, qrank_ingest, bench_perf_pagerank)
+// all accept that set.
 //
 // Exit status: 0 = success, 1 = audit failure (inspect), 2 = usage or
 // I/O error.
