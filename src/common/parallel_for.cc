@@ -2,26 +2,25 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <exception>
 #include <memory>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace qrank {
 
 namespace {
 
-std::mutex g_pool_mu;
-std::unique_ptr<ThreadPool> g_pool;
+Mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool QRANK_GUARDED_BY(g_pool_mu);
 std::atomic<int> g_default_threads{0};
 
 /// Returns a pool with at least `workers` threads. The pool is grown by
 /// replacement, which is safe because every ParallelFor call blocks until
 /// its blocks finish — there is never outstanding work across calls.
 ThreadPool& PoolWithAtLeast(unsigned workers) {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(&g_pool_mu);
   if (!g_pool || g_pool->num_threads() < workers) {
     g_pool = std::make_unique<ThreadPool>(workers);
   }
@@ -87,9 +86,9 @@ struct BlockRun {
   size_t num_blocks = 0;
   std::atomic<size_t> next{0};
   std::atomic<size_t> finished{0};
-  std::mutex mu;
-  std::condition_variable done_cv;
-  std::exception_ptr error;  // first exception, guarded by mu
+  Mutex mu;
+  CondVar done_cv;
+  std::exception_ptr error QRANK_GUARDED_BY(mu);  // first exception
 
   void Work() {
     for (;;) {
@@ -98,12 +97,12 @@ struct BlockRun {
       try {
         (*run_block)(b);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         if (!error) error = std::current_exception();
       }
       if (finished.fetch_add(1) + 1 == num_blocks) {
-        std::lock_guard<std::mutex> lock(mu);
-        done_cv.notify_all();
+        MutexLock lock(&mu);
+        done_cv.NotifyAll();
       }
     }
   }
@@ -137,10 +136,10 @@ void RunBlocks(size_t num_blocks, const std::function<void(size_t)>& run_block,
   run->Work();  // the calling thread always participates
 
   {
-    std::unique_lock<std::mutex> lock(run->mu);
-    run->done_cv.wait(lock, [&] {
-      return run->finished.load() == run->num_blocks;
-    });
+    MutexLock lock(&run->mu);
+    while (run->finished.load() != run->num_blocks) {
+      run->done_cv.Wait(&run->mu);
+    }
     if (run->error) std::rethrow_exception(run->error);
   }
 }

@@ -187,6 +187,9 @@ std::array<double, K> ParallelReducePartition(const std::vector<size_t>& bounds,
   const size_t blocks = bounds.empty() ? 0 : bounds.size() - 1;
   std::array<double, K> result{};
   if (blocks == 0) return result;
+  // qrank-lint: allow(hot-alloc) grow-once reduce scratch; hot callers
+  // pre-size it in their constructors (kernel_alloc_test enforces the
+  // steady-state zero-allocation contract dynamically).
   if (scratch->size() < K * blocks) scratch->resize(K * blocks);
   double* partials = scratch->data();
   auto run = [&](size_t b) {

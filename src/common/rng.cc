@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
-#include <cassert>
+#include "common/logging.h"
+
 #include <cmath>
 
 namespace qrank {
@@ -43,7 +44,7 @@ uint64_t Rng::NextUint64() {
 }
 
 uint64_t Rng::UniformUint64(uint64_t bound) {
-  assert(bound > 0);
+  QRANK_DCHECK(bound > 0);
   // Lemire's nearly-divisionless method.
   uint64_t x = NextUint64();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -60,7 +61,7 @@ uint64_t Rng::UniformUint64(uint64_t bound) {
 }
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  QRANK_DCHECK(lo <= hi);
   uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
   if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
   return lo + static_cast<int64_t>(UniformUint64(span));
@@ -89,17 +90,17 @@ double Rng::Normal(double mean, double stddev) {
 }
 
 double Rng::Exponential(double lambda) {
-  assert(lambda > 0.0);
+  QRANK_DCHECK(lambda > 0.0);
   return -std::log(1.0 - UniformDouble()) / lambda;
 }
 
 double Rng::Pareto(double xmin, double alpha) {
-  assert(xmin > 0.0 && alpha > 0.0);
+  QRANK_DCHECK(xmin > 0.0 && alpha > 0.0);
   return xmin / std::pow(1.0 - UniformDouble(), 1.0 / alpha);
 }
 
 double Rng::Gamma(double k, double theta) {
-  assert(k > 0.0 && theta > 0.0);
+  QRANK_DCHECK(k > 0.0 && theta > 0.0);
   // Marsaglia-Tsang; boost k < 1 via the U^(1/k) trick.
   if (k < 1.0) {
     double u = 1.0 - UniformDouble();  // (0, 1]
@@ -120,7 +121,7 @@ double Rng::Gamma(double k, double theta) {
 }
 
 double Rng::Beta(double a, double b) {
-  assert(a > 0.0 && b > 0.0);
+  QRANK_DCHECK(a > 0.0 && b > 0.0);
   double x = Gamma(a, 1.0);
   double y = Gamma(b, 1.0);
   double sum = x + y;
@@ -129,7 +130,7 @@ double Rng::Beta(double a, double b) {
 }
 
 uint64_t Rng::Poisson(double lambda) {
-  assert(lambda >= 0.0);
+  QRANK_DCHECK(lambda >= 0.0);
   if (lambda <= 0.0) return 0;
   if (lambda < 30.0) {
     // Knuth's product-of-uniforms method.
@@ -221,7 +222,7 @@ AliasTable::AliasTable(const std::vector<double>& weights) {
 }
 
 size_t AliasTable::Sample(Rng* rng) const {
-  assert(!prob_.empty());
+  QRANK_DCHECK(!prob_.empty());
   size_t i = static_cast<size_t>(rng->UniformUint64(prob_.size()));
   return rng->UniformDouble() < prob_[i] ? i : alias_[i];
 }

@@ -7,10 +7,11 @@
 #ifndef QRANK_COMMON_STATUS_H_
 #define QRANK_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/logging.h"
 
 namespace qrank {
 
@@ -104,7 +105,8 @@ class Result {
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit from error status: `return Status::NotFound(...);`.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    QRANK_DCHECK(!status_.ok())
+        << "Result constructed from OK status without value";
     if (status_.ok()) {
       status_ = Status::Internal("Result constructed from OK status");
     }
@@ -115,15 +117,15 @@ class Result {
 
   /// Requires ok(). Asserts in debug builds.
   const T& value() const& {
-    assert(ok());
+    QRANK_DCHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    QRANK_DCHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    QRANK_DCHECK(ok());
     return std::move(*value_);
   }
 

@@ -1,0 +1,174 @@
+// Compile-time lock-discipline contracts: Clang thread-safety
+// annotations plus the annotated mutex/condvar wrappers the rest of the
+// tree is required to use.
+//
+// The concurrency files (thread_pool, parallel_for, update_queue,
+// ingest_service, snapshot_store) carry mutex disciplines that used to
+// live in comments and TSan runs. TSan only catches a violation on an
+// interleaving a test actually exercises; Clang's -Wthread-safety
+// analysis proves the discipline on every path at compile time. This
+// header supplies the vocabulary:
+//
+//  * QRANK_GUARDED_BY(mu)   — field may only be touched with mu held.
+//  * QRANK_REQUIRES(mu)     — function may only be called with mu held.
+//  * QRANK_EXCLUDES(mu)     — function must NOT be called with mu held
+//                             (it takes mu itself).
+//  * QRANK_ACQUIRE/RELEASE  — function acquires / releases mu.
+//
+// Under GCC (the default toolchain) every macro expands to nothing and
+// qrank::Mutex compiles to exactly a std::mutex — zero size or runtime
+// cost. Under Clang with -DQRANK_THREAD_SAFETY=ON (the CI
+// static-analysis job) the annotations become attributes and a
+// discipline violation is a hard build error via -Werror=thread-safety.
+//
+// std::mutex / std::lock_guard / std::condition_variable carry no
+// attributes in libstdc++, so the analysis cannot see through them;
+// hence the wrappers below. qrank_lint rule `naked-mutex` bans the raw
+// std types outside this header so new code cannot silently opt out.
+
+#ifndef QRANK_COMMON_THREAD_ANNOTATIONS_H_
+#define QRANK_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define QRANK_TS_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define QRANK_TS_ATTRIBUTE__(x)  // no-op under GCC/MSVC
+#endif
+
+#define QRANK_CAPABILITY(x) QRANK_TS_ATTRIBUTE__(capability(x))
+#define QRANK_SCOPED_CAPABILITY QRANK_TS_ATTRIBUTE__(scoped_lockable)
+#define QRANK_GUARDED_BY(x) QRANK_TS_ATTRIBUTE__(guarded_by(x))
+#define QRANK_PT_GUARDED_BY(x) QRANK_TS_ATTRIBUTE__(pt_guarded_by(x))
+#define QRANK_REQUIRES(...) \
+  QRANK_TS_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define QRANK_ACQUIRE(...) \
+  QRANK_TS_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define QRANK_RELEASE(...) \
+  QRANK_TS_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define QRANK_TRY_ACQUIRE(...) \
+  QRANK_TS_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define QRANK_EXCLUDES(...) QRANK_TS_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+#define QRANK_ASSERT_CAPABILITY(x) \
+  QRANK_TS_ATTRIBUTE__(assert_capability(x))
+#define QRANK_RETURN_CAPABILITY(x) QRANK_TS_ATTRIBUTE__(lock_returned(x))
+#define QRANK_NO_THREAD_SAFETY_ANALYSIS \
+  QRANK_TS_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace qrank {
+
+/// Annotated exclusive mutex: a std::mutex the thread-safety analysis
+/// can reason about. Same size, same cost — the capability attribute is
+/// compile-time only.
+class QRANK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() QRANK_ACQUIRE() { mu_.lock(); }
+  void Unlock() QRANK_RELEASE() { mu_.unlock(); }
+  bool TryLock() QRANK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for the scope-shaped 95% of call sites.
+///
+///   MutexLock lock(&mu_);   // acquires; releases at end of scope
+class QRANK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) QRANK_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() QRANK_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII lock with an early-release escape hatch, for the
+/// "mutate-under-lock, notify-outside-lock" condvar idiom:
+///
+///   ReleasableMutexLock lock(&mu_);
+///   events_.push_back(event);
+///   lock.Release();
+///   not_empty_.NotifyOne();
+class QRANK_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex* mu) QRANK_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~ReleasableMutexLock() QRANK_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  /// Releases the mutex now instead of at scope end. Must be held.
+  void Release() QRANK_RELEASE() {
+    held_ = false;
+    mu_->Unlock();
+  }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+  bool held_ = true;
+};
+
+/// Condition variable bound to qrank::Mutex. Thin shim over
+/// std::condition_variable (NOT condition_variable_any: the adopt/
+/// release dance below keeps the fast native futex path), with the
+/// "caller must hold the mutex" precondition expressed as
+/// QRANK_REQUIRES so the analysis enforces it at every wait site.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases *mu and blocks; reacquires before returning.
+  /// Spurious wakeups happen — wait sites loop on their condition:
+  ///
+  ///   MutexLock lock(&mu_);
+  ///   while (!ready_) cv_.Wait(&mu_);
+  ///
+  /// (Explicit loops instead of predicate-lambda overloads: a lambda
+  /// body that touches guarded fields would itself need a thread-safety
+  /// attribute, and the loop form keeps every guarded access inside the
+  /// analyzed function.)
+  void Wait(Mutex* mu) QRANK_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's scope
+  }
+
+  /// Wait with a deadline; returns true iff the deadline passed (the
+  /// condition may still have become true — re-check it either way).
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex* mu, std::chrono::time_point<Clock, Duration> deadline)
+      QRANK_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const bool timed_out =
+        cv_.wait_until(lock, deadline) == std::cv_status::timeout;
+    lock.release();
+    return timed_out;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_COMMON_THREAD_ANNOTATIONS_H_

@@ -9,17 +9,21 @@
 // are written so their results depend only on the fixed block structure
 // (see parallel_for.h), making every result independent of the number
 // of workers and of scheduling order.
+//
+// Lock discipline (compile-time checked under QRANK_THREAD_SAFETY):
+// mu_ guards the task queue and the stop flag; workers_ is written only
+// by the constructor and joined by the destructor, so it needs no lock.
 
 #ifndef QRANK_COMMON_THREAD_POOL_H_
 #define QRANK_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace qrank {
 
@@ -45,19 +49,19 @@ class ThreadPool {
   /// Fire-and-forget enqueue. The task must not throw; helpers that need
   /// exception propagation (ParallelFor) catch internally and rethrow on
   /// the calling thread.
-  void Post(std::function<void()> task);
+  void Post(std::function<void()> task) QRANK_EXCLUDES(mu_);
 
   /// std::thread::hardware_concurrency with a floor of 1.
   static unsigned HardwareConcurrency();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() QRANK_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ QRANK_GUARDED_BY(mu_);
+  bool stop_ QRANK_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // ctor-written, dtor-joined only
 };
 
 }  // namespace qrank

@@ -30,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "graph/edge_list.h"
 
@@ -40,7 +41,7 @@ class CsrGraph;
 /// Fast-path LEB128 decode: reads one u32 varint at `p`, stores it in
 /// `*out`, returns the first byte past it. No bounds or overflow checks
 /// — callers must hold a stream that ValidateRows() accepted.
-inline const uint8_t* DecodeU32VarintUnchecked(const uint8_t* p,
+QRANK_HOT inline const uint8_t* DecodeU32VarintUnchecked(const uint8_t* p,
                                                uint32_t* out) {
   uint32_t value = *p & 0x7fu;
   uint32_t shift = 7;

@@ -70,10 +70,13 @@ IngestService::~IngestService() {
 }
 
 Status IngestService::Start() {
-  if (started_) {
-    return Status::FailedPrecondition("ingest service already started");
+  {
+    MutexLock lock(&mu_);
+    if (started_) {
+      return Status::FailedPrecondition("ingest service already started");
+    }
+    started_ = true;
   }
-  started_ = true;
   if (options_.publish_initial && graph_.num_nodes() > 0) {
     uint32_t iterations = 0;
     uint64_t node_updates = 0;
@@ -83,7 +86,7 @@ Status IngestService::Start() {
         PublishGeneration(nullptr, 0, iterations, node_updates));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     running_ = true;
   }
   consumer_ = std::thread([this] { RunLoop(); });
@@ -91,10 +94,21 @@ Status IngestService::Start() {
 }
 
 Status IngestService::Stop() {
-  if (!started_ || stopped_) return status();
-  stopped_ = true;
-  queue_.Close();
-  if (consumer_.joinable()) consumer_.join();
+  // Elect exactly one joiner under the lock; everyone else returns the
+  // loop status. The join itself happens outside mu_ — the consumer
+  // takes mu_ on its way out, so joining under the lock would deadlock.
+  bool winner = false;
+  {
+    MutexLock lock(&mu_);
+    if (started_ && !stopped_) {
+      stopped_ = true;
+      winner = true;
+    }
+  }
+  if (winner) {
+    queue_.Close();
+    if (consumer_.joinable()) consumer_.join();
+  }
   return status();
 }
 
@@ -124,10 +138,10 @@ void IngestService::RunLoop() {
     }
     if (draining && popped == 0 && accumulator_.empty()) break;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   running_ = false;
   if (!st.ok() && loop_status_.ok()) loop_status_ = st;
-  servable_cv_.notify_all();
+  servable_cv_.NotifyAll();
 }
 
 Status IngestService::ProcessBatch(FlushedBatch batch) {
@@ -229,7 +243,7 @@ Status IngestService::PublishGeneration(const FlushedBatch* batch,
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       bundle_options.creator_tag =
           static_cast<uint32_t>(counters_.generations + 1);
     }
@@ -251,7 +265,7 @@ Status IngestService::PublishGeneration(const FlushedBatch* batch,
   const std::chrono::steady_clock::time_point publish_time =
       std::chrono::steady_clock::now();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (generation > 0) {
     ++counters_.generations;
     if (options_.keep_last_image) last_image_ = std::move(kept_image);
@@ -286,26 +300,27 @@ Status IngestService::PublishGeneration(const FlushedBatch* batch,
     info.max_update_to_servable_ms = max_ms;
   }
   generation_log_.push_back(info);
-  servable_cv_.notify_all();
+  servable_cv_.NotifyAll();
   return Status::OK();
 }
 
 bool IngestService::WaitServable(uint64_t sequence,
                                  std::chrono::nanoseconds timeout) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  servable_cv_.wait_for(lock, timeout, [&] {
-    return servable_sequence_ >= sequence || !running_;
-  });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(&mu_);
+  while (servable_sequence_ < sequence && running_) {
+    if (servable_cv_.WaitUntil(&mu_, deadline)) break;
+  }
   return servable_sequence_ >= sequence;
 }
 
 uint64_t IngestService::servable_sequence() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return servable_sequence_;
 }
 
 IngestStats IngestService::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   IngestStats stats = counters_;
   stats.queue = queue_.Stats();
   stats.servable_sequence = servable_sequence_;
@@ -319,18 +334,18 @@ IngestStats IngestService::Stats() const {
 }
 
 std::vector<IngestGenerationInfo> IngestService::GenerationLog() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return generation_log_;
 }
 
 Status IngestService::status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return loop_status_;
 }
 
 const CsrGraph& IngestService::CurrentGraph() const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     QRANK_CHECK(!running_)
         << "CurrentGraph is only valid once the consumer is stopped";
   }
@@ -338,7 +353,7 @@ const CsrGraph& IngestService::CurrentGraph() const {
 }
 
 std::vector<uint8_t> IngestService::LastImage() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return last_image_;
 }
 

@@ -48,14 +48,14 @@
 #define QRANK_INGEST_INGEST_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 #include "common/status.h"
 #include "core/quality_estimator.h"
@@ -200,12 +200,13 @@ class IngestService {
   IngestService(CsrGraph initial_graph, SnapshotStore* store,
                 IngestOptions options);
 
-  void RunLoop();
+  void RunLoop() QRANK_EXCLUDES(mu_);
   /// One generation: delta apply -> rank -> estimate -> export ->
   /// publish -> latency accounting. Non-OK return stops the loop.
-  Status ProcessBatch(FlushedBatch batch);
+  Status ProcessBatch(FlushedBatch batch) QRANK_EXCLUDES(mu_);
   Status PublishGeneration(const FlushedBatch* batch, uint64_t sequence,
-                           uint32_t iterations, uint64_t node_updates);
+                           uint32_t iterations, uint64_t node_updates)
+      QRANK_EXCLUDES(mu_);
   Status RecomputeScores(const std::vector<uint8_t>& dirty_frontier,
                          uint32_t* iterations, uint64_t* node_updates);
 
@@ -222,20 +223,25 @@ class IngestService {
   std::deque<std::vector<double>> observations_;  // export-scale window
   std::vector<uint64_t> visit_counts_;
 
-  // Shared bookkeeping, guarded by mu_.
-  mutable std::mutex mu_;
-  mutable std::condition_variable servable_cv_;
-  bool running_ = false;
-  Status loop_status_;
-  uint64_t servable_sequence_ = 0;
-  IngestStats counters_;  // queue field filled on read
-  LatencyHistogram latency_;
-  std::vector<IngestGenerationInfo> generation_log_;
-  std::vector<uint8_t> last_image_;
+  // Shared bookkeeping.
+  mutable Mutex mu_;
+  mutable CondVar servable_cv_;
+  bool running_ QRANK_GUARDED_BY(mu_) = false;
+  Status loop_status_ QRANK_GUARDED_BY(mu_);
+  uint64_t servable_sequence_ QRANK_GUARDED_BY(mu_) = 0;
+  IngestStats counters_ QRANK_GUARDED_BY(mu_);  // queue field on read
+  LatencyHistogram latency_ QRANK_GUARDED_BY(mu_);
+  std::vector<IngestGenerationInfo> generation_log_ QRANK_GUARDED_BY(mu_);
+  std::vector<uint8_t> last_image_ QRANK_GUARDED_BY(mu_);
 
+  // Lifecycle. started_/stopped_ are mu_-guarded so concurrent Stop()
+  // calls (an explicit Stop racing the destructor's, or two
+  // controllers) elect exactly one joiner; consumer_ itself is written
+  // by Start() and joined only by that winner, so the handle needs no
+  // lock of its own. Start() must complete before Stop() may be called.
   std::thread consumer_;
-  bool started_ = false;
-  bool stopped_ = false;
+  bool started_ QRANK_GUARDED_BY(mu_) = false;
+  bool stopped_ QRANK_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace qrank

@@ -21,7 +21,7 @@ UpdateQueue::UpdateQueue(UpdateQueueOptions options)
     : options_(options) {}
 
 Status UpdateQueue::Push(UpdateEvent event) {
-  std::unique_lock<std::mutex> lock(mu_);
+  ReleasableMutexLock lock(&mu_);
   if (closed_) {
     return Status::FailedPrecondition("update queue is closed");
   }
@@ -30,9 +30,9 @@ Status UpdateQueue::Push(UpdateEvent event) {
       ++rejected_;
       return Status::OutOfRange("update queue at capacity");
     }
-    not_full_.wait(lock, [this] {
-      return closed_ || events_.size() < options_.capacity;
-    });
+    while (!closed_ && events_.size() >= options_.capacity) {
+      not_full_.Wait(&mu_);
+    }
     if (closed_) {
       return Status::FailedPrecondition("update queue closed while blocked");
     }
@@ -41,17 +41,19 @@ Status UpdateQueue::Push(UpdateEvent event) {
   event.enqueue_time = std::chrono::steady_clock::now();
   events_.push_back(event);
   max_depth_ = std::max<uint64_t>(max_depth_, events_.size());
-  lock.unlock();
-  not_empty_.notify_one();
+  lock.Release();
+  not_empty_.NotifyOne();
   return Status::OK();
 }
 
 size_t UpdateQueue::PopBatch(size_t max_events, std::chrono::nanoseconds wait,
                              std::vector<UpdateEvent>* out) {
-  std::unique_lock<std::mutex> lock(mu_);
+  ReleasableMutexLock lock(&mu_);
   if (events_.empty()) {
-    not_empty_.wait_for(lock, wait,
-                        [this] { return closed_ || !events_.empty(); });
+    const auto deadline = std::chrono::steady_clock::now() + wait;
+    while (!closed_ && events_.empty()) {
+      if (not_empty_.WaitUntil(&mu_, deadline)) break;
+    }
   }
   const size_t n = std::min(max_events, events_.size());
   for (size_t i = 0; i < n; ++i) {
@@ -59,35 +61,35 @@ size_t UpdateQueue::PopBatch(size_t max_events, std::chrono::nanoseconds wait,
     events_.pop_front();
   }
   dequeued_ += n;
-  lock.unlock();
+  lock.Release();
   if (n > 0) {
     // Several producers can be parked on one drain; wake them all.
-    not_full_.notify_all();
+    not_full_.NotifyAll();
   }
   return n;
 }
 
 void UpdateQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
   }
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  not_full_.NotifyAll();
+  not_empty_.NotifyAll();
 }
 
 bool UpdateQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return closed_;
 }
 
 size_t UpdateQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_.size();
 }
 
 UpdateQueueStats UpdateQueue::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   UpdateQueueStats stats;
   stats.capacity = options_.capacity;
   stats.depth = events_.size();

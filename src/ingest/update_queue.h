@@ -29,13 +29,12 @@
 #define QRANK_INGEST_UPDATE_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "graph/edge_list.h"
 
 namespace qrank {
@@ -126,15 +125,15 @@ class UpdateQueue {
  private:
   const UpdateQueueOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;   // producers park here (kBlock)
-  std::condition_variable not_empty_;  // consumers park here
-  std::deque<UpdateEvent> events_;
-  uint64_t enqueued_ = 0;
-  uint64_t dequeued_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t max_depth_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;   // producers park here (kBlock)
+  CondVar not_empty_;  // consumers park here
+  std::deque<UpdateEvent> events_ QRANK_GUARDED_BY(mu_);
+  uint64_t enqueued_ QRANK_GUARDED_BY(mu_) = 0;
+  uint64_t dequeued_ QRANK_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ QRANK_GUARDED_BY(mu_) = 0;
+  uint64_t max_depth_ QRANK_GUARDED_BY(mu_) = 0;
+  bool closed_ QRANK_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace qrank

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/annotations.h"
+
 #include "rank/sweep_impl.h"
 
 namespace qrank {
@@ -35,9 +37,12 @@ struct ScalarAcc {
 
 // This TU is compiled without any -m ISA flags, so the row update here
 // keeps the plain mul-then-add rounding; every variant's
-// compressed_block points at this one definition (sweep_ops.h).
-std::array<double, 2> ScalarCompressedBlockSweep(const SweepArgs& args,
-                                                 size_t lo, size_t hi) {
+// compressed_block points at this one definition (sweep_ops.h). The
+// QRANK_SCALAR_TU_ONLY marker turns that comment into a build-breaking
+// lint rule: qrank_lint cross-checks this TU's compile command for
+// -mavx*/-ffast-math.
+QRANK_SCALAR_TU_ONLY QRANK_HOT std::array<double, 2>
+ScalarCompressedBlockSweep(const SweepArgs& args, size_t lo, size_t hi) {
   return BlockSweep<ScalarAcc, /*kCompressed=*/true>(args, lo, hi);
 }
 
@@ -161,7 +166,7 @@ PageRankKernel::PageRankKernel(const CsrGraph& graph,
   dangling_ = seeded[0];
 }
 
-double PageRankKernel::Sweep() {
+QRANK_HOT double PageRankKernel::Sweep() {
   SweepArgs args;
   args.in_off = in_offsets_.data();
   args.in_src = in_sources_.data();

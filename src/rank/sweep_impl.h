@@ -22,6 +22,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/annotations.h"
 #include "graph/compressed_csr.h"
 #include "rank/sweep_ops.h"
 
@@ -29,7 +30,7 @@ namespace qrank {
 namespace rank_internal {
 
 template <class Acc>
-double PullRow(const NodeId* src, size_t count, const double* out_share) {
+QRANK_HOT double PullRow(const NodeId* src, size_t count, const double* out_share) {
   Acc acc;
   acc.Accumulate(src, count, out_share);
   return acc.Fold();
@@ -41,7 +42,7 @@ double PullRow(const NodeId* src, size_t count, const double* out_share) {
 /// p0 — exactly ScalarAcc's assignment. Inline (not a template): every
 /// ISA variant shares this one definition, which is what makes
 /// compressed output identical across variants.
-inline double CompressedScalarPullRow(const uint8_t* p, const uint8_t* end,
+QRANK_HOT inline double CompressedScalarPullRow(const uint8_t* p, const uint8_t* end,
                                       const double* out_share) {
   if (p >= end) return 0.0;  // empty row
   double p0 = 0.0, p1 = 0.0, p2 = 0.0, p3 = 0.0;
@@ -97,7 +98,7 @@ inline double CompressedScalarPullRow(const uint8_t* p, const uint8_t* end,
 // for the full story): next scores + L1 residual + carried dangling
 // mass + next out-shares in one pass over rows [lo, hi).
 template <class Acc, bool kCompressed>
-std::array<double, 2> BlockSweep(const SweepArgs& a, size_t lo, size_t hi) {
+QRANK_HOT std::array<double, 2> BlockSweep(const SweepArgs& a, size_t lo, size_t hi) {
   // Hoist every field into restrict-qualified locals: the stores to
   // next/next_out_share would otherwise force the compiler to reload
   // the argument block (and re-derive the row pointers) each row.

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/annotations.h"
+
 namespace qrank {
 
 namespace {
@@ -56,7 +58,8 @@ bool TopKScratch::MarkVisited(NodeId row) {
   return true;
 }
 
-Status QueryEngine::TopK(const TopKQuery& query, TopKScratch* scratch) const {
+QRANK_HOT Status QueryEngine::TopK(const TopKQuery& query,
+                                   TopKScratch* scratch) const {
   // Generation-cached fast path: one atomic load per query; the store
   // mutex is touched only when a publish moved the generation since
   // this scratch last pinned.
@@ -71,9 +74,9 @@ Status QueryEngine::TopK(const TopKQuery& query, TopKScratch* scratch) const {
   return TopKOnBundle(*scratch->pinned_, query, scratch);
 }
 
-Status QueryEngine::TopKOnBundle(const LoadedBundle& bundle,
-                                 const TopKQuery& query,
-                                 TopKScratch* scratch) {
+QRANK_HOT Status QueryEngine::TopKOnBundle(const LoadedBundle& bundle,
+                                           const TopKQuery& query,
+                                           TopKScratch* scratch) {
   const double alpha = query.blend_alpha;
   if (!(alpha >= 0.0 && alpha <= 1.0)) {
     return Status::InvalidArgument("blend_alpha must be in [0, 1]");
@@ -111,6 +114,8 @@ Status QueryEngine::TopKOnBundle(const LoadedBundle& bundle,
       query.site != kAllSites ? group.size() : static_cast<size_t>(n);
   const size_t k = std::min<size_t>(query.k, eligible);
 
+  // qrank-lint: allow(hot-alloc) amortized warm-up: grows only when a
+  // new generation has more pages than this scratch has ever seen.
   scratch->Reserve(n, query.k);
   scratch->heap_size_ = 0;
   scratch->out_size_ = 0;

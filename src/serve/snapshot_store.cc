@@ -5,7 +5,7 @@
 namespace qrank {
 
 uint64_t SnapshotStore::Publish(std::shared_ptr<const LoadedBundle> bundle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   current_ = std::move(bundle);
   // The release bump is the publish signal: a reader whose generation()
   // load observes it will take the lock and find the new bundle (the
@@ -15,7 +15,7 @@ uint64_t SnapshotStore::Publish(std::shared_ptr<const LoadedBundle> bundle) {
 
 Result<uint64_t> SnapshotStore::PublishOrdered(
     std::shared_ptr<const LoadedBundle> bundle, uint64_t sequence) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (has_ordered_ && sequence <= last_ordered_sequence_) {
     return Status::FailedPrecondition(
         "stale ordered publish: sequence is not past the watermark");
@@ -27,18 +27,18 @@ Result<uint64_t> SnapshotStore::PublishOrdered(
 }
 
 uint64_t SnapshotStore::last_ordered_sequence() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return last_ordered_sequence_;
 }
 
 std::shared_ptr<const LoadedBundle> SnapshotStore::Acquire() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return current_;
 }
 
 void SnapshotStore::Pin(std::shared_ptr<const LoadedBundle>* pin,
                         uint64_t* pin_generation) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   *pin = current_;
   // Read under the lock so the pair is consistent even when a publish
   // lands between the caller's generation() check and this call.

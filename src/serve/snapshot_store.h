@@ -37,9 +37,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serve/score_bundle.h"
 
 namespace qrank {
@@ -96,13 +96,13 @@ class SnapshotStore {
   void Pin(std::shared_ptr<const LoadedBundle>* pin,
            uint64_t* pin_generation) const;
 
-  mutable std::mutex mu_;
-  std::shared_ptr<const LoadedBundle> current_;  // guarded by mu_
+  mutable Mutex mu_;
+  std::shared_ptr<const LoadedBundle> current_ QRANK_GUARDED_BY(mu_);
   std::atomic<uint64_t> generation_{0};
-  // PublishOrdered watermark, guarded by mu_ (0 is a valid first
-  // sequence, hence the separate flag).
-  bool has_ordered_ = false;
-  uint64_t last_ordered_sequence_ = 0;
+  // PublishOrdered watermark (0 is a valid first sequence, hence the
+  // separate flag).
+  bool has_ordered_ QRANK_GUARDED_BY(mu_) = false;
+  uint64_t last_ordered_sequence_ QRANK_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace qrank

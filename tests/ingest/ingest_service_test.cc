@@ -117,6 +117,47 @@ TEST(IngestServiceTest, DoubleStartFailsAndStopIsIdempotent) {
   EXPECT_TRUE(service->Stop().ok());
 }
 
+// Regression for the started_/stopped_ lock-discipline fix: many threads
+// calling Stop() concurrently with the destructor's implicit Stop must
+// elect exactly ONE joiner. Before the fix, started_/stopped_ were
+// unguarded, so two racing Stop() calls could both pass the
+// `started_ && !stopped_` gate and double-join (or one could read a
+// torn flag and skip the drain). With -fsanitize=thread this test is
+// the canary; without it the double-join aborts in terminate().
+TEST(IngestServiceTest, ConcurrentStopElectsOneJoinerAndDrains) {
+  using std::chrono::seconds;
+  for (int round = 0; round < 20; ++round) {
+    SnapshotStore store;
+    IngestOptions options;
+    options.batch.max_events = 4;
+    options.batch.max_age = milliseconds(1);
+    auto created = IngestService::Create(SeedGraph(), &store, options);
+    ASSERT_TRUE(created.ok());
+    std::unique_ptr<IngestService> service = std::move(created).value();
+    ASSERT_TRUE(service->Start().ok());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(service->EnqueueEdgeAdd(0, 1 + (i % 3)).ok());
+    }
+    std::vector<std::thread> stoppers;
+    std::atomic<int> ok_count{0};
+    for (int t = 0; t < 4; ++t) {
+      stoppers.emplace_back([&]() {
+        if (service->Stop().ok()) ok_count.fetch_add(1);
+      });
+    }
+    for (std::thread& t : stoppers) t.join();
+    // Every Stop() reports the same terminal status; the backlog was
+    // drained exactly once by the winning joiner.
+    EXPECT_EQ(ok_count.load(), 4);
+    EXPECT_TRUE(service->status().ok());
+    EXPECT_EQ(service->Stats().events_processed, 8u);
+    ExpectContiguousCoverage(service->GenerationLog(), 8);
+    // A second explicit Stop after the race stays idempotent, and the
+    // destructor's Stop (end of scope) must be a no-op.
+    EXPECT_TRUE(service->Stop().ok());
+  }
+}
+
 TEST(IngestServiceTest, UpdateBecomesServableAndVisibleToTopK) {
   SnapshotStore store;
   IngestOptions options;

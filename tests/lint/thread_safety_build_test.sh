@@ -1,0 +1,59 @@
+#!/bin/sh
+# Compile-fixture test for the thread-safety annotation layer.
+#
+#   1. ts_good.cc (correct lock discipline) must COMPILE under
+#      -Wthread-safety -Werror=thread-safety.
+#   2. ts_bad.cc (same code, lock removed) must FAIL — proving the
+#      annotations break the build when discipline is violated, which is
+#      the whole point of QRANK_THREAD_SAFETY=ON.
+#
+# Requires clang (the analysis does not exist in GCC). Exits 77 (ctest
+# SKIP_RETURN_CODE) when no clang is on PATH — the containerized local
+# build is GCC-only; CI's static-analysis job provides clang and runs
+# this for real.
+#
+# Usage: thread_safety_build_test.sh <repo_root>
+set -u
+
+ROOT="${1:?usage: thread_safety_build_test.sh <repo_root>}"
+FIXTURES="$ROOT/tests/lint_fixtures"
+
+CLANG=""
+for c in clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16 \
+         clang++-15 clang++-14; do
+  if command -v "$c" >/dev/null 2>&1; then
+    CLANG="$c"
+    break
+  fi
+done
+if [ -z "$CLANG" ]; then
+  echo "SKIP: no clang++ on PATH; -Wthread-safety needs clang" >&2
+  exit 77
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+FLAGS="-std=c++20 -fsyntax-only -I$ROOT/src -Wthread-safety -Werror=thread-safety"
+
+echo "== ts_good.cc must compile =="
+if ! "$CLANG" $FLAGS "$FIXTURES/ts_good.cc" 2>"$TMP/good.err"; then
+  echo "FAIL: ts_good.cc rejected under -Werror=thread-safety:" >&2
+  cat "$TMP/good.err" >&2
+  exit 1
+fi
+
+echo "== ts_bad.cc must NOT compile =="
+if "$CLANG" $FLAGS "$FIXTURES/ts_bad.cc" 2>"$TMP/bad.err"; then
+  echo "FAIL: ts_bad.cc compiled — removing the lock no longer breaks" \
+       "the build; the annotation layer is decoration" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" "$TMP/bad.err"; then
+  echo "FAIL: ts_bad.cc failed for a reason other than thread-safety:" >&2
+  cat "$TMP/bad.err" >&2
+  exit 1
+fi
+
+echo "PASS: annotations compile clean and catch the removed lock"
+exit 0

@@ -1,0 +1,12 @@
+// Inline header allocator: the hot-alloc edge case. A per-file grep for
+// QRANK_HOT bodies would never see this allocation; qrank_lint resolves
+// quoted includes into the TU, so a hot function calling
+// InlineHeaderGrow() is caught with the path "InlineHeaderGrow -> new".
+#ifndef QRANK_TESTS_LINT_FIXTURES_ALLOC_HELPER_H_
+#define QRANK_TESTS_LINT_FIXTURES_ALLOC_HELPER_H_
+
+inline int* InlineHeaderGrow(int n) {
+  return new int[n];
+}
+
+#endif  // QRANK_TESTS_LINT_FIXTURES_ALLOC_HELPER_H_

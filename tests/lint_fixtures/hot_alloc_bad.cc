@@ -1,0 +1,33 @@
+// hot-alloc positive fixture: three distinct ways a QRANK_HOT function
+// can allocate. Line numbers are asserted exactly by qrank_lint_test.py
+// — keep edits line-stable or update the test.
+#include "alloc_helper.h"
+
+#define QRANK_HOT __attribute__((hot))
+
+namespace fixture {
+
+struct Vec {
+  void push_back(int);
+  int* data();
+};
+
+int LocalHelper(Vec* v) {
+  v->push_back(7);  // transitive allocation, same file
+  return 0;
+}
+
+QRANK_HOT int DirectAlloc(Vec* v) {
+  v->push_back(1);  // finding 1: direct member grow
+  return 0;
+}
+
+QRANK_HOT int TransitiveAlloc(Vec* v) {
+  return LocalHelper(v);  // finding 2: via LocalHelper -> push_back
+}
+
+QRANK_HOT int HeaderAlloc() {
+  return *InlineHeaderGrow(8);  // finding 3: via inline header -> new
+}
+
+}  // namespace fixture

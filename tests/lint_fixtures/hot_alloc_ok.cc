@@ -1,0 +1,35 @@
+// hot-alloc negative fixture: hot math, cold allocation, and a
+// suppressed grow-once call — all clean.
+
+#define QRANK_HOT __attribute__((hot))
+
+namespace fixture {
+
+struct Vec {
+  void push_back(int);
+  void resize(int);
+  int size() const;
+};
+
+QRANK_HOT double HotMath(const double* x, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += x[i] * x[i];
+  return s;
+}
+
+// Not hot: free to allocate.
+void ColdSetup(Vec* v) {
+  v->push_back(1);
+  v->resize(64);
+}
+
+QRANK_HOT int HotWithSuppressedGrow(Vec* v, int n) {
+  if (v->size() < n) {
+    // qrank-lint: allow(hot-alloc) grow-once warm-up; steady state is
+    // allocation-free and covered by the counting-allocator test.
+    v->resize(n);
+  }
+  return v->size();
+}
+
+}  // namespace fixture

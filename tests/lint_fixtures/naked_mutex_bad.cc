@@ -1,0 +1,20 @@
+// naked-mutex positive fixture: a std::mutex member and a
+// std::lock_guard use — two findings. Both are invisible to
+// -Wthread-safety, which is the point of banning them.
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Add(int d) {
+    std::lock_guard<std::mutex> lock(mu_);  // findings: lock_guard + mutex
+    total_ += d;
+  }
+
+ private:
+  std::mutex mu_;  // finding: naked mutex member
+  int total_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// naked-mutex negative fixture: the annotated wrappers (stubbed here —
+// qrank_lint is token-level and only looks for std:: spellings).
+
+namespace qrank {
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+}  // namespace qrank
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Add(int d) {
+    qrank::MutexLock lock(&mu_);
+    total_ += d;
+  }
+
+ private:
+  qrank::Mutex mu_;
+  int total_ = 0;
+};
+
+}  // namespace fixture

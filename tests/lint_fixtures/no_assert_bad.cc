@@ -1,0 +1,21 @@
+// no-assert positive fixture: two raw asserts (findings); the
+// static_assert stays clean.
+#include <cassert>
+
+namespace fixture {
+
+static_assert(sizeof(int) >= 4, "ILP32+ platforms only");
+
+int Clamp(int v, int lo, int hi) {
+  assert(lo <= hi);  // finding 1
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+
+int Index(const int* p, int i, int n) {
+  assert(i >= 0 && i < n);  // finding 2
+  return p[i];
+}
+
+}  // namespace fixture

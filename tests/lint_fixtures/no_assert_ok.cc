@@ -1,0 +1,25 @@
+// no-assert negative fixture: repo check macros and one explicitly
+// suppressed assert — clean.
+#include <cassert>
+
+#define QRANK_CHECK(cond) FixtureCheck(static_cast<bool>(cond))
+#define QRANK_DCHECK(cond) QRANK_CHECK(cond)
+
+namespace fixture {
+
+void FixtureCheck(bool);
+
+int Clamp(int v, int lo, int hi) {
+  QRANK_DCHECK(lo <= hi);
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+
+int Legacy(int i) {
+  // qrank-lint: allow(no-assert) third-party-shaped code kept verbatim
+  assert(i >= 0);
+  return i;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// reader-guard positive fixture: FromWire trusts a length field it read
+// out of the payload and resizes before any bounds check — exactly the
+// "header promises 2^31 pages in a 1 KB file" failure mode.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Decoded {
+  std::vector<uint32_t> ids;
+};
+
+bool FromWire(const uint8_t* bytes, unsigned long n, Decoded* out) {
+  const uint32_t count = *reinterpret_cast<const uint32_t*>(bytes);  // finding
+  out->ids.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out->ids[i] = bytes[4 + i];
+  }
+  return n != 0;
+}
+
+}  // namespace fixture

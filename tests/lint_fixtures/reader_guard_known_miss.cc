@@ -1,0 +1,32 @@
+// reader-guard KNOWN MISS (documented, asserted clean by the
+// self-test): the size check is syntactically before the copy, but it
+// is dead — `true ||` short-circuits it away. qrank_lint's heuristic is
+// ordering-only (token stream, no reachability/value analysis), so this
+// passes. The fixture pins that limit down as an executable statement:
+// if the rule ever gains condition evaluation, flip the expectation in
+// qrank_lint_test.py and delete this comment's second paragraph.
+//
+// Why we accept the miss: catching it needs dataflow, which is the
+// clang-tidy/-Wthread-safety tier's job, not a tokenizer's. The rule
+// still catches the common regression (someone reorders validation
+// after a resize, or adds a new field read before the header check).
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace fixture {
+
+struct Decoded {
+  std::vector<uint32_t> ids;
+};
+
+bool FromWire(const uint8_t* bytes, unsigned long n, Decoded* out) {
+  if (true || n >= sizeof(uint32_t)) {
+    // dead guard: taken unconditionally, checks nothing
+  }
+  const uint32_t count = *reinterpret_cast<const uint32_t*>(bytes);
+  out->ids.resize(count);
+  return n != 0;
+}
+
+}  // namespace fixture

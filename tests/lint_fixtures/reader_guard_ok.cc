@@ -1,0 +1,38 @@
+// reader-guard negative fixture: size checks precede the first copy and
+// the first allocation — the shape score_bundle.cc / graph_io.cc use.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace fixture {
+
+struct Header {
+  uint32_t magic;
+  uint32_t count;
+};
+
+struct Decoded {
+  std::vector<uint32_t> ids;
+};
+
+bool FromWire(const uint8_t* bytes, unsigned long n, Decoded* out) {
+  if (n < sizeof(Header)) return false;
+  Header h;
+  std::memcpy(&h, bytes, sizeof(Header));
+  if (h.magic != 0x5152u) return false;
+  if (n < sizeof(Header) + h.count * 4ul) return false;
+  out->ids.resize(h.count);
+  std::memcpy(out->ids.data(), bytes + sizeof(Header), h.count * 4ul);
+  return true;
+}
+
+// Named like a reader but takes structured input, no raw bytes: out of
+// the rule's scope even though it allocates unguarded.
+std::vector<int> FromParts(const std::vector<int>& a) {
+  std::vector<int> out;
+  out.reserve(a.size());
+  for (int v : a) out.push_back(v);
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// scalar-tu positive fixture: the test's compile db entry for this file
+// carries -mavx2, so defining a QRANK_SCALAR_TU_ONLY function here must
+// be flagged — FMA contraction would change the oracle's rounding.
+
+#define QRANK_SCALAR_TU_ONLY
+
+namespace fixture {
+
+QRANK_SCALAR_TU_ONLY double ScalarOracleSweep(const double* x, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s = s * 0.85 + x[i];
+  return s;
+}
+
+}  // namespace fixture

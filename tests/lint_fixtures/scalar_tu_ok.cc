@@ -1,0 +1,14 @@
+// scalar-tu negative fixture: identical marker, but the compile db
+// entry has no ISA/fast-math flags — clean.
+
+#define QRANK_SCALAR_TU_ONLY
+
+namespace fixture {
+
+QRANK_SCALAR_TU_ONLY double ScalarOracleSweep(const double* x, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s = s * 0.85 + x[i];
+  return s;
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Thread-safety BAD fixture: ts_good.cc with the lock REMOVED from
+// Deposit and a QRANK_REQUIRES function called without the capability.
+// thread_safety_build_test.sh compiles this with clang
+// -Wthread-safety -Werror=thread-safety and expects FAILURE — if this
+// file ever compiles, the annotation layer has rotted into decoration.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Account {
+ public:
+  void Deposit(long amount) QRANK_EXCLUDES(mu_) {
+    balance_ += amount;  // ERROR: writing guarded field without mu_
+  }
+
+  void DepositLocked(long amount) QRANK_REQUIRES(mu_) { balance_ += amount; }
+
+  void DepositTwice(long amount) QRANK_EXCLUDES(mu_) {
+    DepositLocked(amount);  // ERROR: calling REQUIRES(mu_) lock-free
+    DepositLocked(amount);
+  }
+
+ private:
+  mutable qrank::Mutex mu_;
+  long balance_ QRANK_GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  Account a;
+  a.Deposit(10);
+  a.DepositTwice(5);
+}
+
+}  // namespace fixture

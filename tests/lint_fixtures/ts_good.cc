@@ -1,0 +1,42 @@
+// Thread-safety GOOD fixture: correct lock discipline over the real
+// qrank::Mutex wrappers. thread_safety_build_test.sh compiles this with
+// clang -Wthread-safety -Werror=thread-safety and expects SUCCESS.
+// ts_bad.cc is this file with the lock removed — it must FAIL, which is
+// the proof that the annotations are enforcement, not decoration.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Account {
+ public:
+  void Deposit(long amount) QRANK_EXCLUDES(mu_) {
+    qrank::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  long balance() const QRANK_EXCLUDES(mu_) {
+    qrank::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+  void DepositLocked(long amount) QRANK_REQUIRES(mu_) { balance_ += amount; }
+
+  void DepositTwice(long amount) QRANK_EXCLUDES(mu_) {
+    qrank::MutexLock lock(&mu_);
+    DepositLocked(amount);
+    DepositLocked(amount);
+  }
+
+ private:
+  mutable qrank::Mutex mu_;
+  long balance_ QRANK_GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  Account a;
+  a.Deposit(10);
+  a.DepositTwice(5);
+  (void)a.balance();
+}
+
+}  // namespace fixture

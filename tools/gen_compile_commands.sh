@@ -1,0 +1,28 @@
+#!/bin/sh
+# Produce (or refresh) a compile_commands.json for editor tooling,
+# clang-tidy, and tools/qrank_lint.py without disturbing an existing
+# build tree. CMAKE_EXPORT_COMPILE_COMMANDS is ON by default in the
+# top-level CMakeLists, so any configured build dir already has one —
+# this script exists for the cold-start case and for CI jobs that only
+# need the database, not the build.
+#
+# Usage: tools/gen_compile_commands.sh [build_dir] [extra cmake args...]
+#   build_dir defaults to ./build. A compile_commands.json symlink is
+#   left at the repo root (clangd's default search location).
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+[ $# -gt 0 ] && shift
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@" \
+  >/dev/null
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "gen_compile_commands: configure ran but produced no database" >&2
+  exit 1
+fi
+
+ln -sf "$BUILD/compile_commands.json" "$ROOT/compile_commands.json"
+echo "$BUILD/compile_commands.json ($(grep -c '"file"' \
+  "$BUILD/compile_commands.json") entries; symlinked at repo root)"
