@@ -7,25 +7,41 @@
 //                          timed, background consumer draining)
 //   BM_BatchCoalesce       event -> net-GraphDelta coalescing rate at
 //                          the default 4096-event flush boundary
-//   BM_IngestPipeline      the whole loop: per iteration one 512-event
-//                          burst is enqueued and the timer runs until
-//                          every event's generation is published
-//                          (ApplyDelta -> warm DeltaPageRank ->
-//                          estimator -> bundle export -> ordered
+//   BM_IngestPipeline      the whole loop, stop-and-wait: per iteration
+//                          one 512-event burst is enqueued and the
+//                          timer runs until every event's generation is
+//                          published (ApplyDelta -> warm DeltaPageRank
+//                          -> estimator -> bundle export -> ordered
 //                          publish), while two reader threads hammer
 //                          TopK against the same store. Counters carry
 //                          the update-to-servable latency distribution
-//                          (p50/p99/max ms) from the service histogram.
+//                          (p50/p99/max ms) AND the per-stage
+//                          apply/solve/estimate/export/publish
+//                          breakdown from the service histograms.
+//   BM_IngestStream_*      serial vs pipelined throughput under a
+//                          window-2 closed-loop: burst N+2 is admitted
+//                          only once burst N is servable, so two bursts
+//                          are always in flight. The serial service
+//                          pays solve+export per burst; the pipelined
+//                          one overlaps burst N+1's solve with burst
+//                          N's export (and parallelizes the export
+//                          itself), so the per-burst real time drops
+//                          toward max(solve, export) on multicore.
 //
 // With --check_ingest_regression the process exits non-zero unless the
-// pipeline row is present, ran under real concurrent query load, and
-// its p99 update-to-servable latency sits inside the bounded-staleness
-// SLO ceiling — the freshness half of the Release bench smoke gate.
-// A single-core Release run of this suite shows p50 ~340 ms / p99
-// ~650 ms per 512-event burst on the 131k workload; the 2 s ceiling
-// leaves ~3x headroom for runner noise while still catching a broken
-// incremental path (every batch falling back to a cold solve costs
-// multiple seconds per generation).
+// stop-and-wait row is present, ran under real concurrent query load,
+// carries a per-stage breakdown, and its p99 update-to-servable latency
+// sits inside the bounded-staleness SLO ceiling — plus, on hosts with
+// >= 2 hardware threads, the pipelined stream row must beat the serial
+// one by >= 1.5x on p99 update-to-servable (the headline claim of the
+// pipelined rewrite). On single-core hosts the ratio is reported but
+// not enforced: with one executor there is nothing to overlap, and
+// failing the gate there would only measure the scheduler.
+// A single-core Release run of the stop-and-wait row shows p50 ~320 ms
+// / p99 ~580 ms per 512-event burst on the 131k workload; the 1 s
+// ceiling leaves ~1.7x headroom for runner noise while still catching a
+// broken incremental path (every batch falling back to a cold solve
+// costs multiple seconds per generation).
 
 #include <benchmark/benchmark.h>
 
@@ -35,6 +51,7 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_json.h"
@@ -163,6 +180,26 @@ void BM_BatchCoalesce(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(flushes));
 }
 
+// Per-stage latency breakdown as benchmark counters, straight from the
+// service's stage histograms — what the regression gate reads and what
+// `qrank_ingest drive` prints for operators.
+void AddStageCounters(benchmark::State& state, const IngestStats& stats) {
+  const struct {
+    const char* name;
+    const qrank::IngestStageStats& s;
+  } stages[] = {
+      {"apply", stats.stage_apply},     {"solve", stats.stage_solve},
+      {"estimate", stats.stage_estimate}, {"export", stats.stage_export},
+      {"publish", stats.stage_publish},
+  };
+  for (const auto& st : stages) {
+    state.counters[std::string("stage_") + st.name + "_p50_ms"] =
+        benchmark::Counter(st.s.p50_ms);
+    state.counters[std::string("stage_") + st.name + "_p99_ms"] =
+        benchmark::Counter(st.s.p99_ms);
+  }
+}
+
 // The full freshness loop under concurrent query load. Each iteration
 // is one burst: enqueue kBurst events, then block until the service has
 // published the generation covering the last of them — so the per-
@@ -241,6 +278,94 @@ void BM_IngestPipeline(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(stats.generations));
   state.counters["reads"] =
       benchmark::Counter(static_cast<double>(reads.load()));
+  AddStageCounters(state, stats);
+}
+
+// Serial vs pipelined throughput under a window-2 closed loop: two
+// bursts are always in flight (burst N+2 admitted once burst N is
+// servable), so the pipelined service can overlap burst N+1's
+// apply+solve with burst N's estimate+export+publish. The serial
+// configuration runs the identical admission discipline with the
+// inline export path and a single export thread — the pre-rewrite
+// behavior — so the two rows isolate exactly the pipelining + parallel
+// export win.
+void RunIngestStream(benchmark::State& state, bool pipelined) {
+  SnapshotStore store;
+  IngestOptions options;
+  options.pipelined = pipelined;
+  // 0 = all cores for the pipelined row; the serial row pins the export
+  // to one thread to reproduce the pre-rewrite inline path.
+  options.export_parallel.num_threads = pipelined ? 0 : 1;
+  options.queue.capacity = 1 << 14;
+  options.batch.max_events = kBurst;
+  options.batch.max_age = std::chrono::milliseconds(20);
+  options.num_sites = kNumSites;
+  options.site_of = [](NodeId page) {
+    return static_cast<SiteId>(page / kPagesPerSite);
+  };
+  auto service =
+      IngestService::Create(CsrGraph::FromEdgeList(SeedEdges()).value(),
+                            &store, std::move(options));
+  if (!service.ok() || !service.value()->Start().ok()) {
+    state.SkipWithError("ingest service failed to start");
+    return;
+  }
+  IngestService& ingest = *service.value();
+
+  Rng rng(2026);
+  uint64_t enqueued = 0;
+  auto enqueue_burst = [&ingest, &rng, &enqueued]() {
+    for (size_t i = 0; i < kBurst; ++i) {
+      if (!ingest.Enqueue(NextEvent(&rng, SeedEdges())).ok()) return false;
+    }
+    enqueued += kBurst;
+    return true;
+  };
+  // Prime the admission window: two bursts in flight before the first
+  // timed wait, so the consumer always has the next burst ready while
+  // the exporter works — the shape that exposes stage overlap.
+  bool failed = false;
+  if (!enqueue_burst() || !enqueue_burst()) {
+    state.SkipWithError("enqueue failed");
+    failed = true;
+  }
+  uint64_t servable = 0;
+  for (auto _ : state) {
+    if (failed) break;
+    servable += kBurst;
+    if (!ingest.WaitServable(servable, std::chrono::seconds(120))) {
+      state.SkipWithError("servability timeout");
+      break;
+    }
+    if (!enqueue_burst()) {
+      state.SkipWithError("enqueue failed");
+      break;
+    }
+  }
+  // Drain the tail the window still holds before reading final stats.
+  if (!failed && !ingest.WaitServable(enqueued, std::chrono::seconds(120))) {
+    state.SkipWithError("drain timeout");
+  }
+  if (!ingest.Stop().ok()) state.SkipWithError("ingest loop failed");
+
+  const IngestStats stats = ingest.Stats();
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(kBurst),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["p50_ms"] = benchmark::Counter(stats.latency_p50_ms);
+  state.counters["p99_ms"] = benchmark::Counter(stats.latency_p99_ms);
+  state.counters["max_ms"] = benchmark::Counter(stats.latency_max_ms);
+  state.counters["generations"] =
+      benchmark::Counter(static_cast<double>(stats.generations));
+  AddStageCounters(state, stats);
+}
+
+void BM_IngestStreamSerial(benchmark::State& state) {
+  RunIngestStream(state, /*pipelined=*/false);
+}
+
+void BM_IngestStreamPipelined(benchmark::State& state) {
+  RunIngestStream(state, /*pipelined=*/true);
 }
 
 void RegisterAll() {
@@ -257,19 +382,42 @@ void RegisterAll() {
       ->Unit(benchmark::kMillisecond)
       ->UseRealTime()
       ->Iterations(24);
+  for (const auto& [name, fn] :
+       {std::pair<const char*, void (*)(benchmark::State&)>{
+            "BM_IngestStream_serial", BM_IngestStreamSerial},
+        {"BM_IngestStream_pipelined", BM_IngestStreamPipelined}}) {
+    benchmark::RegisterBenchmark(name, fn)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime()
+        ->Iterations(16);
+  }
 }
 
-// CI smoke gate: the bounded-staleness SLO. p99 update-to-servable on
-// the 131k workload must exist, be a real measurement (> 0, with the
-// reader threads actually querying concurrently), and sit under a
-// ceiling ~3x the single-core number — loose enough for shared
-// runners, tight enough that a cold-solve-per-batch regression (seconds
-// per generation) trips it.
+// CI smoke gate, two halves:
+//
+//  1. Bounded-staleness SLO: p99 update-to-servable on the stop-and-wait
+//     row must exist, be a real measurement (> 0, with the reader
+//     threads actually querying concurrently, with a per-stage
+//     breakdown recorded), and sit under the 1 s ceiling — tightened
+//     from the pre-pipeline 2 s now that the export path is off the
+//     solve's critical path. A cold-solve-per-batch regression (seconds
+//     per generation) still trips it with margin.
+//
+//  2. Pipelining win: on hosts with >= 2 hardware threads, the
+//     pipelined stream row must cut p99 update-to-servable by >= 1.5x
+//     vs the serial row under the same window-2 closed loop. On a
+//     single core there is nothing to overlap, so the ratio is printed
+//     for the record but not enforced.
 int CheckIngestRegression(const std::vector<qrank_bench::BenchRow>& rows) {
-  constexpr double kMaxP99Ms = 2000.0;
+  constexpr double kMaxP99Ms = 1000.0;
+  constexpr double kMinStreamSpeedup = 1.5;
   const qrank_bench::BenchRow* pipeline = nullptr;
+  const qrank_bench::BenchRow* serial = nullptr;
+  const qrank_bench::BenchRow* pipelined = nullptr;
   for (const qrank_bench::BenchRow& r : rows) {
     if (r.name.rfind("BM_IngestPipeline", 0) == 0) pipeline = &r;
+    if (r.name.rfind("BM_IngestStream_serial", 0) == 0) serial = &r;
+    if (r.name.rfind("BM_IngestStream_pipelined", 0) == 0) pipelined = &r;
   }
   if (pipeline == nullptr) {
     std::fprintf(stderr, "ingest gate FAILED: BM_IngestPipeline missing\n");
@@ -290,11 +438,66 @@ int CheckIngestRegression(const std::vector<qrank_bench::BenchRow>& rows) {
                  "without concurrent query load\n");
     return 1;
   }
+  // The per-stage breakdown must be a real measurement: the stages that
+  // do heavy work on the 131k workload cannot be zero. (apply/publish
+  // can legitimately round to ~0 and are only reported.)
+  for (const char* stage : {"stage_solve_p50_ms", "stage_estimate_p50_ms",
+                            "stage_export_p50_ms"}) {
+    if (pipeline->Counter(stage) <= 0.0) {
+      std::fprintf(stderr,
+                   "ingest gate FAILED: per-stage breakdown missing or "
+                   "empty (%s)\n",
+                   stage);
+      return 1;
+    }
+  }
   std::printf(
       "ingest gate: p99 update-to-servable %.3f ms (p50 %.3f, max %.3f) "
-      "over %g generations with %g concurrent reads\n",
+      "over %g generations with %g concurrent reads\n"
+      "  stages p50 ms: apply %.3f solve %.3f estimate %.3f export %.3f "
+      "publish %.3f\n",
       p99, pipeline->Counter("p50_ms"), pipeline->Counter("max_ms"),
-      pipeline->Counter("generations"), pipeline->Counter("reads"));
+      pipeline->Counter("generations"), pipeline->Counter("reads"),
+      pipeline->Counter("stage_apply_p50_ms"),
+      pipeline->Counter("stage_solve_p50_ms"),
+      pipeline->Counter("stage_estimate_p50_ms"),
+      pipeline->Counter("stage_export_p50_ms"),
+      pipeline->Counter("stage_publish_p50_ms"));
+
+  if (serial == nullptr || pipelined == nullptr) {
+    std::fprintf(stderr,
+                 "ingest gate FAILED: BM_IngestStream serial/pipelined "
+                 "rows missing\n");
+    return 1;
+  }
+  const double serial_p99 = serial->Counter("p99_ms");
+  const double pipelined_p99 = pipelined->Counter("p99_ms");
+  if (serial_p99 <= 0.0 || pipelined_p99 <= 0.0) {
+    std::fprintf(stderr,
+                 "ingest gate FAILED: stream rows carry no latency "
+                 "measurement\n");
+    return 1;
+  }
+  const double speedup = serial_p99 / pipelined_p99;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "ingest gate: stream p99 serial %.3f ms vs pipelined %.3f ms "
+      "(%.2fx, per-burst real %.3f vs %.3f ms) on %u hardware threads\n",
+      serial_p99, pipelined_p99, speedup, serial->real_ms, pipelined->real_ms,
+      hw);
+  if (hw >= 2 && speedup < kMinStreamSpeedup) {
+    std::fprintf(stderr,
+                 "ingest gate FAILED: pipelined stream p99 speedup %.2fx "
+                 "< %.1fx on a %u-thread host\n",
+                 speedup, kMinStreamSpeedup, hw);
+    return 1;
+  }
+  if (hw < 2) {
+    std::printf(
+        "ingest gate: single hardware thread — %.1fx speedup check "
+        "reported but not enforced (nothing to overlap)\n",
+        kMinStreamSpeedup);
+  }
   return 0;
 }
 

@@ -5,6 +5,45 @@
 
 namespace qrank {
 
+namespace {
+
+// Shared core of ExportScoreBundleFromObservations / ComputeWindowQuality:
+// validate the window shape and build the Q̂ column (estimator over the
+// common prefix, newest PR as fallback).
+Result<std::vector<double>> WindowQuality(
+    const std::vector<const std::vector<double>*>& observations,
+    const QualityEstimatorOptions& options) {
+  if (observations.empty() || observations.back()->empty()) {
+    return Status::InvalidArgument(
+        "need at least one non-empty PageRank observation");
+  }
+  for (size_t i = 1; i < observations.size(); ++i) {
+    if (observations[i]->size() < observations[i - 1]->size()) {
+      return Status::InvalidArgument(
+          "observation sizes must be non-decreasing (pages are only born)");
+    }
+  }
+  // Newest observation is both the PR column and the Q̂ fallback for
+  // pages without a full-window history.
+  std::vector<double> quality = *observations.back();
+  const size_t common = observations.front()->size();
+  if (observations.size() >= 2 && common > 0) {
+    std::vector<std::vector<double>> trimmed;
+    trimmed.reserve(observations.size());
+    for (const std::vector<double>* observation : observations) {
+      trimmed.emplace_back(observation->begin(),
+                           observation->begin() + common);
+    }
+    QRANK_ASSIGN_OR_RETURN(QualityEstimate estimate,
+                           EstimateQuality(trimmed, options));
+    std::copy(estimate.quality.begin(), estimate.quality.end(),
+              quality.begin());
+  }
+  return quality;
+}
+
+}  // namespace
+
 Result<ScoreBundleWriter> ExportScoreBundle(const SnapshotSeries& series,
                                             size_t num_observations,
                                             const BundleExportOptions& options) {
@@ -27,48 +66,42 @@ Result<ScoreBundleWriter> ExportScoreBundle(const SnapshotSeries& series,
   source.num_sites = options.num_sites;
   source.expected_mass = options.expected_mass;
   source.creator_tag = options.creator_tag;
-  return ScoreBundleWriter::Create(std::move(source));
+  return ScoreBundleWriter::Create(std::move(source), options.parallel);
 }
 
 Result<ScoreBundleWriter> ExportScoreBundleFromObservations(
     const std::vector<std::vector<double>>& observations,
     const BundleExportOptions& options) {
-  if (observations.empty() || observations.back().empty()) {
-    return Status::InvalidArgument(
-        "need at least one non-empty PageRank observation");
+  std::vector<const std::vector<double>*> window;
+  window.reserve(observations.size());
+  for (const std::vector<double>& observation : observations) {
+    window.push_back(&observation);
   }
-  for (size_t i = 1; i < observations.size(); ++i) {
-    if (observations[i].size() < observations[i - 1].size()) {
-      return Status::InvalidArgument(
-          "observation sizes must be non-decreasing (pages are only born)");
-    }
-  }
-  const std::vector<double>& latest = observations.back();
-  // Newest observation is both the PR column and the Q̂ fallback for
-  // pages without a full-window history.
-  std::vector<double> quality = latest;
-  const size_t common = observations.front().size();
-  if (observations.size() >= 2 && common > 0) {
-    std::vector<std::vector<double>> trimmed;
-    trimmed.reserve(observations.size());
-    for (const std::vector<double>& observation : observations) {
-      trimmed.emplace_back(observation.begin(),
-                           observation.begin() + common);
-    }
-    QRANK_ASSIGN_OR_RETURN(QualityEstimate estimate,
-                           EstimateQuality(trimmed, options.estimator));
-    std::copy(estimate.quality.begin(), estimate.quality.end(),
-              quality.begin());
-  }
+  QRANK_ASSIGN_OR_RETURN(std::vector<double> quality,
+                         WindowQuality(window, options.estimator));
 
   ScoreBundleSource source;
   source.quality = std::move(quality);
-  source.pagerank = latest;
+  source.pagerank = observations.back();
   source.site_ids = options.site_ids;
   source.num_sites = options.num_sites;
   source.expected_mass = options.expected_mass;
   source.creator_tag = options.creator_tag;
-  return ScoreBundleWriter::Create(std::move(source));
+  return ScoreBundleWriter::Create(std::move(source), options.parallel);
+}
+
+Result<std::vector<double>> ComputeWindowQuality(
+    const std::vector<SharedObservation>& observations,
+    const QualityEstimatorOptions& options) {
+  std::vector<const std::vector<double>*> window;
+  window.reserve(observations.size());
+  for (const SharedObservation& observation : observations) {
+    if (observation == nullptr) {
+      return Status::InvalidArgument("null observation in window");
+    }
+    window.push_back(observation.get());
+  }
+  return WindowQuality(window, options);
 }
 
 }  // namespace qrank

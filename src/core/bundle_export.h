@@ -13,8 +13,10 @@
 #define QRANK_CORE_BUNDLE_EXPORT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/parallel_for.h"
 #include "common/status.h"
 #include "core/quality_estimator.h"
 #include "core/snapshot_series.h"
@@ -39,7 +41,17 @@ struct BundleExportOptions {
 
   /// Free-form writer tag stored in the header.
   uint32_t creator_tag = 0;
+
+  /// Executor width for the writer's index build and serialization
+  /// (forwarded to ScoreBundleWriter::Create — bundle bytes stay
+  /// identical for every num_threads value).
+  ParallelOptions parallel;
 };
+
+/// One immutable PageRank observation shared between the ingest window
+/// and in-flight export jobs (the pipelined ingest path hands the same
+/// vectors to overlapping stages without copying them).
+using SharedObservation = std::shared_ptr<const std::vector<double>>;
 
 /// Estimates quality from the first `num_observations` snapshots of a
 /// series with computed PageRanks (>= 2 observations, as the estimator
@@ -60,6 +72,16 @@ Result<ScoreBundleWriter> ExportScoreBundle(
 Result<ScoreBundleWriter> ExportScoreBundleFromObservations(
     const std::vector<std::vector<double>>& observations,
     const BundleExportOptions& options = {});
+
+/// The Q̂ column ExportScoreBundleFromObservations would build for this
+/// window (oldest first, sizes non-decreasing, no null entries):
+/// estimator over the common id prefix, newest PR as the fallback for
+/// pages born inside the window. Exposed separately so the pipelined
+/// ingest path can time the estimator stage apart from the writer build
+/// and reuse shared observations without copying the window.
+Result<std::vector<double>> ComputeWindowQuality(
+    const std::vector<SharedObservation>& observations,
+    const QualityEstimatorOptions& options = {});
 
 }  // namespace qrank
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/parallel_sort.h"
 #include "graph/graph_delta.h"
 
 namespace qrank {
@@ -24,13 +25,18 @@ std::vector<uint64_t> TotalDegrees(const CsrGraph& g) {
 
 // Old ids sorted by total degree descending, ties by lower old id — the
 // deterministic seed order shared by the hub sort and the BFS waves.
+// The explicit id tie-break makes the comparator a strict total order,
+// which is both what the old stable_sort-over-iota produced and what
+// lets ParallelSort return the identical permutation at any thread
+// count (reorder_test checks the bit-identity against a serial sort).
 std::vector<NodeId> ByDegreeDescending(const CsrGraph& g) {
   const NodeId n = g.num_nodes();
   const std::vector<uint64_t> degree = TotalDegrees(g);
   std::vector<NodeId> order(n);
   std::iota(order.begin(), order.end(), NodeId{0});
-  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-    return degree[a] > degree[b];
+  ParallelSort(&order, [&](NodeId a, NodeId b) {
+    if (degree[a] != degree[b]) return degree[a] > degree[b];
+    return a < b;
   });
   return order;
 }

@@ -23,6 +23,21 @@ double ToMillis(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double, std::milli>(d).count();
 }
 
+uint64_t MillisToNanos(double ms) {
+  return ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1e6);
+}
+
+IngestStageStats SummarizeStage(const LatencyHistogram& h) {
+  IngestStageStats s;
+  s.count = h.count();
+  s.p50_ms = h.PercentileNanos(0.50) * 1e-6;
+  s.p90_ms = h.PercentileNanos(0.90) * 1e-6;
+  s.p99_ms = h.PercentileNanos(0.99) * 1e-6;
+  s.max_ms = h.max_nanos() * 1e-6;
+  s.mean_ms = h.mean_nanos() * 1e-6;
+  return s;
+}
+
 }  // namespace
 
 DeltaPageRankOptions DefaultIngestRankOptions() {
@@ -81,22 +96,31 @@ Status IngestService::Start() {
     uint32_t iterations = 0;
     uint64_t node_updates = 0;
     // Cold start: empty frontier = every page dirty (delta_pagerank.h).
+    const auto t0 = std::chrono::steady_clock::now();
     QRANK_RETURN_NOT_OK(RecomputeScores({}, &iterations, &node_updates));
-    QRANK_RETURN_NOT_OK(
-        PublishGeneration(nullptr, 0, iterations, node_updates));
+    const double solve_ms = ToMillis(std::chrono::steady_clock::now() - t0);
+    // The initial generation runs inline — the stage threads don't
+    // exist yet, and callers expect Start() to return with generation 1
+    // servable.
+    QRANK_RETURN_NOT_OK(RunExportJob(
+        MakeExportJob(nullptr, iterations, node_updates, 0.0, solve_ms)));
   }
   {
     MutexLock lock(&mu_);
     running_ = true;
+    active_stages_ = options_.pipelined ? 2 : 1;
   }
   consumer_ = std::thread([this] { RunLoop(); });
+  if (options_.pipelined) {
+    exporter_ = std::thread([this] { ExportLoop(); });
+  }
   return Status::OK();
 }
 
 Status IngestService::Stop() {
   // Elect exactly one joiner under the lock; everyone else returns the
-  // loop status. The join itself happens outside mu_ — the consumer
-  // takes mu_ on its way out, so joining under the lock would deadlock.
+  // loop status. The joins happen outside mu_ — the stage threads take
+  // mu_ on their way out, so joining under the lock would deadlock.
   bool winner = false;
   {
     MutexLock lock(&mu_);
@@ -107,7 +131,10 @@ Status IngestService::Stop() {
   }
   if (winner) {
     queue_.Close();
+    // Join order matters: the consumer drains the queue then closes the
+    // pipe; the exporter drains the pipe then exits.
     if (consumer_.joinable()) consumer_.join();
+    if (exporter_.joinable()) exporter_.join();
   }
   return status();
 }
@@ -138,13 +165,38 @@ void IngestService::RunLoop() {
     }
     if (draining && popped == 0 && accumulator_.empty()) break;
   }
+  // Upstream done (or failed): let queued jobs drain, then the exporter
+  // exits on its own. A clean loop may still have inherited a pipe
+  // Break the last Push raced past — surface it.
+  pipe_.Close();
+  if (st.ok()) st = pipe_.status();
+  StageExit(st);
+}
+
+void IngestService::ExportLoop() {
+  Status st;
+  ExportJob job;
+  while (pipe_.Pop(&job)) {
+    st = RunExportJob(std::move(job));
+    job = ExportJob{};
+    if (!st.ok()) {
+      // Tell the solve stage to stop producing for a dead publisher.
+      pipe_.Break(st);
+      break;
+    }
+  }
+  StageExit(st);
+}
+
+void IngestService::StageExit(Status st) {
   MutexLock lock(&mu_);
-  running_ = false;
   if (!st.ok() && loop_status_.ok()) loop_status_ = st;
+  if (--active_stages_ <= 0) running_ = false;
   servable_cv_.NotifyAll();
 }
 
 Status IngestService::ProcessBatch(FlushedBatch batch) {
+  const auto t_start = std::chrono::steady_clock::now();
   if constexpr (kAuditLevel >= 1) {
     const UpdateQueueStats qs = queue_.Stats();
     const AuditReport queue_audit = AuditIngestQueue(
@@ -178,6 +230,7 @@ Status IngestService::ProcessBatch(FlushedBatch batch) {
     // Visits to pages the graph has never seen have no row to credit.
     if (page < visit_counts_.size()) visit_counts_[page] += count;
   }
+  const auto t_apply = std::chrono::steady_clock::now();
 
   uint32_t iterations = 0;
   uint64_t node_updates = 0;
@@ -196,8 +249,48 @@ Status IngestService::ProcessBatch(FlushedBatch batch) {
       QRANK_RETURN_NOT_OK(RecomputeScores(dirty, &iterations, &node_updates));
     }
   }
-  return PublishGeneration(&batch, batch.last_sequence, iterations,
-                           node_updates);
+  const auto t_solve = std::chrono::steady_clock::now();
+
+  ExportJob job =
+      MakeExportJob(&batch, iterations, node_updates,
+                    ToMillis(t_apply - t_start), ToMillis(t_solve - t_apply));
+  if (!options_.pipelined) return RunExportJob(std::move(job));
+  if (!pipe_.Push(std::move(job))) {
+    // Only a Break can refuse the push (the consumer is the sole
+    // closer); surface the exporter's failure as the loop status.
+    const Status st = pipe_.status();
+    return st.ok() ? Status::FailedPrecondition("export pipe closed") : st;
+  }
+  return Status::OK();
+}
+
+IngestService::ExportJob IngestService::MakeExportJob(FlushedBatch* batch,
+                                                      uint32_t iterations,
+                                                      uint64_t node_updates,
+                                                      double apply_ms,
+                                                      double solve_ms) {
+  ExportJob job;
+  job.num_pages = graph_.num_nodes();
+  job.iterations = iterations;
+  job.node_updates = node_updates;
+  job.window.assign(observations_.begin(), observations_.end());
+  job.apply_ms = apply_ms;
+  job.solve_ms = solve_ms;
+  if (batch != nullptr) {
+    job.has_batch = true;
+    job.sequence = batch->last_sequence;
+    job.first_sequence = batch->first_sequence;
+    job.last_sequence = batch->last_sequence;
+    job.num_events = batch->num_events;
+    job.num_adds = batch->num_adds;
+    job.num_removes = batch->num_removes;
+    job.num_visits = batch->num_visits;
+    job.delta_changes = batch->delta.num_changes();
+    job.delta_added = batch->delta.added.size();
+    job.delta_removed = batch->delta.removed.size();
+    job.enqueue_times = std::move(batch->enqueue_times);
+  }
+  return job;
 }
 
 Status IngestService::RecomputeScores(
@@ -218,49 +311,60 @@ Status IngestService::RecomputeScores(
     const double inv_n = 1.0 / static_cast<double>(n);
     for (double& s : prev_probability_) s *= inv_n;
   }
-  observations_.push_back(std::move(result.base.scores));
+  observations_.push_back(
+      std::make_shared<const std::vector<double>>(std::move(result.base.scores)));
   if (observations_.size() > options_.observation_window) {
     observations_.pop_front();
   }
   return Status::OK();
 }
 
-Status IngestService::PublishGeneration(const FlushedBatch* batch,
-                                        uint64_t sequence,
-                                        uint32_t iterations,
-                                        uint64_t node_updates) {
+Status IngestService::RunExportJob(ExportJob job) {
   uint64_t generation = 0;
   std::vector<uint8_t> kept_image;
-  const NodeId n = graph_.num_nodes();
-  if (n > 0 && !observations_.empty()) {
-    BundleExportOptions bundle_options;
-    bundle_options.estimator = options_.estimator;
-    bundle_options.num_sites = options_.num_sites;
+  const NodeId n = job.num_pages;
+  const auto t_start = std::chrono::steady_clock::now();
+  auto t_estimate = t_start;
+  auto t_export = t_start;
+  if (n > 0 && !job.window.empty()) {
+    // Estimate stage: the Eq-1 quality column over the window snapshot.
+    QRANK_ASSIGN_OR_RETURN(
+        std::vector<double> quality,
+        ComputeWindowQuality(job.window, options_.estimator));
+    t_estimate = std::chrono::steady_clock::now();
+
+    // Export stage: writer build (parallel sorts/postings), serialize
+    // (parallel section copy + CRC), publish-side revalidation.
+    ScoreBundleSource source;
+    source.quality = std::move(quality);
+    source.pagerank = *job.window.back();
+    source.num_sites = options_.num_sites;
     if (options_.site_of) {
-      bundle_options.site_ids.resize(n);
+      source.site_ids.resize(n);
       for (NodeId p = 0; p < n; ++p) {
-        bundle_options.site_ids[p] = options_.site_of(p);
+        source.site_ids[p] = options_.site_of(p);
       }
     }
     {
       MutexLock lock(&mu_);
-      bundle_options.creator_tag =
-          static_cast<uint32_t>(counters_.generations + 1);
+      source.creator_tag = static_cast<uint32_t>(counters_.generations + 1);
     }
-    const std::vector<std::vector<double>> window(observations_.begin(),
-                                                  observations_.end());
     QRANK_ASSIGN_OR_RETURN(
         ScoreBundleWriter writer,
-        ExportScoreBundleFromObservations(window, bundle_options));
+        ScoreBundleWriter::Create(std::move(source), options_.export_parallel));
     std::vector<uint8_t> image = writer.Serialize();
     if (options_.keep_last_image) kept_image = image;
-    QRANK_ASSIGN_OR_RETURN(LoadedBundle bundle,
-                           LoadedBundle::FromBuffer(std::move(image)));
+    QRANK_ASSIGN_OR_RETURN(
+        LoadedBundle bundle,
+        LoadedBundle::FromBuffer(std::move(image), options_.export_parallel));
+    t_export = std::chrono::steady_clock::now();
+
+    // Publish stage: the ordered hot-swap.
     QRANK_ASSIGN_OR_RETURN(
         generation,
         store_->PublishOrdered(
             std::make_shared<const LoadedBundle>(std::move(bundle)),
-            sequence));
+            job.sequence));
   }
   const std::chrono::steady_clock::time_point publish_time =
       std::chrono::steady_clock::now();
@@ -270,27 +374,32 @@ Status IngestService::PublishGeneration(const FlushedBatch* batch,
     ++counters_.generations;
     if (options_.keep_last_image) last_image_ = std::move(kept_image);
   }
+  stage_apply_.AddNanos(MillisToNanos(job.apply_ms));
+  stage_solve_.AddNanos(MillisToNanos(job.solve_ms));
+  stage_estimate_.AddNanos(MillisToNanos(ToMillis(t_estimate - t_start)));
+  stage_export_.AddNanos(MillisToNanos(ToMillis(t_export - t_estimate)));
+  stage_publish_.AddNanos(MillisToNanos(ToMillis(publish_time - t_export)));
   IngestGenerationInfo info;
   info.generation = generation;
   info.num_pages = n;
-  info.rank_iterations = iterations;
-  info.rank_node_updates = node_updates;
-  counters_.rank_node_updates += node_updates;
-  if (batch != nullptr) {
+  info.rank_iterations = job.iterations;
+  info.rank_node_updates = job.node_updates;
+  counters_.rank_node_updates += job.node_updates;
+  if (job.has_batch) {
     ++counters_.batches;
-    counters_.events_processed += batch->num_events;
-    counters_.edge_adds += batch->num_adds;
-    counters_.edge_removes += batch->num_removes;
-    counters_.visits += batch->num_visits;
-    counters_.delta_edges_applied += batch->delta.num_changes();
-    servable_sequence_ = std::max(servable_sequence_, batch->last_sequence);
-    info.first_sequence = batch->first_sequence;
-    info.last_sequence = batch->last_sequence;
-    info.num_events = batch->num_events;
-    info.delta_added = batch->delta.added.size();
-    info.delta_removed = batch->delta.removed.size();
+    counters_.events_processed += job.num_events;
+    counters_.edge_adds += job.num_adds;
+    counters_.edge_removes += job.num_removes;
+    counters_.visits += job.num_visits;
+    counters_.delta_edges_applied += job.delta_changes;
+    servable_sequence_ = std::max(servable_sequence_, job.last_sequence);
+    info.first_sequence = job.first_sequence;
+    info.last_sequence = job.last_sequence;
+    info.num_events = job.num_events;
+    info.delta_added = job.delta_added;
+    info.delta_removed = job.delta_removed;
     double max_ms = 0.0;
-    for (const auto& enqueue_time : batch->enqueue_times) {
+    for (const auto& enqueue_time : job.enqueue_times) {
       const auto lag = publish_time - enqueue_time;
       latency_.AddNanos(static_cast<uint64_t>(std::max<int64_t>(
           0, std::chrono::duration_cast<std::chrono::nanoseconds>(lag)
@@ -330,6 +439,11 @@ IngestStats IngestService::Stats() const {
   stats.latency_p99_ms = latency_.PercentileNanos(0.99) * 1e-6;
   stats.latency_max_ms = latency_.max_nanos() * 1e-6;
   stats.latency_mean_ms = latency_.mean_nanos() * 1e-6;
+  stats.stage_apply = SummarizeStage(stage_apply_);
+  stats.stage_solve = SummarizeStage(stage_solve_);
+  stats.stage_estimate = SummarizeStage(stage_estimate_);
+  stats.stage_export = SummarizeStage(stage_export_);
+  stats.stage_publish = SummarizeStage(stage_publish_);
   return stats;
 }
 

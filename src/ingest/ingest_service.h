@@ -12,14 +12,20 @@
 //     quality-estimator update --> score-bundle export -->
 //     SnapshotStore::PublishOrdered
 //
-// A single background consumer thread drains the queue, coalesces
-// events under the BatchPolicy's size/age bounds, and runs each flushed
-// batch through the whole chain as ONE generation while queries keep
-// flowing against the previous generation (RCU hot-swap; readers are
-// never blocked). Shutdown drains: Stop() closes the queue, flushes the
-// backlog through the same path, and joins — no accepted event is ever
-// dropped, which the generation log proves (batches cover contiguous
-// sequence ranges).
+// A background consumer thread drains the queue, coalesces events under
+// the BatchPolicy's size/age bounds, and runs each flushed batch through
+// the chain as ONE generation while queries keep flowing against the
+// previous generation (RCU hot-swap; readers are never blocked). With
+// `pipelined` (the default) the chain is split across TWO stage threads
+// double-buffered through a StagePipe: the consumer runs apply + solve
+// for batch N+1 while a dedicated exporter runs estimate + export +
+// publish for batch N — the solve and export halves of consecutive
+// generations overlap, and PublishOrdered's sequence watermark keeps
+// publishes in order. Shutdown drains: Stop() closes the queue, flushes
+// the backlog through the same path (the consumer then closes the pipe
+// and the exporter drains it), and joins both threads — no accepted
+// event is ever dropped, which the generation log proves (batches cover
+// contiguous sequence ranges).
 //
 // Freshness bookkeeping: every event carries its enqueue timestamp;
 // when the generation reflecting a batch is published, the service
@@ -41,8 +47,12 @@
 //
 // Thread model: producers call Enqueue from any thread; Stats(),
 // GenerationLog() and WaitServable() are safe from any thread; the
-// compute state (graph, score window) is owned by the consumer thread
-// and only exposed once the service is stopped (CurrentGraph).
+// compute state (graph, score window) is owned by the consumer thread —
+// export jobs carry shared_ptr snapshots of the immutable observation
+// vectors, never references into it — and only exposed once the service
+// is stopped (CurrentGraph). Each generation's stage durations (apply,
+// solve, estimate, export, publish) feed per-stage histograms surfaced
+// through IngestStats.
 
 #ifndef QRANK_INGEST_INGEST_SERVICE_H_
 #define QRANK_INGEST_INGEST_SERVICE_H_
@@ -57,12 +67,15 @@
 
 #include "common/thread_annotations.h"
 
+#include "common/parallel_for.h"
 #include "common/status.h"
+#include "core/bundle_export.h"
 #include "core/quality_estimator.h"
 #include "graph/csr_graph.h"
 #include "graph/site_graph.h"
 #include "ingest/batch_accumulator.h"
 #include "ingest/latency_histogram.h"
+#include "ingest/stage_pipe.h"
 #include "ingest/update_queue.h"
 #include "rank/delta_pagerank.h"
 #include "serve/snapshot_store.h"
@@ -100,6 +113,21 @@ struct IngestOptions {
   /// Keep a copy of the most recently published bundle image (for the
   /// qrank_ingest CLI's audit mode and tests; off for production loops).
   bool keep_last_image = false;
+
+  /// Run the generation chain as a two-stage pipeline: apply + solve on
+  /// the consumer thread, estimate + export + publish on a dedicated
+  /// exporter thread, double-buffered through a StagePipe so batch
+  /// N+1's solve overlaps batch N's export. false runs the whole chain
+  /// on the consumer thread (the pre-pipeline behavior). Published
+  /// scores are identical either way — the pipeline only reorders WHEN
+  /// each stage runs, never what it computes — which the streaming-vs-
+  /// scratch oracle checks in both modes.
+  bool pipelined = true;
+
+  /// Executor width for the export stage's parallel sort / postings /
+  /// CRC work (ScoreBundleWriter) and the publish-side revalidation.
+  /// Bundle bytes are identical for every value.
+  ParallelOptions export_parallel;
 };
 
 /// One published generation's provenance — the audit trail of the
@@ -116,6 +144,16 @@ struct IngestGenerationInfo {
   uint64_t rank_node_updates = 0;
   /// Worst update-to-servable latency inside this batch.
   double max_update_to_servable_ms = 0.0;
+};
+
+/// Per-generation latency distribution of one pipeline stage.
+struct IngestStageStats {
+  uint64_t count = 0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double mean_ms = 0.0;
 };
 
 struct IngestStats {
@@ -136,6 +174,13 @@ struct IngestStats {
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
   double latency_mean_ms = 0.0;
+  /// Per-stage breakdown of each generation's wall time: where an
+  /// update spends its life between flush and servable.
+  IngestStageStats stage_apply;     // audit + ApplyDelta + visit credit
+  IngestStageStats stage_solve;     // warm DeltaPageRank + window append
+  IngestStageStats stage_estimate;  // Eq-1 estimator over the window
+  IngestStageStats stage_export;    // writer build + serialize + revalidate
+  IngestStageStats stage_publish;   // PublishOrdered + accounting
 };
 
 class IngestService {
@@ -200,15 +245,55 @@ class IngestService {
   IngestService(CsrGraph initial_graph, SnapshotStore* store,
                 IngestOptions options);
 
+  /// Everything the export stage needs from one solved generation:
+  /// shared snapshots of the immutable observation vectors, batch
+  /// provenance for the accounting it performs at publish time, and
+  /// the upstream stage durations for the breakdown histograms. Jobs
+  /// cross the StagePipe by move; nothing in here aliases mutable
+  /// consumer-thread state.
+  struct ExportJob {
+    uint64_t sequence = 0;  // publish watermark (batch last_sequence)
+    NodeId num_pages = 0;
+    uint32_t iterations = 0;
+    uint64_t node_updates = 0;
+    std::vector<SharedObservation> window;
+    bool has_batch = false;  // false for the Start()-time initial publish
+    uint64_t first_sequence = 0;
+    uint64_t last_sequence = 0;
+    uint64_t num_events = 0;
+    uint64_t num_adds = 0;
+    uint64_t num_removes = 0;
+    uint64_t num_visits = 0;
+    uint64_t delta_changes = 0;
+    uint64_t delta_added = 0;
+    uint64_t delta_removed = 0;
+    std::vector<std::chrono::steady_clock::time_point> enqueue_times;
+    double apply_ms = 0.0;
+    double solve_ms = 0.0;
+  };
+
   void RunLoop() QRANK_EXCLUDES(mu_);
-  /// One generation: delta apply -> rank -> estimate -> export ->
-  /// publish -> latency accounting. Non-OK return stops the loop.
+  /// Exporter-thread loop: drain the pipe, run each job, Break on the
+  /// first failure.
+  void ExportLoop() QRANK_EXCLUDES(mu_);
+  /// Solve half of one generation: delta apply -> rank -> job build;
+  /// hands the job to the exporter (pipelined) or runs it inline.
+  /// Non-OK return stops the loop.
   Status ProcessBatch(FlushedBatch batch) QRANK_EXCLUDES(mu_);
-  Status PublishGeneration(const FlushedBatch* batch, uint64_t sequence,
-                           uint32_t iterations, uint64_t node_updates)
-      QRANK_EXCLUDES(mu_);
+  /// Snapshot of the post-solve state as an export job (consumer thread
+  /// only; `batch` may be null for the initial publish and is consumed).
+  ExportJob MakeExportJob(FlushedBatch* batch, uint32_t iterations,
+                          uint64_t node_updates, double apply_ms,
+                          double solve_ms);
+  /// Export half of one generation: estimate -> export -> publish ->
+  /// latency + stage accounting.
+  Status RunExportJob(ExportJob job) QRANK_EXCLUDES(mu_);
   Status RecomputeScores(const std::vector<uint8_t>& dirty_frontier,
                          uint32_t* iterations, uint64_t* node_updates);
+  /// Stage-thread epilogue: record the first error, and let the LAST
+  /// stage to exit clear running_ (publishes from a draining exporter
+  /// must finish before WaitServable callers see the service stop).
+  void StageExit(Status st) QRANK_EXCLUDES(mu_);
 
   const IngestOptions options_;
   SnapshotStore* const store_;
@@ -216,30 +301,45 @@ class IngestService {
   BatchAccumulator accumulator_;
 
   // Consumer-thread-owned compute state (no lock: single writer, and
-  // CurrentGraph() is gated on the thread being joined).
+  // CurrentGraph() is gated on the thread being joined). The window
+  // holds immutable vectors behind shared_ptr so export jobs snapshot
+  // it without copying scores.
   CsrGraph graph_;
   std::vector<double> prev_probability_;        // warm-start iterate
   bool prev_converged_ = false;
-  std::deque<std::vector<double>> observations_;  // export-scale window
+  std::deque<SharedObservation> observations_;  // export-scale window
   std::vector<uint64_t> visit_counts_;
+
+  // The solve -> export handoff (pipelined mode). Capacity 1: one job
+  // queued while the exporter works on the previous one, so at most two
+  // generations are in flight (depth-2 double buffering).
+  StagePipe<ExportJob> pipe_{1};
 
   // Shared bookkeeping.
   mutable Mutex mu_;
   mutable CondVar servable_cv_;
   bool running_ QRANK_GUARDED_BY(mu_) = false;
+  int active_stages_ QRANK_GUARDED_BY(mu_) = 0;
   Status loop_status_ QRANK_GUARDED_BY(mu_);
   uint64_t servable_sequence_ QRANK_GUARDED_BY(mu_) = 0;
   IngestStats counters_ QRANK_GUARDED_BY(mu_);  // queue field on read
   LatencyHistogram latency_ QRANK_GUARDED_BY(mu_);
+  LatencyHistogram stage_apply_ QRANK_GUARDED_BY(mu_);
+  LatencyHistogram stage_solve_ QRANK_GUARDED_BY(mu_);
+  LatencyHistogram stage_estimate_ QRANK_GUARDED_BY(mu_);
+  LatencyHistogram stage_export_ QRANK_GUARDED_BY(mu_);
+  LatencyHistogram stage_publish_ QRANK_GUARDED_BY(mu_);
   std::vector<IngestGenerationInfo> generation_log_ QRANK_GUARDED_BY(mu_);
   std::vector<uint8_t> last_image_ QRANK_GUARDED_BY(mu_);
 
   // Lifecycle. started_/stopped_ are mu_-guarded so concurrent Stop()
   // calls (an explicit Stop racing the destructor's, or two
-  // controllers) elect exactly one joiner; consumer_ itself is written
-  // by Start() and joined only by that winner, so the handle needs no
-  // lock of its own. Start() must complete before Stop() may be called.
+  // controllers) elect exactly one joiner; the thread handles are
+  // written by Start() and joined only by that winner, so they need no
+  // lock of their own. Start() must complete before Stop() may be
+  // called.
   std::thread consumer_;
+  std::thread exporter_;  // pipelined mode only
   bool started_ QRANK_GUARDED_BY(mu_) = false;
   bool stopped_ QRANK_GUARDED_BY(mu_) = false;
 };

@@ -1,0 +1,128 @@
+// StagePipe: the bounded, closeable handoff between pipeline stages of
+// the ingest loop.
+//
+// The pipelined IngestService splits each generation into an apply/solve
+// stage (consumer thread) and an estimate/export/publish stage (exporter
+// thread). StagePipe is the double buffer between them: a FIFO of at
+// most `capacity` queued items (capacity 1 = classic double buffering —
+// one item queued while the downstream stage works on the previous one,
+// so two generations are in flight). Push blocks while full, which is
+// the backpressure that bounds how far the solve stage can run ahead of
+// what is servable.
+//
+// Shutdown is two-sided:
+//  * Close() — upstream is done. Queued items still drain; Pop returns
+//    false only once the pipe is both closed and empty.
+//  * Break(status) — downstream failed. Queued items are dropped, the
+//    first non-OK status is kept, and both ends unblock immediately
+//    (Push returns false so the producer can stop solving for a
+//    publisher that is gone).
+//
+// Thread-safety: any number of pushers/poppers (the ingest pipeline uses
+// one of each); all state is guarded by one annotated mutex.
+
+#ifndef QRANK_INGEST_STAGE_PIPE_H_
+#define QRANK_INGEST_STAGE_PIPE_H_
+
+#include <deque>
+#include <utility>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace qrank {
+
+template <typename T>
+class StagePipe {
+ public:
+  /// `capacity` >= 1: max items queued inside the pipe (clamped to 1).
+  explicit StagePipe(size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+  StagePipe(const StagePipe&) = delete;
+  StagePipe& operator=(const StagePipe&) = delete;
+
+  /// Blocks while the pipe is full. True iff the item was accepted;
+  /// false once the pipe is closed or broken (the item is dropped —
+  /// nothing downstream would consume it).
+  bool Push(T item) QRANK_EXCLUDES(mu_) {
+    ReleasableMutexLock lock(&mu_);
+    while (items_.size() >= capacity_ && !closed_ && !broken_) {
+      not_full_.Wait(&mu_);
+    }
+    if (closed_ || broken_) return false;
+    items_.push_back(std::move(item));
+    lock.Release();
+    not_empty_.NotifyOne();
+    return true;
+  }
+
+  /// Blocks while empty and open. True iff an item was produced; false
+  /// once the pipe is broken, or closed with nothing left to drain.
+  bool Pop(T* out) QRANK_EXCLUDES(mu_) {
+    ReleasableMutexLock lock(&mu_);
+    while (items_.empty() && !closed_ && !broken_) {
+      not_empty_.Wait(&mu_);
+    }
+    if (broken_ || items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.Release();
+    not_full_.NotifyOne();
+    return true;
+  }
+
+  /// Upstream is done: no more pushes; queued items still drain.
+  void Close() QRANK_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      closed_ = true;
+    }
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
+  }
+
+  /// Downstream failed: record the first non-OK status, drop queued
+  /// items, and unblock both ends.
+  void Break(Status status) QRANK_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      broken_ = true;
+      if (status_.ok() && !status.ok()) status_ = std::move(status);
+      items_.clear();
+    }
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
+  }
+
+  /// The Break status (OK while unbroken).
+  Status status() const QRANK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return status_;
+  }
+
+  size_t depth() const QRANK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return items_.size();
+  }
+  bool closed() const QRANK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return closed_;
+  }
+  bool broken() const QRANK_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return broken_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  CondVar not_full_;   // signaled on pop/close/break
+  CondVar not_empty_;  // signaled on push/close/break
+  std::deque<T> items_ QRANK_GUARDED_BY(mu_);
+  bool closed_ QRANK_GUARDED_BY(mu_) = false;
+  bool broken_ QRANK_GUARDED_BY(mu_) = false;
+  Status status_ QRANK_GUARDED_BY(mu_);
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_INGEST_STAGE_PIPE_H_

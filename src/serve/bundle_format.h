@@ -122,6 +122,60 @@ inline uint32_t BundleCrc32(const uint8_t* data, size_t len,
   return ~crc;
 }
 
+namespace crc_internal {
+
+/// GF(2) 32x32 matrix-vector product (each matrix row is a uint32_t
+/// bitmask; multiplication is AND, addition is XOR).
+inline uint32_t Gf2MatrixTimes(const uint32_t* mat, uint32_t vec) {
+  uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1u) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+inline void Gf2MatrixSquare(uint32_t* square, const uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = Gf2MatrixTimes(mat, mat[n]);
+}
+
+}  // namespace crc_internal
+
+/// CRC of the concatenation A||B from crc(A), crc(B) and len(B): the
+/// zlib crc32_combine construction — advance crc(A) through len(B)
+/// zero bytes by GF(2) matrix exponentiation of the shift operator,
+/// then XOR crc(B). Lets the writer checksum fixed chunks in parallel
+/// and fold them left-to-right into the exact serial BundleCrc32 value
+/// (bundles stay byte-identical regardless of export thread count).
+inline uint32_t BundleCrc32Combine(uint32_t crc1, uint32_t crc2,
+                                   uint64_t len2) {
+  if (len2 == 0) return crc1;  // empty B: crc(A||B) == crc(A)
+  uint32_t even[32];  // operator for 2^(2k+1) zero bytes as loop runs
+  uint32_t odd[32];
+  // Operator for one zero BIT: the reflected polynomial in row 0,
+  // then a one-bit shift.
+  odd[0] = 0xEDB88320u;
+  uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  crc_internal::Gf2MatrixSquare(even, odd);  // 2 zero bits
+  crc_internal::Gf2MatrixSquare(odd, even);  // 4 zero bits
+  // Walk len2's bits; each squaring doubles the zero-byte count.
+  do {
+    crc_internal::Gf2MatrixSquare(even, odd);
+    if (len2 & 1u) crc1 = crc_internal::Gf2MatrixTimes(even, crc1);
+    len2 >>= 1;
+    if (len2 == 0) break;
+    crc_internal::Gf2MatrixSquare(odd, even);
+    if (len2 & 1u) crc1 = crc_internal::Gf2MatrixTimes(odd, crc1);
+    len2 >>= 1;
+  } while (len2 != 0);
+  return crc1 ^ crc2;
+}
+
 /// Byte count a v1 section with `id` must carry for the header's counts.
 /// Returns 0 for unknown ids.
 inline uint64_t BundleExpectedSectionSize(uint32_t id, uint64_t num_pages,

@@ -13,22 +13,123 @@
 #include <numeric>
 #include <utility>
 
+#include "common/parallel_sort.h"
+
 namespace qrank {
 
 namespace {
 
+// Fixed chunking for the export-side parallel passes. Like every grain
+// in the parallel substrate, these shape the block boundaries and hence
+// the partial results — but the combined output (sorted order, postings
+// layout, CRC value) is identical to the serial computation for every
+// thread count.
+constexpr size_t kRowGrain = size_t{1} << 14;   // rows per sort/scan block
+constexpr size_t kCrcChunk = size_t{1} << 20;   // bytes per CRC chunk
+
 // Sort rows by (score desc, row asc): the deterministic serving order.
+// The comparator is a strict total order (ties broken by row id), so
+// ParallelSort's output is bit-identical to std::sort at any width.
 void SortRowsByScoreDescending(const std::vector<double>& score,
-                               std::vector<NodeId>* rows) {
-  std::sort(rows->begin(), rows->end(), [&score](NodeId a, NodeId b) {
-    if (score[a] != score[b]) return score[a] > score[b];
-    return a < b;
-  });
+                               std::vector<NodeId>* rows,
+                               ParallelOptions parallel) {
+  parallel.grain = kRowGrain;
+  ParallelSort(
+      rows,
+      [&score](NodeId a, NodeId b) {
+        if (score[a] != score[b]) return score[a] > score[b];
+        return a < b;
+      },
+      parallel);
 }
 
-void AppendBytes(std::vector<uint8_t>* out, const void* p, size_t n) {
-  const uint8_t* b = static_cast<const uint8_t*>(p);
-  out->insert(out->end(), b, b + n);
+// CRC-32 of [data, data + len), split into fixed kCrcChunk chunks
+// computed in parallel and folded left-to-right with BundleCrc32Combine
+// — exactly the serial BundleCrc32 value.
+uint32_t ParallelBundleCrc32(const uint8_t* data, size_t len,
+                             ParallelOptions parallel) {
+  const size_t chunks = NumBlocks(len, kCrcChunk);
+  if (ResolveThreads(parallel.num_threads) <= 1 || chunks <= 1) {
+    return BundleCrc32(data, len);
+  }
+  parallel.grain = kCrcChunk;
+  std::vector<uint32_t> crcs(chunks, 0);
+  ParallelForBlocks(
+      len,
+      [&](size_t lo, size_t hi) {
+        crcs[lo / kCrcChunk] = BundleCrc32(data + lo, hi - lo);
+      },
+      parallel);
+  uint32_t crc = crcs[0];
+  for (size_t c = 1; c < chunks; ++c) {
+    const size_t lo = c * kCrcChunk;
+    const size_t hi = lo + kCrcChunk < len ? lo + kCrcChunk : len;
+    crc = BundleCrc32Combine(crc, crcs[c], hi - lo);
+  }
+  return crc;
+}
+
+// Per-site postings: a blocked two-pass counting sort over the global
+// quality order. Pass 1 histograms sites per fixed row block; a serial
+// exclusive scan then assigns each (block, site) pair its disjoint
+// write window inside the site's posting range; pass 2 scatters rows
+// into those windows. Concatenating the blocks in order reproduces the
+// global quality order within each site — byte-identical to the serial
+// single-cursor walk.
+void BuildSitePostings(const std::vector<SiteId>& site_ids, SiteId num_sites,
+                       const std::vector<NodeId>& order_by_quality,
+                       std::vector<uint32_t>* site_offsets,
+                       std::vector<NodeId>* site_pages,
+                       ParallelOptions parallel) {
+  const size_t n = order_by_quality.size();
+  site_offsets->assign(static_cast<size_t>(num_sites) + 1, 0);
+  for (SiteId s : site_ids) ++(*site_offsets)[s + 1];
+  for (size_t s = 1; s < site_offsets->size(); ++s) {
+    (*site_offsets)[s] += (*site_offsets)[s - 1];
+  }
+  site_pages->resize(n);
+
+  const size_t blocks = NumBlocks(n, kRowGrain);
+  // The scan is O(blocks * num_sites); fall back to the serial walk
+  // when the histogram would dwarf the rows themselves. The decision
+  // depends only on (n, num_sites), never on the thread count.
+  if (ResolveThreads(parallel.num_threads) <= 1 || blocks <= 1 ||
+      blocks * static_cast<size_t>(num_sites) > n) {
+    std::vector<uint32_t> cursor(site_offsets->begin(),
+                                 site_offsets->end() - 1);
+    for (NodeId row : order_by_quality) {
+      (*site_pages)[cursor[site_ids[row]]++] = row;
+    }
+    return;
+  }
+  parallel.grain = kRowGrain;
+  std::vector<uint32_t> cursors(blocks * num_sites, 0);
+  ParallelForBlocks(
+      n,
+      [&](size_t lo, size_t hi) {
+        uint32_t* mine = cursors.data() + (lo / kRowGrain) * num_sites;
+        for (size_t i = lo; i < hi; ++i) ++mine[site_ids[order_by_quality[i]]];
+      },
+      parallel);
+  for (SiteId s = 0; s < num_sites; ++s) {
+    uint32_t acc = (*site_offsets)[s];
+    for (size_t b = 0; b < blocks; ++b) {
+      uint32_t& slot = cursors[b * num_sites + s];
+      const uint32_t count = slot;
+      slot = acc;
+      acc += count;
+    }
+  }
+  ParallelForBlocks(
+      n,
+      [&](size_t lo, size_t hi) {
+        uint32_t* mine = cursors.data() + (lo / kRowGrain) * num_sites;
+        for (size_t i = lo; i < hi; ++i) {
+          const NodeId row = order_by_quality[i];
+          (*site_pages)[mine[site_ids[row]]++] = row;
+        }
+      },
+      parallel);
 }
 
 }  // namespace
@@ -37,7 +138,8 @@ void AppendBytes(std::vector<uint8_t>* out, const void* p, size_t n) {
 // ScoreBundleWriter
 // ---------------------------------------------------------------------------
 
-Result<ScoreBundleWriter> ScoreBundleWriter::Create(ScoreBundleSource source) {
+Result<ScoreBundleWriter> ScoreBundleWriter::Create(ScoreBundleSource source,
+                                                    ParallelOptions parallel) {
   const size_t n = source.quality.size();
   if (n == 0) {
     return Status::InvalidArgument("score bundle needs at least one page");
@@ -94,27 +196,17 @@ Result<ScoreBundleWriter> ScoreBundleWriter::Create(ScoreBundleSource source) {
 
   ScoreBundleWriter w;
   w.source_ = std::move(source);
+  w.parallel_ = parallel;
   w.order_by_quality_.resize(n);
   std::iota(w.order_by_quality_.begin(), w.order_by_quality_.end(),
             NodeId{0});
   w.order_by_pagerank_ = w.order_by_quality_;
-  SortRowsByScoreDescending(w.source_.quality, &w.order_by_quality_);
-  SortRowsByScoreDescending(w.source_.pagerank, &w.order_by_pagerank_);
-
-  // Per-site postings: counting sort by site, then quality order within
-  // each group (walking the global quality order preserves it for free).
-  const SiteId num_sites = w.source_.num_sites;
-  w.site_offsets_.assign(static_cast<size_t>(num_sites) + 1, 0);
-  for (SiteId s : w.source_.site_ids) ++w.site_offsets_[s + 1];
-  for (size_t s = 1; s < w.site_offsets_.size(); ++s) {
-    w.site_offsets_[s] += w.site_offsets_[s - 1];
-  }
-  w.site_pages_.resize(n);
-  std::vector<uint32_t> cursor(w.site_offsets_.begin(),
-                               w.site_offsets_.end() - 1);
-  for (NodeId row : w.order_by_quality_) {
-    w.site_pages_[cursor[w.source_.site_ids[row]]++] = row;
-  }
+  SortRowsByScoreDescending(w.source_.quality, &w.order_by_quality_, parallel);
+  SortRowsByScoreDescending(w.source_.pagerank, &w.order_by_pagerank_,
+                            parallel);
+  BuildSitePostings(w.source_.site_ids, w.source_.num_sites,
+                    w.order_by_quality_, &w.site_offsets_, &w.site_pages_,
+                    parallel);
   return w;
 }
 
@@ -159,18 +251,26 @@ std::vector<uint8_t> ScoreBundleWriter::Serialize() const {
     cursor += sections[i].size;
   }
 
-  std::vector<uint8_t> image;
-  image.reserve(cursor);
-  image.resize(sizeof(BundleHeader));  // patched below once CRCs are known
-  AppendBytes(&image, table, sizeof(table));
-  for (size_t i = 0; i < kBundleSectionCount; ++i) {
-    image.resize(table[i].offset, 0);  // zero padding up to the section
-    AppendBytes(&image, sections[i].data, sections[i].size);
-  }
+  // Zero-initializing the full image up front keeps the alignment
+  // padding zeroed (as the incremental append did) and lets the
+  // section payloads land via disjoint parallel memcpys.
+  std::vector<uint8_t> image(cursor, 0);
+  std::memcpy(image.data() + sizeof(BundleHeader), table, sizeof(table));
+  ParallelOptions section_opts = parallel_;
+  section_opts.grain = 1;  // one section per block
+  ParallelForBlocks(
+      kBundleSectionCount,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          std::memcpy(image.data() + table[i].offset, sections[i].data,
+                      static_cast<size_t>(sections[i].size));
+        }
+      },
+      section_opts);
 
   header.payload_crc32 =
-      BundleCrc32(image.data() + BundleTableEnd(header),
-                  image.size() - BundleTableEnd(header));
+      ParallelBundleCrc32(image.data() + BundleTableEnd(header),
+                          image.size() - BundleTableEnd(header), parallel_);
   header.header_crc32 =
       BundleCrc32(reinterpret_cast<const uint8_t*>(&header),
                   offsetof(BundleHeader, header_crc32));
@@ -221,7 +321,7 @@ LoadedBundle::~LoadedBundle() {
   if (map_base_ != nullptr) ::munmap(map_base_, map_length_);
 }
 
-Status LoadedBundle::ValidateAndIndex() {
+Status LoadedBundle::ValidateAndIndex(const ParallelOptions& parallel) {
   QRANK_RETURN_NOT_OK(ValidateBundleHeader(header_, size_));
   // The table is bounds-safe to read now: ValidateBundleHeader proved
   // table_end (plus the minimal payload) fits in size_.
@@ -230,7 +330,8 @@ Status LoadedBundle::ValidateAndIndex() {
                                                   sizeof(BundleHeader));
   QRANK_RETURN_NOT_OK(ValidateBundleSections(header_, table, size_));
   const uint64_t table_end = BundleTableEnd(header_);
-  const uint32_t crc = BundleCrc32(data_ + table_end, size_ - table_end);
+  const uint32_t crc =
+      ParallelBundleCrc32(data_ + table_end, size_ - table_end, parallel);
   if (crc != header_.payload_crc32) {
     return Status::Corruption("bundle payload CRC mismatch");
   }
@@ -241,18 +342,33 @@ Status LoadedBundle::ValidateAndIndex() {
   // Range-check the index sections once, so the query hot path can
   // index quality()/pagerank()/site groups without per-access bounds
   // checks even on an adversarially crafted (but CRC-fixed) image.
+  // The scans run as parallel violation counts (a pure reduction, so
+  // the accept/reject outcome is thread-count independent); the serial
+  // rescan naming the first bad entry only runs on corrupt images.
+  ParallelOptions check = parallel;
+  check.grain = kRowGrain;
   const NodeId n = header_.num_pages;
   for (const auto& [name, order] :
        {std::pair<const char*, std::span<const NodeId>>{"order_by_quality",
                                                         order_by_quality()},
         {"order_by_pagerank", order_by_pagerank()},
         {"site_pages", site_pages()}}) {
-    for (size_t i = 0; i < order.size(); ++i) {
-      if (order[i] >= n) {
-        return Status::Corruption(std::string(name) + "[" +
-                                  std::to_string(i) + "] = " +
-                                  std::to_string(order[i]) +
-                                  " out of row range");
+    const double bad = ParallelReduce(
+        order.size(),
+        [&order, n](size_t lo, size_t hi) {
+          size_t count = 0;
+          for (size_t i = lo; i < hi; ++i) count += order[i] >= n;
+          return static_cast<double>(count);
+        },
+        check);
+    if (bad != 0.0) {
+      for (size_t i = 0; i < order.size(); ++i) {
+        if (order[i] >= n) {
+          return Status::Corruption(std::string(name) + "[" +
+                                    std::to_string(i) + "] = " +
+                                    std::to_string(order[i]) +
+                                    " out of row range");
+        }
       }
     }
   }
@@ -266,18 +382,35 @@ Status LoadedBundle::ValidateAndIndex() {
                                 std::to_string(s - 1));
     }
   }
-  for (SiteId s = 0; s < header_.num_sites; ++s) {
-    for (uint32_t i = offsets[s]; i < offsets[s + 1]; ++i) {
-      if (site_ids()[site_pages()[i]] != s) {
-        return Status::Corruption("site_pages row " + std::to_string(i) +
-                                  " not in site " + std::to_string(s));
+  ParallelOptions site_check = parallel;
+  site_check.grain = 64;  // sites per block
+  const double bad_postings = ParallelReduce(
+      header_.num_sites,
+      [&](size_t lo, size_t hi) {
+        size_t count = 0;
+        for (size_t s = lo; s < hi; ++s) {
+          for (uint32_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+            count += site_ids()[site_pages()[i]] != s;
+          }
+        }
+        return static_cast<double>(count);
+      },
+      site_check);
+  if (bad_postings != 0.0) {
+    for (SiteId s = 0; s < header_.num_sites; ++s) {
+      for (uint32_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+        if (site_ids()[site_pages()[i]] != s) {
+          return Status::Corruption("site_pages row " + std::to_string(i) +
+                                    " not in site " + std::to_string(s));
+        }
       }
     }
   }
   return Status::OK();
 }
 
-Result<LoadedBundle> LoadedBundle::FromBuffer(std::vector<uint8_t> image) {
+Result<LoadedBundle> LoadedBundle::FromBuffer(std::vector<uint8_t> image,
+                                              ParallelOptions parallel) {
   LoadedBundle b;
   b.heap_ = std::move(image);
   b.data_ = b.heap_.data();
@@ -287,7 +420,7 @@ Result<LoadedBundle> LoadedBundle::FromBuffer(std::vector<uint8_t> image) {
     return Status::Corruption("bundle image smaller than its header");
   }
   std::memcpy(&b.header_, b.data_, sizeof(BundleHeader));
-  QRANK_RETURN_NOT_OK(b.ValidateAndIndex());
+  QRANK_RETURN_NOT_OK(b.ValidateAndIndex(parallel));
   return b;
 }
 
@@ -354,7 +487,7 @@ Result<LoadedBundle> LoadedBundle::Load(const std::string& path,
     b.backing_ = Backing::kHeap;
   }
   b.header_ = header;
-  Status st_all = b.ValidateAndIndex();
+  Status st_all = b.ValidateAndIndex(ParallelOptions{});
   if (!st_all.ok()) {
     return Status(st_all.code(), path + ": " + st_all.message());
   }

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel_for.h"
 #include "common/status.h"
 #include "graph/edge_list.h"
 #include "graph/site_graph.h"
@@ -54,7 +55,14 @@ class ScoreBundleWriter {
  public:
   /// Validates `source` (equal sizes, >= 1 page, finite non-negative
   /// scores, site ids < num_sites) and precomputes the index sections.
-  static Result<ScoreBundleWriter> Create(ScoreBundleSource source);
+  /// `parallel` sets the executor width for the index build (score-order
+  /// sorts, per-site postings) and for Serialize(); the output image is
+  /// byte-identical for every num_threads value — the sorts run under
+  /// ParallelSort's total-order contract (ties broken by row id), the
+  /// postings counting-sort scatters into thread-independent windows,
+  /// and chunked CRCs are folded with BundleCrc32Combine.
+  static Result<ScoreBundleWriter> Create(ScoreBundleSource source,
+                                          ParallelOptions parallel = {});
 
   /// The complete bundle image (header + table + sections).
   std::vector<uint8_t> Serialize() const;
@@ -71,6 +79,7 @@ class ScoreBundleWriter {
   ScoreBundleWriter() = default;
 
   ScoreBundleSource source_;
+  ParallelOptions parallel_;
   std::vector<NodeId> order_by_quality_;
   std::vector<NodeId> order_by_pagerank_;
   std::vector<uint32_t> site_offsets_;
@@ -93,8 +102,11 @@ class LoadedBundle {
                                    bool prefer_mmap = true);
 
   /// Adopts and validates an in-memory image (tests, benches, and the
-  /// publish path of an in-process pipeline).
-  static Result<LoadedBundle> FromBuffer(std::vector<uint8_t> image);
+  /// publish path of an in-process pipeline). `parallel` sets the
+  /// executor width of the validation passes (payload CRC, index range
+  /// checks) — it never changes the accept/reject outcome.
+  static Result<LoadedBundle> FromBuffer(std::vector<uint8_t> image,
+                                         ParallelOptions parallel = {});
 
   LoadedBundle(LoadedBundle&& other) noexcept;
   LoadedBundle& operator=(LoadedBundle&& other) noexcept;
@@ -144,8 +156,9 @@ class LoadedBundle {
   LoadedBundle() = default;
 
   /// Validates an image already resident at data_/size_ and resolves
-  /// section pointers. Runs payload CRC + index range checks.
-  Status ValidateAndIndex();
+  /// section pointers. Runs payload CRC + index range checks, chunked
+  /// across `parallel` executors.
+  Status ValidateAndIndex(const ParallelOptions& parallel);
 
   template <typename T>
   std::span<const T> Typed(uint32_t id, uint64_t count) const {

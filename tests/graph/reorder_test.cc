@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <numeric>
 #include <vector>
 
 #include "audit/audit.h"
@@ -106,6 +108,33 @@ TEST(BuildNodeOrderingTest, BuildersAreDeterministic) {
               BuildNodeOrdering(g, o).value())
         << NodeOrderingName(o);
   }
+}
+
+TEST(BuildNodeOrderingTest, DegreeDescendingBitIdenticalToSerialSort) {
+  // The degree builder sorts with ParallelSort; its permutation must be
+  // bit-identical to the serial reference the builder used before the
+  // parallel rewrite: iota + stable_sort by total degree descending
+  // (stability ≡ the explicit lower-old-id tie-break). Power-law graphs
+  // produce heavy degree ties, the case where only the tie-break pins
+  // the order.
+  Rng rng(321);
+  const CsrGraph g =
+      CsrGraph::FromEdgeList(GenerateBarabasiAlbert(5000, 4, &rng).value())
+          .value();
+  const NodeId n = g.num_nodes();
+  std::vector<uint64_t> degree(n, 0);
+  for (NodeId u = 0; u < n; ++u) degree[u] = g.OutDegree(u);
+  for (NodeId v : g.targets()) ++degree[v];
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return degree[a] > degree[b];
+  });
+  std::vector<NodeId> expect(n);
+  for (NodeId k = 0; k < n; ++k) expect[order[k]] = k;
+
+  EXPECT_EQ(BuildNodeOrdering(g, NodeOrdering::kDegreeDescending).value(),
+            expect);
 }
 
 TEST(BuildNodeOrderingTest, DegreeDescendingPutsHubsFirst) {

@@ -200,11 +200,16 @@ TEST(IngestServiceTest, UpdateBecomesServableAndVisibleToTopK) {
 // into an edge set, from-scratch CSR build, from-scratch PageRank.
 // Streaming must match batch exactly on structure and within the drift
 // budget on scores — with every accepted event covered by a published
-// generation.
-TEST(IngestServiceTest, StreamingOracleMatchesFromScratchRebuild) {
+// generation. Parameterized over both execution modes: the stage-
+// pipelined service (solve of batch N+1 overlapping export of batch N)
+// must satisfy the exact same oracle as the serial inline path.
+class IngestServiceOracleTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(IngestServiceOracleTest, StreamingOracleMatchesFromScratchRebuild) {
   const CsrGraph seed = SeedGraph();
   SnapshotStore store;
   IngestOptions options;
+  options.pipelined = GetParam();
   options.batch.max_events = 128;
   options.batch.max_age = milliseconds(2);
   options.observation_window = 3;
@@ -305,9 +310,62 @@ TEST(IngestServiceTest, StreamingOracleMatchesFromScratchRebuild) {
   EXPECT_TRUE(AuditScoreBundle(image.data(), image.size()).ok());
 }
 
-TEST(IngestServiceTest, ShutdownWithBacklogDrainsEverything) {
+INSTANTIATE_TEST_SUITE_P(SerialAndPipelined, IngestServiceOracleTest,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Pipelined" : "Serial";
+                         });
+
+// Determinism through the full service: feed the identical event stream
+// to a serial service and a pipelined one (with multi-threaded export)
+// and require the FINAL published bundle image to be byte-identical.
+// Batch boundaries may differ between runs (age-based flushes race the
+// producer), so only the final drained artifact — same graph, same
+// observation window — is compared.
+TEST(IngestServiceTest, PipelinedFinalImageMatchesSerialByteForByte) {
+  const CsrGraph seed = SeedGraph();
+  auto run = [&seed](bool pipelined) {
+    SnapshotStore store;
+    IngestOptions options;
+    options.pipelined = pipelined;
+    options.export_parallel.num_threads = pipelined ? 4 : 1;
+    options.batch.max_events = 1 << 14;     // single Stop-drain batch:
+    options.batch.max_age = seconds(3600);  // identical windows both runs
+    options.observation_window = 3;
+    options.keep_last_image = true;
+    auto service = IngestService::Create(seed, &store, options).value();
+    EXPECT_TRUE(service->Start().ok());
+    Rng rng(4242);
+    for (int i = 0; i < 600; ++i) {
+      const NodeId u = static_cast<NodeId>(rng.NextUint64() % 170);
+      const NodeId v = static_cast<NodeId>(rng.NextUint64() % 170);
+      const uint64_t roll = rng.NextUint64() % 4;
+      Status st;
+      if (roll == 0) {
+        st = service->EnqueueEdgeAdd(u, v);
+      } else if (roll == 1) {
+        st = service->EnqueueEdgeRemove(u, v);
+      } else {
+        st = service->EnqueueVisit(u);
+      }
+      EXPECT_TRUE(st.ok());
+    }
+    EXPECT_TRUE(service->Stop().ok());
+    EXPECT_TRUE(service->status().ok());
+    return service->LastImage();
+  };
+  const std::vector<uint8_t> serial_image = run(false);
+  const std::vector<uint8_t> pipelined_image = run(true);
+  ASSERT_FALSE(serial_image.empty());
+  EXPECT_EQ(pipelined_image, serial_image);
+}
+
+class IngestServiceDrainTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(IngestServiceDrainTest, ShutdownWithBacklogDrainsEverything) {
   SnapshotStore store;
   IngestOptions options;
+  options.pipelined = GetParam();
   options.batch.max_events = 1 << 14;      // size flush unreachable
   options.batch.max_age = seconds(3600);   // age flush unreachable
   auto service = IngestService::Create(SeedGraph(), &store, options).value();
@@ -316,14 +374,28 @@ TEST(IngestServiceTest, ShutdownWithBacklogDrainsEverything) {
     ASSERT_TRUE(service->EnqueueVisit(static_cast<NodeId>(i % 50)).ok());
   }
   // Nothing has flushed yet (policies can't fire); Stop must drain the
-  // backlog through the full pipeline rather than drop it.
+  // backlog through the full pipeline — consumer stage, export stage —
+  // rather than drop it.
   ASSERT_TRUE(service->Stop().ok());
   IngestStats stats = service->Stats();
   EXPECT_EQ(stats.servable_sequence, 500u);
   EXPECT_EQ(stats.events_processed, 500u);
   EXPECT_EQ(stats.queue.depth, 0u);
   ExpectContiguousCoverage(service->GenerationLog(), 500);
+  // Per-stage histograms saw every generation (initial one included, so
+  // count = batches + 1) and agree with one another.
+  EXPECT_GE(stats.stage_export.count, 2u);
+  EXPECT_EQ(stats.stage_apply.count, stats.stage_export.count);
+  EXPECT_EQ(stats.stage_solve.count, stats.stage_export.count);
+  EXPECT_EQ(stats.stage_estimate.count, stats.stage_export.count);
+  EXPECT_EQ(stats.stage_publish.count, stats.stage_export.count);
 }
+
+INSTANTIATE_TEST_SUITE_P(SerialAndPipelined, IngestServiceDrainTest,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Pipelined" : "Serial";
+                         });
 
 TEST(IngestServiceTest, RejectBackpressureShedsButLosesNoAcceptedEvent) {
   SnapshotStore store;

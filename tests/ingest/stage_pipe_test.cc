@@ -1,0 +1,122 @@
+// StagePipe contract tests: FIFO handoff, capacity backpressure, the
+// Close-drains vs Break-drops shutdown split, and a producer/consumer
+// stress run (the shape the pipelined IngestService drives it in; also
+// part of the TSan CI job).
+
+#include "ingest/stage_pipe.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qrank {
+namespace {
+
+TEST(StagePipeTest, FifoOrderThroughCapacityOneWindow) {
+  StagePipe<int> pipe(1);
+  std::vector<int> got;
+  std::thread consumer([&] {
+    int item = 0;
+    while (pipe.Pop(&item)) got.push_back(item);
+  });
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(pipe.Push(i));
+  pipe.Close();
+  consumer.join();
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(StagePipeTest, PushBlocksAtCapacityUntilPop) {
+  StagePipe<int> pipe(1);
+  ASSERT_TRUE(pipe.Push(1));  // fills the single slot
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(pipe.Push(2));  // must block until the consumer pops
+    second_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());  // still blocked: slot occupied
+  int item = 0;
+  ASSERT_TRUE(pipe.Pop(&item));
+  EXPECT_EQ(item, 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  ASSERT_TRUE(pipe.Pop(&item));
+  EXPECT_EQ(item, 2);
+}
+
+TEST(StagePipeTest, CloseDrainsQueuedItemsThenEndsPop) {
+  StagePipe<int> pipe(4);
+  ASSERT_TRUE(pipe.Push(7));
+  ASSERT_TRUE(pipe.Push(8));
+  pipe.Close();
+  EXPECT_FALSE(pipe.Push(9));  // no pushes after close
+  int item = 0;
+  EXPECT_TRUE(pipe.Pop(&item));
+  EXPECT_EQ(item, 7);
+  EXPECT_TRUE(pipe.Pop(&item));
+  EXPECT_EQ(item, 8);
+  EXPECT_FALSE(pipe.Pop(&item));  // closed and drained
+}
+
+TEST(StagePipeTest, BreakDropsQueuedItemsAndWakesBothEnds) {
+  StagePipe<int> pipe(1);
+  ASSERT_TRUE(pipe.Push(1));
+  std::thread producer([&] {
+    // Blocked at capacity; the Break below must refuse, not deliver.
+    EXPECT_FALSE(pipe.Push(2));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pipe.Break(Status::IOError("publisher died"));
+  producer.join();
+  int item = 0;
+  EXPECT_FALSE(pipe.Pop(&item));  // queued item 1 was dropped
+  EXPECT_TRUE(pipe.broken());
+  EXPECT_EQ(pipe.status().code(), StatusCode::kIOError);
+  // The first status wins; later Breaks don't overwrite it.
+  pipe.Break(Status::Corruption("second failure"));
+  EXPECT_EQ(pipe.status().code(), StatusCode::kIOError);
+}
+
+TEST(StagePipeTest, PopBlocksUntilPushArrives) {
+  StagePipe<int> pipe(2);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] {
+    int item = 0;
+    ASSERT_TRUE(pipe.Pop(&item));
+    got.store(item);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(got.load(), -1);  // still waiting
+  ASSERT_TRUE(pipe.Push(42));
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+  pipe.Close();
+}
+
+TEST(StagePipeTest, ProducerConsumerStressKeepsEveryItemInOrder) {
+  // Move-only payloads through a tiny window under real concurrency —
+  // the exact IngestService shape (one producer, one consumer).
+  constexpr int kItems = 5000;
+  StagePipe<std::unique_ptr<int>> pipe(1);
+  std::vector<int> got;
+  got.reserve(kItems);
+  std::thread consumer([&] {
+    std::unique_ptr<int> item;
+    while (pipe.Pop(&item)) got.push_back(*item);
+  });
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(pipe.Push(std::make_unique<int>(i)));
+  }
+  pipe.Close();
+  consumer.join();
+  ASSERT_EQ(got.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) ASSERT_EQ(got[i], i);
+}
+
+}  // namespace
+}  // namespace qrank

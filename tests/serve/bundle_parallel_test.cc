@@ -1,0 +1,132 @@
+// Parallel-export determinism: the serialized bundle image must be
+// byte-identical for every export thread count (sorts, postings,
+// section copies, CRCs), and the chunked CRC combine must reproduce the
+// one-pass CRC exactly — the contract that lets the pipelined ingest
+// service parallelize the publish path without perturbing published
+// bytes.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "serve/bundle_format.h"
+#include "serve/score_bundle.h"
+
+namespace qrank {
+namespace {
+
+ScoreBundleSource SyntheticSource(NodeId num_pages, SiteId num_sites,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  ScoreBundleSource source;
+  source.quality.resize(num_pages);
+  source.pagerank.resize(num_pages);
+  source.site_ids.resize(num_pages);
+  for (NodeId p = 0; p < num_pages; ++p) {
+    // Coarse buckets produce heavy score ties — the case where only the
+    // row-id tie-break keeps the order (and hence the bytes) unique.
+    source.quality[p] = static_cast<double>(rng.NextUint64() % 97) / 97.0;
+    source.pagerank[p] = static_cast<double>(rng.NextUint64() % 31) / 31.0;
+    source.site_ids[p] = static_cast<SiteId>(rng.NextUint64() % num_sites);
+  }
+  source.num_sites = num_sites;
+  return source;
+}
+
+TEST(BundleCrc32CombineTest, MatchesOnePassCrcAtEverySplit) {
+  Rng rng(7);
+  std::vector<uint8_t> data(4096 + 37);
+  for (uint8_t& b : data) b = static_cast<uint8_t>(rng.NextUint64());
+  const uint32_t whole = BundleCrc32(data.data(), data.size());
+  for (const size_t split : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                             size_t{1000}, data.size() - 1, data.size()}) {
+    const uint32_t a = BundleCrc32(data.data(), split);
+    const uint32_t b = BundleCrc32(data.data() + split, data.size() - split);
+    EXPECT_EQ(BundleCrc32Combine(a, b, data.size() - split), whole)
+        << "split at " << split;
+  }
+}
+
+TEST(BundleCrc32CombineTest, FoldsManyChunks) {
+  Rng rng(11);
+  std::vector<uint8_t> data(10000);
+  for (uint8_t& b : data) b = static_cast<uint8_t>(rng.NextUint64());
+  const uint32_t whole = BundleCrc32(data.data(), data.size());
+  const size_t chunk = 333;
+  uint32_t crc = 0;
+  bool first = true;
+  for (size_t lo = 0; lo < data.size(); lo += chunk) {
+    const size_t hi = std::min(lo + chunk, data.size());
+    const uint32_t part = BundleCrc32(data.data() + lo, hi - lo);
+    crc = first ? part : BundleCrc32Combine(crc, part, hi - lo);
+    first = false;
+  }
+  EXPECT_EQ(crc, whole);
+}
+
+TEST(BundleParallelTest, SerializedImageByteIdenticalAcrossThreadCounts) {
+  const ScoreBundleSource source = SyntheticSource(30000, 37, 0xb0b);
+  std::vector<uint8_t> serial_image;
+  {
+    ParallelOptions opts;
+    opts.num_threads = 1;
+    Result<ScoreBundleWriter> writer =
+        ScoreBundleWriter::Create(source, opts);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    serial_image = writer.value().Serialize();
+  }
+  for (const int threads : {2, 4, 8}) {
+    ParallelOptions opts;
+    opts.num_threads = threads;
+    Result<ScoreBundleWriter> writer =
+        ScoreBundleWriter::Create(source, opts);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    const std::vector<uint8_t> image = writer.value().Serialize();
+    ASSERT_EQ(image, serial_image) << "threads=" << threads;
+  }
+}
+
+TEST(BundleParallelTest, SingleSiteAndTinyBundlesStayIdentical) {
+  // Degenerate shapes: one site (postings = quality order), and a
+  // bundle smaller than one sort block (serial fallback paths).
+  for (const NodeId pages : {NodeId{1}, NodeId{5}, NodeId{100}}) {
+    ScoreBundleSource source = SyntheticSource(pages, 1, pages);
+    ParallelOptions serial;
+    serial.num_threads = 1;
+    ParallelOptions wide;
+    wide.num_threads = 8;
+    Result<ScoreBundleWriter> a = ScoreBundleWriter::Create(source, serial);
+    Result<ScoreBundleWriter> b = ScoreBundleWriter::Create(source, wide);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value().Serialize(), b.value().Serialize())
+        << "pages=" << pages;
+  }
+}
+
+TEST(BundleParallelTest, ParallelValidationAcceptsAndRejectsLikeSerial) {
+  const ScoreBundleSource source = SyntheticSource(30000, 37, 0xcafe);
+  ParallelOptions wide;
+  wide.num_threads = 4;
+  Result<ScoreBundleWriter> writer = ScoreBundleWriter::Create(source, wide);
+  ASSERT_TRUE(writer.ok());
+  std::vector<uint8_t> image = writer.value().Serialize();
+
+  // Clean image loads under parallel validation.
+  Result<LoadedBundle> ok = LoadedBundle::FromBuffer(image, wide);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().num_pages(), 30000u);
+
+  // Flip one payload byte: the parallel CRC must reject exactly like
+  // the serial one.
+  std::vector<uint8_t> corrupt = image;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  Result<LoadedBundle> bad = LoadedBundle::FromBuffer(std::move(corrupt), wide);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace qrank

@@ -5,7 +5,8 @@
 //   qrank_ingest drive   [--sites=N] [--pages-per-site=N] [--events=N]
 //                        [--producers=N] [--batch-events=N]
 //                        [--batch-age-ms=X] [--capacity=N] [--reject]
-//                        [--seed=N] [--out=PATH]
+//                        [--seed=N] [--out=PATH] [--serial]
+//                        [--export-threads=N]
 //                        [--partition=node|edge] [--kernel=NAME]
 //                        [--compressed=BOOL]
 //   qrank_ingest inspect [same flags]
@@ -23,8 +24,12 @@
 // stop.
 //
 // `drive` prints the operator view: queue counters, batch/generation
-// counts, and the update-to-servable latency distribution (p50/p90/p99/
-// max) — the bounded-staleness numbers bench_perf_ingest gates in CI.
+// counts, the update-to-servable latency distribution (p50/p90/p99/
+// max) — the bounded-staleness numbers bench_perf_ingest gates in CI —
+// and the per-stage apply/solve/estimate/export/publish breakdown from
+// the pipelined service, so a latency regression points at its stage.
+// --serial runs the pre-pipeline inline export path for comparison;
+// --export-threads caps the parallel bundle export (0 = all cores).
 // `inspect` prints the audit view: one TSV row per published generation
 // (generation, sequence range, events, net delta, pages, solver work,
 // worst in-batch staleness) — the provenance trail behind the
@@ -60,7 +65,8 @@ void PrintUsage(std::ostream& os) {
         "                            [--events=N] [--producers=N]\n"
         "                            [--batch-events=N] [--batch-age-ms=X]\n"
         "                            [--capacity=N] [--reject] [--seed=N]\n"
-        "                            [--out=PATH]\n"
+        "                            [--out=PATH] [--serial]\n"
+        "                            [--export-threads=N]\n"
         "                            [--partition=node|edge]\n"
         "                            [--kernel=scalar|simd|avx2|avx512]\n"
         "                            [--compressed=BOOL]\n"
@@ -77,6 +83,8 @@ struct DriveConfig {
   double batch_age_ms = 10.0;
   size_t capacity = 1 << 14;
   bool reject = false;
+  bool serial = false;       // true = pre-pipeline inline export path
+  int export_threads = 0;    // 0 = all cores
   uint64_t seed = 1;
   std::string out;
   DeltaPageRankOptions rank = DefaultIngestRankOptions();
@@ -113,6 +121,8 @@ Result<DriveOutcome> RunDrive(const DriveConfig& cfg) {
     return static_cast<SiteId>((page / pages_per_site) % sites);
   };
   options.rank = cfg.rank;
+  options.pipelined = !cfg.serial;
+  options.export_parallel.num_threads = cfg.export_threads;
   options.keep_last_image = !cfg.out.empty();
   QRANK_ASSIGN_OR_RETURN(
       std::unique_ptr<IngestService> service,
@@ -171,6 +181,9 @@ Result<DriveConfig> ConfigFromFlags(FlagParser& flags) {
   cfg.batch_age_ms = flags.GetDouble("batch-age-ms", 10.0);
   cfg.capacity = static_cast<size_t>(flags.GetInt("capacity", 1 << 14));
   cfg.reject = flags.GetBool("reject", false);
+  cfg.serial = flags.GetBool("serial", false);
+  cfg.export_threads =
+      static_cast<int>(flags.GetInt("export-threads", 0));
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   cfg.out = flags.GetString("out", "");
   QRANK_RETURN_NOT_OK(ApplySolverFlags(flags, &cfg.rank.base));
@@ -229,6 +242,25 @@ int CmdDrive(const DriveConfig& cfg, const DriveOutcome& outcome) {
               "  p50 %.3f ms  p90 %.3f ms  p99 %.3f ms  max %.3f ms\n",
               s.latency_count, s.latency_p50_ms, s.latency_p90_ms,
               s.latency_p99_ms, s.latency_max_ms);
+  // Per-stage breakdown: where each generation's latency went. With the
+  // pipelined service, apply+solve run on the consumer thread while
+  // estimate/export/publish run on the exporter — the two groups
+  // overlap across consecutive batches, so the stage sums exceed the
+  // end-to-end number by design.
+  const struct {
+    const char* name;
+    const IngestStageStats& st;
+  } stages[] = {
+      {"apply", s.stage_apply},       {"solve", s.stage_solve},
+      {"estimate", s.stage_estimate}, {"export", s.stage_export},
+      {"publish", s.stage_publish},
+  };
+  for (const auto& stage : stages) {
+    std::printf("  stage %-8s n=%" PRIu64
+                "  p50 %.3f ms  p90 %.3f ms  p99 %.3f ms  max %.3f ms\n",
+                stage.name, stage.st.count, stage.st.p50_ms,
+                stage.st.p90_ms, stage.st.p99_ms, stage.st.max_ms);
+  }
   return Finish(cfg, outcome);
 }
 
