@@ -18,19 +18,35 @@
 //                          a background publisher churns generations
 //   BM_Publish             hot-swap publish cost itself
 //
+// With --distributed the binary instead benches the sharded tier: the
+// same 131k bundle is split by site into N shards, each served by an
+// in-process WorkerServer on a loopback socket, and BM_DistTopK drives
+// the coordinator's fan-out/merge round trip end to end:
+//   BM_DistTopK/shards:*        deterministic global queries, QPS +
+//                               per-query p50/p99 over the socket RTT
+//   BM_DistTopKExplore/shards:4 exploration replay + resolve wave
+// The suite writes BENCH_serve_dist.json instead of BENCH_serve.json.
+//
 // With --check_serve_regression the process exits non-zero when the
 // single-thread pure-quality QPS falls under the CI floor (a
 // conservative fraction of the >= 1M/s this suite shows on dedicated
 // hardware) or the hot-swap churn rows are missing/zero — the Release
-// bench job's smoke gate.
+// bench job's smoke gate. Combined with --distributed the gate instead
+// checks every BM_DistTopK row at 2/4/8 shards: QPS floor, p99
+// ceiling, and zero degraded queries (a degraded answer on an idle
+// loopback deployment means the deadline machinery misfired).
 
 #include <benchmark/benchmark.h>
+
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -38,6 +54,9 @@
 
 #include "bench_json.h"
 #include "common/rng.h"
+#include "dist/coordinator.h"
+#include "dist/shard_map.h"
+#include "dist/worker.h"
 #include "graph/generators.h"
 #include "rank/pagerank.h"
 #include "serve/query_engine.h"
@@ -254,6 +273,159 @@ void BM_Publish(benchmark::State& state) {
                          benchmark::Counter::kIsRate);
 }
 
+// ---- Distributed tier (--distributed) ------------------------------
+
+/// One sharded loopback deployment of the 131k bundle: split files on
+/// disk, an in-process WorkerServer per shard, one coordinator. Built
+/// lazily per shard count and kept for the whole process (google-
+/// benchmark re-enters each benchmark while estimating iteration
+/// counts).
+struct DistDeployment {
+  std::vector<std::unique_ptr<qrank::WorkerServer>> workers;
+  std::unique_ptr<qrank::Coordinator> coordinator;
+
+  ~DistDeployment() {
+    if (coordinator != nullptr) coordinator->Stop();
+    for (auto& w : workers) w->Stop();
+  }
+};
+
+qrank::Coordinator& DistCoordinator(int num_shards) {
+  static auto* deployments =
+      new std::map<int, std::unique_ptr<DistDeployment>>();
+  auto it = deployments->find(num_shards);
+  if (it != deployments->end()) return *it->second->coordinator;
+
+  static const std::string* root = [] {
+    char tmpl[] = "/tmp/qrank_bench_dist_XXXXXX";
+    const char* dir = ::mkdtemp(tmpl);
+    if (dir == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed for shard files\n");
+      std::abort();
+    }
+    return new std::string(dir);
+  }();
+  const std::string dir = *root + "/shards_" + std::to_string(num_shards);
+  ::mkdir(dir.c_str(), 0755);
+
+  auto deployment = std::make_unique<DistDeployment>();
+  const auto split = qrank::SplitBundleBySite(
+      Bundle(), static_cast<uint32_t>(num_shards), dir);
+  std::vector<qrank::ShardAddress> addresses;
+  for (int s = 0; s < num_shards; ++s) {
+    auto worker =
+        std::make_unique<qrank::WorkerServer>(qrank::WorkerServer::Options{});
+    if (!worker
+             ->Init(split.value().bundle_paths[s], split.value().meta_paths[s])
+             .ok() ||
+        !worker->Start().ok()) {
+      std::fprintf(stderr, "worker %d failed to start\n", s);
+      std::abort();
+    }
+    qrank::ShardAddress address;
+    address.primary.port = worker->port();
+    addresses.push_back(address);
+    deployment->workers.push_back(std::move(worker));
+  }
+  // Wide deadline/hedge: the bench box may be a loaded shared runner,
+  // and the gate asserts ZERO degraded queries — a scheduler stall must
+  // not read as a deadline miss. The hedge path gets its own coverage
+  // in dist_fault_test.
+  qrank::CoordinatorOptions options;
+  options.query_deadline = std::chrono::milliseconds(5000);
+  options.hedge_delay = std::chrono::milliseconds(2000);
+  deployment->coordinator = std::make_unique<qrank::Coordinator>(
+      split.value().map, std::move(addresses), options);
+  if (!deployment->coordinator->Start().ok()) {
+    std::fprintf(stderr, "coordinator failed to start\n");
+    std::abort();
+  }
+  qrank::Coordinator& coord = *deployment->coordinator;
+  deployments->emplace(num_shards, std::move(deployment));
+  return coord;
+}
+
+void ReportLatencyPercentiles(benchmark::State& state,
+                              std::vector<double>& lat_ns) {
+  std::sort(lat_ns.begin(), lat_ns.end());
+  const auto pct = [&lat_ns](double p) {
+    return lat_ns.empty()
+               ? 0.0
+               : lat_ns[static_cast<size_t>(p * (lat_ns.size() - 1))];
+  };
+  state.counters["p50_ns"] = benchmark::Counter(pct(0.50));
+  state.counters["p99_ns"] = benchmark::Counter(pct(0.99));
+}
+
+/// Deterministic global queries through the full coordinator round
+/// trip: encode, fan-out over loopback sockets, worker-side engine,
+/// exact merge. Latency is sampled per query (the socket RTT dominates,
+/// so the sampling cost is noise).
+void BM_DistTopK(benchmark::State& state) {
+  qrank::Coordinator& coord =
+      DistCoordinator(static_cast<int>(state.range(0)));
+  const TopKQuery q = BlendQuery(50, 10);
+  qrank::DistTopKResult result;
+  const uint64_t degraded_before = coord.degraded_queries();
+  const uint64_t hedges_before = coord.hedges_fired();
+  std::vector<double> lat_ns;
+  lat_ns.reserve(1 << 20);
+  using Clock = std::chrono::steady_clock;
+  for (auto _ : state) {
+    const Clock::time_point t0 = Clock::now();
+    benchmark::DoNotOptimize(coord.TopK(q, &result).ok());
+    if (lat_ns.size() < lat_ns.capacity()) {
+      lat_ns.push_back(
+          std::chrono::duration<double, std::nano>(Clock::now() - t0)
+              .count());
+    }
+  }
+  ReportQps(state);
+  ReportLatencyPercentiles(state, lat_ns);
+  state.counters["degraded"] = benchmark::Counter(
+      static_cast<double>(coord.degraded_queries() - degraded_before));
+  state.counters["hedges"] = benchmark::Counter(
+      static_cast<double>(coord.hedges_fired() - hedges_before));
+}
+
+/// Exploration on the distributed path: the coordinator replays the
+/// engine's RNG loop over the merged top-k, then runs a second
+/// (resolve) wave for the promoted rows — two socket round trips per
+/// query instead of one.
+void BM_DistTopKExplore(benchmark::State& state) {
+  qrank::Coordinator& coord =
+      DistCoordinator(static_cast<int>(state.range(0)));
+  TopKQuery q = BlendQuery(100, 10);
+  q.exploration_epsilon = 0.10;
+  qrank::DistTopKResult result;
+  const uint64_t degraded_before = coord.degraded_queries();
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    q.exploration_seed = seed++;
+    benchmark::DoNotOptimize(coord.TopK(q, &result).ok());
+  }
+  ReportQps(state);
+  state.counters["degraded"] = benchmark::Counter(
+      static_cast<double>(coord.degraded_queries() - degraded_before));
+}
+
+void RegisterDist() {
+  const auto us = [](benchmark::internal::Benchmark* b) {
+    b->Unit(benchmark::kMicrosecond)->UseRealTime();
+  };
+  // shards:1 anchors the scaling table (pure RPC overhead vs BM_TopK);
+  // 2/4/8 are the gated points.
+  for (int shards : {1, 2, 4, 8}) {
+    us(benchmark::RegisterBenchmark(
+           ("BM_DistTopK/shards:" + std::to_string(shards)).c_str(),
+           BM_DistTopK)
+           ->Arg(shards));
+  }
+  us(benchmark::RegisterBenchmark("BM_DistTopKExplore/shards:4",
+                                  BM_DistTopKExplore)
+         ->Arg(4));
+}
+
 void RegisterAll() {
   const auto us = [](benchmark::internal::Benchmark* b) {
     b->Unit(benchmark::kMicrosecond)->UseRealTime();
@@ -321,21 +493,80 @@ int CheckServeRegression(const std::vector<qrank_bench::BenchRow>& rows) {
   return 0;
 }
 
+// Distributed CI gate: every gated shard count must be present, clear
+// a conservative QPS floor (the loopback RTT puts the tier orders of
+// magnitude under the in-process engine; the floor catches a lost
+// pipeline — per-query reconnects, a serialization stall — not machine
+// noise), stay under a generous p99 ceiling, and answer every query
+// undegraded.
+int CheckDistRegression(const std::vector<qrank_bench::BenchRow>& rows) {
+  constexpr double kMinDistQps = 500.0;
+  constexpr double kMaxDistP99Ns = 100e6;  // 100 ms
+  const auto find = [&rows](const std::string& name) -> const qrank_bench::BenchRow* {
+    for (const qrank_bench::BenchRow& r : rows) {
+      if (r.name.rfind(name, 0) == 0) return &r;
+    }
+    return nullptr;
+  };
+  int failures = 0;
+  for (const int shards : {2, 4, 8}) {
+    const std::string name = "BM_DistTopK/shards:" + std::to_string(shards);
+    const qrank_bench::BenchRow* row = find(name);
+    if (row == nullptr) {
+      std::fprintf(stderr, "dist gate FAILED: %s missing\n", name.c_str());
+      ++failures;
+      continue;
+    }
+    int row_failures = 0;
+    if (row->Counter("qps") < kMinDistQps) {
+      std::fprintf(stderr, "dist gate FAILED: %s %.4g qps (floor %.3g)\n",
+                   name.c_str(), row->Counter("qps"), kMinDistQps);
+      ++row_failures;
+    }
+    if (row->Counter("p99_ns") > kMaxDistP99Ns) {
+      std::fprintf(stderr, "dist gate FAILED: %s p99 %.4g ns (ceiling %.3g)\n",
+                   name.c_str(), row->Counter("p99_ns"), kMaxDistP99Ns);
+      ++row_failures;
+    }
+    if (row->Counter("degraded") != 0.0) {
+      std::fprintf(stderr, "dist gate FAILED: %s %g degraded queries on an "
+                           "idle loopback deployment\n",
+                   name.c_str(), row->Counter("degraded"));
+      ++row_failures;
+    }
+    if (row_failures == 0) {
+      std::printf("dist gate: %s %.4g qps, p99 %.4g ns, 0 degraded\n",
+                  name.c_str(), row->Counter("qps"), row->Counter("p99_ns"));
+    }
+    failures += row_failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool check_gate = false;
+  bool distributed = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::string(argv[i]) == "--check_serve_regression") {
       check_gate = true;
       continue;
     }
+    if (std::string(argv[i]) == "--distributed") {
+      distributed = true;
+      continue;
+    }
     args.push_back(argv[i]);
   }
-  RegisterAll();
+  if (distributed) {
+    RegisterDist();
+  } else {
+    RegisterAll();
+  }
   std::function<int(const std::vector<qrank_bench::BenchRow>&)> after;
-  if (check_gate) after = CheckServeRegression;
+  if (check_gate) after = distributed ? CheckDistRegression : CheckServeRegression;
   return qrank_bench::BenchMain(static_cast<int>(args.size()), args.data(),
-                                "serve", after);
+                                distributed ? "serve_dist" : "serve", after);
 }

@@ -1,0 +1,361 @@
+#include "dist/shard_map.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+
+#include "common/parallel_for.h"
+#include "serve/bundle_format.h"
+
+namespace qrank {
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "QRKM/QRKS files are little-endian");
+
+constexpr char kShardMapMagic[4] = {'Q', 'R', 'K', 'M'};
+constexpr char kShardMetaMagic[4] = {'Q', 'R', 'K', 'S'};
+constexpr uint32_t kShardFileVersion = 1;
+
+struct ShardMapFileHeader {
+  char magic[4];
+  uint32_t version;
+  uint32_t num_shards;
+  uint32_t num_sites;
+  uint64_t total_pages;
+  /// CRC-32 over the header bytes before this field, chained into the
+  /// body — any single-bit corruption anywhere in the file is caught
+  /// (the reserved field and the CRC itself are checked directly).
+  uint32_t body_crc32;
+  uint32_t reserved;
+};
+static_assert(sizeof(ShardMapFileHeader) == 32, "32-byte QRKM header");
+
+struct ShardMetaFileHeader {
+  char magic[4];
+  uint32_t version;
+  uint32_t shard_index;
+  uint32_t num_shards;
+  uint32_t num_local_pages;
+  uint32_t num_sites;
+  uint64_t total_pages;
+  uint32_t body_crc32;
+  uint32_t reserved;
+};
+static_assert(sizeof(ShardMetaFileHeader) == 40, "40-byte QRKS header");
+
+Status WriteFileBytes(const std::string& path, const void* header,
+                      size_t header_len, const void* body, size_t body_len) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  f.write(static_cast<const char*>(header),
+          static_cast<std::streamsize>(header_len));
+  if (body_len > 0) {
+    f.write(static_cast<const char*>(body),
+            static_cast<std::streamsize>(body_len));
+  }
+  f.flush();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+/// Reads the fixed header of a QRKM/QRKS file onto the caller's stack
+/// and returns the file size; nothing is allocated yet (the hardened
+/// reader discipline of graph_io / score_bundle).
+Result<uint64_t> ReadFileHeader(const std::string& path, void* header,
+                                size_t header_len) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    return Status::IOError("cannot stat " + path);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size < header_len) {
+    return Status::Corruption(path + ": smaller than its file header");
+  }
+  const ssize_t got = ::pread(fd, header, header_len, 0);
+  if (got != static_cast<ssize_t>(header_len)) {
+    return Status::IOError("cannot read header of " + path);
+  }
+  return file_size;
+}
+
+Status ReadFileBody(const std::string& path, size_t offset, uint8_t* body,
+                    size_t body_len) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+  const ssize_t got =
+      ::pread(fd, body, body_len, static_cast<off_t>(offset));
+  if (got != static_cast<ssize_t>(body_len)) {
+    return Status::IOError("cannot read body of " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t ShardMap::ShardForSite(SiteId site) const {
+  QRANK_CHECK(site < num_sites) << "site " << site << " out of range";
+  const auto it = std::upper_bound(site_boundaries.begin(),
+                                   site_boundaries.end(), site);
+  return static_cast<uint32_t>(it - site_boundaries.begin()) - 1;
+}
+
+Result<ShardMap> BuildShardMap(const LoadedBundle& bundle,
+                               uint32_t num_shards) {
+  if (num_shards < 1 || num_shards > kMaxShards) {
+    return Status::InvalidArgument("num_shards must be in [1, " +
+                                   std::to_string(kMaxShards) + "]");
+  }
+  const SiteId num_sites = bundle.num_sites();
+  if (num_shards > num_sites) {
+    return Status::InvalidArgument(
+        "cannot split " + std::to_string(num_sites) + " sites across " +
+        std::to_string(num_shards) + " shards");
+  }
+  // Balance per-site posting weight pages(site) + 1 with the pull
+  // sweep's prefix partitioner: prefix[i] = site_offsets[i] + i.
+  const std::span<const uint32_t> site_offsets = bundle.site_offsets();
+  std::vector<size_t> prefix(size_t{num_sites} + 1);
+  for (size_t i = 0; i <= num_sites; ++i) prefix[i] = site_offsets[i] + i;
+  const std::vector<size_t> bounds =
+      WeightBalancedBoundaries(prefix, num_shards);
+
+  ShardMap map;
+  map.num_shards = num_shards;
+  map.num_sites = num_sites;
+  map.total_pages = bundle.num_pages();
+  map.site_boundaries.assign(bounds.begin(), bounds.end());
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const uint32_t lo = map.site_boundaries[s];
+    const uint32_t hi = map.site_boundaries[s + 1];
+    if (site_offsets[hi] == site_offsets[lo]) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) +
+          " would own zero pages; use fewer shards");
+    }
+  }
+  return map;
+}
+
+Status SaveShardMap(const ShardMap& map, const std::string& path) {
+  if (map.site_boundaries.size() != size_t{map.num_shards} + 1) {
+    return Status::InvalidArgument("shard map boundary count mismatch");
+  }
+  ShardMapFileHeader header = {};
+  std::memcpy(header.magic, kShardMapMagic, sizeof header.magic);
+  header.version = kShardFileVersion;
+  header.num_shards = map.num_shards;
+  header.num_sites = map.num_sites;
+  header.total_pages = map.total_pages;
+  header.body_crc32 = BundleCrc32(
+      reinterpret_cast<const uint8_t*>(map.site_boundaries.data()),
+      map.site_boundaries.size() * sizeof(uint32_t),
+      BundleCrc32(reinterpret_cast<const uint8_t*>(&header),
+                  offsetof(ShardMapFileHeader, body_crc32)));
+  return WriteFileBytes(path, &header, sizeof header,
+                        map.site_boundaries.data(),
+                        map.site_boundaries.size() * sizeof(uint32_t));
+}
+
+Result<ShardMap> LoadShardMap(const std::string& path) {
+  ShardMapFileHeader header = {};
+  QRANK_ASSIGN_OR_RETURN(const uint64_t file_size,
+                         ReadFileHeader(path, &header, sizeof header));
+  if (std::memcmp(header.magic, kShardMapMagic, sizeof header.magic) != 0) {
+    return Status::Corruption(path + ": bad QRKM magic");
+  }
+  if (header.version != kShardFileVersion) {
+    return Status::Corruption(path + ": unsupported QRKM version " +
+                              std::to_string(header.version));
+  }
+  if (header.reserved != 0) {
+    return Status::Corruption(path + ": nonzero QRKM reserved field");
+  }
+  if (header.num_shards < 1 || header.num_shards > kMaxShards) {
+    return Status::Corruption(path + ": shard count out of range");
+  }
+  const uint64_t body_len = (uint64_t{header.num_shards} + 1) * sizeof(uint32_t);
+  if (file_size != sizeof header + body_len) {
+    return Status::Corruption(path + ": QRKM size mismatch");
+  }
+  ShardMap map;
+  map.num_shards = header.num_shards;
+  map.num_sites = header.num_sites;
+  map.total_pages = header.total_pages;
+  map.site_boundaries.resize(size_t{header.num_shards} + 1);
+  QRANK_RETURN_NOT_OK(ReadFileBody(
+      path, sizeof header,
+      reinterpret_cast<uint8_t*>(map.site_boundaries.data()), body_len));
+  const uint32_t crc = BundleCrc32(
+      reinterpret_cast<const uint8_t*>(map.site_boundaries.data()), body_len,
+      BundleCrc32(reinterpret_cast<const uint8_t*>(&header),
+                  offsetof(ShardMapFileHeader, body_crc32)));
+  if (crc != header.body_crc32) {
+    return Status::Corruption(path + ": QRKM CRC mismatch");
+  }
+  if (map.site_boundaries.front() != 0 ||
+      map.site_boundaries.back() != map.num_sites) {
+    return Status::Corruption(path + ": QRKM boundary endpoints invalid");
+  }
+  for (size_t s = 1; s < map.site_boundaries.size(); ++s) {
+    if (map.site_boundaries[s] < map.site_boundaries[s - 1]) {
+      return Status::Corruption(path + ": QRKM boundaries not monotone");
+    }
+  }
+  return map;
+}
+
+Status SaveShardMeta(const ShardMeta& meta, const std::string& path) {
+  ShardMetaFileHeader header = {};
+  std::memcpy(header.magic, kShardMetaMagic, sizeof header.magic);
+  header.version = kShardFileVersion;
+  header.shard_index = meta.shard_index;
+  header.num_shards = meta.num_shards;
+  header.num_local_pages = static_cast<uint32_t>(meta.global_rows.size());
+  header.num_sites = meta.num_sites;
+  header.total_pages = meta.total_pages;
+  header.body_crc32 = BundleCrc32(
+      reinterpret_cast<const uint8_t*>(meta.global_rows.data()),
+      meta.global_rows.size() * sizeof(uint32_t),
+      BundleCrc32(reinterpret_cast<const uint8_t*>(&header),
+                  offsetof(ShardMetaFileHeader, body_crc32)));
+  return WriteFileBytes(path, &header, sizeof header, meta.global_rows.data(),
+                        meta.global_rows.size() * sizeof(uint32_t));
+}
+
+Result<ShardMeta> LoadShardMeta(const std::string& path) {
+  ShardMetaFileHeader header = {};
+  QRANK_ASSIGN_OR_RETURN(const uint64_t file_size,
+                         ReadFileHeader(path, &header, sizeof header));
+  if (std::memcmp(header.magic, kShardMetaMagic, sizeof header.magic) != 0) {
+    return Status::Corruption(path + ": bad QRKS magic");
+  }
+  if (header.version != kShardFileVersion) {
+    return Status::Corruption(path + ": unsupported QRKS version " +
+                              std::to_string(header.version));
+  }
+  if (header.reserved != 0) {
+    return Status::Corruption(path + ": nonzero QRKS reserved field");
+  }
+  if (header.num_shards < 1 || header.num_shards > kMaxShards ||
+      header.shard_index >= header.num_shards) {
+    return Status::Corruption(path + ": QRKS shard index out of range");
+  }
+  if (header.num_local_pages > header.total_pages) {
+    return Status::Corruption(path + ": QRKS page count exceeds total");
+  }
+  const uint64_t body_len = uint64_t{header.num_local_pages} * sizeof(uint32_t);
+  if (file_size != sizeof header + body_len) {
+    return Status::Corruption(path + ": QRKS size mismatch");
+  }
+  ShardMeta meta;
+  meta.shard_index = header.shard_index;
+  meta.num_shards = header.num_shards;
+  meta.num_sites = header.num_sites;
+  meta.total_pages = header.total_pages;
+  meta.global_rows.resize(header.num_local_pages);
+  QRANK_RETURN_NOT_OK(ReadFileBody(
+      path, sizeof header, reinterpret_cast<uint8_t*>(meta.global_rows.data()),
+      body_len));
+  const uint32_t crc = BundleCrc32(
+      reinterpret_cast<const uint8_t*>(meta.global_rows.data()), body_len,
+      BundleCrc32(reinterpret_cast<const uint8_t*>(&header),
+                  offsetof(ShardMetaFileHeader, body_crc32)));
+  if (crc != header.body_crc32) {
+    return Status::Corruption(path + ": QRKS CRC mismatch");
+  }
+  for (size_t i = 0; i < meta.global_rows.size(); ++i) {
+    if (meta.global_rows[i] >= meta.total_pages ||
+        (i > 0 && meta.global_rows[i] <= meta.global_rows[i - 1])) {
+      return Status::Corruption(path + ": QRKS rows not strictly ascending");
+    }
+  }
+  return meta;
+}
+
+Result<ShardSplit> SplitBundleBySite(const LoadedBundle& bundle,
+                                     uint32_t num_shards,
+                                     const std::string& out_dir,
+                                     ParallelOptions parallel) {
+  QRANK_ASSIGN_OR_RETURN(ShardMap map, BuildShardMap(bundle, num_shards));
+
+  const std::span<const double> quality = bundle.quality();
+  const std::span<const double> pagerank = bundle.pagerank();
+  const std::span<const NodeId> page_ids = bundle.page_ids();
+  const std::span<const SiteId> site_ids = bundle.site_ids();
+  const NodeId n = bundle.num_pages();
+
+  ShardSplit split;
+  split.map = map;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const SiteId site_lo = map.site_boundaries[s];
+    const SiteId site_hi = map.site_boundaries[s + 1];
+
+    ShardMeta meta;
+    meta.shard_index = s;
+    meta.num_shards = num_shards;
+    meta.num_sites = map.num_sites;
+    meta.total_pages = map.total_pages;
+    // Ascending global-row scan: local rows preserve global relative
+    // order, keeping the local->global map monotone (see header).
+    for (NodeId r = 0; r < n; ++r) {
+      if (site_ids[r] >= site_lo && site_ids[r] < site_hi) {
+        meta.global_rows.push_back(r);
+      }
+    }
+
+    ScoreBundleSource source;
+    source.quality.reserve(meta.global_rows.size());
+    source.pagerank.reserve(meta.global_rows.size());
+    source.page_ids.reserve(meta.global_rows.size());
+    source.site_ids.reserve(meta.global_rows.size());
+    for (const uint32_t gr : meta.global_rows) {
+      source.quality.push_back(quality[gr]);
+      source.pagerank.push_back(pagerank[gr]);
+      source.page_ids.push_back(page_ids[gr]);
+      source.site_ids.push_back(site_ids[gr]);
+    }
+    source.num_sites = bundle.num_sites();
+    source.creator_tag = bundle.creator_tag();
+
+    QRANK_ASSIGN_OR_RETURN(
+        const ScoreBundleWriter writer,
+        ScoreBundleWriter::Create(std::move(source), parallel));
+    const std::string bundle_path =
+        out_dir + "/shard_" + std::to_string(s) + ".qrkb";
+    const std::string meta_path =
+        out_dir + "/shard_" + std::to_string(s) + ".qrks";
+    QRANK_RETURN_NOT_OK(writer.WriteFile(bundle_path));
+    QRANK_RETURN_NOT_OK(SaveShardMeta(meta, meta_path));
+    split.bundle_paths.push_back(bundle_path);
+    split.meta_paths.push_back(meta_path);
+  }
+  split.map_path = out_dir + "/shard_map.qrkm";
+  QRANK_RETURN_NOT_OK(SaveShardMap(map, split.map_path));
+  return split;
+}
+
+}  // namespace qrank

@@ -1,0 +1,102 @@
+// Site-sharded partitioning of a score bundle: the shard map ("QRKM")
+// the coordinator routes with, the per-shard sidecar ("QRKS") a worker
+// uses to translate local bundle rows back to global rows, and the
+// splitter that turns one QRKB bundle into per-shard QRKB bundles.
+//
+// Partitioning contract (the exact-merge argument leans on all three):
+//
+//  1. Sites are never split: shard s owns the contiguous site range
+//     [site_boundaries[s], site_boundaries[s+1]), balanced over
+//     per-site page counts with WeightBalancedBoundaries — the same
+//     edge-balanced prefix partitioner the PageRank pull sweep uses,
+//     with "posting weight" = pages(site) + 1 standing in for
+//     in-degree + 1. Site-filtered queries therefore route to exactly
+//     one worker, whose posting group is identical (under row
+//     translation) to the unsharded bundle's, so engine-side
+//     exploration stays bit-exact.
+//
+//  2. A shard bundle keeps GLOBAL site ids and the GLOBAL site count,
+//     so site numbering needs no translation anywhere; foreign sites
+//     simply have empty posting groups.
+//
+//  3. Shard-local rows are the shard's global rows in ascending order
+//     (ShardMeta::global_rows is strictly increasing). The local->
+//     global map is monotone, so every (score desc, row asc) order the
+//     engine produces locally translates to the same order globally,
+//     and the coordinator's merge comparator can work on global rows
+//     alone.
+
+#ifndef QRANK_DIST_SHARD_MAP_H_
+#define QRANK_DIST_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/score_bundle.h"
+
+namespace qrank {
+
+/// Sanity cap on shard counts (a corrupt QRKM header cannot drive a
+/// larger allocation).
+inline constexpr uint32_t kMaxShards = 1024;
+
+/// Coordinator-side routing table, serialized as a QRKM file.
+struct ShardMap {
+  uint32_t num_shards = 0;
+  SiteId num_sites = 0;
+  uint64_t total_pages = 0;
+  /// num_shards + 1 monotone boundaries over site ids; shard s owns
+  /// sites [site_boundaries[s], site_boundaries[s+1]).
+  std::vector<uint32_t> site_boundaries;
+
+  /// Shard owning `site` (site must be < num_sites).
+  uint32_t ShardForSite(SiteId site) const;
+};
+
+/// Worker-side sidecar for one shard bundle, serialized as a QRKS
+/// file next to the shard's QRKB.
+struct ShardMeta {
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 0;
+  SiteId num_sites = 0;
+  uint64_t total_pages = 0;
+  /// Strictly ascending; local row i of the shard bundle is global row
+  /// global_rows[i] of the unsharded bundle.
+  std::vector<uint32_t> global_rows;
+};
+
+/// Builds the balanced site partition for `bundle` (num_shards >= 1,
+/// <= kMaxShards; every shard must end up owning at least one page).
+Result<ShardMap> BuildShardMap(const LoadedBundle& bundle,
+                               uint32_t num_shards);
+
+Status SaveShardMap(const ShardMap& map, const std::string& path);
+Result<ShardMap> LoadShardMap(const std::string& path);
+
+Status SaveShardMeta(const ShardMeta& meta, const std::string& path);
+Result<ShardMeta> LoadShardMeta(const std::string& path);
+
+/// Everything SplitBundleBySite wrote: the map plus per-shard file
+/// paths (index == shard index).
+struct ShardSplit {
+  ShardMap map;
+  std::vector<std::string> bundle_paths;  // <out_dir>/shard_<i>.qrkb
+  std::vector<std::string> meta_paths;    // <out_dir>/shard_<i>.qrks
+  std::string map_path;                   // <out_dir>/shard_map.qrkm
+};
+
+/// Partitions `bundle` into num_shards per-shard bundles under
+/// `out_dir` (which must exist), writing shard_<i>.qrkb +
+/// shard_<i>.qrks per shard and shard_map.qrkm. Shard bundle images
+/// are deterministic in (bundle, num_shards) — `parallel` only sets
+/// the writer's executor width.
+Result<ShardSplit> SplitBundleBySite(const LoadedBundle& bundle,
+                                     uint32_t num_shards,
+                                     const std::string& out_dir,
+                                     ParallelOptions parallel = {});
+
+}  // namespace qrank
+
+#endif  // QRANK_DIST_SHARD_MAP_H_

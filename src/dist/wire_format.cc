@@ -1,0 +1,406 @@
+#include "dist/wire_format.h"
+
+#include <cstring>
+#include <string_view>
+
+namespace qrank {
+namespace {
+
+// Fixed payload sizes (bytes). Trailing-array messages list the fixed
+// prefix only; see the layout table in wire_format.h.
+constexpr size_t kTopKRequestBytes = 40;
+constexpr size_t kTopKResponseFixedBytes = 24;
+constexpr size_t kTopKEntryBytes = 24;
+constexpr size_t kResolveRequestFixedBytes = 16;
+constexpr size_t kResolveResponseFixedBytes = 16;
+constexpr size_t kResolveEntryBytes = 24;
+constexpr size_t kInfoRequestBytes = 8;
+constexpr size_t kInfoResponseBytes = 40;
+constexpr size_t kErrorFixedBytes = 16;
+constexpr size_t kMaxErrorMessageBytes = 4096;
+
+void WriteU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof v); }
+void WriteU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof v); }
+void WriteF64(uint8_t* p, double v) { std::memcpy(p, &v, sizeof v); }
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+double ReadF64(const uint8_t* p) {
+  double v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+// Lays out the frame header for a payload of `payload_len` bytes and
+// returns a pointer to the payload region. The CRC slot is filled by
+// SealFrame once the payload bytes are in place.
+uint8_t* BeginFrame(FrameType type, size_t payload_len,
+                    std::vector<uint8_t>* frame) {
+  QRANK_CHECK(payload_len <= kMaxFramePayload)
+      << "encoder produced oversized frame payload: " << payload_len;
+  frame->clear();
+  frame->resize(kFrameHeaderBytes + payload_len);
+  uint8_t* p = frame->data();
+  std::memcpy(p, kFrameMagic, sizeof kFrameMagic);
+  p[4] = static_cast<uint8_t>(type);
+  p[5] = 0;  // flags
+  p[6] = 0;  // reserved
+  p[7] = 0;
+  WriteU32(p + 8, static_cast<uint32_t>(payload_len));
+  WriteU32(p + 12, 0);  // CRC placeholder
+  return p + kFrameHeaderBytes;
+}
+
+void SealFrame(std::vector<uint8_t>* frame) {
+  uint8_t* p = frame->data();
+  const uint32_t crc =
+      BundleCrc32(p + kFrameHeaderBytes, frame->size() - kFrameHeaderBytes,
+                  BundleCrc32(p, 12));
+  WriteU32(p + 12, crc);
+}
+
+}  // namespace
+
+bool FrameTypeKnown(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kTopKRequest) &&
+         t <= static_cast<uint8_t>(FrameType::kError);
+}
+
+const char* FrameTypeName(uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kTopKRequest:
+      return "topk_request";
+    case FrameType::kTopKResponse:
+      return "topk_response";
+    case FrameType::kResolveRequest:
+      return "resolve_request";
+    case FrameType::kResolveResponse:
+      return "resolve_response";
+    case FrameType::kInfoRequest:
+      return "info_request";
+    case FrameType::kInfoResponse:
+      return "info_response";
+    case FrameType::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void EncodeTopKRequest(const WireTopKRequest& req,
+                       std::vector<uint8_t>* frame) {
+  uint8_t* p = BeginFrame(FrameType::kTopKRequest, kTopKRequestBytes, frame);
+  WriteU64(p + 0, req.request_id);
+  WriteU32(p + 8, req.k);
+  WriteU32(p + 12, req.site);
+  WriteF64(p + 16, req.blend_alpha);
+  WriteF64(p + 24, req.exploration_epsilon);
+  WriteU64(p + 32, req.exploration_seed);
+  SealFrame(frame);
+}
+
+void EncodeTopKResponse(const WireTopKResponse& resp,
+                        std::vector<uint8_t>* frame) {
+  QRANK_CHECK(resp.entries.size() <= kMaxWireTopK)
+      << "oversized topk response: " << resp.entries.size();
+  const size_t payload_len =
+      kTopKResponseFixedBytes + resp.entries.size() * kTopKEntryBytes;
+  uint8_t* p = BeginFrame(FrameType::kTopKResponse, payload_len, frame);
+  WriteU64(p + 0, resp.request_id);
+  WriteU32(p + 8, resp.status);
+  WriteU32(p + 12, static_cast<uint32_t>(resp.entries.size()));
+  WriteU32(p + 16, resp.shard_index);
+  WriteU32(p + 20, 0);  // reserved
+  uint8_t* e = p + kTopKResponseFixedBytes;
+  for (const WireTopKEntry& entry : resp.entries) {
+    WriteU32(e + 0, entry.global_row);
+    WriteU32(e + 4, entry.page_id);
+    WriteF64(e + 8, entry.score);
+    WriteU32(e + 16, entry.promoted);
+    WriteU32(e + 20, 0);  // reserved
+    e += kTopKEntryBytes;
+  }
+  SealFrame(frame);
+}
+
+void EncodeResolveRequest(const WireResolveRequest& req,
+                          std::vector<uint8_t>* frame) {
+  QRANK_CHECK(req.global_rows.size() <= kMaxWireResolveRows)
+      << "oversized resolve request: " << req.global_rows.size();
+  const size_t payload_len =
+      kResolveRequestFixedBytes + req.global_rows.size() * sizeof(uint32_t);
+  uint8_t* p = BeginFrame(FrameType::kResolveRequest, payload_len, frame);
+  WriteU64(p + 0, req.request_id);
+  WriteU32(p + 8, static_cast<uint32_t>(req.global_rows.size()));
+  WriteU32(p + 12, 0);  // reserved
+  uint8_t* e = p + kResolveRequestFixedBytes;
+  for (const uint32_t row : req.global_rows) {
+    WriteU32(e, row);
+    e += sizeof(uint32_t);
+  }
+  SealFrame(frame);
+}
+
+void EncodeResolveResponse(const WireResolveResponse& resp,
+                           std::vector<uint8_t>* frame) {
+  QRANK_CHECK(resp.entries.size() <= kMaxWireResolveRows)
+      << "oversized resolve response: " << resp.entries.size();
+  const size_t payload_len =
+      kResolveResponseFixedBytes + resp.entries.size() * kResolveEntryBytes;
+  uint8_t* p = BeginFrame(FrameType::kResolveResponse, payload_len, frame);
+  WriteU64(p + 0, resp.request_id);
+  WriteU32(p + 8, resp.status);
+  WriteU32(p + 12, static_cast<uint32_t>(resp.entries.size()));
+  uint8_t* e = p + kResolveResponseFixedBytes;
+  for (const WireResolveEntry& entry : resp.entries) {
+    WriteU32(e + 0, entry.global_row);
+    WriteU32(e + 4, entry.page_id);
+    WriteF64(e + 8, entry.quality);
+    WriteF64(e + 16, entry.pagerank);
+    e += kResolveEntryBytes;
+  }
+  SealFrame(frame);
+}
+
+void EncodeInfoRequest(uint64_t request_id, std::vector<uint8_t>* frame) {
+  uint8_t* p = BeginFrame(FrameType::kInfoRequest, kInfoRequestBytes, frame);
+  WriteU64(p, request_id);
+  SealFrame(frame);
+}
+
+void EncodeInfoResponse(const WireInfoResponse& resp,
+                        std::vector<uint8_t>* frame) {
+  uint8_t* p = BeginFrame(FrameType::kInfoResponse, kInfoResponseBytes, frame);
+  WriteU64(p + 0, resp.request_id);
+  WriteU32(p + 8, resp.shard_index);
+  WriteU32(p + 12, resp.num_shards);
+  WriteU32(p + 16, resp.num_local_pages);
+  WriteU32(p + 20, resp.num_sites);
+  WriteU64(p + 24, resp.total_pages);
+  WriteU64(p + 32, resp.generation);
+  SealFrame(frame);
+}
+
+void EncodeError(uint64_t request_id, const Status& error,
+                 std::vector<uint8_t>* frame) {
+  std::string_view msg = error.message();
+  if (msg.size() > kMaxErrorMessageBytes) msg = msg.substr(0, kMaxErrorMessageBytes);
+  const size_t payload_len = kErrorFixedBytes + msg.size();
+  uint8_t* p = BeginFrame(FrameType::kError, payload_len, frame);
+  WriteU64(p + 0, request_id);
+  WriteU32(p + 8, static_cast<uint32_t>(error.code()));
+  WriteU32(p + 12, static_cast<uint32_t>(msg.size()));
+  std::memcpy(p + kErrorFixedBytes, msg.data(), msg.size());
+  SealFrame(frame);
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::span<const uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status::Corruption("frame header truncated: " +
+                              std::to_string(bytes.size()) + " bytes");
+  }
+  const uint8_t* p = bytes.data();
+  if (std::memcmp(p, kFrameMagic, sizeof kFrameMagic) != 0) {
+    return Status::Corruption("bad frame magic");
+  }
+  if (!FrameTypeKnown(p[4])) {
+    return Status::Corruption("unknown frame type " + std::to_string(p[4]));
+  }
+  if (p[5] != 0 || p[6] != 0 || p[7] != 0) {
+    return Status::Corruption("nonzero frame flags/reserved bytes");
+  }
+  FrameHeader header;
+  header.type = static_cast<FrameType>(p[4]);
+  header.payload_len = ReadU32(p + 8);
+  header.frame_crc32 = ReadU32(p + 12);
+  if (header.payload_len > kMaxFramePayload) {
+    return Status::Corruption("frame payload length " +
+                              std::to_string(header.payload_len) +
+                              " exceeds cap");
+  }
+  return header;
+}
+
+Result<FrameHeader> DecodeFrame(std::span<const uint8_t> frame) {
+  Result<FrameHeader> header = DecodeFrameHeader(frame);
+  if (!header.ok()) return header;
+  const size_t want = kFrameHeaderBytes + size_t{header.value().payload_len};
+  if (frame.size() != want) {
+    return Status::Corruption(
+        "frame size mismatch: have " + std::to_string(frame.size()) +
+        " bytes, header declares " + std::to_string(want));
+  }
+  const uint32_t crc =
+      BundleCrc32(frame.data() + kFrameHeaderBytes,
+                  header.value().payload_len, BundleCrc32(frame.data(), 12));
+  if (crc != header.value().frame_crc32) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  return header;
+}
+
+Status DecodeTopKRequest(std::span<const uint8_t> payload,
+                         WireTopKRequest* out) {
+  if (payload.size() != kTopKRequestBytes) {
+    return Status::Corruption("topk request payload size " +
+                              std::to_string(payload.size()));
+  }
+  const uint8_t* p = payload.data();
+  out->request_id = ReadU64(p + 0);
+  out->k = ReadU32(p + 8);
+  out->site = ReadU32(p + 12);
+  out->blend_alpha = ReadF64(p + 16);
+  out->exploration_epsilon = ReadF64(p + 24);
+  out->exploration_seed = ReadU64(p + 32);
+  if (out->k > kMaxWireTopK) {
+    return Status::Corruption("topk request k " + std::to_string(out->k) +
+                              " exceeds cap");
+  }
+  return Status::OK();
+}
+
+Status DecodeTopKResponse(std::span<const uint8_t> payload,
+                          WireTopKResponse* out) {
+  if (payload.size() < kTopKResponseFixedBytes) {
+    return Status::Corruption("topk response payload truncated");
+  }
+  const uint8_t* p = payload.data();
+  const uint32_t entry_count = ReadU32(p + 12);
+  if (entry_count > kMaxWireTopK) {
+    return Status::Corruption("topk response entry count " +
+                              std::to_string(entry_count) + " exceeds cap");
+  }
+  if (payload.size() !=
+      kTopKResponseFixedBytes + size_t{entry_count} * kTopKEntryBytes) {
+    return Status::Corruption("topk response payload size mismatch");
+  }
+  out->request_id = ReadU64(p + 0);
+  out->status = ReadU32(p + 8);
+  out->shard_index = ReadU32(p + 16);
+  out->entries.resize(entry_count);
+  const uint8_t* e = p + kTopKResponseFixedBytes;
+  for (uint32_t i = 0; i < entry_count; ++i) {
+    WireTopKEntry& entry = out->entries[i];
+    entry.global_row = ReadU32(e + 0);
+    entry.page_id = ReadU32(e + 4);
+    entry.score = ReadF64(e + 8);
+    const uint32_t promoted = ReadU32(e + 16);
+    if (promoted > 1) {
+      return Status::Corruption("topk response promoted flag out of range");
+    }
+    entry.promoted = static_cast<uint8_t>(promoted);
+    e += kTopKEntryBytes;
+  }
+  return Status::OK();
+}
+
+Status DecodeResolveRequest(std::span<const uint8_t> payload,
+                            WireResolveRequest* out) {
+  if (payload.size() < kResolveRequestFixedBytes) {
+    return Status::Corruption("resolve request payload truncated");
+  }
+  const uint8_t* p = payload.data();
+  const uint32_t row_count = ReadU32(p + 8);
+  if (row_count > kMaxWireResolveRows) {
+    return Status::Corruption("resolve request row count " +
+                              std::to_string(row_count) + " exceeds cap");
+  }
+  if (payload.size() !=
+      kResolveRequestFixedBytes + size_t{row_count} * sizeof(uint32_t)) {
+    return Status::Corruption("resolve request payload size mismatch");
+  }
+  out->request_id = ReadU64(p + 0);
+  out->global_rows.resize(row_count);
+  const uint8_t* e = p + kResolveRequestFixedBytes;
+  for (uint32_t i = 0; i < row_count; ++i) {
+    out->global_rows[i] = ReadU32(e);
+    e += sizeof(uint32_t);
+  }
+  return Status::OK();
+}
+
+Status DecodeResolveResponse(std::span<const uint8_t> payload,
+                             WireResolveResponse* out) {
+  if (payload.size() < kResolveResponseFixedBytes) {
+    return Status::Corruption("resolve response payload truncated");
+  }
+  const uint8_t* p = payload.data();
+  const uint32_t entry_count = ReadU32(p + 12);
+  if (entry_count > kMaxWireResolveRows) {
+    return Status::Corruption("resolve response entry count " +
+                              std::to_string(entry_count) + " exceeds cap");
+  }
+  if (payload.size() !=
+      kResolveResponseFixedBytes + size_t{entry_count} * kResolveEntryBytes) {
+    return Status::Corruption("resolve response payload size mismatch");
+  }
+  out->request_id = ReadU64(p + 0);
+  out->status = ReadU32(p + 8);
+  out->entries.resize(entry_count);
+  const uint8_t* e = p + kResolveResponseFixedBytes;
+  for (uint32_t i = 0; i < entry_count; ++i) {
+    WireResolveEntry& entry = out->entries[i];
+    entry.global_row = ReadU32(e + 0);
+    entry.page_id = ReadU32(e + 4);
+    entry.quality = ReadF64(e + 8);
+    entry.pagerank = ReadF64(e + 16);
+    e += kResolveEntryBytes;
+  }
+  return Status::OK();
+}
+
+Status DecodeInfoRequest(std::span<const uint8_t> payload,
+                         uint64_t* request_id) {
+  if (payload.size() != kInfoRequestBytes) {
+    return Status::Corruption("info request payload size " +
+                              std::to_string(payload.size()));
+  }
+  *request_id = ReadU64(payload.data());
+  return Status::OK();
+}
+
+Status DecodeInfoResponse(std::span<const uint8_t> payload,
+                          WireInfoResponse* out) {
+  if (payload.size() != kInfoResponseBytes) {
+    return Status::Corruption("info response payload size " +
+                              std::to_string(payload.size()));
+  }
+  const uint8_t* p = payload.data();
+  out->request_id = ReadU64(p + 0);
+  out->shard_index = ReadU32(p + 8);
+  out->num_shards = ReadU32(p + 12);
+  out->num_local_pages = ReadU32(p + 16);
+  out->num_sites = ReadU32(p + 20);
+  out->total_pages = ReadU64(p + 24);
+  out->generation = ReadU64(p + 32);
+  return Status::OK();
+}
+
+Status DecodeError(std::span<const uint8_t> payload, WireError* out) {
+  if (payload.size() < kErrorFixedBytes) {
+    return Status::Corruption("error payload truncated");
+  }
+  const uint8_t* p = payload.data();
+  const uint32_t message_len = ReadU32(p + 12);
+  if (message_len > kMaxErrorMessageBytes) {
+    return Status::Corruption("error message length " +
+                              std::to_string(message_len) + " exceeds cap");
+  }
+  if (payload.size() != kErrorFixedBytes + size_t{message_len}) {
+    return Status::Corruption("error payload size mismatch");
+  }
+  out->request_id = ReadU64(p + 0);
+  out->status = ReadU32(p + 8);
+  out->message.assign(reinterpret_cast<const char*>(p + kErrorFixedBytes),
+                      message_len);
+  return Status::OK();
+}
+
+}  // namespace qrank

@@ -1,0 +1,219 @@
+// Wire format of the distributed query tier ("QRKF" frames), shared by
+// the worker server and the coordinator client (src/dist/rpc.*).
+//
+// Every message on a coordinator<->worker connection is one frame:
+//
+//   offset  size  field
+//   0       4     magic "QRKF"
+//   4       1     type (FrameType)
+//   5       1     flags (zero in v1)
+//   6       2     reserved (zero)
+//   8       4     payload_len, little-endian, <= kMaxFramePayload
+//   12      4     frame_crc32 (bundle_format.h's reflected CRC-32 over
+//                 header bytes [0, 12) then the payload)
+//   16      --    payload (type-specific layout below)
+//
+// The frame header carries everything a reader needs to bound its work
+// BEFORE touching the payload: magic + type reject desynchronized or
+// foreign streams, payload_len is capped so a corrupt length can never
+// drive an allocation (the PR-3/QRKB hardened reader contract), and the
+// frame CRC turns any in-flight corruption into Status::Corruption
+// instead of a misparsed query. The CRC deliberately covers the header
+// prefix too: several FrameType values are one bit apart, so a
+// payload-only CRC would let a flipped type byte re-interpret a valid
+// payload as the wrong message. The per-byte bit-flip and truncation
+// sweeps in tests/dist/wire_format_test.cc pin this down: every
+// corrupted or truncated frame must decode to an error, never crash,
+// over-read, or silently succeed.
+//
+// Payload layouts (all integers and doubles little-endian; fixed part
+// first, then trailing arrays):
+//
+//   kTopKRequest    request_id u64, k u32, site u32, blend_alpha f64,
+//                   exploration_epsilon f64, exploration_seed u64
+//   kTopKResponse   request_id u64, status u32, entry_count u32,
+//                   shard_index u32, reserved u32,
+//                   entries[entry_count]: global_row u32, page_id u32,
+//                   score f64, promoted u32, reserved u32   (24 B each)
+//   kResolveRequest request_id u64, row_count u32, reserved u32,
+//                   global_rows u32[row_count]
+//   kResolveResponse request_id u64, status u32, entry_count u32,
+//                   entries[entry_count]: global_row u32, page_id u32,
+//                   quality f64, pagerank f64               (24 B each)
+//   kInfoRequest    request_id u64
+//   kInfoResponse   request_id u64, shard_index u32, num_shards u32,
+//                   num_local_pages u32, num_sites u32, total_pages u64,
+//                   generation u64
+//   kError          request_id u64, status u32, message_len u32,
+//                   message bytes (not NUL-terminated)
+//
+// Rows on the wire are GLOBAL rows of the unsharded bundle: the worker
+// translates its local bundle rows through the shard meta
+// (shard_map.h), which is what lets the coordinator merge per-shard
+// answers with the exact (score desc, row asc) tie-break of the
+// single-process oracle.
+
+#ifndef QRANK_DIST_WIRE_FORMAT_H_
+#define QRANK_DIST_WIRE_FORMAT_H_
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/bundle_format.h"
+
+namespace qrank {
+
+static_assert(std::endian::native == std::endian::little,
+              "QRKF frames are little-endian; big-endian hosts would "
+              "need byte-swapping codec paths");
+
+inline constexpr char kFrameMagic[4] = {'Q', 'R', 'K', 'F'};
+inline constexpr uint32_t kFrameHeaderBytes = 16;
+/// Hard payload cap: bounds every allocation a decoder can be driven
+/// into by a corrupt or hostile length field. Generous enough for a
+/// 64k-entry response (64k * 24 B = 1.5 MiB) with headroom.
+inline constexpr uint32_t kMaxFramePayload = 8u << 20;
+/// Hard cap on k in a request and entries in a response.
+inline constexpr uint32_t kMaxWireTopK = 65536;
+/// Hard cap on rows in one resolve request.
+inline constexpr uint32_t kMaxWireResolveRows = 65536;
+
+enum class FrameType : uint8_t {
+  kTopKRequest = 1,
+  kTopKResponse = 2,
+  kResolveRequest = 3,
+  kResolveResponse = 4,
+  kInfoRequest = 5,
+  kInfoResponse = 6,
+  kError = 7,
+};
+
+/// True iff `t` is a v1 frame type.
+bool FrameTypeKnown(uint8_t t);
+
+/// Stable name for logs ("topk_request", ...; "unknown" otherwise).
+const char* FrameTypeName(uint8_t t);
+
+struct FrameHeader {
+  FrameType type = FrameType::kError;
+  uint32_t payload_len = 0;
+  /// CRC-32 over header bytes [0, 12) chained into the payload.
+  uint32_t frame_crc32 = 0;
+};
+
+struct WireTopKRequest {
+  uint64_t request_id = 0;
+  uint32_t k = 0;
+  uint32_t site = 0;  // kAllSites sentinel = 0xffffffff
+  double blend_alpha = 1.0;
+  double exploration_epsilon = 0.0;
+  uint64_t exploration_seed = 0;
+};
+
+struct WireTopKEntry {
+  uint32_t global_row = 0;
+  uint32_t page_id = 0;
+  double score = 0.0;
+  uint8_t promoted = 0;
+};
+
+struct WireTopKResponse {
+  uint64_t request_id = 0;
+  uint32_t status = 0;  // StatusCode as u32; entries valid only when kOk
+  uint32_t shard_index = 0;
+  std::vector<WireTopKEntry> entries;  // reused across decodes
+};
+
+struct WireResolveRequest {
+  uint64_t request_id = 0;
+  std::vector<uint32_t> global_rows;  // reused across decodes
+};
+
+struct WireResolveEntry {
+  uint32_t global_row = 0;
+  uint32_t page_id = 0;
+  double quality = 0.0;
+  double pagerank = 0.0;
+};
+
+struct WireResolveResponse {
+  uint64_t request_id = 0;
+  uint32_t status = 0;
+  std::vector<WireResolveEntry> entries;  // reused across decodes
+};
+
+struct WireInfoResponse {
+  uint64_t request_id = 0;
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 0;
+  uint32_t num_local_pages = 0;
+  uint32_t num_sites = 0;
+  uint64_t total_pages = 0;
+  uint64_t generation = 0;
+};
+
+struct WireError {
+  uint64_t request_id = 0;
+  uint32_t status = 0;
+  std::string message;
+};
+
+// --- Encoding -------------------------------------------------------
+//
+// Every encoder clears `frame` and writes one complete frame (header +
+// payload) into it; capacity is reused, so a warmed caller encodes
+// without allocating.
+
+void EncodeTopKRequest(const WireTopKRequest& req, std::vector<uint8_t>* frame);
+void EncodeTopKResponse(const WireTopKResponse& resp,
+                        std::vector<uint8_t>* frame);
+void EncodeResolveRequest(const WireResolveRequest& req,
+                          std::vector<uint8_t>* frame);
+void EncodeResolveResponse(const WireResolveResponse& resp,
+                           std::vector<uint8_t>* frame);
+void EncodeInfoRequest(uint64_t request_id, std::vector<uint8_t>* frame);
+void EncodeInfoResponse(const WireInfoResponse& resp,
+                        std::vector<uint8_t>* frame);
+void EncodeError(uint64_t request_id, const Status& error,
+                 std::vector<uint8_t>* frame);
+
+// --- Decoding -------------------------------------------------------
+
+/// Validates the 16 fixed header bytes: magic, known type, zero
+/// flags/reserved, payload_len <= kMaxFramePayload. Needs only
+/// kFrameHeaderBytes input — safe to run before any payload read or
+/// allocation. Corruption on any violation.
+Result<FrameHeader> DecodeFrameHeader(std::span<const uint8_t> bytes);
+
+/// Full-frame decode entry: header validation, then length and CRC
+/// checks of the payload slice. Returns the validated header; the
+/// payload is frame.subspan(kFrameHeaderBytes). Used by the stream
+/// reader after it has read exactly header.payload_len payload bytes,
+/// and by the fuzz-style sweeps on whole captured frames.
+Result<FrameHeader> DecodeFrame(std::span<const uint8_t> frame);
+
+/// Typed payload decoders. Each validates the payload length against
+/// the declared counts BEFORE resizing any output vector, so a corrupt
+/// count dies in validation, not in operator new. Output containers are
+/// reused (resize within capacity after warm-up).
+Status DecodeTopKRequest(std::span<const uint8_t> payload,
+                         WireTopKRequest* out);
+Status DecodeTopKResponse(std::span<const uint8_t> payload,
+                          WireTopKResponse* out);
+Status DecodeResolveRequest(std::span<const uint8_t> payload,
+                            WireResolveRequest* out);
+Status DecodeResolveResponse(std::span<const uint8_t> payload,
+                             WireResolveResponse* out);
+Status DecodeInfoRequest(std::span<const uint8_t> payload,
+                         uint64_t* request_id);
+Status DecodeInfoResponse(std::span<const uint8_t> payload,
+                          WireInfoResponse* out);
+Status DecodeError(std::span<const uint8_t> payload, WireError* out);
+
+}  // namespace qrank
+
+#endif  // QRANK_DIST_WIRE_FORMAT_H_

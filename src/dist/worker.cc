@@ -1,0 +1,202 @@
+#include "dist/worker.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace qrank {
+
+Status WorkerServer::Init(const std::string& bundle_path,
+                          const std::string& meta_path) {
+  if (initialized_) {
+    return Status::FailedPrecondition("WorkerServer already initialized");
+  }
+  QRANK_ASSIGN_OR_RETURN(ShardMeta meta, LoadShardMeta(meta_path));
+  QRANK_ASSIGN_OR_RETURN(LoadedBundle bundle,
+                         LoadedBundle::Load(bundle_path, /*prefer_mmap=*/true));
+  if (bundle.num_pages() != meta.global_rows.size()) {
+    return Status::FailedPrecondition(
+        "shard bundle has " + std::to_string(bundle.num_pages()) +
+        " pages but QRKS sidecar maps " +
+        std::to_string(meta.global_rows.size()));
+  }
+  if (bundle.num_sites() != meta.num_sites) {
+    return Status::FailedPrecondition(
+        "shard bundle/sidecar site count mismatch (bundles keep the "
+        "global site space)");
+  }
+  meta_ = std::move(meta);
+  store_.Publish(std::move(bundle));
+  bundle_ = store_.Acquire();
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status WorkerServer::Start() {
+  if (!initialized_) {
+    return Status::FailedPrecondition("WorkerServer::Init must succeed first");
+  }
+  if (server_ != nullptr) {
+    return Status::FailedPrecondition("WorkerServer already started");
+  }
+  RpcServer::Options options;
+  options.host = options_.host;
+  options.port = options_.port;
+  server_ = std::make_unique<RpcServer>(
+      options, [this](const FrameHeader& header,
+                      std::span<const uint8_t> payload,
+                      std::vector<uint8_t>* response) {
+        HandleFrame(header, payload, response);
+      });
+  Status started = server_->Start();
+  if (!started.ok()) server_.reset();
+  return started;
+}
+
+void WorkerServer::Stop() {
+  if (server_ != nullptr) server_->Stop();
+}
+
+uint16_t WorkerServer::port() const {
+  return server_ != nullptr ? server_->port() : 0;
+}
+
+uint64_t WorkerServer::queries_served() const {
+  MutexLock lock(&mu_);
+  return queries_served_;
+}
+
+void WorkerServer::HandleFrame(const FrameHeader& header,
+                               std::span<const uint8_t> payload,
+                               std::vector<uint8_t>* response) {
+  switch (header.type) {
+    case FrameType::kTopKRequest:
+      HandleTopK(payload, response);
+      return;
+    case FrameType::kResolveRequest:
+      HandleResolve(payload, response);
+      return;
+    case FrameType::kInfoRequest:
+      HandleInfo(payload, response);
+      return;
+    default:
+      // Response-typed or error frames make no sense inbound; answer
+      // with an error frame and let the client decide.
+      EncodeError(0,
+                  Status::InvalidArgument(
+                      std::string("worker cannot serve frame type ") +
+                      FrameTypeName(static_cast<uint8_t>(header.type))),
+                  response);
+      return;
+  }
+}
+
+void WorkerServer::HandleTopK(std::span<const uint8_t> payload,
+                              std::vector<uint8_t>* response) {
+  // One scratch per connection thread: queries on a connection reuse
+  // it, so the engine stays allocation-free after warm-up and no
+  // engine state is shared across threads.
+  thread_local TopKScratch scratch;
+  thread_local WireTopKRequest request;
+  thread_local WireTopKResponse reply;
+
+  const Status decoded = DecodeTopKRequest(payload, &request);
+  if (!decoded.ok()) {
+    EncodeError(0, decoded, response);
+    return;
+  }
+
+  TopKQuery query;
+  query.k = request.k;
+  query.blend_alpha = request.blend_alpha;
+  query.site = request.site;
+  query.exploration_epsilon = request.exploration_epsilon;
+  query.exploration_seed = request.exploration_seed;
+
+  reply.request_id = request.request_id;
+  reply.shard_index = meta_.shard_index;
+  reply.entries.clear();
+
+  Status served = Status::OK();
+  // A site query for a site this shard does not own has an empty
+  // posting group and legitimately returns zero entries; the
+  // coordinator routes site queries to the owner, so this only
+  // happens to misrouted or hand-written clients.
+  if (query.site != kAllSites && query.site >= meta_.num_sites) {
+    served = Status::InvalidArgument("site out of range");
+  } else {
+    served = QueryEngine::TopKOnBundle(*bundle_, query, &scratch);
+  }
+  reply.status = static_cast<uint32_t>(served.code());
+  if (served.ok()) {
+    for (const TopKEntry& e : scratch.results()) {
+      WireTopKEntry entry;
+      entry.global_row = meta_.global_rows[e.row];
+      entry.page_id = e.page_id;
+      entry.score = e.score;
+      entry.promoted = e.promoted ? 1 : 0;
+      reply.entries.push_back(entry);
+    }
+  }
+
+  if (options_.test_response_delay.count() > 0) {
+    std::this_thread::sleep_for(options_.test_response_delay);
+  }
+  EncodeTopKResponse(reply, response);
+  MutexLock lock(&mu_);
+  ++queries_served_;
+}
+
+void WorkerServer::HandleResolve(std::span<const uint8_t> payload,
+                                 std::vector<uint8_t>* response) {
+  thread_local WireResolveRequest request;
+  thread_local WireResolveResponse reply;
+
+  const Status decoded = DecodeResolveRequest(payload, &request);
+  if (!decoded.ok()) {
+    EncodeError(0, decoded, response);
+    return;
+  }
+
+  reply.request_id = request.request_id;
+  reply.status = static_cast<uint32_t>(StatusCode::kOk);
+  reply.entries.clear();
+  const std::span<const double> quality = bundle_->quality();
+  const std::span<const double> pagerank = bundle_->pagerank();
+  const std::span<const NodeId> page_ids = bundle_->page_ids();
+  for (const uint32_t global_row : request.global_rows) {
+    // global_rows is strictly ascending: binary-search the local row.
+    const auto it = std::lower_bound(meta_.global_rows.begin(),
+                                     meta_.global_rows.end(), global_row);
+    if (it == meta_.global_rows.end() || *it != global_row) continue;
+    const auto local =
+        static_cast<size_t>(it - meta_.global_rows.begin());
+    WireResolveEntry entry;
+    entry.global_row = global_row;
+    entry.page_id = page_ids[local];
+    entry.quality = quality[local];
+    entry.pagerank = pagerank[local];
+    reply.entries.push_back(entry);
+  }
+  EncodeResolveResponse(reply, response);
+}
+
+void WorkerServer::HandleInfo(std::span<const uint8_t> payload,
+                              std::vector<uint8_t>* response) {
+  uint64_t request_id = 0;
+  const Status decoded = DecodeInfoRequest(payload, &request_id);
+  if (!decoded.ok()) {
+    EncodeError(0, decoded, response);
+    return;
+  }
+  WireInfoResponse info;
+  info.request_id = request_id;
+  info.shard_index = meta_.shard_index;
+  info.num_shards = meta_.num_shards;
+  info.num_local_pages = static_cast<uint32_t>(meta_.global_rows.size());
+  info.num_sites = meta_.num_sites;
+  info.total_pages = meta_.total_pages;
+  info.generation = store_.generation();
+  EncodeInfoResponse(info, response);
+}
+
+}  // namespace qrank

@@ -1,0 +1,105 @@
+// WorkerServer: one shard of the distributed query tier.
+//
+// A worker mmaps its shard bundle (shard_<i>.qrkb) into a
+// SnapshotStore, loads the QRKS sidecar for local->global row
+// translation, and answers QRKF frames over an RpcServer:
+//
+//   kTopKRequest    -> QueryEngine::TopK on the shard bundle, rows
+//                      translated to global, scores/promotions exactly
+//                      as the single-process engine computes them.
+//   kResolveRequest -> (page_id, quality, pagerank) for the global
+//                      rows this shard owns; rows of other shards are
+//                      silently skipped (the coordinator targets every
+//                      shard and unions the answers).
+//   kInfoRequest    -> shard shape + current store generation.
+//
+// Query execution is thread-per-connection (the RpcServer's model);
+// each connection thread keeps its own TopKScratch, so concurrent
+// queries never share mutable engine state and stay allocation-free
+// after warm-up.
+
+#ifndef QRANK_DIST_WORKER_H_
+#define QRANK_DIST_WORKER_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "dist/rpc.h"
+#include "dist/shard_map.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot_store.h"
+
+namespace qrank {
+
+class WorkerServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 picks an ephemeral port; see port().
+    uint16_t port = 0;
+    /// Fault-injection hook: hold every TopK response for this long
+    /// before sending it, so tests can kill the worker (or trip the
+    /// coordinator's hedge/deadline logic) with requests reliably
+    /// mid-stream. Zero in production.
+    std::chrono::milliseconds test_response_delay{0};
+  };
+
+  explicit WorkerServer(Options options) : options_(std::move(options)) {}
+  ~WorkerServer() { Stop(); }
+
+  WorkerServer(const WorkerServer&) = delete;
+  WorkerServer& operator=(const WorkerServer&) = delete;
+
+  /// Loads the shard bundle (mmap) + QRKS sidecar and cross-checks
+  /// them (page counts, site counts, row range). Must be called once
+  /// before Start().
+  Status Init(const std::string& bundle_path, const std::string& meta_path);
+
+  /// Starts the RPC server. Init must have succeeded.
+  Status Start();
+
+  /// Stops the RPC server and joins its threads. Idempotent. A stopped
+  /// worker cannot be restarted — construct a fresh WorkerServer to
+  /// simulate a rejoin.
+  void Stop();
+
+  uint16_t port() const;
+  uint32_t shard_index() const { return meta_.shard_index; }
+  NodeId num_local_pages() const {
+    return static_cast<NodeId>(meta_.global_rows.size());
+  }
+
+  /// TopK queries answered since Start (for tests/stats).
+  uint64_t queries_served() const QRANK_EXCLUDES(mu_);
+
+ private:
+  void HandleFrame(const FrameHeader& header, std::span<const uint8_t> payload,
+                   std::vector<uint8_t>* response);
+  void HandleTopK(std::span<const uint8_t> payload,
+                  std::vector<uint8_t>* response);
+  void HandleResolve(std::span<const uint8_t> payload,
+                     std::vector<uint8_t>* response);
+  void HandleInfo(std::span<const uint8_t> payload,
+                  std::vector<uint8_t>* response);
+
+  const Options options_;
+
+  // Immutable after Init (worker v1 serves one generation; the ingest
+  // replication follow-on will publish new generations through store_).
+  ShardMeta meta_;
+  SnapshotStore store_;
+  std::shared_ptr<const LoadedBundle> bundle_;
+  bool initialized_ = false;
+
+  std::unique_ptr<RpcServer> server_;
+
+  mutable Mutex mu_;
+  uint64_t queries_served_ QRANK_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace qrank
+
+#endif  // QRANK_DIST_WORKER_H_

@@ -1,0 +1,283 @@
+// Shard partitioning + QRKM/QRKS persistence: the site-disjointness /
+// monotone-row-map invariants the exact-merge argument needs, balance
+// of the weight-based splitter, file round-trips, and the hardened
+// reader sweeps (every bit flip and truncation of a saved file must
+// fail to load — both formats chain their header prefix into the body
+// CRC exactly so this is assertable).
+
+#include "dist/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/score_bundle.h"
+
+namespace qrank {
+namespace {
+
+constexpr NodeId kPages = 900;
+constexpr SiteId kSites = 41;
+
+const LoadedBundle& Bundle() {
+  static const LoadedBundle b = [] {
+    Rng rng(13);
+    ScoreBundleSource src;
+    src.quality.resize(kPages);
+    src.pagerank.resize(kPages);
+    src.site_ids.resize(kPages);
+    for (NodeId i = 0; i < kPages; ++i) {
+      src.quality[i] = rng.Pareto(1.0, 1.2);
+      src.pagerank[i] = rng.Pareto(1.0, 1.2);
+      src.site_ids[i] = static_cast<SiteId>(rng.UniformUint64(kSites));
+    }
+    src.num_sites = kSites;
+    src.creator_tag = 777;
+    return LoadedBundle::FromBuffer(
+               ScoreBundleWriter::Create(std::move(src)).value().Serialize())
+        .value();
+  }();
+  return b;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in) << path;
+  std::vector<uint8_t> bytes(static_cast<size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out) << path;
+}
+
+TEST(ShardMapTest, CoversAllSitesDisjointlyAndBalanced) {
+  for (const uint32_t shards : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    const Result<ShardMap> map = BuildShardMap(Bundle(), shards);
+    ASSERT_TRUE(map.ok()) << map.status().ToString();
+    const ShardMap& m = map.value();
+    EXPECT_EQ(m.num_shards, shards);
+    EXPECT_EQ(m.num_sites, kSites);
+    EXPECT_EQ(m.total_pages, kPages);
+    ASSERT_EQ(m.site_boundaries.size(), size_t{shards} + 1);
+    EXPECT_EQ(m.site_boundaries.front(), 0u);
+    EXPECT_EQ(m.site_boundaries.back(), kSites);
+    uint64_t covered = 0;
+    for (uint32_t s = 0; s < shards; ++s) {
+      ASSERT_LE(m.site_boundaries[s], m.site_boundaries[s + 1]);
+      const uint32_t pages =
+          Bundle().site_offsets()[m.site_boundaries[s + 1]] -
+          Bundle().site_offsets()[m.site_boundaries[s]];
+      EXPECT_GT(pages, 0u) << "shard " << s << " owns zero pages";
+      covered += pages;
+      // Every site in the range routes back to this shard.
+      for (SiteId site = m.site_boundaries[s]; site < m.site_boundaries[s + 1];
+           ++site) {
+        EXPECT_EQ(m.ShardForSite(site), s);
+      }
+    }
+    EXPECT_EQ(covered, kPages) << "shards must partition all pages";
+  }
+}
+
+TEST(ShardMapTest, RejectsImpossibleShardCounts) {
+  EXPECT_FALSE(BuildShardMap(Bundle(), 0).ok());
+  EXPECT_FALSE(BuildShardMap(Bundle(), kSites + 1).ok());
+  EXPECT_FALSE(BuildShardMap(Bundle(), kMaxShards + 1).ok());
+}
+
+TEST(ShardMapTest, RejectsShardThatWouldOwnZeroPages) {
+  // 6 sites declared, pages only on sites 0..2: splitting into 5
+  // contiguous site ranges strands at least two shards on empty sites
+  // (only 3 ranges can contain a nonempty site), so the builder must
+  // refuse rather than emit a shard no query could ever hit.
+  ScoreBundleSource src;
+  for (NodeId i = 0; i < 30; ++i) {
+    src.quality.push_back(1.0 + i);
+    src.pagerank.push_back(1.0);
+    src.site_ids.push_back(static_cast<SiteId>(i % 3));
+  }
+  src.num_sites = 6;
+  const LoadedBundle bundle =
+      LoadedBundle::FromBuffer(
+          ScoreBundleWriter::Create(std::move(src)).value().Serialize())
+          .value();
+  EXPECT_TRUE(BuildShardMap(bundle, 1).ok());
+  EXPECT_FALSE(BuildShardMap(bundle, 5).ok());
+}
+
+TEST(ShardMapTest, MapFileRoundTrip) {
+  const ShardMap map = BuildShardMap(Bundle(), 5).value();
+  const std::string path = TempPath("roundtrip.qrkm");
+  ASSERT_TRUE(SaveShardMap(map, path).ok());
+  const Result<ShardMap> loaded = LoadShardMap(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_shards, map.num_shards);
+  EXPECT_EQ(loaded.value().num_sites, map.num_sites);
+  EXPECT_EQ(loaded.value().total_pages, map.total_pages);
+  EXPECT_EQ(loaded.value().site_boundaries, map.site_boundaries);
+  std::remove(path.c_str());
+}
+
+TEST(ShardMapTest, MetaFileRoundTrip) {
+  ShardMeta meta;
+  meta.shard_index = 2;
+  meta.num_shards = 4;
+  meta.num_sites = kSites;
+  meta.total_pages = kPages;
+  meta.global_rows = {0, 5, 6, 80, 899};
+  const std::string path = TempPath("roundtrip.qrks");
+  ASSERT_TRUE(SaveShardMeta(meta, path).ok());
+  const Result<ShardMeta> loaded = LoadShardMeta(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().shard_index, meta.shard_index);
+  EXPECT_EQ(loaded.value().num_shards, meta.num_shards);
+  EXPECT_EQ(loaded.value().num_sites, meta.num_sites);
+  EXPECT_EQ(loaded.value().total_pages, meta.total_pages);
+  EXPECT_EQ(loaded.value().global_rows, meta.global_rows);
+  std::remove(path.c_str());
+}
+
+TEST(ShardMapTest, MetaRejectsNonAscendingRows) {
+  ShardMeta meta;
+  meta.shard_index = 0;
+  meta.num_shards = 1;
+  meta.num_sites = 3;
+  meta.total_pages = 100;
+  meta.global_rows = {4, 4, 9};  // duplicate
+  const std::string path = TempPath("dup_rows.qrks");
+  ASSERT_TRUE(SaveShardMeta(meta, path).ok());
+  EXPECT_FALSE(LoadShardMeta(path).ok());
+  meta.global_rows = {4, 100};  // out of range
+  ASSERT_TRUE(SaveShardMeta(meta, path).ok());
+  EXPECT_FALSE(LoadShardMeta(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ShardMapTest, EveryMapFileBitFlipIsCaught) {
+  const ShardMap map = BuildShardMap(Bundle(), 4).value();
+  const std::string path = TempPath("flip.qrkm");
+  const std::string mutated = TempPath("flip_mut.qrkm");
+  ASSERT_TRUE(SaveShardMap(map, path).ok());
+  std::vector<uint8_t> bytes = ReadAll(path);
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[byte] ^= static_cast<uint8_t>(1u << bit);
+      WriteAll(mutated, bytes);
+      EXPECT_FALSE(LoadShardMap(mutated).ok())
+          << "bit " << bit << " of byte " << byte << " flipped undetected";
+      bytes[byte] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
+  std::remove(path.c_str());
+  std::remove(mutated.c_str());
+}
+
+TEST(ShardMapTest, EveryMetaFileBitFlipAndTruncationIsCaught) {
+  ShardMeta meta;
+  meta.shard_index = 1;
+  meta.num_shards = 3;
+  meta.num_sites = 9;
+  meta.total_pages = 500;
+  meta.global_rows = {1, 2, 3, 250, 499};
+  const std::string path = TempPath("flip.qrks");
+  const std::string mutated = TempPath("flip_mut.qrks");
+  ASSERT_TRUE(SaveShardMeta(meta, path).ok());
+  const std::vector<uint8_t> original = ReadAll(path);
+  std::vector<uint8_t> bytes = original;
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[byte] ^= static_cast<uint8_t>(1u << bit);
+      WriteAll(mutated, bytes);
+      EXPECT_FALSE(LoadShardMeta(mutated).ok())
+          << "bit " << bit << " of byte " << byte << " flipped undetected";
+      bytes[byte] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
+  for (size_t len = 0; len < original.size(); ++len) {
+    WriteAll(mutated,
+             std::vector<uint8_t>(original.begin(), original.begin() + len));
+    EXPECT_FALSE(LoadShardMeta(mutated).ok())
+        << "truncation to " << len << " bytes loaded successfully";
+  }
+  std::remove(path.c_str());
+  std::remove(mutated.c_str());
+}
+
+TEST(ShardMapTest, SplitPartitionsRowsWithMonotoneLocalToGlobalMap) {
+  const std::string out_dir = TempPath("split_out");
+  ASSERT_TRUE(::mkdir(out_dir.c_str(), 0755) == 0 || errno == EEXIST);
+  const Result<ShardSplit> split = SplitBundleBySite(Bundle(), 4, out_dir);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+
+  std::vector<bool> row_seen(kPages, false);
+  for (uint32_t s = 0; s < 4; ++s) {
+    const Result<ShardMeta> meta = LoadShardMeta(split.value().meta_paths[s]);
+    ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+    const Result<LoadedBundle> shard =
+        LoadedBundle::Load(split.value().bundle_paths[s], /*prefer_mmap=*/
+                           false);
+    ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+    ASSERT_EQ(shard.value().num_pages(), meta.value().global_rows.size());
+    // Shard bundles keep the global site universe.
+    EXPECT_EQ(shard.value().num_sites(), kSites);
+    EXPECT_EQ(shard.value().creator_tag(), Bundle().creator_tag());
+    const SiteId site_lo = split.value().map.site_boundaries[s];
+    const SiteId site_hi = split.value().map.site_boundaries[s + 1];
+    uint32_t prev_row = 0;
+    for (size_t local = 0; local < meta.value().global_rows.size(); ++local) {
+      const uint32_t global = meta.value().global_rows[local];
+      if (local > 0) {
+        EXPECT_GT(global, prev_row) << "row map not monotone";
+      }
+      prev_row = global;
+      EXPECT_FALSE(row_seen[global]) << "row " << global << " in two shards";
+      row_seen[global] = true;
+      // Shard-local scores and metadata are the global row's verbatim.
+      EXPECT_EQ(shard.value().quality()[local], Bundle().quality()[global]);
+      EXPECT_EQ(shard.value().pagerank()[local], Bundle().pagerank()[global]);
+      EXPECT_EQ(shard.value().page_ids()[local], Bundle().page_ids()[global]);
+      EXPECT_EQ(shard.value().site_ids()[local], Bundle().site_ids()[global]);
+      EXPECT_GE(shard.value().site_ids()[local], site_lo);
+      EXPECT_LT(shard.value().site_ids()[local], site_hi);
+    }
+  }
+  for (NodeId r = 0; r < kPages; ++r) {
+    EXPECT_TRUE(row_seen[r]) << "row " << r << " lost by the split";
+  }
+
+  // Determinism: a second split writes byte-identical files.
+  const std::string out_dir2 = TempPath("split_out2");
+  ASSERT_TRUE(::mkdir(out_dir2.c_str(), 0755) == 0 || errno == EEXIST);
+  const Result<ShardSplit> again = SplitBundleBySite(Bundle(), 4, out_dir2);
+  ASSERT_TRUE(again.ok());
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(ReadAll(split.value().bundle_paths[s]),
+              ReadAll(again.value().bundle_paths[s]));
+    EXPECT_EQ(ReadAll(split.value().meta_paths[s]),
+              ReadAll(again.value().meta_paths[s]));
+  }
+  EXPECT_EQ(ReadAll(split.value().map_path),
+            ReadAll(again.value().map_path));
+}
+
+}  // namespace
+}  // namespace qrank

@@ -1,0 +1,312 @@
+// QRKF frame codec hardening: round-trips for every frame type, then
+// the two exhaustive corruption sweeps the format doc promises — every
+// single-bit flip anywhere in a frame and every truncation length must
+// decode to Status::Corruption, never crash, over-read, or silently
+// succeed. The frame CRC covers the header prefix as well as the
+// payload precisely so these sweeps can assert "always caught" (a
+// payload-only CRC would let one-bit FrameType flips re-interpret a
+// valid payload as the wrong message).
+
+#include "dist/wire_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qrank {
+namespace {
+
+WireTopKRequest SampleTopKRequest() {
+  WireTopKRequest req;
+  req.request_id = 0x1122334455667788ull;
+  req.k = 25;
+  req.site = 0xffffffffu;  // kAllSites sentinel
+  req.blend_alpha = 0.625;
+  req.exploration_epsilon = 0.125;
+  req.exploration_seed = 0xdeadbeefcafef00dull;
+  return req;
+}
+
+WireTopKResponse SampleTopKResponse() {
+  WireTopKResponse resp;
+  resp.request_id = 42;
+  resp.status = 0;
+  resp.shard_index = 3;
+  resp.entries.push_back(WireTopKEntry{7, 1007, 0.75, 0});
+  resp.entries.push_back(WireTopKEntry{123456, 999999, -1.5e-12, 1});
+  resp.entries.push_back(WireTopKEntry{0, 0, 0.0, 0});
+  return resp;
+}
+
+WireResolveRequest SampleResolveRequest() {
+  WireResolveRequest req;
+  req.request_id = 77;
+  req.global_rows = {3, 99, 12345, 0};
+  return req;
+}
+
+WireResolveResponse SampleResolveResponse() {
+  WireResolveResponse resp;
+  resp.request_id = 77;
+  resp.status = 0;
+  resp.entries.push_back(WireResolveEntry{3, 5003, 0.5, 0.25});
+  resp.entries.push_back(WireResolveEntry{99, 5099, 1e300, 1e-300});
+  return resp;
+}
+
+WireInfoResponse SampleInfoResponse() {
+  WireInfoResponse resp;
+  resp.request_id = 9;
+  resp.shard_index = 1;
+  resp.num_shards = 4;
+  resp.num_local_pages = 2048;
+  resp.num_sites = 655;
+  resp.total_pages = 131000;
+  resp.generation = 5;
+  return resp;
+}
+
+std::span<const uint8_t> Payload(const std::vector<uint8_t>& frame) {
+  return std::span<const uint8_t>(frame).subspan(kFrameHeaderBytes);
+}
+
+// --- Round-trips ----------------------------------------------------
+
+TEST(WireFormatTest, TopKRequestRoundTrip) {
+  const WireTopKRequest req = SampleTopKRequest();
+  std::vector<uint8_t> frame;
+  EncodeTopKRequest(req, &frame);
+  const Result<FrameHeader> header = DecodeFrame(frame);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header.value().type, FrameType::kTopKRequest);
+  WireTopKRequest out;
+  ASSERT_TRUE(DecodeTopKRequest(Payload(frame), &out).ok());
+  EXPECT_EQ(out.request_id, req.request_id);
+  EXPECT_EQ(out.k, req.k);
+  EXPECT_EQ(out.site, req.site);
+  EXPECT_EQ(out.blend_alpha, req.blend_alpha);
+  EXPECT_EQ(out.exploration_epsilon, req.exploration_epsilon);
+  EXPECT_EQ(out.exploration_seed, req.exploration_seed);
+}
+
+TEST(WireFormatTest, TopKResponseRoundTrip) {
+  const WireTopKResponse resp = SampleTopKResponse();
+  std::vector<uint8_t> frame;
+  EncodeTopKResponse(resp, &frame);
+  const Result<FrameHeader> header = DecodeFrame(frame);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header.value().type, FrameType::kTopKResponse);
+  WireTopKResponse out;
+  ASSERT_TRUE(DecodeTopKResponse(Payload(frame), &out).ok());
+  EXPECT_EQ(out.request_id, resp.request_id);
+  EXPECT_EQ(out.status, resp.status);
+  EXPECT_EQ(out.shard_index, resp.shard_index);
+  ASSERT_EQ(out.entries.size(), resp.entries.size());
+  for (size_t i = 0; i < resp.entries.size(); ++i) {
+    EXPECT_EQ(out.entries[i].global_row, resp.entries[i].global_row);
+    EXPECT_EQ(out.entries[i].page_id, resp.entries[i].page_id);
+    EXPECT_EQ(out.entries[i].score, resp.entries[i].score);
+    EXPECT_EQ(out.entries[i].promoted, resp.entries[i].promoted);
+  }
+}
+
+TEST(WireFormatTest, ResolveRoundTrip) {
+  const WireResolveRequest req = SampleResolveRequest();
+  std::vector<uint8_t> frame;
+  EncodeResolveRequest(req, &frame);
+  ASSERT_TRUE(DecodeFrame(frame).ok());
+  WireResolveRequest req_out;
+  ASSERT_TRUE(DecodeResolveRequest(Payload(frame), &req_out).ok());
+  EXPECT_EQ(req_out.request_id, req.request_id);
+  EXPECT_EQ(req_out.global_rows, req.global_rows);
+
+  const WireResolveResponse resp = SampleResolveResponse();
+  EncodeResolveResponse(resp, &frame);
+  ASSERT_TRUE(DecodeFrame(frame).ok());
+  WireResolveResponse resp_out;
+  ASSERT_TRUE(DecodeResolveResponse(Payload(frame), &resp_out).ok());
+  EXPECT_EQ(resp_out.request_id, resp.request_id);
+  ASSERT_EQ(resp_out.entries.size(), resp.entries.size());
+  for (size_t i = 0; i < resp.entries.size(); ++i) {
+    EXPECT_EQ(resp_out.entries[i].global_row, resp.entries[i].global_row);
+    EXPECT_EQ(resp_out.entries[i].page_id, resp.entries[i].page_id);
+    EXPECT_EQ(resp_out.entries[i].quality, resp.entries[i].quality);
+    EXPECT_EQ(resp_out.entries[i].pagerank, resp.entries[i].pagerank);
+  }
+}
+
+TEST(WireFormatTest, InfoRoundTrip) {
+  std::vector<uint8_t> frame;
+  EncodeInfoRequest(31337, &frame);
+  ASSERT_TRUE(DecodeFrame(frame).ok());
+  uint64_t request_id = 0;
+  ASSERT_TRUE(DecodeInfoRequest(Payload(frame), &request_id).ok());
+  EXPECT_EQ(request_id, 31337u);
+
+  const WireInfoResponse resp = SampleInfoResponse();
+  EncodeInfoResponse(resp, &frame);
+  ASSERT_TRUE(DecodeFrame(frame).ok());
+  WireInfoResponse out;
+  ASSERT_TRUE(DecodeInfoResponse(Payload(frame), &out).ok());
+  EXPECT_EQ(out.request_id, resp.request_id);
+  EXPECT_EQ(out.shard_index, resp.shard_index);
+  EXPECT_EQ(out.num_shards, resp.num_shards);
+  EXPECT_EQ(out.num_local_pages, resp.num_local_pages);
+  EXPECT_EQ(out.num_sites, resp.num_sites);
+  EXPECT_EQ(out.total_pages, resp.total_pages);
+  EXPECT_EQ(out.generation, resp.generation);
+}
+
+TEST(WireFormatTest, ErrorRoundTrip) {
+  std::vector<uint8_t> frame;
+  EncodeError(5, Status::InvalidArgument("k out of range"), &frame);
+  ASSERT_TRUE(DecodeFrame(frame).ok());
+  WireError out;
+  ASSERT_TRUE(DecodeError(Payload(frame), &out).ok());
+  EXPECT_EQ(out.request_id, 5u);
+  EXPECT_NE(out.status, 0u);
+  EXPECT_NE(out.message.find("k out of range"), std::string::npos);
+}
+
+TEST(WireFormatTest, EncodersReuseCapacity) {
+  std::vector<uint8_t> frame;
+  EncodeTopKRequest(SampleTopKRequest(), &frame);
+  const size_t size = frame.size();
+  frame.reserve(1024);
+  const size_t cap = frame.capacity();
+  const uint8_t* data = frame.data();
+  for (int i = 0; i < 100; ++i) {
+    EncodeTopKRequest(SampleTopKRequest(), &frame);
+  }
+  EXPECT_EQ(frame.size(), size);
+  EXPECT_EQ(frame.capacity(), cap);
+  EXPECT_EQ(frame.data(), data);
+}
+
+// --- Corruption sweeps ----------------------------------------------
+
+std::vector<std::vector<uint8_t>> AllSampleFrames() {
+  std::vector<std::vector<uint8_t>> frames(7);
+  EncodeTopKRequest(SampleTopKRequest(), &frames[0]);
+  EncodeTopKResponse(SampleTopKResponse(), &frames[1]);
+  EncodeResolveRequest(SampleResolveRequest(), &frames[2]);
+  EncodeResolveResponse(SampleResolveResponse(), &frames[3]);
+  EncodeInfoRequest(8, &frames[4]);
+  EncodeInfoResponse(SampleInfoResponse(), &frames[5]);
+  EncodeError(6, Status::IOError("shard offline"), &frames[6]);
+  return frames;
+}
+
+TEST(WireFormatTest, EveryBitFlipIsCaught) {
+  for (const std::vector<uint8_t>& original : AllSampleFrames()) {
+    std::vector<uint8_t> frame = original;
+    for (size_t byte = 0; byte < frame.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        frame[byte] ^= static_cast<uint8_t>(1u << bit);
+        const Result<FrameHeader> decoded = DecodeFrame(frame);
+        EXPECT_FALSE(decoded.ok())
+            << "bit " << bit << " of byte " << byte << " in a "
+            << FrameTypeName(original[4]) << " frame flipped undetected";
+        frame[byte] ^= static_cast<uint8_t>(1u << bit);
+      }
+    }
+    ASSERT_TRUE(DecodeFrame(frame).ok()) << "sweep corrupted its input";
+  }
+}
+
+TEST(WireFormatTest, EveryTruncationIsCaught) {
+  for (const std::vector<uint8_t>& original : AllSampleFrames()) {
+    for (size_t len = 0; len < original.size(); ++len) {
+      const std::span<const uint8_t> cut(original.data(), len);
+      EXPECT_FALSE(DecodeFrame(cut).ok())
+          << FrameTypeName(original[4]) << " frame truncated to " << len
+          << " bytes decoded successfully";
+      // The header-only decoder must also never accept a short buffer.
+      if (len < kFrameHeaderBytes) {
+        EXPECT_FALSE(DecodeFrameHeader(cut).ok());
+      }
+    }
+    // One extra trailing byte is as corrupt as one missing.
+    std::vector<uint8_t> extended = original;
+    extended.push_back(0);
+    EXPECT_FALSE(DecodeFrame(extended).ok());
+  }
+}
+
+// --- Hostile headers and payloads -----------------------------------
+
+TEST(WireFormatTest, HeaderRejectsOversizedPayloadLengthBeforeAllocation) {
+  std::vector<uint8_t> header(kFrameHeaderBytes, 0);
+  std::memcpy(header.data(), kFrameMagic, 4);
+  header[4] = static_cast<uint8_t>(FrameType::kTopKResponse);
+  const uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(header.data() + 8, &huge, 4);
+  // DecodeFrameHeader needs only these 16 bytes: a reader can (and the
+  // rpc stream reader does) reject the length before sizing any buffer.
+  EXPECT_FALSE(DecodeFrameHeader(header).ok());
+}
+
+TEST(WireFormatTest, HeaderRejectsUnknownType) {
+  std::vector<uint8_t> frame;
+  EncodeInfoRequest(1, &frame);
+  for (const uint8_t type : {uint8_t{0}, uint8_t{8}, uint8_t{0x55}}) {
+    std::vector<uint8_t> bad = frame;
+    bad[4] = type;
+    EXPECT_FALSE(FrameTypeKnown(type));
+    EXPECT_FALSE(DecodeFrameHeader(bad).ok());
+  }
+}
+
+TEST(WireFormatTest, TypedDecodersRejectCountPayloadMismatch) {
+  // A response whose declared entry count disagrees with the payload
+  // size must die in validation, not in a resize.
+  WireTopKResponse resp = SampleTopKResponse();
+  std::vector<uint8_t> frame;
+  EncodeTopKResponse(resp, &frame);
+  std::vector<uint8_t> payload(frame.begin() + kFrameHeaderBytes,
+                               frame.end());
+  uint32_t inflated = 100000;  // > kMaxWireTopK, payload unchanged
+  std::memcpy(payload.data() + 12, &inflated, 4);
+  WireTopKResponse out;
+  EXPECT_FALSE(DecodeTopKResponse(payload, &out).ok());
+  inflated = static_cast<uint32_t>(resp.entries.size()) + 1;
+  std::memcpy(payload.data() + 12, &inflated, 4);
+  EXPECT_FALSE(DecodeTopKResponse(payload, &out).ok());
+}
+
+TEST(WireFormatTest, TopKResponseRejectsNonBooleanPromotedFlag) {
+  WireTopKResponse resp = SampleTopKResponse();
+  std::vector<uint8_t> frame;
+  EncodeTopKResponse(resp, &frame);
+  std::vector<uint8_t> payload(frame.begin() + kFrameHeaderBytes,
+                               frame.end());
+  // entries start at fixed offset 24; promoted is u32 at entry offset 16.
+  const uint32_t two = 2;
+  std::memcpy(payload.data() + 24 + 16, &two, 4);
+  WireTopKResponse out;
+  EXPECT_FALSE(DecodeTopKResponse(payload, &out).ok());
+}
+
+TEST(WireFormatTest, ResponsesAtTheEntryCapStillRoundTrip) {
+  WireTopKResponse resp;
+  resp.request_id = 1;
+  resp.entries.resize(kMaxWireTopK);
+  for (uint32_t i = 0; i < kMaxWireTopK; ++i) {
+    resp.entries[i] = WireTopKEntry{i, i, static_cast<double>(i), 0};
+  }
+  std::vector<uint8_t> frame;
+  EncodeTopKResponse(resp, &frame);
+  ASSERT_TRUE(DecodeFrame(frame).ok());
+  WireTopKResponse out;
+  ASSERT_TRUE(DecodeTopKResponse(Payload(frame), &out).ok());
+  EXPECT_EQ(out.entries.size(), size_t{kMaxWireTopK});
+  EXPECT_EQ(out.entries.back().global_row, kMaxWireTopK - 1);
+}
+
+}  // namespace
+}  // namespace qrank

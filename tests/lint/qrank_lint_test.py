@@ -12,8 +12,9 @@ Also asserts the contract edges:
   * the hot-alloc transitive walk crosses into an included header
     (alloc_helper.h) — the case a per-file grep cannot see;
   * suppression comments remove findings AND stop the transitive walk;
-  * the reader-guard dead-check fixture is a documented known miss
-    (asserted clean, so gaining reachability analysis flips this test);
+  * the reader-guard dead-check fixture (`true ||` short-circuiting
+    the size check away) is CAUGHT — the rule's basic-reachability
+    extension sees through constant short-circuits;
   * --report writes the same findings to a file.
 
 Usage: qrank_lint_test.py <repo_root>
@@ -103,10 +104,15 @@ def main():
          line_of(root, F + "scalar_tu_bad.cc",
                  "QRANK_SCALAR_TU_ONLY double ScalarOracleSweep"),
          "scalar-tu"),
-        # reader-guard: unguarded reinterpret_cast in the bad fixture;
-        # the ok fixture and the (documented) dead-check miss are clean.
+        # reader-guard: unguarded reinterpret_cast in the bad fixture,
+        # and the dead-check fixture whose only size check is behind a
+        # constant `true ||` short-circuit; the ok fixture is clean.
         (F + "reader_guard_bad.cc",
          line_of(root, F + "reader_guard_bad.cc", "reinterpret_cast"),
+         "reader-guard"),
+        (F + "reader_guard_known_miss.cc",
+         line_of(root, F + "reader_guard_known_miss.cc",
+                 "*reinterpret_cast<const uint32_t*>"),
          "reader-guard"),
         # no-assert: both raw asserts, not the static_assert.
         (F + "no_assert_bad.cc",
@@ -141,8 +147,7 @@ def main():
         return 1
 
     # Clean subset must exit 0 (negative fixtures truly negative).
-    clean_db = [e for e in db if "_ok" in e["file"] or
-                "known_miss" in e["file"]]
+    clean_db = [e for e in db if "_ok" in e["file"]]
     proc2, findings2 = run_lint(root, clean_db)
     if proc2.returncode != 0 or findings2:
         print("FAIL: negative fixtures produced findings:\n%s" %
@@ -162,8 +167,8 @@ def main():
               file=sys.stderr)
         return 1
 
-    print("PASS: %d exact findings, negatives clean, known-miss "
-          "documented, report matches" % len(expected))
+    print("PASS: %d exact findings, negatives clean, dead-check "
+          "caught, report matches" % len(expected))
     return 0
 
 

@@ -1,15 +1,15 @@
-// reader-guard KNOWN MISS (documented, asserted clean by the
-// self-test): the size check is syntactically before the copy, but it
-// is dead — `true ||` short-circuits it away. qrank_lint's heuristic is
-// ordering-only (token stream, no reachability/value analysis), so this
-// passes. The fixture pins that limit down as an executable statement:
-// if the rule ever gains condition evaluation, flip the expectation in
-// qrank_lint_test.py and delete this comment's second paragraph.
+// reader-guard dead-check fixture: the size check is syntactically
+// before the copy, but it is dead — `true ||` short-circuits it away.
+// This was a documented known miss while the rule was ordering-only;
+// the rule now does basic reachability (a constant short-circuit at
+// the condition's own parenthesis depth kills the tail), so the
+// reinterpret_cast below IS reported. The self-test asserts the
+// finding, pinning the reachability extension as an executable
+// statement.
 //
-// Why we accept the miss: catching it needs dataflow, which is the
-// clang-tidy/-Wthread-safety tier's job, not a tokenizer's. The rule
-// still catches the common regression (someone reorders validation
-// after a resize, or adds a new field read before the header check).
+// Still out of scope (would need dataflow, the clang-tidy tier's job):
+// a check behind `if (kAlwaysTrueVariable || ...)` — value propagation
+// through named constants is not token-visible.
 #include <cstdint>
 #include <cstring>
 #include <vector>

@@ -27,14 +27,17 @@ Rules
                reassociation would silently change their rounding and
                break the cross-variant bit-equality contract. The
                marker must appear in the TU's main file.
-  reader-guard Binary readers (functions named Load*/From* that touch
-               raw bytes) must size/header-check their input before the
-               first allocation or byte-copy, so a header promising 2^31
-               pages in a 1 KB file dies in validation, not in
-               operator new. Known miss: the check is ordering-only —
-               a size check that is syntactically present but dead
-               (e.g. behind an always-true branch) still satisfies it;
-               see tests/lint_fixtures/reader_guard_known_miss.cc.
+  reader-guard Binary readers (functions named Load*/From*/Decode* that
+               touch raw bytes) must size/header-check their input
+               before the first allocation or byte-copy, so a header
+               promising 2^31 pages in a 1 KB file dies in validation,
+               not in operator new. The check is ordering-plus-basic-
+               reachability: a guard whose condition is killed by a
+               constant short-circuit (`true || check`, `false &&
+               check`) does not count — see
+               tests/lint_fixtures/reader_guard_known_miss.cc, which
+               this catches. Full dataflow (a check behind `if
+               (always_true_var)`) remains out of scope.
   no-assert    No raw assert(): it vanishes under NDEBUG and prints no
                context. Use QRANK_CHECK / QRANK_DCHECK (common/logging.h).
   naked-mutex  No std::mutex / std::condition_variable / std::lock_guard
@@ -94,8 +97,8 @@ ALLOC_CALLS = {
     "substr", "operator_new",
 }
 
-# reader-guard: the first of these in a Load*/From* body must be
-# preceded by a size-ish check.
+# reader-guard: the first of these in a Load*/From*/Decode* body must
+# be preceded by a size-ish check.
 READER_RISKY = {
     "memcpy", "memmove", "reinterpret_cast", "resize", "reserve", "assign",
     "push_back", "emplace_back", "pread", "fread", "mmap", "new",
@@ -107,7 +110,7 @@ READER_BYTE_TOKENS = {
     "uint8_t", "int8_t", "istream", "ifstream", "pread", "fread", "mmap",
     "ReadPod", "byte",
 }
-READER_NAME_RE = re.compile(r"^(Load|From)([A-Z_].*)?$")
+READER_NAME_RE = re.compile(r"^(Load|From|Decode)([A-Z_].*)?$")
 
 # A guard is an `if`/check-macro/validator call whose parenthesized
 # condition mentions one of these (substring match on identifiers).
@@ -590,15 +593,57 @@ class Lint:
         return None
 
     @staticmethod
+    def _dead_indices(tokens, lo, hi):
+        """Token indices in [lo, hi) unreachable by constant short-circuit.
+
+        Inside an if-condition, everything at the condition's own
+        parenthesis depth after `true ||` (right operand never
+        evaluated) or `false &&` is dead. A size check or validator
+        call living in such a tail guards nothing. Value propagation
+        (`if (kAlwaysTrue || ...)`) stays out of scope — this is a
+        tokenizer, not an evaluator.
+        """
+        dead = set()
+        for j in range(lo, hi):
+            t = tokens[j]
+            if t.kind != "id" or t.text != "if":
+                continue
+            if j + 1 >= hi or tokens[j + 1].text != "(":
+                continue
+            close = match_forward(tokens, j + 1, "(", ")")
+            if close is None or close >= hi:
+                continue
+            depth = 0
+            for i in range(j + 2, close):
+                c = tokens[i]
+                if c.kind == "punct":
+                    if c.text == "(":
+                        depth += 1
+                    elif c.text == ")":
+                        depth -= 1
+                    continue
+                if depth != 0 or c.kind != "id":
+                    continue
+                op = {"true": "|", "false": "&"}.get(c.text)
+                if op and i + 2 < close and tokens[i + 1].text == op \
+                        and tokens[i + 2].text == op:
+                    dead.update(range(i + 1, close))
+                    break
+        return dead
+
+    @staticmethod
     def _first_guard(tokens, lo, hi):
+        dead = Lint._dead_indices(tokens, lo, hi)
         j = lo
         while j < hi:
             t = tokens[j]
-            if t.kind == "id" and (t.text == "if" or GUARD_CALL_RE.match(t.text)):
+            if j not in dead and t.kind == "id" and \
+                    (t.text == "if" or GUARD_CALL_RE.match(t.text)):
                 if j + 1 < hi and tokens[j + 1].text == "(":
                     close = match_forward(tokens, j + 1, "(", ")")
                     if close is not None and close < hi:
-                        cond = tokens[j + 2:close]
+                        cond = [tokens[i] for i in range(j + 2, close)
+                                if i not in dead]
                         if t.text != "if" or any(
                                 c.kind == "id" and
                                 any(h in c.text for h in GUARD_HINTS)

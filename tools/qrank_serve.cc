@@ -10,6 +10,7 @@
 //                     [--epsilon=X] [--seed=N] [--mmap=BOOL]
 //   qrank_serve bench <bundle> [--queries=N] [--k=N] [--alpha=X]
 //                     [--site=N] [--mmap=BOOL]
+//   qrank_serve shard <bundle> --out-dir=DIR [--shards=N] [--mmap=BOOL]
 //
 // `build` reads text score files (one value per line, row order) and
 // writes the serialized bundle. `inspect` prints the header and section
@@ -18,6 +19,8 @@
 //   <rank> <TAB> <row> <TAB> <page_id> <TAB> <score> <TAB> <promoted>
 // `bench` loops TopKOnBundle on one thread and reports QPS plus sampled
 // p50/p99 latency (the full-churn suite lives in bench_perf_serve).
+// `shard` partitions a bundle by site into per-shard bundles plus the
+// shard map and sidecars the distributed tier (src/dist/) serves from.
 // None of the shared solver flags (rank/solver_flags.h: --order,
 // --partition, --kernel, --compressed) apply here — this tool serves
 // precomputed score bundles and never runs a PageRank solve; the
@@ -39,6 +42,7 @@
 #include "audit/audit.h"
 #include "common/flags.h"
 #include "common/status.h"
+#include "dist/shard_map.h"
 #include "serve/query_engine.h"
 #include "serve/score_bundle.h"
 #include "serve/snapshot_store.h"
@@ -54,7 +58,9 @@ void PrintUsage(std::ostream& os) {
         "       qrank_serve query <bundle> [--k=N] [--alpha=X] [--site=N]\n"
         "                         [--epsilon=X] [--seed=N] [--mmap=BOOL]\n"
         "       qrank_serve bench <bundle> [--queries=N] [--k=N]\n"
-        "                         [--alpha=X] [--site=N] [--mmap=BOOL]\n";
+        "                         [--alpha=X] [--site=N] [--mmap=BOOL]\n"
+        "       qrank_serve shard <bundle> --out-dir=DIR [--shards=N]\n"
+        "                         [--mmap=BOOL]\n";
 }
 
 Result<std::vector<double>> LoadDoubles(const std::string& path) {
@@ -294,6 +300,43 @@ int CmdBench(FlagParser& flags, const std::string& path) {
   return 0;
 }
 
+int CmdShard(FlagParser& flags, const std::string& path) {
+  const std::string out_dir = flags.GetString("out-dir", "");
+  const int64_t num_shards = flags.GetInt("shards", 2);
+  const bool prefer_mmap = flags.GetBool("mmap", true);
+  if (!flags.status().ok() || out_dir.empty() || num_shards < 1 ||
+      num_shards > static_cast<int64_t>(kMaxShards)) {
+    PrintUsage(std::cerr);
+    return 2;
+  }
+  Result<LoadedBundle> bundle = OpenBundle(path, prefer_mmap);
+  if (!bundle.ok()) {
+    std::cerr << "qrank_serve: " << path << ": "
+              << bundle.status().ToString() << "\n";
+    return 2;
+  }
+  Result<ShardSplit> split = SplitBundleBySite(
+      bundle.value(), static_cast<uint32_t>(num_shards), out_dir);
+  if (!split.ok()) {
+    std::cerr << "qrank_serve: shard: " << split.status().ToString() << "\n";
+    return 2;
+  }
+  const ShardMap& map = split.value().map;
+  for (uint32_t s = 0; s < map.num_shards; ++s) {
+    const uint32_t site_lo = map.site_boundaries[s];
+    const uint32_t site_hi = map.site_boundaries[s + 1];
+    const uint64_t page_lo = bundle.value().site_offsets()[site_lo];
+    const uint64_t page_hi = bundle.value().site_offsets()[site_hi];
+    std::printf("shard %u\t%" PRIu64 " pages\tsites [%u, %u)\t%s\n", s,
+                page_hi - page_lo, site_lo, site_hi,
+                split.value().bundle_paths[s].c_str());
+  }
+  std::printf("%s: %u shards, %" PRIu64 " pages, %u sites -> %s\n",
+              path.c_str(), map.num_shards, map.total_pages, map.num_sites,
+              split.value().map_path.c_str());
+  return 0;
+}
+
 int Run(int argc, const char* const* argv) {
   if (argc < 2) {
     PrintUsage(std::cerr);
@@ -313,6 +356,8 @@ int Run(int argc, const char* const* argv) {
     rc = CmdQuery(flags, positional[0]);
   } else if (command == "bench" && positional.size() == 1) {
     rc = CmdBench(flags, positional[0]);
+  } else if (command == "shard" && positional.size() == 1) {
+    rc = CmdShard(flags, positional[0]);
   } else {
     PrintUsage(std::cerr);
     return 2;

@@ -1,0 +1,125 @@
+// qrank_worker: serve one shard of a site-partitioned score bundle
+// (src/dist/) over the QRKF socket protocol.
+//
+// Usage:
+//   qrank_worker --bundle=shard_<i>.qrkb --meta=shard_<i>.qrks
+//                [--host=ADDR] [--port=N] [--port-file=PATH]
+//                [--response-delay-ms=N]
+//
+// Loads the shard bundle + QRKS sidecar, binds (an ephemeral port when
+// --port=0, the default), then serves until SIGINT/SIGTERM. The bound
+// port is printed on stdout as `port <N>` and, with --port-file,
+// written to PATH — that is how test harnesses discover ephemeral
+// ports race-free. --response-delay-ms exposes the fault-injection
+// hook that holds each TopK response before sending (tests only).
+//
+// Exit status: 0 = clean shutdown on signal, 2 = usage or I/O error.
+
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/flags.h"
+#include "common/status.h"
+#include "dist/worker.h"
+
+namespace qrank {
+namespace {
+
+// Self-pipe written from the signal handler; the main thread polls it.
+// (sig_atomic_t spin loops burn CPU and signalfd is Linux-only lore
+// this tool does not need.)
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void OnShutdownSignal(int /*signo*/) {
+  const char byte = 1;
+  // Best effort; a full pipe already means a wakeup is pending.
+  [[maybe_unused]] const ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: qrank_worker --bundle=shard_<i>.qrkb --meta=shard_<i>.qrks\n"
+        "                    [--host=ADDR] [--port=N] [--port-file=PATH]\n"
+        "                    [--response-delay-ms=N]\n";
+}
+
+int Run(int argc, const char* const* argv) {
+  FlagParser flags(argc, argv);
+  const std::string bundle_path = flags.GetString("bundle", "");
+  const std::string meta_path = flags.GetString("meta", "");
+  const std::string port_file = flags.GetString("port-file", "");
+  WorkerServer::Options options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  const int64_t port = flags.GetInt("port", 0);
+  const int64_t delay_ms = flags.GetInt("response-delay-ms", 0);
+  if (!flags.status().ok() || !flags.positional().empty() ||
+      bundle_path.empty() || meta_path.empty() || port < 0 || port > 65535 ||
+      delay_ms < 0) {
+    PrintUsage(std::cerr);
+    return 2;
+  }
+  const std::vector<std::string> unused = flags.UnusedFlags();
+  if (!unused.empty()) {
+    std::cerr << "qrank_worker: unknown flag --" << unused.front() << "\n";
+    PrintUsage(std::cerr);
+    return 2;
+  }
+  options.port = static_cast<uint16_t>(port);
+  options.test_response_delay = std::chrono::milliseconds(delay_ms);
+
+  WorkerServer worker(options);
+  Status st = worker.Init(bundle_path, meta_path);
+  if (!st.ok()) {
+    std::cerr << "qrank_worker: init: " << st.ToString() << "\n";
+    return 2;
+  }
+  st = worker.Start();
+  if (!st.ok()) {
+    std::cerr << "qrank_worker: start: " << st.ToString() << "\n";
+    return 2;
+  }
+  std::printf("shard %u: %u pages on %s:%u\n", worker.shard_index(),
+              worker.num_local_pages(), options.host.c_str(), worker.port());
+  std::printf("port %u\n", worker.port());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << worker.port() << "\n";
+    if (!out) {
+      std::cerr << "qrank_worker: cannot write " << port_file << "\n";
+      return 2;
+    }
+  }
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::cerr << "qrank_worker: pipe failed\n";
+    return 2;
+  }
+  struct sigaction action = {};
+  action.sa_handler = OnShutdownSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  struct pollfd pfd = {};
+  pfd.fd = g_signal_pipe[0];
+  pfd.events = POLLIN;
+  while (poll(&pfd, 1, -1) < 0) {
+    // EINTR from the very signal we are waiting for still wakes us via
+    // the pipe on the next iteration.
+  }
+  std::printf("shard %u: shutting down (%" PRIu64 " queries served)\n",
+              worker.shard_index(), worker.queries_served());
+  worker.Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace qrank
+
+int main(int argc, char** argv) { return qrank::Run(argc, argv); }
