@@ -70,6 +70,7 @@ void Coordinator::Stop() {
     ++query_epoch_;
     for (std::unique_ptr<Channel>& ch : channels_) {
       ch->work_pending = false;
+      ch->request = nullptr;
       if (ch->live_fd >= 0) ::shutdown(ch->live_fd, SHUT_RDWR);
     }
     work_cv_.NotifyAll();
@@ -99,7 +100,6 @@ void Coordinator::ChannelLoop(Channel* ch) {
   for (;;) {
     uint64_t epoch = 0;
     RpcDeadline io_deadline = kNoRpcDeadline;
-    const std::vector<uint8_t>* request = nullptr;
     {
       MutexLock lock(&mu_);
       while (!stopping_ && !ch->work_pending) work_cv_.Wait(&mu_);
@@ -107,7 +107,13 @@ void Coordinator::ChannelLoop(Channel* ch) {
       ch->work_pending = false;
       epoch = ch->epoch;
       io_deadline = ch->io_deadline;
-      request = ch->request;
+      // Copy the frame before dropping mu_: ch->request points into
+      // TopK-owned scratch that the next query re-encodes as soon as
+      // this wave retires, so it must never be read unlocked. Claiming
+      // and copying in one critical section means that once RunWave's
+      // cancel section has run, no thread still holds the pointer.
+      ch->request_copy.assign(ch->request->begin(), ch->request->end());
+      ch->request = nullptr;
     }
 
     Status status = Status::OK();
@@ -122,7 +128,9 @@ void Coordinator::ChannelLoop(Channel* ch) {
         status = conn.status();
       }
     }
-    if (status.ok()) status = SendFrame(ch->socket, *request, io_deadline);
+    if (status.ok()) {
+      status = SendFrame(ch->socket, ch->request_copy, io_deadline);
+    }
     if (status.ok()) {
       Result<FrameHeader> header =
           RecvFrame(ch->socket, &ch->recv_frame, io_deadline);
@@ -162,8 +170,10 @@ void Coordinator::CancelInFlightLocked() {
   for (std::unique_ptr<Channel>& ch : channels_) {
     if (ch->epoch != query_epoch_ || ch->result_ready) continue;
     if (ch->work_pending) {
-      // Never picked up: just retract it.
+      // Never picked up: just retract it (and the borrowed frame
+      // pointer with it, before the scratch it targets is reused).
       ch->work_pending = false;
+      ch->request = nullptr;
       continue;
     }
     // Mid-flight: tear the stream down (see header on why the
@@ -187,9 +197,11 @@ uint32_t Coordinator::RunWave(const std::vector<uint8_t>& frame,
   }
   work_cv_.NotifyAll();
 
-  // A shard is settled once a channel answered OK, or — after its
-  // hedge fired — once both channels failed (no point waiting out the
-  // deadline on connections that already died).
+  // A shard is settled once a channel answered OK, or once its primary
+  // failed and no rescue can come — hedging is off for this query, or
+  // the hedge was submitted and failed too. Waiting longer on a failed
+  // shard cannot produce an answer, so a fast connection refusal must
+  // not stall the wave until the deadline.
   bool hedged = false;
   const bool hedging_enabled = hedge_time < deadline;
   for (;;) {
@@ -201,7 +213,10 @@ uint32_t Coordinator::RunWave(const std::vector<uint8_t>& frame,
       const bool hedge_done = hedge.epoch == epoch && hedge.result_ready;
       const bool any_ok = (prim_done && prim.result_status.ok()) ||
                           (hedge_done && hedge.result_status.ok());
-      if (any_ok || (hedged && prim_done && hedge_done)) ++settled;
+      const bool prim_failed = prim_done && !prim.result_status.ok();
+      const bool hedge_failed = hedge_done && !hedge.result_status.ok();
+      const bool no_rescue = hedging_enabled ? hedge_failed : true;
+      if (any_ok || (prim_failed && no_rescue)) ++settled;
     }
     if (settled == num_targets) break;
 

@@ -162,7 +162,12 @@ class Coordinator {
     // Guarded by Coordinator::mu_.
     bool work_pending = false;
     uint64_t epoch = 0;
-    const std::vector<uint8_t>* request = nullptr;  // owned by TopK
+    /// Borrowed pointer into TopK-owned scratch; only valid while
+    /// work_pending is set. The channel thread copies the frame into
+    /// request_copy in the SAME critical section that claims the work,
+    /// so the pointer is never dereferenced unlocked (RunWave retracts
+    /// unclaimed work before TopK may re-encode the scratch buffer).
+    const std::vector<uint8_t>* request = nullptr;
     RpcDeadline io_deadline = kNoRpcDeadline;
     bool result_ready = false;
     Status result_status;
@@ -171,6 +176,7 @@ class Coordinator {
 
     // Channel-thread-private.
     Socket socket;
+    std::vector<uint8_t> request_copy;
     std::vector<uint8_t> recv_frame;
   };
 

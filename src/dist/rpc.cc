@@ -102,7 +102,11 @@ Result<Socket> Socket::Connect(const std::string& host, uint16_t port,
       return Status::IOError(std::string("connect: ") + std::strerror(err));
     }
   }
-  QRANK_RETURN_NOT_OK(SetNonBlocking(sock.fd(), false));
+  // The socket stays non-blocking for its lifetime: SendAll/RecvAll
+  // pace every syscall with poll(2), so a single send/recv can never
+  // block past the remaining deadline (a blocking send of a frame
+  // larger than the socket buffer would stall until the peer drains
+  // it, unbounded by the poll-side deadline).
   SetNoDelay(sock.fd());
   return sock;
 }
@@ -275,10 +279,19 @@ void RpcServer::AcceptLoop() {
     const int cfd = ::accept(lfd, reinterpret_cast<sockaddr*>(&peer), &len);
     if (cfd < 0) {
       if (errno == EINTR) continue;
-      MutexLock lock(&mu_);
-      if (stopping_) return;
-      // Transient accept failure (e.g. EMFILE): keep serving existing
-      // connections, retry after the next accept wakes us.
+      {
+        MutexLock lock(&mu_);
+        if (stopping_) return;
+      }
+      // Persistent accept failure (e.g. EMFILE/ENFILE): with a
+      // connection still pending, accept fails again immediately, so
+      // back off briefly instead of busy-spinning a core until fds
+      // free up. Stop() is delayed by at most one sleep.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    if (!SetNonBlocking(cfd, true).ok()) {
+      ::close(cfd);
       continue;
     }
     SetNoDelay(cfd);

@@ -1,11 +1,13 @@
-// Blocking socket transport of the distributed query tier: an RAII
-// TCP socket with deadline-bounded I/O, framed send/receive over the
-// QRKF wire format, and a thread-per-connection RPC server.
+// Socket transport of the distributed query tier: an RAII TCP socket
+// with deadline-bounded I/O, framed send/receive over the QRKF wire
+// format, and a thread-per-connection RPC server.
 //
 // Threading model (deliberately simple, mirroring mithril's
 // BasicServer): the server runs one accept thread plus one thread per
-// live connection; every socket operation is blocking with an explicit
-// deadline enforced via poll(2). Cancellation is by disconnect — a
+// live connection; sockets are O_NONBLOCK for their whole lifetime and
+// every operation loops poll(2)+syscall, so each individual send/recv
+// — not just the wait for readiness — is bounded by the remaining
+// deadline. Cancellation is by disconnect — a
 // caller that gives up on a request shuts the socket down, which makes
 // the peer's blocked read fail and tears the stream down instead of
 // leaving it desynchronized (a QRKF stream has no request framing to

@@ -156,6 +156,39 @@ TEST(DistFaultTest, DeadWorkerDegradesWithinDeadlineAndRejoins) {
   coord.Stop();
 }
 
+TEST(DistFaultTest, FastFailingShardSettlesEarlyWithHedgingDisabled) {
+  // With hedging disabled (hedge_delay >= query_deadline) a shard
+  // whose primary fails fast (connection refused) can never answer;
+  // the coordinator must settle it on the failure instead of waiting
+  // out the whole query deadline.
+  auto w0 = StartWorker(0, 0, milliseconds(0));
+  auto w1 = StartWorker(1, 0, milliseconds(0));
+  const uint16_t dead_port = w1->port();
+  w1->Stop();  // nobody listens here now: loopback connects are refused
+
+  CoordinatorOptions options;
+  options.query_deadline = milliseconds(3000);
+  options.hedge_delay = milliseconds(3000);  // >= deadline: no hedging
+  std::vector<ShardAddress> addresses(2);
+  addresses[0].primary.port = w0->port();
+  addresses[1].primary.port = dead_port;
+  Coordinator coord(LoadShardMap(Split().map_path).value(), addresses,
+                    options);
+  ASSERT_TRUE(coord.Start().ok());
+
+  DistTopKResult result;
+  const Clock::time_point t0 = Clock::now();
+  ASSERT_TRUE(coord.TopK(GlobalQuery(), &result).ok());
+  const auto elapsed = Clock::now() - t0;
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.shards_answered, 1u);
+  EXPECT_EQ(result.hedges_fired, 0u);
+  EXPECT_LT(elapsed, milliseconds(1000))
+      << "a refused connection must settle the shard, not stall the "
+         "wave until the deadline";
+  coord.Stop();
+}
+
 TEST(DistFaultTest, SiteQueryOnDeadShardDegradesToEmpty) {
   auto w0 = StartWorker(0, 0, milliseconds(0));
   auto w1 = StartWorker(1, 0, milliseconds(0));
